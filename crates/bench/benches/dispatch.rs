@@ -1,0 +1,87 @@
+//! Dispatch-engine microbenchmarks: the enqueue → poll → complete cycle
+//! of Algorithm 1, the dispatcher's per-request critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use persephone_core::dispatch::{DarcEngine, EngineConfig, EngineMode};
+use persephone_core::time::Nanos;
+use persephone_core::types::{TypeId, WorkerId};
+use std::hint::black_box;
+
+fn engine(workers: usize, mode: EngineMode) -> DarcEngine<u64> {
+    let mut cfg = EngineConfig::darc(workers);
+    cfg.mode = mode;
+    // Huge window so reservation updates never fire inside the benchmark.
+    cfg.profiler.min_samples = u64::MAX;
+    let hints = [Some(Nanos::from_micros(1)), Some(Nanos::from_micros(100))];
+    DarcEngine::new(cfg, 2, &hints)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("darc_enqueue_poll_complete", |b| {
+        let mut eng = engine(14, EngineMode::Dynamic);
+        let mut i = 0u64;
+        b.iter(|| {
+            let ty = TypeId::new((i % 2) as u32);
+            let now = Nanos::from_nanos(i);
+            eng.enqueue(ty, i, now).unwrap();
+            let d = eng.poll(now).expect("a worker is free");
+            eng.complete(d.worker, Nanos::from_micros(1), now);
+            i += 1;
+            black_box(&eng);
+        });
+    });
+
+    g.bench_function("cfcfs_enqueue_poll_complete", |b| {
+        let mut eng = engine(14, EngineMode::CFcfs);
+        let mut i = 0u64;
+        b.iter(|| {
+            let ty = TypeId::new((i % 2) as u32);
+            let now = Nanos::from_nanos(i);
+            eng.enqueue(ty, i, now).unwrap();
+            let d = eng.poll(now).expect("a worker is free");
+            eng.complete(d.worker, Nanos::from_micros(1), now);
+            i += 1;
+            black_box(&eng);
+        });
+    });
+
+    // The expensive path: all workers busy, queues deep — poll must scan
+    // and fail.
+    g.bench_function("darc_poll_no_free_worker", |b| {
+        let mut eng = engine(14, EngineMode::Dynamic);
+        let now = Nanos::ZERO;
+        for i in 0..14 {
+            eng.enqueue(TypeId::new((i % 2) as u32), i, now).unwrap();
+        }
+        while eng.poll(now).is_some() {}
+        for i in 0..100 {
+            eng.enqueue(TypeId::new((i % 2) as u32), i, now).unwrap();
+        }
+        b.iter(|| black_box(eng.poll(now).is_none()));
+    });
+
+    g.bench_function("complete_with_profiling", |b| {
+        let mut eng = engine(2, EngineMode::Dynamic);
+        let now = Nanos::ZERO;
+        b.iter(|| {
+            eng.enqueue(TypeId::new(0), 1, now).unwrap();
+            let d = eng.poll(now).unwrap();
+            // This is the paper's "record completion ≈75 cycles" plus the
+            // free-worker bookkeeping.
+            eng.complete(black_box(d.worker), Nanos::from_micros(1), now);
+        });
+    });
+
+    // Ensure WorkerId is exercised under black_box to keep symbols alive.
+    g.bench_function("worker_id_index", |b| {
+        b.iter(|| black_box(WorkerId::new(7).index()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

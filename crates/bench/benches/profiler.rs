@@ -1,0 +1,98 @@
+//! Profiler microbenchmarks (paper §4.3.3).
+//!
+//! The paper reports, at the median: ≈75 cycles to update a request's
+//! profile, ≈300 cycles to check whether a reservation update is needed,
+//! and ≈1000 cycles to perform a reservation update.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use persephone_core::profile::{Profiler, ProfilerConfig, TypeStat};
+use persephone_core::reserve::{reserve, ReserveConfig};
+use persephone_core::time::Nanos;
+use persephone_core::types::TypeId;
+use std::hint::black_box;
+
+fn tpcc_stats() -> Vec<TypeStat> {
+    [
+        (5.7, 0.44),
+        (6.0, 0.04),
+        (20.0, 0.44),
+        (88.0, 0.04),
+        (100.0, 0.04),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &(us, ratio))| TypeStat {
+        ty: TypeId::new(i as u32),
+        mean_service_ns: us * 1_000.0,
+        ratio,
+    })
+    .collect()
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profiler");
+
+    // "updating the profile of a request takes 75 cycles".
+    g.bench_function("record_completion", |b| {
+        let mut p = Profiler::new(ProfilerConfig::default(), 5, &[None; 5]);
+        let mut i = 0u32;
+        b.iter(|| {
+            p.record_completion(TypeId::new(i % 5), Nanos::from_micros(10));
+            i = i.wrapping_add(1);
+            black_box(&p);
+        });
+    });
+
+    // "checking whether an update is required takes about 300 cycles".
+    g.bench_function("update_ready_check", |b| {
+        let cfg = ProfilerConfig {
+            min_samples: 10,
+            ..Default::default()
+        };
+        let mut p = Profiler::new(cfg, 5, &[None; 5]);
+        for i in 0..100u32 {
+            p.record_completion(TypeId::new(i % 5), Nanos::from_micros((i % 5 + 1) as u64));
+        }
+        p.record_dispatch_delay(TypeId::new(0), Nanos::from_millis(10));
+        b.iter(|| black_box(p.update_ready()));
+    });
+
+    g.bench_function("record_dispatch_delay", |b| {
+        let mut p = Profiler::new(
+            ProfilerConfig::default(),
+            5,
+            &[Some(Nanos::from_micros(10)); 5],
+        );
+        b.iter(|| {
+            p.record_dispatch_delay(black_box(TypeId::new(2)), Nanos::from_micros(5));
+            black_box(&p);
+        });
+    });
+
+    // "performing a reservation update takes about 1000 cycles" — the
+    // grouping + demand rounding of Algorithm 2 over 5 TPC-C types.
+    g.bench_function("reserve_tpcc_14_workers", |b| {
+        let stats = tpcc_stats();
+        let cfg = ReserveConfig::new(14);
+        b.iter(|| black_box(reserve(black_box(&stats), &cfg)));
+    });
+
+    g.bench_function("commit_window", |b| {
+        let cfg = ProfilerConfig {
+            min_samples: 1,
+            ..Default::default()
+        };
+        let mut p = Profiler::new(cfg, 5, &[None; 5]);
+        b.iter(|| {
+            for i in 0..5u32 {
+                p.record_completion(TypeId::new(i), Nanos::from_micros(i as u64 + 1));
+            }
+            black_box(p.commit_window());
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_profiler);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! SPSC channel microbenchmark (paper §4.3.2).
+//!
+//! The paper reports ≈88 cycles per operation on its Barrelfish-style
+//! lightweight-RPC channel; this measures our ring's push+pop pairs in
+//! steady state, single-threaded (no coherence traffic) and cross-thread.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("push_pop_same_thread", |b| {
+        let (mut tx, mut rx) = persephone_net::spsc::channel::<u64>(1024);
+        b.iter(|| {
+            tx.push(black_box(7)).unwrap();
+            black_box(rx.pop().unwrap());
+        });
+    });
+
+    g.bench_function("push_pop_batch64", |b| {
+        let (mut tx, mut rx) = persephone_net::spsc::channel::<u64>(1024);
+        b.iter(|| {
+            for i in 0..64u64 {
+                tx.push(black_box(i)).unwrap();
+            }
+            for _ in 0..64 {
+                black_box(rx.pop().unwrap());
+            }
+        });
+    });
+
+    g.bench_function("mpsc_push_pop_same_thread", |b| {
+        let (tx, mut rx) = persephone_net::mpsc::channel::<u64>(1024);
+        b.iter(|| {
+            tx.push(black_box(7)).unwrap();
+            black_box(rx.pop().unwrap());
+        });
+    });
+
+    g.bench_function("work_msg_round_trip", |b| {
+        // The realistic payload: a WorkMsg-sized enum with a boxed buffer.
+        use persephone_net::pool::PacketBuf;
+        let (mut tx, mut rx) = persephone_net::spsc::channel::<PacketBuf>(64);
+        b.iter_batched(
+            || {
+                let mut p = PacketBuf::with_capacity(128);
+                p.fill(b"request payload");
+                p
+            },
+            |p| {
+                tx.push(p).unwrap();
+                black_box(rx.pop().unwrap());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_spsc);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Application-substrate benchmarks: the KV store's GET-vs-SCAN
+//! dispersion (the §5.4.4 RocksDB shape: GETs ≈1.5 µs, 5000-key SCANs
+//! ≈635 µs, a ~420× gap) and the TPC-C transaction cost ladder
+//! (Table 4: Payment < OrderStatus < NewOrder < Delivery < StockLevel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use persephone_store::kv::KvStore;
+use persephone_store::tpcc::{TpccDb, TpccInputGen, Transaction};
+use std::hint::black_box;
+
+fn bench_kv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kv");
+    let mut db = KvStore::with_sequential_keys(5_000);
+
+    g.bench_function("get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let key = format!("key{:08}", i % 5_000);
+            i += 1;
+            black_box(db.get(key.as_bytes()))
+        });
+    });
+
+    g.bench_function("scan_100", |b| {
+        b.iter(|| black_box(db.scan(b"key00001000", 100).len()));
+    });
+
+    // The paper's SCAN: the full 5000-key sweep.
+    g.bench_function("scan_5000", |b| {
+        b.iter(|| black_box(db.scan(b"key00000000", 5_000).len()));
+    });
+
+    g.bench_function("put", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("newkey{i}");
+            i += 1;
+            db.put(key.as_bytes(), b"value");
+            black_box(&db);
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_tpcc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpcc");
+    let mut db = TpccDb::new(1);
+    let mut gen = TpccInputGen::new(7);
+    // Pre-populate orders so the read transactions have work to do.
+    for _ in 0..2_000 {
+        db.run(Transaction::NewOrder, &mut gen).unwrap();
+    }
+
+    for tx in Transaction::ALL {
+        g.bench_function(format!("{tx:?}").to_lowercase(), |b| {
+            b.iter(|| {
+                db.run(black_box(tx), &mut gen).unwrap();
+                black_box(&db);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kv, bench_tpcc);
+criterion_main!(benches);

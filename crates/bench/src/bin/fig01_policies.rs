@@ -1,0 +1,172 @@
+//! Figure 1: simulated achievable throughput vs p99.9 slowdown for
+//! d-FCFS, c-FCFS, TS (5 µs quantum, 1 µs overhead) and DARC on
+//! Extreme Bimodal with 16 workers and no network.
+//!
+//! Paper numbers reproduced: for a 10× per-type slowdown SLO, c-FCFS
+//! sustains ~2.1 Mrps, TS ~3.7 Mrps, DARC ~5.1 Mrps of a ~5.3 Mrps peak;
+//! at DARC's operating point short requests see ~9.87 µs p99.9 versus
+//! 7738 µs (c-FCFS) and 161 µs (TS).
+//!
+//! Run: `cargo run --release -p persephone-bench --bin fig01_policies`
+
+use persephone_bench::{times, BenchOpts, Comparison};
+use persephone_core::policy::{Policy, TimeSharingParams};
+use persephone_sim::experiment::{capacity_rps_at_slo, sweep, Slo, SweepConfig};
+use persephone_sim::report::{mrps, ratio, us, Table};
+use persephone_sim::workload::Workload;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let workload = Workload::extreme_bimodal();
+    let workers = 16;
+    let peak = workload.peak_rate(workers);
+    println!(
+        "# Figure 1 — policy comparison on {} ({} workers, peak {} Mrps)",
+        workload.name,
+        workers,
+        mrps(peak)
+    );
+
+    let policies = vec![
+        Policy::DFcfs,
+        Policy::CFcfs,
+        Policy::TimeSharing(TimeSharingParams::shinjuku_fig1()),
+        Policy::Darc,
+    ];
+    let loads: Vec<f64> = (1..=24).map(|i| i as f64 * 0.04).collect();
+    let cfg = SweepConfig {
+        seed: opts.seed,
+        darc_min_samples: if opts.quick { 5_000 } else { 50_000 },
+        ..SweepConfig::new(workload.clone(), workers, loads, opts.duration(400))
+    };
+
+    let slo = Slo::PerTypeSlowdown(10.0);
+    let mut csv = Table::new(vec![
+        "policy",
+        "load",
+        "offered_mrps",
+        "slowdown_p999",
+        "short_slowdown_p999",
+        "long_slowdown_p999",
+        "short_latency_p999_us",
+        "long_latency_p999_us",
+    ]);
+    let mut capacities = Vec::new();
+    let mut short_tail_at_096 = Vec::new();
+    for p in &policies {
+        let points = sweep(p, &cfg);
+        for pt in &points {
+            let Some(out) = &pt.output else { continue };
+            let s = &out.summary;
+            csv.push(vec![
+                p.name(),
+                format!("{:.2}", pt.load),
+                mrps(pt.offered_rps),
+                ratio(s.overall_slowdown.p999),
+                ratio(s.per_type[0].slowdown.p999),
+                ratio(s.per_type[1].slowdown.p999),
+                us(s.per_type[0].latency_ns.p999),
+                us(s.per_type[1].latency_ns.p999),
+            ]);
+        }
+        let cap = capacity_rps_at_slo(&points, slo).unwrap_or(0.0);
+        capacities.push((p.name(), cap));
+        // Short-request p99.9 latency at ~96 % load (DARC's operating
+        // point in the paper's §2 discussion).
+        let at = points
+            .iter()
+            .filter(|pt| pt.output.is_some())
+            .min_by(|a, b| {
+                (a.load - 0.96)
+                    .abs()
+                    .partial_cmp(&(b.load - 0.96).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        short_tail_at_096.push((
+            p.name(),
+            at.output.as_ref().unwrap().summary.per_type[0]
+                .latency_ns
+                .p999,
+        ));
+        println!(
+            "  {:<8} capacity @ 10x per-type slowdown: {} Mrps ({:.0}% of peak)",
+            p.name(),
+            mrps(cap),
+            100.0 * cap / peak
+        );
+    }
+    opts.write_csv("fig01_policies.csv", &csv);
+
+    let cap = |name: &str| {
+        capacities
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    };
+    let tail = |name: &str| {
+        short_tail_at_096
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0)
+    };
+
+    let mut cmp = Comparison::new();
+    cmp.row(
+        "peak load (16 workers)",
+        "5.3 Mrps",
+        format!("{} Mrps", mrps(peak)),
+        "workers / mean service",
+    );
+    cmp.row(
+        "c-FCFS capacity @ SLO",
+        "2.1 Mrps (40% peak)",
+        format!("{} Mrps", mrps(cap("c-FCFS"))),
+        "10x per-type p99.9 slowdown",
+    );
+    cmp.row(
+        "TS capacity @ SLO",
+        "3.7 Mrps (70% peak)",
+        format!("{} Mrps", mrps(cap("TS-1us"))),
+        "5us quantum, 1us overhead",
+    );
+    cmp.row(
+        "DARC capacity @ SLO",
+        "5.1 Mrps (96% peak)",
+        format!("{} Mrps", mrps(cap("DARC"))),
+        "",
+    );
+    cmp.row(
+        "DARC vs c-FCFS capacity",
+        "2.5x",
+        times(cap("DARC"), cap("c-FCFS")),
+        "",
+    );
+    cmp.row(
+        "DARC vs TS capacity",
+        "1.4x",
+        times(cap("DARC"), cap("TS-1us")),
+        "",
+    );
+    cmp.row(
+        "short p99.9 @ ~96% load: DARC",
+        "9.87 us",
+        format!("{} us", us(tail("DARC"))),
+        "",
+    );
+    cmp.row(
+        "short p99.9 @ ~96% load: c-FCFS",
+        "7738 us",
+        format!("{} us", us(tail("c-FCFS"))),
+        "3 orders of magnitude over DARC",
+    );
+    cmp.row(
+        "short p99.9 @ ~96% load: TS",
+        "161 us",
+        format!("{} us", us(tail("TS-1us"))),
+        "1 order of magnitude over DARC",
+    );
+    cmp.print("Figure 1 — paper vs measured");
+}

@@ -1,0 +1,173 @@
+//! Figure 5 (a/b): High Bimodal and Extreme Bimodal across the three
+//! systems — Shenango (d-FCFS and c-FCFS), Shinjuku (5 µs preemption,
+//! with its documented sustainable-load ceilings), and Perséphone (DARC).
+//! 14 workers, 10 µs RTT.
+//!
+//! Paper numbers reproduced:
+//! * (a) High Bimodal, 20× slowdown target: DARC sustains 2.35× and 1.3×
+//!   more than Shenango and Shinjuku; at 75 % load DARC's slowdown is
+//!   10.2× and 1.75× lower. Shinjuku's ceiling is 75 %.
+//! * (b) Extreme Bimodal, 50× target: DARC and Shinjuku sustain 1.4× more
+//!   than Shenango; Shinjuku's ceiling is 55 %; long requests always pay
+//!   ≥ 24 % preemption overhead (620 µs for 500 µs of work); DARC reserves
+//!   2 cores and idles 0.67 on average.
+//!
+//! Run: `cargo run --release -p persephone-bench --bin fig05_systems`
+
+use persephone_bench::{times, BenchOpts, Comparison};
+use persephone_core::policy::TsDiscipline;
+use persephone_core::time::Nanos;
+use persephone_sim::experiment::{
+    capacity_rps_at_slo, sweep_system, PointResult, Slo, SweepConfig, SystemSpec,
+};
+use persephone_sim::report::{krps, ratio, us, Table};
+use persephone_sim::workload::Workload;
+
+const WORKERS: usize = 14;
+// Bounded queues: the real systems shed load at saturation (paper
+// §4.3.3 flow control; Shinjuku drops packets past its ceiling).
+const QUEUE_CAP: usize = 4096;
+
+struct Scenario {
+    workload: Workload,
+    shinjuku: SystemSpec,
+    slo: Slo,
+    paper: &'static [(&'static str, &'static str)],
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let scenarios = [
+        Scenario {
+            workload: Workload::high_bimodal(),
+            shinjuku: SystemSpec::shinjuku(5, TsDiscipline::MultiQueue, 0.75),
+            slo: Slo::OverallSlowdown(20.0),
+            paper: &[
+                ("DARC vs Shenango capacity", "2.35x"),
+                ("DARC vs Shinjuku capacity", "1.3x"),
+                ("slowdown gain vs Shenango @ 75%", "10.2x"),
+                ("slowdown gain vs Shinjuku @ 75%", "1.75x"),
+            ],
+        },
+        Scenario {
+            workload: Workload::extreme_bimodal(),
+            shinjuku: SystemSpec::shinjuku(5, TsDiscipline::SingleQueue, 0.55),
+            slo: Slo::OverallSlowdown(50.0),
+            paper: &[
+                ("DARC vs Shenango capacity", "1.4x"),
+                ("DARC vs Shinjuku capacity", "1.25x"),
+                ("Shinjuku long inflation @ low load", ">= 1.24x"),
+            ],
+        },
+    ];
+
+    let mut csv = Table::new(vec![
+        "workload",
+        "system",
+        "load",
+        "offered_krps",
+        "slowdown_p999",
+        "short_latency_p999_us",
+        "long_latency_p999_us",
+    ]);
+
+    for sc in scenarios {
+        let peak = sc.workload.peak_rate(WORKERS);
+        println!(
+            "\n# Figure 5 — {} across systems (peak {} kRPS)",
+            sc.workload.name,
+            krps(peak)
+        );
+        let loads: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+        let cfg = SweepConfig {
+            seed: opts.seed,
+            rtt: Nanos::from_micros(10),
+            darc_min_samples: if opts.quick { 2_000 } else { 20_000 },
+            queue_capacity: QUEUE_CAP,
+            ..SweepConfig::new(sc.workload.clone(), WORKERS, loads, opts.duration(1500))
+        };
+        let systems = vec![
+            SystemSpec::shenango_dfcfs(),
+            SystemSpec::shenango_cfcfs(),
+            sc.shinjuku.clone(),
+            SystemSpec::persephone(),
+        ];
+        let mut swept: Vec<(String, Vec<PointResult>)> = Vec::new();
+        for sys in &systems {
+            let points = sweep_system(sys, &cfg);
+            for pt in &points {
+                let Some(out) = &pt.output else { continue };
+                csv.push(vec![
+                    sc.workload.name.clone(),
+                    sys.name.clone(),
+                    format!("{:.2}", pt.load),
+                    krps(pt.offered_rps),
+                    ratio(out.summary.overall_slowdown.p999),
+                    us(out.summary.per_type[0].latency_ns.p999),
+                    us(out.summary.per_type[1].latency_ns.p999),
+                ]);
+            }
+            let cap = capacity_rps_at_slo(&points, sc.slo).unwrap_or(0.0);
+            println!(
+                "  {:<16} capacity @ SLO = {} kRPS ({:.0}% of peak)",
+                sys.name,
+                krps(cap),
+                100.0 * cap / peak
+            );
+            swept.push((sys.name.clone(), points));
+        }
+
+        let cap = |name: &str| {
+            let pts = &swept.iter().find(|(n, _)| n == name).unwrap().1;
+            capacity_rps_at_slo(pts, sc.slo).unwrap_or(0.0)
+        };
+        let slowdown_at = |name: &str, load: f64| -> f64 {
+            let pts = &swept.iter().find(|(n, _)| n == name).unwrap().1;
+            pts.iter()
+                .filter(|p| p.output.is_some())
+                .min_by(|a, b| {
+                    (a.load - load)
+                        .abs()
+                        .partial_cmp(&(b.load - load).abs())
+                        .unwrap()
+                })
+                .and_then(|p| p.output.as_ref())
+                .map(|o| o.summary.overall_slowdown.p999)
+                .unwrap_or(f64::NAN)
+        };
+
+        let mut cmp = Comparison::new();
+        for (metric, paper_val) in sc.paper {
+            let measured = match *metric {
+                "DARC vs Shenango capacity" => times(cap("Persephone"), cap("Shenango")),
+                "DARC vs Shinjuku capacity" => times(cap("Persephone"), cap("Shinjuku")),
+                "slowdown gain vs Shenango @ 75%" => times(
+                    slowdown_at("Shenango", 0.75),
+                    slowdown_at("Persephone", 0.75),
+                ),
+                "slowdown gain vs Shinjuku @ 75%" => times(
+                    slowdown_at("Shinjuku", 0.75),
+                    slowdown_at("Persephone", 0.75),
+                ),
+                "Shinjuku long inflation @ low load" => {
+                    let pts = &swept.iter().find(|(n, _)| n == "Shinjuku").unwrap().1;
+                    let low = pts
+                        .iter()
+                        .find(|p| p.output.is_some())
+                        .and_then(|p| p.output.as_ref())
+                        .map(|o| o.summary.per_type[1].latency_ns.p50)
+                        .unwrap_or(f64::NAN);
+                    // 500 µs of work plus the 10 µs RTT.
+                    format!("{:.2}x", low / 510_000.0)
+                }
+                _ => "?".into(),
+            };
+            cmp.row(*metric, *paper_val, measured, "");
+        }
+        cmp.print(&format!(
+            "Figure 5 ({}) — paper vs measured",
+            sc.workload.name
+        ));
+    }
+    opts.write_csv("fig05_systems.csv", &csv);
+}

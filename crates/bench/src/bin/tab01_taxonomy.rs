@@ -1,0 +1,62 @@
+//! Tables 1 and 5: the scheduling-policy taxonomy.
+//!
+//! Prints the property matrix of every policy implemented in this
+//! reproduction, as encoded in `persephone_core::policy::PolicyTraits`,
+//! and checks it against the paper's rows.
+//!
+//! Run: `cargo run --release -p persephone-bench --bin tab01_taxonomy`
+
+use persephone_bench::BenchOpts;
+use persephone_core::policy::{Policy, TimeSharingParams};
+use persephone_sim::report::Table;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let policies = vec![
+        (Policy::DFcfs, "IX, Arrakis, Shenango (no stealing)"),
+        (Policy::CFcfs, "ZygOS, Shenango"),
+        (Policy::FixedPriority, "classic RTOS priority"),
+        (Policy::Sjf, "oracle baseline"),
+        (
+            Policy::TimeSharing(TimeSharingParams::shinjuku_fig1()),
+            "Shinjuku",
+        ),
+        (Policy::DarcStatic { reserved_short: 1 }, "paper §5.3"),
+        (Policy::Darc, "Persephone"),
+    ];
+
+    let mut t = Table::new(vec![
+        "policy",
+        "app aware",
+        "non preemptive",
+        "non work conserving",
+        "prevents HOL blocking",
+        "example system",
+    ]);
+    let tick = |b: bool| if b { "yes" } else { "no" }.to_string();
+    for (p, example) in &policies {
+        let tr = p.traits();
+        t.push(vec![
+            p.name(),
+            tick(tr.app_aware),
+            tick(tr.non_preemptive),
+            tick(tr.non_work_conserving),
+            tick(tr.prevents_hol_blocking),
+            example.to_string(),
+        ]);
+    }
+    println!("# Tables 1 & 5 — policy taxonomy\n");
+    print!("{}", t.to_markdown());
+    opts.write_csv("tab01_taxonomy.csv", &t);
+
+    // Verify the Table 1 rows the paper states explicitly.
+    let darc = Policy::Darc.traits();
+    assert!(darc.app_aware && darc.non_preemptive && darc.non_work_conserving);
+    let cfcfs = Policy::CFcfs.traits();
+    assert!(!cfcfs.app_aware && cfcfs.non_preemptive && !cfcfs.non_work_conserving);
+    let ts = Policy::TimeSharing(TimeSharingParams::shinjuku_fig1()).traits();
+    assert!(ts.app_aware && !ts.non_preemptive && !ts.non_work_conserving);
+    let dfcfs = Policy::DFcfs.traits();
+    assert!(!dfcfs.app_aware && dfcfs.non_preemptive && dfcfs.non_work_conserving);
+    println!("\nall Table 1 property rows verified against the paper");
+}

@@ -1,0 +1,177 @@
+//! # persephone-bench — figure and table regeneration harness
+//!
+//! One binary per table/figure of the paper's evaluation (see
+//! `src/bin/`): each runs the relevant simulation sweep, prints a
+//! markdown table of **paper value vs measured value**, and writes the
+//! raw series as CSV under `target/experiments/`.
+//!
+//! Shared infrastructure lives here: CLI options (`--quick` for CI-speed
+//! runs, `--out <dir>`, `--seed <n>`), and the comparison-table helper.
+//!
+//! Criterion microbenches (`benches/`) cover the paper's §4.3.2/§4.3.3
+//! cost claims: SPSC channel ops, classifier cost, profiler update,
+//! update check, and reservation computation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+
+use persephone_core::time::Nanos;
+use persephone_sim::report::Table;
+
+/// Command-line options shared by every figure binary.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Shrink simulated durations ~10× (CI / smoke runs).
+    pub quick: bool,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            quick: false,
+            out_dir: PathBuf::from("target/experiments"),
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parses `--quick`, `--out <dir>`, `--seed <n>` from `std::env::args`.
+    ///
+    /// Unknown flags abort with a usage message (better than silently
+    /// ignoring a typoed option on a long experiment).
+    pub fn from_args() -> Self {
+        let mut opts = BenchOpts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--out" => {
+                    let dir = args.next().unwrap_or_else(|| usage("--out needs a value"));
+                    opts.out_dir = PathBuf::from(dir);
+                }
+                "--seed" => {
+                    let s = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    opts.seed = s.parse().unwrap_or_else(|_| usage("--seed needs a number"));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        opts
+    }
+
+    /// Scales a default simulated duration: `--quick` divides by 10.
+    pub fn duration(&self, default_ms: u64) -> Nanos {
+        if self.quick {
+            Nanos::from_millis((default_ms / 10).max(20))
+        } else {
+            Nanos::from_millis(default_ms)
+        }
+    }
+
+    /// Writes `table` as CSV into the output directory and echoes the path.
+    pub fn write_csv(&self, name: &str, table: &Table) {
+        let path: PathBuf = self.out_dir.join(name);
+        match table.write_csv(Path::new(&path)) {
+            Ok(()) => println!("[csv] {}", path.display()),
+            Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <figure-bin> [--quick] [--out <dir>] [--seed <n>]");
+    std::process::exit(2)
+}
+
+/// A "paper vs measured" comparison accumulated by a figure binary.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    rows: Vec<(String, String, String, String)>,
+}
+
+impl Comparison {
+    /// Creates an empty comparison.
+    pub fn new() -> Self {
+        Comparison::default()
+    }
+
+    /// Adds a row: metric name, the paper's value, our measured value,
+    /// and a free-form note.
+    pub fn row(
+        &mut self,
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        note: impl Into<String>,
+    ) {
+        self.rows
+            .push((metric.into(), paper.into(), measured.into(), note.into()));
+    }
+
+    /// Renders the comparison as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut t = Table::new(vec!["metric", "paper", "measured", "note"]);
+        for (m, p, me, n) in &self.rows {
+            t.push(vec![m.clone(), p.clone(), me.clone(), n.clone()]);
+        }
+        t.to_markdown()
+    }
+
+    /// Prints the table with a heading.
+    pub fn print(&self, heading: &str) {
+        println!("\n## {heading}\n");
+        print!("{}", self.to_markdown());
+    }
+}
+
+/// Formats an "N.NNx" ratio cell, guarding against zero denominators.
+pub fn times(n: f64, d: f64) -> String {
+    if d <= 0.0 {
+        "n/a".into()
+    } else {
+        format!("{:.2}x", n / d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_scaling() {
+        let full = BenchOpts::default();
+        assert_eq!(full.duration(1000), Nanos::from_millis(1000));
+        let quick = BenchOpts {
+            quick: true,
+            ..Default::default()
+        };
+        assert_eq!(quick.duration(1000), Nanos::from_millis(100));
+        assert_eq!(quick.duration(50), Nanos::from_millis(20), "floor at 20 ms");
+    }
+
+    #[test]
+    fn comparison_renders_markdown() {
+        let mut c = Comparison::new();
+        c.row("capacity", "5.1 Mrps", "5.0 Mrps", "within 2%");
+        let md = c.to_markdown();
+        assert!(md.contains("| capacity"));
+        assert!(md.contains("5.1 Mrps"));
+    }
+
+    #[test]
+    fn times_formats_and_guards() {
+        assert_eq!(times(4.0, 2.0), "2.00x");
+        assert_eq!(times(1.0, 0.0), "n/a");
+    }
+}

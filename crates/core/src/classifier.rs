@@ -1,0 +1,248 @@
+//! Request classifiers (paper §4.2).
+//!
+//! A classifier is a user-defined function mapping an application payload
+//! (layer 4 and above) to a [`TypeId`]. Classifiers sit "bump-in-the-wire"
+//! on the dispatch critical path, so implementations should be cheap; the
+//! paper reports ≈100 ns for header-based classifiers.
+
+use crate::types::TypeId;
+
+/// Maps an application payload to a request type.
+///
+/// Returning [`TypeId::UNKNOWN`] routes the request to the low-priority
+/// UNKNOWN queue, serviced on spillway cores.
+///
+/// # Examples
+///
+/// ```
+/// use persephone_core::classifier::{Classifier, HeaderClassifier};
+/// use persephone_core::types::TypeId;
+///
+/// // Type id stored little-endian in bytes 4..8 of the payload, two types.
+/// let mut c = HeaderClassifier::new(4, 2);
+/// let mut msg = vec![0u8; 16];
+/// msg[4..8].copy_from_slice(&1u32.to_le_bytes());
+/// assert_eq!(c.classify(&msg), TypeId::new(1));
+/// assert_eq!(c.classify(&[0u8; 2]), TypeId::UNKNOWN); // Too short.
+/// ```
+pub trait Classifier: Send {
+    /// Classifies a single request payload.
+    fn classify(&mut self, payload: &[u8]) -> TypeId;
+}
+
+/// Classifier reading a little-endian `u32` type id at a fixed offset.
+///
+/// This models the common case of protocols that carry the request type in
+/// a header field (Memcached opcodes, Redis RESP commands, protobuf message
+/// types — paper §1). Payloads too short for the field, or carrying an id
+/// outside the registered range, classify as UNKNOWN.
+#[derive(Clone, Debug)]
+pub struct HeaderClassifier {
+    offset: usize,
+    num_types: u32,
+}
+
+impl HeaderClassifier {
+    /// Creates a classifier reading at byte `offset` with `num_types`
+    /// registered types (valid ids are `0..num_types`).
+    pub fn new(offset: usize, num_types: u32) -> Self {
+        HeaderClassifier { offset, num_types }
+    }
+}
+
+impl Classifier for HeaderClassifier {
+    #[inline]
+    fn classify(&mut self, payload: &[u8]) -> TypeId {
+        let end = match self.offset.checked_add(4) {
+            Some(e) => e,
+            None => return TypeId::UNKNOWN,
+        };
+        if payload.len() < end {
+            return TypeId::UNKNOWN;
+        }
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&payload[self.offset..end]);
+        let id = u32::from_le_bytes(raw);
+        if id < self.num_types {
+            TypeId::new(id)
+        } else {
+            TypeId::UNKNOWN
+        }
+    }
+}
+
+/// Classifier wrapping an arbitrary closure.
+///
+/// The escape hatch for applications whose protocols need real parsing;
+/// the paper allows "arbitrarily complex classifiers" at a documented
+/// throughput trade-off.
+pub struct FnClassifier<F> {
+    f: F,
+}
+
+impl<F> FnClassifier<F>
+where
+    F: FnMut(&[u8]) -> TypeId + Send,
+{
+    /// Wraps `f` as a classifier.
+    pub fn new(f: F) -> Self {
+        FnClassifier { f }
+    }
+}
+
+impl<F> Classifier for FnClassifier<F>
+where
+    F: FnMut(&[u8]) -> TypeId + Send,
+{
+    #[inline]
+    fn classify(&mut self, payload: &[u8]) -> TypeId {
+        (self.f)(payload)
+    }
+}
+
+/// Classifier returning the same type for every request.
+///
+/// With a single type, DARC degenerates to c-FCFS; useful as a baseline
+/// and in tests.
+#[derive(Clone, Debug)]
+pub struct FixedClassifier {
+    ty: TypeId,
+}
+
+impl FixedClassifier {
+    /// Creates a classifier that always returns `ty`.
+    pub fn new(ty: TypeId) -> Self {
+        FixedClassifier { ty }
+    }
+}
+
+impl Classifier for FixedClassifier {
+    #[inline]
+    fn classify(&mut self, _payload: &[u8]) -> TypeId {
+        self.ty
+    }
+}
+
+/// A deliberately broken classifier assigning types uniformly at random.
+///
+/// Reproduces the paper's §5.6 experiment (Figure 9): with a random
+/// classifier every typed queue holds an even mix of all types, and DARC's
+/// behaviour converges to c-FCFS.
+#[derive(Clone, Debug)]
+pub struct RandomClassifier {
+    num_types: u32,
+    state: u64,
+}
+
+impl RandomClassifier {
+    /// Creates a random classifier over `num_types` types with a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_types` is zero.
+    pub fn new(num_types: u32, seed: u64) -> Self {
+        assert!(num_types > 0, "RandomClassifier needs at least one type");
+        RandomClassifier {
+            num_types,
+            // Splitmix-style seed scrambling so seed 0 is usable.
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // Splitmix64: tiny, fast, and statistically fine for load spreading.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Classifier for RandomClassifier {
+    #[inline]
+    fn classify(&mut self, _payload: &[u8]) -> TypeId {
+        TypeId::new((self.next_u64() % self.num_types as u64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_classifier_reads_offset() {
+        let mut c = HeaderClassifier::new(0, 8);
+        let msg = 5u32.to_le_bytes();
+        assert_eq!(c.classify(&msg), TypeId::new(5));
+    }
+
+    #[test]
+    fn header_classifier_rejects_short_payloads() {
+        let mut c = HeaderClassifier::new(8, 4);
+        assert_eq!(c.classify(&[0u8; 11]), TypeId::UNKNOWN);
+        assert_eq!(c.classify(&[]), TypeId::UNKNOWN);
+    }
+
+    #[test]
+    fn header_classifier_rejects_out_of_range_ids() {
+        let mut c = HeaderClassifier::new(0, 2);
+        let msg = 7u32.to_le_bytes();
+        assert_eq!(c.classify(&msg), TypeId::UNKNOWN);
+    }
+
+    #[test]
+    fn header_classifier_offset_overflow_is_unknown() {
+        let mut c = HeaderClassifier::new(usize::MAX - 1, 2);
+        assert_eq!(c.classify(&[0u8; 32]), TypeId::UNKNOWN);
+    }
+
+    #[test]
+    fn fn_classifier_calls_closure() {
+        let mut c = FnClassifier::new(|p: &[u8]| {
+            if p.first() == Some(&b'G') {
+                TypeId::new(0)
+            } else {
+                TypeId::new(1)
+            }
+        });
+        assert_eq!(c.classify(b"GET k"), TypeId::new(0));
+        assert_eq!(c.classify(b"SCAN a z"), TypeId::new(1));
+    }
+
+    #[test]
+    fn fixed_classifier_is_constant() {
+        let mut c = FixedClassifier::new(TypeId::new(3));
+        assert_eq!(c.classify(b"anything"), TypeId::new(3));
+        assert_eq!(c.classify(b""), TypeId::new(3));
+    }
+
+    #[test]
+    fn random_classifier_covers_all_types_roughly_evenly() {
+        let mut c = RandomClassifier::new(4, 42);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[c.classify(b"x").index()] += 1;
+        }
+        for &n in &counts {
+            // Each of 4 types should get ~10k hits; allow ±15 %.
+            assert!((8_500..11_500).contains(&n), "skewed counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn random_classifier_is_deterministic_per_seed() {
+        let mut a = RandomClassifier::new(8, 7);
+        let mut b = RandomClassifier::new(8, 7);
+        for _ in 0..100 {
+            assert_eq!(a.classify(b""), b.classify(b""));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one type")]
+    fn random_classifier_rejects_zero_types() {
+        let _ = RandomClassifier::new(0, 1);
+    }
+}

@@ -1,0 +1,896 @@
+//! The DARC dispatch engine (paper §3 Algorithm 1, §4.3.3).
+//!
+//! [`DarcEngine`] is the dispatcher's scheduling brain, shared verbatim by
+//! the discrete-event simulator and the threaded runtime. It owns the
+//! typed queues, the free-worker list, the workload profiler, and the
+//! current worker reservation, and implements:
+//!
+//! * **Algorithm 1** — walk typed queues in ascending profiled service
+//!   time; dispatch the head of the first non-empty queue onto a free
+//!   reserved worker, else onto a free *stealable* worker (a core reserved
+//!   for a longer group); spillway cores serve ungrouped and UNKNOWN
+//!   requests last.
+//! * **c-FCFS warm-up** — before the first profiling window completes the
+//!   engine dispatches in strict global arrival order.
+//! * **Reservation updates** — when the profiler reports a full window, a
+//!   deviated demand vector, and an SLO-violating queueing delay, the
+//!   engine commits the window and installs a fresh reservation.
+//! * **Flow control** — arrivals to a full typed queue are rejected back
+//!   to the caller (dropped), shedding load only for the overloaded type.
+
+use crate::profile::{Profiler, ProfilerConfig};
+use crate::queue::TypedQueue;
+use crate::reserve::{reserve, Reservation, ReserveConfig};
+use crate::time::Nanos;
+use crate::types::{TypeId, WorkerId};
+
+/// How the engine schedules.
+#[derive(Clone, Debug)]
+pub enum EngineMode {
+    /// Full DARC: c-FCFS warm-up, then profiled dynamic reservations.
+    Dynamic,
+    /// A fixed, caller-provided reservation ("DARC-static", paper §5.3);
+    /// the profiler observes but never updates.
+    Static(Reservation),
+    /// Centralized FCFS over a single logical queue (baseline).
+    CFcfs,
+}
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of application workers.
+    pub num_workers: usize,
+    /// Reservation parameters (δ, spillway count).
+    pub reserve: ReserveConfig,
+    /// Profiler parameters (window size, triggers).
+    pub profiler: ProfilerConfig,
+    /// Per-type queue capacity; `0` = unbounded.
+    pub queue_capacity: usize,
+    /// Scheduling mode.
+    pub mode: EngineMode,
+}
+
+impl EngineConfig {
+    /// A dynamic-DARC config with paper defaults for `num_workers` workers.
+    pub fn darc(num_workers: usize) -> Self {
+        EngineConfig {
+            num_workers,
+            reserve: ReserveConfig::new(num_workers),
+            profiler: ProfilerConfig::default(),
+            queue_capacity: 0,
+            mode: EngineMode::Dynamic,
+        }
+    }
+
+    /// A centralized-FCFS config for `num_workers` workers.
+    pub fn cfcfs(num_workers: usize) -> Self {
+        EngineConfig {
+            mode: EngineMode::CFcfs,
+            ..EngineConfig::darc(num_workers)
+        }
+    }
+}
+
+/// One dispatch decision returned by [`DarcEngine::poll`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dispatch<R> {
+    /// The worker the request must run on.
+    pub worker: WorkerId,
+    /// The request's type (possibly UNKNOWN).
+    pub ty: TypeId,
+    /// The opaque request payload.
+    pub req: R,
+    /// Time the request waited in its typed queue.
+    pub queued_for: Nanos,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Gathering the first profiling window, dispatching c-FCFS.
+    Warmup,
+    /// DARC with dynamic reservation updates.
+    Darc,
+    /// DARC with a frozen reservation.
+    Frozen,
+    /// Plain centralized FCFS forever.
+    CFcfs,
+}
+
+/// The DARC scheduling engine.
+///
+/// `R` is the opaque request representation: a buffer pointer in the
+/// runtime, a small token in the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use persephone_core::dispatch::{DarcEngine, EngineConfig};
+/// use persephone_core::time::Nanos;
+/// use persephone_core::types::TypeId;
+///
+/// // Two types, two workers, trivially small profiling window.
+/// let mut cfg = EngineConfig::darc(2);
+/// cfg.profiler.min_samples = 2;
+/// let mut eng: DarcEngine<u64> = DarcEngine::new(cfg, 2, &[None, None]);
+///
+/// let now = Nanos::from_micros(1);
+/// eng.enqueue(TypeId::new(0), 7, now).unwrap();
+/// let d = eng.poll(now).expect("a free worker exists");
+/// assert_eq!(d.req, 7);
+/// eng.complete(d.worker, Nanos::from_micros(1), now + Nanos::from_micros(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DarcEngine<R> {
+    queues: Vec<TypedQueue<R>>,
+    unknown: TypedQueue<R>,
+    seq: u64,
+    worker_busy: Vec<Option<TypeId>>,
+    free_count: usize,
+    reservation: Reservation,
+    profiler: Profiler,
+    phase: Phase,
+    /// Dispatch order over grouped types (ascending service time).
+    priority: Vec<TypeId>,
+    /// Types outside every group: serviced on spillway cores only.
+    spill_types: Vec<TypeId>,
+    reserve_cfg: ReserveConfig,
+    updates: u64,
+    num_types: usize,
+}
+
+impl<R> DarcEngine<R> {
+    /// Creates an engine for `num_types` request types.
+    ///
+    /// `hints[i]` optionally seeds type `i`'s service-time estimate; with
+    /// hints for every type, [`EngineMode::Dynamic`] skips the c-FCFS
+    /// warm-up and installs a hint-based reservation immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_workers == 0` or `hints.len() != num_types`.
+    pub fn new(cfg: EngineConfig, num_types: usize, hints: &[Option<Nanos>]) -> Self {
+        assert!(cfg.num_workers > 0, "need at least one worker");
+        let profiler = Profiler::new(cfg.profiler.clone(), num_types, hints);
+        let queues = (0..num_types)
+            .map(|_| TypedQueue::new(cfg.queue_capacity))
+            .collect();
+        let unknown = TypedQueue::new(cfg.queue_capacity);
+        let mut eng = DarcEngine {
+            queues,
+            unknown,
+            seq: 0,
+            worker_busy: (0..cfg.num_workers).map(|_| None).collect(),
+            free_count: cfg.num_workers,
+            reservation: Reservation::all_shared(num_types, cfg.num_workers),
+            profiler,
+            phase: Phase::CFcfs,
+            priority: Vec::new(),
+            spill_types: Vec::new(),
+            reserve_cfg: cfg.reserve,
+            updates: 0,
+            num_types,
+        };
+        match cfg.mode {
+            EngineMode::CFcfs => {
+                eng.phase = Phase::CFcfs;
+            }
+            EngineMode::Static(res) => {
+                eng.install(res);
+                eng.phase = Phase::Frozen;
+            }
+            EngineMode::Dynamic => {
+                if hints.iter().all(|h| h.is_some()) && num_types > 0 {
+                    // Fully hinted: reserve immediately from the hints.
+                    let stats = eng.profiler.commit_window();
+                    let res = reserve(&stats, &eng.reserve_cfg);
+                    eng.install(res);
+                    eng.phase = Phase::Darc;
+                } else {
+                    eng.phase = Phase::Warmup;
+                }
+            }
+        }
+        eng
+    }
+
+    /// Number of application workers.
+    pub fn num_workers(&self) -> usize {
+        self.worker_busy.len()
+    }
+
+    /// Number of registered request types (excluding UNKNOWN).
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// The active reservation.
+    pub fn reservation(&self) -> &Reservation {
+        &self.reservation
+    }
+
+    /// The workload profiler (read-only view).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Reservation updates installed since start (warm-up exit included).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Whether the engine is still in its c-FCFS warm-up window.
+    pub fn in_warmup(&self) -> bool {
+        self.phase == Phase::Warmup
+    }
+
+    /// Workers currently idle.
+    pub fn free_workers(&self) -> usize {
+        self.free_count
+    }
+
+    /// Queued requests of type `ty` (UNKNOWN supported).
+    pub fn pending(&self, ty: TypeId) -> usize {
+        if ty.is_unknown() {
+            self.unknown.len()
+        } else {
+            self.queues.get(ty.index()).map(|q| q.len()).unwrap_or(0)
+        }
+    }
+
+    /// Total queued requests across all types.
+    pub fn total_pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum::<usize>() + self.unknown.len()
+    }
+
+    /// Requests dropped by flow control for type `ty`.
+    pub fn drops(&self, ty: TypeId) -> u64 {
+        if ty.is_unknown() {
+            self.unknown.drops()
+        } else {
+            self.queues.get(ty.index()).map(|q| q.drops()).unwrap_or(0)
+        }
+    }
+
+    /// Total drops across all typed queues.
+    pub fn total_drops(&self) -> u64 {
+        self.queues.iter().map(|q| q.drops()).sum::<u64>() + self.unknown.drops()
+    }
+
+    /// Number of workers currently *guaranteed* (reserved) for `ty`'s
+    /// group — the quantity plotted in the paper's Figure 7 bottom row.
+    pub fn guaranteed_workers(&self, ty: TypeId) -> usize {
+        match self.reservation.group_of(ty) {
+            Some(g) => self.reservation.groups[g].reserved.len(),
+            None => 0,
+        }
+    }
+
+    /// Resizes the worker pool (paper §6: "DARC can cooperate with an
+    /// allocator to obtain and release cores, adapting to load changes and
+    /// updating reservations during such events").
+    ///
+    /// Growing takes effect immediately; shrinking requires the workers
+    /// being surrendered (the highest-indexed ones) to be idle — the
+    /// caller drains them first. A dynamic engine recomputes its
+    /// reservation for the new width right away; a frozen or c-FCFS
+    /// engine keeps its policy but gains/loses the raw cores.
+    ///
+    /// Returns `Err(())` without changes when shrinking would drop a busy
+    /// worker or `new_workers` is zero.
+    pub fn resize(&mut self, new_workers: usize) -> Result<(), ()> {
+        if new_workers == 0 {
+            return Err(());
+        }
+        let old = self.worker_busy.len();
+        if new_workers < old && self.worker_busy[new_workers..].iter().any(|b| b.is_some()) {
+            return Err(());
+        }
+        self.worker_busy.resize(new_workers, None);
+        self.free_count = self.worker_busy.iter().filter(|b| b.is_none()).count();
+        self.reserve_cfg.num_workers = new_workers;
+        match self.phase {
+            Phase::Darc => {
+                // Reserve from the current estimates for the new width.
+                let stats = self.profiler.estimates();
+                let res = reserve(&stats, &self.reserve_cfg);
+                self.install(res);
+            }
+            Phase::Warmup | Phase::CFcfs => {
+                self.reservation = Reservation::all_shared(self.num_types, new_workers);
+            }
+            Phase::Frozen => {
+                // A manual reservation cannot be rescaled meaningfully;
+                // rebuild the shared layout and let the caller install a
+                // new static reservation if desired.
+                self.reservation = Reservation::all_shared(self.num_types, new_workers);
+                self.priority = self.reservation.priority_order().collect();
+                self.spill_types.clear();
+            }
+        }
+        Ok(())
+    }
+
+    /// Enqueues a classified request; returns it back when the typed queue
+    /// is full (the caller should count/drop it).
+    ///
+    /// Types out of the registered range are treated as UNKNOWN.
+    pub fn enqueue(&mut self, ty: TypeId, req: R, now: Nanos) -> Result<(), R> {
+        // Occurrence ratios are profiled at *arrival*: completion-based
+        // ratios are biased low for a type whose queue is backed up, which
+        // would make an under-provisioned allocation look self-consistent.
+        self.profiler.record_arrival(ty);
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = if !ty.is_unknown() && ty.index() < self.queues.len() {
+            &mut self.queues[ty.index()]
+        } else {
+            &mut self.unknown
+        };
+        slot.push(req, now, seq)
+    }
+
+    /// Returns the next dispatch decision, or `None` when no request can
+    /// be placed (no pending work, or no eligible free worker).
+    ///
+    /// Call in a loop after every enqueue/complete until it returns `None`.
+    pub fn poll(&mut self, now: Nanos) -> Option<Dispatch<R>> {
+        if self.free_count == 0 {
+            return None;
+        }
+        match self.phase {
+            Phase::Warmup | Phase::CFcfs => self.poll_fcfs(now),
+            Phase::Darc | Phase::Frozen => self.poll_darc(now),
+        }
+    }
+
+    /// Signals that `worker` finished its request, observed to run for
+    /// `service`. Frees the worker, feeds the profiler, and (in dynamic
+    /// mode) installs a new reservation when the update triggers fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` was not busy — that is a dispatcher/worker
+    /// protocol violation, not a recoverable condition.
+    pub fn complete(&mut self, worker: WorkerId, service: Nanos, _now: Nanos) {
+        let slot = self
+            .worker_busy
+            .get_mut(worker.index())
+            .expect("worker id out of range");
+        let ty = slot.take().expect("completion from an idle worker");
+        self.free_count += 1;
+        self.profiler.record_completion(ty, service);
+        self.maybe_update();
+    }
+
+    /// Forces a reservation recomputation from the current window (used by
+    /// tests and by operators; normal updates happen inside `complete`).
+    pub fn force_update(&mut self) {
+        if matches!(self.phase, Phase::Darc | Phase::Warmup) {
+            self.commit_and_install();
+            self.phase = Phase::Darc;
+        }
+    }
+
+    fn maybe_update(&mut self) {
+        match self.phase {
+            Phase::Warmup => {
+                if self.profiler.window_full() {
+                    self.commit_and_install();
+                    self.phase = Phase::Darc;
+                }
+            }
+            Phase::Darc => {
+                // Paper §4.3.3: update when the window is full, some
+                // request saw SLO-violating queueing delay, and the CPU
+                // demand deviates from the *current allocation* — either
+                // the demand vector moved, or rounding the live demand
+                // would grant different core counts than installed.
+                if self.profiler.window_full()
+                    && self.profiler.delay_signalled()
+                    && (self.profiler.demand_deviated() || self.allocation_stale())
+                {
+                    self.commit_and_install();
+                }
+            }
+            Phase::Frozen | Phase::CFcfs => {}
+        }
+    }
+
+    /// Whether recomputing Algorithm 2 on the live window would grant any
+    /// group a different number of reserved cores than it currently holds,
+    /// or an ungrouped (previously vanished) type now carries real demand.
+    fn allocation_stale(&self) -> bool {
+        let demands = self.profiler.demands();
+        let w = self.num_workers() as f64;
+        for g in &self.reservation.groups {
+            let d: f64 = g
+                .types
+                .iter()
+                .filter(|t| t.index() < demands.len())
+                .map(|t| demands[t.index()])
+                .sum();
+            let want = ((d * w).round() as usize).max(1);
+            if want != g.reserved.len() {
+                return true;
+            }
+        }
+        demands.iter().enumerate().any(|(i, d)| {
+            self.reservation.group_of(TypeId::new(i as u32)).is_none() && *d * w >= 0.5
+        })
+    }
+
+    fn commit_and_install(&mut self) {
+        let stats = self.profiler.commit_window();
+        let res = reserve(&stats, &self.reserve_cfg);
+        self.install(res);
+    }
+
+    fn install(&mut self, res: Reservation) {
+        self.priority = res.priority_order().collect();
+        let mut grouped = vec![false; self.num_types];
+        for t in &self.priority {
+            if t.index() < grouped.len() {
+                grouped[t.index()] = true;
+            }
+        }
+        self.spill_types = (0..self.num_types)
+            .map(|i| TypeId::new(i as u32))
+            .filter(|t| !grouped[t.index()])
+            .collect();
+        self.reservation = res;
+        self.updates += 1;
+    }
+
+    /// Centralized FCFS: dispatch the globally oldest pending request to
+    /// any free worker.
+    fn poll_fcfs(&mut self, now: Nanos) -> Option<Dispatch<R>> {
+        let worker = self.any_free_worker()?;
+        // Find the queue whose head has the smallest sequence number.
+        let mut best: Option<(u64, usize)> = None; // (seq, queue index; num_types = UNKNOWN)
+        for (i, q) in self.queues.iter().enumerate() {
+            if let Some(e) = q.front() {
+                if best.map(|(s, _)| e.seq < s).unwrap_or(true) {
+                    best = Some((e.seq, i));
+                }
+            }
+        }
+        if let Some(e) = self.unknown.front() {
+            if best.map(|(s, _)| e.seq < s).unwrap_or(true) {
+                best = Some((e.seq, self.num_types));
+            }
+        }
+        let (_, qi) = best?;
+        let (ty, entry) = if qi == self.num_types {
+            (TypeId::UNKNOWN, self.unknown.pop().unwrap())
+        } else {
+            (TypeId::new(qi as u32), self.queues[qi].pop().unwrap())
+        };
+        Some(self.assign(worker, ty, entry, now))
+    }
+
+    /// Algorithm 1: walk grouped types in ascending service-time order,
+    /// then spillway-only types, dispatching heads onto free reserved or
+    /// stealable workers.
+    fn poll_darc(&mut self, now: Nanos) -> Option<Dispatch<R>> {
+        for pi in 0..self.priority.len() {
+            let ty = self.priority[pi];
+            if self.queues[ty.index()].is_empty() {
+                continue;
+            }
+            let gi = match self.reservation.group_of(ty) {
+                Some(g) => g,
+                None => continue,
+            };
+            if let Some(worker) = self.free_in_group(gi) {
+                let entry = self.queues[ty.index()].pop().unwrap();
+                return Some(self.assign(worker, ty, entry, now));
+            }
+        }
+        // Ungrouped types and UNKNOWN run on spillway cores, lowest priority.
+        for si in 0..self.spill_types.len() {
+            let ty = self.spill_types[si];
+            if self.queues[ty.index()].is_empty() {
+                continue;
+            }
+            if let Some(worker) = self.free_spillway() {
+                let entry = self.queues[ty.index()].pop().unwrap();
+                return Some(self.assign(worker, ty, entry, now));
+            }
+        }
+        if !self.unknown.is_empty() {
+            if let Some(worker) = self.free_spillway() {
+                let entry = self.unknown.pop().unwrap();
+                return Some(self.assign(worker, TypeId::UNKNOWN, entry, now));
+            }
+        }
+        None
+    }
+
+    fn free_in_group(&self, gi: usize) -> Option<WorkerId> {
+        self.reservation.groups[gi]
+            .candidate_workers()
+            .find(|w| self.worker_busy[w.index()].is_none())
+    }
+
+    fn free_spillway(&self) -> Option<WorkerId> {
+        self.reservation
+            .spillway
+            .iter()
+            .copied()
+            .find(|w| self.worker_busy[w.index()].is_none())
+    }
+
+    fn any_free_worker(&self) -> Option<WorkerId> {
+        self.worker_busy
+            .iter()
+            .position(|b| b.is_none())
+            .map(|i| WorkerId::new(i as u32))
+    }
+
+    fn assign(
+        &mut self,
+        worker: WorkerId,
+        ty: TypeId,
+        entry: crate::queue::Entry<R>,
+        now: Nanos,
+    ) -> Dispatch<R> {
+        debug_assert!(self.worker_busy[worker.index()].is_none());
+        self.worker_busy[worker.index()] = Some(ty);
+        self.free_count -= 1;
+        let queued_for = now.saturating_sub(entry.enqueued);
+        self.profiler.record_dispatch_delay(ty, queued_for);
+        Dispatch {
+            worker,
+            ty,
+            req: entry.req,
+            queued_for,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(n: u64) -> Nanos {
+        Nanos::from_micros(n)
+    }
+
+    fn hinted_engine(workers: usize) -> DarcEngine<u32> {
+        // Type 0: short 1 µs at 50 %; type 1: long 100 µs at 50 %.
+        let cfg = EngineConfig::darc(workers);
+        DarcEngine::new(cfg, 2, &[Some(micros(1)), Some(micros(100))])
+    }
+
+    #[test]
+    fn hinted_dynamic_engine_skips_warmup() {
+        let eng = hinted_engine(4);
+        assert!(!eng.in_warmup());
+        assert_eq!(eng.reservation().groups.len(), 2);
+    }
+
+    #[test]
+    fn dispatches_short_before_long() {
+        let mut eng = hinted_engine(2);
+        // Hint ratios are unknown at boot (commit with zero samples keeps
+        // ratio 0), so re-profile: feed one window of traffic.
+        let now = micros(0);
+        eng.enqueue(TypeId::new(1), 100, now).unwrap();
+        eng.enqueue(TypeId::new(0), 1, now).unwrap();
+        // Short type (priority order) must dispatch first even though the
+        // long request arrived earlier.
+        let d = eng.poll(now).unwrap();
+        assert_eq!(d.ty, TypeId::new(0));
+        let d2 = eng.poll(now).unwrap();
+        assert_eq!(d2.ty, TypeId::new(1));
+        assert!(eng.poll(now).is_none(), "both workers busy");
+    }
+
+    #[test]
+    fn short_steals_long_workers_but_not_vice_versa() {
+        let mut eng = hinted_engine(4);
+        let now = micros(0);
+        // Reservation: short gets ≥1 reserved worker; long gets the rest.
+        let short_reserved = eng.reservation().groups[0].reserved.len();
+        assert!(short_reserved >= 1);
+        // Fill the system with shorts: they may occupy every worker.
+        for i in 0..4 {
+            eng.enqueue(TypeId::new(0), i, now).unwrap();
+        }
+        let mut count = 0;
+        while eng.poll(now).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 4, "shorts can run on all workers via stealing");
+
+        // Drain, then fill with longs: they must not take short workers.
+        let mut eng = hinted_engine(4);
+        for i in 0..4 {
+            eng.enqueue(TypeId::new(1), i, now).unwrap();
+        }
+        let mut long_dispatched = 0;
+        while eng.poll(now).is_some() {
+            long_dispatched += 1;
+        }
+        let long_workers = eng.reservation().groups[1].reserved.len();
+        assert_eq!(
+            long_dispatched, long_workers,
+            "longs are capped at their reserved workers"
+        );
+        assert!(long_dispatched < 4);
+    }
+
+    #[test]
+    fn fcfs_mode_respects_global_arrival_order() {
+        let mut eng: DarcEngine<u32> = DarcEngine::new(EngineConfig::cfcfs(1), 2, &[None, None]);
+        let now = micros(0);
+        eng.enqueue(TypeId::new(1), 10, now).unwrap();
+        eng.enqueue(TypeId::new(0), 20, now).unwrap();
+        let d = eng.poll(now).unwrap();
+        assert_eq!(d.req, 10, "c-FCFS must take the earliest arrival");
+        eng.complete(d.worker, micros(1), micros(2));
+        let d2 = eng.poll(micros(2)).unwrap();
+        assert_eq!(d2.req, 20);
+    }
+
+    #[test]
+    fn unknown_requests_run_on_spillway_in_fcfs_and_darc() {
+        let mut eng = hinted_engine(2);
+        let now = micros(0);
+        eng.enqueue(TypeId::UNKNOWN, 99, now).unwrap();
+        let d = eng.poll(now).unwrap();
+        assert_eq!(d.ty, TypeId::UNKNOWN);
+        assert!(eng.reservation().spillway.contains(&d.worker));
+    }
+
+    #[test]
+    fn unknown_loses_to_typed_work() {
+        let mut eng = hinted_engine(2);
+        let now = micros(0);
+        eng.enqueue(TypeId::UNKNOWN, 99, now).unwrap();
+        eng.enqueue(TypeId::new(0), 1, now).unwrap();
+        let d = eng.poll(now).unwrap();
+        assert_eq!(d.ty, TypeId::new(0), "typed work beats UNKNOWN");
+    }
+
+    #[test]
+    fn warmup_transitions_to_darc_after_first_window() {
+        let mut cfg = EngineConfig::darc(2);
+        cfg.profiler.min_samples = 4;
+        let mut eng: DarcEngine<u32> = DarcEngine::new(cfg, 2, &[None, None]);
+        assert!(eng.in_warmup());
+        let mut now = Nanos::ZERO;
+        for i in 0..4 {
+            let ty = TypeId::new(i % 2);
+            eng.enqueue(ty, i, now).unwrap();
+            let d = eng.poll(now).unwrap();
+            let service = if d.ty == TypeId::new(0) {
+                micros(1)
+            } else {
+                micros(100)
+            };
+            now += service;
+            eng.complete(d.worker, service, now);
+        }
+        assert!(!eng.in_warmup(), "4 samples fill the window");
+        assert_eq!(eng.reservation().groups.len(), 2);
+        assert_eq!(eng.updates(), 1);
+    }
+
+    #[test]
+    fn completion_frees_the_worker() {
+        let mut eng = hinted_engine(1);
+        let now = micros(0);
+        eng.enqueue(TypeId::new(0), 1, now).unwrap();
+        let d = eng.poll(now).unwrap();
+        assert_eq!(eng.free_workers(), 0);
+        assert!(eng.poll(now).is_none());
+        eng.complete(d.worker, micros(1), micros(1));
+        assert_eq!(eng.free_workers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "completion from an idle worker")]
+    fn double_completion_panics() {
+        let mut eng = hinted_engine(1);
+        eng.enqueue(TypeId::new(0), 1, Nanos::ZERO).unwrap();
+        let d = eng.poll(Nanos::ZERO).unwrap();
+        eng.complete(d.worker, micros(1), micros(1));
+        eng.complete(d.worker, micros(1), micros(1));
+    }
+
+    #[test]
+    fn flow_control_drops_only_overloaded_type() {
+        let mut cfg = EngineConfig::darc(1);
+        cfg.queue_capacity = 2;
+        let mut eng: DarcEngine<u32> =
+            DarcEngine::new(cfg, 2, &[Some(micros(1)), Some(micros(100))]);
+        let now = micros(0);
+        for i in 0..5 {
+            let _ = eng.enqueue(TypeId::new(1), i, now);
+        }
+        assert_eq!(eng.drops(TypeId::new(1)), 3);
+        assert_eq!(eng.pending(TypeId::new(1)), 2);
+        // The other type is unaffected.
+        assert!(eng.enqueue(TypeId::new(0), 9, now).is_ok());
+        assert_eq!(eng.drops(TypeId::new(0)), 0);
+        assert_eq!(eng.total_drops(), 3);
+    }
+
+    #[test]
+    fn out_of_range_type_is_treated_as_unknown() {
+        let mut eng = hinted_engine(2);
+        eng.enqueue(TypeId::new(17), 5, Nanos::ZERO).unwrap();
+        assert_eq!(eng.pending(TypeId::UNKNOWN), 1);
+    }
+
+    #[test]
+    fn static_mode_never_updates() {
+        let res = Reservation::two_class_static(2, 4, TypeId::new(0), 1);
+        let cfg = EngineConfig {
+            mode: EngineMode::Static(res),
+            ..EngineConfig::darc(4)
+        };
+        let mut eng: DarcEngine<u32> = DarcEngine::new(cfg, 2, &[None, None]);
+        let updates_at_boot = eng.updates();
+        let mut now = Nanos::ZERO;
+        for i in 0..100_000 {
+            eng.enqueue(TypeId::new(i % 2), i, now).unwrap();
+            let d = eng.poll(now).unwrap();
+            now += micros(1);
+            eng.complete(d.worker, micros(1), now);
+        }
+        assert_eq!(eng.updates(), updates_at_boot);
+    }
+
+    #[test]
+    fn guaranteed_workers_reports_reserved_count() {
+        let eng = hinted_engine(14);
+        // Hinted boot assumes uniform ratios: High Bimodal hints on 14
+        // workers give the short type 1 guaranteed core (paper §5.2).
+        assert_eq!(eng.guaranteed_workers(TypeId::new(0)), 1);
+        assert_eq!(eng.guaranteed_workers(TypeId::new(1)), 13);
+        assert_eq!(eng.guaranteed_workers(TypeId::UNKNOWN), 0);
+    }
+
+    #[test]
+    fn resize_grows_and_rereserves() {
+        let mut eng = hinted_engine(4);
+        assert_eq!(eng.guaranteed_workers(TypeId::new(1)), 3);
+        eng.resize(14).unwrap();
+        assert_eq!(eng.num_workers(), 14);
+        assert_eq!(eng.free_workers(), 14);
+        // High Bimodal hints on 14 workers: shorts 1, longs 13 (§5.2).
+        assert_eq!(eng.guaranteed_workers(TypeId::new(0)), 1);
+        assert_eq!(eng.guaranteed_workers(TypeId::new(1)), 13);
+        // Work still flows after the resize.
+        eng.enqueue(TypeId::new(0), 1, Nanos::ZERO).unwrap();
+        let d = eng.poll(Nanos::ZERO).unwrap();
+        eng.complete(d.worker, micros(1), micros(1));
+    }
+
+    #[test]
+    fn resize_shrink_requires_idle_surrendered_workers() {
+        let mut eng = hinted_engine(4);
+        // Occupy the highest-indexed worker with a long request.
+        for i in 0..4 {
+            eng.enqueue(TypeId::new(1), i, Nanos::ZERO).unwrap();
+        }
+        while eng.poll(Nanos::ZERO).is_some() {}
+        let busy_high = (0..4).rev().find(|_| true).unwrap();
+        let _ = busy_high;
+        assert!(eng.resize(1).is_err(), "cannot drop busy workers");
+        assert_eq!(eng.num_workers(), 4, "failed resize leaves state intact");
+        assert!(eng.resize(0).is_err());
+    }
+
+    #[test]
+    fn resize_shrink_of_idle_workers_succeeds() {
+        let mut eng = hinted_engine(8);
+        eng.resize(2).unwrap();
+        assert_eq!(eng.num_workers(), 2);
+        // Both types still schedulable on the smaller machine.
+        eng.enqueue(TypeId::new(0), 1, Nanos::ZERO).unwrap();
+        eng.enqueue(TypeId::new(1), 2, Nanos::ZERO).unwrap();
+        assert!(eng.poll(Nanos::ZERO).is_some());
+        assert!(eng.poll(Nanos::ZERO).is_some());
+    }
+
+    /// A mis-rounded allocation self-heals even when the measured demand
+    /// vector barely moves: the allocation-staleness trigger fires.
+    #[test]
+    fn stale_allocation_self_heals() {
+        // Boot with uniform-ratio hints: Extreme-Bimodal service times at
+        // assumed 50/50 ratios give the short type 1 core on 14 workers.
+        let mut cfg = EngineConfig::darc(14);
+        cfg.profiler.min_samples = 2_000;
+        let hints = [Some(Nanos::from_nanos(500)), Some(micros(500))];
+        let mut eng: DarcEngine<u32> = DarcEngine::new(cfg, 2, &hints);
+        assert_eq!(eng.guaranteed_workers(TypeId::new(0)), 1);
+        let boot_updates = eng.updates();
+
+        // Feed the *true* mix (99.5 % shorts): demand says 2 cores. The
+        // shorts overflow their single core, raising the delay signal.
+        // Ratio estimates are EWMA-smoothed across windows, so convergence
+        // takes a few windows rather than one.
+        let mut now = Nanos::ZERO;
+        let mut i = 0u32;
+        while eng.guaranteed_workers(TypeId::new(0)) != 2 && i < 800_000 {
+            let ty = if i % 200 == 0 {
+                TypeId::new(1)
+            } else {
+                TypeId::new(0)
+            };
+            eng.enqueue(ty, i, now).unwrap();
+            i += 1;
+            // Drain in bursts of 64 so queues build up between drains.
+            if i % 64 == 0 {
+                while let Some(d) = eng.poll(now) {
+                    let service = if d.ty == TypeId::new(0) {
+                        Nanos::from_nanos(500)
+                    } else {
+                        micros(500)
+                    };
+                    now += service;
+                    eng.complete(d.worker, service, now);
+                }
+            }
+        }
+        assert!(
+            eng.updates() > boot_updates,
+            "stale 1-core allocation must be corrected"
+        );
+        assert_eq!(
+            eng.guaranteed_workers(TypeId::new(0)),
+            2,
+            "true demand 0.166 x 14 = 2.3 cores"
+        );
+    }
+
+    #[test]
+    fn reservation_update_after_demand_shift() {
+        let mut cfg = EngineConfig::darc(4);
+        cfg.profiler.min_samples = 100;
+        let mut eng: DarcEngine<u32> = DarcEngine::new(cfg, 2, &[None, None]);
+        let mut now = Nanos::ZERO;
+        // Warm-up window: type 0 short, type 1 long.
+        for i in 0..100 {
+            let ty = TypeId::new(i % 2);
+            eng.enqueue(ty, i, now).unwrap();
+            let d = eng.poll(now).unwrap();
+            let service = if d.ty == TypeId::new(0) {
+                micros(1)
+            } else {
+                micros(100)
+            };
+            now += service;
+            eng.complete(d.worker, service, now);
+        }
+        assert!(!eng.in_warmup());
+        let g_short = eng.reservation().group_of(TypeId::new(0)).unwrap();
+        assert_eq!(
+            eng.reservation().groups[g_short].types,
+            vec![TypeId::new(0)]
+        );
+        let updates_before = eng.updates();
+        // Phase change: type 0 becomes the long one. Enqueue a burst so a
+        // backlog builds: queueing delays pile up ⇒ delay signal; demand
+        // flips ⇒ deviation; window fills ⇒ update.
+        for i in 0..400u32 {
+            let ty = TypeId::new(i % 2);
+            eng.enqueue(ty, i, now).unwrap();
+        }
+        while let Some(d) = eng.poll(now) {
+            let service = if d.ty == TypeId::new(0) {
+                micros(100)
+            } else {
+                micros(1)
+            };
+            now += service;
+            eng.complete(d.worker, service, now);
+        }
+        assert!(eng.updates() > updates_before, "reservation must adapt");
+        assert_eq!(eng.total_pending(), 0, "the backlog must fully drain");
+    }
+}

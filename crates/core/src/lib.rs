@@ -1,0 +1,70 @@
+//! # persephone-core — DARC scheduling
+//!
+//! This crate implements **DARC** (*Dynamic Application-aware Reserved
+//! Cores*), the scheduling policy contributed by the SOSP 2021 paper
+//! *"When Idling is Ideal: Optimizing Tail-Latency for Heavy-Tailed
+//! Datacenter Workloads with Perséphone"*.
+//!
+//! DARC minimizes tail latency for microsecond-scale requests with wide
+//! service-time dispersion by being deliberately **non work conserving**:
+//! it profiles request types online, reserves whole cores for short
+//! request types, lets short requests *steal* cycles from cores reserved
+//! for longer types (never the reverse), and keeps a *spillway* core so no
+//! type is ever denied service.
+//!
+//! The crate is substrate-agnostic: the same [`dispatch::DarcEngine`]
+//! drives both the discrete-event simulator (`persephone-sim`) and the
+//! threaded runtime (`persephone-runtime`).
+//!
+//! ## Module map
+//!
+//! * [`time`] — integer nanosecond clock type.
+//! * [`types`] — request types, workers, type registry.
+//! * [`classifier`] — user-defined request classifiers (paper §4.2).
+//! * [`profile`] — profiling windows, Eq. 1 demand vector (paper §3).
+//! * [`reserve`] — worker reservation, grouping, spillway (Algorithm 2).
+//! * [`queue`] — bounded typed queues with drop-based flow control.
+//! * [`dispatch`] — the DARC dispatch engine (Algorithm 1).
+//! * [`policy`] — the policy taxonomy of the paper's Tables 1 and 5.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use persephone_core::dispatch::{DarcEngine, EngineConfig};
+//! use persephone_core::time::Nanos;
+//! use persephone_core::types::TypeId;
+//!
+//! // A 14-worker server with two request types hinted at 1 µs and 100 µs.
+//! let cfg = EngineConfig::darc(14);
+//! let hints = [Some(Nanos::from_micros(1)), Some(Nanos::from_micros(100))];
+//! let mut engine: DarcEngine<u64> = DarcEngine::new(cfg, 2, &hints);
+//!
+//! // The short type is guaranteed a core that long requests cannot take.
+//! assert_eq!(engine.guaranteed_workers(TypeId::new(0)), 1);
+//!
+//! // Enqueue, dispatch, complete.
+//! let now = Nanos::ZERO;
+//! engine.enqueue(TypeId::new(0), 42, now).unwrap();
+//! let d = engine.poll(now).unwrap();
+//! engine.complete(d.worker, Nanos::from_micros(1), Nanos::from_micros(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod dispatch;
+pub mod policy;
+pub mod profile;
+pub mod queue;
+pub mod reserve;
+pub mod time;
+pub mod types;
+
+pub use classifier::Classifier;
+pub use dispatch::{DarcEngine, Dispatch, EngineConfig, EngineMode};
+pub use policy::Policy;
+pub use profile::{Profiler, ProfilerConfig, TypeStat};
+pub use reserve::{reserve, Reservation, ReserveConfig};
+pub use time::Nanos;
+pub use types::{TypeId, TypeRegistry, TypeSpec, WorkerId};

@@ -1,0 +1,204 @@
+//! The scheduling-policy taxonomy of the paper's Tables 1 and 5.
+//!
+//! This module is descriptive: it names the policies compared throughout
+//! the paper and records their properties (application awareness,
+//! preemption, work conservation, head-of-line-blocking avoidance). The
+//! simulator uses [`Policy`] as its configuration surface; the properties
+//! drive documentation tables in the benchmark harness.
+
+use crate::time::Nanos;
+
+/// A scheduling policy under evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Policy {
+    /// Decentralized FCFS: per-worker queues fed by RSS-style hashing
+    /// (IX, Arrakis; Shenango with work stealing disabled).
+    DFcfs,
+    /// Centralized FCFS: one queue, any idle worker (ZygOS, Shenango).
+    CFcfs,
+    /// Fixed priority by type, work conserving: short requests are
+    /// scheduled first but every type may run on every worker.
+    FixedPriority,
+    /// Time sharing with quantum-based preemption (Shinjuku).
+    TimeSharing(TimeSharingParams),
+    /// Non-preemptive Shortest-Job-First by profiled type service time.
+    Sjf,
+    /// DARC with a manually fixed number of cores reserved for the
+    /// shortest type (paper §5.3 "DARC-static").
+    DarcStatic {
+        /// Cores dedicated to the shortest type (0 = Fixed Priority).
+        reserved_short: usize,
+    },
+    /// Full DARC: profiled, dynamically reserved cores (the paper's
+    /// contribution).
+    Darc,
+}
+
+/// Parameters of the simulated time-sharing (Shinjuku-like) policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeSharingParams {
+    /// Preemption quantum (Shinjuku: 5 µs; 15 µs for RocksDB).
+    pub quantum: Nanos,
+    /// CPU time charged to the worker per preemption (paper's simulation:
+    /// 1 µs ≈ 2000 cycles at 2 GHz).
+    pub overhead: Nanos,
+    /// Delay between the preemption decision and the worker actually
+    /// yielding (Figure 10's "propagation": 0–2 µs).
+    pub propagation: Nanos,
+    /// Queue discipline for preempted requests.
+    pub discipline: TsDiscipline,
+}
+
+impl TimeSharingParams {
+    /// Shinjuku's configuration as simulated in the paper's Figure 1:
+    /// 5 µs quantum, 1 µs overhead, no propagation delay, single queue.
+    pub fn shinjuku_fig1() -> Self {
+        TimeSharingParams {
+            quantum: Nanos::from_micros(5),
+            overhead: Nanos::from_micros(1),
+            propagation: Nanos::ZERO,
+            discipline: TsDiscipline::SingleQueue,
+        }
+    }
+
+    /// An idealized zero-cost processor-sharing system ("TS 0 µs").
+    pub fn ideal() -> Self {
+        TimeSharingParams {
+            quantum: Nanos::from_micros(5),
+            overhead: Nanos::ZERO,
+            propagation: Nanos::ZERO,
+            discipline: TsDiscipline::SingleQueue,
+        }
+    }
+}
+
+/// Where a preempted request goes (paper §5.1, Shinjuku's two policies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TsDiscipline {
+    /// Single queue; preempted requests re-enter at the *tail*.
+    SingleQueue,
+    /// One queue per type; preempted requests re-enter at the *head* of
+    /// their typed queue; queues are picked BVT-style.
+    MultiQueue,
+}
+
+/// Static properties of a policy (the columns of Tables 1 and 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolicyTraits {
+    /// Does the policy use request types (typed queues)?
+    pub app_aware: bool,
+    /// Is the policy free of preemption?
+    pub non_preemptive: bool,
+    /// Does the policy deliberately leave cores idle?
+    pub non_work_conserving: bool,
+    /// Does it prevent dispersion-based head-of-line blocking?
+    pub prevents_hol_blocking: bool,
+}
+
+impl Policy {
+    /// Short display name used in figures and CSV headers.
+    pub fn name(&self) -> String {
+        match self {
+            Policy::DFcfs => "d-FCFS".into(),
+            Policy::CFcfs => "c-FCFS".into(),
+            Policy::FixedPriority => "FP".into(),
+            Policy::TimeSharing(p) => {
+                let cost = p.overhead.saturating_add(p.propagation);
+                format!("TS-{:.0}us", cost.as_micros_f64())
+            }
+            Policy::Sjf => "SJF".into(),
+            Policy::DarcStatic { reserved_short } => format!("DARC-static-{reserved_short}"),
+            Policy::Darc => "DARC".into(),
+        }
+    }
+
+    /// The taxonomy row for this policy (paper Tables 1 & 5).
+    pub fn traits(&self) -> PolicyTraits {
+        match self {
+            Policy::DFcfs => PolicyTraits {
+                app_aware: false,
+                non_preemptive: true,
+                // d-FCFS idles workers while requests wait in other local
+                // queues — an *uncontrolled* form of non work conservation.
+                non_work_conserving: true,
+                prevents_hol_blocking: false,
+            },
+            Policy::CFcfs => PolicyTraits {
+                app_aware: false,
+                non_preemptive: true,
+                non_work_conserving: false,
+                prevents_hol_blocking: false,
+            },
+            Policy::FixedPriority => PolicyTraits {
+                app_aware: true,
+                non_preemptive: true,
+                non_work_conserving: false,
+                prevents_hol_blocking: false,
+            },
+            Policy::TimeSharing(_) => PolicyTraits {
+                app_aware: true,
+                non_preemptive: false,
+                non_work_conserving: false,
+                prevents_hol_blocking: true,
+            },
+            Policy::Sjf => PolicyTraits {
+                app_aware: true,
+                non_preemptive: true,
+                non_work_conserving: false,
+                prevents_hol_blocking: false,
+            },
+            Policy::DarcStatic { .. } | Policy::Darc => PolicyTraits {
+                app_aware: true,
+                non_preemptive: true,
+                non_work_conserving: true,
+                prevents_hol_blocking: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Policy::DFcfs.name(), "d-FCFS");
+        assert_eq!(Policy::CFcfs.name(), "c-FCFS");
+        assert_eq!(Policy::Darc.name(), "DARC");
+        assert_eq!(
+            Policy::DarcStatic { reserved_short: 3 }.name(),
+            "DARC-static-3"
+        );
+        assert_eq!(
+            Policy::TimeSharing(TimeSharingParams::shinjuku_fig1()).name(),
+            "TS-1us"
+        );
+    }
+
+    #[test]
+    fn table1_rows_match_paper() {
+        // Table 1: d-FCFS — no typed queues, non work conserving,
+        // non preemptive.
+        let d = Policy::DFcfs.traits();
+        assert!(!d.app_aware && d.non_work_conserving && d.non_preemptive);
+        // c-FCFS — work conserving, non preemptive.
+        let c = Policy::CFcfs.traits();
+        assert!(!c.app_aware && !c.non_work_conserving && c.non_preemptive);
+        // TS — typed queues, work conserving, preemptive.
+        let ts = Policy::TimeSharing(TimeSharingParams::ideal()).traits();
+        assert!(ts.app_aware && !ts.non_work_conserving && !ts.non_preemptive);
+        // DARC — typed queues, non work conserving, non preemptive.
+        let darc = Policy::Darc.traits();
+        assert!(darc.app_aware && darc.non_work_conserving && darc.non_preemptive);
+        assert!(darc.prevents_hol_blocking);
+    }
+
+    #[test]
+    fn shinjuku_params_match_the_papers_simulation() {
+        let p = TimeSharingParams::shinjuku_fig1();
+        assert_eq!(p.quantum, Nanos::from_micros(5));
+        assert_eq!(p.overhead, Nanos::from_micros(1));
+        assert_eq!(p.discipline, TsDiscipline::SingleQueue);
+    }
+}

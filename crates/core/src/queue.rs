@@ -1,0 +1,174 @@
+//! Typed request queues with drop-based flow control (paper §4.3.3).
+//!
+//! The dispatcher keeps one bounded FIFO per request type. When the system
+//! is under pressure and a typed queue fills up, new arrivals of that type
+//! are dropped — shedding load *only* for the overloaded type without
+//! impacting the rest of the workload.
+
+use std::collections::VecDeque;
+
+use crate::time::Nanos;
+
+/// A queued request together with its arrival metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry<R> {
+    /// The opaque request payload (a packet pointer, a sim token, ...).
+    pub req: R,
+    /// When the request was enqueued at the dispatcher.
+    pub enqueued: Nanos,
+    /// Global arrival sequence number; dispatchers use it to reconstruct
+    /// centralized FCFS order across typed queues.
+    pub seq: u64,
+}
+
+/// A bounded FIFO for a single request type.
+///
+/// # Examples
+///
+/// ```
+/// use persephone_core::queue::TypedQueue;
+/// use persephone_core::time::Nanos;
+///
+/// let mut q: TypedQueue<&str> = TypedQueue::new(2);
+/// assert!(q.push("a", Nanos::from_nanos(1), 0).is_ok());
+/// assert!(q.push("b", Nanos::from_nanos(2), 1).is_ok());
+/// assert_eq!(q.push("c", Nanos::from_nanos(3), 2), Err("c")); // Full: dropped.
+/// assert_eq!(q.drops(), 1);
+/// assert_eq!(q.pop().unwrap().req, "a");
+/// ```
+#[derive(Clone, Debug)]
+pub struct TypedQueue<R> {
+    entries: VecDeque<Entry<R>>,
+    capacity: usize,
+    drops: u64,
+    total_enqueued: u64,
+}
+
+impl<R> TypedQueue<R> {
+    /// Creates a queue bounded at `capacity` entries; `0` means unbounded.
+    pub fn new(capacity: usize) -> Self {
+        TypedQueue {
+            entries: VecDeque::new(),
+            capacity,
+            drops: 0,
+            total_enqueued: 0,
+        }
+    }
+
+    /// Enqueues a request, or returns it back (and counts a drop) when the
+    /// queue is at capacity.
+    pub fn push(&mut self, req: R, enqueued: Nanos, seq: u64) -> Result<(), R> {
+        if self.capacity != 0 && self.entries.len() >= self.capacity {
+            self.drops += 1;
+            return Err(req);
+        }
+        self.entries.push_back(Entry { req, enqueued, seq });
+        self.total_enqueued += 1;
+        Ok(())
+    }
+
+    /// Dequeues the oldest entry.
+    pub fn pop(&mut self) -> Option<Entry<R>> {
+        self.entries.pop_front()
+    }
+
+    /// Peeks at the oldest entry without removing it.
+    pub fn front(&self) -> Option<&Entry<R>> {
+        self.entries.front()
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Requests dropped because the queue was full.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Requests accepted over the queue's lifetime.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+
+    /// The configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queueing delay of the head entry at time `now`, zero when empty.
+    pub fn head_delay(&self, now: Nanos) -> Nanos {
+        self.front()
+            .map(|e| now.saturating_sub(e.enqueued))
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Drains all entries (used when tearing an engine down).
+    pub fn drain(&mut self) -> impl Iterator<Item = Entry<R>> + '_ {
+        self.entries.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = TypedQueue::new(0);
+        for i in 0..10u32 {
+            q.push(i, Nanos::from_nanos(i as u64), i as u64).unwrap();
+        }
+        for i in 0..10u32 {
+            assert_eq!(q.pop().unwrap().req, i);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn unbounded_queue_never_drops() {
+        let mut q = TypedQueue::new(0);
+        for i in 0..100_000u64 {
+            q.push(i, Nanos::ZERO, i).unwrap();
+        }
+        assert_eq!(q.drops(), 0);
+        assert_eq!(q.len(), 100_000);
+    }
+
+    #[test]
+    fn bounded_queue_drops_and_returns_request() {
+        let mut q = TypedQueue::new(1);
+        q.push("keep", Nanos::ZERO, 0).unwrap();
+        assert_eq!(q.push("drop", Nanos::ZERO, 1), Err("drop"));
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.total_enqueued(), 1);
+        // Popping frees space again.
+        q.pop().unwrap();
+        assert!(q.push("ok", Nanos::ZERO, 2).is_ok());
+    }
+
+    #[test]
+    fn head_delay_reflects_oldest_entry() {
+        let mut q = TypedQueue::new(0);
+        assert_eq!(q.head_delay(Nanos::from_micros(5)), Nanos::ZERO);
+        q.push((), Nanos::from_micros(2), 0).unwrap();
+        q.push((), Nanos::from_micros(4), 1).unwrap();
+        assert_eq!(q.head_delay(Nanos::from_micros(5)), Nanos::from_micros(3));
+    }
+
+    #[test]
+    fn drain_empties_the_queue() {
+        let mut q = TypedQueue::new(0);
+        q.push(1, Nanos::ZERO, 0).unwrap();
+        q.push(2, Nanos::ZERO, 1).unwrap();
+        let drained: Vec<_> = q.drain().map(|e| e.req).collect();
+        assert_eq!(drained, vec![1, 2]);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,553 @@
+//! DARC worker reservation (paper §3, Algorithm 2).
+//!
+//! Given per-type statistics `(S_i, R_i)` the reservation algorithm:
+//!
+//! 1. groups types whose mean service times fall within a factor `δ` of
+//!    each other (fewer groups ⇒ fewer fractional ties);
+//! 2. computes each group's CPU demand `Δ_g = Σ S_i·R_i / Σ_all S_j·R_j`
+//!    (Eq. 1) and rounds `Δ_g · W` to whole workers, reserving at least
+//!    one worker per group;
+//! 3. walks groups in ascending service-time order, so shorter groups
+//!    reserve first; when workers run out, `next_free_worker()` hands out
+//!    *spillway* cores so no group is denied service;
+//! 4. marks every worker reserved *after* a group as *stealable* by that
+//!    group: shorter requests may run on cores reserved for longer types
+//!    (cycle stealing), never the reverse.
+//!
+//! The expected CPU waste of an allocation follows the paper's Eq. 2:
+//! `Σ_{g : f_g ≥ 0.5} (1 − f_g)` over the fractional parts `f_g` of the
+//! groups' demands.
+
+use crate::profile::{demands_of, TypeStat};
+use crate::types::{TypeId, WorkerId};
+
+/// Parameters of the reservation algorithm.
+#[derive(Clone, Debug)]
+pub struct ReserveConfig {
+    /// Total number of application workers `W`.
+    pub num_workers: usize,
+    /// Similarity factor `δ`: a type joins a group when its mean service
+    /// time is at most `δ ×` the group's first (shortest) member.
+    pub delta: f64,
+    /// Number of spillway cores, taken from the highest worker indices
+    /// (paper: 1).
+    pub spillway: usize,
+}
+
+impl ReserveConfig {
+    /// Creates a config with the paper's defaults (`δ = 2`, one spillway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers == 0`.
+    pub fn new(num_workers: usize) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        ReserveConfig {
+            num_workers,
+            delta: 2.0,
+            spillway: 1,
+        }
+    }
+
+    /// Sets the grouping factor `δ`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the number of spillway cores.
+    pub fn with_spillway(mut self, spillway: usize) -> Self {
+        self.spillway = spillway.min(self.num_workers);
+        self
+    }
+}
+
+/// A group of request types with similar service times and its workers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Group {
+    /// Member types, ascending by mean service time.
+    pub types: Vec<TypeId>,
+    /// Weighted mean service time of the group, nanoseconds
+    /// (`Σ S_i·R_i / Σ R_i` over members).
+    pub mean_service_ns: f64,
+    /// The group's fraction of total CPU demand (Eq. 1), in `[0, 1]`.
+    pub demand: f64,
+    /// Workers reserved for this group, ascending.
+    pub reserved: Vec<WorkerId>,
+    /// Workers this group may steal: every worker reserved after it
+    /// (longer groups' workers and any leftover cores).
+    pub stealable: Vec<WorkerId>,
+}
+
+impl Group {
+    /// Reserved workers followed by stealable workers — the search order
+    /// of the dispatch algorithm (paper Algorithm 1).
+    pub fn candidate_workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        self.reserved.iter().chain(self.stealable.iter()).copied()
+    }
+}
+
+/// A complete worker allocation produced by [`reserve`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reservation {
+    /// Groups in ascending service-time order (dispatch priority order).
+    pub groups: Vec<Group>,
+    /// The spillway cores (highest worker indices).
+    pub spillway: Vec<WorkerId>,
+    /// Total workers in the system.
+    pub num_workers: usize,
+    /// Expected average CPU waste in cores (Eq. 2).
+    pub expected_waste: f64,
+    /// `type_to_group[ty.index()]`: which group serves the type; `None`
+    /// routes the type to the spillway (zero-demand or unprofiled types).
+    type_to_group: Vec<Option<usize>>,
+}
+
+impl Reservation {
+    /// The group index serving `ty`, or `None` if the type is served only
+    /// by the spillway (includes UNKNOWN and out-of-range types).
+    #[inline]
+    pub fn group_of(&self, ty: TypeId) -> Option<usize> {
+        if ty.is_unknown() {
+            return None;
+        }
+        self.type_to_group.get(ty.index()).copied().flatten()
+    }
+
+    /// Iterates over types in dispatch priority order: groups ascending by
+    /// service time, member types ascending within each group.
+    pub fn priority_order(&self) -> impl Iterator<Item = TypeId> + '_ {
+        self.groups.iter().flat_map(|g| g.types.iter().copied())
+    }
+
+    /// Total workers reserved across groups (spillway hand-outs excluded).
+    pub fn reserved_count(&self) -> usize {
+        let mut seen = vec![false; self.num_workers];
+        for g in &self.groups {
+            for w in &g.reserved {
+                seen[w.index()] = true;
+            }
+        }
+        seen.iter().filter(|&&b| b).count()
+    }
+
+    /// Builds the degenerate single-group allocation: every type shares
+    /// every worker. Equivalent to c-FCFS and used for the warm-up phase.
+    pub fn all_shared(num_types: usize, num_workers: usize) -> Reservation {
+        let workers: Vec<WorkerId> = (0..num_workers).map(|i| WorkerId::new(i as u32)).collect();
+        let spillway = workers.last().copied().into_iter().collect();
+        Reservation {
+            groups: vec![Group {
+                types: (0..num_types).map(|i| TypeId::new(i as u32)).collect(),
+                mean_service_ns: 0.0,
+                demand: 1.0,
+                reserved: workers,
+                stealable: Vec::new(),
+            }],
+            spillway,
+            num_workers,
+            expected_waste: 0.0,
+            type_to_group: vec![Some(0); num_types],
+        }
+    }
+
+    /// Builds the "DARC-static" two-class allocation of paper §5.3: the
+    /// single `short` type gets `reserved_short` dedicated workers *and*
+    /// may run on all remaining workers (stealable); every other type
+    /// shares the remaining `W − reserved_short` workers.
+    ///
+    /// `reserved_short == 0` degenerates to Fixed Priority scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserved_short > num_workers` or `num_types == 0`.
+    pub fn two_class_static(
+        num_types: usize,
+        num_workers: usize,
+        short: TypeId,
+        reserved_short: usize,
+    ) -> Reservation {
+        assert!(reserved_short <= num_workers);
+        assert!(num_types > 0);
+        let short_reserved: Vec<WorkerId> = (0..reserved_short)
+            .map(|i| WorkerId::new(i as u32))
+            .collect();
+        let rest: Vec<WorkerId> = (reserved_short..num_workers)
+            .map(|i| WorkerId::new(i as u32))
+            .collect();
+        let long_types: Vec<TypeId> = (0..num_types)
+            .map(|i| TypeId::new(i as u32))
+            .filter(|t| *t != short)
+            .collect();
+        let mut groups = vec![Group {
+            types: vec![short],
+            mean_service_ns: 0.0,
+            demand: 0.0,
+            reserved: short_reserved,
+            stealable: rest.clone(),
+        }];
+        if !long_types.is_empty() {
+            groups.push(Group {
+                types: long_types,
+                mean_service_ns: f64::INFINITY,
+                demand: 0.0,
+                // When nothing is reserved for longs (all cores given to the
+                // short class), the spillway still serves them.
+                reserved: if rest.is_empty() {
+                    vec![WorkerId::new(num_workers as u32 - 1)]
+                } else {
+                    rest
+                },
+                stealable: Vec::new(),
+            });
+        }
+        let mut type_to_group = vec![Some(1); num_types];
+        if short.index() < num_types {
+            type_to_group[short.index()] = Some(0);
+        }
+        if groups.len() == 1 {
+            type_to_group = vec![Some(0); num_types];
+        }
+        Reservation {
+            groups,
+            spillway: vec![WorkerId::new(num_workers as u32 - 1)],
+            num_workers,
+            expected_waste: 0.0,
+            type_to_group,
+        }
+    }
+}
+
+/// Runs the reservation algorithm (paper Algorithm 2) over profiled
+/// statistics.
+///
+/// Types with zero weight (never observed, or vanished from the workload)
+/// are excluded from grouping and served on the spillway; this matches the
+/// paper's Figure 7 phase 4, where a type that disappeared from the mix is
+/// still serviced on the spillway core.
+///
+/// # Examples
+///
+/// ```
+/// use persephone_core::profile::TypeStat;
+/// use persephone_core::reserve::{reserve, ReserveConfig};
+/// use persephone_core::types::TypeId;
+///
+/// // Extreme Bimodal on 14 workers: the short type demands
+/// // 0.166 × 14 ≈ 2.3 workers ⇒ 2 reserved (paper §5.4.2).
+/// let stats = [
+///     TypeStat { ty: TypeId::new(0), mean_service_ns: 500.0, ratio: 0.995 },
+///     TypeStat { ty: TypeId::new(1), mean_service_ns: 500_000.0, ratio: 0.005 },
+/// ];
+/// let r = reserve(&stats, &ReserveConfig::new(14));
+/// assert_eq!(r.groups[0].reserved.len(), 2);
+/// assert_eq!(r.groups[1].reserved.len(), 12);
+/// ```
+pub fn reserve(stats: &[TypeStat], cfg: &ReserveConfig) -> Reservation {
+    let w = cfg.num_workers;
+    let spillway: Vec<WorkerId> = (w.saturating_sub(cfg.spillway.max(1))..w)
+        .map(|i| WorkerId::new(i as u32))
+        .collect();
+
+    // Keep only types that carry demand; sort ascending by service time.
+    let mut active: Vec<&TypeStat> = stats.iter().filter(|s| s.weight() > 0.0).collect();
+    active.sort_by(|a, b| {
+        a.mean_service_ns
+            .partial_cmp(&b.mean_service_ns)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(a.ty.cmp(&b.ty))
+    });
+
+    let mut type_to_group = vec![None; stats.len()];
+    if active.is_empty() {
+        return Reservation {
+            groups: Vec::new(),
+            spillway,
+            num_workers: w,
+            expected_waste: 0.0,
+            type_to_group,
+        };
+    }
+
+    // Group types within a factor δ of the group's shortest member.
+    let delta = if cfg.delta < 1.0 { 1.0 } else { cfg.delta };
+    let mut grouped: Vec<Vec<&TypeStat>> = Vec::new();
+    for s in active {
+        match grouped.last_mut() {
+            Some(g) if s.mean_service_ns <= g[0].mean_service_ns * delta => g.push(s),
+            _ => grouped.push(vec![s]),
+        }
+    }
+
+    // Demand per group (Eq. 1 summed over members).
+    let all_stats: Vec<TypeStat> = grouped.iter().flat_map(|g| g.iter().map(|s| **s)).collect();
+    let demand_per_type = demands_of(&all_stats);
+    let mut demand_iter = demand_per_type.iter();
+
+    let mut groups: Vec<Group> = Vec::new();
+    let mut next_free = 0usize;
+    let mut spill_rr = 0usize;
+    let mut expected_waste = 0.0;
+
+    for members in &grouped {
+        let demand: f64 = members.iter().map(|_| demand_iter.next().unwrap()).sum();
+        let raw = demand * w as f64;
+        let mut want = raw.round() as usize;
+        if want == 0 {
+            want = 1;
+        }
+        // Eq. 2: waste accrues when a fractional demand ≥ 0.5 is rounded up.
+        let frac = raw.fract();
+        if frac >= 0.5 {
+            expected_waste += 1.0 - frac;
+        }
+
+        let mut reserved = Vec::with_capacity(want);
+        for _ in 0..want {
+            if next_free < w {
+                reserved.push(WorkerId::new(next_free as u32));
+                next_free += 1;
+            } else {
+                // Out of free workers: hand out a spillway core (shared).
+                let sw = spillway[spill_rr % spillway.len()];
+                spill_rr += 1;
+                if !reserved.contains(&sw) {
+                    reserved.push(sw);
+                }
+                break;
+            }
+        }
+
+        let total_ratio: f64 = members.iter().map(|s| s.ratio).sum();
+        let mean = if total_ratio > 0.0 {
+            members.iter().map(|s| s.weight()).sum::<f64>() / total_ratio
+        } else {
+            0.0
+        };
+        groups.push(Group {
+            types: members.iter().map(|s| s.ty).collect(),
+            mean_service_ns: mean,
+            demand,
+            reserved,
+            stealable: Vec::new(),
+        });
+    }
+
+    // Stealable sets: every worker placed after the group's own reservation
+    // window — longer groups' cores plus any leftover unreserved cores.
+    let mut boundary = 0usize;
+    for g in &mut groups {
+        let own_end = g
+            .reserved
+            .iter()
+            .map(|wk| wk.index() + 1)
+            .max()
+            .unwrap_or(boundary)
+            .min(w);
+        boundary = boundary.max(own_end);
+        g.stealable = (boundary..w).map(|i| WorkerId::new(i as u32)).collect();
+    }
+
+    for (gi, g) in groups.iter().enumerate() {
+        for t in &g.types {
+            if t.index() < type_to_group.len() {
+                type_to_group[t.index()] = Some(gi);
+            }
+        }
+    }
+
+    Reservation {
+        groups,
+        spillway,
+        num_workers: w,
+        expected_waste,
+        type_to_group,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(idx: u32, us: f64, ratio: f64) -> TypeStat {
+        TypeStat {
+            ty: TypeId::new(idx),
+            mean_service_ns: us * 1_000.0,
+            ratio,
+        }
+    }
+
+    /// The paper's TPC-C allocation (§5.4.3): groups {Payment, OrderStatus}
+    /// → 2 workers, {NewOrder} → 6 workers, {Delivery, StockLevel} → 6
+    /// workers; A steals w3-w14, B steals w9-w14, C steals nothing.
+    #[test]
+    fn tpcc_matches_paper_allocation() {
+        let stats = [
+            stat(0, 5.7, 0.44),   // Payment
+            stat(1, 6.0, 0.04),   // OrderStatus
+            stat(2, 20.0, 0.44),  // NewOrder
+            stat(3, 88.0, 0.04),  // Delivery
+            stat(4, 100.0, 0.04), // StockLevel
+        ];
+        let r = reserve(&stats, &ReserveConfig::new(14));
+        assert_eq!(r.groups.len(), 3);
+        assert_eq!(r.groups[0].types, vec![TypeId::new(0), TypeId::new(1)]);
+        assert_eq!(r.groups[1].types, vec![TypeId::new(2)]);
+        assert_eq!(r.groups[2].types, vec![TypeId::new(3), TypeId::new(4)]);
+        assert_eq!(r.groups[0].reserved.len(), 2);
+        assert_eq!(r.groups[1].reserved.len(), 6);
+        assert_eq!(r.groups[2].reserved.len(), 6);
+        // Group A steals workers 2..14 (0-indexed), B steals 8..14, C none.
+        assert_eq!(r.groups[0].stealable.len(), 12);
+        assert_eq!(r.groups[0].stealable[0], WorkerId::new(2));
+        assert_eq!(r.groups[1].stealable.len(), 6);
+        assert_eq!(r.groups[1].stealable[0], WorkerId::new(8));
+        assert!(r.groups[2].stealable.is_empty());
+        // Eq. 2 charges group C's round-up (5.52 → 6 workers, 1 − 0.52).
+        // The paper observes *no* net waste because groups A and B are
+        // under-provisioned by the same amount and steal from C — which is
+        // why all 14 workers end up reserved.
+        assert!(
+            (r.expected_waste - 0.48).abs() < 0.01,
+            "waste = {}",
+            r.expected_waste
+        );
+        assert_eq!(r.reserved_count(), 14);
+    }
+
+    /// High Bimodal on 14 workers: short demand ≈ 0.0099 ⇒ rounds to 0 ⇒
+    /// minimum 1 reserved core (paper §5.2 "DARC reserves 1 core").
+    #[test]
+    fn high_bimodal_reserves_one_short_core() {
+        let stats = [stat(0, 1.0, 0.5), stat(1, 100.0, 0.5)];
+        let r = reserve(&stats, &ReserveConfig::new(14));
+        assert_eq!(r.groups[0].reserved, vec![WorkerId::new(0)]);
+        assert_eq!(r.groups[1].reserved.len(), 13);
+        assert_eq!(r.groups[0].stealable.len(), 13);
+    }
+
+    /// Extreme Bimodal on 14 workers reserves 2 short cores (§5.4.2).
+    #[test]
+    fn extreme_bimodal_reserves_two_short_cores() {
+        let stats = [stat(0, 0.5, 0.995), stat(1, 500.0, 0.005)];
+        let r = reserve(&stats, &ReserveConfig::new(14));
+        assert_eq!(r.groups[0].reserved.len(), 2);
+    }
+
+    /// RocksDB mix (§5.4.4): GET demand ≈ 0.0024 ⇒ 1 reserved core.
+    #[test]
+    fn rocksdb_reserves_one_get_core() {
+        let stats = [stat(0, 1.5, 0.5), stat(1, 635.0, 0.5)];
+        let r = reserve(&stats, &ReserveConfig::new(14));
+        assert_eq!(r.groups[0].reserved.len(), 1);
+    }
+
+    #[test]
+    fn zero_weight_types_go_to_spillway() {
+        let stats = [stat(0, 1.0, 1.0), stat(1, 100.0, 0.0)];
+        let r = reserve(&stats, &ReserveConfig::new(4));
+        assert_eq!(r.group_of(TypeId::new(0)), Some(0));
+        assert_eq!(r.group_of(TypeId::new(1)), None);
+        assert_eq!(r.group_of(TypeId::UNKNOWN), None);
+    }
+
+    #[test]
+    fn exhausted_workers_fall_back_to_spillway() {
+        // Three groups on two workers: the last group gets the spillway.
+        let stats = [
+            stat(0, 1.0, 0.9),
+            stat(1, 10.0, 0.09),
+            stat(2, 1000.0, 0.01),
+        ];
+        let cfg = ReserveConfig::new(2).with_delta(1.5);
+        let r = reserve(&stats, &cfg);
+        assert_eq!(r.groups.len(), 3);
+        let last = r.groups.last().unwrap();
+        assert!(!last.reserved.is_empty(), "every group must get a worker");
+        assert!(r.spillway.contains(&last.reserved[0]));
+    }
+
+    #[test]
+    fn empty_stats_yield_empty_reservation() {
+        let r = reserve(&[], &ReserveConfig::new(4));
+        assert!(r.groups.is_empty());
+        assert_eq!(r.spillway, vec![WorkerId::new(3)]);
+        assert_eq!(r.reserved_count(), 0);
+    }
+
+    #[test]
+    fn delta_one_keeps_types_separate() {
+        let stats = [stat(0, 1.0, 0.5), stat(1, 1.3, 0.5)];
+        let r = reserve(&stats, &ReserveConfig::new(4).with_delta(1.0));
+        assert_eq!(r.groups.len(), 2);
+        let r2 = reserve(&stats, &ReserveConfig::new(4).with_delta(2.0));
+        assert_eq!(r2.groups.len(), 1);
+    }
+
+    #[test]
+    fn priority_order_is_ascending_service_time() {
+        let stats = [stat(0, 100.0, 0.3), stat(1, 1.0, 0.4), stat(2, 10.0, 0.3)];
+        let r = reserve(&stats, &ReserveConfig::new(8).with_delta(1.5));
+        let order: Vec<TypeId> = r.priority_order().collect();
+        assert_eq!(order, vec![TypeId::new(1), TypeId::new(2), TypeId::new(0)]);
+    }
+
+    #[test]
+    fn eq2_waste_accounting() {
+        // One group with demand 0.65 × 2 workers = 1.3 ⇒ f = 0.3 < 0.5 ⇒ 0;
+        // a group at f ≥ 0.5 contributes 1 − f.
+        let stats = [stat(0, 1.0, 0.5), stat(1, 3.0, 0.5)];
+        // Weights: 0.5 and 1.5 ⇒ demands 0.25 / 0.75 over 8 workers ⇒
+        // raw 2.0 and 6.0, both integral ⇒ no waste.
+        let r = reserve(&stats, &ReserveConfig::new(8).with_delta(1.0));
+        assert_eq!(r.expected_waste, 0.0);
+
+        // Raw demands 1.75 and 5.25 over 7 workers ⇒ f = .75 (waste .25)
+        // and f = .25 (no waste).
+        let r2 = reserve(&stats, &ReserveConfig::new(7).with_delta(1.0));
+        assert!((r2.expected_waste - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_shared_reservation_spans_everything() {
+        let r = Reservation::all_shared(3, 4);
+        assert_eq!(r.groups.len(), 1);
+        assert_eq!(r.groups[0].reserved.len(), 4);
+        assert_eq!(r.group_of(TypeId::new(2)), Some(0));
+        let cand: Vec<_> = r.groups[0].candidate_workers().collect();
+        assert_eq!(cand.len(), 4);
+    }
+
+    #[test]
+    fn two_class_static_layout() {
+        let short = TypeId::new(0);
+        let r = Reservation::two_class_static(2, 14, short, 3);
+        assert_eq!(r.groups[0].reserved.len(), 3);
+        assert_eq!(r.groups[0].stealable.len(), 11);
+        assert_eq!(r.groups[1].reserved.len(), 11);
+        assert!(r.groups[1].stealable.is_empty());
+        assert_eq!(r.group_of(short), Some(0));
+        assert_eq!(r.group_of(TypeId::new(1)), Some(1));
+    }
+
+    #[test]
+    fn two_class_static_zero_is_fixed_priority() {
+        let r = Reservation::two_class_static(2, 8, TypeId::new(0), 0);
+        assert!(r.groups[0].reserved.is_empty());
+        assert_eq!(r.groups[0].stealable.len(), 8);
+        assert_eq!(r.groups[1].reserved.len(), 8);
+    }
+
+    #[test]
+    fn two_class_static_all_reserved_leaves_spillway_for_longs() {
+        let r = Reservation::two_class_static(2, 4, TypeId::new(0), 4);
+        assert_eq!(r.groups[1].reserved, vec![WorkerId::new(3)]);
+    }
+
+    #[test]
+    fn reserved_count_deduplicates_spillway_handouts() {
+        let stats = [stat(0, 1.0, 0.5), stat(1, 10.0, 0.3), stat(2, 100.0, 0.2)];
+        let r = reserve(&stats, &ReserveConfig::new(2).with_delta(1.0));
+        assert!(r.reserved_count() <= 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Integer nanosecond time used throughout the Perséphone crates.
+//!
+//! All scheduling state is kept in integer nanoseconds so simulation runs
+//! are exactly reproducible and so the dispatcher never performs floating
+//! point work on its critical path. Floating point appears only at the
+//! statistics boundary ([`Nanos::as_micros_f64`] and friends).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in time or a duration, in integer nanoseconds.
+///
+/// `Nanos` is deliberately a thin newtype over `u64`: it is `Copy`, ordered,
+/// and supports saturating arithmetic helpers so scheduler code can never
+/// panic on clock skew.
+///
+/// # Examples
+///
+/// ```
+/// use persephone_core::time::Nanos;
+///
+/// let quantum = Nanos::from_micros(5);
+/// assert_eq!(quantum.as_nanos(), 5_000);
+/// assert_eq!(quantum * 3, Nanos::from_micros(15));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// The zero duration / origin of simulated time.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The maximum representable instant, used as an "infinitely far" sentinel.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a `Nanos` from a raw nanosecond count.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a `Nanos` from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a `Nanos` from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a `Nanos` from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a `Nanos` from a (non-negative, finite) floating-point
+    /// microsecond count, rounding to the nearest nanosecond.
+    ///
+    /// Negative or non-finite inputs clamp to zero; values beyond the
+    /// representable range clamp to [`Nanos::MAX`].
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> Self {
+        if !us.is_finite() || us <= 0.0 {
+            return Nanos::ZERO;
+        }
+        let ns = us * 1_000.0;
+        if ns >= u64::MAX as f64 {
+            Nanos::MAX
+        } else {
+            Nanos(ns.round() as u64)
+        }
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds as a float (for statistics and reporting only).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in seconds as a float (for statistics and reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction: returns zero instead of wrapping when
+    /// `other > self`. Use for elapsed-time computations where a racy or
+    /// reordered timestamp must not panic the dispatcher.
+    #[inline]
+    pub const fn saturating_sub(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition, clamping at [`Nanos::MAX`].
+    #[inline]
+    pub const fn saturating_add(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(other.0))
+    }
+
+    /// Checked scalar multiplication.
+    #[inline]
+    pub const fn checked_mul(self, k: u64) -> Option<Nanos> {
+        match self.0.checked_mul(k) {
+            Some(v) => Some(Nanos(v)),
+            None => None,
+        }
+    }
+
+    /// The larger of two instants.
+    #[inline]
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two instants.
+    #[inline]
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `self / other` as a float ratio; zero denominators yield 0.0.
+    ///
+    /// Used to compute slowdown (`sojourn / service`) without panicking on
+    /// degenerate zero-length service times.
+    #[inline]
+    pub fn ratio(self, other: Nanos) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a.saturating_add(b))
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Nanos::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(Nanos::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Nanos::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Nanos::from_secs(2).as_secs_f64(), 2.0);
+        assert_eq!(Nanos::from_micros(500).as_micros_f64(), 500.0);
+    }
+
+    #[test]
+    fn from_micros_f64_rounds_and_clamps() {
+        assert_eq!(Nanos::from_micros_f64(0.5).as_nanos(), 500);
+        assert_eq!(Nanos::from_micros_f64(0.0004).as_nanos(), 0);
+        assert_eq!(Nanos::from_micros_f64(-3.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_micros_f64(f64::NAN), Nanos::ZERO);
+        assert_eq!(Nanos::from_micros_f64(f64::INFINITY), Nanos::ZERO);
+        assert_eq!(Nanos::from_micros_f64(1e300), Nanos::MAX);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let a = Nanos::from_nanos(5);
+        let b = Nanos::from_nanos(9);
+        assert_eq!(b.saturating_sub(a).as_nanos(), 4);
+        assert_eq!(a.saturating_sub(b), Nanos::ZERO);
+        assert_eq!(Nanos::MAX.saturating_add(a), Nanos::MAX);
+        assert_eq!(Nanos::MAX.checked_mul(2), None);
+        assert_eq!(a.checked_mul(3), Some(Nanos::from_nanos(15)));
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(Nanos::from_nanos(10).ratio(Nanos::ZERO), 0.0);
+        assert_eq!(Nanos::from_nanos(10).ratio(Nanos::from_nanos(4)), 2.5);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = Nanos::from_micros(1);
+        let b = Nanos::from_micros(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Nanos::from_nanos(17)), "17ns");
+        assert_eq!(format!("{}", Nanos::from_micros(5)), "5.000us");
+        assert_eq!(format!("{}", Nanos::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", Nanos::from_secs(1)), "1.000s");
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let v = vec![Nanos::MAX, Nanos::from_nanos(1)];
+        assert_eq!(v.into_iter().sum::<Nanos>(), Nanos::MAX);
+    }
+}

@@ -1,0 +1,286 @@
+//! Request types, workers, and the type registry.
+//!
+//! DARC is *application-aware*: every incoming request carries a type
+//! extracted by a user-provided classifier (paper §4.2). Types are small
+//! dense integers so the dispatcher can index per-type state in O(1) on
+//! its critical path.
+
+use core::fmt;
+
+use crate::time::Nanos;
+
+/// Identifier of a request type, as produced by a request classifier.
+///
+/// Types are dense small integers assigned at registration time. The
+/// distinguished [`TypeId::UNKNOWN`] value marks requests the classifier
+/// could not recognize; Perséphone services those on spillway cores at the
+/// lowest priority (paper §3, §4.2).
+///
+/// # Examples
+///
+/// ```
+/// use persephone_core::types::TypeId;
+///
+/// let get = TypeId::new(0);
+/// assert!(!get.is_unknown());
+/// assert!(TypeId::UNKNOWN.is_unknown());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(u32);
+
+impl TypeId {
+    /// The type assigned to requests the classifier cannot recognize.
+    pub const UNKNOWN: TypeId = TypeId(u32::MAX);
+
+    /// Creates a type id from a dense index.
+    #[inline]
+    pub const fn new(idx: u32) -> Self {
+        TypeId(idx)
+    }
+
+    /// The dense index of this type.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the UNKNOWN sentinel.
+    #[inline]
+    pub const fn is_unknown(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl fmt::Debug for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unknown() {
+            write!(f, "TypeId(UNKNOWN)")
+        } else {
+            write!(f, "TypeId({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unknown() {
+            write!(f, "UNKNOWN")
+        } else {
+            write!(f, "T{}", self.0)
+        }
+    }
+}
+
+/// Identifier of an application worker (a core in the paper's model).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(u32);
+
+impl WorkerId {
+    /// Creates a worker id from a dense index.
+    #[inline]
+    pub const fn new(idx: u32) -> Self {
+        WorkerId(idx)
+    }
+
+    /// The dense index of this worker.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WorkerId({})", self.0)
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Static description of one request type as declared by the application.
+///
+/// The declared `hint_service` seeds the profiler before any completion has
+/// been observed; DARC then refines the estimate online (paper §3,
+/// "profiling windows").
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeSpec {
+    /// Human-readable name ("GET", "Payment", ...).
+    pub name: String,
+    /// Optional a-priori mean service time hint; `None` means the type
+    /// starts unprofiled and relies on the warm-up window.
+    pub hint_service: Option<Nanos>,
+}
+
+impl TypeSpec {
+    /// Creates a spec with a name and no service-time hint.
+    pub fn new(name: impl Into<String>) -> Self {
+        TypeSpec {
+            name: name.into(),
+            hint_service: None,
+        }
+    }
+
+    /// Creates a spec with an a-priori mean service-time hint.
+    pub fn with_hint(name: impl Into<String>, hint: Nanos) -> Self {
+        TypeSpec {
+            name: name.into(),
+            hint_service: Some(hint),
+        }
+    }
+}
+
+/// Registry of the request types declared by the application.
+///
+/// The registry owns the dense `TypeId` space. It is immutable once the
+/// dispatcher starts; dynamic behaviour (service times drifting, ratios
+/// changing) is handled by the profiler, not by re-registering types.
+///
+/// # Examples
+///
+/// ```
+/// use persephone_core::types::{TypeRegistry, TypeSpec};
+///
+/// let mut reg = TypeRegistry::new();
+/// let get = reg.register(TypeSpec::new("GET"));
+/// let scan = reg.register(TypeSpec::new("SCAN"));
+/// assert_eq!(reg.len(), 2);
+/// assert_eq!(reg.spec(get).unwrap().name, "GET");
+/// assert_ne!(get, scan);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TypeRegistry {
+    specs: Vec<TypeSpec>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TypeRegistry { specs: Vec::new() }
+    }
+
+    /// Registers a type and returns its dense id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX - 1` types are registered (the last
+    /// value is reserved for [`TypeId::UNKNOWN`]).
+    pub fn register(&mut self, spec: TypeSpec) -> TypeId {
+        assert!(
+            self.specs.len() < (u32::MAX - 1) as usize,
+            "type id space exhausted"
+        );
+        let id = TypeId::new(self.specs.len() as u32);
+        self.specs.push(spec);
+        id
+    }
+
+    /// Number of registered types (not counting UNKNOWN).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Looks up the spec for a type; `None` for UNKNOWN or out-of-range ids.
+    pub fn spec(&self, ty: TypeId) -> Option<&TypeSpec> {
+        if ty.is_unknown() {
+            None
+        } else {
+            self.specs.get(ty.index())
+        }
+    }
+
+    /// The name of a type, `"UNKNOWN"` for the sentinel.
+    pub fn name(&self, ty: TypeId) -> &str {
+        if ty.is_unknown() {
+            "UNKNOWN"
+        } else {
+            self.specs
+                .get(ty.index())
+                .map(|s| s.name.as_str())
+                .unwrap_or("<invalid>")
+        }
+    }
+
+    /// Iterates over `(TypeId, &TypeSpec)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &TypeSpec)> {
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TypeId::new(i as u32), s))
+    }
+
+    /// All registered ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.specs.len()).map(|i| TypeId::new(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_dense_ids() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register(TypeSpec::new("A"));
+        let b = reg.register(TypeSpec::new("B"));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn unknown_is_distinguished() {
+        assert!(TypeId::UNKNOWN.is_unknown());
+        assert!(!TypeId::new(0).is_unknown());
+        let reg = TypeRegistry::new();
+        assert!(reg.spec(TypeId::UNKNOWN).is_none());
+        assert_eq!(reg.name(TypeId::UNKNOWN), "UNKNOWN");
+    }
+
+    #[test]
+    fn spec_lookup_out_of_range_is_none() {
+        let mut reg = TypeRegistry::new();
+        reg.register(TypeSpec::new("A"));
+        assert!(reg.spec(TypeId::new(3)).is_none());
+        assert_eq!(reg.name(TypeId::new(3)), "<invalid>");
+    }
+
+    #[test]
+    fn hints_are_preserved() {
+        let mut reg = TypeRegistry::new();
+        let t = reg.register(TypeSpec::with_hint("GET", Nanos::from_micros(2)));
+        assert_eq!(
+            reg.spec(t).unwrap().hint_service,
+            Some(Nanos::from_micros(2))
+        );
+    }
+
+    #[test]
+    fn iter_yields_registration_order() {
+        let mut reg = TypeRegistry::new();
+        reg.register(TypeSpec::new("A"));
+        reg.register(TypeSpec::new("B"));
+        let names: Vec<_> = reg.iter().map(|(_, s)| s.name.clone()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+        let ids: Vec<_> = reg.ids().collect();
+        assert_eq!(ids, vec![TypeId::new(0), TypeId::new(1)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", TypeId::new(3)), "T3");
+        assert_eq!(format!("{}", TypeId::UNKNOWN), "UNKNOWN");
+        assert_eq!(format!("{}", WorkerId::new(2)), "w2");
+        assert_eq!(format!("{:?}", TypeId::UNKNOWN), "TypeId(UNKNOWN)");
+    }
+}

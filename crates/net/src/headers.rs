@@ -1,0 +1,348 @@
+//! Ethernet / IPv4 / UDP header parsing and construction.
+//!
+//! The Perséphone net worker "is a layer 2 forwarder and performs simple
+//! checks on Ethernet and IP headers" (paper §6); application payloads
+//! ride in UDP (§5.1: "all systems use UDP networking"). This module
+//! provides the frame encode/decode the net worker needs: fixed-offset
+//! field access, length validation, and the IPv4 header checksum.
+//!
+//! Layouts are the standard wire formats (big-endian/network order).
+
+use core::fmt;
+
+/// Length of an Ethernet II header.
+pub const ETH_LEN: usize = 14;
+/// Length of an IPv4 header without options.
+pub const IPV4_LEN: usize = 20;
+/// Length of a UDP header.
+pub const UDP_LEN: usize = 8;
+/// Total frame overhead in front of the UDP payload.
+pub const FRAME_OVERHEAD: usize = ETH_LEN + IPV4_LEN + UDP_LEN;
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// IPv4 protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+
+/// A MAC address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mac(pub [u8; 6]);
+
+impl fmt::Display for Mac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// Decoded view of a UDP/IPv4/Ethernet frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Destination MAC.
+    pub dst_mac: Mac,
+    /// Source MAC.
+    pub src_mac: Mac,
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// Length of the UDP payload in bytes.
+    pub payload_len: usize,
+}
+
+/// Frame decoding errors — the checks the net worker performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the fixed headers.
+    Truncated,
+    /// EtherType is not IPv4.
+    NotIpv4,
+    /// IP version field is not 4 or the header carries options we do not
+    /// parse.
+    BadIpHeader,
+    /// The IPv4 header checksum does not verify.
+    BadIpChecksum,
+    /// The L4 protocol is not UDP.
+    NotUdp,
+    /// Length fields are inconsistent with the buffer.
+    BadLength,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FrameError::Truncated => "frame shorter than headers",
+            FrameError::NotIpv4 => "ethertype is not IPv4",
+            FrameError::BadIpHeader => "unsupported IPv4 header",
+            FrameError::BadIpChecksum => "IPv4 checksum mismatch",
+            FrameError::NotUdp => "IP protocol is not UDP",
+            FrameError::BadLength => "inconsistent length fields",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// The ones-complement sum used by the IPv4 header checksum (RFC 1071).
+pub fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = header.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Encodes a UDP/IPv4/Ethernet frame around `payload` into `dst`.
+///
+/// Returns the total frame length. The UDP checksum is set to 0
+/// (legal for UDP over IPv4; kernel-bypass stacks typically offload or
+/// skip it), the IPv4 checksum is computed.
+///
+/// # Examples
+///
+/// ```
+/// use persephone_net::headers::{self, Mac};
+///
+/// let mut frame = [0u8; 128];
+/// let len = headers::encode_frame(
+///     &mut frame,
+///     Mac([2, 0, 0, 0, 0, 1]),
+///     Mac([2, 0, 0, 0, 0, 2]),
+///     [10, 0, 0, 1],
+///     [10, 0, 0, 2],
+///     4000,
+///     5000,
+///     b"hello",
+/// )
+/// .unwrap();
+/// let hdr = headers::decode_frame(&frame[..len]).unwrap();
+/// assert_eq!(hdr.dst_port, 5000);
+/// assert_eq!(hdr.payload_len, 5);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn encode_frame(
+    dst: &mut [u8],
+    src_mac: Mac,
+    dst_mac: Mac,
+    src_ip: [u8; 4],
+    dst_ip: [u8; 4],
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Result<usize, FrameError> {
+    let total = FRAME_OVERHEAD + payload.len();
+    if dst.len() < total || IPV4_LEN + UDP_LEN + payload.len() > u16::MAX as usize {
+        return Err(FrameError::BadLength);
+    }
+    // Ethernet II.
+    dst[0..6].copy_from_slice(&dst_mac.0);
+    dst[6..12].copy_from_slice(&src_mac.0);
+    dst[12..14].copy_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+    // IPv4.
+    let ip = &mut dst[ETH_LEN..ETH_LEN + IPV4_LEN];
+    ip.fill(0);
+    ip[0] = 0x45; // Version 4, IHL 5.
+    let ip_total = (IPV4_LEN + UDP_LEN + payload.len()) as u16;
+    ip[2..4].copy_from_slice(&ip_total.to_be_bytes());
+    ip[8] = 64; // TTL.
+    ip[9] = IPPROTO_UDP;
+    ip[12..16].copy_from_slice(&src_ip);
+    ip[16..20].copy_from_slice(&dst_ip);
+    let csum = ipv4_checksum(ip);
+    dst[ETH_LEN + 10..ETH_LEN + 12].copy_from_slice(&csum.to_be_bytes());
+    // UDP.
+    let udp_off = ETH_LEN + IPV4_LEN;
+    let udp_len = (UDP_LEN + payload.len()) as u16;
+    dst[udp_off..udp_off + 2].copy_from_slice(&src_port.to_be_bytes());
+    dst[udp_off + 2..udp_off + 4].copy_from_slice(&dst_port.to_be_bytes());
+    dst[udp_off + 4..udp_off + 6].copy_from_slice(&udp_len.to_be_bytes());
+    dst[udp_off + 6..udp_off + 8].copy_from_slice(&[0, 0]); // Checksum 0.
+    dst[FRAME_OVERHEAD..total].copy_from_slice(payload);
+    Ok(total)
+}
+
+/// Decodes and validates a frame, returning the header view.
+///
+/// Performs the paper's net-worker checks: EtherType, IP version/IHL,
+/// IPv4 header checksum, protocol, and length consistency.
+pub fn decode_frame(frame: &[u8]) -> Result<FrameHeader, FrameError> {
+    if frame.len() < FRAME_OVERHEAD {
+        return Err(FrameError::Truncated);
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(FrameError::NotIpv4);
+    }
+    let ip = &frame[ETH_LEN..ETH_LEN + IPV4_LEN];
+    if ip[0] != 0x45 {
+        return Err(FrameError::BadIpHeader);
+    }
+    if ipv4_checksum(ip) != 0 {
+        // A valid header sums (with its embedded checksum) to 0xFFFF,
+        // whose complement is 0.
+        return Err(FrameError::BadIpChecksum);
+    }
+    if ip[9] != IPPROTO_UDP {
+        return Err(FrameError::NotUdp);
+    }
+    let ip_total = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+    if ip_total < IPV4_LEN + UDP_LEN || ETH_LEN + ip_total > frame.len() {
+        return Err(FrameError::BadLength);
+    }
+    let udp = &frame[ETH_LEN + IPV4_LEN..ETH_LEN + IPV4_LEN + UDP_LEN];
+    let udp_len = u16::from_be_bytes([udp[4], udp[5]]) as usize;
+    if udp_len < UDP_LEN || IPV4_LEN + udp_len != ip_total {
+        return Err(FrameError::BadLength);
+    }
+    Ok(FrameHeader {
+        dst_mac: Mac(frame[0..6].try_into().expect("len checked")),
+        src_mac: Mac(frame[6..12].try_into().expect("len checked")),
+        src_ip: ip[12..16].try_into().expect("len checked"),
+        dst_ip: ip[16..20].try_into().expect("len checked"),
+        src_port: u16::from_be_bytes([udp[0], udp[1]]),
+        dst_port: u16::from_be_bytes([udp[2], udp[3]]),
+        payload_len: udp_len - UDP_LEN,
+    })
+}
+
+/// The UDP payload slice of a validated frame.
+pub fn payload(frame: &[u8]) -> Result<&[u8], FrameError> {
+    let hdr = decode_frame(frame)?;
+    Ok(&frame[FRAME_OVERHEAD..FRAME_OVERHEAD + hdr.payload_len])
+}
+
+/// Swaps source/destination MACs, IPs, and ports in place — the net
+/// worker's zero-copy "turn the request into a response" step.
+pub fn swap_endpoints(frame: &mut [u8]) -> Result<(), FrameError> {
+    decode_frame(frame)?;
+    let (dst, src) = frame.split_at_mut(6);
+    dst[0..6].swap_with_slice(&mut src[0..6]);
+    let ip = &mut frame[ETH_LEN..ETH_LEN + IPV4_LEN];
+    let (a, b) = ip.split_at_mut(16);
+    a[12..16].swap_with_slice(&mut b[0..4]);
+    let udp = &mut frame[ETH_LEN + IPV4_LEN..ETH_LEN + IPV4_LEN + UDP_LEN];
+    let (p, q) = udp.split_at_mut(2);
+    p[0..2].swap_with_slice(&mut q[0..2]);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ([u8; 96], usize) {
+        let mut buf = [0u8; 96];
+        let len = encode_frame(
+            &mut buf,
+            Mac([2, 0, 0, 0, 0, 0xAA]),
+            Mac([2, 0, 0, 0, 0, 0xBB]),
+            [192, 168, 1, 10],
+            [192, 168, 1, 20],
+            1234,
+            5678,
+            b"payload!",
+        )
+        .unwrap();
+        (buf, len)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (buf, len) = sample();
+        assert_eq!(len, FRAME_OVERHEAD + 8);
+        let hdr = decode_frame(&buf[..len]).unwrap();
+        assert_eq!(hdr.src_mac, Mac([2, 0, 0, 0, 0, 0xAA]));
+        assert_eq!(hdr.dst_mac, Mac([2, 0, 0, 0, 0, 0xBB]));
+        assert_eq!(hdr.src_ip, [192, 168, 1, 10]);
+        assert_eq!(hdr.dst_ip, [192, 168, 1, 20]);
+        assert_eq!(hdr.src_port, 1234);
+        assert_eq!(hdr.dst_port, 5678);
+        assert_eq!(payload(&buf[..len]).unwrap(), b"payload!");
+    }
+
+    #[test]
+    fn checksum_validates_and_detects_corruption() {
+        let (mut buf, len) = sample();
+        assert!(decode_frame(&buf[..len]).is_ok());
+        buf[ETH_LEN + 12] ^= 0xFF; // Corrupt the source IP.
+        assert_eq!(decode_frame(&buf[..len]), Err(FrameError::BadIpChecksum));
+    }
+
+    #[test]
+    fn rejects_non_ipv4_and_non_udp() {
+        let (mut buf, len) = sample();
+        buf[12] = 0x08;
+        buf[13] = 0x06; // ARP.
+        assert_eq!(decode_frame(&buf[..len]), Err(FrameError::NotIpv4));
+
+        let (mut buf, len) = sample();
+        buf[ETH_LEN + 9] = 6; // TCP.
+                              // Re-fix the checksum so the protocol check is reached.
+        buf[ETH_LEN + 10] = 0;
+        buf[ETH_LEN + 11] = 0;
+        let csum = ipv4_checksum(&buf[ETH_LEN..ETH_LEN + IPV4_LEN]);
+        buf[ETH_LEN + 10..ETH_LEN + 12].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(decode_frame(&buf[..len]), Err(FrameError::NotUdp));
+    }
+
+    #[test]
+    fn rejects_truncation_and_bad_lengths() {
+        let (buf, len) = sample();
+        assert_eq!(decode_frame(&buf[..10]), Err(FrameError::Truncated));
+        // A frame cut inside the payload fails the length consistency check.
+        assert_eq!(decode_frame(&buf[..len - 3]), Err(FrameError::BadLength));
+    }
+
+    #[test]
+    fn swap_endpoints_reverses_direction() {
+        let (mut buf, len) = sample();
+        swap_endpoints(&mut buf[..len]).unwrap();
+        let hdr = decode_frame(&buf[..len]).unwrap();
+        assert_eq!(hdr.src_mac, Mac([2, 0, 0, 0, 0, 0xBB]));
+        assert_eq!(hdr.dst_mac, Mac([2, 0, 0, 0, 0, 0xAA]));
+        assert_eq!(hdr.src_ip, [192, 168, 1, 20]);
+        assert_eq!(hdr.dst_ip, [192, 168, 1, 10]);
+        assert_eq!(hdr.src_port, 5678);
+        assert_eq!(hdr.dst_port, 1234);
+        // The payload is untouched and the checksum still verifies.
+        assert_eq!(payload(&buf[..len]).unwrap(), b"payload!");
+    }
+
+    #[test]
+    fn checksum_matches_rfc1071_example() {
+        // RFC 1071's worked example: 00 01 f2 03 f4 f5 f6 f7 → sum 0xddf2,
+        // checksum 0x220d.
+        let data = [0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7];
+        assert_eq!(ipv4_checksum(&data), !0xDDF2u16);
+    }
+
+    #[test]
+    fn odd_length_checksum_pads_with_zero() {
+        let even = ipv4_checksum(&[0xAB, 0xCD, 0xEF, 0x00]);
+        let odd = ipv4_checksum(&[0xAB, 0xCD, 0xEF]);
+        assert_eq!(even, odd, "trailing byte is padded with zero");
+    }
+
+    #[test]
+    fn mac_displays_conventionally() {
+        assert_eq!(
+            Mac([0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! Lock-free multi-producer/single-consumer ring.
+//!
+//! The NIC buffer pool is "backed by a multi-producer, single-consumer
+//! ring so workers can release buffers after transmission" (paper §4.3.1):
+//! every application worker and the net worker push retired buffers; the
+//! pool owner drains them. The implementation is a bounded Vyukov-style
+//! queue with per-slot sequence counters, restricted to one consumer.
+//!
+//! All `unsafe` blocks carry SAFETY arguments (kernel Rust guidelines).
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+/// Error returned by [`Sender::push`] when the ring is full.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Full<T>(pub T);
+
+struct Slot<T> {
+    /// Sequence counter: `pos` when free for the producer claiming `pos`,
+    /// `pos + 1` once the value is published, `pos + capacity` after the
+    /// consumer frees it for the next lap.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Ring<T> {
+    buf: Box<[Slot<T>]>,
+    mask: usize,
+    tail: CachePadded<AtomicUsize>,
+    head: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: slot ownership is mediated by the per-slot `seq` protocol —
+// exactly one producer wins the CAS on `tail` for a given position and
+// writes the slot; the single consumer reads it only after observing
+// `seq == pos + 1` (Acquire, pairing with the producer's Release).
+unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: see above.
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+/// A cloneable producer handle.
+pub struct Sender<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            ring: self.ring.clone(),
+        }
+    }
+}
+
+/// The single consumer handle.
+pub struct Receiver<T> {
+    ring: Arc<Ring<T>>,
+    head: usize,
+}
+
+/// Creates a bounded MPSC channel; capacity rounds up to a power of two
+/// (at least 2).
+///
+/// # Examples
+///
+/// ```
+/// let (tx, mut rx) = persephone_net::mpsc::channel::<u32>(8);
+/// let tx2 = tx.clone();
+/// tx.push(1).unwrap();
+/// tx2.push(2).unwrap();
+/// assert_eq!(rx.pop(), Some(1));
+/// assert_eq!(rx.pop(), Some(2));
+/// ```
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buf: Box<[Slot<T>]> = (0..cap)
+        .map(|i| Slot {
+            seq: AtomicUsize::new(i),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        })
+        .collect();
+    let ring = Arc::new(Ring {
+        buf,
+        mask: cap - 1,
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        head: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (Sender { ring: ring.clone() }, Receiver { ring, head: 0 })
+}
+
+impl<T> Sender<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
+
+    /// Pushes a value from any thread, or returns it when the ring is full.
+    pub fn push(&self, value: T) -> Result<(), Full<T>> {
+        let ring = &*self.ring;
+        let mut pos = ring.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &ring.buf[pos & ring.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // The slot is free for this lap: claim it.
+                match ring.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave us exclusive ownership of
+                        // `pos`; the consumer will not read the slot until
+                        // `seq` becomes `pos + 1`, which happens below,
+                        // after the write.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if (seq as isize) < (pos as isize) {
+                // One full lap behind: the ring is full.
+                return Err(Full(value));
+            } else {
+                // Another producer claimed `pos`; move to the fresh tail.
+                pos = ring.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
+
+    /// Pops the oldest value, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let slot = &ring.buf[self.head & ring.mask];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq != self.head + 1 {
+            return None;
+        }
+        // SAFETY: `seq == head + 1` means a producer published this slot
+        // (Release write paired with our Acquire load) and no other thread
+        // will touch it until we bump `seq` for the next lap.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        slot.seq.store(self.head + ring.mask + 1, Ordering::Release);
+        self.head += 1;
+        // Mirror the head for the drop bookkeeping.
+        ring.head.store(self.head, Ordering::Release);
+        Some(value)
+    }
+
+    /// Drains everything currently visible into a vector.
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Drop in-flight values: walk forward from the consumer's head
+        // while slots hold published-but-unpopped values.
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            if slot.seq.load(Ordering::Relaxed) != pos + 1 {
+                break;
+            }
+            // SAFETY: `seq == pos + 1` marks a published, unconsumed value;
+            // in `drop` we have exclusive access to the ring.
+            unsafe { (*slot.value.get()).assume_init_drop() };
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_producer() {
+        let (tx, mut rx) = channel::<u32>(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_detection() {
+        let (tx, mut rx) = channel::<u32>(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(Full(3)));
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(3).unwrap();
+        assert_eq!(rx.drain(), vec![2, 3]);
+    }
+
+    #[test]
+    fn many_wraps() {
+        let (tx, mut rx) = channel::<u64>(4);
+        for i in 0..10_000u64 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn multi_producer_stress_delivers_everything() {
+        const PRODUCERS: usize = 4;
+        const PER: u64 = 100_000;
+        let (tx, mut rx) = channel::<u64>(256);
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS as u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    let mut v = p * PER + i;
+                    loop {
+                        match tx.push(v) {
+                            Ok(()) => break,
+                            Err(Full(back)) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        drop(tx);
+        let total = PRODUCERS as u64 * PER;
+        let mut seen = vec![false; total as usize];
+        let mut got = 0u64;
+        while got < total {
+            if let Some(v) = rx.pop() {
+                assert!(!seen[v as usize], "duplicate value {v}");
+                seen[v as usize] = true;
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(seen.iter().all(|&s| s), "all values delivered exactly once");
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        // MPSC guarantees per-producer FIFO; verify with tagged streams.
+        let (tx, mut rx) = channel::<(u8, u64)>(64);
+        let mut handles = Vec::new();
+        for p in 0..2u8 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000 {
+                    let mut v = (p, i);
+                    while let Err(Full(back)) = tx.push(v) {
+                        v = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut next = [0u64; 2];
+        let mut seen = 0;
+        while seen < 20_000 {
+            if let Some((p, i)) = rx.pop() {
+                assert_eq!(i, next[p as usize], "producer {p} reordered");
+                next[p as usize] += 1;
+                seen += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn drops_in_flight_values() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (tx, mut rx) = channel::<D>(8);
+            tx.push(D).unwrap();
+            tx.push(D).unwrap();
+            tx.push(D).unwrap();
+            let _ = rx.pop();
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+}

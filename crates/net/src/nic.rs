@@ -1,0 +1,182 @@
+//! An in-process loopback "NIC".
+//!
+//! The hardware substitute for the paper's Intel X710: a pair of bounded
+//! lock-free rings standing in for the RX and TX hardware queues. The
+//! client side pushes request packets and drains responses; the server
+//! side gives its net worker exclusive RX access and hands each
+//! application worker a [`NetContext`] with direct TX access — matching
+//! Perséphone's design where workers transmit responses themselves
+//! without bouncing through the net worker (paper §4.3.1, §6).
+
+use crate::mpsc;
+use crate::pool::PacketBuf;
+
+/// Default depth of each hardware queue.
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+/// The client's end of the link.
+pub struct ClientPort {
+    tx: mpsc::Sender<PacketBuf>,
+    rx: mpsc::Receiver<PacketBuf>,
+}
+
+/// The server's end of the link.
+pub struct ServerPort {
+    rx: mpsc::Receiver<PacketBuf>,
+    tx: mpsc::Sender<PacketBuf>,
+}
+
+/// A per-worker transmit context (paper: "this context gives them unique
+/// access to receive and transmit queues in the NIC").
+pub struct NetContext {
+    tx: mpsc::Sender<PacketBuf>,
+}
+
+/// Error returned when a hardware queue is full.
+#[derive(Debug)]
+pub struct QueueFull(pub PacketBuf);
+
+/// Creates a loopback link with the given queue depth.
+///
+/// # Examples
+///
+/// ```
+/// use persephone_net::nic;
+/// use persephone_net::pool::PacketBuf;
+///
+/// let (mut client, mut server) = nic::loopback(16);
+/// let mut pkt = PacketBuf::with_capacity(64);
+/// pkt.fill(b"ping");
+/// client.send(pkt).unwrap();
+/// let got = server.recv().expect("packet arrived");
+/// assert_eq!(got.as_slice(), b"ping");
+/// ```
+pub fn loopback(queue_depth: usize) -> (ClientPort, ServerPort) {
+    let (c2s_tx, c2s_rx) = mpsc::channel(queue_depth);
+    let (s2c_tx, s2c_rx) = mpsc::channel(queue_depth);
+    (
+        ClientPort {
+            tx: c2s_tx,
+            rx: s2c_rx,
+        },
+        ServerPort {
+            rx: c2s_rx,
+            tx: s2c_tx,
+        },
+    )
+}
+
+impl ClientPort {
+    /// Transmits a request packet toward the server.
+    pub fn send(&mut self, pkt: PacketBuf) -> Result<(), QueueFull> {
+        self.tx.push(pkt).map_err(|e| QueueFull(e.0))
+    }
+
+    /// Receives the next response, if any.
+    pub fn recv(&mut self) -> Option<PacketBuf> {
+        self.rx.pop()
+    }
+
+    /// A cloneable sender for multi-threaded load generators.
+    pub fn sender(&self) -> mpsc::Sender<PacketBuf> {
+        self.tx.clone()
+    }
+}
+
+impl ServerPort {
+    /// Receives the next request (net worker only).
+    pub fn recv(&mut self) -> Option<PacketBuf> {
+        self.rx.pop()
+    }
+
+    /// Creates a transmit context for an application worker.
+    pub fn context(&self) -> NetContext {
+        NetContext {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl NetContext {
+    /// Transmits a response packet toward the client.
+    pub fn send(&self, pkt: PacketBuf) -> Result<(), QueueFull> {
+        self.tx.push(pkt).map_err(|e| QueueFull(e.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(bytes: &[u8]) -> PacketBuf {
+        let mut p = PacketBuf::with_capacity(64);
+        assert!(p.fill(bytes));
+        p
+    }
+
+    #[test]
+    fn request_and_response_flow() {
+        let (mut client, mut server) = loopback(8);
+        client.send(pkt(b"req")).unwrap();
+        let got = server.recv().unwrap();
+        assert_eq!(got.as_slice(), b"req");
+        let ctx = server.context();
+        ctx.send(pkt(b"resp")).unwrap();
+        assert_eq!(client.recv().unwrap().as_slice(), b"resp");
+        assert!(client.recv().is_none());
+        assert!(server.recv().is_none());
+    }
+
+    #[test]
+    fn queue_depth_backpressures() {
+        let (mut client, _server) = loopback(2);
+        client.send(pkt(b"1")).unwrap();
+        client.send(pkt(b"2")).unwrap();
+        let err = client.send(pkt(b"3")).unwrap_err();
+        assert_eq!(err.0.as_slice(), b"3", "rejected packet is returned");
+    }
+
+    #[test]
+    fn multiple_worker_contexts_share_tx() {
+        let (mut client, server) = loopback(16);
+        let a = server.context();
+        let b = server.context();
+        a.send(pkt(b"a")).unwrap();
+        b.send(pkt(b"b")).unwrap();
+        let mut seen = Vec::new();
+        while let Some(p) = client.recv() {
+            seen.push(p.as_slice().to_vec());
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn cross_thread_traffic() {
+        let (mut client, mut server) = loopback(64);
+        let sender = client.sender();
+        let producer = std::thread::spawn(move || {
+            for i in 0..1000u32 {
+                let mut p = pkt(&i.to_le_bytes());
+                loop {
+                    match sender.push(p) {
+                        Ok(()) => break,
+                        Err(e) => {
+                            p = e.0;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut got = 0;
+        while got < 1000 {
+            if server.recv().is_some() {
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert!(client.recv().is_none());
+    }
+}

@@ -1,0 +1,306 @@
+//! Lock-free single-producer/single-consumer ring (paper §4.3.2).
+//!
+//! The Perséphone dispatcher shares requests and completion notifications
+//! with each application worker over a pair of SPSC channels, using a
+//! lightweight-RPC design inspired by Barrelfish: sender and consumer keep
+//! *local* copies of the head/tail indices and only touch the shared
+//! atomics when their local view says the ring might be full (producer) or
+//! empty (consumer). This keeps cache-coherence traffic off the common
+//! path; the paper measures ≈88 cycles per operation.
+//!
+//! This is the only module in the workspace (together with its sibling
+//! [`crate::mpsc`]) that uses `unsafe`; every block carries a SAFETY
+//! argument. The ring is validated by unit tests, a two-thread stress
+//! test, and property tests in `tests/`.
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+/// Error returned by [`Producer::push`] when the ring is full.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Full<T>(pub T);
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the producer will write (monotonically increasing).
+    tail: CachePadded<AtomicUsize>,
+    /// Next slot the consumer will read (monotonically increasing).
+    head: CachePadded<AtomicUsize>,
+    mask: usize,
+}
+
+// SAFETY: `Ring` is shared between exactly one producer thread and one
+// consumer thread. Slots in `[head, tail)` are initialized and owned by
+// the consumer; slots in `[tail, head + capacity)` are free and owned by
+// the producer. The atomics transfer ownership with Acquire/Release
+// ordering, so no slot is ever accessed concurrently from both sides.
+unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: see above — interior mutability is partitioned by index ranges
+// guarded by the head/tail atomics.
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+/// The sending half of the channel.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+    /// Local tail (our own write cursor; only we advance it).
+    tail: usize,
+    /// Cached view of the consumer's head; refreshed only when the ring
+    /// looks full (the Barrelfish-style lazy synchronization).
+    head_cache: usize,
+}
+
+/// The receiving half of the channel.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+    /// Local head (our own read cursor; only we advance it).
+    head: usize,
+    /// Cached view of the producer's tail; refreshed only when the ring
+    /// looks empty.
+    tail_cache: usize,
+}
+
+/// Creates a bounded SPSC channel with capacity rounded up to a power of
+/// two (at least 2).
+///
+/// # Examples
+///
+/// ```
+/// let (mut tx, mut rx) = persephone_net::spsc::channel::<u64>(8);
+/// tx.push(7).unwrap();
+/// assert_eq!(rx.pop(), Some(7));
+/// assert_eq!(rx.pop(), None);
+/// ```
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let ring = Arc::new(Ring {
+        buf,
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        head: CachePadded::new(AtomicUsize::new(0)),
+        mask: cap - 1,
+    });
+    (
+        Producer {
+            ring: ring.clone(),
+            tail: 0,
+            head_cache: 0,
+        },
+        Consumer {
+            ring,
+            head: 0,
+            tail_cache: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
+
+    /// Pushes a value, or returns it back when the ring is full.
+    #[inline]
+    pub fn push(&mut self, value: T) -> Result<(), Full<T>> {
+        let cap = self.ring.mask + 1;
+        if self.tail - self.head_cache == cap {
+            // Ring looks full from the cached view: synchronize once.
+            self.head_cache = self.ring.head.load(Ordering::Acquire);
+            if self.tail - self.head_cache == cap {
+                return Err(Full(value));
+            }
+        }
+        let slot = &self.ring.buf[self.tail & self.ring.mask];
+        // SAFETY: `tail < head + cap` was just established, so this slot is
+        // outside the consumer-owned `[head, tail)` window and free. We are
+        // the only producer, so nobody else writes it.
+        unsafe { (*slot.get()).write(value) };
+        self.tail += 1;
+        // Release publishes the slot contents before the new tail.
+        self.ring.tail.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Lower bound on the number of free slots (exact from this side).
+    pub fn free_slots(&mut self) -> usize {
+        self.head_cache = self.ring.head.load(Ordering::Acquire);
+        self.capacity() - (self.tail - self.head_cache)
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
+
+    /// Pops the oldest value, or `None` when the ring is empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        if self.head == self.tail_cache {
+            // Ring looks empty from the cached view: synchronize once.
+            self.tail_cache = self.ring.tail.load(Ordering::Acquire);
+            if self.head == self.tail_cache {
+                return None;
+            }
+        }
+        let slot = &self.ring.buf[self.head & self.ring.mask];
+        // SAFETY: `head < tail` was just established, so the producer wrote
+        // and published this slot (Acquire on `tail` paired with its
+        // Release store). We are the only consumer; after the read we
+        // advance `head`, returning the slot to the producer.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        self.head += 1;
+        // Release hands the slot back before the new head is visible.
+        self.ring.head.store(self.head, Ordering::Release);
+        Some(value)
+    }
+
+    /// Lower bound on the number of queued values (exact from this side).
+    pub fn len(&mut self) -> usize {
+        self.tail_cache = self.ring.tail.load(Ordering::Acquire);
+        self.tail_cache - self.head
+    }
+
+    /// Whether the ring currently looks empty.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Drop any values still in flight. `Ring` is dropped only when both
+        // halves are gone, so the indices are quiescent.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = &self.buf[i & self.mask];
+            // SAFETY: slots in `[head, tail)` hold initialized values that
+            // were never popped; we have exclusive access in `drop`.
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_round_trip() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        assert_eq!(rx.pop(), None);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (tx, _rx) = channel::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = channel::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let (mut tx, mut rx) = channel::<u32>(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(Full(3)));
+        assert_eq!(rx.pop(), Some(1));
+        // Space is visible to the producer after the lazy refresh.
+        tx.push(3).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (mut tx, mut rx) = channel::<u64>(4);
+        for i in 0..10_000u64 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn len_and_free_slots_agree() {
+        let (mut tx, mut rx) = channel::<u8>(4);
+        assert_eq!(tx.free_slots(), 4);
+        assert!(rx.is_empty());
+        tx.push(0).unwrap();
+        tx.push(0).unwrap();
+        assert_eq!(tx.free_slots(), 2);
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn drops_in_flight_values() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (mut tx, rx) = channel::<D>(4);
+            tx.push(D).unwrap();
+            tx.push(D).unwrap();
+            drop(tx);
+            drop(rx);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn two_thread_stress_preserves_sequence() {
+        let (mut tx, mut rx) = channel::<u64>(64);
+        const N: u64 = 1_000_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(Full(back)) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expected, "values must arrive in order");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn boxed_payloads_survive_transfer() {
+        let (mut tx, mut rx) = channel::<Box<String>>(8);
+        tx.push(Box::new("hello".to_string())).unwrap();
+        assert_eq!(*rx.pop().unwrap(), "hello");
+    }
+}

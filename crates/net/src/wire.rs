@@ -1,0 +1,328 @@
+//! Request/response wire format.
+//!
+//! A simple UDP-style framing matching the paper's client protocol
+//! (§5.1): "transaction ID, query ID, and synthetic workload request types
+//! are located in the requests' header", so a header-based request
+//! classifier can extract the type without parsing the payload.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! offset 0   u16  magic (0x5350, "PS")
+//! offset 2   u8   version (1)
+//! offset 3   u8   kind (0 = request, 1 = response)
+//! offset 4   u32  request type  ← HeaderClassifier::new(TYPE_OFFSET, n)
+//! offset 8   u64  request id
+//! offset 16  ...  payload
+//! ```
+//!
+//! Responses reuse the same header (kind = 1) with the type field carrying
+//! a status code, so the ingress buffer can be rewritten in place.
+
+use core::fmt;
+
+/// Byte offset of the type field — feed this to
+/// `persephone_core::classifier::HeaderClassifier`.
+pub const TYPE_OFFSET: usize = 4;
+/// Total header length in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Protocol magic ("PS").
+pub const MAGIC: u16 = 0x5350;
+/// Protocol version implemented by this crate.
+pub const VERSION: u8 = 1;
+
+/// Message kind discriminator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A client request.
+    Request,
+    /// A server response.
+    Response,
+}
+
+/// Response status codes carried in the type field of responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The request was served.
+    Ok,
+    /// The request was malformed or had an unknown type.
+    BadRequest,
+    /// The server shed the request (flow control).
+    Dropped,
+}
+
+impl Status {
+    fn to_u32(self) -> u32 {
+        match self {
+            Status::Ok => 0,
+            Status::BadRequest => 1,
+            Status::Dropped => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<Status> {
+        match v {
+            0 => Some(Status::Ok),
+            1 => Some(Status::BadRequest),
+            2 => Some(Status::Dropped),
+            _ => None,
+        }
+    }
+}
+
+/// Decoded message header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Request or response.
+    pub kind: Kind,
+    /// Request type (requests) or status code (responses).
+    pub ty: u32,
+    /// Request id, echoed in the response.
+    pub id: u64,
+}
+
+/// Wire-format errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer than [`HEADER_LEN`] bytes.
+    Truncated,
+    /// Magic mismatch.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion,
+    /// Unknown kind discriminator.
+    BadKind,
+    /// Destination buffer too small.
+    BufferTooSmall,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WireError::Truncated => "message shorter than the header",
+            WireError::BadMagic => "bad protocol magic",
+            WireError::BadVersion => "unsupported protocol version",
+            WireError::BadKind => "unknown message kind",
+            WireError::BufferTooSmall => "destination buffer too small",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a request into `dst`, returning the total message length.
+///
+/// # Examples
+///
+/// ```
+/// use persephone_net::wire;
+///
+/// let mut buf = [0u8; 64];
+/// let len = wire::encode_request(&mut buf, 3, 42, b"key").unwrap();
+/// let (hdr, payload) = wire::decode(&buf[..len]).unwrap();
+/// assert_eq!(hdr.ty, 3);
+/// assert_eq!(hdr.id, 42);
+/// assert_eq!(payload, b"key");
+/// ```
+pub fn encode_request(
+    dst: &mut [u8],
+    ty: u32,
+    id: u64,
+    payload: &[u8],
+) -> Result<usize, WireError> {
+    encode(dst, Kind::Request, ty, id, payload)
+}
+
+/// Encodes a response into `dst`, returning the total message length.
+pub fn encode_response(
+    dst: &mut [u8],
+    status: Status,
+    id: u64,
+    payload: &[u8],
+) -> Result<usize, WireError> {
+    encode(dst, Kind::Response, status.to_u32(), id, payload)
+}
+
+/// Rewrites a request header in place into a response header, preserving
+/// the id and leaving the payload region untouched (zero-copy reuse of
+/// the ingress buffer, paper §4.3.1).
+pub fn request_to_response_in_place(buf: &mut [u8], status: Status) -> Result<(), WireError> {
+    let hdr = decode(buf)?.0;
+    if hdr.kind != Kind::Request {
+        return Err(WireError::BadKind);
+    }
+    buf[3] = 1;
+    buf[TYPE_OFFSET..TYPE_OFFSET + 4].copy_from_slice(&status.to_u32().to_le_bytes());
+    Ok(())
+}
+
+fn encode(
+    dst: &mut [u8],
+    kind: Kind,
+    ty: u32,
+    id: u64,
+    payload: &[u8],
+) -> Result<usize, WireError> {
+    let total = HEADER_LEN + payload.len();
+    if dst.len() < total {
+        return Err(WireError::BufferTooSmall);
+    }
+    dst[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+    dst[2] = VERSION;
+    dst[3] = match kind {
+        Kind::Request => 0,
+        Kind::Response => 1,
+    };
+    dst[TYPE_OFFSET..TYPE_OFFSET + 4].copy_from_slice(&ty.to_le_bytes());
+    dst[8..16].copy_from_slice(&id.to_le_bytes());
+    dst[HEADER_LEN..total].copy_from_slice(payload);
+    Ok(total)
+}
+
+/// Decodes a message, returning the header and the payload slice.
+pub fn decode(src: &[u8]) -> Result<(Header, &[u8]), WireError> {
+    if src.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let magic = u16::from_le_bytes([src[0], src[1]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if src[2] != VERSION {
+        return Err(WireError::BadVersion);
+    }
+    let kind = match src[3] {
+        0 => Kind::Request,
+        1 => Kind::Response,
+        _ => return Err(WireError::BadKind),
+    };
+    let mut ty4 = [0u8; 4];
+    ty4.copy_from_slice(&src[TYPE_OFFSET..TYPE_OFFSET + 4]);
+    let mut id8 = [0u8; 8];
+    id8.copy_from_slice(&src[8..16]);
+    Ok((
+        Header {
+            kind,
+            ty: u32::from_le_bytes(ty4),
+            id: u64::from_le_bytes(id8),
+        },
+        &src[HEADER_LEN..],
+    ))
+}
+
+/// Decodes a response's status (responses carry it in the type field).
+pub fn response_status(hdr: &Header) -> Option<Status> {
+    if hdr.kind != Kind::Response {
+        return None;
+    }
+    Status::from_u32(hdr.ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let mut buf = [0u8; 64];
+        let len = encode_request(&mut buf, 7, 123, b"payload").unwrap();
+        assert_eq!(len, HEADER_LEN + 7);
+        let (hdr, payload) = decode(&buf[..len]).unwrap();
+        assert_eq!(hdr.kind, Kind::Request);
+        assert_eq!(hdr.ty, 7);
+        assert_eq!(hdr.id, 123);
+        assert_eq!(payload, b"payload");
+    }
+
+    #[test]
+    fn response_round_trip_with_status() {
+        let mut buf = [0u8; 32];
+        let len = encode_response(&mut buf, Status::Dropped, 9, b"").unwrap();
+        let (hdr, payload) = decode(&buf[..len]).unwrap();
+        assert_eq!(hdr.kind, Kind::Response);
+        assert_eq!(response_status(&hdr), Some(Status::Dropped));
+        assert!(payload.is_empty());
+        assert_eq!(hdr.id, 9);
+    }
+
+    #[test]
+    fn type_field_position_matches_classifier_contract() {
+        // HeaderClassifier::new(TYPE_OFFSET, n) must read the type field.
+        let mut buf = [0u8; HEADER_LEN];
+        encode_request(&mut buf, 0xAABB_CCDD, 0, b"").unwrap();
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&buf[TYPE_OFFSET..TYPE_OFFSET + 4]);
+        assert_eq!(u32::from_le_bytes(raw), 0xAABB_CCDD);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_messages_are_rejected() {
+        assert_eq!(decode(&[0u8; 3]), Err(WireError::Truncated));
+        let mut buf = [0u8; HEADER_LEN];
+        encode_request(&mut buf, 1, 1, b"").unwrap();
+        let mut bad_magic = buf;
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(decode(&bad_magic), Err(WireError::BadMagic));
+        let mut bad_version = buf;
+        bad_version[2] = 99;
+        assert_eq!(decode(&bad_version), Err(WireError::BadVersion));
+        let mut bad_kind = buf;
+        bad_kind[3] = 7;
+        assert_eq!(decode(&bad_kind), Err(WireError::BadKind));
+    }
+
+    #[test]
+    fn encode_checks_destination_size() {
+        let mut tiny = [0u8; 8];
+        assert_eq!(
+            encode_request(&mut tiny, 0, 0, b""),
+            Err(WireError::BufferTooSmall)
+        );
+        let mut exact = [0u8; HEADER_LEN + 2];
+        assert!(encode_request(&mut exact, 0, 0, b"ab").is_ok());
+        assert_eq!(
+            encode_request(&mut exact, 0, 0, b"abc"),
+            Err(WireError::BufferTooSmall)
+        );
+    }
+
+    #[test]
+    fn in_place_response_rewrite_preserves_id_and_payload() {
+        let mut buf = [0u8; 32];
+        let len = encode_request(&mut buf, 5, 77, b"hello").unwrap();
+        request_to_response_in_place(&mut buf[..len], Status::Ok).unwrap();
+        let (hdr, payload) = decode(&buf[..len]).unwrap();
+        assert_eq!(hdr.kind, Kind::Response);
+        assert_eq!(hdr.id, 77);
+        assert_eq!(response_status(&hdr), Some(Status::Ok));
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn in_place_rewrite_rejects_responses() {
+        let mut buf = [0u8; HEADER_LEN];
+        encode_response(&mut buf, Status::Ok, 1, b"").unwrap();
+        assert_eq!(
+            request_to_response_in_place(&mut buf, Status::Ok),
+            Err(WireError::BadKind)
+        );
+    }
+
+    #[test]
+    fn status_codes_round_trip() {
+        for s in [Status::Ok, Status::BadRequest, Status::Dropped] {
+            assert_eq!(Status::from_u32(s.to_u32()), Some(s));
+        }
+        assert_eq!(Status::from_u32(99), None);
+    }
+
+    #[test]
+    fn wire_error_displays() {
+        assert_eq!(
+            WireError::Truncated.to_string(),
+            "message shorter than the header"
+        );
+        assert_eq!(WireError::BadMagic.to_string(), "bad protocol magic");
+    }
+}

@@ -1,0 +1,61 @@
+//! Monotonic runtime clock mapped onto the workspace's [`Nanos`] type.
+
+use std::time::Instant;
+
+use persephone_core::time::Nanos;
+
+/// A monotonic clock anchored at construction time.
+///
+/// # Examples
+///
+/// ```
+/// use persephone_runtime::clock::RuntimeClock;
+///
+/// let clock = RuntimeClock::start();
+/// let a = clock.now();
+/// let b = clock.now();
+/// assert!(b >= a);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeClock {
+    origin: Instant,
+}
+
+impl RuntimeClock {
+    /// Starts a clock at the current instant.
+    pub fn start() -> Self {
+        RuntimeClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the clock started.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        Nanos::from_nanos(self.origin.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = RuntimeClock::start();
+        let mut last = c.now();
+        for _ in 0..1000 {
+            let now = c.now();
+            assert!(now >= last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn clock_advances() {
+        let c = RuntimeClock::start();
+        let a = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(c.now() > a + Nanos::from_millis(1));
+    }
+}

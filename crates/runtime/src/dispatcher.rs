@@ -1,0 +1,169 @@
+//! The Perséphone dispatcher thread (paper §4.3.3).
+//!
+//! One thread plays both the net worker and the dispatcher role (the
+//! paper colocates them on one hardware thread): it drains the NIC RX
+//! queue, classifies requests with the user-provided classifier, pushes
+//! them into the DARC engine's typed queues, executes the engine's
+//! dispatch decisions over per-worker SPSC rings, and folds completion
+//! notifications back into the engine (profiling + reservation updates).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use persephone_core::classifier::Classifier;
+use persephone_core::dispatch::DarcEngine;
+use persephone_core::types::{TypeId, WorkerId};
+use persephone_net::nic::{NetContext, ServerPort};
+use persephone_net::pool::PacketBuf;
+use persephone_net::spsc;
+use persephone_net::wire;
+
+use crate::clock::RuntimeClock;
+use crate::messages::{Completion, WorkMsg};
+
+/// A queued request: its buffer plus the decoded wire id.
+pub type Pending = (PacketBuf, u64);
+
+/// Counters and final engine state returned when the dispatcher exits.
+#[derive(Clone, Debug, Default)]
+pub struct DispatcherReport {
+    /// Packets pulled off the NIC.
+    pub received: u64,
+    /// Requests that decoded and classified to a registered type.
+    pub classified: u64,
+    /// Requests classified as UNKNOWN (still served, on the spillway).
+    pub unknown: u64,
+    /// Malformed packets answered with `BadRequest`.
+    pub malformed: u64,
+    /// Requests shed by typed-queue flow control.
+    pub dropped: u64,
+    /// Requests pushed to workers.
+    pub dispatched: u64,
+    /// Completions folded back into the engine.
+    pub completed: u64,
+    /// Reservation updates installed (including the warm-up exit).
+    pub reservation_updates: u64,
+    /// Final guaranteed (reserved) cores per type.
+    pub guaranteed: Vec<usize>,
+}
+
+/// Runs the dispatcher until `shutdown` is set *and* all in-flight work
+/// has drained.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dispatcher(
+    mut port: ServerPort,
+    dispatcher_ctx: NetContext,
+    mut classifier: Box<dyn Classifier>,
+    mut engine: DarcEngine<Pending>,
+    mut work_tx: Vec<spsc::Producer<WorkMsg>>,
+    mut completion_rx: Vec<spsc::Consumer<Completion>>,
+    shutdown: Arc<AtomicBool>,
+    clock: RuntimeClock,
+) -> DispatcherReport {
+    assert_eq!(work_tx.len(), engine.num_workers());
+    assert_eq!(completion_rx.len(), engine.num_workers());
+    let mut report = DispatcherReport::default();
+    let num_types = engine.num_types();
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Net-worker role: drain a batch from the NIC RX queue.
+        for _ in 0..64 {
+            let Some(pkt) = port.recv() else { break };
+            progressed = true;
+            report.received += 1;
+            let now = clock.now();
+            match wire::decode(pkt.as_slice()) {
+                Ok((hdr, _)) if hdr.kind == wire::Kind::Request => {
+                    let ty = classifier.classify(pkt.as_slice());
+                    if ty.is_unknown() || ty.index() >= num_types {
+                        report.unknown += 1;
+                    } else {
+                        report.classified += 1;
+                    }
+                    let id = hdr.id;
+                    if let Err((buf, _)) = engine.enqueue(ty, (pkt, id), now) {
+                        report.dropped += 1;
+                        respond_control(&dispatcher_ctx, buf, wire::Status::Dropped);
+                    }
+                }
+                _ => {
+                    report.malformed += 1;
+                    respond_control(&dispatcher_ctx, pkt, wire::Status::BadRequest);
+                }
+            }
+        }
+
+        // 2. Fold in completions (frees engine workers, feeds profiling).
+        for (w, rx) in completion_rx.iter_mut().enumerate() {
+            while let Some(c) = rx.pop() {
+                progressed = true;
+                report.completed += 1;
+                engine.complete(WorkerId::new(w as u32), c.service, clock.now());
+            }
+        }
+
+        // 3. DARC dispatch: run Algorithm 1 until no placement is possible.
+        let now = clock.now();
+        while let Some(d) = engine.poll(now) {
+            progressed = true;
+            report.dispatched += 1;
+            let (buf, id) = d.req;
+            let msg = WorkMsg::Request { buf, ty: d.ty, id };
+            // Each engine worker has at most one in-flight request, so the
+            // ring (depth ≥ 2) cannot be full.
+            work_tx[d.worker.index()]
+                .push(msg)
+                .unwrap_or_else(|_| panic!("work ring for worker {} full", d.worker));
+        }
+
+        // 4. Orderly shutdown once quiescent.
+        if !progressed {
+            if shutdown.load(Ordering::Acquire)
+                && engine.total_pending() == 0
+                && engine.free_workers() == engine.num_workers()
+            {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    for tx in &mut work_tx {
+        let mut msg = WorkMsg::Shutdown;
+        while let Err(back) = tx.push(msg) {
+            msg = back.0;
+            std::thread::yield_now();
+        }
+    }
+
+    report.reservation_updates = engine.updates();
+    report.guaranteed = (0..num_types)
+        .map(|i| engine.guaranteed_workers(TypeId::new(i as u32)))
+        .collect();
+    report
+}
+
+/// Sends a control response (drop/bad-request) by rewriting the packet in
+/// place when possible; undecodable packets are simply discarded.
+fn respond_control(ctx: &NetContext, mut pkt: PacketBuf, status: wire::Status) {
+    let ok = pkt.len() >= wire::HEADER_LEN
+        && wire::request_to_response_in_place(pkt.raw_mut(), status).is_ok();
+    if !ok {
+        return;
+    }
+    let mut p = pkt;
+    p.set_len(wire::HEADER_LEN);
+    // Bounded retries: control responses are best-effort (UDP semantics).
+    let mut msg = p;
+    for _ in 0..10_000 {
+        match ctx.send(msg) {
+            Ok(()) => break,
+            Err(e) => {
+                msg = e.0;
+                std::thread::yield_now();
+            }
+        }
+    }
+}

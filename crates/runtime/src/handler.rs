@@ -1,0 +1,258 @@
+//! Application request handlers.
+//!
+//! A [`RequestHandler`] is the application code an application worker runs
+//! for each dispatched request (paper §4.3.4): it reads the request
+//! payload, performs the work, and formats the response payload *in
+//! place* into the same packet buffer (zero-copy reuse, §4.3.1).
+//!
+//! Provided handlers:
+//!
+//! * [`SpinHandler`] — calibrated synthetic service times (the paper's
+//!   bimodal workloads).
+//! * [`KvHandler`] — GET/PUT/SCAN/DELETE over `persephone_store::KvStore`
+//!   (the RocksDB experiment).
+//! * [`TpccHandler`] — the five TPC-C transactions over a shared
+//!   `persephone_store::TpccDb`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use persephone_core::time::Nanos;
+use persephone_core::types::TypeId;
+use persephone_store::kv::KvStore;
+use persephone_store::spin::SpinCalibration;
+use persephone_store::tpcc::{TpccDb, TpccInputGen, Transaction};
+
+/// Application logic executed on worker cores.
+pub trait RequestHandler: Send {
+    /// Handles one request.
+    ///
+    /// `payload` is the request payload region of the packet buffer
+    /// (everything after the wire header); on entry its first
+    /// `request_len` bytes hold the request body. The handler writes the
+    /// response body into the same region and returns its length (which
+    /// must not exceed `payload.len()`).
+    fn handle(&mut self, ty: TypeId, payload: &mut [u8], request_len: usize) -> usize;
+}
+
+/// Synthetic handler: burns a per-type calibrated amount of CPU.
+pub struct SpinHandler {
+    cal: SpinCalibration,
+    service_ns: Vec<u64>,
+}
+
+impl SpinHandler {
+    /// Creates a spinner with one service time per type; UNKNOWN and
+    /// out-of-range types use the first entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is empty.
+    pub fn new(cal: SpinCalibration, service: &[Nanos]) -> Self {
+        assert!(!service.is_empty());
+        SpinHandler {
+            cal,
+            service_ns: service.iter().map(|n| n.as_nanos()).collect(),
+        }
+    }
+}
+
+impl RequestHandler for SpinHandler {
+    fn handle(&mut self, ty: TypeId, _payload: &mut [u8], _request_len: usize) -> usize {
+        let idx = if ty.is_unknown() || ty.index() >= self.service_ns.len() {
+            0
+        } else {
+            ty.index()
+        };
+        self.cal.spin_for_ns(self.service_ns[idx]);
+        0
+    }
+}
+
+/// Text protocol for [`KvHandler`] request payloads:
+///
+/// ```text
+/// GET <key>
+/// PUT <key> <value>
+/// DEL <key>
+/// SCAN <start> <count>
+/// ```
+///
+/// Responses: `V <value>` / `N` (not found) / `OK` / `C <count>` /
+/// `E <message>`.
+pub struct KvHandler {
+    db: Arc<Mutex<KvStore>>,
+}
+
+impl KvHandler {
+    /// Creates a handler over a shared store.
+    pub fn new(db: Arc<Mutex<KvStore>>) -> Self {
+        KvHandler { db }
+    }
+
+    fn respond(payload: &mut [u8], resp: &[u8]) -> usize {
+        let n = resp.len().min(payload.len());
+        payload[..n].copy_from_slice(&resp[..n]);
+        n
+    }
+}
+
+impl RequestHandler for KvHandler {
+    fn handle(&mut self, _ty: TypeId, payload: &mut [u8], request_len: usize) -> usize {
+        let req = payload[..request_len].to_vec();
+        let text = match core::str::from_utf8(&req) {
+            Ok(t) => t,
+            Err(_) => return Self::respond(payload, b"E not utf8"),
+        };
+        let mut parts = text.split_whitespace();
+        let resp: Vec<u8> = match (parts.next(), parts.next(), parts.next()) {
+            (Some("GET"), Some(key), None) => match self.db.lock().get(key.as_bytes()) {
+                Some(v) => {
+                    let mut r = b"V ".to_vec();
+                    r.extend_from_slice(&v);
+                    r
+                }
+                None => b"N".to_vec(),
+            },
+            (Some("PUT"), Some(key), Some(value)) => {
+                self.db.lock().put(key.as_bytes(), value.as_bytes());
+                b"OK".to_vec()
+            }
+            (Some("DEL"), Some(key), None) => {
+                self.db.lock().delete(key.as_bytes());
+                b"OK".to_vec()
+            }
+            (Some("SCAN"), Some(start), Some(count)) => match count.parse::<usize>() {
+                Ok(n) => {
+                    let got = self.db.lock().scan(start.as_bytes(), n);
+                    format!("C {}", got.len()).into_bytes()
+                }
+                Err(_) => b"E bad count".to_vec(),
+            },
+            _ => b"E bad request".to_vec(),
+        };
+        Self::respond(payload, &resp)
+    }
+}
+
+/// TPC-C handler: the request type selects the transaction; inputs are
+/// generated per worker (the paper replays profiled transactions, so the
+/// payload carries no arguments).
+pub struct TpccHandler {
+    db: Arc<Mutex<TpccDb>>,
+    gen: TpccInputGen,
+}
+
+impl TpccHandler {
+    /// Creates a handler over a shared database with a per-worker seed.
+    pub fn new(db: Arc<Mutex<TpccDb>>, seed: u64) -> Self {
+        TpccHandler {
+            db,
+            gen: TpccInputGen::new(seed),
+        }
+    }
+}
+
+impl RequestHandler for TpccHandler {
+    fn handle(&mut self, ty: TypeId, payload: &mut [u8], _request_len: usize) -> usize {
+        let tx = if ty.is_unknown() {
+            None
+        } else {
+            Transaction::from_type_id(ty.index() as u32)
+        };
+        let resp: &[u8] = match tx {
+            Some(tx) => {
+                let result = self.db.lock().run(tx, &mut self.gen);
+                match result {
+                    Ok(()) => b"OK",
+                    Err(_) => b"E tx failed",
+                }
+            }
+            None => b"E bad tx",
+        };
+        KvHandler::respond(payload, resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_handler_burns_roughly_the_requested_time() {
+        let cal = SpinCalibration::calibrate();
+        let mut h = SpinHandler::new(cal, &[Nanos::from_micros(200)]);
+        let mut buf = [0u8; 4];
+        let start = std::time::Instant::now();
+        h.handle(TypeId::new(0), &mut buf, 0);
+        let took = start.elapsed().as_micros();
+        assert!(took >= 50, "200 µs spin finished in {took} µs");
+    }
+
+    #[test]
+    fn spin_handler_falls_back_for_unknown_types() {
+        let mut h = SpinHandler::new(SpinCalibration::fixed(0.0), &[Nanos::ZERO]);
+        let mut buf = [0u8; 4];
+        assert_eq!(h.handle(TypeId::UNKNOWN, &mut buf, 0), 0);
+        assert_eq!(h.handle(TypeId::new(9), &mut buf, 0), 0);
+    }
+
+    fn kv() -> KvHandler {
+        KvHandler::new(Arc::new(Mutex::new(KvStore::new())))
+    }
+
+    fn call(h: &mut dyn RequestHandler, req: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; 256];
+        buf[..req.len()].copy_from_slice(req);
+        let n = h.handle(TypeId::new(0), &mut buf, req.len());
+        buf[..n].to_vec()
+    }
+
+    #[test]
+    fn kv_handler_full_protocol() {
+        let mut h = kv();
+        assert_eq!(call(&mut h, b"GET k"), b"N");
+        assert_eq!(call(&mut h, b"PUT k v1"), b"OK");
+        assert_eq!(call(&mut h, b"GET k"), b"V v1");
+        assert_eq!(call(&mut h, b"DEL k"), b"OK");
+        assert_eq!(call(&mut h, b"GET k"), b"N");
+        assert_eq!(call(&mut h, b"PUT a 1"), b"OK");
+        assert_eq!(call(&mut h, b"PUT b 2"), b"OK");
+        assert_eq!(call(&mut h, b"SCAN a 10"), b"C 2");
+    }
+
+    #[test]
+    fn kv_handler_rejects_malformed_requests() {
+        let mut h = kv();
+        assert_eq!(call(&mut h, b"NOPE"), b"E bad request");
+        assert_eq!(call(&mut h, b"GET"), b"E bad request");
+        assert_eq!(call(&mut h, b"SCAN a notanumber"), b"E bad count");
+        assert_eq!(call(&mut h, &[0xFF, 0xFE]), b"E not utf8");
+    }
+
+    #[test]
+    fn kv_handler_truncates_oversized_responses() {
+        let db = Arc::new(Mutex::new(KvStore::new()));
+        db.lock().put(b"k", &[b'x'; 100]);
+        let mut h = KvHandler::new(db);
+        let mut buf = vec![0u8; 8];
+        let req = b"GET k";
+        buf[..req.len()].copy_from_slice(req);
+        let n = h.handle(TypeId::new(0), &mut buf, req.len());
+        assert_eq!(n, 8, "response clamped to the buffer");
+    }
+
+    #[test]
+    fn tpcc_handler_runs_transactions_by_type() {
+        let db = Arc::new(Mutex::new(TpccDb::new(1)));
+        let mut h = TpccHandler::new(db.clone(), 7);
+        let mut buf = vec![0u8; 32];
+        for t in Transaction::ALL {
+            let n = h.handle(TypeId::new(t.type_id()), &mut buf, 0);
+            assert_eq!(&buf[..n], b"OK");
+        }
+        assert_eq!(db.lock().committed(), 5);
+        let n = h.handle(TypeId::UNKNOWN, &mut buf, 0);
+        assert_eq!(&buf[..n], b"E bad tx");
+    }
+}

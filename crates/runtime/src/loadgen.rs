@@ -1,0 +1,261 @@
+//! Open-loop Poisson load generator (paper §5.1's client).
+//!
+//! Sends typed requests at exponentially distributed intervals regardless
+//! of response progress (open loop — the client never waits), records
+//! per-type response latencies, and recycles response buffers into its
+//! packet pool.
+
+use std::time::{Duration, Instant};
+
+use persephone_net::nic::ClientPort;
+use persephone_net::pool::PoolAllocator;
+use persephone_net::wire;
+
+/// One request type in the client mix.
+#[derive(Clone, Debug)]
+pub struct LoadType {
+    /// Wire type id.
+    pub ty: u32,
+    /// Fraction of traffic, `(0, 1]`.
+    pub ratio: f64,
+    /// Request payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// The client mix.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// The typed mixes; ratios must sum to ≈1.
+    pub types: Vec<LoadType>,
+}
+
+impl LoadSpec {
+    /// Creates a spec, validating ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or ratios do not sum to ≈1.
+    pub fn new(types: Vec<LoadType>) -> Self {
+        assert!(!types.is_empty());
+        let total: f64 = types.iter().map(|t| t.ratio).sum();
+        assert!((total - 1.0).abs() < 0.01, "ratios must sum to 1");
+        LoadSpec { types }
+    }
+}
+
+/// Client-side results.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Ok responses received.
+    pub received: u64,
+    /// Server-shed requests (Dropped status).
+    pub dropped: u64,
+    /// BadRequest responses.
+    pub rejected: u64,
+    /// Sends skipped because the packet pool was empty.
+    pub starved: u64,
+    /// Response latencies (ns) per type index.
+    pub latencies_ns: Vec<Vec<u64>>,
+}
+
+impl LoadReport {
+    /// Exact percentile (0–1) of one type's latencies, in nanoseconds.
+    pub fn percentile_ns(&self, ty: usize, p: f64) -> Option<u64> {
+        let mut v = self.latencies_ns.get(ty)?.clone();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_unstable();
+        let rank = (((v.len() as f64) * p).ceil() as usize).clamp(1, v.len()) - 1;
+        Some(v[rank])
+    }
+
+    /// Mean latency of one type, nanoseconds.
+    pub fn mean_ns(&self, ty: usize) -> Option<f64> {
+        let v = self.latencies_ns.get(ty)?;
+        if v.is_empty() {
+            return None;
+        }
+        Some(v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64)
+    }
+}
+
+/// Runs an open-loop Poisson client for `duration` at `rate_rps`, then
+/// drains outstanding responses for up to `grace`.
+///
+/// The pool bounds client memory: if it runs dry (server slower than the
+/// offered rate and responses not yet returned), sends are skipped and
+/// counted in [`LoadReport::starved`].
+pub fn run_open_loop(
+    client: &mut ClientPort,
+    pool: &mut PoolAllocator,
+    spec: &LoadSpec,
+    rate_rps: f64,
+    duration: Duration,
+    grace: Duration,
+    seed: u64,
+) -> LoadReport {
+    assert!(rate_rps > 0.0);
+    let num_types = spec.types.len();
+    let mut report = LoadReport {
+        latencies_ns: vec![Vec::new(); num_types],
+        ..Default::default()
+    };
+    // Splitmix-based deterministic exponential gaps and type picks.
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next_u64 = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mean_gap_ns = 1e9 / rate_rps;
+    let weights: Vec<f64> = spec.types.iter().map(|t| t.ratio).collect();
+    let total_w: f64 = weights.iter().sum();
+
+    let start = Instant::now();
+    let deadline = start + duration;
+    // In-flight bookkeeping: id → (send instant, type index).
+    let mut inflight: Vec<Option<(Instant, usize)>> = Vec::new();
+    let mut next_send = start;
+    let mut next_id: u64 = 0;
+    let mut releaser = pool.releaser();
+
+    let drain = |client: &mut ClientPort,
+                 inflight: &mut Vec<Option<(Instant, usize)>>,
+                 report: &mut LoadReport,
+                 releaser: &mut persephone_net::pool::PoolReleaser| {
+        while let Some(pkt) = client.recv() {
+            if let Ok((hdr, _)) = wire::decode(pkt.as_slice()) {
+                match wire::response_status(&hdr) {
+                    Some(wire::Status::Ok) => {
+                        if let Some(Some((sent_at, ty))) =
+                            inflight.get_mut(hdr.id as usize).map(|s| s.take())
+                        {
+                            report.received += 1;
+                            report.latencies_ns[ty].push(sent_at.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    Some(wire::Status::Dropped) => {
+                        if let Some(slot) = inflight.get_mut(hdr.id as usize) {
+                            slot.take();
+                        }
+                        report.dropped += 1;
+                    }
+                    _ => report.rejected += 1,
+                }
+            }
+            releaser.release(pkt);
+        }
+    };
+
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if now >= next_send {
+            // Schedule the next send first (open loop: the schedule never
+            // depends on the server).
+            let u = (next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let gap = -mean_gap_ns * (1.0 - u).ln();
+            next_send += Duration::from_nanos(gap.max(1.0) as u64);
+
+            // Pick the type.
+            let mut x = (next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * total_w;
+            let mut ti = num_types - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    ti = i;
+                    break;
+                }
+                x -= w;
+            }
+            let lt = &spec.types[ti];
+
+            releaser.flush();
+            match pool.alloc() {
+                Some(mut buf) => {
+                    let id = next_id;
+                    next_id += 1;
+                    let len = wire::encode_request(buf.raw_mut(), lt.ty, id, &lt.payload)
+                        .expect("pool buffers sized for requests");
+                    buf.set_len(len);
+                    inflight.push(Some((Instant::now(), ti)));
+                    report.sent += 1;
+                    let mut pkt = buf;
+                    loop {
+                        match client.send(pkt) {
+                            Ok(()) => break,
+                            Err(e) => {
+                                pkt = e.0;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+                None => {
+                    report.starved += 1;
+                    // Keep id-space dense: skipped sends get no id.
+                }
+            }
+        }
+        drain(client, &mut inflight, &mut report, &mut releaser);
+    }
+
+    // Grace period: collect stragglers.
+    let grace_deadline = Instant::now() + grace;
+    while Instant::now() < grace_deadline && inflight.iter().any(|s| s.is_some()) {
+        drain(client, &mut inflight, &mut report, &mut releaser);
+        std::thread::yield_now();
+    }
+    releaser.flush();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_spec_validates_ratios() {
+        let spec = LoadSpec::new(vec![LoadType {
+            ty: 0,
+            ratio: 1.0,
+            payload: vec![],
+        }]);
+        assert_eq!(spec.types.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratios must sum to 1")]
+    fn bad_ratios_rejected() {
+        LoadSpec::new(vec![LoadType {
+            ty: 0,
+            ratio: 0.5,
+            payload: vec![],
+        }]);
+    }
+
+    #[test]
+    fn report_percentiles() {
+        let report = LoadReport {
+            latencies_ns: vec![(1..=100u64).map(|i| i * 1000).collect()],
+            ..Default::default()
+        };
+        assert_eq!(report.percentile_ns(0, 0.5), Some(50_000));
+        assert_eq!(report.percentile_ns(0, 0.99), Some(99_000));
+        assert_eq!(report.percentile_ns(0, 1.0), Some(100_000));
+        assert!((report.mean_ns(0).unwrap() - 50_500.0).abs() < 1.0);
+        assert_eq!(report.percentile_ns(1, 0.5), None);
+        let empty = LoadReport {
+            latencies_ns: vec![vec![]],
+            ..Default::default()
+        };
+        assert_eq!(empty.percentile_ns(0, 0.5), None);
+        assert_eq!(empty.mean_ns(0), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Server assembly: spawns the dispatcher and worker threads and wires
+//! the rings between them (paper Figure 2).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use persephone_core::classifier::Classifier;
+use persephone_core::dispatch::{DarcEngine, EngineConfig};
+use persephone_core::time::Nanos;
+use persephone_net::nic::ServerPort;
+use persephone_net::spsc;
+
+use crate::clock::RuntimeClock;
+use crate::dispatcher::{run_dispatcher, DispatcherReport, Pending};
+use crate::handler::RequestHandler;
+use crate::messages::{Completion, WorkMsg};
+use crate::worker::{run_worker, WorkerReport};
+
+/// Server construction parameters.
+pub struct ServerConfig {
+    /// Number of application worker threads.
+    pub workers: usize,
+    /// Number of registered request types.
+    pub num_types: usize,
+    /// Optional per-type service-time hints (skips the c-FCFS warm-up when
+    /// all are present).
+    pub hints: Vec<Option<Nanos>>,
+    /// DARC engine configuration (mode, profiler, reservation, queues).
+    pub engine: EngineConfig,
+    /// Depth of each dispatcher↔worker ring.
+    pub ring_depth: usize,
+}
+
+impl ServerConfig {
+    /// A dynamic-DARC server with paper-default parameters.
+    pub fn darc(workers: usize, num_types: usize) -> Self {
+        ServerConfig {
+            workers,
+            num_types,
+            hints: vec![None; num_types],
+            engine: EngineConfig::darc(workers),
+            ring_depth: 8,
+        }
+    }
+
+    /// Sets service-time hints (one per type).
+    pub fn with_hints(mut self, hints: Vec<Option<Nanos>>) -> Self {
+        self.hints = hints;
+        self
+    }
+}
+
+/// A running server; `stop` for an orderly drain and join.
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    dispatcher: JoinHandle<DispatcherReport>,
+    workers: Vec<JoinHandle<WorkerReport>>,
+}
+
+/// Aggregated reports after shutdown.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// The dispatcher's counters and final reservation.
+    pub dispatcher: DispatcherReport,
+    /// Per-worker reports.
+    pub workers: Vec<WorkerReport>,
+}
+
+impl RuntimeReport {
+    /// Total requests handled across workers.
+    pub fn handled(&self) -> u64 {
+        self.workers.iter().map(|w| w.handled).sum()
+    }
+}
+
+/// Spawns a Perséphone server on `port`.
+///
+/// `handler_factory(i)` builds worker `i`'s application handler.
+///
+/// # Panics
+///
+/// Panics if `cfg.workers == 0` or the hint arity mismatches.
+pub fn spawn(
+    cfg: ServerConfig,
+    port: ServerPort,
+    classifier: Box<dyn Classifier>,
+    handler_factory: impl Fn(usize) -> Box<dyn RequestHandler>,
+) -> ServerHandle {
+    assert!(cfg.workers > 0);
+    let mut engine_cfg = cfg.engine;
+    engine_cfg.num_workers = cfg.workers;
+    engine_cfg.reserve.num_workers = cfg.workers;
+    let engine: DarcEngine<Pending> = DarcEngine::new(engine_cfg, cfg.num_types, &cfg.hints);
+
+    let clock = RuntimeClock::start();
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let mut work_tx = Vec::with_capacity(cfg.workers);
+    let mut completion_rx = Vec::with_capacity(cfg.workers);
+    let mut workers = Vec::with_capacity(cfg.workers);
+    for i in 0..cfg.workers {
+        let (wtx, wrx) = spsc::channel::<WorkMsg>(cfg.ring_depth);
+        let (ctx_tx, crx) = spsc::channel::<Completion>(cfg.ring_depth);
+        work_tx.push(wtx);
+        completion_rx.push(crx);
+        let nic_ctx = port.context();
+        let handler = handler_factory(i);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("psp-worker-{i}"))
+                .spawn(move || run_worker(wrx, ctx_tx, nic_ctx, handler))
+                .expect("spawn worker"),
+        );
+    }
+
+    let dispatcher_ctx = port.context();
+    let flag = shutdown.clone();
+    let dispatcher = std::thread::Builder::new()
+        .name("psp-dispatcher".into())
+        .spawn(move || {
+            run_dispatcher(
+                port,
+                dispatcher_ctx,
+                classifier,
+                engine,
+                work_tx,
+                completion_rx,
+                flag,
+                clock,
+            )
+        })
+        .expect("spawn dispatcher");
+
+    ServerHandle {
+        shutdown,
+        dispatcher,
+        workers,
+    }
+}
+
+impl ServerHandle {
+    /// Requests an orderly shutdown, waits for the pipeline to drain, and
+    /// returns the aggregated reports.
+    pub fn stop(self) -> RuntimeReport {
+        self.shutdown.store(true, Ordering::Release);
+        let dispatcher = self.dispatcher.join().expect("dispatcher panicked");
+        let workers = self
+            .workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect();
+        RuntimeReport {
+            dispatcher,
+            workers,
+        }
+    }
+}

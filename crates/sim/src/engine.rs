@@ -1,0 +1,654 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns simulated time, the event heap, the request slab, the
+//! worker states, and the metrics recorder. Scheduling policies implement
+//! [`SimPolicy`] and react to four events: a request *arrival*, a worker
+//! *completion*, a *slice expiry* (preemptive policies only), and policy
+//! *timers*. Policies place work through [`Core::run`] (non-preemptive,
+//! run to completion) or [`Core::run_slice`] (bounded slice plus optional
+//! preemption overhead, for time-sharing policies).
+//!
+//! The paper's own Figures 1 and 10 come from exactly this kind of
+//! simulation; we extend it to every evaluation figure.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use persephone_core::time::Nanos;
+use persephone_core::types::TypeId;
+
+use crate::metrics::{Recorder, RunSummary, Timeline};
+use crate::workload::ArrivalGen;
+
+/// Index of a live request in the engine's slab.
+pub type ReqId = u32;
+
+/// A live request.
+#[derive(Clone, Copy, Debug)]
+pub struct Req {
+    /// True request type (what the workload generated).
+    pub ty: TypeId,
+    /// Arrival time at the server.
+    pub arrival: Nanos,
+    /// Total service demand.
+    pub service: Nanos,
+    /// Remaining service demand (decremented by slices).
+    pub remaining: Nanos,
+    /// Number of times the request was preempted.
+    pub preemptions: u32,
+    active: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Running {
+    req: ReqId,
+    completes: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    Arrival,
+    SliceEnd { worker: u32 },
+    Timer { tag: u64 },
+}
+
+/// Events a policy receives.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// A request arrived at the dispatcher.
+    Arrival(ReqId),
+    /// `worker` completed `req` (already recorded and freed; its type and
+    /// measured service time travel with the event).
+    Completed {
+        /// The worker that finished.
+        worker: usize,
+        /// The completed request's (now stale) id.
+        req: ReqId,
+        /// The request's true type.
+        ty: TypeId,
+        /// The request's total service time as executed.
+        service: Nanos,
+    },
+    /// `worker`'s slice ended with work remaining; the request must be
+    /// re-queued by the policy.
+    SliceExpired {
+        /// The worker whose slice expired.
+        worker: usize,
+        /// The preempted request.
+        req: ReqId,
+    },
+    /// A timer scheduled via [`Core::timer`] fired.
+    Timer(u64),
+}
+
+/// A scheduling policy under simulation.
+pub trait SimPolicy {
+    /// Display name for reports.
+    fn name(&self) -> String;
+    /// Reacts to an engine event.
+    fn handle(&mut self, ev: Event, core: &mut Core);
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of worker cores.
+    pub workers: usize,
+    /// Fraction of the run (by arrival time) discarded as warm-up.
+    pub warmup_fraction: f64,
+    /// Extra reporting-only latency added per request (network RTT).
+    pub rtt: Nanos,
+    /// Record a per-type latency timeline with this bucket size.
+    pub timeline_bucket: Option<Nanos>,
+}
+
+impl SimConfig {
+    /// A config with the paper's defaults: 10 % warm-up, no network.
+    pub fn new(workers: usize) -> Self {
+        SimConfig {
+            workers,
+            warmup_fraction: 0.1,
+            rtt: Nanos::ZERO,
+            timeline_bucket: None,
+        }
+    }
+
+    /// Sets the reporting-only round-trip latency.
+    pub fn with_rtt(mut self, rtt: Nanos) -> Self {
+        self.rtt = rtt;
+        self
+    }
+}
+
+/// The simulation core handed to policies.
+pub struct Core {
+    /// Current simulated time.
+    pub now: Nanos,
+    slab: Vec<Req>,
+    free: Vec<ReqId>,
+    heap: BinaryHeap<Reverse<(Nanos, u64, EvKind)>>,
+    seq: u64,
+    running: Vec<Option<Running>>,
+    busy_ns: Vec<u64>,
+    overhead_ns: Vec<u64>,
+    recorder: Recorder,
+    timeline: Option<Timeline>,
+    live: u64,
+    completions: u64,
+    rtt: Nanos,
+}
+
+impl Core {
+    fn push_ev(&mut self, at: Nanos, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, kind)));
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Whether `worker` is idle.
+    pub fn worker_idle(&self, worker: usize) -> bool {
+        self.running[worker].is_none()
+    }
+
+    /// The lowest-indexed idle worker, if any.
+    pub fn idle_worker(&self) -> Option<usize> {
+        self.running.iter().position(|r| r.is_none())
+    }
+
+    /// Number of idle workers.
+    pub fn idle_count(&self) -> usize {
+        self.running.iter().filter(|r| r.is_none()).count()
+    }
+
+    /// Read a live request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a live request.
+    pub fn req(&self, id: ReqId) -> &Req {
+        let r = &self.slab[id as usize];
+        assert!(r.active, "stale request id {id}");
+        r
+    }
+
+    /// Runs `req` to completion on `worker` (non-preemptive policies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker is busy.
+    pub fn run(&mut self, worker: usize, req: ReqId) {
+        let remaining = self.req(req).remaining;
+        self.start(worker, req, remaining, Nanos::ZERO, true);
+    }
+
+    /// Runs `req` on `worker` for at most `max_slice`. If the request
+    /// cannot finish within the slice it is preempted: the worker
+    /// additionally pays `preempt_overhead` (charged as overhead, not
+    /// progress) and a [`Event::SliceExpired`] fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker is busy or `max_slice` is zero.
+    pub fn run_slice(
+        &mut self,
+        worker: usize,
+        req: ReqId,
+        max_slice: Nanos,
+        preempt_overhead: Nanos,
+    ) {
+        assert!(max_slice > Nanos::ZERO, "zero-length slice");
+        let remaining = self.req(req).remaining;
+        if remaining <= max_slice {
+            self.start(worker, req, remaining, Nanos::ZERO, true);
+        } else {
+            self.start(worker, req, max_slice, preempt_overhead, false);
+        }
+    }
+
+    /// Like [`Core::run_slice`], but the worker first burns `pre_cost` of
+    /// unproductive time *before* the request makes progress — the model
+    /// for a context-switch cost paid when a preemption actually replaces
+    /// the running request with another. No cost is charged at slice
+    /// expiry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker is busy or `max_slice` is zero.
+    pub fn run_slice_after(
+        &mut self,
+        worker: usize,
+        req: ReqId,
+        pre_cost: Nanos,
+        max_slice: Nanos,
+    ) {
+        assert!(max_slice > Nanos::ZERO, "zero-length slice");
+        let remaining = self.req(req).remaining;
+        let (progress, completes) = if remaining <= max_slice {
+            (remaining, true)
+        } else {
+            (max_slice, false)
+        };
+        self.start(worker, req, progress, pre_cost, completes);
+    }
+
+    fn start(
+        &mut self,
+        worker: usize,
+        req: ReqId,
+        progress: Nanos,
+        overhead: Nanos,
+        completes: bool,
+    ) {
+        assert!(
+            self.running[worker].is_none(),
+            "worker {worker} is already busy"
+        );
+        let r = &mut self.slab[req as usize];
+        assert!(r.active, "running a stale request");
+        r.remaining = r.remaining.saturating_sub(progress);
+        if !completes {
+            r.preemptions += 1;
+        }
+        self.running[worker] = Some(Running { req, completes });
+        self.busy_ns[worker] += progress.as_nanos();
+        self.overhead_ns[worker] += overhead.as_nanos();
+        let end = self.now + progress + overhead;
+        self.push_ev(
+            end,
+            EvKind::SliceEnd {
+                worker: worker as u32,
+            },
+        );
+    }
+
+    /// Schedules a policy timer at absolute time `at`.
+    pub fn timer(&mut self, at: Nanos, tag: u64) {
+        self.push_ev(at.max(self.now), EvKind::Timer { tag });
+    }
+
+    /// Drops a request (flow control): records the drop and frees the slot.
+    pub fn drop_req(&mut self, id: ReqId) {
+        let r = &mut self.slab[id as usize];
+        assert!(r.active, "dropping a stale request");
+        r.active = false;
+        self.free.push(id);
+        self.live -= 1;
+        self.recorder.drop_request();
+    }
+
+    /// Total completions so far (including warm-up ones).
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    fn alloc(&mut self, ty: TypeId, arrival: Nanos, service: Nanos) -> ReqId {
+        self.live += 1;
+        let req = Req {
+            ty,
+            arrival,
+            service,
+            remaining: service,
+            preemptions: 0,
+            active: true,
+        };
+        if let Some(id) = self.free.pop() {
+            self.slab[id as usize] = req;
+            id
+        } else {
+            self.slab.push(req);
+            (self.slab.len() - 1) as ReqId
+        }
+    }
+
+    fn finish(&mut self, id: ReqId) {
+        let r = &mut self.slab[id as usize];
+        debug_assert!(r.active && r.remaining == Nanos::ZERO);
+        r.active = false;
+        let (ty, arrival, service) = (r.ty, r.arrival, r.service);
+        self.free.push(id);
+        self.live -= 1;
+        self.completions += 1;
+        let sojourn = self.now.saturating_sub(arrival);
+        self.recorder.complete(ty, arrival, sojourn, service);
+        if let Some(tl) = &mut self.timeline {
+            tl.record(ty, arrival, sojourn + self.rtt);
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// Metric summary (latency percentiles, slowdowns, drops).
+    pub summary: RunSummary,
+    /// Wall-clock end of the simulation (last event time).
+    pub end_time: Nanos,
+    /// Productive busy time per worker.
+    pub busy: Vec<Nanos>,
+    /// Preemption/overhead time per worker.
+    pub overhead: Vec<Nanos>,
+    /// Total completions including warm-up.
+    pub completions: u64,
+    /// Optional per-type latency timeline.
+    pub timeline: Option<Vec<(Nanos, Vec<crate::metrics::Percentiles>)>>,
+}
+
+impl SimOutput {
+    /// Mean number of busy cores over the run (productive work only).
+    pub fn mean_busy_cores(&self) -> f64 {
+        if self.end_time == Nanos::ZERO {
+            return 0.0;
+        }
+        self.busy.iter().map(|b| b.as_nanos() as f64).sum::<f64>() / self.end_time.as_nanos() as f64
+    }
+
+    /// Mean number of cores burned on preemption overhead.
+    pub fn mean_overhead_cores(&self) -> f64 {
+        if self.end_time == Nanos::ZERO {
+            return 0.0;
+        }
+        self.overhead
+            .iter()
+            .map(|b| b.as_nanos() as f64)
+            .sum::<f64>()
+            / self.end_time.as_nanos() as f64
+    }
+
+    /// Busy fraction of one worker.
+    pub fn worker_utilization(&self, worker: usize) -> f64 {
+        if self.end_time == Nanos::ZERO {
+            return 0.0;
+        }
+        (self.busy[worker].as_nanos() + self.overhead[worker].as_nanos()) as f64
+            / self.end_time.as_nanos() as f64
+    }
+}
+
+/// Runs a policy against an arrival stream until every request completes.
+///
+/// # Panics
+///
+/// Panics if the policy strands requests (queues non-empty with the event
+/// heap exhausted) — that is a policy bug, not an overload condition.
+pub fn simulate(
+    policy: &mut dyn SimPolicy,
+    mut gen: ArrivalGen,
+    num_types: usize,
+    total_duration: Nanos,
+    cfg: &SimConfig,
+) -> SimOutput {
+    let warmup_end =
+        Nanos::from_nanos((total_duration.as_nanos() as f64 * cfg.warmup_fraction) as u64);
+    let mut core = Core {
+        now: Nanos::ZERO,
+        slab: Vec::with_capacity(1024),
+        free: Vec::new(),
+        heap: BinaryHeap::new(),
+        seq: 0,
+        running: vec![None; cfg.workers],
+        busy_ns: vec![0; cfg.workers],
+        overhead_ns: vec![0; cfg.workers],
+        recorder: Recorder::new(num_types, warmup_end),
+        timeline: cfg.timeline_bucket.map(|b| Timeline::new(b, num_types)),
+        live: 0,
+        completions: 0,
+        rtt: cfg.rtt,
+    };
+
+    // Prime the first arrival.
+    let mut pending = gen.next();
+    if let Some(a) = pending {
+        core.push_ev(a.at, EvKind::Arrival);
+    }
+
+    while let Some(Reverse((at, _, kind))) = core.heap.pop() {
+        core.now = at;
+        match kind {
+            EvKind::Arrival => {
+                let a = pending.take().expect("arrival event without data");
+                let id = core.alloc(a.ty, a.at, a.service);
+                // Schedule the next arrival before the policy runs so the
+                // heap never starves while work remains.
+                pending = gen.next();
+                if let Some(n) = pending {
+                    core.push_ev(n.at, EvKind::Arrival);
+                }
+                policy.handle(Event::Arrival(id), &mut core);
+            }
+            EvKind::SliceEnd { worker } => {
+                let w = worker as usize;
+                let run = core.running[w].take().expect("slice end on idle worker");
+                if run.completes {
+                    let r = &core.slab[run.req as usize];
+                    let (ty, service) = (r.ty, r.service);
+                    core.finish(run.req);
+                    policy.handle(
+                        Event::Completed {
+                            worker: w,
+                            req: run.req,
+                            ty,
+                            service,
+                        },
+                        &mut core,
+                    );
+                } else {
+                    policy.handle(
+                        Event::SliceExpired {
+                            worker: w,
+                            req: run.req,
+                        },
+                        &mut core,
+                    );
+                }
+            }
+            EvKind::Timer { tag } => {
+                policy.handle(Event::Timer(tag), &mut core);
+            }
+        }
+    }
+
+    assert!(
+        core.live == 0,
+        "policy {} stranded {} requests",
+        policy.name(),
+        core.live
+    );
+
+    SimOutput {
+        summary: core.recorder.summarize(cfg.rtt),
+        end_time: core.now,
+        busy: core.busy_ns.iter().map(|&b| Nanos::from_nanos(b)).collect(),
+        overhead: core
+            .overhead_ns
+            .iter()
+            .map(|&b| Nanos::from_nanos(b))
+            .collect(),
+        completions: core.completions,
+        timeline: core.timeline.as_ref().map(|t| t.series()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    /// A trivial c-FCFS policy used to exercise the engine itself.
+    struct MiniFcfs {
+        queue: std::collections::VecDeque<ReqId>,
+    }
+
+    impl SimPolicy for MiniFcfs {
+        fn name(&self) -> String {
+            "mini-fcfs".into()
+        }
+        fn handle(&mut self, ev: Event, core: &mut Core) {
+            match ev {
+                Event::Arrival(id) => {
+                    if let Some(w) = core.idle_worker() {
+                        core.run(w, id);
+                    } else {
+                        self.queue.push_back(id);
+                    }
+                }
+                Event::Completed { worker, .. } => {
+                    if let Some(next) = self.queue.pop_front() {
+                        core.run(worker, next);
+                    }
+                }
+                _ => unreachable!("mini-fcfs uses no slices or timers"),
+            }
+        }
+    }
+
+    fn run_mini(load: f64, workers: usize) -> SimOutput {
+        let wl = Workload::high_bimodal();
+        let dur = Nanos::from_millis(200);
+        let gen = ArrivalGen::uniform(&wl, workers, load, dur, 42);
+        let mut policy = MiniFcfs {
+            queue: Default::default(),
+        };
+        simulate(&mut policy, gen, 2, dur, &SimConfig::new(workers))
+    }
+
+    #[test]
+    fn low_load_has_near_zero_queueing() {
+        let out = run_mini(0.05, 8);
+        assert!(out.completions > 100);
+        // At 5 % load the p50 slowdown must be ~1 (no queueing).
+        assert!(
+            out.summary.overall_slowdown.p50 < 1.01,
+            "p50 slowdown = {}",
+            out.summary.overall_slowdown.p50
+        );
+    }
+
+    #[test]
+    fn high_load_queues_more_than_low_load() {
+        let lo = run_mini(0.2, 4);
+        let hi = run_mini(0.9, 4);
+        assert!(
+            hi.summary.overall_slowdown.p999 > lo.summary.overall_slowdown.p999,
+            "hi {} vs lo {}",
+            hi.summary.overall_slowdown.p999,
+            lo.summary.overall_slowdown.p999
+        );
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load() {
+        let out = run_mini(0.5, 8);
+        let busy = out.mean_busy_cores();
+        assert!(
+            (busy - 4.0).abs() < 0.3,
+            "expected ~4 busy cores, got {busy}"
+        );
+        assert_eq!(out.mean_overhead_cores(), 0.0);
+    }
+
+    #[test]
+    fn slices_preempt_and_charge_overhead() {
+        /// A policy that slices everything at 5 µs with 1 µs overhead.
+        struct Slicer {
+            queue: std::collections::VecDeque<ReqId>,
+        }
+        impl SimPolicy for Slicer {
+            fn name(&self) -> String {
+                "slicer".into()
+            }
+            fn handle(&mut self, ev: Event, core: &mut Core) {
+                let q = Nanos::from_micros(5);
+                let o = Nanos::from_micros(1);
+                match ev {
+                    Event::Arrival(id) => {
+                        self.queue.push_back(id);
+                    }
+                    Event::Completed { .. } | Event::SliceExpired { .. } => {
+                        if let Event::SliceExpired { req, .. } = ev {
+                            self.queue.push_back(req);
+                        }
+                    }
+                    Event::Timer(_) => {}
+                }
+                while let (Some(w), false) = (core.idle_worker(), self.queue.is_empty()) {
+                    let id = self.queue.pop_front().unwrap();
+                    core.run_slice(w, id, q, o);
+                }
+            }
+        }
+        let wl = Workload::high_bimodal();
+        let dur = Nanos::from_millis(50);
+        let gen = ArrivalGen::uniform(&wl, 4, 0.5, dur, 1);
+        let mut p = Slicer {
+            queue: Default::default(),
+        };
+        let out = simulate(&mut p, gen, 2, dur, &SimConfig::new(4));
+        // Long requests (100 µs) need 20 slices ⇒ 19 preemptions each, so
+        // overhead cores must be clearly positive.
+        assert!(
+            out.mean_overhead_cores() > 0.05,
+            "{}",
+            out.mean_overhead_cores()
+        );
+        assert!(out.completions > 0);
+    }
+
+    #[test]
+    fn rtt_is_reporting_only() {
+        let wl = Workload::high_bimodal();
+        let dur = Nanos::from_millis(50);
+        let mk = |rtt| {
+            let gen = ArrivalGen::uniform(&wl, 4, 0.3, dur, 3);
+            let mut p = MiniFcfs {
+                queue: Default::default(),
+            };
+            simulate(
+                &mut p,
+                gen,
+                2,
+                dur,
+                &SimConfig::new(4).with_rtt(Nanos::from_micros(rtt)),
+            )
+        };
+        let without = mk(0);
+        let with = mk(10);
+        // Same seed ⇒ same slowdowns; latency shifted by exactly 10 µs.
+        assert_eq!(
+            without.summary.overall_slowdown.p999,
+            with.summary.overall_slowdown.p999
+        );
+        assert_eq!(
+            with.summary.per_type[0].latency_ns.p50,
+            without.summary.per_type[0].latency_ns.p50 + 10_000.0
+        );
+    }
+
+    #[test]
+    fn timeline_is_produced_when_requested() {
+        let wl = Workload::high_bimodal();
+        let dur = Nanos::from_millis(100);
+        let gen = ArrivalGen::uniform(&wl, 4, 0.3, dur, 5);
+        let mut p = MiniFcfs {
+            queue: Default::default(),
+        };
+        let mut cfg = SimConfig::new(4);
+        cfg.timeline_bucket = Some(Nanos::from_millis(10));
+        let out = simulate(&mut p, gen, 2, dur, &cfg);
+        let tl = out.timeline.expect("timeline requested");
+        assert!(tl.len() >= 9, "expected ~10 buckets, got {}", tl.len());
+    }
+
+    #[test]
+    fn warmup_discards_early_arrivals() {
+        let out = run_mini(0.3, 4);
+        // Roughly 10 % of completions should have been discarded.
+        let kept = out.summary.completions;
+        let total = out.completions;
+        let frac = kept as f64 / total as f64;
+        assert!((frac - 0.9).abs() < 0.02, "kept fraction = {frac}");
+    }
+}

@@ -1,0 +1,366 @@
+//! Experiment harness: load sweeps, SLO capacity search, system models.
+//!
+//! The paper's headline comparisons are of the form "policy X sustains
+//! N× more load than policy Y under SLO Z". This module runs load sweeps
+//! and extracts those capacities, and defines [`SystemSpec`] presets for
+//! the three systems compared in §5 (Shenango, Shinjuku, Perséphone).
+
+use persephone_core::policy::{Policy, TimeSharingParams, TsDiscipline};
+use persephone_core::time::Nanos;
+
+use crate::engine::{simulate, SimConfig, SimOutput, SimPolicy};
+use crate::metrics::RunSummary;
+use crate::policies;
+use crate::workload::{ArrivalGen, Workload};
+
+/// A service-level objective over a run summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Slo {
+    /// p99.9 slowdown across all requests must not exceed the bound.
+    OverallSlowdown(f64),
+    /// p99.9 slowdown of *every* type must not exceed the bound
+    /// (Figure 1's "10× for each request type").
+    PerTypeSlowdown(f64),
+    /// p99.9 latency of one type must not exceed the bound
+    /// (Figure 3's "SLO of 20 µs for short requests").
+    TypeLatency {
+        /// The constrained type's index.
+        ty: usize,
+        /// The latency bound.
+        bound: Nanos,
+    },
+}
+
+impl Slo {
+    /// Whether `summary` satisfies the SLO.
+    pub fn met(&self, summary: &RunSummary) -> bool {
+        match *self {
+            Slo::OverallSlowdown(b) => summary.overall_slowdown.p999 <= b,
+            Slo::PerTypeSlowdown(b) => summary
+                .per_type
+                .iter()
+                .filter(|t| t.slowdown.count > 0)
+                .all(|t| t.slowdown.p999 <= b),
+            Slo::TypeLatency { ty, bound } => {
+                summary.per_type[ty].latency_ns.p999 <= bound.as_nanos() as f64
+            }
+        }
+    }
+}
+
+/// One swept load point.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// Offered load as a fraction of the theoretical peak.
+    pub load: f64,
+    /// Offered rate, requests per second.
+    pub offered_rps: f64,
+    /// `None` when the point was skipped because the system's documented
+    /// sustainable-load ceiling was exceeded (it drops/crashes there).
+    pub output: Option<SimOutput>,
+}
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// The workload under test.
+    pub workload: Workload,
+    /// Worker cores.
+    pub workers: usize,
+    /// Load fractions to sweep (of theoretical peak).
+    pub loads: Vec<f64>,
+    /// Simulated arrival duration per point.
+    pub duration: Nanos,
+    /// Experiment seed (each point derives its own).
+    pub seed: u64,
+    /// Reporting-only network RTT.
+    pub rtt: Nanos,
+    /// DARC profiling-window size (completions).
+    pub darc_min_samples: u64,
+    /// Per-queue capacity for every policy (`0` = unbounded). Real
+    /// kernel-bypass systems have finite buffers and shed load at
+    /// saturation; DARC's typed-queue flow control is such a bound.
+    pub queue_capacity: usize,
+}
+
+impl SweepConfig {
+    /// A sweep over `loads` with sensible defaults (no network RTT,
+    /// 20k-sample DARC windows).
+    pub fn new(workload: Workload, workers: usize, loads: Vec<f64>, duration: Nanos) -> Self {
+        SweepConfig {
+            workload,
+            workers,
+            loads,
+            duration,
+            seed: 0xBEEF,
+            rtt: Nanos::ZERO,
+            darc_min_samples: 20_000,
+            queue_capacity: 0,
+        }
+    }
+
+    /// Sets the per-queue capacity for every policy.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Evenly spaced loads from `lo` to `hi` (inclusive).
+    pub fn load_steps(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        assert!(n >= 2 && hi > lo);
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+}
+
+/// A modeled system: a policy plus deployment parameters (paper §5.1).
+#[derive(Clone, Debug)]
+pub struct SystemSpec {
+    /// Display name ("Shenango", "Shinjuku", "Perséphone").
+    pub name: String,
+    /// The scheduling policy the system implements.
+    pub policy: Policy,
+    /// Documented sustainable-load ceiling, as a fraction of peak; beyond
+    /// it the real system drops packets and eventually crashes (paper
+    /// §5.4: 75 % for High Bimodal / RocksDB, 55 % for Extreme Bimodal,
+    /// 85 % for TPC-C under Shinjuku).
+    pub max_load: Option<f64>,
+}
+
+impl SystemSpec {
+    /// Shenango running c-FCFS (work stealing enabled).
+    pub fn shenango_cfcfs() -> SystemSpec {
+        SystemSpec {
+            name: "Shenango".into(),
+            policy: Policy::CFcfs,
+            max_load: None,
+        }
+    }
+
+    /// Shenango with work stealing disabled (d-FCFS).
+    pub fn shenango_dfcfs() -> SystemSpec {
+        SystemSpec {
+            name: "Shenango-dFCFS".into(),
+            policy: Policy::DFcfs,
+            max_load: None,
+        }
+    }
+
+    /// Shinjuku with the given quantum/discipline and documented ceiling.
+    pub fn shinjuku(quantum_us: u64, discipline: TsDiscipline, max_load: f64) -> SystemSpec {
+        SystemSpec {
+            name: "Shinjuku".into(),
+            policy: Policy::TimeSharing(TimeSharingParams {
+                quantum: Nanos::from_micros(quantum_us),
+                overhead: Nanos::from_micros(1),
+                propagation: Nanos::ZERO,
+                discipline,
+            }),
+            max_load: Some(max_load),
+        }
+    }
+
+    /// Perséphone running DARC.
+    pub fn persephone() -> SystemSpec {
+        SystemSpec {
+            name: "Persephone".into(),
+            policy: Policy::Darc,
+            max_load: None,
+        }
+    }
+}
+
+/// Runs one policy at one load point.
+pub fn run_point(policy: &Policy, cfg: &SweepConfig, load: f64, seed: u64) -> SimOutput {
+    let mut p = policies::build(
+        policy,
+        &cfg.workload,
+        cfg.workers,
+        cfg.darc_min_samples,
+        cfg.queue_capacity,
+    );
+    run_point_with(p.as_mut(), cfg, load, seed)
+}
+
+/// Runs a pre-built policy object at one load point.
+pub fn run_point_with(
+    policy: &mut dyn SimPolicy,
+    cfg: &SweepConfig,
+    load: f64,
+    seed: u64,
+) -> SimOutput {
+    let gen = ArrivalGen::uniform(&cfg.workload, cfg.workers, load, cfg.duration, seed);
+    let sim = SimConfig {
+        workers: cfg.workers,
+        warmup_fraction: 0.1,
+        rtt: cfg.rtt,
+        timeline_bucket: None,
+    };
+    simulate(policy, gen, cfg.workload.num_types(), cfg.duration, &sim)
+}
+
+/// Sweeps a policy across the configured loads.
+pub fn sweep(policy: &Policy, cfg: &SweepConfig) -> Vec<PointResult> {
+    sweep_system(
+        &SystemSpec {
+            name: policy.name(),
+            policy: policy.clone(),
+            max_load: None,
+        },
+        cfg,
+    )
+}
+
+/// Sweeps a system across the configured loads, honoring its ceiling.
+pub fn sweep_system(system: &SystemSpec, cfg: &SweepConfig) -> Vec<PointResult> {
+    let peak = cfg.workload.peak_rate(cfg.workers);
+    cfg.loads
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| {
+            let output = match system.max_load {
+                Some(ceiling) if load > ceiling + 1e-9 => None,
+                _ => Some(run_point(
+                    &system.policy,
+                    cfg,
+                    load,
+                    cfg.seed.wrapping_add(i as u64),
+                )),
+            };
+            PointResult {
+                load,
+                offered_rps: peak * load,
+                output,
+            }
+        })
+        .collect()
+}
+
+/// The highest swept load whose point meets the SLO (`None` if none do).
+///
+/// Saturated/skipped points count as violations, matching the paper's
+/// treatment of Shinjuku beyond its sustainable load.
+pub fn capacity_at_slo(points: &[PointResult], slo: Slo) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| {
+            p.output
+                .as_ref()
+                .map(|o| slo.met(&o.summary))
+                .unwrap_or(false)
+        })
+        .map(|p| p.load)
+        .fold(None, |acc, l| Some(acc.map_or(l, |a: f64| a.max(l))))
+}
+
+/// Capacity in requests/second rather than load fraction.
+pub fn capacity_rps_at_slo(points: &[PointResult], slo: Slo) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| {
+            p.output
+                .as_ref()
+                .map(|o| slo.met(&o.summary))
+                .unwrap_or(false)
+        })
+        .map(|p| p.offered_rps)
+        .fold(None, |acc, l| Some(acc.map_or(l, |a: f64| a.max(l))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep(policy: Policy) -> (Vec<PointResult>, SweepConfig) {
+        let cfg = SweepConfig {
+            darc_min_samples: 3_000,
+            ..SweepConfig::new(
+                Workload::extreme_bimodal(),
+                8,
+                vec![0.2, 0.5, 0.8],
+                Nanos::from_millis(60),
+            )
+        };
+        (sweep(&policy, &cfg), cfg)
+    }
+
+    #[test]
+    fn load_steps_are_inclusive_and_even() {
+        let steps = SweepConfig::load_steps(0.1, 0.9, 5);
+        assert_eq!(steps.len(), 5);
+        assert!((steps[0] - 0.1).abs() < 1e-12);
+        assert!((steps[4] - 0.9).abs() < 1e-12);
+        assert!((steps[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_offered_rates() {
+        let (points, cfg) = small_sweep(Policy::CFcfs);
+        assert_eq!(points.len(), 3);
+        let peak = cfg.workload.peak_rate(8);
+        for p in &points {
+            assert!((p.offered_rps - peak * p.load).abs() < 1.0);
+            assert!(p.output.is_some());
+        }
+    }
+
+    #[test]
+    fn darc_capacity_exceeds_cfcfs_on_extreme_bimodal() {
+        let (darc, _) = small_sweep(Policy::Darc);
+        let (cfcfs, _) = small_sweep(Policy::CFcfs);
+        let slo = Slo::PerTypeSlowdown(10.0);
+        let cap_darc = capacity_at_slo(&darc, slo).unwrap_or(0.0);
+        let cap_cfcfs = capacity_at_slo(&cfcfs, slo).unwrap_or(0.0);
+        assert!(
+            cap_darc > cap_cfcfs,
+            "DARC {cap_darc} vs c-FCFS {cap_cfcfs}"
+        );
+    }
+
+    #[test]
+    fn ceiling_skips_points() {
+        let sys = SystemSpec::shinjuku(5, TsDiscipline::SingleQueue, 0.55);
+        let cfg = SweepConfig::new(
+            Workload::extreme_bimodal(),
+            8,
+            vec![0.3, 0.5, 0.8],
+            Nanos::from_millis(30),
+        );
+        let points = sweep_system(&sys, &cfg);
+        assert!(points[0].output.is_some());
+        assert!(points[1].output.is_some());
+        assert!(points[2].output.is_none(), "beyond the ceiling");
+        // Skipped points can never satisfy an SLO.
+        let cap = capacity_at_slo(&points, Slo::OverallSlowdown(1e12));
+        assert_eq!(cap, Some(0.5));
+    }
+
+    #[test]
+    fn slo_variants_evaluate_correctly() {
+        let (points, _) = small_sweep(Policy::CFcfs);
+        let out = points[0].output.as_ref().unwrap();
+        // A absurdly lax SLO is met, an impossible one is not.
+        assert!(Slo::OverallSlowdown(f64::INFINITY).met(&out.summary));
+        assert!(!Slo::OverallSlowdown(0.0).met(&out.summary));
+        assert!(Slo::TypeLatency {
+            ty: 0,
+            bound: Nanos::from_secs(100)
+        }
+        .met(&out.summary));
+        assert!(!Slo::TypeLatency {
+            ty: 0,
+            bound: Nanos::from_nanos(1)
+        }
+        .met(&out.summary));
+    }
+
+    #[test]
+    fn capacity_rps_scales_with_load() {
+        let (points, cfg) = small_sweep(Policy::CFcfs);
+        let slo = Slo::OverallSlowdown(f64::INFINITY);
+        let rps = capacity_rps_at_slo(&points, slo).unwrap();
+        let peak = cfg.workload.peak_rate(8);
+        assert!((rps - 0.8 * peak).abs() < 1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Fixed Priority (FP) by request type, work conserving.
+//!
+//! Short types are always dequeued before long types, but every type may
+//! run on every worker — equivalent to "DARC-static with 0 reserved
+//! cores" (paper §5.3). FP still suffers dispersion-based head-of-line
+//! blocking: once long requests occupy all workers, arriving shorts wait.
+
+use std::collections::VecDeque;
+
+use crate::engine::{Core, Event, ReqId, SimPolicy};
+use crate::workload::Workload;
+
+/// The fixed-priority policy.
+pub struct FixedPriority {
+    /// Typed queues, indexed by type id.
+    queues: Vec<VecDeque<ReqId>>,
+    /// Type ids in ascending mean-service order.
+    order: Vec<usize>,
+    capacity: usize,
+}
+
+impl FixedPriority {
+    /// Creates an FP policy; priorities follow the workload's declared
+    /// mean service times, ascending.
+    pub fn new(workload: &Workload) -> Self {
+        let mut order: Vec<usize> = (0..workload.num_types()).collect();
+        order.sort_by(|&a, &b| {
+            workload.types[a]
+                .service
+                .mean()
+                .cmp(&workload.types[b].service.mean())
+        });
+        FixedPriority {
+            queues: vec![VecDeque::new(); workload.num_types()],
+            order,
+            capacity: 0,
+        }
+    }
+
+    /// Bounds each typed queue (`0` = unbounded).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    fn pop_highest(&mut self) -> Option<ReqId> {
+        for &t in &self.order {
+            if let Some(id) = self.queues[t].pop_front() {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+impl SimPolicy for FixedPriority {
+    fn name(&self) -> String {
+        "FP".into()
+    }
+
+    fn handle(&mut self, ev: Event, core: &mut Core) {
+        match ev {
+            Event::Arrival(id) => {
+                if let Some(w) = core.idle_worker() {
+                    core.run(w, id);
+                } else {
+                    let ty = core.req(id).ty.index();
+                    if self.capacity != 0 && self.queues[ty].len() >= self.capacity {
+                        core.drop_req(id);
+                    } else {
+                        self.queues[ty].push_back(id);
+                    }
+                }
+            }
+            Event::Completed { worker, .. } => {
+                if let Some(next) = self.pop_highest() {
+                    core.run(worker, next);
+                }
+            }
+            Event::SliceExpired { .. } | Event::Timer(_) => {
+                unreachable!("FP never slices or sets timers")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::workload::{ArrivalGen, Workload};
+    use persephone_core::time::Nanos;
+
+    #[test]
+    fn shorts_beat_longs_under_fp() {
+        let wl = Workload::high_bimodal();
+        let dur = Nanos::from_millis(300);
+        let gen = ArrivalGen::uniform(&wl, 8, 0.9, dur, 3);
+        let mut p = FixedPriority::new(&wl);
+        let out = simulate(&mut p, gen, 2, dur, &SimConfig::new(8));
+        let short = &out.summary.per_type[0];
+        let long = &out.summary.per_type[1];
+        assert!(
+            short.latency_ns.p50 < long.latency_ns.p50,
+            "short p50 {} must beat long p50 {}",
+            short.latency_ns.p50,
+            long.latency_ns.p50
+        );
+    }
+
+    #[test]
+    fn fp_improves_short_tail_over_cfcfs() {
+        let wl = Workload::high_bimodal();
+        let dur = Nanos::from_millis(300);
+        let fp = {
+            let gen = ArrivalGen::uniform(&wl, 8, 0.85, dur, 17);
+            let mut p = FixedPriority::new(&wl);
+            simulate(&mut p, gen, 2, dur, &SimConfig::new(8))
+        };
+        let cf = {
+            let gen = ArrivalGen::uniform(&wl, 8, 0.85, dur, 17);
+            let mut p = super::super::cfcfs::CFcfs::new();
+            simulate(&mut p, gen, 2, dur, &SimConfig::new(8))
+        };
+        assert!(
+            fp.summary.per_type[0].slowdown.p999 < cf.summary.per_type[0].slowdown.p999,
+            "fp {} vs cfcfs {}",
+            fp.summary.per_type[0].slowdown.p999,
+            cf.summary.per_type[0].slowdown.p999
+        );
+    }
+
+    #[test]
+    fn priority_order_sorts_by_service_time() {
+        let wl = Workload::tpcc();
+        let p = FixedPriority::new(&wl);
+        assert_eq!(p.order, vec![0, 1, 2, 3, 4], "TPC-C types are pre-sorted");
+    }
+}

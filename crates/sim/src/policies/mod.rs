@@ -1,0 +1,67 @@
+//! Scheduling-policy implementations for the simulator.
+//!
+//! Each submodule implements one policy from the paper's Tables 1 and 5:
+//!
+//! * [`dfcfs`] — decentralized FCFS (RSS-style per-worker queues).
+//! * [`cfcfs`] — centralized FCFS (single queue, any idle worker).
+//! * [`fp`] — fixed priority by type, work conserving.
+//! * [`sjf`] — non-preemptive shortest-job-first.
+//! * [`edf`] — non-preemptive earliest-deadline-first.
+//! * [`drr`] — deficit round robin over typed queues.
+//! * [`cscq`] — cycle stealing with central queue (Harchol-Balter).
+//! * [`ts`] — quantum-based time sharing (Shinjuku model).
+//! * [`darc`] — DARC, driving the real `persephone_core` engine.
+//!
+//! [`build`] maps a [`Policy`] description onto a boxed implementation.
+
+pub mod cfcfs;
+pub mod cscq;
+pub mod darc;
+pub mod dfcfs;
+pub mod drr;
+pub mod edf;
+pub mod fp;
+pub mod sjf;
+pub mod ts;
+
+use persephone_core::policy::Policy;
+
+use crate::engine::SimPolicy;
+use crate::workload::Workload;
+
+/// Instantiates the simulator implementation of `policy` for `workload`
+/// on `workers` cores.
+///
+/// DARC variants receive the workload's type count; the dynamic variant
+/// boots unhinted (c-FCFS warm-up then online profiling), exactly like the
+/// real system. The profiling window is sized by `darc_min_samples`.
+/// `queue_capacity` bounds every scheduling queue (`0` = unbounded):
+/// real kernel-bypass systems have finite buffers and shed load at
+/// saturation rather than queueing without bound, and DARC's typed-queue
+/// flow control (paper §4.3.3) is exactly such a bound.
+pub fn build(
+    policy: &Policy,
+    workload: &Workload,
+    workers: usize,
+    darc_min_samples: u64,
+    queue_capacity: usize,
+) -> Box<dyn SimPolicy> {
+    match policy {
+        Policy::DFcfs => Box::new(dfcfs::DFcfs::new(workers, 0xD15).with_capacity(queue_capacity)),
+        Policy::CFcfs => Box::new(cfcfs::CFcfs::new().with_capacity(queue_capacity)),
+        Policy::FixedPriority => {
+            Box::new(fp::FixedPriority::new(workload).with_capacity(queue_capacity))
+        }
+        Policy::Sjf => Box::new(sjf::Sjf::new().with_capacity(queue_capacity)),
+        Policy::TimeSharing(p) => {
+            Box::new(ts::TimeSharing::new(*p, workload.num_types()).with_capacity(queue_capacity))
+        }
+        Policy::DarcStatic { reserved_short } => Box::new(
+            darc::DarcSim::fixed(workload, workers, *reserved_short).with_capacity(queue_capacity),
+        ),
+        Policy::Darc => Box::new(
+            darc::DarcSim::dynamic(workload, workers, darc_min_samples)
+                .with_capacity(queue_capacity),
+        ),
+    }
+}

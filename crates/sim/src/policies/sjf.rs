@@ -1,0 +1,107 @@
+//! Non-preemptive Shortest-Job-First (SJF).
+//!
+//! An idealized comparison point from Table 5: the dispatcher magically
+//! knows each request's exact service demand and always dequeues the
+//! shortest pending one. Running requests are never preempted, so SJF
+//! still lets an unlucky short request block behind `W` in-flight longs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use persephone_core::time::Nanos;
+
+use crate::engine::{Core, Event, ReqId, SimPolicy};
+
+/// The SJF policy (oracle service times).
+#[derive(Default)]
+pub struct Sjf {
+    heap: BinaryHeap<Reverse<(Nanos, u64, ReqId)>>,
+    seq: u64,
+    capacity: usize,
+}
+
+impl Sjf {
+    /// Creates an SJF policy.
+    pub fn new() -> Self {
+        Sjf::default()
+    }
+
+    /// Bounds the pending heap (`0` = unbounded).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+}
+
+impl SimPolicy for Sjf {
+    fn name(&self) -> String {
+        "SJF".into()
+    }
+
+    fn handle(&mut self, ev: Event, core: &mut Core) {
+        match ev {
+            Event::Arrival(id) => {
+                if let Some(w) = core.idle_worker() {
+                    core.run(w, id);
+                } else if self.capacity != 0 && self.heap.len() >= self.capacity {
+                    core.drop_req(id);
+                } else {
+                    let svc = core.req(id).service;
+                    self.seq += 1;
+                    self.heap.push(Reverse((svc, self.seq, id)));
+                }
+            }
+            Event::Completed { worker, .. } => {
+                if let Some(Reverse((_, _, next))) = self.heap.pop() {
+                    core.run(worker, next);
+                }
+            }
+            Event::SliceExpired { .. } | Event::Timer(_) => {
+                unreachable!("SJF never slices or sets timers")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::workload::{ArrivalGen, Workload};
+
+    #[test]
+    fn sjf_orders_by_service_time() {
+        let wl = Workload::high_bimodal();
+        let dur = Nanos::from_millis(300);
+        let sjf = {
+            let gen = ArrivalGen::uniform(&wl, 4, 0.9, dur, 21);
+            let mut p = Sjf::new();
+            simulate(&mut p, gen, 2, dur, &SimConfig::new(4))
+        };
+        let cf = {
+            let gen = ArrivalGen::uniform(&wl, 4, 0.9, dur, 21);
+            let mut p = super::super::cfcfs::CFcfs::new();
+            simulate(&mut p, gen, 2, dur, &SimConfig::new(4))
+        };
+        // SJF minimizes mean waiting time relative to FCFS.
+        assert!(
+            sjf.summary.overall_slowdown.mean < cf.summary.overall_slowdown.mean,
+            "sjf {} vs cfcfs {}",
+            sjf.summary.overall_slowdown.mean,
+            cf.summary.overall_slowdown.mean
+        );
+    }
+
+    #[test]
+    fn fifo_among_equal_lengths() {
+        // With one constant type SJF degenerates to FCFS: equal keys must
+        // break ties by arrival order, which the seq counter guarantees.
+        let mut h: BinaryHeap<Reverse<(Nanos, u64, ReqId)>> = BinaryHeap::new();
+        h.push(Reverse((Nanos::from_micros(1), 0, 10)));
+        h.push(Reverse((Nanos::from_micros(1), 1, 11)));
+        h.push(Reverse((Nanos::from_micros(1), 2, 12)));
+        assert_eq!(h.pop().unwrap().0 .2, 10);
+        assert_eq!(h.pop().unwrap().0 .2, 11);
+        assert_eq!(h.pop().unwrap().0 .2, 12);
+    }
+}

@@ -1,0 +1,192 @@
+//! CSV and markdown emission for the figure-regeneration binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular table with a header row.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "ragged table row");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for commas and quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let body = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            format!("| {body} |")
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", fmt_row(&self.header));
+        let sep = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        let _ = writeln!(out, "| {sep} |");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a nanosecond value as microseconds with 2 decimals.
+pub fn us(ns: f64) -> String {
+    format!("{:.2}", ns / 1_000.0)
+}
+
+/// Formats a ratio/slowdown with 2 decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a rate as thousands of requests per second.
+pub fn krps(rps: f64) -> String {
+    format!("{:.1}", rps / 1_000.0)
+}
+
+/// Formats a rate as millions of requests per second.
+pub fn mrps(rps: f64) -> String {
+    format!("{:.2}", rps / 1_000_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trips_simple_cells() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push(vec!["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_commas_and_quotes() {
+        let mut t = Table::new(vec!["x"]);
+        t.push(vec!["hello, world"]);
+        t.push(vec!["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let mut t = Table::new(vec!["name", "v"]);
+        t.push(vec!["longish", "1"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| name    | v |"));
+        assert!(md.contains("| ------- | - |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push(vec!["only-one"]);
+    }
+
+    #[test]
+    fn unit_formatters() {
+        assert_eq!(us(12_345.0), "12.35");
+        assert_eq!(ratio(3.14159), "3.14");
+        assert_eq!(krps(260_000.0), "260.0");
+        assert_eq!(mrps(5_120_000.0), "5.12");
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("persephone_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sub").join("t.csv");
+        let mut t = Table::new(vec!["a"]);
+        t.push(vec!["1"]);
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

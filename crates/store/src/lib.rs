@@ -1,0 +1,21 @@
+//! # persephone-store — application substrates
+//!
+//! The backends served behind Perséphone in the paper's evaluation:
+//!
+//! * [`kv`] — an in-memory ordered KV store with GET/PUT/SCAN/DELETE, the
+//!   RocksDB stand-in for §5.4.4 (GETs hundreds of times cheaper than
+//!   5000-key SCANs).
+//! * [`tpcc`] — a miniature in-memory TPC-C database implementing the five
+//!   transactions of Table 4 with the standard 44/4/44/4/4 mix.
+//! * [`spin`] — calibrated busy-wait for exact synthetic service times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kv;
+pub mod spin;
+pub mod tpcc;
+
+pub use kv::KvStore;
+pub use spin::SpinCalibration;
+pub use tpcc::{TpccDb, TpccInputGen, Transaction};

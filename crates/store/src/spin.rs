@@ -1,0 +1,113 @@
+//! Calibrated synthetic work (busy-wait).
+//!
+//! The paper's synthetic workloads (High/Extreme Bimodal, TPC-C replay)
+//! occupy a worker core for an exact number of microseconds. This module
+//! provides a calibrated spin loop: [`SpinCalibration`] measures the
+//! machine's spin rate once, then [`SpinCalibration::spin_for`] burns a
+//! requested duration without syscalls or timer reads on the hot path
+//! (a single `Instant` pair per call).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A measured spins-per-nanosecond rate for this machine.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinCalibration {
+    spins_per_ns: f64,
+}
+
+#[inline]
+fn spin_chunk(iters: u64) -> u64 {
+    // A dependent-add chain the optimizer cannot elide or vectorize.
+    let mut acc: u64 = black_box(0x9E37_79B9);
+    for i in 0..iters {
+        acc = black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(i));
+    }
+    acc
+}
+
+impl SpinCalibration {
+    /// Measures the spin rate; takes a few milliseconds.
+    pub fn calibrate() -> Self {
+        // Warm up, then time a large chunk for stability.
+        spin_chunk(100_000);
+        let iters = 2_000_000u64;
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            black_box(spin_chunk(iters));
+            let elapsed = start.elapsed().as_nanos() as f64;
+            // Keep the fastest run: slower ones include scheduler noise.
+            best = best.min(elapsed);
+        }
+        SpinCalibration {
+            spins_per_ns: iters as f64 / best.max(1.0),
+        }
+    }
+
+    /// A fixed calibration (for tests that must not depend on timing).
+    pub fn fixed(spins_per_ns: f64) -> Self {
+        SpinCalibration { spins_per_ns }
+    }
+
+    /// The measured rate.
+    pub fn spins_per_ns(&self) -> f64 {
+        self.spins_per_ns
+    }
+
+    /// Busy-waits approximately `ns` nanoseconds.
+    #[inline]
+    pub fn spin_for_ns(&self, ns: u64) {
+        let iters = (ns as f64 * self.spins_per_ns) as u64;
+        black_box(spin_chunk(iters));
+    }
+
+    /// Busy-waits approximately the given duration.
+    pub fn spin_for(&self, d: Duration) {
+        self.spin_for_ns(d.as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_measures_a_positive_rate() {
+        let cal = SpinCalibration::calibrate();
+        assert!(cal.spins_per_ns() > 0.0);
+    }
+
+    #[test]
+    fn spin_durations_scale_roughly_linearly() {
+        let cal = SpinCalibration::calibrate();
+        let time = |ns: u64| {
+            let start = Instant::now();
+            cal.spin_for_ns(ns);
+            start.elapsed().as_nanos() as f64
+        };
+        // Median of several runs to shrug off scheduler noise (this box
+        // may be heavily shared).
+        let med = |ns: u64| {
+            let mut v: Vec<f64> = (0..9).map(|_| time(ns)).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[4]
+        };
+        let t_short = med(20_000); // 20 µs
+        let t_long = med(200_000); // 200 µs
+        let ratio = t_long / t_short;
+        assert!(
+            (5.0..20.0).contains(&ratio),
+            "10x spin should take ~10x time, ratio = {ratio}"
+        );
+    }
+
+    #[test]
+    fn fixed_calibration_is_deterministic() {
+        let cal = SpinCalibration::fixed(1.0);
+        assert_eq!(cal.spins_per_ns(), 1.0);
+        // Must not panic or hang for tiny and zero durations.
+        cal.spin_for_ns(0);
+        cal.spin_for(Duration::from_nanos(10));
+    }
+}

@@ -1,0 +1,571 @@
+//! A miniature in-memory TPC-C database (paper Table 4).
+//!
+//! The paper profiles the five TPC-C transactions on an in-memory database
+//! (Silo) and replays them as a synthetic workload. This module implements
+//! a functional subset of TPC-C — warehouses, districts, customers, items,
+//! stock, orders — and the five transactions with their standard mix
+//! (Payment 44 %, NewOrder 44 %, OrderStatus 4 %, Delivery 4 %,
+//! StockLevel 4 %), so the runtime examples can serve *real* transactions
+//! whose relative costs mirror Table 4 (NewOrder and the scans touch far
+//! more rows than Payment).
+
+use std::collections::BTreeMap;
+
+/// The five TPC-C transaction profiles (Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Transaction {
+    /// Record a customer payment (5.7 µs, 44 %).
+    Payment,
+    /// Query a customer's latest order (6 µs, 4 %).
+    OrderStatus,
+    /// Place an order with 5–15 lines (20 µs, 44 %).
+    NewOrder,
+    /// Deliver a batch of pending orders (88 µs, 4 %).
+    Delivery,
+    /// Count low-stock items over recent orders (100 µs, 4 %).
+    StockLevel,
+}
+
+impl Transaction {
+    /// All transactions in ascending service-time order (Table 4 order).
+    pub const ALL: [Transaction; 5] = [
+        Transaction::Payment,
+        Transaction::OrderStatus,
+        Transaction::NewOrder,
+        Transaction::Delivery,
+        Transaction::StockLevel,
+    ];
+
+    /// Standard mix ratio of this transaction (Table 4).
+    pub fn ratio(self) -> f64 {
+        match self {
+            Transaction::Payment | Transaction::NewOrder => 0.44,
+            _ => 0.04,
+        }
+    }
+
+    /// Mean service time in microseconds measured by the paper (Table 4).
+    pub fn paper_runtime_us(self) -> f64 {
+        match self {
+            Transaction::Payment => 5.7,
+            Transaction::OrderStatus => 6.0,
+            Transaction::NewOrder => 20.0,
+            Transaction::Delivery => 88.0,
+            Transaction::StockLevel => 100.0,
+        }
+    }
+
+    /// Dense id used as the wire request type.
+    pub fn type_id(self) -> u32 {
+        match self {
+            Transaction::Payment => 0,
+            Transaction::OrderStatus => 1,
+            Transaction::NewOrder => 2,
+            Transaction::Delivery => 3,
+            Transaction::StockLevel => 4,
+        }
+    }
+
+    /// Inverse of [`Transaction::type_id`].
+    pub fn from_type_id(id: u32) -> Option<Transaction> {
+        Transaction::ALL.into_iter().find(|t| t.type_id() == id)
+    }
+}
+
+const DISTRICTS_PER_WAREHOUSE: u32 = 10;
+const CUSTOMERS_PER_DISTRICT: u32 = 30;
+const ITEMS: u32 = 1_000;
+const ORDER_LINES_MIN: u32 = 5;
+const ORDER_LINES_MAX: u32 = 15;
+/// StockLevel examines the last 20 orders of the district.
+const STOCK_LEVEL_ORDERS: u64 = 20;
+
+#[derive(Clone, Debug)]
+struct District {
+    ytd: u64,
+    next_order_id: u64,
+    /// Order ids not yet delivered.
+    undelivered: Vec<u64>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Customer {
+    balance: i64,
+    ytd_payment: u64,
+    payment_count: u64,
+    delivered_count: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Order {
+    customer: u32,
+    lines: Vec<OrderLine>,
+    delivered: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct OrderLine {
+    item: u32,
+    #[allow(dead_code)] // Kept for schema fidelity; read by no transaction yet.
+    quantity: u32,
+    amount: u64,
+}
+
+/// Errors returned by transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TpccError {
+    /// Warehouse/district/customer/item id out of range.
+    BadId,
+}
+
+impl core::fmt::Display for TpccError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("identifier out of range")
+    }
+}
+
+impl std::error::Error for TpccError {}
+
+/// A tiny deterministic generator for transaction inputs (NURand-style
+/// skew for customer and item selection, per the TPC-C spec §2.1.6).
+#[derive(Clone, Debug)]
+pub struct TpccInputGen {
+    state: u64,
+}
+
+impl TpccInputGen {
+    /// Creates a generator.
+    pub fn new(seed: u64) -> Self {
+        TpccInputGen {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        (self.next() % n as u64) as u32
+    }
+
+    /// TPC-C NURand(A, 0, x-1): a non-uniform distribution skewed toward
+    /// "hot" ids.
+    pub fn nurand(&mut self, a: u32, x: u32) -> u32 {
+        ((self.below(a + 1) | self.below(x)) % x) as u32
+    }
+
+    /// A uniformly random district id.
+    pub fn district(&mut self) -> u32 {
+        self.below(DISTRICTS_PER_WAREHOUSE)
+    }
+
+    /// A skewed customer id.
+    pub fn customer(&mut self) -> u32 {
+        self.nurand(1023, CUSTOMERS_PER_DISTRICT)
+    }
+
+    /// A skewed item id.
+    pub fn item(&mut self) -> u32 {
+        self.nurand(8191, ITEMS)
+    }
+
+    /// Order-line count in `[5, 15]`.
+    pub fn line_count(&mut self) -> u32 {
+        ORDER_LINES_MIN + self.below(ORDER_LINES_MAX - ORDER_LINES_MIN + 1)
+    }
+
+    /// A payment amount in cents.
+    pub fn amount(&mut self) -> u64 {
+        100 + self.next() % 500_000
+    }
+
+    /// Picks a transaction according to the Table 4 mix.
+    pub fn transaction(&mut self) -> Transaction {
+        let r = self.next() % 100;
+        match r {
+            0..=43 => Transaction::Payment,
+            44..=87 => Transaction::NewOrder,
+            88..=91 => Transaction::OrderStatus,
+            92..=95 => Transaction::Delivery,
+            _ => Transaction::StockLevel,
+        }
+    }
+}
+
+/// The in-memory TPC-C database (single warehouse by default, like most
+/// microsecond-scale studies; multi-warehouse supported).
+#[derive(Clone, Debug)]
+pub struct TpccDb {
+    warehouses: u32,
+    districts: Vec<District>,
+    customers: Vec<Customer>,
+    stock: Vec<u32>,
+    item_price: Vec<u64>,
+    orders: BTreeMap<(u32, u32, u64), Order>,
+    committed: u64,
+}
+
+impl TpccDb {
+    /// Builds and populates a database with `warehouses` warehouses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warehouses` is zero.
+    pub fn new(warehouses: u32) -> Self {
+        assert!(warehouses > 0);
+        let mut gen = TpccInputGen::new(42);
+        let districts = (0..warehouses * DISTRICTS_PER_WAREHOUSE)
+            .map(|_| District {
+                ytd: 0,
+                next_order_id: 1,
+                undelivered: Vec::new(),
+            })
+            .collect();
+        let customers = (0..warehouses * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT)
+            .map(|_| Customer::default())
+            .collect();
+        let stock = (0..warehouses * ITEMS)
+            .map(|_| 50 + gen.below(50))
+            .collect();
+        let item_price = (0..ITEMS).map(|_| 100 + gen.next() % 9_900).collect();
+        TpccDb {
+            warehouses,
+            districts,
+            customers,
+            stock,
+            item_price,
+            orders: BTreeMap::new(),
+            committed: 0,
+        }
+    }
+
+    fn district_index(&self, w: u32, d: u32) -> Result<usize, TpccError> {
+        if w >= self.warehouses || d >= DISTRICTS_PER_WAREHOUSE {
+            return Err(TpccError::BadId);
+        }
+        Ok((w * DISTRICTS_PER_WAREHOUSE + d) as usize)
+    }
+
+    fn customer_index(&self, w: u32, d: u32, c: u32) -> Result<usize, TpccError> {
+        if c >= CUSTOMERS_PER_DISTRICT {
+            return Err(TpccError::BadId);
+        }
+        Ok(self.district_index(w, d)? * CUSTOMERS_PER_DISTRICT as usize + c as usize)
+    }
+
+    /// Transactions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Number of warehouses.
+    pub fn warehouses(&self) -> u32 {
+        self.warehouses
+    }
+
+    /// Payment: add to warehouse/district YTD and the customer balance.
+    pub fn payment(&mut self, w: u32, d: u32, c: u32, amount: u64) -> Result<(), TpccError> {
+        let di = self.district_index(w, d)?;
+        let ci = self.customer_index(w, d, c)?;
+        self.districts[di].ytd += amount;
+        let cust = &mut self.customers[ci];
+        cust.balance -= amount as i64;
+        cust.ytd_payment += amount;
+        cust.payment_count += 1;
+        self.committed += 1;
+        Ok(())
+    }
+
+    /// NewOrder: insert an order with the given item lines, decrementing
+    /// stock (restocking by 91 when it would go negative, per the spec).
+    pub fn new_order(
+        &mut self,
+        w: u32,
+        d: u32,
+        c: u32,
+        items: &[(u32, u32)],
+    ) -> Result<u64, TpccError> {
+        let di = self.district_index(w, d)?;
+        self.customer_index(w, d, c)?;
+        let mut lines = Vec::with_capacity(items.len());
+        for &(item, qty) in items {
+            if item >= ITEMS {
+                return Err(TpccError::BadId);
+            }
+            let si = (w * ITEMS + item) as usize;
+            if self.stock[si] < qty {
+                self.stock[si] += 91;
+            }
+            self.stock[si] -= qty;
+            lines.push(OrderLine {
+                item,
+                quantity: qty,
+                amount: self.item_price[item as usize] * qty as u64,
+            });
+        }
+        let oid = self.districts[di].next_order_id;
+        self.districts[di].next_order_id += 1;
+        self.districts[di].undelivered.push(oid);
+        self.orders.insert(
+            (w, d, oid),
+            Order {
+                customer: c,
+                lines,
+                delivered: false,
+            },
+        );
+        self.committed += 1;
+        Ok(oid)
+    }
+
+    /// OrderStatus: the customer's most recent order (id, line count,
+    /// total amount), if any.
+    pub fn order_status(
+        &mut self,
+        w: u32,
+        d: u32,
+        c: u32,
+    ) -> Result<Option<(u64, usize, u64)>, TpccError> {
+        self.customer_index(w, d, c)?;
+        let found = self
+            .orders
+            .range((w, d, 0)..(w, d, u64::MAX))
+            .rev()
+            .find(|(_, o)| o.customer == c)
+            .map(|((_, _, oid), o)| {
+                (
+                    *oid,
+                    o.lines.len(),
+                    o.lines.iter().map(|l| l.amount).sum::<u64>(),
+                )
+            });
+        self.committed += 1;
+        Ok(found)
+    }
+
+    /// Delivery: deliver the oldest undelivered order of every district in
+    /// the warehouse; returns how many orders were delivered.
+    pub fn delivery(&mut self, w: u32) -> Result<usize, TpccError> {
+        if w >= self.warehouses {
+            return Err(TpccError::BadId);
+        }
+        let mut delivered = 0;
+        for d in 0..DISTRICTS_PER_WAREHOUSE {
+            let di = self.district_index(w, d)?;
+            if let Some(oid) = {
+                let dist = &mut self.districts[di];
+                if dist.undelivered.is_empty() {
+                    None
+                } else {
+                    Some(dist.undelivered.remove(0))
+                }
+            } {
+                let credit = self.orders.get_mut(&(w, d, oid)).map(|order| {
+                    order.delivered = true;
+                    (
+                        order.customer,
+                        order.lines.iter().map(|l| l.amount).sum::<u64>(),
+                    )
+                });
+                if let Some((customer, total)) = credit {
+                    let ci = self.customer_index(w, d, customer)?;
+                    self.customers[ci].balance += total as i64;
+                    self.customers[ci].delivered_count += 1;
+                    delivered += 1;
+                }
+            }
+        }
+        self.committed += 1;
+        Ok(delivered)
+    }
+
+    /// StockLevel: count distinct items under `threshold` stock across the
+    /// district's most recent orders — the big read transaction.
+    pub fn stock_level(&mut self, w: u32, d: u32, threshold: u32) -> Result<usize, TpccError> {
+        let di = self.district_index(w, d)?;
+        let next = self.districts[di].next_order_id;
+        let lo = next.saturating_sub(STOCK_LEVEL_ORDERS);
+        let mut low_items: Vec<u32> = Vec::new();
+        for (_, order) in self.orders.range((w, d, lo)..(w, d, next)) {
+            for line in &order.lines {
+                let si = (w * ITEMS + line.item) as usize;
+                if self.stock[si] < threshold && !low_items.contains(&line.item) {
+                    low_items.push(line.item);
+                }
+            }
+        }
+        self.committed += 1;
+        Ok(low_items.len())
+    }
+
+    /// Runs one randomly generated transaction of the given profile;
+    /// returns the transaction actually executed (convenience for the
+    /// runtime handlers).
+    pub fn run(&mut self, tx: Transaction, gen: &mut TpccInputGen) -> Result<(), TpccError> {
+        let w = gen.below(self.warehouses);
+        match tx {
+            Transaction::Payment => {
+                let (d, c, amt) = (gen.district(), gen.customer(), gen.amount());
+                self.payment(w, d, c, amt)
+            }
+            Transaction::OrderStatus => {
+                let (d, c) = (gen.district(), gen.customer());
+                self.order_status(w, d, c).map(|_| ())
+            }
+            Transaction::NewOrder => {
+                let (d, c) = (gen.district(), gen.customer());
+                let n = gen.line_count();
+                let items: Vec<(u32, u32)> =
+                    (0..n).map(|_| (gen.item(), 1 + gen.below(10))).collect();
+                self.new_order(w, d, c, &items).map(|_| ())
+            }
+            Transaction::Delivery => self.delivery(w).map(|_| ()),
+            Transaction::StockLevel => {
+                let d = gen.district();
+                self.stock_level(w, d, 60).map(|_| ())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_ratios_sum_to_one() {
+        let total: f64 = Transaction::ALL.iter().map(|t| t.ratio()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn type_ids_round_trip() {
+        for t in Transaction::ALL {
+            assert_eq!(Transaction::from_type_id(t.type_id()), Some(t));
+        }
+        assert_eq!(Transaction::from_type_id(9), None);
+    }
+
+    #[test]
+    fn paper_runtimes_match_table4() {
+        assert_eq!(Transaction::Payment.paper_runtime_us(), 5.7);
+        assert_eq!(Transaction::StockLevel.paper_runtime_us(), 100.0);
+        // Dispersion: 100 / 5.7 ≈ 17.5× (Table 4).
+        let d =
+            Transaction::StockLevel.paper_runtime_us() / Transaction::Payment.paper_runtime_us();
+        assert!((d - 17.54).abs() < 0.01);
+    }
+
+    #[test]
+    fn payment_moves_money() {
+        let mut db = TpccDb::new(1);
+        db.payment(0, 3, 7, 500).unwrap();
+        db.payment(0, 3, 7, 250).unwrap();
+        assert_eq!(
+            db.customers[db.customer_index(0, 3, 7).unwrap()].balance,
+            -750
+        );
+        assert_eq!(db.districts[3].ytd, 750);
+        assert_eq!(db.committed(), 2);
+    }
+
+    #[test]
+    fn new_order_then_status_and_delivery() {
+        let mut db = TpccDb::new(1);
+        let oid = db.new_order(0, 0, 5, &[(1, 2), (2, 1)]).unwrap();
+        assert_eq!(oid, 1);
+        let status = db.order_status(0, 0, 5).unwrap();
+        let (got_oid, lines, total) = status.expect("order exists");
+        assert_eq!(got_oid, oid);
+        assert_eq!(lines, 2);
+        assert!(total > 0);
+        // Another customer sees no order.
+        assert!(db.order_status(0, 0, 6).unwrap().is_none());
+        // Delivery delivers it and credits the customer.
+        let delivered = db.delivery(0).unwrap();
+        assert_eq!(delivered, 1);
+        assert_eq!(db.delivery(0).unwrap(), 0, "nothing left to deliver");
+        let ci = db.customer_index(0, 0, 5).unwrap();
+        assert_eq!(db.customers[ci].balance, total as i64);
+    }
+
+    #[test]
+    fn new_order_decrements_stock_and_restocks() {
+        let mut db = TpccDb::new(1);
+        let before = db.stock[10];
+        db.new_order(0, 0, 0, &[(10, 5)]).unwrap();
+        assert_eq!(db.stock[10], before - 5);
+        // Drain the stock to force a restock.
+        for _ in 0..30 {
+            db.new_order(0, 0, 0, &[(10, 10)]).unwrap();
+        }
+        assert!(db.stock[10] < 100, "stock stays bounded via restocking");
+    }
+
+    #[test]
+    fn stock_level_counts_low_items() {
+        let mut db = TpccDb::new(1);
+        db.new_order(0, 0, 0, &[(1, 1), (2, 1)]).unwrap();
+        // With threshold above every stock level, both items count.
+        let n = db.stock_level(0, 0, 1_000).unwrap();
+        assert_eq!(n, 2);
+        // With threshold 0 nothing counts.
+        assert_eq!(db.stock_level(0, 0, 0).unwrap(), 0);
+        // Other districts see no orders.
+        assert_eq!(db.stock_level(0, 1, 1_000).unwrap(), 0);
+    }
+
+    #[test]
+    fn bad_ids_are_rejected() {
+        let mut db = TpccDb::new(1);
+        assert_eq!(db.payment(1, 0, 0, 1), Err(TpccError::BadId));
+        assert_eq!(db.payment(0, 10, 0, 1), Err(TpccError::BadId));
+        assert_eq!(db.payment(0, 0, 99, 1), Err(TpccError::BadId));
+        assert_eq!(db.new_order(0, 0, 0, &[(9999, 1)]), Err(TpccError::BadId));
+        assert_eq!(db.delivery(5), Err(TpccError::BadId));
+        assert_eq!(db.stock_level(2, 0, 1), Err(TpccError::BadId));
+    }
+
+    #[test]
+    fn generated_mix_matches_table4() {
+        let mut gen = TpccInputGen::new(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(gen.transaction()).or_insert(0u64) += 1;
+        }
+        let frac = |t: Transaction| counts[&t] as f64 / 100_000.0;
+        assert!((frac(Transaction::Payment) - 0.44).abs() < 0.01);
+        assert!((frac(Transaction::NewOrder) - 0.44).abs() < 0.01);
+        assert!((frac(Transaction::Delivery) - 0.04).abs() < 0.005);
+    }
+
+    #[test]
+    fn nurand_is_skewed_but_in_range() {
+        let mut gen = TpccInputGen::new(3);
+        let mut counts = vec![0u64; ITEMS as usize];
+        for _ in 0..100_000 {
+            counts[gen.item() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c < 100_000));
+        // NURand concentrates mass: the busiest item must be well above
+        // the uniform expectation of 100.
+        let max = counts.iter().max().unwrap();
+        assert!(*max > 150, "max item count = {max}");
+    }
+
+    #[test]
+    fn run_executes_every_profile() {
+        let mut db = TpccDb::new(2);
+        let mut gen = TpccInputGen::new(5);
+        for t in Transaction::ALL {
+            db.run(t, &mut gen).unwrap();
+        }
+        assert_eq!(db.committed(), 5);
+        assert_eq!(db.warehouses(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Comparing scheduling policies on a heavy-tailed workload — the
+//! paper's §2 argument in one runnable program.
+//!
+//! Sweeps d-FCFS, c-FCFS, SJF, time sharing (ideal and Shinjuku-cost),
+//! and DARC over the Extreme Bimodal workload on 16 simulated cores and
+//! prints the achievable throughput under a 10× per-type p99.9 slowdown
+//! SLO — the headline numbers of Figure 1.
+//!
+//! Run with: `cargo run --release --example policy_compare`
+
+use persephone::core::policy::{Policy, TimeSharingParams};
+use persephone::core::time::Nanos;
+use persephone::sim::experiment::{capacity_rps_at_slo, sweep, Slo, SweepConfig};
+use persephone::sim::workload::Workload;
+
+fn main() {
+    let workload = Workload::extreme_bimodal();
+    let workers = 16;
+    let peak = workload.peak_rate(workers);
+    println!(
+        "workload: {} (dispersion {:.0}x), {} workers, peak = {:.2} Mrps",
+        workload.name,
+        workload.dispersion(),
+        workers,
+        peak / 1e6
+    );
+
+    let policies = vec![
+        Policy::DFcfs,
+        Policy::CFcfs,
+        Policy::Sjf,
+        Policy::TimeSharing(TimeSharingParams::ideal()),
+        Policy::TimeSharing(TimeSharingParams::shinjuku_fig1()),
+        Policy::Darc,
+    ];
+
+    let loads: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+    let cfg = SweepConfig {
+        darc_min_samples: 20_000,
+        ..SweepConfig::new(workload, workers, loads, Nanos::from_millis(300))
+    };
+
+    let slo = Slo::PerTypeSlowdown(10.0);
+    println!(
+        "\n{:<12} {:>16} {:>12}",
+        "policy", "capacity @10x SLO", "of peak"
+    );
+    for p in policies {
+        let points = sweep(&p, &cfg);
+        let cap = capacity_rps_at_slo(&points, slo).unwrap_or(0.0);
+        println!(
+            "{:<12} {:>13.2} Mrps {:>11.0}%",
+            p.name(),
+            cap / 1e6,
+            100.0 * cap / peak
+        );
+    }
+    println!(
+        "\nDARC sustains the highest load because reserving cores for the\n\
+         99.5% of 0.5us requests shields them from 500us requests without\n\
+         preemption — idling is ideal."
+    );
+}

@@ -1,0 +1,90 @@
+//! TPC-C transactions behind Perséphone (paper §5.4.3).
+//!
+//! Serves the five TPC-C transaction profiles from a real in-memory
+//! database through the threaded runtime at the standard 44/4/44/4/4 mix.
+//! With the paper's Table 4 service-time hints, DARC groups
+//! {Payment, OrderStatus} / {NewOrder} / {Delivery, StockLevel} and
+//! reserves cores per group, protecting the short transactions.
+//!
+//! Run with: `cargo run --release --example tpcc_server`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use persephone::core::classifier::HeaderClassifier;
+use persephone::core::time::Nanos;
+use persephone::net::pool::BufferPool;
+use persephone::net::{nic, wire};
+use persephone::runtime::handler::TpccHandler;
+use persephone::runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
+use persephone::runtime::server::{spawn, ServerConfig};
+use persephone::store::tpcc::{TpccDb, Transaction};
+
+fn main() {
+    let db = Arc::new(Mutex::new(TpccDb::new(1)));
+    let (mut client, server_port) = nic::loopback(1024);
+
+    // Table 4 hints seed the reservation at boot.
+    let hints: Vec<Option<Nanos>> = Transaction::ALL
+        .iter()
+        .map(|t| Some(Nanos::from_micros_f64(t.paper_runtime_us())))
+        .collect();
+    let cfg = ServerConfig::darc(3, 5).with_hints(hints);
+    let handle = spawn(
+        cfg,
+        server_port,
+        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 5)),
+        {
+            let db = db.clone();
+            move |worker| Box::new(TpccHandler::new(db.clone(), worker as u64 + 1))
+        },
+    );
+
+    // The standard transaction mix.
+    let mut pool = BufferPool::new(512, 256);
+    let spec = LoadSpec::new(
+        Transaction::ALL
+            .iter()
+            .map(|t| LoadType {
+                ty: t.type_id(),
+                ratio: t.ratio(),
+                payload: Vec::new(), // Inputs are generated server-side.
+            })
+            .collect(),
+    );
+    println!("offering 4k TPC-C transactions/s for 3 seconds...");
+    let report = run_open_loop(
+        &mut client,
+        &mut pool,
+        &spec,
+        4_000.0,
+        Duration::from_secs(3),
+        Duration::from_secs(1),
+        11,
+    );
+
+    let server_report = handle.stop();
+    println!(
+        "client: sent={} received={} dropped={}",
+        report.sent, report.received, report.dropped
+    );
+    for (i, t) in Transaction::ALL.iter().enumerate() {
+        if let (Some(p50), Some(p999)) =
+            (report.percentile_ns(i, 0.5), report.percentile_ns(i, 0.999))
+        {
+            println!(
+                "  {:12} p50 = {:>9.1} us   p99.9 = {:>9.1} us",
+                format!("{t:?}"),
+                p50 as f64 / 1e3,
+                p999 as f64 / 1e3
+            );
+        }
+    }
+    let d = &server_report.dispatcher;
+    println!(
+        "server: dispatched={} guaranteed cores per transaction = {:?}",
+        d.dispatched, d.guaranteed
+    );
+    println!("database committed {} transactions", db.lock().committed());
+}

@@ -1,0 +1,74 @@
+//! Reacting to workload changes (paper §5.5, Figure 7) — in simulation.
+//!
+//! Replays the paper's four-phase script through the discrete-event
+//! simulator with DARC driving the real `persephone-core` engine:
+//!
+//! 1. A slow (500 µs) / B fast (0.5 µs) at 50/50;
+//! 2. service times swap (the misclassification stress);
+//! 3. ratios shift to 99.5 % A / 0.5 % B (A's demand grows ⇒ 2 cores);
+//! 4. only A remains (B pending work rides the spillway core).
+//!
+//! Prints the reservation-change log and a per-phase latency table.
+//!
+//! Run with: `cargo run --release --example workload_shift`
+
+use persephone::core::time::Nanos;
+use persephone::sim::engine::{simulate, SimConfig};
+use persephone::sim::policies::darc::DarcSim;
+use persephone::sim::workload::{ArrivalGen, PhasedWorkload};
+
+fn main() {
+    let script = PhasedWorkload::paper_fig7();
+    let workers = 14;
+    println!(
+        "running the Figure 7 script: {} phases, {} total simulated",
+        script.phases.len(),
+        script.total_duration()
+    );
+
+    let gen = ArrivalGen::phased(&script, workers, 2024);
+    // A 50k-sample window, as in the paper.
+    let mut darc = DarcSim::dynamic(&script.phases[0].workload, workers, 50_000);
+    let mut cfg = SimConfig::new(workers);
+    cfg.timeline_bucket = Some(Nanos::from_millis(500));
+    cfg.warmup_fraction = 0.0; // Keep every phase visible.
+    let out = simulate(&mut darc, gen, 2, script.total_duration(), &cfg);
+
+    println!("\nreservation log (time → guaranteed cores [A, B]):");
+    for (t, counts) in darc.reservation_log() {
+        println!("  {:>8.2}s  {:?}", t.as_secs_f64(), counts);
+    }
+
+    println!("\np99.9 latency per 500ms bucket (us):");
+    println!("  {:>8} {:>12} {:>12}", "time", "A", "B");
+    if let Some(tl) = &out.timeline {
+        for (start, per_ty) in tl {
+            let fmt = |p: &persephone::sim::metrics::Percentiles| {
+                if p.count == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", p.p999 / 1e3)
+                }
+            };
+            println!(
+                "  {:>7.1}s {:>12} {:>12}",
+                start.as_secs_f64(),
+                fmt(&per_ty[0]),
+                fmt(&per_ty[1])
+            );
+        }
+    }
+
+    println!(
+        "\ncompletions: {}   reservation updates: {}",
+        out.completions,
+        darc.engine().updates()
+    );
+    println!(
+        "final guaranteed cores: A={} B={}",
+        darc.engine()
+            .guaranteed_workers(persephone::core::types::TypeId::new(0)),
+        darc.engine()
+            .guaranteed_workers(persephone::core::types::TypeId::new(1)),
+    );
+}

@@ -1,0 +1,31 @@
+//! # persephone — umbrella crate
+//!
+//! A from-scratch Rust reproduction of **Perséphone** (SOSP 2021): the
+//! DARC non-work-conserving kernel-bypass scheduler, a discrete-event
+//! simulator reproducing every figure of the paper's evaluation, an
+//! in-process threaded runtime of the full dispatcher/worker pipeline,
+//! and application substrates (ordered KV store, mini TPC-C).
+//!
+//! This crate re-exports the workspace members under stable names:
+//!
+//! * [`core`] — DARC itself: classifiers, profiler, reservations,
+//!   dispatch (crate `persephone-core`).
+//! * [`sim`] — the discrete-event simulator and experiment harness
+//!   (crate `persephone-sim`).
+//! * [`net`] — lock-free rings, buffer pool, wire format, loopback NIC
+//!   (crate `persephone-net`).
+//! * [`runtime`] — the threaded Perséphone pipeline (crate
+//!   `persephone-runtime`).
+//! * [`store`] — KV store, TPC-C, calibrated spin work (crate
+//!   `persephone-store`).
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the figure-regeneration binaries.
+
+#![forbid(unsafe_code)]
+
+pub use persephone_core as core;
+pub use persephone_net as net;
+pub use persephone_runtime as runtime;
+pub use persephone_sim as sim;
+pub use persephone_store as store;

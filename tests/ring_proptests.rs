@@ -1,0 +1,147 @@
+//! Property tests for the lock-free rings against a model queue.
+//!
+//! Single-threaded model checks (arbitrary push/pop interleavings against
+//! a `VecDeque`) plus randomized two-thread stress for the SPSC ring.
+//! These complement the unit and stress tests inside `persephone-net`.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use persephone::net::{mpsc, spsc};
+
+proptest! {
+    /// The SPSC ring agrees with a FIFO model on every interleaving.
+    #[test]
+    fn spsc_matches_model(
+        capacity in 1usize..64,
+        ops in prop::collection::vec(prop::bool::ANY, 0..400),
+    ) {
+        let (mut tx, mut rx) = spsc::channel::<u64>(capacity);
+        let real_cap = tx.capacity();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut seq = 0u64;
+        for push in ops {
+            if push {
+                let ok = tx.push(seq).is_ok();
+                if model.len() < real_cap {
+                    prop_assert!(ok, "push rejected below capacity");
+                    model.push_back(seq);
+                } else {
+                    prop_assert!(!ok, "push accepted beyond capacity");
+                }
+                seq += 1;
+            } else {
+                prop_assert_eq!(rx.pop(), model.pop_front());
+            }
+        }
+        prop_assert_eq!(rx.len(), model.len());
+    }
+
+    /// The MPSC ring agrees with a FIFO model when used single-producer.
+    #[test]
+    fn mpsc_matches_model(
+        capacity in 1usize..64,
+        ops in prop::collection::vec(prop::bool::ANY, 0..400),
+    ) {
+        let (tx, mut rx) = mpsc::channel::<u64>(capacity);
+        let real_cap = tx.capacity();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut seq = 0u64;
+        for push in ops {
+            if push {
+                let ok = tx.push(seq).is_ok();
+                if model.len() < real_cap {
+                    prop_assert!(ok);
+                    model.push_back(seq);
+                } else {
+                    prop_assert!(!ok);
+                }
+                seq += 1;
+            } else {
+                prop_assert_eq!(rx.pop(), model.pop_front());
+            }
+        }
+    }
+
+    /// Two-thread SPSC transfer delivers every value exactly once, in
+    /// order, for random capacities and message counts.
+    #[test]
+    fn spsc_two_thread_transfer(
+        capacity in 1usize..32,
+        count in 1u64..20_000,
+    ) {
+        let (mut tx, mut rx) = spsc::channel::<u64>(capacity);
+        let producer = std::thread::spawn(move || {
+            for i in 0..count {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(spsc::Full(back)) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < count {
+            match rx.pop() {
+                Some(v) => {
+                    prop_assert_eq!(v, expect);
+                    expect += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(rx.pop(), None);
+    }
+}
+
+/// Wire-format round trips for arbitrary payloads and ids.
+mod wire_props {
+    use super::*;
+    use persephone::net::wire;
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trip(
+            ty in 0u32..u32::MAX,
+            id in 0u64..u64::MAX,
+            payload in prop::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let mut buf = vec![0u8; wire::HEADER_LEN + payload.len()];
+            let len = wire::encode_request(&mut buf, ty, id, &payload).unwrap();
+            prop_assert_eq!(len, buf.len());
+            let (hdr, got) = wire::decode(&buf).unwrap();
+            prop_assert_eq!(hdr.kind, wire::Kind::Request);
+            prop_assert_eq!(hdr.ty, ty);
+            prop_assert_eq!(hdr.id, id);
+            prop_assert_eq!(got, &payload[..]);
+        }
+
+        #[test]
+        fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+            // Any byte soup must either decode or produce a typed error.
+            let _ = wire::decode(&bytes);
+        }
+
+        #[test]
+        fn in_place_response_preserves_payload(
+            ty in 0u32..1_000,
+            id in any::<u64>(),
+            payload in prop::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let mut buf = vec![0u8; wire::HEADER_LEN + payload.len()];
+            wire::encode_request(&mut buf, ty, id, &payload).unwrap();
+            wire::request_to_response_in_place(&mut buf, wire::Status::Ok).unwrap();
+            let (hdr, got) = wire::decode(&buf).unwrap();
+            prop_assert_eq!(hdr.kind, wire::Kind::Response);
+            prop_assert_eq!(hdr.id, id);
+            prop_assert_eq!(got, &payload[..]);
+        }
+    }
+}
