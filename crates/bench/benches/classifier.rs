@@ -3,7 +3,7 @@
 //! The paper's header-based classifier adds "a one-time ≈100 ns overhead
 //! to each request" and the dispatcher sustains up to 7 M packets/s.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use persephone_bench::crit::{criterion_group, criterion_main, Criterion, Throughput};
 use persephone_core::classifier::{Classifier, FnClassifier, HeaderClassifier, RandomClassifier};
 use persephone_core::types::TypeId;
 use persephone_net::wire;

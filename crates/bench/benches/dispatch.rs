@@ -1,7 +1,7 @@
 //! Dispatch-engine microbenchmarks: the enqueue → poll → complete cycle
 //! of Algorithm 1, the dispatcher's per-request critical path.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use persephone_bench::crit::{criterion_group, criterion_main, Criterion, Throughput};
 use persephone_core::dispatch::{DarcEngine, EngineConfig, EngineMode};
 use persephone_core::time::Nanos;
 use persephone_core::types::{TypeId, WorkerId};

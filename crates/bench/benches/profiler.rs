@@ -4,7 +4,7 @@
 //! profile, ≈300 cycles to check whether a reservation update is needed,
 //! and ≈1000 cycles to perform a reservation update.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use persephone_bench::crit::{criterion_group, criterion_main, Criterion};
 use persephone_core::profile::{Profiler, ProfilerConfig, TypeStat};
 use persephone_core::reserve::{reserve, ReserveConfig};
 use persephone_core::time::Nanos;

@@ -4,7 +4,7 @@
 //! lightweight-RPC channel; this measures our ring's push+pop pairs in
 //! steady state, single-threaded (no coherence traffic) and cross-thread.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use persephone_bench::crit::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_spsc(c: &mut Criterion) {

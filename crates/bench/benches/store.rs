@@ -3,7 +3,7 @@
 //! ≈635 µs, a ~420× gap) and the TPC-C transaction cost ladder
 //! (Table 4: Payment < OrderStatus < NewOrder < Delivery < StockLevel).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use persephone_bench::crit::{criterion_group, criterion_main, Criterion};
 use persephone_store::kv::KvStore;
 use persephone_store::tpcc::{TpccDb, TpccInputGen, Transaction};
 use std::hint::black_box;

@@ -48,7 +48,7 @@ fn main() {
         let mut engine_cfg = EngineConfig::darc(WORKERS);
         engine_cfg.profiler.min_samples = min_samples;
         engine_cfg.reserve.delta = delta;
-        let engine = DarcEngine::new(engine_cfg, workload.num_types(), &vec![None; 5]);
+        let engine = DarcEngine::new(engine_cfg, workload.num_types(), &[None; 5]);
         let mut p = DarcSim::with_engine(
             engine,
             ClassifyMode::Exact,

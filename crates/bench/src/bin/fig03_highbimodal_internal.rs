@@ -60,7 +60,8 @@ fn main() {
     ]);
 
     // Sweep each policy, keeping DARC's engine for waste accounting.
-    let mut results: Vec<(String, Vec<(f64, f64, SimOutput)>)> = Vec::new();
+    type PolicyCurve = Vec<(f64, f64, SimOutput)>;
+    let mut results: Vec<(String, PolicyCurve)> = Vec::new();
     let mut darc_waste = 0.0;
     for name in ["d-FCFS", "c-FCFS", "DARC"] {
         let mut pts = Vec::new();

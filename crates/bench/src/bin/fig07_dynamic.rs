@@ -60,6 +60,10 @@ fn main() {
     let min_samples = if opts.quick { 5_000 } else { 50_000 };
     let mut darc =
         DarcSim::dynamic(&script.phases[0].workload, WORKERS, min_samples).with_capacity(QUEUE_CAP);
+    let telemetry = std::sync::Arc::new(persephone_telemetry::Telemetry::new(
+        persephone_telemetry::TelemetryConfig::new(2, WORKERS),
+    ));
+    darc.attach_telemetry(telemetry.clone());
     let darc_out = simulate(
         &mut darc,
         ArrivalGen::phased(&script, WORKERS, opts.seed),
@@ -168,6 +172,15 @@ fn main() {
         "kept until a delay signal fires; all stealable by A meanwhile",
     );
     cmp.print("Figure 7 — paper vs measured");
+
+    // The engine's own telemetry view of the same run. Note the event-ring
+    // accounting: millions of per-request cycle-steal events overwrite the
+    // bounded ring, and the overwritten count says exactly how many were
+    // lost — the reservation trajectory itself is in the log above.
+    let snap = telemetry.snapshot();
+    println!("\nDARC engine telemetry snapshot (simulated time):");
+    print!("{}", snap.to_text());
+    opts.write_text("fig07_telemetry.jsonl", &snap.to_json_lines());
 }
 
 fn push_timeline(

@@ -1,0 +1,212 @@
+//! A drop-in stand-in for the slice of the Criterion API our
+//! microbenches use, built on `std::time::Instant` so the workspace
+//! carries no registry dependency and `cargo bench` runs offline.
+//!
+//! Semantics: each `bench_function` auto-calibrates an iteration count
+//! targeting a few milliseconds per sample, warms up, collects a batch
+//! of samples, and reports median / mean / p95 ns-per-iteration (plus
+//! element throughput when a [`Throughput`] was set on the group). With
+//! the `heavy-testing` feature the sample count and per-sample time
+//! rise for tighter statistics.
+
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "heavy-testing")]
+const SAMPLES: usize = 100;
+#[cfg(not(feature = "heavy-testing"))]
+const SAMPLES: usize = 30;
+
+#[cfg(feature = "heavy-testing")]
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+#[cfg(not(feature = "heavy-testing"))]
+const SAMPLE_TARGET: Duration = Duration::from_millis(3);
+
+/// Top-level benchmark driver (one per binary).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Declared per-iteration work, for ops/sec reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Each iteration processes this many elements.
+    Elements(u64),
+}
+
+/// How `iter_batched` sizes its input batches. We always size batches
+/// to the calibrated sample length, so the variants only exist for API
+/// compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (batch freely).
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing a throughput declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Declares the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark and prints its stats.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples_ns: Vec::with_capacity(SAMPLES),
+        };
+        f(&mut b);
+        b.report(&self.name, &id, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; collects timing samples.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` in a steady-state loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        // Warm-up: one full sample that is thrown away.
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / n as f64);
+        }
+    }
+
+    /// Measures `routine` over inputs freshly built by `setup`, with
+    /// setup time excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate on growing batches until one lasts long enough.
+        let mut n = 1u64;
+        let per_iter_ns = loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for i in inputs {
+                std::hint::black_box(routine(i));
+            }
+            let dt = t0.elapsed();
+            if dt >= SAMPLE_TARGET / 4 || n >= 1 << 20 {
+                break (dt.as_nanos() as f64 / n as f64).max(0.1);
+            }
+            n *= 4;
+        };
+        let n = ((SAMPLE_TARGET.as_nanos() as f64 / per_iter_ns) as u64).clamp(1, 1 << 22);
+        for _ in 0..SAMPLES {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for i in inputs {
+                std::hint::black_box(routine(i));
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / n as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        let mut s = self.samples_ns.clone();
+        if s.is_empty() {
+            println!("{group}/{id}: no samples collected");
+            return;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let p95 = s[(s.len() * 95 / 100).min(s.len() - 1)];
+        let thru = match throughput {
+            Some(Throughput::Elements(e)) if median > 0.0 => {
+                format!("  ({:.2} Melem/s)", e as f64 * 1e3 / median)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{group}/{id}: median {median:.1} ns/iter  mean {mean:.1}  p95 {p95:.1}  ({} samples){thru}",
+            s.len()
+        );
+    }
+}
+
+/// Picks an iteration count so one sample lasts ≈[`SAMPLE_TARGET`].
+fn calibrate<F: FnMut()>(mut probe: F) -> u64 {
+    let mut n = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..n {
+            probe();
+        }
+        let dt = t0.elapsed();
+        if dt >= SAMPLE_TARGET / 4 || n >= 1 << 24 {
+            let per = (dt.as_nanos() as f64 / n as f64).max(0.1);
+            return ((SAMPLE_TARGET.as_nanos() as f64 / per) as u64).clamp(1, 1 << 26);
+        }
+        n *= 4;
+    }
+}
+
+/// Builds the function Criterion's `criterion_main!` invokes.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::crit::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};

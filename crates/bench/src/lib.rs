@@ -8,12 +8,15 @@
 //! Shared infrastructure lives here: CLI options (`--quick` for CI-speed
 //! runs, `--out <dir>`, `--seed <n>`), and the comparison-table helper.
 //!
-//! Criterion microbenches (`benches/`) cover the paper's §4.3.2/§4.3.3
-//! cost claims: SPSC channel ops, classifier cost, profiler update,
-//! update check, and reservation computation.
+//! Microbenches (`benches/`, driven by the Criterion-compatible harness
+//! in [`crit`]) cover the paper's §4.3.2/§4.3.3 cost claims: SPSC
+//! channel ops, classifier cost, profiler update, update check, and
+//! reservation computation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod crit;
 
 use std::path::{Path, PathBuf};
 
@@ -82,6 +85,22 @@ impl BenchOpts {
         match table.write_csv(Path::new(&path)) {
             Ok(()) => println!("[csv] {}", path.display()),
             Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+        }
+    }
+
+    /// Writes a plain-text artifact (e.g. a telemetry JSON-lines export)
+    /// into the output directory, creating parent directories.
+    pub fn write_text(&self, name: &str, contents: &str) {
+        let path: PathBuf = self.out_dir.join(name);
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&path, contents)
+        };
+        match write() {
+            Ok(()) => println!("[out] {}", path.display()),
+            Err(e) => eprintln!("[out] failed to write {}: {e}", path.display()),
         }
     }
 }

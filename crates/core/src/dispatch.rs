@@ -18,6 +18,10 @@
 //! * **Flow control** — arrivals to a full typed queue are rejected back
 //!   to the caller (dropped), shedding load only for the overloaded type.
 
+use std::sync::Arc;
+
+use persephone_telemetry::{DispatchKind, Telemetry};
+
 use crate::profile::{Profiler, ProfilerConfig};
 use crate::queue::TypedQueue;
 use crate::reserve::{reserve, Reservation, ReserveConfig};
@@ -83,6 +87,9 @@ pub struct Dispatch<R> {
     pub req: R,
     /// Time the request waited in its typed queue.
     pub queued_for: Nanos,
+    /// How the request reached the worker (reserved core, cycle-steal,
+    /// spillway, or the c-FCFS path).
+    pub kind: DispatchKind,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,7 +132,9 @@ pub struct DarcEngine<R> {
     queues: Vec<TypedQueue<R>>,
     unknown: TypedQueue<R>,
     seq: u64,
-    worker_busy: Vec<Option<TypeId>>,
+    /// Per worker: the in-flight request's type and how long it queued
+    /// (kept so `complete` can record the full sojourn).
+    worker_busy: Vec<Option<(TypeId, Nanos)>>,
     free_count: usize,
     reservation: Reservation,
     profiler: Profiler,
@@ -137,6 +146,11 @@ pub struct DarcEngine<R> {
     reserve_cfg: ReserveConfig,
     updates: u64,
     num_types: usize,
+    /// Optional always-on instruments; every hook is lock-free and
+    /// allocation-free, so attaching telemetry is safe on hot paths.
+    telemetry: Option<Arc<Telemetry>>,
+    /// Demand vector at the last install, for the update-trigger Δ.
+    last_demands: Vec<f64>,
 }
 
 impl<R> DarcEngine<R> {
@@ -170,6 +184,8 @@ impl<R> DarcEngine<R> {
             reserve_cfg: cfg.reserve,
             updates: 0,
             num_types,
+            telemetry: None,
+            last_demands: vec![0.0; num_types],
         };
         match cfg.mode {
             EngineMode::CFcfs => {
@@ -192,6 +208,29 @@ impl<R> DarcEngine<R> {
             }
         }
         eng
+    }
+
+    /// Attaches a telemetry registry: from here on the engine records
+    /// arrivals, queue depths, dispatch kinds, sojourns, drops, and
+    /// reservation-update events into it. Sized independently from the
+    /// engine, so a registry can outlive resizes.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Telemetry slot for `ty` (UNKNOWN and out-of-range types map to
+    /// the registry's overflow slot).
+    fn tslot(&self, ty: TypeId) -> usize {
+        if ty.is_unknown() {
+            self.num_types
+        } else {
+            (ty.index()).min(self.num_types)
+        }
     }
 
     /// Number of application workers.
@@ -278,6 +317,7 @@ impl<R> DarcEngine<R> {
     ///
     /// Returns `Err(())` without changes when shrinking would drop a busy
     /// worker or `new_workers` is zero.
+    #[allow(clippy::result_unit_err)]
     pub fn resize(&mut self, new_workers: usize) -> Result<(), ()> {
         if new_workers == 0 {
             return Err(());
@@ -322,12 +362,22 @@ impl<R> DarcEngine<R> {
         self.profiler.record_arrival(ty);
         let seq = self.seq;
         self.seq += 1;
+        let tslot = self.tslot(ty);
         let slot = if !ty.is_unknown() && ty.index() < self.queues.len() {
             &mut self.queues[ty.index()]
         } else {
             &mut self.unknown
         };
-        slot.push(req, now, seq)
+        let depth_if_full = slot.len() as u64;
+        let result = slot.push(req, now, seq);
+        if let Some(t) = &self.telemetry {
+            t.record_arrival(tslot);
+            match &result {
+                Ok(()) => t.record_queue_depth(tslot, depth_if_full + 1),
+                Err(_) => t.record_drop(tslot, depth_if_full, now.as_nanos()),
+            }
+        }
+        result
     }
 
     /// Returns the next dispatch decision, or `None` when no request can
@@ -352,31 +402,40 @@ impl<R> DarcEngine<R> {
     ///
     /// Panics if `worker` was not busy — that is a dispatcher/worker
     /// protocol violation, not a recoverable condition.
-    pub fn complete(&mut self, worker: WorkerId, service: Nanos, _now: Nanos) {
+    pub fn complete(&mut self, worker: WorkerId, service: Nanos, now: Nanos) {
         let slot = self
             .worker_busy
             .get_mut(worker.index())
             .expect("worker id out of range");
-        let ty = slot.take().expect("completion from an idle worker");
+        let (ty, queued_for) = slot.take().expect("completion from an idle worker");
         self.free_count += 1;
         self.profiler.record_completion(ty, service);
-        self.maybe_update();
+        if let Some(t) = &self.telemetry {
+            let sojourn = queued_for.saturating_add(service);
+            t.record_completion(
+                self.tslot(ty),
+                worker.index(),
+                sojourn.as_nanos(),
+                service.as_nanos(),
+            );
+        }
+        self.maybe_update(now);
     }
 
     /// Forces a reservation recomputation from the current window (used by
     /// tests and by operators; normal updates happen inside `complete`).
     pub fn force_update(&mut self) {
         if matches!(self.phase, Phase::Darc | Phase::Warmup) {
-            self.commit_and_install();
+            self.commit_and_install(Nanos::ZERO);
             self.phase = Phase::Darc;
         }
     }
 
-    fn maybe_update(&mut self) {
+    fn maybe_update(&mut self, now: Nanos) {
         match self.phase {
             Phase::Warmup => {
                 if self.profiler.window_full() {
-                    self.commit_and_install();
+                    self.commit_and_install(now);
                     self.phase = Phase::Darc;
                 }
             }
@@ -390,7 +449,7 @@ impl<R> DarcEngine<R> {
                     && self.profiler.delay_signalled()
                     && (self.profiler.demand_deviated() || self.allocation_stale())
                 {
-                    self.commit_and_install();
+                    self.commit_and_install(now);
                 }
             }
             Phase::Frozen | Phase::CFcfs => {}
@@ -420,13 +479,30 @@ impl<R> DarcEngine<R> {
         })
     }
 
-    fn commit_and_install(&mut self) {
+    fn commit_and_install(&mut self, now: Nanos) {
         let stats = self.profiler.commit_window();
         let res = reserve(&stats, &self.reserve_cfg);
-        self.install(res);
+        self.install_at(res, now);
     }
 
     fn install(&mut self, res: Reservation) {
+        self.install_at(res, Nanos::ZERO);
+    }
+
+    fn install_at(&mut self, res: Reservation, now: Nanos) {
+        // Capture the outgoing guaranteed-core map and the demand shift
+        // before the new reservation replaces them.
+        let old_guaranteed: Vec<usize> = (0..self.num_types)
+            .map(|i| self.guaranteed_workers(TypeId::new(i as u32)))
+            .collect();
+        let demands = self.profiler.demands();
+        let trigger_delta = demands
+            .iter()
+            .zip(self.last_demands.iter())
+            .map(|(d, last)| (d - last).abs())
+            .fold(0.0f64, f64::max);
+        self.last_demands = demands;
+
         self.priority = res.priority_order().collect();
         let mut grouped = vec![false; self.num_types];
         for t in &self.priority {
@@ -440,6 +516,19 @@ impl<R> DarcEngine<R> {
             .collect();
         self.reservation = res;
         self.updates += 1;
+
+        if let Some(t) = &self.telemetry {
+            let new_guaranteed: Vec<usize> = (0..self.num_types)
+                .map(|i| self.guaranteed_workers(TypeId::new(i as u32)))
+                .collect();
+            t.record_reservation_update(
+                now.as_nanos(),
+                self.updates,
+                (trigger_delta * 1e6) as u64,
+                &old_guaranteed,
+                &new_guaranteed,
+            );
+        }
     }
 
     /// Centralized FCFS: dispatch the globally oldest pending request to
@@ -466,7 +555,7 @@ impl<R> DarcEngine<R> {
         } else {
             (TypeId::new(qi as u32), self.queues[qi].pop().unwrap())
         };
-        Some(self.assign(worker, ty, entry, now))
+        Some(self.assign(worker, ty, entry, now, DispatchKind::Fcfs))
     }
 
     /// Algorithm 1: walk grouped types in ascending service-time order,
@@ -482,9 +571,9 @@ impl<R> DarcEngine<R> {
                 Some(g) => g,
                 None => continue,
             };
-            if let Some(worker) = self.free_in_group(gi) {
+            if let Some((worker, kind)) = self.free_in_group(gi) {
                 let entry = self.queues[ty.index()].pop().unwrap();
-                return Some(self.assign(worker, ty, entry, now));
+                return Some(self.assign(worker, ty, entry, now, kind));
             }
         }
         // Ungrouped types and UNKNOWN run on spillway cores, lowest priority.
@@ -495,22 +584,41 @@ impl<R> DarcEngine<R> {
             }
             if let Some(worker) = self.free_spillway() {
                 let entry = self.queues[ty.index()].pop().unwrap();
-                return Some(self.assign(worker, ty, entry, now));
+                return Some(self.assign(worker, ty, entry, now, DispatchKind::Spillway));
             }
         }
         if !self.unknown.is_empty() {
             if let Some(worker) = self.free_spillway() {
                 let entry = self.unknown.pop().unwrap();
-                return Some(self.assign(worker, TypeId::UNKNOWN, entry, now));
+                return Some(self.assign(
+                    worker,
+                    TypeId::UNKNOWN,
+                    entry,
+                    now,
+                    DispatchKind::Spillway,
+                ));
             }
         }
         None
     }
 
-    fn free_in_group(&self, gi: usize) -> Option<WorkerId> {
-        self.reservation.groups[gi]
-            .candidate_workers()
+    /// A free worker serving group `gi`: first the group's own reserved
+    /// cores, then stealable cores borrowed from longer groups.
+    fn free_in_group(&self, gi: usize) -> Option<(WorkerId, DispatchKind)> {
+        let g = &self.reservation.groups[gi];
+        if let Some(w) = g
+            .reserved
+            .iter()
+            .copied()
             .find(|w| self.worker_busy[w.index()].is_none())
+        {
+            return Some((w, DispatchKind::Reserved));
+        }
+        g.stealable
+            .iter()
+            .copied()
+            .find(|w| self.worker_busy[w.index()].is_none())
+            .map(|w| (w, DispatchKind::Stolen))
     }
 
     fn free_spillway(&self) -> Option<WorkerId> {
@@ -534,17 +642,22 @@ impl<R> DarcEngine<R> {
         ty: TypeId,
         entry: crate::queue::Entry<R>,
         now: Nanos,
+        kind: DispatchKind,
     ) -> Dispatch<R> {
         debug_assert!(self.worker_busy[worker.index()].is_none());
-        self.worker_busy[worker.index()] = Some(ty);
-        self.free_count -= 1;
         let queued_for = now.saturating_sub(entry.enqueued);
+        self.worker_busy[worker.index()] = Some((ty, queued_for));
+        self.free_count -= 1;
         self.profiler.record_dispatch_delay(ty, queued_for);
+        if let Some(t) = &self.telemetry {
+            t.record_dispatch(self.tslot(ty), worker.index(), kind, now.as_nanos());
+        }
         Dispatch {
             worker,
             ty,
             req: entry.req,
             queued_for,
+            kind,
         }
     }
 }
@@ -817,7 +930,7 @@ mod tests {
         let mut now = Nanos::ZERO;
         let mut i = 0u32;
         while eng.guaranteed_workers(TypeId::new(0)) != 2 && i < 800_000 {
-            let ty = if i % 200 == 0 {
+            let ty = if i.is_multiple_of(200) {
                 TypeId::new(1)
             } else {
                 TypeId::new(0)
@@ -825,7 +938,7 @@ mod tests {
             eng.enqueue(ty, i, now).unwrap();
             i += 1;
             // Drain in bursts of 64 so queues build up between drains.
-            if i % 64 == 0 {
+            if i.is_multiple_of(64) {
                 while let Some(d) = eng.poll(now) {
                     let service = if d.ty == TypeId::new(0) {
                         Nanos::from_nanos(500)
@@ -846,6 +959,98 @@ mod tests {
             2,
             "true demand 0.166 x 14 = 2.3 cores"
         );
+    }
+
+    #[test]
+    fn telemetry_hooks_record_engine_activity() {
+        use persephone_telemetry::{SchedEvent, Telemetry, TelemetryConfig};
+        let mut cfg = EngineConfig::darc(4);
+        cfg.profiler.min_samples = 8;
+        cfg.queue_capacity = 4;
+        let mut eng: DarcEngine<u32> = DarcEngine::new(cfg, 2, &[None, None]);
+        let tel = Arc::new(Telemetry::new(TelemetryConfig::new(2, 4)));
+        eng.set_telemetry(tel.clone());
+
+        let mut now = Nanos::ZERO;
+        let mut enqueued = 0u64;
+        let mut dropped = 0u64;
+        for i in 0..400u32 {
+            let ty = TypeId::new(i % 2);
+            match eng.enqueue(ty, i, now) {
+                Ok(()) => enqueued += 1,
+                Err(_) => dropped += 1,
+            }
+            if i % 16 == 0 {
+                while let Some(d) = eng.poll(now) {
+                    let service = if d.ty == TypeId::new(0) {
+                        micros(1)
+                    } else {
+                        micros(100)
+                    };
+                    now += service;
+                    eng.complete(d.worker, service, now);
+                }
+            }
+        }
+        while eng.total_pending() > 0 {
+            while let Some(d) = eng.poll(now) {
+                now += micros(1);
+                eng.complete(d.worker, micros(1), now);
+            }
+        }
+
+        let snap = tel.snapshot();
+        assert_eq!(snap.completions(), enqueued);
+        let arrivals: u64 = snap.types.iter().map(|t| t.counters.arrivals).sum();
+        assert_eq!(arrivals, enqueued + dropped);
+        let drops: u64 = snap.types.iter().map(|t| t.counters.drops).sum();
+        assert_eq!(drops, dropped);
+        assert_eq!(drops, eng.total_drops());
+        // Sojourn percentiles exist per type and include queueing: the
+        // long type's p50 must be at least its 100 µs service time.
+        assert!(snap.types[1].sojourn.quantile(0.5) >= 100_000);
+        assert!(snap.types[0].sojourn.count() > 0);
+        // Warm-up exit produced at least one reservation-update event
+        // carrying the old→new guaranteed map.
+        let update = snap.events.events.iter().find_map(|(_, e)| match e {
+            SchedEvent::ReservationUpdate { new_guaranteed, .. } => Some(new_guaranteed),
+            _ => None,
+        });
+        let new_map = update.expect("missing reservation-update event");
+        assert_eq!(
+            (new_map[0] as usize, new_map[1] as usize),
+            (
+                eng.guaranteed_workers(TypeId::new(0)),
+                eng.guaranteed_workers(TypeId::new(1))
+            )
+        );
+        // Queue-depth high-water marks were tracked.
+        assert!(snap.types.iter().any(|t| t.counters.queue_depth_hwm > 0));
+    }
+
+    #[test]
+    fn dispatch_kinds_distinguish_reserved_from_stolen() {
+        let mut eng = hinted_engine(4);
+        let now = micros(0);
+        // Fill with shorts: first dispatch lands on the short group's
+        // reserved core, later ones steal from the long group.
+        for i in 0..4 {
+            eng.enqueue(TypeId::new(0), i, now).unwrap();
+        }
+        let mut kinds = Vec::new();
+        while let Some(d) = eng.poll(now) {
+            kinds.push(d.kind);
+        }
+        assert_eq!(kinds[0], DispatchKind::Reserved);
+        assert!(kinds.contains(&DispatchKind::Stolen));
+        // UNKNOWN work arrives on the spillway.
+        let mut eng = hinted_engine(2);
+        eng.enqueue(TypeId::UNKNOWN, 9, now).unwrap();
+        assert_eq!(eng.poll(now).unwrap().kind, DispatchKind::Spillway);
+        // c-FCFS mode reports the FCFS kind.
+        let mut eng: DarcEngine<u32> = DarcEngine::new(EngineConfig::cfcfs(1), 2, &[None, None]);
+        eng.enqueue(TypeId::new(0), 1, now).unwrap();
+        assert_eq!(eng.poll(now).unwrap().kind, DispatchKind::Fcfs);
     }
 
     #[test]

@@ -128,9 +128,10 @@ impl BufferPool {
         assert!(count > 0 && buf_size > 0);
         let (tx, rx) = mpsc::channel(count.next_power_of_two() * 2);
         for _ in 0..count {
-            tx.push(PacketBuf::with_capacity(buf_size))
-                .ok()
-                .expect("ring sized to fit the pool");
+            assert!(
+                tx.push(PacketBuf::with_capacity(buf_size)).is_ok(),
+                "ring sized to fit the pool"
+            );
         }
         PoolAllocator {
             free: rx,

@@ -18,7 +18,7 @@ use core::mem::MaybeUninit;
 use core::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam_utils::CachePadded;
+use persephone_telemetry::CachePadded;
 
 /// Error returned by [`Producer::push`] when the ring is full.
 #[derive(Debug, PartialEq, Eq)]

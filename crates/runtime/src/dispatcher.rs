@@ -17,6 +17,7 @@ use persephone_net::nic::{NetContext, ServerPort};
 use persephone_net::pool::PacketBuf;
 use persephone_net::spsc;
 use persephone_net::wire;
+use persephone_telemetry::Snapshot;
 
 use crate::clock::RuntimeClock;
 use crate::messages::{Completion, WorkMsg};
@@ -45,6 +46,9 @@ pub struct DispatcherReport {
     pub reservation_updates: u64,
     /// Final guaranteed (reserved) cores per type.
     pub guaranteed: Vec<usize>,
+    /// Telemetry snapshot taken as the dispatcher exits (empty when the
+    /// engine has no [`persephone_telemetry::Telemetry`] attached).
+    pub telemetry: Snapshot,
 }
 
 /// Runs the dispatcher until `shutdown` is set *and* all in-flight work
@@ -142,6 +146,7 @@ pub fn run_dispatcher(
     report.guaranteed = (0..num_types)
         .map(|i| engine.guaranteed_workers(TypeId::new(i as u32)))
         .collect();
+    report.telemetry = engine.telemetry().map(|t| t.snapshot()).unwrap_or_default();
     report
 }
 

@@ -16,12 +16,12 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use persephone_core::time::Nanos;
 use persephone_core::types::TypeId;
 use persephone_store::kv::KvStore;
 use persephone_store::spin::SpinCalibration;
 use persephone_store::tpcc::{TpccDb, TpccInputGen, Transaction};
+use std::sync::Mutex;
 
 /// Application logic executed on worker cores.
 pub trait RequestHandler: Send {
@@ -106,7 +106,7 @@ impl RequestHandler for KvHandler {
         };
         let mut parts = text.split_whitespace();
         let resp: Vec<u8> = match (parts.next(), parts.next(), parts.next()) {
-            (Some("GET"), Some(key), None) => match self.db.lock().get(key.as_bytes()) {
+            (Some("GET"), Some(key), None) => match self.db.lock().unwrap().get(key.as_bytes()) {
                 Some(v) => {
                     let mut r = b"V ".to_vec();
                     r.extend_from_slice(&v);
@@ -115,16 +115,19 @@ impl RequestHandler for KvHandler {
                 None => b"N".to_vec(),
             },
             (Some("PUT"), Some(key), Some(value)) => {
-                self.db.lock().put(key.as_bytes(), value.as_bytes());
+                self.db
+                    .lock()
+                    .unwrap()
+                    .put(key.as_bytes(), value.as_bytes());
                 b"OK".to_vec()
             }
             (Some("DEL"), Some(key), None) => {
-                self.db.lock().delete(key.as_bytes());
+                self.db.lock().unwrap().delete(key.as_bytes());
                 b"OK".to_vec()
             }
             (Some("SCAN"), Some(start), Some(count)) => match count.parse::<usize>() {
                 Ok(n) => {
-                    let got = self.db.lock().scan(start.as_bytes(), n);
+                    let got = self.db.lock().unwrap().scan(start.as_bytes(), n);
                     format!("C {}", got.len()).into_bytes()
                 }
                 Err(_) => b"E bad count".to_vec(),
@@ -162,7 +165,7 @@ impl RequestHandler for TpccHandler {
         };
         let resp: &[u8] = match tx {
             Some(tx) => {
-                let result = self.db.lock().run(tx, &mut self.gen);
+                let result = self.db.lock().unwrap().run(tx, &mut self.gen);
                 match result {
                     Ok(()) => b"OK",
                     Err(_) => b"E tx failed",
@@ -233,7 +236,7 @@ mod tests {
     #[test]
     fn kv_handler_truncates_oversized_responses() {
         let db = Arc::new(Mutex::new(KvStore::new()));
-        db.lock().put(b"k", &[b'x'; 100]);
+        db.lock().unwrap().put(b"k", &[b'x'; 100]);
         let mut h = KvHandler::new(db);
         let mut buf = vec![0u8; 8];
         let req = b"GET k";
@@ -251,7 +254,7 @@ mod tests {
             let n = h.handle(TypeId::new(t.type_id()), &mut buf, 0);
             assert_eq!(&buf[..n], b"OK");
         }
-        assert_eq!(db.lock().committed(), 5);
+        assert_eq!(db.lock().unwrap().committed(), 5);
         let n = h.handle(TypeId::UNKNOWN, &mut buf, 0);
         assert_eq!(&buf[..n], b"E bad tx");
     }

@@ -10,6 +10,7 @@ use persephone_core::dispatch::{DarcEngine, EngineConfig};
 use persephone_core::time::Nanos;
 use persephone_net::nic::ServerPort;
 use persephone_net::spsc;
+use persephone_telemetry::{Telemetry, TelemetryConfig};
 
 use crate::clock::RuntimeClock;
 use crate::dispatcher::{run_dispatcher, DispatcherReport, Pending};
@@ -91,7 +92,12 @@ pub fn spawn(
     let mut engine_cfg = cfg.engine;
     engine_cfg.num_workers = cfg.workers;
     engine_cfg.reserve.num_workers = cfg.workers;
-    let engine: DarcEngine<Pending> = DarcEngine::new(engine_cfg, cfg.num_types, &cfg.hints);
+    let mut engine: DarcEngine<Pending> = DarcEngine::new(engine_cfg, cfg.num_types, &cfg.hints);
+    let telemetry = Arc::new(Telemetry::new(TelemetryConfig::new(
+        cfg.num_types,
+        cfg.workers,
+    )));
+    engine.set_telemetry(telemetry.clone());
 
     let clock = RuntimeClock::start();
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -106,10 +112,11 @@ pub fn spawn(
         completion_rx.push(crx);
         let nic_ctx = port.context();
         let handler = handler_factory(i);
+        let tel = Some((i, telemetry.clone()));
         workers.push(
             std::thread::Builder::new()
                 .name(format!("psp-worker-{i}"))
-                .spawn(move || run_worker(wrx, ctx_tx, nic_ctx, handler))
+                .spawn(move || run_worker(wrx, ctx_tx, nic_ctx, handler, tel))
                 .expect("spawn worker"),
         );
     }

@@ -6,12 +6,14 @@
 //! response, transmits on its own NIC context, and signals completion to
 //! the dispatcher with the measured service time.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use persephone_core::time::Nanos;
 use persephone_net::nic::NetContext;
 use persephone_net::spsc;
 use persephone_net::wire;
+use persephone_telemetry::Telemetry;
 
 use crate::handler::RequestHandler;
 use crate::messages::{Completion, WorkMsg};
@@ -27,6 +29,10 @@ pub struct WorkerReport {
 
 /// Runs the worker loop until a [`WorkMsg::Shutdown`] arrives.
 ///
+/// `telemetry` carries this worker's index plus the shared recorder; when
+/// present the worker accounts its measured busy time there (one relaxed
+/// atomic add per request — never on the handler's critical path).
+///
 /// Idle iterations yield to the OS scheduler so oversubscribed test
 /// environments (more threads than cores) stay live.
 pub fn run_worker(
@@ -34,6 +40,7 @@ pub fn run_worker(
     mut completion_tx: spsc::Producer<Completion>,
     nic: NetContext,
     mut handler: Box<dyn RequestHandler>,
+    telemetry: Option<(usize, Arc<Telemetry>)>,
 ) -> WorkerReport {
     let mut report = WorkerReport::default();
     loop {
@@ -60,6 +67,9 @@ pub fn run_worker(
                 let service = Nanos::from_nanos(started.elapsed().as_nanos() as u64);
                 report.handled += 1;
                 report.busy = report.busy.saturating_add(service);
+                if let Some((idx, tel)) = &telemetry {
+                    tel.record_worker_busy(*idx, service.as_nanos());
+                }
 
                 buf.set_len(wire::HEADER_LEN + resp_payload_len);
                 let status = wire::Status::Ok;
@@ -123,7 +133,13 @@ mod tests {
             &[Nanos::from_micros(1)],
         ));
         let ctx = server.context();
-        let t = std::thread::spawn(move || run_worker(work_rx, completion_tx, ctx, handler));
+        let tel = Arc::new(Telemetry::new(persephone_telemetry::TelemetryConfig::new(
+            1, 2,
+        )));
+        let tel_worker = Some((1, tel.clone()));
+        let t = std::thread::spawn(move || {
+            run_worker(work_rx, completion_tx, ctx, handler, tel_worker)
+        });
 
         work_tx
             .push(WorkMsg::Request {
@@ -146,6 +162,11 @@ mod tests {
         assert_eq!(hdr.kind, wire::Kind::Response);
         assert_eq!(hdr.id, 77);
         assert_eq!(wire::response_status(&hdr), Some(wire::Status::Ok));
+
+        // The worker accounted its busy time under its own slot.
+        let snap = tel.snapshot();
+        assert_eq!(snap.workers[0].busy_ns, 0);
+        assert!(snap.workers[1].busy_ns > 0);
     }
 
     #[test]
@@ -168,9 +189,10 @@ mod tests {
                 .unwrap();
         }
         work_tx.push(WorkMsg::Shutdown).unwrap();
-        let report = std::thread::spawn(move || run_worker(work_rx, completion_tx, ctx, handler))
-            .join()
-            .unwrap();
+        let report =
+            std::thread::spawn(move || run_worker(work_rx, completion_tx, ctx, handler, None))
+                .join()
+                .unwrap();
         assert_eq!(report.handled, 5);
         assert!(report.busy > Nanos::ZERO);
         let mut completions = 0;

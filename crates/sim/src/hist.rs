@@ -1,223 +1,8 @@
-//! A log-bucketed latency histogram (HDR-style percentile sketch).
+//! Log-bucketed latency histogram — now shared via `persephone-telemetry`.
 //!
-//! The exact [`crate::metrics::Recorder`] stores every sample, which is
-//! fine for figure-length runs but unbounded for soak tests. `LogHist`
-//! stores counts in logarithmically spaced buckets with a configurable
-//! relative precision, giving O(1) memory and percentile queries with a
-//! bounded relative error.
-//!
-//! Layout: values are bucketed by `(exponent, mantissa-slot)` where each
-//! power of two is split into `2^precision_bits` linear slots — the same
-//! scheme HdrHistogram uses.
+//! The implementation moved to [`persephone_telemetry::hist`] so the
+//! simulator, runtime, and bench layers all report from the same
+//! HDR-style sketch. This module keeps the historical
+//! `persephone_sim::hist::LogHist` path alive as a re-export.
 
-/// A histogram over `u64` values (nanoseconds, typically).
-#[derive(Clone, Debug)]
-pub struct LogHist {
-    /// `buckets[exp][slot]` counts.
-    counts: Vec<u64>,
-    precision_bits: u32,
-    total: u64,
-    max: u64,
-    sum: u128,
-}
-
-impl LogHist {
-    /// Creates a histogram with `precision_bits` of sub-bucket precision:
-    /// the relative quantile error is at most `2^-precision_bits`
-    /// (e.g. 5 bits ⇒ ≈3 %).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `precision_bits` is not in `1..=10`.
-    pub fn new(precision_bits: u32) -> Self {
-        assert!((1..=10).contains(&precision_bits));
-        let slots = 1usize << precision_bits;
-        LogHist {
-            counts: vec![0; 64 * slots],
-            precision_bits,
-            total: 0,
-            max: 0,
-            sum: 0,
-        }
-    }
-
-    fn index(&self, value: u64) -> usize {
-        let slots = 1u64 << self.precision_bits;
-        if value < slots {
-            // Small values are exact.
-            return value as usize;
-        }
-        let exp = 63 - value.leading_zeros() as u64;
-        let slot = (value >> (exp - self.precision_bits as u64)) - slots;
-        (exp as usize - self.precision_bits as usize) * slots as usize
-            + slots as usize
-            + slot as usize
-    }
-
-    /// Lower bound of the bucket at `index` (its representative value).
-    fn bucket_low(&self, index: usize) -> u64 {
-        let slots = 1usize << self.precision_bits;
-        if index < slots {
-            return index as u64;
-        }
-        let group = (index - slots) / slots;
-        let slot = (index - slots) % slots;
-        let exp = group as u32 + self.precision_bits;
-        (1u64 << exp) + ((slot as u64) << (exp - self.precision_bits))
-    }
-
-    /// Records one value.
-    #[inline]
-    pub fn record(&mut self, value: u64) {
-        let i = self.index(value).min(self.counts.len() - 1);
-        self.counts[i] += 1;
-        self.total += 1;
-        self.max = self.max.max(value);
-        self.sum += value as u128;
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Largest recorded value (exact).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean of recorded values (exact).
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.total as f64
-        }
-    }
-
-    /// Approximate `p`-quantile (0–1), within the configured relative
-    /// error; 0 when empty.
-    pub fn quantile(&self, p: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((self.total as f64 * p).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return self.bucket_low(i).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Merges another histogram with the same precision into this one.
-    ///
-    /// # Panics
-    ///
-    /// Panics on precision mismatch.
-    pub fn merge(&mut self, other: &LogHist) {
-        assert_eq!(self.precision_bits, other.precision_bits);
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.max = self.max.max(other.max);
-        self.sum += other.sum;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::rng::Rng;
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = LogHist::new(5);
-        for v in 0..32 {
-            h.record(v);
-        }
-        // Nearest-rank p50 of 0..=31 is the 16th sample: value 15.
-        assert_eq!(h.quantile(0.5), 15);
-        assert_eq!(h.count(), 32);
-        assert_eq!(h.max(), 31);
-    }
-
-    #[test]
-    fn quantiles_track_exact_within_relative_error() {
-        let mut h = LogHist::new(5);
-        let mut rng = Rng::new(7);
-        let mut exact: Vec<u64> = Vec::new();
-        for _ in 0..200_000 {
-            // A heavy-tailed mix, like the workloads.
-            let v = if rng.next_below(100) == 0 {
-                500_000 + rng.next_below(100_000)
-            } else {
-                500 + rng.next_below(1_000)
-            };
-            h.record(v);
-            exact.push(v);
-        }
-        exact.sort_unstable();
-        for p in [0.5, 0.9, 0.99, 0.999] {
-            let rank = ((exact.len() as f64 * p).ceil() as usize).clamp(1, exact.len()) - 1;
-            let truth = exact[rank] as f64;
-            let approx = h.quantile(p) as f64;
-            let rel = (approx - truth).abs() / truth;
-            assert!(rel < 0.04, "p{p}: approx {approx} vs exact {truth} ({rel})");
-        }
-    }
-
-    #[test]
-    fn mean_and_max_are_exact() {
-        let mut h = LogHist::new(4);
-        for v in [1u64, 10, 100, 1_000_000] {
-            h.record(v);
-        }
-        assert_eq!(h.max(), 1_000_000);
-        assert!((h.mean() - 250_027.75).abs() < 1e-6);
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LogHist::new(5);
-        assert_eq!(h.quantile(0.999), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
-    fn merge_combines_distributions() {
-        let mut a = LogHist::new(5);
-        let mut b = LogHist::new(5);
-        for v in 0..1000 {
-            a.record(v);
-            b.record(v + 10_000);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), 2000);
-        assert!(a.quantile(0.25) < 1_000);
-        assert!(a.quantile(0.75) >= 10_000);
-        assert_eq!(a.max(), 10_999);
-    }
-
-    #[test]
-    #[should_panic(expected = "assertion")]
-    fn merge_rejects_precision_mismatch() {
-        let mut a = LogHist::new(5);
-        let b = LogHist::new(6);
-        a.merge(&b);
-    }
-
-    #[test]
-    fn huge_values_saturate_without_panicking() {
-        let mut h = LogHist::new(5);
-        h.record(u64::MAX);
-        h.record(u64::MAX - 1);
-        assert_eq!(h.count(), 2);
-        assert_eq!(h.max(), u64::MAX);
-        assert!(h.quantile(0.5) > 1u64 << 62);
-    }
-}
+pub use persephone_telemetry::hist::{AtomicHist, HistSnapshot, LogHist, DEFAULT_PRECISION_BITS};

@@ -151,6 +151,14 @@ impl DarcSim {
         s
     }
 
+    /// Attaches a shared telemetry recorder to the underlying engine, so
+    /// the simulation populates the same histograms, counters, and event
+    /// ring a live runtime would. Attach *after* [`DarcSim::with_capacity`]
+    /// (rebuilds discard the engine, and its telemetry with it).
+    pub fn attach_telemetry(&mut self, telemetry: std::sync::Arc<persephone_telemetry::Telemetry>) {
+        self.engine.set_telemetry(telemetry);
+    }
+
     /// Read access to the underlying engine (reservations, drops, waste).
     pub fn engine(&self) -> &DarcEngine<ReqId> {
         &self.engine
@@ -315,7 +323,7 @@ mod tests {
         let mut cfg = EngineConfig::darc(2);
         cfg.queue_capacity = 4;
         cfg.profiler.min_samples = 1_000;
-        let eng = DarcEngine::new(cfg, 2, &vec![None; 2]);
+        let eng = DarcEngine::new(cfg, 2, &[None; 2]);
         let mut darc = DarcSim::with_engine(eng, ClassifyMode::Exact, 2, "DARC-bounded".into());
         // Offered 3× capacity: the bounded queues must shed load.
         let out = run(&mut darc, &wl, 2, 3.0, 20, 8);

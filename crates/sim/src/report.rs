@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn unit_formatters() {
         assert_eq!(us(12_345.0), "12.35");
-        assert_eq!(ratio(3.14159), "3.14");
+        assert_eq!(ratio(2.46913), "2.47");
         assert_eq!(krps(260_000.0), "260.0");
         assert_eq!(mrps(5_120_000.0), "5.12");
     }

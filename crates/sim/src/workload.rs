@@ -416,6 +416,7 @@ impl ArrivalGen {
     }
 
     /// Draws the next arrival, or `None` once the script has ended.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Arrival> {
         // Advance phases until the pending arrival time falls inside one.
         while self.next_at >= self.phase_ends[self.current] {

@@ -156,7 +156,7 @@ impl TpccInputGen {
     /// TPC-C NURand(A, 0, x-1): a non-uniform distribution skewed toward
     /// "hot" ids.
     pub fn nurand(&mut self, a: u32, x: u32) -> u32 {
-        ((self.below(a + 1) | self.below(x)) % x) as u32
+        (self.below(a + 1) | self.below(x)) % x
     }
 
     /// A uniformly random district id.

@@ -1,0 +1,162 @@
+//! Per-type and per-worker counter sets.
+//!
+//! Each set lives in its own [`CachePadded`] slot so two workers (or two
+//! request types served by different cores) never contend on a cache
+//! line. Every increment is a single relaxed atomic RMW — no locks, no
+//! allocation — cheap enough for the dispatch hot loop.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters tracked per request type.
+#[derive(Debug, Default)]
+pub struct TypeCounters {
+    /// Requests classified and enqueued as this type.
+    pub arrivals: AtomicU64,
+    /// Requests dispatched from this type's queue to a reserved worker.
+    pub dispatches: AtomicU64,
+    /// Requests of this type served by a cycle-steal (a worker outside
+    /// the type's guaranteed set).
+    pub steals: AtomicU64,
+    /// Requests of this type routed through the spillway path.
+    pub spillway_hits: AtomicU64,
+    /// Requests of this type dropped (typed queue full).
+    pub drops: AtomicU64,
+    /// Requests of this type completed by a worker.
+    pub completions: AtomicU64,
+    /// High-water mark of this type's queue depth.
+    pub queue_depth_hwm: AtomicU64,
+}
+
+impl TypeCounters {
+    /// Bumps the queue-depth high-water mark if `depth` exceeds it.
+    #[inline]
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Copies the current values into a plain snapshot.
+    pub fn snapshot(&self) -> TypeCountersSnap {
+        TypeCountersSnap {
+            arrivals: self.arrivals.load(Ordering::Relaxed),
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            spillway_hits: self.spillway_hits.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen copy of [`TypeCounters`] (same field meanings).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct TypeCountersSnap {
+    pub arrivals: u64,
+    pub dispatches: u64,
+    pub steals: u64,
+    pub spillway_hits: u64,
+    pub drops: u64,
+    pub completions: u64,
+    pub queue_depth_hwm: u64,
+}
+
+impl TypeCountersSnap {
+    /// Merges another snapshot into this one (sums; HWM takes the max).
+    pub fn merge(&mut self, other: &TypeCountersSnap) {
+        self.arrivals += other.arrivals;
+        self.dispatches += other.dispatches;
+        self.steals += other.steals;
+        self.spillway_hits += other.spillway_hits;
+        self.drops += other.drops;
+        self.completions += other.completions;
+        self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
+    }
+}
+
+/// Counters tracked per worker core.
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Requests dispatched to this worker from its reserved types.
+    pub dispatches: AtomicU64,
+    /// Requests this worker served via cycle-steal or spillway.
+    pub steals: AtomicU64,
+    /// Requests this worker completed.
+    pub completions: AtomicU64,
+    /// Nanoseconds this worker spent executing handlers (recorded on the
+    /// worker's own completion path, so it reflects measured service).
+    pub busy_ns: AtomicU64,
+}
+
+impl WorkerCounters {
+    /// Copies the current values into a plain snapshot.
+    pub fn snapshot(&self) -> WorkerCountersSnap {
+        WorkerCountersSnap {
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen copy of [`WorkerCounters`] (same field meanings).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WorkerCountersSnap {
+    pub dispatches: u64,
+    pub steals: u64,
+    pub completions: u64,
+    pub busy_ns: u64,
+}
+
+impl WorkerCountersSnap {
+    /// Merges another snapshot into this one (field-wise sums).
+    pub fn merge(&mut self, other: &WorkerCountersSnap) {
+        self.dispatches += other.dispatches;
+        self.steals += other.steals;
+        self.completions += other.completions;
+        self.busy_ns += other.busy_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hwm_is_monotone() {
+        let c = TypeCounters::default();
+        c.observe_queue_depth(5);
+        c.observe_queue_depth(3);
+        assert_eq!(c.snapshot().queue_depth_hwm, 5);
+        c.observe_queue_depth(9);
+        assert_eq!(c.snapshot().queue_depth_hwm, 9);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = TypeCountersSnap {
+            arrivals: 1,
+            dispatches: 2,
+            steals: 3,
+            spillway_hits: 4,
+            drops: 5,
+            completions: 6,
+            queue_depth_hwm: 7,
+        };
+        let b = TypeCountersSnap {
+            arrivals: 10,
+            dispatches: 20,
+            steals: 30,
+            spillway_hits: 40,
+            drops: 50,
+            completions: 60,
+            queue_depth_hwm: 3,
+        };
+        a.merge(&b);
+        assert_eq!(a.arrivals, 11);
+        assert_eq!(a.completions, 66);
+        assert_eq!(a.queue_depth_hwm, 7);
+    }
+}

@@ -1,0 +1,47 @@
+//! # persephone-telemetry
+//!
+//! Zero-allocation, lock-free observability instruments for the
+//! Perséphone stack. Every figure in the paper is a tail-latency claim,
+//! so the instruments are built for always-on use inside a
+//! microsecond-scale dispatch loop:
+//!
+//! * [`hist::LogHist`] / [`hist::AtomicHist`] — log-bucketed HDR-style
+//!   latency histograms (~2 significant digits). `record()` on the
+//!   atomic variant is exactly one relaxed `fetch_add`.
+//! * [`counters::TypeCounters`] / [`counters::WorkerCounters`] — counter
+//!   sets in [`CachePadded`] slots, one relaxed RMW per increment.
+//! * [`ring::EventRing`] — a bounded seqlock ring of scheduler decisions
+//!   (reservation updates with old→new core maps, cycle-steals, spillway
+//!   hits, drops); overwrites are detectable via sequence numbers.
+//! * [`Telemetry`] / [`Snapshot`] — the registry that bundles the above
+//!   and freezes into mergeable snapshots with plain-text and JSON-lines
+//!   exporters.
+//!
+//! The crate is dependency-free and identifier-agnostic (types and
+//! workers are raw indices) so every layer — core engine, simulator,
+//! runtime, benches — can depend on it without cycles.
+//!
+//! ## Hot-path cost budget
+//!
+//! | call | cost |
+//! |---|---|
+//! | `AtomicHist::record` | 1 relaxed `fetch_add` |
+//! | counter increment | 1 relaxed `fetch_add` / `fetch_max` |
+//! | `EventRing::push` | 1 relaxed `fetch_add` + 10 relaxed/release stores |
+//!
+//! No `record_*` path allocates, locks, or spins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod hist;
+pub mod padded;
+pub mod ring;
+pub mod snapshot;
+
+pub use counters::{TypeCounters, TypeCountersSnap, WorkerCounters, WorkerCountersSnap};
+pub use hist::{AtomicHist, HistSnapshot, LogHist, DEFAULT_PRECISION_BITS};
+pub use padded::CachePadded;
+pub use ring::{EventLog, EventRing, SchedEvent, MAX_MAP_TYPES};
+pub use snapshot::{DispatchKind, Snapshot, Telemetry, TelemetryConfig, TypeSnapshot};

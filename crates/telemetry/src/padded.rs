@@ -1,0 +1,78 @@
+//! Cache-line padding for hot shared state.
+//!
+//! A local stand-in for `crossbeam_utils::CachePadded`, so the workspace
+//! carries no registry dependency. 128-byte alignment covers the
+//! spatial-prefetcher pair on x86 and the 128-byte lines of Apple silicon
+//! and some POWER parts; on 64-byte-line machines it simply wastes one
+//! extra line per slot, which is the point of padding anyway.
+
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to 128 bytes so neighboring slots never share a
+/// cache line (no false sharing between per-worker or per-type slots).
+///
+/// # Examples
+///
+/// ```
+/// use persephone_telemetry::CachePadded;
+/// use std::sync::atomic::AtomicU64;
+///
+/// let slot = CachePadded::new(AtomicU64::new(0));
+/// assert_eq!(core::mem::align_of_val(&slot), 128);
+/// ```
+#[derive(Clone, Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_128_byte_aligned_and_sized() {
+        assert_eq!(core::mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(core::mem::size_of::<CachePadded<u8>>(), 128);
+        assert_eq!(core::mem::size_of::<CachePadded<[u64; 17]>>(), 256);
+    }
+
+    #[test]
+    fn deref_and_into_inner_round_trip() {
+        let mut p = CachePadded::new(41u64);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+}

@@ -1,0 +1,88 @@
+//! Histogram percentile accuracy against an exact-sort oracle, on the
+//! three shapes that matter for the paper's workloads: uniform,
+//! bimodal (the High/Extreme Bimodal mixes), and log-normal tails.
+//! The bound under test is the bucket-width guarantee: relative error
+//! ≤ 2^-precision_bits (plus one nearest-rank step).
+
+use persephone_telemetry::LogHist;
+
+/// splitmix64 — deterministic, dependency-free.
+struct Mix(u64);
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Standard normal via Box-Muller.
+fn normal(rng: &mut Mix) -> f64 {
+    let u1 = rng.f64().max(1e-12);
+    let u2 = rng.f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn check(name: &str, precision_bits: u32, samples: &[u64]) {
+    let mut h = LogHist::new(precision_bits);
+    for &v in samples {
+        h.record(v);
+    }
+    let mut exact = samples.to_vec();
+    exact.sort_unstable();
+    // Bucket width bound plus a little slack for the nearest-rank step
+    // landing one bucket over on discrete data.
+    let bound = 2.0 * 2f64.powi(-(precision_bits as i32));
+    for p in [0.25, 0.5, 0.9, 0.99, 0.999, 0.9999] {
+        let rank = ((exact.len() as f64 * p).ceil() as usize).clamp(1, exact.len()) - 1;
+        let truth = exact[rank];
+        let approx = h.quantile(p);
+        let rel = (approx as f64 - truth as f64).abs() / (truth.max(1) as f64);
+        assert!(
+            rel <= bound,
+            "{name} p{p}: approx {approx} vs exact {truth}, rel err {rel:.5} > {bound:.5}"
+        );
+    }
+    assert_eq!(h.count(), samples.len() as u64);
+    assert_eq!(h.max(), *exact.last().unwrap());
+}
+
+#[test]
+fn uniform_matches_oracle() {
+    let mut rng = Mix(1);
+    let samples: Vec<u64> = (0..100_000).map(|_| 1_000 + rng.next() % 999_000).collect();
+    check("uniform", 7, &samples);
+    check("uniform-coarse", 5, &samples);
+}
+
+#[test]
+fn bimodal_matches_oracle() {
+    // Extreme Bimodal: 99.5 % at ~500 ns, 0.5 % at ~500 µs.
+    let mut rng = Mix(2);
+    let samples: Vec<u64> = (0..200_000)
+        .map(|_| {
+            if rng.next() % 1000 < 5 {
+                450_000 + rng.next() % 100_000
+            } else {
+                400 + rng.next() % 200
+            }
+        })
+        .collect();
+    check("bimodal", 7, &samples);
+    check("bimodal-coarse", 5, &samples);
+}
+
+#[test]
+fn log_normal_matches_oracle() {
+    let mut rng = Mix(3);
+    // Median ~10 µs with a fat right tail (σ = 1.5 in log space).
+    let samples: Vec<u64> = (0..100_000)
+        .map(|_| (10_000.0 * (1.5 * normal(&mut rng)).exp()).max(1.0) as u64)
+        .collect();
+    check("log-normal", 7, &samples);
+}

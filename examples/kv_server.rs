@@ -10,13 +10,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use persephone::core::classifier::HeaderClassifier;
 use persephone::net::pool::BufferPool;
 use persephone::net::{nic, wire};
 use persephone::runtime::handler::KvHandler;
 use persephone::runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
 use persephone::runtime::server::{spawn, ServerConfig};
+use std::sync::Mutex;
 
 const GET: u32 = 0;
 const SCAN: u32 = 1;
@@ -93,5 +93,11 @@ fn main() {
         "server: dispatched={} updates={} guaranteed cores (GET, SCAN) = {:?}",
         d.dispatched, d.reservation_updates, d.guaranteed
     );
-    println!("store: {} reads served", db.lock().reads());
+    println!("store: {} reads served", db.lock().unwrap().reads());
+
+    // Server-side observability: per-type sojourn percentiles, per-worker
+    // counters, and the scheduler's decision log (reservation updates,
+    // cycle-steals, spillway hits) from the shared telemetry ring.
+    println!("\nserver telemetry snapshot:");
+    print!("{}", d.telemetry.to_text());
 }

@@ -11,7 +11,6 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use persephone::core::classifier::HeaderClassifier;
 use persephone::core::time::Nanos;
 use persephone::net::pool::BufferPool;
@@ -20,6 +19,7 @@ use persephone::runtime::handler::TpccHandler;
 use persephone::runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
 use persephone::runtime::server::{spawn, ServerConfig};
 use persephone::store::tpcc::{TpccDb, Transaction};
+use std::sync::Mutex;
 
 fn main() {
     let db = Arc::new(Mutex::new(TpccDb::new(1)));
@@ -86,5 +86,11 @@ fn main() {
         "server: dispatched={} guaranteed cores per transaction = {:?}",
         d.dispatched, d.guaranteed
     );
-    println!("database committed {} transactions", db.lock().committed());
+    println!(
+        "database committed {} transactions",
+        db.lock().unwrap().committed()
+    );
+
+    println!("\nserver telemetry snapshot:");
+    print!("{}", d.telemetry.to_text());
 }

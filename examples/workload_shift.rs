@@ -29,6 +29,10 @@ fn main() {
     let gen = ArrivalGen::phased(&script, workers, 2024);
     // A 50k-sample window, as in the paper.
     let mut darc = DarcSim::dynamic(&script.phases[0].workload, workers, 50_000);
+    let telemetry = std::sync::Arc::new(persephone::telemetry::Telemetry::new(
+        persephone::telemetry::TelemetryConfig::new(2, workers),
+    ));
+    darc.attach_telemetry(telemetry.clone());
     let mut cfg = SimConfig::new(workers);
     cfg.timeline_bucket = Some(Nanos::from_millis(500));
     cfg.warmup_fraction = 0.0; // Keep every phase visible.
@@ -71,4 +75,7 @@ fn main() {
         darc.engine()
             .guaranteed_workers(persephone::core::types::TypeId::new(1)),
     );
+
+    println!("\nengine telemetry snapshot (simulated time):");
+    print!("{}", telemetry.snapshot().to_text());
 }

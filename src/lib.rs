@@ -18,6 +18,8 @@
 //!   `persephone-runtime`).
 //! * [`store`] — KV store, TPC-C, calibrated spin work (crate
 //!   `persephone-store`).
+//! * [`telemetry`] — zero-allocation histograms, counters, and the
+//!   scheduler-decision event ring (crate `persephone-telemetry`).
 //!
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/bench/src/bin/` for the figure-regeneration binaries.
@@ -29,3 +31,4 @@ pub use persephone_net as net;
 pub use persephone_runtime as runtime;
 pub use persephone_sim as sim;
 pub use persephone_store as store;
+pub use persephone_telemetry as telemetry;

@@ -1,76 +1,87 @@
-//! Property tests for the lock-free rings against a model queue.
+//! Randomized property tests for the lock-free rings against a model
+//! queue, plus wire-format round trips.
 //!
-//! Single-threaded model checks (arbitrary push/pop interleavings against
-//! a `VecDeque`) plus randomized two-thread stress for the SPSC ring.
-//! These complement the unit and stress tests inside `persephone-net`.
+//! Seeded with the repo's own xoshiro256++ [`persephone::sim::rng::Rng`]
+//! so the suite is deterministic and dependency-free. A smoke-sized set
+//! of cases runs by default; build with `--features heavy-testing` for
+//! the deep sweep.
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
-
 use persephone::net::{mpsc, spsc};
+use persephone::sim::rng::Rng;
 
-proptest! {
-    /// The SPSC ring agrees with a FIFO model on every interleaving.
-    #[test]
-    fn spsc_matches_model(
-        capacity in 1usize..64,
-        ops in prop::collection::vec(prop::bool::ANY, 0..400),
-    ) {
+#[cfg(feature = "heavy-testing")]
+const CASES: u64 = 256;
+#[cfg(not(feature = "heavy-testing"))]
+const CASES: u64 = 32;
+
+/// The SPSC ring agrees with a FIFO model on random interleavings.
+#[test]
+fn spsc_matches_model() {
+    let mut rng = Rng::new(0x5150);
+    for _ in 0..CASES {
+        let capacity = 1 + rng.next_below(63) as usize;
+        let ops = rng.next_below(400);
         let (mut tx, mut rx) = spsc::channel::<u64>(capacity);
         let real_cap = tx.capacity();
         let mut model: VecDeque<u64> = VecDeque::new();
         let mut seq = 0u64;
-        for push in ops {
-            if push {
+        for _ in 0..ops {
+            if rng.next_below(2) == 0 {
                 let ok = tx.push(seq).is_ok();
                 if model.len() < real_cap {
-                    prop_assert!(ok, "push rejected below capacity");
+                    assert!(ok, "push rejected below capacity");
                     model.push_back(seq);
                 } else {
-                    prop_assert!(!ok, "push accepted beyond capacity");
+                    assert!(!ok, "push accepted beyond capacity");
                 }
                 seq += 1;
             } else {
-                prop_assert_eq!(rx.pop(), model.pop_front());
+                assert_eq!(rx.pop(), model.pop_front());
             }
         }
-        prop_assert_eq!(rx.len(), model.len());
+        assert_eq!(rx.len(), model.len());
     }
+}
 
-    /// The MPSC ring agrees with a FIFO model when used single-producer.
-    #[test]
-    fn mpsc_matches_model(
-        capacity in 1usize..64,
-        ops in prop::collection::vec(prop::bool::ANY, 0..400),
-    ) {
+/// The MPSC ring agrees with a FIFO model when used single-producer.
+#[test]
+fn mpsc_matches_model() {
+    let mut rng = Rng::new(0x3153);
+    for _ in 0..CASES {
+        let capacity = 1 + rng.next_below(63) as usize;
+        let ops = rng.next_below(400);
         let (tx, mut rx) = mpsc::channel::<u64>(capacity);
         let real_cap = tx.capacity();
         let mut model: VecDeque<u64> = VecDeque::new();
         let mut seq = 0u64;
-        for push in ops {
-            if push {
+        for _ in 0..ops {
+            if rng.next_below(2) == 0 {
                 let ok = tx.push(seq).is_ok();
                 if model.len() < real_cap {
-                    prop_assert!(ok);
+                    assert!(ok);
                     model.push_back(seq);
                 } else {
-                    prop_assert!(!ok);
+                    assert!(!ok);
                 }
                 seq += 1;
             } else {
-                prop_assert_eq!(rx.pop(), model.pop_front());
+                assert_eq!(rx.pop(), model.pop_front());
             }
         }
     }
+}
 
-    /// Two-thread SPSC transfer delivers every value exactly once, in
-    /// order, for random capacities and message counts.
-    #[test]
-    fn spsc_two_thread_transfer(
-        capacity in 1usize..32,
-        count in 1u64..20_000,
-    ) {
+/// Two-thread SPSC transfer delivers every value exactly once, in
+/// order, for random capacities and message counts.
+#[test]
+fn spsc_two_thread_transfer() {
+    let mut rng = Rng::new(0x7152);
+    let rounds = CASES.min(24);
+    for _ in 0..rounds {
+        let capacity = 1 + rng.next_below(31) as usize;
+        let count = 1 + rng.next_below(20_000);
         let (mut tx, mut rx) = spsc::channel::<u64>(capacity);
         let producer = std::thread::spawn(move || {
             for i in 0..count {
@@ -90,58 +101,69 @@ proptest! {
         while expect < count {
             match rx.pop() {
                 Some(v) => {
-                    prop_assert_eq!(v, expect);
+                    assert_eq!(v, expect);
                     expect += 1;
                 }
                 None => std::thread::yield_now(),
             }
         }
         producer.join().unwrap();
-        prop_assert_eq!(rx.pop(), None);
+        assert_eq!(rx.pop(), None);
     }
 }
 
-/// Wire-format round trips for arbitrary payloads and ids.
+/// Wire-format round trips for random payloads and ids.
 mod wire_props {
-    use super::*;
+    use super::{Rng, CASES};
     use persephone::net::wire;
 
-    proptest! {
-        #[test]
-        fn encode_decode_round_trip(
-            ty in 0u32..u32::MAX,
-            id in 0u64..u64::MAX,
-            payload in prop::collection::vec(any::<u8>(), 0..512),
-        ) {
+    fn random_bytes(rng: &mut Rng, max_len: u64) -> Vec<u8> {
+        let len = rng.next_below(max_len) as usize;
+        (0..len).map(|_| rng.next_below(256) as u8).collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut rng = Rng::new(0xA11CE);
+        for _ in 0..CASES * 4 {
+            let ty = rng.next_u64() as u32;
+            let id = rng.next_u64();
+            let payload = random_bytes(&mut rng, 512);
             let mut buf = vec![0u8; wire::HEADER_LEN + payload.len()];
             let len = wire::encode_request(&mut buf, ty, id, &payload).unwrap();
-            prop_assert_eq!(len, buf.len());
+            assert_eq!(len, buf.len());
             let (hdr, got) = wire::decode(&buf).unwrap();
-            prop_assert_eq!(hdr.kind, wire::Kind::Request);
-            prop_assert_eq!(hdr.ty, ty);
-            prop_assert_eq!(hdr.id, id);
-            prop_assert_eq!(got, &payload[..]);
+            assert_eq!(hdr.kind, wire::Kind::Request);
+            assert_eq!(hdr.ty, ty);
+            assert_eq!(hdr.id, id);
+            assert_eq!(got, &payload[..]);
         }
+    }
 
-        #[test]
-        fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+    #[test]
+    fn decode_never_panics_on_garbage() {
+        let mut rng = Rng::new(0xBAD);
+        for _ in 0..CASES * 8 {
             // Any byte soup must either decode or produce a typed error.
+            let bytes = random_bytes(&mut rng, 256);
             let _ = wire::decode(&bytes);
         }
+    }
 
-        #[test]
-        fn in_place_response_preserves_payload(
-            ty in 0u32..1_000,
-            id in any::<u64>(),
-            payload in prop::collection::vec(any::<u8>(), 0..128),
-        ) {
+    #[test]
+    fn in_place_response_preserves_payload() {
+        let mut rng = Rng::new(0xC0DE);
+        for _ in 0..CASES * 4 {
+            let ty = rng.next_below(1_000) as u32;
+            let id = rng.next_u64();
+            let payload = random_bytes(&mut rng, 128);
             let mut buf = vec![0u8; wire::HEADER_LEN + payload.len()];
             wire::encode_request(&mut buf, ty, id, &payload).unwrap();
             wire::request_to_response_in_place(&mut buf, wire::Status::Ok).unwrap();
             let (hdr, got) = wire::decode(&buf).unwrap();
-            prop_assert_eq!(hdr.kind, wire::Kind::Response);
-            prop_assert_eq!(hdr.id, id);
-            prop_assert_eq!(got, &payload[..]);
+            assert_eq!(hdr.kind, wire::Kind::Response);
+            assert_eq!(hdr.id, id);
+            assert_eq!(got, &payload[..]);
         }
     }
 }

@@ -5,7 +5,6 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use persephone::core::classifier::{FnClassifier, HeaderClassifier};
 use persephone::core::time::Nanos;
 use persephone::core::types::TypeId;
@@ -17,6 +16,7 @@ use persephone::runtime::server::{spawn, ServerConfig};
 use persephone::store::kv::KvStore;
 use persephone::store::spin::SpinCalibration;
 use persephone::store::tpcc::{TpccDb, Transaction};
+use std::sync::Mutex;
 
 fn spin_services() -> [Nanos; 2] {
     [Nanos::from_micros(5), Nanos::from_micros(200)]
@@ -82,6 +82,14 @@ fn round_trip_under_mixed_load() {
     // Both types actually flowed.
     assert!(report.latencies_ns[0].len() > 10);
     assert!(report.latencies_ns[1].len() > 2);
+
+    // The telemetry snapshot agrees with the dispatcher's own counters.
+    let tel = &server.dispatcher.telemetry;
+    assert_eq!(tel.completions(), server.handled());
+    assert!(tel.types[0].sojourn.count() > 10);
+    assert!(tel.types[0].sojourn.quantile(0.5) > 0);
+    // Workers recorded their measured busy time.
+    assert!(tel.workers.iter().any(|w| w.busy_ns > 0));
 }
 
 #[test]
@@ -117,6 +125,27 @@ fn warmup_profiles_and_installs_a_reservation() {
     );
     // The short type ends up with at least one guaranteed core.
     assert!(server.dispatcher.guaranteed[0] >= 1);
+
+    // The event ring logged the warm-up handover, and the last update's
+    // new guaranteed map matches the engine's final reservation.
+    let updates: Vec<_> = server
+        .dispatcher
+        .telemetry
+        .events
+        .events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            persephone::telemetry::ring::SchedEvent::ReservationUpdate {
+                new_guaranteed, ..
+            } => Some(*new_guaranteed),
+            _ => None,
+        })
+        .collect();
+    assert!(!updates.is_empty(), "reservation update event recorded");
+    let last = updates.last().unwrap();
+    for (i, g) in server.dispatcher.guaranteed.iter().enumerate() {
+        assert_eq!(last[i] as usize, *g, "type {i} guaranteed mismatch");
+    }
 }
 
 #[test]
@@ -146,6 +175,11 @@ fn unknown_types_ride_the_spillway() {
     );
     assert_eq!(server.dispatcher.unknown, report.sent);
     assert_eq!(server.dispatcher.classified, 0);
+    // UNKNOWN traffic lands in the telemetry's dedicated UNKNOWN slot.
+    let tel = &server.dispatcher.telemetry;
+    let unknown = tel.unknown.as_ref().expect("unknown slot present");
+    assert_eq!(unknown.counters.completions, report.received);
+    assert!(tel.types.iter().all(|t| t.counters.arrivals == 0));
 }
 
 #[test]
@@ -279,7 +313,7 @@ fn kv_service_end_to_end() {
     let server = handle.stop();
     assert!(report.received > 50);
     assert_eq!(server.handled(), report.received);
-    assert!(db.lock().reads() >= report.received);
+    assert!(db.lock().unwrap().reads() >= report.received);
 }
 
 #[test]
@@ -322,7 +356,7 @@ fn tpcc_service_end_to_end() {
     );
     let server = handle.stop();
     assert!(report.received > 50);
-    assert_eq!(db.lock().committed(), server.handled());
+    assert_eq!(db.lock().unwrap().committed(), server.handled());
 }
 
 #[test]
