@@ -18,6 +18,7 @@
 //! * **Flow control** — arrivals to a full typed queue are rejected back
 //!   to the caller (dropped), shedding load only for the overloaded type.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use persephone_telemetry::{DispatchKind, Telemetry};
@@ -40,6 +41,74 @@ pub enum EngineMode {
     CFcfs,
 }
 
+/// Clamp for SLO-derived typed-queue capacities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloQueueBounds {
+    /// Smallest capacity ever installed (also used when a type has no
+    /// service estimate or no guaranteed cores yet).
+    pub min: usize,
+    /// Largest capacity ever installed.
+    pub max: usize,
+}
+
+impl Default for SloQueueBounds {
+    fn default() -> Self {
+        SloQueueBounds {
+            min: 8,
+            max: 65_536,
+        }
+    }
+}
+
+/// Overload-control knobs (deadline shedding, SLO-sized queues, worker
+/// quarantine). Everything defaults to *off* so a plain engine behaves
+/// exactly as before; [`OverloadConfig::enabled`] switches the full set on
+/// with paper-consistent defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadConfig {
+    /// Deadline shedding: expire a head-of-queue request once its queueing
+    /// delay exceeds `deadline_slowdown ×` its type's profiled mean service
+    /// time (the slowdown-SLO deadline). `None` disables shedding.
+    pub deadline_slowdown: Option<f64>,
+    /// SLO-sized typed queues: on every reservation install, rebound each
+    /// typed queue at `slowdown_slo × guaranteed_cores` entries (clamped to
+    /// the bounds) so a queue never holds more than ~SLO worth of work.
+    /// `None` keeps the static `queue_capacity`.
+    pub slo_queues: Option<SloQueueBounds>,
+    /// Worker quarantine: a busy worker whose in-flight request has run for
+    /// `stall_factor ×` its type's profiled mean is quarantined until its
+    /// late completion arrives. `None` disables health checks.
+    pub stall_factor: Option<f64>,
+    /// Floor for the stall threshold; also the full threshold for types
+    /// without a service estimate (UNKNOWN included).
+    pub min_stall: Nanos,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            deadline_slowdown: None,
+            slo_queues: None,
+            stall_factor: None,
+            min_stall: Nanos::from_millis(1),
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// All three mechanisms on: 10× slowdown-SLO deadlines (paper §4.3.3's
+    /// SLO), SLO-sized queues with default bounds, and quarantine at 10×
+    /// the profiled mean (floored at 1 ms).
+    pub fn enabled() -> Self {
+        OverloadConfig {
+            deadline_slowdown: Some(10.0),
+            slo_queues: Some(SloQueueBounds::default()),
+            stall_factor: Some(10.0),
+            min_stall: Nanos::from_millis(1),
+        }
+    }
+}
+
 /// Engine construction parameters.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -53,6 +122,8 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Scheduling mode.
     pub mode: EngineMode,
+    /// Overload-control knobs (all off by default).
+    pub overload: OverloadConfig,
 }
 
 impl EngineConfig {
@@ -64,6 +135,7 @@ impl EngineConfig {
             profiler: ProfilerConfig::default(),
             queue_capacity: 0,
             mode: EngineMode::Dynamic,
+            overload: OverloadConfig::default(),
         }
     }
 
@@ -132,10 +204,22 @@ pub struct DarcEngine<R> {
     queues: Vec<TypedQueue<R>>,
     unknown: TypedQueue<R>,
     seq: u64,
-    /// Per worker: the in-flight request's type and how long it queued
-    /// (kept so `complete` can record the full sojourn).
-    worker_busy: Vec<Option<(TypeId, Nanos)>>,
+    /// Per worker: the in-flight request's type, how long it queued (kept
+    /// so `complete` can record the full sojourn), and when it was
+    /// dispatched (so health checks can see how long it has been running).
+    worker_busy: Vec<Option<(TypeId, Nanos, Nanos)>>,
     free_count: usize,
+    overload: OverloadConfig,
+    /// Per worker: whether its in-flight request ran so far past its
+    /// type's profiled mean that the worker is presumed stalled.
+    quarantined: Vec<bool>,
+    quarantined_count: usize,
+    quarantines_total: u64,
+    releases_total: u64,
+    /// Deadline-expired requests awaiting pickup by the caller (answered
+    /// with `Dropped` in the runtime, counted in the simulator).
+    expired_buf: VecDeque<(TypeId, R)>,
+    expired_total: u64,
     reservation: Reservation,
     profiler: Profiler,
     phase: Phase,
@@ -176,6 +260,13 @@ impl<R> DarcEngine<R> {
             seq: 0,
             worker_busy: (0..cfg.num_workers).map(|_| None).collect(),
             free_count: cfg.num_workers,
+            overload: cfg.overload,
+            quarantined: vec![false; cfg.num_workers],
+            quarantined_count: 0,
+            quarantines_total: 0,
+            releases_total: 0,
+            expired_buf: VecDeque::new(),
+            expired_total: 0,
             reservation: Reservation::all_shared(num_types, cfg.num_workers),
             profiler,
             phase: Phase::CFcfs,
@@ -268,6 +359,43 @@ impl<R> DarcEngine<R> {
         self.free_count
     }
 
+    /// Workers currently quarantined (busy far past their type's profiled
+    /// mean; excluded from the free pool until their completion arrives).
+    pub fn quarantined_workers(&self) -> usize {
+        self.quarantined_count
+    }
+
+    /// Whether `worker` is currently quarantined.
+    pub fn is_quarantined(&self, worker: WorkerId) -> bool {
+        self.quarantined
+            .get(worker.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Quarantine events since start (cumulative).
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines_total
+    }
+
+    /// Quarantine releases (late completions) since start.
+    pub fn releases(&self) -> u64 {
+        self.releases_total
+    }
+
+    /// Requests expired by deadline shedding or drained at teardown.
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total
+    }
+
+    /// Whether every worker is either idle or quarantined — the engine's
+    /// quiescence condition for shutdown. A quarantined worker may never
+    /// answer; waiting on it would wedge teardown, which is exactly the
+    /// failure mode this subsystem removes.
+    pub fn quiescent(&self) -> bool {
+        self.free_count + self.quarantined_count == self.num_workers()
+    }
+
     /// Queued requests of type `ty` (UNKNOWN supported).
     pub fn pending(&self, ty: TypeId) -> usize {
         if ty.is_unknown() {
@@ -294,6 +422,19 @@ impl<R> DarcEngine<R> {
     /// Total drops across all typed queues.
     pub fn total_drops(&self) -> u64 {
         self.queues.iter().map(|q| q.drops()).sum::<u64>() + self.unknown.drops()
+    }
+
+    /// Current capacity of `ty`'s queue (`0` = unbounded; UNKNOWN maps to
+    /// the unknown queue). SLO-sized queues change this on every install.
+    pub fn queue_capacity_of(&self, ty: TypeId) -> usize {
+        if ty.is_unknown() {
+            self.unknown.capacity()
+        } else {
+            self.queues
+                .get(ty.index())
+                .map(|q| q.capacity())
+                .unwrap_or(self.unknown.capacity())
+        }
     }
 
     /// Number of workers currently *guaranteed* (reserved) for `ty`'s
@@ -327,6 +468,8 @@ impl<R> DarcEngine<R> {
             return Err(());
         }
         self.worker_busy.resize(new_workers, None);
+        self.quarantined.resize(new_workers, false);
+        self.quarantined_count = self.quarantined.iter().filter(|q| **q).count();
         self.free_count = self.worker_busy.iter().filter(|b| b.is_none()).count();
         self.reserve_cfg.num_workers = new_workers;
         match self.phase {
@@ -407,8 +550,22 @@ impl<R> DarcEngine<R> {
             .worker_busy
             .get_mut(worker.index())
             .expect("worker id out of range");
-        let (ty, queued_for) = slot.take().expect("completion from an idle worker");
+        let (ty, queued_for, started) = slot.take().expect("completion from an idle worker");
         self.free_count += 1;
+        if self.quarantined[worker.index()] {
+            // The presumed-stalled worker answered after all: release it
+            // back into the free pool.
+            self.quarantined[worker.index()] = false;
+            self.quarantined_count -= 1;
+            self.releases_total += 1;
+            if let Some(t) = &self.telemetry {
+                t.record_release(
+                    worker.index(),
+                    now.saturating_sub(started).as_nanos(),
+                    now.as_nanos(),
+                );
+            }
+        }
         self.profiler.record_completion(ty, service);
         if let Some(t) = &self.telemetry {
             let sojourn = queued_for.saturating_add(service);
@@ -420,6 +577,104 @@ impl<R> DarcEngine<R> {
             );
         }
         self.maybe_update(now);
+    }
+
+    /// Deadline shedding: expires head-of-queue requests whose queueing
+    /// delay exceeds `deadline_slowdown ×` the type's profiled mean
+    /// service time. Expired requests move to an internal buffer the
+    /// caller empties via [`DarcEngine::take_expired`] (the runtime
+    /// answers each one with `Status::Dropped` so clients fail fast
+    /// instead of inflating the tail).
+    ///
+    /// Call once per dispatcher iteration. No-op unless
+    /// `overload.deadline_slowdown` is set; types without a service
+    /// estimate (and the UNKNOWN queue) are never expired.
+    pub fn expire_heads(&mut self, now: Nanos) {
+        let Some(slowdown) = self.overload.deadline_slowdown else {
+            return;
+        };
+        for i in 0..self.num_types {
+            let ty = TypeId::new(i as u32);
+            let Some(est) = self.profiler.estimate_ns(ty) else {
+                continue;
+            };
+            let deadline = Nanos::from_nanos((slowdown * est) as u64);
+            while let Some(entry) = self.queues[i].pop_expired(now, deadline) {
+                let waited = now.saturating_sub(entry.enqueued);
+                self.expired_total += 1;
+                if let Some(t) = &self.telemetry {
+                    t.record_expired(i, waited.as_nanos(), now.as_nanos());
+                }
+                self.expired_buf.push_back((ty, entry.req));
+            }
+        }
+    }
+
+    /// Takes the next deadline-expired request, if any.
+    pub fn take_expired(&mut self) -> Option<(TypeId, R)> {
+        self.expired_buf.pop_front()
+    }
+
+    /// Worker-health check: quarantines any busy worker whose in-flight
+    /// request has run for `stall_factor ×` its type's profiled mean
+    /// (floored at `min_stall`; types without an estimate use `min_stall`
+    /// alone). A quarantined worker stays busy — its reserved core becomes
+    /// re-coverable via the spillway in [`DarcEngine::poll`] — and is
+    /// released by its late completion.
+    ///
+    /// Call once per dispatcher iteration. No-op unless
+    /// `overload.stall_factor` is set.
+    pub fn check_health(&mut self, now: Nanos) {
+        let Some(factor) = self.overload.stall_factor else {
+            return;
+        };
+        for w in 0..self.worker_busy.len() {
+            if self.quarantined[w] {
+                continue;
+            }
+            let Some((ty, _queued_for, started)) = self.worker_busy[w] else {
+                continue;
+            };
+            let running = now.saturating_sub(started);
+            let threshold = match self.profiler.estimate_ns(ty) {
+                Some(est) => Nanos::from_nanos((factor * est) as u64).max(self.overload.min_stall),
+                None => self.overload.min_stall,
+            };
+            if running > threshold {
+                self.quarantined[w] = true;
+                self.quarantined_count += 1;
+                self.quarantines_total += 1;
+                if let Some(t) = &self.telemetry {
+                    t.record_quarantine(w, self.tslot(ty), running.as_nanos(), now.as_nanos());
+                }
+            }
+        }
+    }
+
+    /// Drains every typed queue (shutdown teardown), counting each entry
+    /// as shed and returning all of them so the caller can answer each
+    /// with `Dropped` instead of silently discarding queued work.
+    pub fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
+        let mut out = Vec::new();
+        for i in 0..self.num_types {
+            let ty = TypeId::new(i as u32);
+            for e in self.queues[i].drain() {
+                let waited = now.saturating_sub(e.enqueued);
+                if let Some(t) = &self.telemetry {
+                    t.record_expired(i, waited.as_nanos(), now.as_nanos());
+                }
+                out.push((ty, e.req));
+            }
+        }
+        for e in self.unknown.drain() {
+            let waited = now.saturating_sub(e.enqueued);
+            if let Some(t) = &self.telemetry {
+                t.record_expired(self.num_types, waited.as_nanos(), now.as_nanos());
+            }
+            out.push((TypeId::UNKNOWN, e.req));
+        }
+        self.expired_total += out.len() as u64;
+        out
     }
 
     /// Forces a reservation recomputation from the current window (used by
@@ -517,6 +772,28 @@ impl<R> DarcEngine<R> {
         self.reservation = res;
         self.updates += 1;
 
+        // SLO-sized typed queues: with `g` guaranteed cores, a backlog of
+        // `N` requests of mean service `S` drains in `N·S/g`; bounding that
+        // by the slowdown SLO (`≤ slowdown·S`) gives `N ≤ slowdown·g` — the
+        // estimate cancels out, so the capacity is independent of how fast
+        // the type is, but gated on an estimate existing at all.
+        if let Some(bounds) = self.overload.slo_queues {
+            let slo = self.profiler.config().slowdown_slo;
+            for (i, q) in self.queues.iter_mut().enumerate() {
+                let ty = TypeId::new(i as u32);
+                let g = match self.reservation.group_of(ty) {
+                    Some(gi) => self.reservation.groups[gi].reserved.len(),
+                    None => 0,
+                };
+                let cap = if g > 0 && self.profiler.estimate_ns(ty).is_some() {
+                    ((slo * g as f64).ceil() as usize).clamp(bounds.min, bounds.max)
+                } else {
+                    bounds.min
+                };
+                q.set_capacity(cap);
+            }
+        }
+
         if let Some(t) = &self.telemetry {
             let new_guaranteed: Vec<usize> = (0..self.num_types)
                 .map(|i| self.guaranteed_workers(TypeId::new(i as u32)))
@@ -575,6 +852,15 @@ impl<R> DarcEngine<R> {
                 let entry = self.queues[ty.index()].pop().unwrap();
                 return Some(self.assign(worker, ty, entry, now, kind));
             }
+            // Graceful degradation: when every core reserved for this group
+            // is quarantined (stalled mid-request), the spillway re-covers
+            // the group so its types keep flowing instead of wedging.
+            if self.group_reserved_all_quarantined(gi) {
+                if let Some(worker) = self.free_spillway() {
+                    let entry = self.queues[ty.index()].pop().unwrap();
+                    return Some(self.assign(worker, ty, entry, now, DispatchKind::Spillway));
+                }
+            }
         }
         // Ungrouped types and UNKNOWN run on spillway cores, lowest priority.
         for si in 0..self.spill_types.len() {
@@ -621,6 +907,12 @@ impl<R> DarcEngine<R> {
             .map(|w| (w, DispatchKind::Stolen))
     }
 
+    /// Whether group `gi` has reserved cores and every one is quarantined.
+    fn group_reserved_all_quarantined(&self, gi: usize) -> bool {
+        let g = &self.reservation.groups[gi];
+        !g.reserved.is_empty() && g.reserved.iter().all(|w| self.quarantined[w.index()])
+    }
+
     fn free_spillway(&self) -> Option<WorkerId> {
         self.reservation
             .spillway
@@ -646,7 +938,7 @@ impl<R> DarcEngine<R> {
     ) -> Dispatch<R> {
         debug_assert!(self.worker_busy[worker.index()].is_none());
         let queued_for = now.saturating_sub(entry.enqueued);
-        self.worker_busy[worker.index()] = Some((ty, queued_for));
+        self.worker_busy[worker.index()] = Some((ty, queued_for, now));
         self.free_count -= 1;
         self.profiler.record_dispatch_delay(ty, queued_for);
         if let Some(t) = &self.telemetry {
@@ -1051,6 +1343,157 @@ mod tests {
         let mut eng: DarcEngine<u32> = DarcEngine::new(EngineConfig::cfcfs(1), 2, &[None, None]);
         eng.enqueue(TypeId::new(0), 1, now).unwrap();
         assert_eq!(eng.poll(now).unwrap().kind, DispatchKind::Fcfs);
+    }
+
+    #[test]
+    fn deadline_shedding_expires_stale_heads() {
+        let mut cfg = EngineConfig::darc(2);
+        cfg.overload.deadline_slowdown = Some(10.0);
+        let mut eng: DarcEngine<u32> =
+            DarcEngine::new(cfg, 2, &[Some(micros(1)), Some(micros(100))]);
+        eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        eng.enqueue(TypeId::new(0), 2, micros(5)).unwrap();
+        eng.enqueue(TypeId::new(1), 3, micros(0)).unwrap();
+        // Type 0's deadline is 10 × 1 µs. At t = 11 µs its head has waited
+        // 11 µs (expired) and the next entry 6 µs (kept); type 1's 1 ms
+        // deadline is nowhere near.
+        eng.expire_heads(micros(11));
+        assert_eq!(eng.take_expired(), Some((TypeId::new(0), 1)));
+        assert_eq!(eng.take_expired(), None);
+        assert_eq!(eng.expired_total(), 1);
+        assert_eq!(eng.pending(TypeId::new(0)), 1);
+        assert_eq!(eng.pending(TypeId::new(1)), 1);
+        // Off by default: a plain engine never expires anything.
+        let mut plain = hinted_engine(2);
+        plain.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        plain.expire_heads(Nanos::from_secs(100));
+        assert_eq!(plain.expired_total(), 0);
+        assert_eq!(plain.pending(TypeId::new(0)), 1);
+    }
+
+    #[test]
+    fn slo_sized_queues_track_reservation() {
+        let mut cfg = EngineConfig::darc(14);
+        cfg.overload.slo_queues = Some(SloQueueBounds { min: 2, max: 64 });
+        let eng: DarcEngine<u32> = DarcEngine::new(cfg, 2, &[Some(micros(1)), Some(micros(100))]);
+        // Hinted boot reserves 1 core for shorts and 13 for longs; with the
+        // default slowdown SLO of 10 the capacities are 10×1 and 10×13,
+        // the latter clamped to the configured max.
+        assert_eq!(eng.queue_capacity_of(TypeId::new(0)), 10);
+        assert_eq!(eng.queue_capacity_of(TypeId::new(1)), 64);
+        // Off by default: queues keep the static (unbounded) capacity.
+        let plain = hinted_engine(14);
+        assert_eq!(plain.queue_capacity_of(TypeId::new(0)), 0);
+    }
+
+    #[test]
+    fn stalled_worker_is_quarantined_and_released() {
+        let mut cfg = EngineConfig::darc(2);
+        cfg.overload.stall_factor = Some(5.0);
+        cfg.overload.min_stall = micros(1);
+        let mut eng: DarcEngine<u32> =
+            DarcEngine::new(cfg, 2, &[Some(micros(1)), Some(micros(100))]);
+        eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        let d = eng.poll(micros(0)).unwrap();
+        assert!(
+            !eng.quiescent(),
+            "a busy non-quarantined pool is not quiescent"
+        );
+        // 4 µs in, the request is under the 5 × 1 µs threshold: healthy.
+        eng.check_health(micros(4));
+        assert_eq!(eng.quarantined_workers(), 0);
+        // 6 µs in, it is past the threshold: quarantined.
+        eng.check_health(micros(6));
+        assert!(eng.is_quarantined(d.worker));
+        assert_eq!(eng.quarantined_workers(), 1);
+        assert_eq!(eng.quarantines(), 1);
+        assert!(
+            eng.quiescent(),
+            "only the quarantined worker is busy: shutdown must not wait on it"
+        );
+        // Re-checking never double-counts.
+        eng.check_health(micros(7));
+        assert_eq!(eng.quarantines(), 1);
+        // The worker stays excluded from dispatch while quarantined.
+        assert_eq!(eng.free_workers(), 1);
+        // Its late completion releases it back into the pool.
+        eng.complete(d.worker, micros(8), micros(8));
+        assert!(!eng.is_quarantined(d.worker));
+        assert_eq!(eng.quarantined_workers(), 0);
+        assert_eq!(eng.releases(), 1);
+        assert_eq!(eng.free_workers(), 2);
+        assert!(eng.quiescent());
+    }
+
+    #[test]
+    fn quarantined_reserved_core_is_covered_by_spillway() {
+        use crate::reserve::Group;
+        // Hand-built strict partition: short on w0, long on w1, spillway
+        // w2, no stealing anywhere — so only the quarantine fallback can
+        // keep the short type flowing when w0 stalls.
+        let res = Reservation::custom(
+            vec![
+                Group {
+                    types: vec![TypeId::new(0)],
+                    mean_service_ns: 1_000.0,
+                    demand: 0.5,
+                    reserved: vec![WorkerId::new(0)],
+                    stealable: Vec::new(),
+                },
+                Group {
+                    types: vec![TypeId::new(1)],
+                    mean_service_ns: 100_000.0,
+                    demand: 0.5,
+                    reserved: vec![WorkerId::new(1)],
+                    stealable: Vec::new(),
+                },
+            ],
+            vec![WorkerId::new(2)],
+            2,
+            3,
+        );
+        let mut cfg = EngineConfig {
+            mode: EngineMode::Static(res),
+            ..EngineConfig::darc(3)
+        };
+        cfg.overload.stall_factor = Some(5.0);
+        cfg.overload.min_stall = micros(1);
+        let mut eng: DarcEngine<u32> =
+            DarcEngine::new(cfg, 2, &[Some(micros(1)), Some(micros(100))]);
+        // Dispatch a short onto its reserved core and stall it.
+        eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        let d = eng.poll(micros(0)).unwrap();
+        assert_eq!(d.worker, WorkerId::new(0));
+        assert_eq!(d.kind, DispatchKind::Reserved);
+        eng.check_health(micros(50));
+        assert!(eng.is_quarantined(WorkerId::new(0)));
+        // The next short cannot use w0 (quarantined) and has nothing to
+        // steal; the spillway must absorb it.
+        eng.enqueue(TypeId::new(0), 2, micros(50)).unwrap();
+        let d2 = eng.poll(micros(50)).unwrap();
+        assert_eq!(d2.worker, WorkerId::new(2));
+        assert_eq!(d2.kind, DispatchKind::Spillway);
+        // With the spillway busy too, nothing is schedulable for shorts.
+        eng.enqueue(TypeId::new(0), 3, micros(50)).unwrap();
+        assert!(eng.poll(micros(50)).is_none());
+        // Longs are unaffected throughout.
+        eng.enqueue(TypeId::new(1), 4, micros(50)).unwrap();
+        assert_eq!(eng.poll(micros(50)).unwrap().worker, WorkerId::new(1));
+    }
+
+    #[test]
+    fn drain_all_counts_and_returns_everything() {
+        let mut eng = hinted_engine(2);
+        eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        eng.enqueue(TypeId::new(1), 2, micros(0)).unwrap();
+        eng.enqueue(TypeId::UNKNOWN, 3, micros(0)).unwrap();
+        let drained = eng.drain_all(micros(5));
+        assert_eq!(drained.len(), 3);
+        assert!(drained.contains(&(TypeId::new(0), 1)));
+        assert!(drained.contains(&(TypeId::UNKNOWN, 3)));
+        assert_eq!(eng.expired_total(), 3);
+        assert_eq!(eng.total_pending(), 0);
+        assert_eq!(eng.total_drops(), 0, "shedding is not an admission drop");
     }
 
     #[test]

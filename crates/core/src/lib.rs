@@ -62,7 +62,9 @@ pub mod time;
 pub mod types;
 
 pub use classifier::Classifier;
-pub use dispatch::{DarcEngine, Dispatch, EngineConfig, EngineMode};
+pub use dispatch::{
+    DarcEngine, Dispatch, EngineConfig, EngineMode, OverloadConfig, SloQueueBounds,
+};
 pub use policy::Policy;
 pub use profile::{Profiler, ProfilerConfig, TypeStat};
 pub use reserve::{reserve, Reservation, ReserveConfig};

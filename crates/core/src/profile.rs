@@ -232,6 +232,23 @@ impl Profiler {
         self.windows_committed
     }
 
+    /// Best current service-time estimate for type `ty` in nanoseconds
+    /// (window data preferred, falling back to the cross-window estimate /
+    /// hint). Returns `None` for UNKNOWN, out-of-range, or never-observed
+    /// unhinted types.
+    ///
+    /// Unlike [`Profiler::estimates`] this does not allocate, so overload
+    /// control (deadline shedding, worker-health checks) can consult it on
+    /// every dispatcher iteration.
+    #[inline]
+    pub fn estimate_ns(&self, ty: TypeId) -> Option<f64> {
+        if ty.is_unknown() {
+            return None;
+        }
+        let tw = self.types.get(ty.index())?;
+        self.current_estimate(tw)
+    }
+
     /// Best current estimate for a type (window data preferred, falling
     /// back to the cross-window estimate / hint).
     fn current_estimate(&self, tw: &TypeWindow) -> Option<f64> {
@@ -507,6 +524,17 @@ mod tests {
         let s = p.estimates();
         assert_eq!(s[0].ratio, 1.0);
         assert_eq!(s[1].ratio, 0.0);
+    }
+
+    #[test]
+    fn estimate_ns_prefers_live_window_and_guards_bounds() {
+        let mut p = Profiler::new(cfg(10), 2, &[Some(Nanos::from_micros(7)), None]);
+        assert_eq!(p.estimate_ns(TypeId::new(0)), Some(7_000.0));
+        assert_eq!(p.estimate_ns(TypeId::new(1)), None, "no hint, no data");
+        assert_eq!(p.estimate_ns(TypeId::UNKNOWN), None);
+        assert_eq!(p.estimate_ns(TypeId::new(9)), None);
+        p.record_completion(TypeId::new(0), Nanos::from_micros(3));
+        assert_eq!(p.estimate_ns(TypeId::new(0)), Some(3_000.0));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub struct TypedQueue<R> {
     entries: VecDeque<Entry<R>>,
     capacity: usize,
     drops: u64,
+    shed: u64,
     total_enqueued: u64,
 }
 
@@ -51,8 +52,18 @@ impl<R> TypedQueue<R> {
             entries: VecDeque::new(),
             capacity,
             drops: 0,
+            shed: 0,
             total_enqueued: 0,
         }
+    }
+
+    /// Rebounds the queue at `capacity` entries (`0` = unbounded).
+    ///
+    /// Entries already queued above a tighter bound are kept — they were
+    /// admitted under the old bound and will drain (or expire) normally;
+    /// only *new* arrivals see the new capacity.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
     }
 
     /// Enqueues a request, or returns it back (and counts a drop) when the
@@ -92,6 +103,12 @@ impl<R> TypedQueue<R> {
         self.drops
     }
 
+    /// Requests shed *after* admission: expired past their deadline by
+    /// [`TypedQueue::pop_expired`] or drained at teardown.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
     /// Requests accepted over the queue's lifetime.
     pub fn total_enqueued(&self) -> u64 {
         self.total_enqueued
@@ -109,8 +126,23 @@ impl<R> TypedQueue<R> {
             .unwrap_or(Nanos::ZERO)
     }
 
-    /// Drains all entries (used when tearing an engine down).
+    /// Removes and returns the head entry if its queueing delay at `now`
+    /// exceeds `deadline`, counting it as shed. Deadline shedding walks the
+    /// queue one head at a time: the caller answers each expired request
+    /// and calls again until `None`.
+    pub fn pop_expired(&mut self, now: Nanos, deadline: Nanos) -> Option<Entry<R>> {
+        let head = self.front()?;
+        if now.saturating_sub(head.enqueued) <= deadline {
+            return None;
+        }
+        self.shed += 1;
+        self.entries.pop_front()
+    }
+
+    /// Drains all entries, counting each as shed (used when tearing an
+    /// engine down — the runtime answers drained requests with `Dropped`).
     pub fn drain(&mut self) -> impl Iterator<Item = Entry<R>> + '_ {
+        self.shed += self.entries.len() as u64;
         self.entries.drain(..)
     }
 }
@@ -163,12 +195,47 @@ mod tests {
     }
 
     #[test]
-    fn drain_empties_the_queue() {
+    fn drain_empties_the_queue_and_counts_shed() {
         let mut q = TypedQueue::new(0);
         q.push(1, Nanos::ZERO, 0).unwrap();
         q.push(2, Nanos::ZERO, 1).unwrap();
         let drained: Vec<_> = q.drain().map(|e| e.req).collect();
         assert_eq!(drained, vec![1, 2]);
         assert!(q.is_empty());
+        assert_eq!(q.shed(), 2, "drained entries count as shed");
+        assert_eq!(q.drops(), 0, "shedding is not an admission drop");
+    }
+
+    #[test]
+    fn pop_expired_sheds_only_stale_heads() {
+        let mut q = TypedQueue::new(0);
+        q.push("old", Nanos::from_micros(0), 0).unwrap();
+        q.push("new", Nanos::from_micros(90), 1).unwrap();
+        let deadline = Nanos::from_micros(50);
+        // Head waited 100 µs > 50 µs deadline: expired.
+        let e = q.pop_expired(Nanos::from_micros(100), deadline).unwrap();
+        assert_eq!(e.req, "old");
+        // New head waited 10 µs: kept.
+        assert!(q.pop_expired(Nanos::from_micros(100), deadline).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.shed(), 1);
+        // Exactly-at-deadline heads are kept (strict inequality).
+        assert!(q.pop_expired(Nanos::from_micros(140), deadline).is_none());
+        assert!(q.pop_expired(Nanos::ZERO, deadline).is_none(), "empty-safe");
+    }
+
+    #[test]
+    fn set_capacity_rebounds_without_evicting() {
+        let mut q = TypedQueue::new(0);
+        for i in 0..4u32 {
+            q.push(i, Nanos::ZERO, i as u64).unwrap();
+        }
+        q.set_capacity(2);
+        assert_eq!(q.len(), 4, "existing entries survive a tighter bound");
+        assert_eq!(q.push(9, Nanos::ZERO, 9), Err(9), "new arrivals bounded");
+        q.pop().unwrap();
+        q.pop().unwrap();
+        q.pop().unwrap();
+        assert!(q.push(9, Nanos::ZERO, 9).is_ok());
     }
 }

@@ -151,6 +151,48 @@ impl Reservation {
         }
     }
 
+    /// Builds a caller-specified static allocation from explicit groups.
+    ///
+    /// `type_to_group` is derived from the groups' member lists; types not
+    /// named by any group route to the spillway. Intended for tests and
+    /// operators pinning a hand-crafted layout via `EngineMode::Static`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers == 0` or any referenced worker index is out
+    /// of range.
+    pub fn custom(
+        groups: Vec<Group>,
+        spillway: Vec<WorkerId>,
+        num_types: usize,
+        num_workers: usize,
+    ) -> Reservation {
+        assert!(num_workers > 0, "need at least one worker");
+        let in_range = |w: &WorkerId| w.index() < num_workers;
+        assert!(
+            spillway.iter().all(in_range)
+                && groups
+                    .iter()
+                    .all(|g| g.reserved.iter().all(in_range) && g.stealable.iter().all(in_range)),
+            "worker index out of range"
+        );
+        let mut type_to_group = vec![None; num_types];
+        for (gi, g) in groups.iter().enumerate() {
+            for t in &g.types {
+                if t.index() < num_types {
+                    type_to_group[t.index()] = Some(gi);
+                }
+            }
+        }
+        Reservation {
+            groups,
+            spillway,
+            num_workers,
+            expected_waste: 0.0,
+            type_to_group,
+        }
+    }
+
     /// Builds the "DARC-static" two-class allocation of paper §5.3: the
     /// single `short` type gets `reserved_short` dedicated workers *and*
     /// may run on all remaining workers (stealable); every other type

@@ -40,5 +40,5 @@ pub mod pool;
 pub mod spsc;
 pub mod wire;
 
-pub use nic::{loopback, ClientPort, NetContext, ServerPort};
+pub use nic::{loopback, loopback_with_faults, ClientPort, NetContext, NicFaultPlan, ServerPort};
 pub use pool::{BufferPool, PacketBuf, PoolAllocator, PoolReleaser};

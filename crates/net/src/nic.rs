@@ -14,10 +14,32 @@ use crate::pool::PacketBuf;
 /// Default depth of each hardware queue.
 pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
 
+/// Deterministic NIC-level fault injection for chaos tests.
+///
+/// The default plan injects nothing; [`loopback_with_faults`] wires a plan
+/// into the client→server direction of a link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NicFaultPlan {
+    /// Silently drop every `drop_every`-th request packet (1-based count:
+    /// with `drop_every = 7` the 7th, 14th, ... packets vanish in flight).
+    /// `0` disables packet dropping.
+    pub drop_every: u64,
+}
+
+impl NicFaultPlan {
+    /// A plan that drops every `n`-th client→server packet.
+    pub fn drop_every(n: u64) -> Self {
+        NicFaultPlan { drop_every: n }
+    }
+}
+
 /// The client's end of the link.
 pub struct ClientPort {
     tx: mpsc::Sender<PacketBuf>,
     rx: mpsc::Receiver<PacketBuf>,
+    faults: NicFaultPlan,
+    sent: u64,
+    fault_drops: u64,
 }
 
 /// The server's end of the link.
@@ -52,12 +74,21 @@ pub struct QueueFull(pub PacketBuf);
 /// assert_eq!(got.as_slice(), b"ping");
 /// ```
 pub fn loopback(queue_depth: usize) -> (ClientPort, ServerPort) {
+    loopback_with_faults(queue_depth, NicFaultPlan::default())
+}
+
+/// Creates a loopback link whose client→server direction injects the
+/// faults described by `faults` — the "lossy wire" for chaos tests.
+pub fn loopback_with_faults(queue_depth: usize, faults: NicFaultPlan) -> (ClientPort, ServerPort) {
     let (c2s_tx, c2s_rx) = mpsc::channel(queue_depth);
     let (s2c_tx, s2c_rx) = mpsc::channel(queue_depth);
     (
         ClientPort {
             tx: c2s_tx,
             rx: s2c_rx,
+            faults,
+            sent: 0,
+            fault_drops: 0,
         },
         ServerPort {
             rx: c2s_rx,
@@ -68,8 +99,24 @@ pub fn loopback(queue_depth: usize) -> (ClientPort, ServerPort) {
 
 impl ClientPort {
     /// Transmits a request packet toward the server.
+    ///
+    /// An injected fault "loses" the packet in flight: the call reports
+    /// success (the wire accepted it) but the server never sees it — and,
+    /// as on real hardware, the buffer is gone from the pool until the
+    /// client's timeout accounting gives up on the response.
     pub fn send(&mut self, pkt: PacketBuf) -> Result<(), QueueFull> {
+        self.sent += 1;
+        if self.faults.drop_every != 0 && self.sent.is_multiple_of(self.faults.drop_every) {
+            self.fault_drops += 1;
+            drop(pkt);
+            return Ok(());
+        }
         self.tx.push(pkt).map_err(|e| QueueFull(e.0))
+    }
+
+    /// Packets silently dropped by the fault plan so far.
+    pub fn fault_drops(&self) -> u64 {
+        self.fault_drops
     }
 
     /// Receives the next response, if any.
@@ -78,6 +125,9 @@ impl ClientPort {
     }
 
     /// A cloneable sender for multi-threaded load generators.
+    ///
+    /// Raw senders bypass the fault plan: faults are injected only on
+    /// [`ClientPort::send`], where they can be accounted.
     pub fn sender(&self) -> mpsc::Sender<PacketBuf> {
         self.tx.clone()
     }
@@ -101,6 +151,34 @@ impl NetContext {
     /// Transmits a response packet toward the client.
     pub fn send(&self, pkt: PacketBuf) -> Result<(), QueueFull> {
         self.tx.push(pkt).map_err(|e| QueueFull(e.0))
+    }
+
+    /// Transmits with a bounded spin-then-yield retry, returning the
+    /// packet only after `max_attempts` pushes all found the queue full.
+    ///
+    /// This is the one send-retry loop shared by the dispatcher's control
+    /// responses and the workers' data responses: short bursts of
+    /// backpressure (a client briefly not draining) are absorbed, while a
+    /// dead client bounds the stall instead of wedging the server. Callers
+    /// should count an `Err` as a give-up in telemetry.
+    pub fn send_with_retry(&self, pkt: PacketBuf, max_attempts: usize) -> Result<(), QueueFull> {
+        let mut pkt = pkt;
+        for attempt in 0..max_attempts.max(1) {
+            match self.send(pkt) {
+                Ok(()) => return Ok(()),
+                Err(QueueFull(p)) => {
+                    pkt = p;
+                    // Spin briefly for the common transient case, then
+                    // yield so a same-core client can drain the ring.
+                    if attempt < 64 {
+                        core::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        Err(QueueFull(pkt))
     }
 }
 
@@ -148,6 +226,53 @@ mod tests {
             seen.push(p.as_slice().to_vec());
         }
         assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn fault_plan_drops_every_nth_packet() {
+        let (mut client, mut server) = loopback_with_faults(32, NicFaultPlan::drop_every(3));
+        for i in 0..9u32 {
+            client.send(pkt(&i.to_le_bytes())).unwrap();
+        }
+        assert_eq!(client.fault_drops(), 3, "packets 3, 6, 9 vanish");
+        let mut arrived = 0;
+        while server.recv().is_some() {
+            arrived += 1;
+        }
+        assert_eq!(arrived, 6);
+        // A zero plan (the default) never drops.
+        let (mut c2, mut s2) = loopback(8);
+        c2.send(pkt(b"x")).unwrap();
+        assert_eq!(c2.fault_drops(), 0);
+        assert!(s2.recv().is_some());
+    }
+
+    #[test]
+    fn send_with_retry_succeeds_once_drained_and_bounds_give_up() {
+        let (mut client, server) = loopback(2);
+        let ctx = server.context();
+        ctx.send(pkt(b"full1")).unwrap();
+        ctx.send(pkt(b"full2")).unwrap();
+        // Queue full and nobody draining: a bounded give-up returns the
+        // packet instead of spinning forever.
+        let err = ctx.send_with_retry(pkt(b"stuck"), 100).unwrap_err();
+        assert_eq!(err.0.as_slice(), b"stuck");
+        // A concurrent drain lets a longer retry get through.
+        let drainer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while got.len() < 3 {
+                if let Some(p) = client.recv() {
+                    got.push(p.as_slice().to_vec());
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            got
+        });
+        ctx.send_with_retry(pkt(b"later"), 1_000_000).unwrap();
+        let got = drainer.join().unwrap();
+        assert_eq!(got[0], b"full1");
+        assert_eq!(got[2], b"later");
     }
 
     #[test]

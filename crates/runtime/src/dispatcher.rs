@@ -6,6 +6,22 @@
 //! them into the DARC engine's typed queues, executes the engine's
 //! dispatch decisions over per-worker SPSC rings, and folds completion
 //! notifications back into the engine (profiling + reservation updates).
+//!
+//! ## Overload control
+//!
+//! Each loop iteration also runs the engine's graceful-degradation
+//! machinery: [`DarcEngine::check_health`] quarantines workers that have
+//! held a request for far longer than the type's profiled mean (their
+//! reserved cores are re-covered via the spillway), and
+//! [`DarcEngine::expire_heads`] sheds head-of-queue requests whose
+//! queueing delay has already blown the slowdown SLO — those are answered
+//! with [`wire::Status::Dropped`] so the client can retry elsewhere
+//! instead of waiting on a response that would arrive too late to matter.
+//!
+//! A dispatch decision whose worker ring is momentarily full is *held*
+//! (one slot per worker) and re-offered on the next iteration rather than
+//! panicking the dispatcher thread; at shutdown, still-queued requests
+//! are drained and answered with `Dropped` instead of silently discarded.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -42,6 +58,18 @@ pub struct DispatcherReport {
     pub dispatched: u64,
     /// Completions folded back into the engine.
     pub completed: u64,
+    /// Queued requests past their slowdown-SLO deadline, answered with
+    /// `Dropped` before ever reaching a worker.
+    pub expired: u64,
+    /// Requests still queued (or held for a quarantined worker) at
+    /// shutdown, answered with `Dropped` instead of silently discarded.
+    pub shed_at_shutdown: u64,
+    /// Workers quarantined by the wall-clock health check.
+    pub quarantines: u64,
+    /// Quarantined workers released after their late completion arrived.
+    pub releases: u64,
+    /// Control responses abandoned after the bounded TX retry gave up.
+    pub tx_give_ups: u64,
     /// Reservation updates installed (including the warm-up exit).
     pub reservation_updates: u64,
     /// Final guaranteed (reserved) cores per type.
@@ -68,9 +96,23 @@ pub fn run_dispatcher(
     assert_eq!(completion_rx.len(), engine.num_workers());
     let mut report = DispatcherReport::default();
     let num_types = engine.num_types();
+    // Dispatch decisions whose worker ring rejected the push, held for
+    // re-offer. The one-in-flight-per-worker protocol means at most one
+    // held message per worker, so a fixed slot each suffices.
+    let mut held: Vec<Option<WorkMsg>> = (0..engine.num_workers()).map(|_| None).collect();
 
     loop {
         let mut progressed = false;
+
+        // 0. Re-offer messages held from a previously full worker ring.
+        for w in 0..held.len() {
+            if let Some(msg) = held[w].take() {
+                match work_tx[w].push(msg) {
+                    Ok(()) => progressed = true,
+                    Err(back) => held[w] = Some(back.0),
+                }
+            }
+        }
 
         // 1. Net-worker role: drain a batch from the NIC RX queue.
         for _ in 0..64 {
@@ -89,12 +131,12 @@ pub fn run_dispatcher(
                     let id = hdr.id;
                     if let Err((buf, _)) = engine.enqueue(ty, (pkt, id), now) {
                         report.dropped += 1;
-                        respond_control(&dispatcher_ctx, buf, wire::Status::Dropped);
+                        respond_control(&dispatcher_ctx, buf, wire::Status::Dropped, &mut report);
                     }
                 }
                 _ => {
                     report.malformed += 1;
-                    respond_control(&dispatcher_ctx, pkt, wire::Status::BadRequest);
+                    respond_control(&dispatcher_ctx, pkt, wire::Status::BadRequest, &mut report);
                 }
             }
         }
@@ -108,27 +150,68 @@ pub fn run_dispatcher(
             }
         }
 
-        // 3. DARC dispatch: run Algorithm 1 until no placement is possible.
+        // 3. Overload control: quarantine stalled workers, then shed
+        // queued requests that have already blown their deadline.
         let now = clock.now();
+        engine.check_health(now);
+        engine.expire_heads(now);
+        while let Some((_ty, (buf, _id))) = engine.take_expired() {
+            progressed = true;
+            report.expired += 1;
+            respond_control(&dispatcher_ctx, buf, wire::Status::Dropped, &mut report);
+        }
+
+        // 4. DARC dispatch: run Algorithm 1 until no placement is possible.
         while let Some(d) = engine.poll(now) {
             progressed = true;
             report.dispatched += 1;
             let (buf, id) = d.req;
             let msg = WorkMsg::Request { buf, ty: d.ty, id };
-            // Each engine worker has at most one in-flight request, so the
-            // ring (depth ≥ 2) cannot be full.
-            work_tx[d.worker.index()]
-                .push(msg)
-                .unwrap_or_else(|_| panic!("work ring for worker {} full", d.worker));
+            // Each engine worker has at most one in-flight request, so a
+            // full ring (depth ≥ 2) should be impossible — but a protocol
+            // hiccup must not panic the dispatcher. Hold the message and
+            // re-offer it next iteration; the engine already counts the
+            // worker busy, so no second dispatch can race into the slot.
+            if let Err(back) = work_tx[d.worker.index()].push(msg) {
+                held[d.worker.index()] = Some(back.0);
+            }
         }
 
-        // 4. Orderly shutdown once quiescent.
+        // 5. Orderly shutdown once quiescent.
         if !progressed {
-            if shutdown.load(Ordering::Acquire)
-                && engine.total_pending() == 0
-                && engine.free_workers() == engine.num_workers()
-            {
-                break;
+            if shutdown.load(Ordering::Acquire) {
+                // Answer everything still queued with `Dropped` rather
+                // than silently discarding it.
+                let now = clock.now();
+                for (_ty, (buf, _id)) in engine.drain_all(now) {
+                    report.shed_at_shutdown += 1;
+                    respond_control(&dispatcher_ctx, buf, wire::Status::Dropped, &mut report);
+                }
+                // A message held for a quarantined worker will never be
+                // deliverable (its ring is wedged); shed it too so
+                // shutdown cannot hang on a stalled core.
+                for (w, slot) in held.iter_mut().enumerate() {
+                    if engine.is_quarantined(WorkerId::new(w as u32)) {
+                        if let Some(WorkMsg::Request { buf, .. }) = slot.take() {
+                            report.shed_at_shutdown += 1;
+                            respond_control(
+                                &dispatcher_ctx,
+                                buf,
+                                wire::Status::Dropped,
+                                &mut report,
+                            );
+                        }
+                    }
+                }
+                // Quiescence deliberately excludes quarantined workers:
+                // waiting on a stalled core would turn one fault into a
+                // full-server hang.
+                if engine.total_pending() == 0
+                    && engine.quiescent()
+                    && held.iter().all(|h| h.is_none())
+                {
+                    break;
+                }
             }
             std::thread::yield_now();
         }
@@ -142,6 +225,8 @@ pub fn run_dispatcher(
         }
     }
 
+    report.quarantines = engine.quarantines();
+    report.releases = engine.releases();
     report.reservation_updates = engine.updates();
     report.guaranteed = (0..num_types)
         .map(|i| engine.guaranteed_workers(TypeId::new(i as u32)))
@@ -152,7 +237,12 @@ pub fn run_dispatcher(
 
 /// Sends a control response (drop/bad-request) by rewriting the packet in
 /// place when possible; undecodable packets are simply discarded.
-fn respond_control(ctx: &NetContext, mut pkt: PacketBuf, status: wire::Status) {
+fn respond_control(
+    ctx: &NetContext,
+    mut pkt: PacketBuf,
+    status: wire::Status,
+    report: &mut DispatcherReport,
+) {
     let ok = pkt.len() >= wire::HEADER_LEN
         && wire::request_to_response_in_place(pkt.raw_mut(), status).is_ok();
     if !ok {
@@ -161,14 +251,7 @@ fn respond_control(ctx: &NetContext, mut pkt: PacketBuf, status: wire::Status) {
     let mut p = pkt;
     p.set_len(wire::HEADER_LEN);
     // Bounded retries: control responses are best-effort (UDP semantics).
-    let mut msg = p;
-    for _ in 0..10_000 {
-        match ctx.send(msg) {
-            Ok(()) => break,
-            Err(e) => {
-                msg = e.0;
-                std::thread::yield_now();
-            }
-        }
+    if ctx.send_with_retry(p, 10_000).is_err() {
+        report.tx_give_ups += 1;
     }
 }

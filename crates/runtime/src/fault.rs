@@ -1,0 +1,90 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] describes misbehaviour to inject into an otherwise
+//! healthy pipeline: a worker that stalls mid-run for a fixed duration
+//! (driving the dispatcher's quarantine path) pairs with the NIC-level
+//! packet dropping of [`persephone_net::nic::NicFaultPlan`] (driving the
+//! load generator's client-side timeout accounting). Plans are plain data
+//! — no randomness — so every chaos run is exactly reproducible.
+
+use std::time::Duration;
+
+/// A one-shot worker stall: after the worker has handled
+/// `after_requests` requests, it sleeps for `stall` while holding its
+/// next request — exactly what a page fault storm, a GC pause, or a
+/// hardware hiccup looks like to the dispatcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallFault {
+    /// Requests the worker handles normally before the stall fires.
+    pub after_requests: u64,
+    /// How long the worker blocks.
+    pub stall: Duration,
+}
+
+/// Per-worker fault assignments for a server run.
+///
+/// The default plan injects nothing, so production configs pay only an
+/// `Option` check per worker at spawn time.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    stalls: Vec<(usize, StallFault)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a one-shot stall for `worker` (later entries for the same
+    /// worker replace earlier ones).
+    pub fn stall_worker(mut self, worker: usize, after_requests: u64, stall: Duration) -> Self {
+        self.stalls.retain(|(w, _)| *w != worker);
+        self.stalls.push((
+            worker,
+            StallFault {
+                after_requests,
+                stall,
+            },
+        ));
+        self
+    }
+
+    /// The stall fault assigned to `worker`, if any.
+    pub fn for_worker(&self, worker: usize) -> Option<StallFault> {
+        self.stalls
+            .iter()
+            .find(|(w, _)| *w == worker)
+            .map(|(_, f)| *f)
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.stalls.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_assigns_per_worker() {
+        let plan = FaultPlan::none()
+            .stall_worker(0, 5, Duration::from_millis(100))
+            .stall_worker(2, 0, Duration::from_millis(50))
+            .stall_worker(0, 9, Duration::from_millis(1));
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.for_worker(0),
+            Some(StallFault {
+                after_requests: 9,
+                stall: Duration::from_millis(1)
+            }),
+            "later assignment replaces the earlier one"
+        );
+        assert_eq!(plan.for_worker(1), None);
+        assert_eq!(plan.for_worker(2).unwrap().after_requests, 0);
+        assert!(FaultPlan::none().is_empty());
+    }
+}

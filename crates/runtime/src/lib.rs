@@ -63,12 +63,14 @@
 
 pub mod clock;
 pub mod dispatcher;
+pub mod fault;
 pub mod handler;
 pub mod loadgen;
 pub mod messages;
 pub mod server;
 pub mod worker;
 
+pub use fault::{FaultPlan, StallFault};
 pub use handler::{KvHandler, RequestHandler, SpinHandler, TpccHandler};
 pub use loadgen::{run_open_loop, LoadReport, LoadSpec, LoadType};
 pub use server::{spawn, RuntimeReport, ServerConfig, ServerHandle};

@@ -4,6 +4,13 @@
 //! of response progress (open loop — the client never waits), records
 //! per-type response latencies, and recycles response buffers into its
 //! packet pool.
+//!
+//! In-flight bookkeeping is a bounded slab with one slot per pool buffer
+//! (the pool already caps true in-flight count), keyed through the wire
+//! id as `generation << 32 | slot`. Requests whose response never arrives
+//! — a lossy wire, a server that shed silently — are written off when
+//! the grace window closes ([`LoadReport::timed_out`]), so memory stays
+//! constant and the totals balance no matter how broken the server.
 
 use std::time::{Duration, Instant};
 
@@ -56,19 +63,41 @@ pub struct LoadReport {
     pub rejected: u64,
     /// Sends skipped because the packet pool was empty.
     pub starved: u64,
+    /// Requests whose response never arrived within the grace window —
+    /// lost on the wire or silently discarded server-side.
+    pub timed_out: u64,
     /// Response latencies (ns) per type index.
     pub latencies_ns: Vec<Vec<u64>>,
+    sorted: bool,
 }
 
 impl LoadReport {
+    /// Sorts the latency vectors in place so subsequent
+    /// [`LoadReport::percentile_ns`] calls index directly instead of
+    /// cloning and re-sorting. [`run_open_loop`] calls this before
+    /// returning; call it again only after mutating `latencies_ns`.
+    pub fn finalize(&mut self) {
+        for v in &mut self.latencies_ns {
+            v.sort_unstable();
+        }
+        self.sorted = true;
+    }
+
     /// Exact percentile (0–1) of one type's latencies, in nanoseconds.
+    ///
+    /// O(1) after [`LoadReport::finalize`]; falls back to a clone-and-sort
+    /// for hand-built unsorted reports.
     pub fn percentile_ns(&self, ty: usize, p: f64) -> Option<u64> {
-        let mut v = self.latencies_ns.get(ty)?.clone();
+        let v = self.latencies_ns.get(ty)?;
         if v.is_empty() {
             return None;
         }
-        v.sort_unstable();
         let rank = (((v.len() as f64) * p).ceil() as usize).clamp(1, v.len()) - 1;
+        if self.sorted {
+            return Some(v[rank]);
+        }
+        let mut v = v.clone();
+        v.sort_unstable();
         Some(v[rank])
     }
 
@@ -82,12 +111,61 @@ impl LoadReport {
     }
 }
 
+/// The in-flight slab: fixed slots, a free list, and per-slot generations
+/// so a response to an already-reclaimed (timed-out) slot is recognised
+/// as stale instead of crediting a newer request.
+struct Inflight {
+    slots: Vec<Option<(Instant, usize)>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Inflight {
+    fn new(capacity: usize) -> Self {
+        Inflight {
+            slots: vec![None; capacity],
+            gens: vec![0; capacity],
+            free: (0..capacity).rev().collect(),
+            live: 0,
+        }
+    }
+
+    /// Claims a slot, returning the wire id to stamp on the request.
+    fn claim(&mut self, sent_at: Instant, ty: usize) -> Option<u64> {
+        let slot = self.free.pop()?;
+        self.slots[slot] = Some((sent_at, ty));
+        self.live += 1;
+        Some(((self.gens[slot] as u64) << 32) | slot as u64)
+    }
+
+    /// Reclaims the slot a response's wire id names, if it is still the
+    /// same generation (i.e. not a stale duplicate of a reused slot).
+    fn reclaim(&mut self, id: u64) -> Option<(Instant, usize)> {
+        let slot = (id & 0xFFFF_FFFF) as usize;
+        let gen = (id >> 32) as u32;
+        if slot >= self.slots.len() || self.gens[slot] != gen {
+            return None;
+        }
+        let entry = self.slots[slot].take()?;
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        Some(entry)
+    }
+}
+
 /// Runs an open-loop Poisson client for `duration` at `rate_rps`, then
 /// drains outstanding responses for up to `grace`.
 ///
 /// The pool bounds client memory: if it runs dry (server slower than the
 /// offered rate and responses not yet returned), sends are skipped and
-/// counted in [`LoadReport::starved`].
+/// counted in [`LoadReport::starved`]. Requests still unanswered when the
+/// grace window closes are written off as [`LoadReport::timed_out`] —
+/// lost on the wire or silently discarded server-side — so
+/// `sent == received + dropped + rejected + timed_out` always balances.
+///
+/// The returned report is already [`LoadReport::finalize`]d.
 pub fn run_open_loop(
     client: &mut ClientPort,
     pool: &mut PoolAllocator,
@@ -118,33 +196,27 @@ pub fn run_open_loop(
 
     let start = Instant::now();
     let deadline = start + duration;
-    // In-flight bookkeeping: id → (send instant, type index).
-    let mut inflight: Vec<Option<(Instant, usize)>> = Vec::new();
+    // One slab slot per pool buffer: the pool already bounds how many
+    // requests can truly be outstanding.
+    let mut inflight = Inflight::new(pool.total().max(1));
     let mut next_send = start;
-    let mut next_id: u64 = 0;
     let mut releaser = pool.releaser();
 
     let drain = |client: &mut ClientPort,
-                 inflight: &mut Vec<Option<(Instant, usize)>>,
+                 inflight: &mut Inflight,
                  report: &mut LoadReport,
                  releaser: &mut persephone_net::pool::PoolReleaser| {
         while let Some(pkt) = client.recv() {
             if let Ok((hdr, _)) = wire::decode(pkt.as_slice()) {
+                let matched = inflight.reclaim(hdr.id);
                 match wire::response_status(&hdr) {
                     Some(wire::Status::Ok) => {
-                        if let Some(Some((sent_at, ty))) =
-                            inflight.get_mut(hdr.id as usize).map(|s| s.take())
-                        {
+                        if let Some((sent_at, ty)) = matched {
                             report.received += 1;
                             report.latencies_ns[ty].push(sent_at.elapsed().as_nanos() as u64);
                         }
                     }
-                    Some(wire::Status::Dropped) => {
-                        if let Some(slot) = inflight.get_mut(hdr.id as usize) {
-                            slot.take();
-                        }
-                        report.dropped += 1;
-                    }
+                    Some(wire::Status::Dropped) => report.dropped += 1,
                     _ => report.rejected += 1,
                 }
             }
@@ -178,29 +250,32 @@ pub fn run_open_loop(
 
             releaser.flush();
             match pool.alloc() {
-                Some(mut buf) => {
-                    let id = next_id;
-                    next_id += 1;
-                    let len = wire::encode_request(buf.raw_mut(), lt.ty, id, &lt.payload)
-                        .expect("pool buffers sized for requests");
-                    buf.set_len(len);
-                    inflight.push(Some((Instant::now(), ti)));
-                    report.sent += 1;
-                    let mut pkt = buf;
-                    loop {
-                        match client.send(pkt) {
-                            Ok(()) => break,
-                            Err(e) => {
-                                pkt = e.0;
-                                std::thread::yield_now();
+                Some(buf) => match inflight.claim(Instant::now(), ti) {
+                    Some(id) => {
+                        let mut buf = buf;
+                        let len = wire::encode_request(buf.raw_mut(), lt.ty, id, &lt.payload)
+                            .expect("pool buffers sized for requests");
+                        buf.set_len(len);
+                        report.sent += 1;
+                        let mut pkt = buf;
+                        loop {
+                            match client.send(pkt) {
+                                Ok(()) => break,
+                                Err(e) => {
+                                    pkt = e.0;
+                                    std::thread::yield_now();
+                                }
                             }
                         }
                     }
-                }
-                None => {
-                    report.starved += 1;
-                    // Keep id-space dense: skipped sends get no id.
-                }
+                    None => {
+                        // Unreachable in practice (one slot per buffer),
+                        // but return the buffer rather than leak it.
+                        report.starved += 1;
+                        releaser.release(buf);
+                    }
+                },
+                None => report.starved += 1,
             }
         }
         drain(client, &mut inflight, &mut report, &mut releaser);
@@ -208,11 +283,15 @@ pub fn run_open_loop(
 
     // Grace period: collect stragglers.
     let grace_deadline = Instant::now() + grace;
-    while Instant::now() < grace_deadline && inflight.iter().any(|s| s.is_some()) {
+    while Instant::now() < grace_deadline && inflight.live > 0 {
         drain(client, &mut inflight, &mut report, &mut releaser);
         std::thread::yield_now();
     }
+    // Whatever is still unanswered when the client gives up waiting has,
+    // by definition, timed out; its slab slot dies with the slab.
+    report.timed_out += inflight.live as u64;
     releaser.flush();
+    report.finalize();
     report
 }
 
@@ -257,5 +336,56 @@ mod tests {
         };
         assert_eq!(empty.percentile_ns(0, 0.5), None);
         assert_eq!(empty.mean_ns(0), None);
+    }
+
+    #[test]
+    fn finalized_percentiles_agree_with_exact_sort_oracle() {
+        // Deterministically shuffled latencies: finalize() must answer
+        // every percentile exactly as a fresh clone-and-sort would.
+        let mut vals: Vec<u64> = (0..997u64).map(|i| (i * 7919) % 100_003).collect();
+        let oracle = {
+            let mut v = vals.clone();
+            v.sort_unstable();
+            v
+        };
+        vals.rotate_left(313);
+        let mut report = LoadReport {
+            latencies_ns: vec![vals],
+            ..Default::default()
+        };
+        let unsorted: Vec<Option<u64>> = [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0]
+            .iter()
+            .map(|&p| report.percentile_ns(0, p))
+            .collect();
+        report.finalize();
+        for (i, &p) in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0].iter().enumerate() {
+            let rank = (((oracle.len() as f64) * p).ceil() as usize).clamp(1, oracle.len()) - 1;
+            let want = Some(oracle[rank]);
+            assert_eq!(report.percentile_ns(0, p), want, "p={p}");
+            assert_eq!(unsorted[i], want, "unsorted fallback disagrees at p={p}");
+            // Repeated queries stay stable (no re-sorting side effects).
+            assert_eq!(report.percentile_ns(0, p), want, "p={p} repeat");
+        }
+    }
+
+    #[test]
+    fn inflight_slab_is_bounded_and_generation_checked() {
+        let mut slab = Inflight::new(2);
+        let t0 = Instant::now();
+        let a = slab.claim(t0, 0).unwrap();
+        let b = slab.claim(t0, 1).unwrap();
+        assert!(slab.claim(t0, 0).is_none(), "slab is bounded");
+        assert_eq!(slab.live, 2);
+        assert_eq!(slab.reclaim(a).map(|(_, ty)| ty), Some(0));
+        assert_eq!(slab.live, 1);
+        assert!(slab.reclaim(a).is_none(), "stale generation rejected");
+        // The reused slot gets a fresh generation distinct from the old id.
+        let c = slab.claim(Instant::now(), 1).unwrap();
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+        assert_eq!(slab.reclaim(c).map(|(_, ty)| ty), Some(1));
+        assert!(slab.reclaim(c).is_none(), "double reclaim rejected");
+        assert_eq!(slab.reclaim(b).map(|(_, ty)| ty), Some(1));
+        assert_eq!(slab.live, 0, "everything reclaimed");
     }
 }

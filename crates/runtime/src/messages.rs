@@ -1,6 +1,12 @@
 //! Messages exchanged between the dispatcher and application workers
 //! (paper §4.3.2): work pushes on the downstream SPSC ring, completion
 //! notifications on the upstream ring.
+//!
+//! Delivery of a [`WorkMsg`] is at-least-offered, not fire-and-forget: if
+//! a worker's downstream ring is full, the dispatcher holds the message
+//! and re-offers it on its next loop iteration instead of panicking (see
+//! `run_dispatcher`), so ring pressure degrades to latency, never to a
+//! crash.
 
 use persephone_core::time::Nanos;
 use persephone_core::types::TypeId;

@@ -14,6 +14,7 @@ use persephone_telemetry::{Telemetry, TelemetryConfig};
 
 use crate::clock::RuntimeClock;
 use crate::dispatcher::{run_dispatcher, DispatcherReport, Pending};
+use crate::fault::FaultPlan;
 use crate::handler::RequestHandler;
 use crate::messages::{Completion, WorkMsg};
 use crate::worker::{run_worker, WorkerReport};
@@ -31,6 +32,8 @@ pub struct ServerConfig {
     pub engine: EngineConfig,
     /// Depth of each dispatcher↔worker ring.
     pub ring_depth: usize,
+    /// Fault injection for chaos runs (default: none).
+    pub faults: FaultPlan,
 }
 
 impl ServerConfig {
@@ -42,12 +45,19 @@ impl ServerConfig {
             hints: vec![None; num_types],
             engine: EngineConfig::darc(workers),
             ring_depth: 8,
+            faults: FaultPlan::none(),
         }
     }
 
     /// Sets service-time hints (one per type).
     pub fn with_hints(mut self, hints: Vec<Option<Nanos>>) -> Self {
         self.hints = hints;
+        self
+    }
+
+    /// Installs a fault plan for chaos runs.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -113,10 +123,11 @@ pub fn spawn(
         let nic_ctx = port.context();
         let handler = handler_factory(i);
         let tel = Some((i, telemetry.clone()));
+        let fault = cfg.faults.for_worker(i);
         workers.push(
             std::thread::Builder::new()
                 .name(format!("psp-worker-{i}"))
-                .spawn(move || run_worker(wrx, ctx_tx, nic_ctx, handler, tel))
+                .spawn(move || run_worker(wrx, ctx_tx, nic_ctx, handler, tel, fault))
                 .expect("spawn worker"),
         );
     }

@@ -15,6 +15,7 @@ use persephone_net::spsc;
 use persephone_net::wire;
 use persephone_telemetry::Telemetry;
 
+use crate::fault::StallFault;
 use crate::handler::RequestHandler;
 use crate::messages::{Completion, WorkMsg};
 
@@ -25,6 +26,10 @@ pub struct WorkerReport {
     pub handled: u64,
     /// Total busy time across all requests.
     pub busy: Nanos,
+    /// Responses abandoned after the bounded TX retry gave up.
+    pub tx_give_ups: u64,
+    /// Injected stalls that fired (chaos runs only).
+    pub stalls_injected: u64,
 }
 
 /// Runs the worker loop until a [`WorkMsg::Shutdown`] arrives.
@@ -35,12 +40,20 @@ pub struct WorkerReport {
 ///
 /// Idle iterations yield to the OS scheduler so oversubscribed test
 /// environments (more threads than cores) stay live.
+///
+/// `fault` optionally injects a one-shot [`StallFault`]: once the worker
+/// has handled `after_requests` requests, it blocks for the configured
+/// duration *before* the timed handler section of its next request. The
+/// stall is invisible to service-time profiling (the handler itself is
+/// still fast) but very visible to the dispatcher's wall-clock health
+/// check — exactly the failure mode quarantine exists for.
 pub fn run_worker(
     mut work_rx: spsc::Consumer<WorkMsg>,
     mut completion_tx: spsc::Producer<Completion>,
     nic: NetContext,
     mut handler: Box<dyn RequestHandler>,
     telemetry: Option<(usize, Arc<Telemetry>)>,
+    mut fault: Option<StallFault>,
 ) -> WorkerReport {
     let mut report = WorkerReport::default();
     loop {
@@ -54,6 +67,13 @@ pub fn run_worker(
         match msg {
             WorkMsg::Shutdown => return report,
             WorkMsg::Request { mut buf, ty, id: _ } => {
+                if let Some(f) = fault {
+                    if report.handled >= f.after_requests {
+                        fault = None;
+                        report.stalls_injected += 1;
+                        std::thread::sleep(f.stall);
+                    }
+                }
                 let started = Instant::now();
                 // The handler sees only the payload region; the header is
                 // rewritten in place below (zero-copy response, §4.3.1).
@@ -82,15 +102,11 @@ pub fn run_worker(
                     // Retry on a briefly full TX queue; if the client has
                     // vanished (queue stays full), drop the response after
                     // a bounded number of attempts instead of wedging the
-                    // pipeline.
-                    let mut pkt = buf;
-                    for _ in 0..100_000 {
-                        match nic.send(pkt) {
-                            Ok(()) => break,
-                            Err(e) => {
-                                pkt = e.0;
-                                std::thread::yield_now();
-                            }
+                    // pipeline — and account the give-up.
+                    if nic.send_with_retry(buf, 100_000).is_err() {
+                        report.tx_give_ups += 1;
+                        if let Some((idx, tel)) = &telemetry {
+                            tel.record_tx_give_up(*idx);
                         }
                     }
                 }
@@ -138,7 +154,7 @@ mod tests {
         )));
         let tel_worker = Some((1, tel.clone()));
         let t = std::thread::spawn(move || {
-            run_worker(work_rx, completion_tx, ctx, handler, tel_worker)
+            run_worker(work_rx, completion_tx, ctx, handler, tel_worker, None)
         });
 
         work_tx
@@ -189,10 +205,11 @@ mod tests {
                 .unwrap();
         }
         work_tx.push(WorkMsg::Shutdown).unwrap();
-        let report =
-            std::thread::spawn(move || run_worker(work_rx, completion_tx, ctx, handler, None))
-                .join()
-                .unwrap();
+        let report = std::thread::spawn(move || {
+            run_worker(work_rx, completion_tx, ctx, handler, None, None)
+        })
+        .join()
+        .unwrap();
         assert_eq!(report.handled, 5);
         assert!(report.busy > Nanos::ZERO);
         let mut completions = 0;
@@ -200,5 +217,44 @@ mod tests {
             completions += 1;
         }
         assert_eq!(completions, 5);
+    }
+
+    #[test]
+    fn worker_stall_fault_fires_once() {
+        let (mut work_tx, work_rx) = spsc::channel::<WorkMsg>(16);
+        let (completion_tx, mut completion_rx) = spsc::channel::<Completion>(16);
+        let (_client, server) = nic::loopback(16);
+        let handler = Box::new(SpinHandler::new(
+            SpinCalibration::fixed(0.001),
+            &[Nanos::from_micros(1)],
+        ));
+        let ctx = server.context();
+        for i in 0..4 {
+            work_tx
+                .push(WorkMsg::Request {
+                    buf: request_packet(0, i, b""),
+                    ty: TypeId::new(0),
+                    id: i,
+                })
+                .unwrap();
+        }
+        work_tx.push(WorkMsg::Shutdown).unwrap();
+        let fault = Some(StallFault {
+            after_requests: 1,
+            stall: std::time::Duration::from_millis(5),
+        });
+        let report = std::thread::spawn(move || {
+            run_worker(work_rx, completion_tx, ctx, handler, None, fault)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(report.handled, 4, "the stall delays, never drops");
+        assert_eq!(report.stalls_injected, 1, "one-shot: fires exactly once");
+        assert_eq!(report.tx_give_ups, 0);
+        let mut completions = 0;
+        while completion_rx.pop().is_some() {
+            completions += 1;
+        }
+        assert_eq!(completions, 4);
     }
 }

@@ -21,6 +21,10 @@ pub struct TypeCounters {
     pub spillway_hits: AtomicU64,
     /// Requests of this type dropped (typed queue full).
     pub drops: AtomicU64,
+    /// Requests of this type expired by deadline shedding (queueing delay
+    /// exceeded the type's deadline) or shed at shutdown — the `timeouts`
+    /// counter family of overload control.
+    pub expired: AtomicU64,
     /// Requests of this type completed by a worker.
     pub completions: AtomicU64,
     /// High-water mark of this type's queue depth.
@@ -42,6 +46,7 @@ impl TypeCounters {
             steals: self.steals.load(Ordering::Relaxed),
             spillway_hits: self.spillway_hits.load(Ordering::Relaxed),
             drops: self.drops.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             completions: self.completions.load(Ordering::Relaxed),
             queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
         }
@@ -57,6 +62,7 @@ pub struct TypeCountersSnap {
     pub steals: u64,
     pub spillway_hits: u64,
     pub drops: u64,
+    pub expired: u64,
     pub completions: u64,
     pub queue_depth_hwm: u64,
 }
@@ -69,6 +75,7 @@ impl TypeCountersSnap {
         self.steals += other.steals;
         self.spillway_hits += other.spillway_hits;
         self.drops += other.drops;
+        self.expired += other.expired;
         self.completions += other.completions;
         self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
     }
@@ -86,6 +93,11 @@ pub struct WorkerCounters {
     /// Nanoseconds this worker spent executing handlers (recorded on the
     /// worker's own completion path, so it reflects measured service).
     pub busy_ns: AtomicU64,
+    /// Times this worker was quarantined (in-flight request ran far past
+    /// its type's profiled mean service time).
+    pub quarantines: AtomicU64,
+    /// Transmissions this worker abandoned after bounded send retries.
+    pub tx_give_ups: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -96,6 +108,8 @@ impl WorkerCounters {
             steals: self.steals.load(Ordering::Relaxed),
             completions: self.completions.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            tx_give_ups: self.tx_give_ups.load(Ordering::Relaxed),
         }
     }
 }
@@ -108,6 +122,8 @@ pub struct WorkerCountersSnap {
     pub steals: u64,
     pub completions: u64,
     pub busy_ns: u64,
+    pub quarantines: u64,
+    pub tx_give_ups: u64,
 }
 
 impl WorkerCountersSnap {
@@ -117,6 +133,8 @@ impl WorkerCountersSnap {
         self.steals += other.steals;
         self.completions += other.completions;
         self.busy_ns += other.busy_ns;
+        self.quarantines += other.quarantines;
+        self.tx_give_ups += other.tx_give_ups;
     }
 }
 
@@ -142,6 +160,7 @@ mod tests {
             steals: 3,
             spillway_hits: 4,
             drops: 5,
+            expired: 6,
             completions: 6,
             queue_depth_hwm: 7,
         };
@@ -151,12 +170,25 @@ mod tests {
             steals: 30,
             spillway_hits: 40,
             drops: 50,
+            expired: 1,
             completions: 60,
             queue_depth_hwm: 3,
         };
         a.merge(&b);
         assert_eq!(a.arrivals, 11);
+        assert_eq!(a.expired, 7);
         assert_eq!(a.completions, 66);
         assert_eq!(a.queue_depth_hwm, 7);
+    }
+
+    #[test]
+    fn worker_merge_sums_overload_counters() {
+        let w = WorkerCounters::default();
+        w.quarantines.fetch_add(2, Ordering::Relaxed);
+        w.tx_give_ups.fetch_add(3, Ordering::Relaxed);
+        let mut a = w.snapshot();
+        a.merge(&w.snapshot());
+        assert_eq!(a.quarantines, 4);
+        assert_eq!(a.tx_give_ups, 6);
     }
 }

@@ -69,12 +69,39 @@ pub enum SchedEvent {
         type_id: u32,
         queue_depth: u64,
     },
+    /// A head-of-queue request's queueing delay exceeded its type's
+    /// deadline and was shed before dispatch (overload control).
+    DeadlineExpired {
+        now_ns: u64,
+        type_id: u32,
+        /// How long the request had waited when it was expired.
+        waited_ns: u64,
+    },
+    /// A worker's in-flight request ran far beyond its type's profiled
+    /// mean; the worker was excluded from the free pool.
+    WorkerQuarantine {
+        now_ns: u64,
+        worker: u32,
+        type_id: u32,
+        /// How long the in-flight request had been running.
+        running_ns: u64,
+    },
+    /// A quarantined worker finally completed and rejoined the pool.
+    WorkerRelease {
+        now_ns: u64,
+        worker: u32,
+        /// Total wall time the releasing request spent on the worker.
+        stalled_ns: u64,
+    },
 }
 
 const TAG_RESERVATION: u64 = 1;
 const TAG_STEAL: u64 = 2;
 const TAG_SPILLWAY: u64 = 3;
 const TAG_DROP: u64 = 4;
+const TAG_EXPIRED: u64 = 5;
+const TAG_QUARANTINE: u64 = 6;
+const TAG_RELEASE: u64 = 7;
 
 fn pack_map(map: &[u8; MAX_MAP_TYPES]) -> [u64; 2] {
     let mut words = [0u64; 2];
@@ -145,6 +172,38 @@ impl SchedEvent {
                 w[2] = type_id as u64;
                 w[3] = queue_depth;
             }
+            SchedEvent::DeadlineExpired {
+                now_ns,
+                type_id,
+                waited_ns,
+            } => {
+                w[0] = TAG_EXPIRED;
+                w[1] = now_ns;
+                w[2] = type_id as u64;
+                w[3] = waited_ns;
+            }
+            SchedEvent::WorkerQuarantine {
+                now_ns,
+                worker,
+                type_id,
+                running_ns,
+            } => {
+                w[0] = TAG_QUARANTINE;
+                w[1] = now_ns;
+                w[2] = worker as u64;
+                w[3] = type_id as u64;
+                w[4] = running_ns;
+            }
+            SchedEvent::WorkerRelease {
+                now_ns,
+                worker,
+                stalled_ns,
+            } => {
+                w[0] = TAG_RELEASE;
+                w[1] = now_ns;
+                w[2] = worker as u64;
+                w[3] = stalled_ns;
+            }
         }
         w
     }
@@ -175,6 +234,22 @@ impl SchedEvent {
                 type_id: w[2] as u32,
                 queue_depth: w[3],
             }),
+            TAG_EXPIRED => Some(SchedEvent::DeadlineExpired {
+                now_ns: w[1],
+                type_id: w[2] as u32,
+                waited_ns: w[3],
+            }),
+            TAG_QUARANTINE => Some(SchedEvent::WorkerQuarantine {
+                now_ns: w[1],
+                worker: w[2] as u32,
+                type_id: w[3] as u32,
+                running_ns: w[4],
+            }),
+            TAG_RELEASE => Some(SchedEvent::WorkerRelease {
+                now_ns: w[1],
+                worker: w[2] as u32,
+                stalled_ns: w[3],
+            }),
             _ => None,
         }
     }
@@ -186,6 +261,9 @@ impl SchedEvent {
             SchedEvent::CycleSteal { .. } => "cycle_steal",
             SchedEvent::SpillwayHit { .. } => "spillway_hit",
             SchedEvent::Drop { .. } => "drop",
+            SchedEvent::DeadlineExpired { .. } => "deadline_expired",
+            SchedEvent::WorkerQuarantine { .. } => "worker_quarantine",
+            SchedEvent::WorkerRelease { .. } => "worker_release",
         }
     }
 }
@@ -368,6 +446,22 @@ mod tests {
                 now_ns: 77,
                 type_id: 2,
                 queue_depth: 1024,
+            },
+            SchedEvent::DeadlineExpired {
+                now_ns: 88,
+                type_id: 0,
+                waited_ns: 150_000,
+            },
+            SchedEvent::WorkerQuarantine {
+                now_ns: 99,
+                worker: 4,
+                type_id: 1,
+                running_ns: 5_000_000,
+            },
+            SchedEvent::WorkerRelease {
+                now_ns: 111,
+                worker: 4,
+                stalled_ns: 9_000_000,
             },
         ];
         for ev in evs {

@@ -199,6 +199,58 @@ impl Telemetry {
         });
     }
 
+    /// A head-of-queue request of type `ty` exceeded its deadline after
+    /// waiting `waited_ns` and was shed before dispatch.
+    #[inline]
+    pub fn record_expired(&self, ty: usize, waited_ns: u64, now_ns: u64) {
+        use core::sync::atomic::Ordering;
+        self.type_counters[self.ty_slot(ty)]
+            .expired
+            .fetch_add(1, Ordering::Relaxed);
+        self.events.push(&SchedEvent::DeadlineExpired {
+            now_ns,
+            type_id: ty as u32,
+            waited_ns,
+        });
+    }
+
+    /// `worker` was quarantined: its in-flight request of type `ty` had
+    /// been running for `running_ns`, far past the type's profiled mean.
+    #[inline]
+    pub fn record_quarantine(&self, worker: usize, ty: usize, running_ns: u64, now_ns: u64) {
+        use core::sync::atomic::Ordering;
+        self.worker_counters[worker.min(self.worker_counters.len() - 1)]
+            .quarantines
+            .fetch_add(1, Ordering::Relaxed);
+        self.events.push(&SchedEvent::WorkerQuarantine {
+            now_ns,
+            worker: worker as u32,
+            type_id: ty as u32,
+            running_ns,
+        });
+    }
+
+    /// A quarantined `worker` completed its stalled request (total wall
+    /// time `stalled_ns`) and rejoined the free pool.
+    #[inline]
+    pub fn record_release(&self, worker: usize, stalled_ns: u64, now_ns: u64) {
+        self.events.push(&SchedEvent::WorkerRelease {
+            now_ns,
+            worker: worker as u32,
+            stalled_ns,
+        });
+    }
+
+    /// `worker` abandoned a transmission after exhausting its bounded
+    /// send retries (the receiver's queue stayed full).
+    #[inline]
+    pub fn record_tx_give_up(&self, worker: usize) {
+        use core::sync::atomic::Ordering;
+        self.worker_counters[worker.min(self.worker_counters.len() - 1)]
+            .tx_give_ups
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A reservation update was installed: logs the old→new
     /// guaranteed-core map and the demand shift that triggered it.
     pub fn record_reservation_update(
@@ -331,7 +383,7 @@ impl Snapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "type   count      p50(us)   p99(us)   p99.9(us)  max(us)   disp      steal    spill    drop     q-hwm"
+            "type   count      p50(us)   p99(us)   p99.9(us)  max(us)   disp      steal    spill    drop     expired  q-hwm"
         );
         for (i, t) in self.slots() {
             if t.counters.arrivals == 0 && t.sojourn.count() == 0 {
@@ -339,7 +391,7 @@ impl Snapshot {
             }
             let _ = writeln!(
                 out,
-                "{:<6} {:<10} {:<9.1} {:<9.1} {:<10.1} {:<9.1} {:<9} {:<8} {:<8} {:<8} {:<6}",
+                "{:<6} {:<10} {:<9.1} {:<9.1} {:<10.1} {:<9.1} {:<9} {:<8} {:<8} {:<8} {:<8} {:<6}",
                 self.slot_label(i),
                 t.sojourn.count(),
                 us(t.sojourn.quantile(0.50)),
@@ -350,6 +402,7 @@ impl Snapshot {
                 t.counters.steals,
                 t.counters.spillway_hits,
                 t.counters.drops,
+                t.counters.expired,
                 t.counters.queue_depth_hwm,
             );
         }
@@ -376,13 +429,21 @@ impl Snapshot {
         };
         let _ = writeln!(
             out,
-            "events: pushed={} kept={} overwritten={} ({} {} {})",
+            "events: pushed={} kept={} overwritten={} ({} {} {} {} {})",
             self.events.pushed,
             self.events.events.len(),
             self.events.overwritten,
             per_kind("steals", |e| matches!(e, SchedEvent::CycleSteal { .. })),
             per_kind("spillway", |e| matches!(e, SchedEvent::SpillwayHit { .. })),
             per_kind("drops", |e| matches!(e, SchedEvent::Drop { .. })),
+            per_kind("expired", |e| matches!(
+                e,
+                SchedEvent::DeadlineExpired { .. }
+            )),
+            per_kind("quarantines", |e| matches!(
+                e,
+                SchedEvent::WorkerQuarantine { .. }
+            )),
         );
         // Only the rare, high-signal decisions are listed in full —
         // per-request steal/spillway events are summarized above (the
@@ -417,7 +478,36 @@ impl Snapshot {
                         *now_ns as f64 / 1e6,
                     );
                 }
-                SchedEvent::CycleSteal { .. } | SchedEvent::SpillwayHit { .. } => {}
+                SchedEvent::WorkerQuarantine {
+                    now_ns,
+                    worker,
+                    type_id,
+                    running_ns,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  [{pos}] t={:.3}ms worker_quarantine W{worker} type={type_id} running={:.3}ms",
+                        *now_ns as f64 / 1e6,
+                        *running_ns as f64 / 1e6,
+                    );
+                }
+                SchedEvent::WorkerRelease {
+                    now_ns,
+                    worker,
+                    stalled_ns,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  [{pos}] t={:.3}ms worker_release W{worker} stalled={:.3}ms",
+                        *now_ns as f64 / 1e6,
+                        *stalled_ns as f64 / 1e6,
+                    );
+                }
+                // Per-request steal/spillway/expiry events are summarized
+                // above; the JSON export carries each one in full.
+                SchedEvent::CycleSteal { .. }
+                | SchedEvent::SpillwayHit { .. }
+                | SchedEvent::DeadlineExpired { .. } => {}
             }
         }
         out
@@ -432,7 +522,7 @@ impl Snapshot {
             let unknown = i >= self.types.len();
             let _ = writeln!(
                 out,
-                "{{\"kind\":\"type\",\"id\":{},\"unknown\":{},\"count\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"mean_ns\":{:.1},\"arrivals\":{},\"dispatches\":{},\"steals\":{},\"spillway_hits\":{},\"drops\":{},\"completions\":{},\"queue_depth_hwm\":{}}}",
+                "{{\"kind\":\"type\",\"id\":{},\"unknown\":{},\"count\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"mean_ns\":{:.1},\"arrivals\":{},\"dispatches\":{},\"steals\":{},\"spillway_hits\":{},\"drops\":{},\"expired\":{},\"completions\":{},\"queue_depth_hwm\":{}}}",
                 i,
                 unknown,
                 t.sojourn.count(),
@@ -446,6 +536,7 @@ impl Snapshot {
                 t.counters.steals,
                 t.counters.spillway_hits,
                 t.counters.drops,
+                t.counters.expired,
                 t.counters.completions,
                 t.counters.queue_depth_hwm,
             );
@@ -453,8 +544,8 @@ impl Snapshot {
         for (i, w) in self.workers.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "{{\"kind\":\"worker\",\"id\":{},\"dispatches\":{},\"steals\":{},\"completions\":{},\"busy_ns\":{}}}",
-                i, w.dispatches, w.steals, w.completions, w.busy_ns,
+                "{{\"kind\":\"worker\",\"id\":{},\"dispatches\":{},\"steals\":{},\"completions\":{},\"busy_ns\":{},\"quarantines\":{},\"tx_give_ups\":{}}}",
+                i, w.dispatches, w.steals, w.completions, w.busy_ns, w.quarantines, w.tx_give_ups,
             );
         }
         for (pos, ev) in &self.events.events {
@@ -509,6 +600,37 @@ impl Snapshot {
                         "{{\"kind\":\"event\",\"pos\":{pos},\"event\":\"drop\",\"now_ns\":{now_ns},\"type_id\":{type_id},\"queue_depth\":{queue_depth}}}",
                     );
                 }
+                SchedEvent::DeadlineExpired {
+                    now_ns,
+                    type_id,
+                    waited_ns,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"kind\":\"event\",\"pos\":{pos},\"event\":\"deadline_expired\",\"now_ns\":{now_ns},\"type_id\":{type_id},\"waited_ns\":{waited_ns}}}",
+                    );
+                }
+                SchedEvent::WorkerQuarantine {
+                    now_ns,
+                    worker,
+                    type_id,
+                    running_ns,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"kind\":\"event\",\"pos\":{pos},\"event\":\"worker_quarantine\",\"now_ns\":{now_ns},\"worker\":{worker},\"type_id\":{type_id},\"running_ns\":{running_ns}}}",
+                    );
+                }
+                SchedEvent::WorkerRelease {
+                    now_ns,
+                    worker,
+                    stalled_ns,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"kind\":\"event\",\"pos\":{pos},\"event\":\"worker_release\",\"now_ns\":{now_ns},\"worker\":{worker},\"stalled_ns\":{stalled_ns}}}",
+                    );
+                }
             }
         }
         let _ = writeln!(
@@ -545,6 +667,10 @@ mod tests {
             t.record_completion(ty, (i % 3) as usize, 5_000 + i * 10, 1_000);
         }
         t.record_drop(1, 42, 55_000);
+        t.record_expired(0, 120_000, 56_000);
+        t.record_quarantine(2, 1, 4_000_000, 57_000);
+        t.record_release(2, 6_000_000, 58_000);
+        t.record_tx_give_up(2);
         t.record_reservation_update(60_000, 1, 250_000, &[1, 3], &[2, 2]);
         t
     }
