@@ -109,13 +109,55 @@ impl OverloadConfig {
     }
 }
 
+/// Reservation tuning (δ, spillway count) for [`EngineConfig`].
+///
+/// Unlike [`ReserveConfig`], this carries *no* worker count: the engine
+/// derives it from [`EngineConfig::num_workers`] when it builds its
+/// internal `ReserveConfig`, so the two can never disagree (callers used
+/// to have to patch both fields by hand — a silent-misconfiguration
+/// footgun).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReserveTuning {
+    /// Similarity factor `δ`: a type joins a group when its mean service
+    /// time is at most `δ ×` the group's first (shortest) member.
+    pub delta: f64,
+    /// Number of spillway cores (clamped to the worker count when the
+    /// engine is built; paper: 1).
+    pub spillway: usize,
+}
+
+impl Default for ReserveTuning {
+    /// The paper's defaults: `δ = 2`, one spillway core.
+    fn default() -> Self {
+        ReserveTuning {
+            delta: 2.0,
+            spillway: 1,
+        }
+    }
+}
+
+impl ReserveTuning {
+    /// Sets the grouping factor `δ`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the number of spillway cores.
+    pub fn with_spillway(mut self, spillway: usize) -> Self {
+        self.spillway = spillway;
+        self
+    }
+}
+
 /// Engine construction parameters.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
-    /// Number of application workers.
+    /// Number of application workers — the single source of truth; the
+    /// reservation algorithm's copy is derived from it.
     pub num_workers: usize,
-    /// Reservation parameters (δ, spillway count).
-    pub reserve: ReserveConfig,
+    /// Reservation tuning (δ, spillway count).
+    pub reserve: ReserveTuning,
     /// Profiler parameters (window size, triggers).
     pub profiler: ProfilerConfig,
     /// Per-type queue capacity; `0` = unbounded.
@@ -131,7 +173,7 @@ impl EngineConfig {
     pub fn darc(num_workers: usize) -> Self {
         EngineConfig {
             num_workers,
-            reserve: ReserveConfig::new(num_workers),
+            reserve: ReserveTuning::default(),
             profiler: ProfilerConfig::default(),
             queue_capacity: 0,
             mode: EngineMode::Dynamic,
@@ -272,7 +314,11 @@ impl<R> DarcEngine<R> {
             phase: Phase::CFcfs,
             priority: Vec::new(),
             spill_types: Vec::new(),
-            reserve_cfg: cfg.reserve,
+            reserve_cfg: ReserveConfig {
+                num_workers: cfg.num_workers,
+                delta: cfg.reserve.delta,
+                spillway: cfg.reserve.spillway.min(cfg.num_workers),
+            },
             updates: 0,
             num_types,
             telemetry: None,
@@ -1157,6 +1203,23 @@ mod tests {
         assert_eq!(eng.guaranteed_workers(TypeId::new(0)), 1);
         assert_eq!(eng.guaranteed_workers(TypeId::new(1)), 13);
         assert_eq!(eng.guaranteed_workers(TypeId::UNKNOWN), 0);
+    }
+
+    #[test]
+    fn reserve_worker_count_is_derived_from_engine_config() {
+        // The worker count lives once in EngineConfig: whatever the
+        // reservation tuning says, the engine reserves over num_workers.
+        let mut cfg = EngineConfig::darc(6);
+        cfg.reserve = ReserveTuning::default().with_delta(1.5).with_spillway(2);
+        let hints = [Some(Nanos::from_micros(1)), Some(Nanos::from_micros(100))];
+        let eng: DarcEngine<u64> = DarcEngine::new(cfg, 2, &hints);
+        assert_eq!(eng.reservation().num_workers, 6);
+        assert_eq!(eng.reservation().spillway.len(), 2);
+        // An absurd spillway request is clamped, not asserted on.
+        let mut cfg = EngineConfig::darc(2);
+        cfg.reserve = ReserveTuning::default().with_spillway(99);
+        let eng: DarcEngine<u64> = DarcEngine::new(cfg, 2, &hints);
+        assert_eq!(eng.reservation().num_workers, 2);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod types;
 
 pub use classifier::Classifier;
 pub use dispatch::{
-    DarcEngine, Dispatch, EngineConfig, EngineMode, OverloadConfig, SloQueueBounds,
+    DarcEngine, Dispatch, EngineConfig, EngineMode, OverloadConfig, ReserveTuning, SloQueueBounds,
 };
 pub use policy::Policy;
 pub use profile::{Profiler, ProfilerConfig, TypeStat};

@@ -40,5 +40,8 @@ pub mod pool;
 pub mod spsc;
 pub mod wire;
 
-pub use nic::{loopback, loopback_with_faults, ClientPort, NetContext, NicFaultPlan, ServerPort};
+pub use nic::{
+    loopback, loopback_mq, loopback_mq_with_faults, loopback_with_faults, ClientPort, NetContext,
+    NicFaultPlan, ServerPort, Steering,
+};
 pub use pool::{BufferPool, PacketBuf, PoolAllocator, PoolReleaser};

@@ -1,18 +1,46 @@
-//! An in-process loopback "NIC".
+//! An in-process loopback "NIC" with multi-queue RX.
 //!
-//! The hardware substitute for the paper's Intel X710: a pair of bounded
-//! lock-free rings standing in for the RX and TX hardware queues. The
-//! client side pushes request packets and drains responses; the server
-//! side gives its net worker exclusive RX access and hands each
+//! The hardware substitute for the paper's Intel X710: bounded lock-free
+//! rings standing in for the RX and TX hardware queues. The client side
+//! pushes request packets and drains responses; the server side gives
+//! each net worker exclusive access to one RX queue and hands every
 //! application worker a [`NetContext`] with direct TX access — matching
 //! Perséphone's design where workers transmit responses themselves
 //! without bouncing through the net worker (paper §4.3.1, §6).
+//!
+//! ## Multi-queue RX and steering
+//!
+//! Real NICs spread incoming traffic across hardware RX queues (RSS) so
+//! multiple net workers can poll independently. [`loopback_mq`] creates a
+//! link with `num_queues` client→server rings; [`ClientPort::send`]
+//! steers each request to a queue per the configured [`Steering`] mode,
+//! and [`ServerPort::split`] hands each dispatcher shard its own
+//! single-queue port. The server→client direction stays a single shared
+//! ring (every worker already owns a TX context; the client is one
+//! drain loop).
 
 use crate::mpsc;
 use crate::pool::PacketBuf;
+use crate::wire;
 
 /// Default depth of each hardware queue.
 pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+/// How [`ClientPort::send`] distributes requests over the RX queues —
+/// the loopback stand-in for NIC receive-side scaling.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Steering {
+    /// RSS-style: hash the wire request id (offset 8) and take it modulo
+    /// the queue count. Spreads load evenly but lets one request type
+    /// land on every queue.
+    #[default]
+    Rss,
+    /// Type-aware steering table: `table[ty]` names the queue for wire
+    /// type `ty`. Types beyond the table (and packets whose header does
+    /// not decode) fall back to the RSS hash. Keeping a type on one
+    /// queue keeps the owning shard's DARC profile for it coherent.
+    ByType(Vec<usize>),
+}
 
 /// Deterministic NIC-level fault injection for chaos tests.
 ///
@@ -35,17 +63,23 @@ impl NicFaultPlan {
 
 /// The client's end of the link.
 pub struct ClientPort {
-    tx: mpsc::Sender<PacketBuf>,
+    txs: Vec<mpsc::Sender<PacketBuf>>,
     rx: mpsc::Receiver<PacketBuf>,
+    steering: Steering,
     faults: NicFaultPlan,
     sent: u64,
     fault_drops: u64,
+    per_queue_sent: Vec<u64>,
 }
 
-/// The server's end of the link.
+/// The server's end of the link: one or more RX queues plus the shared
+/// TX ring. [`ServerPort::split`] turns a `k`-queue port into `k`
+/// single-queue ports, one per dispatcher shard.
 pub struct ServerPort {
-    rx: mpsc::Receiver<PacketBuf>,
+    rxs: Vec<mpsc::Receiver<PacketBuf>>,
     tx: mpsc::Sender<PacketBuf>,
+    /// Round-robin cursor so a multi-queue `recv` serves queues fairly.
+    cursor: usize,
 }
 
 /// A per-worker transmit context (paper: "this context gives them unique
@@ -58,7 +92,7 @@ pub struct NetContext {
 #[derive(Debug)]
 pub struct QueueFull(pub PacketBuf);
 
-/// Creates a loopback link with the given queue depth.
+/// Creates a single-queue loopback link with the given queue depth.
 ///
 /// # Examples
 ///
@@ -74,31 +108,102 @@ pub struct QueueFull(pub PacketBuf);
 /// assert_eq!(got.as_slice(), b"ping");
 /// ```
 pub fn loopback(queue_depth: usize) -> (ClientPort, ServerPort) {
-    loopback_with_faults(queue_depth, NicFaultPlan::default())
+    loopback_mq(queue_depth, 1, Steering::Rss)
 }
 
-/// Creates a loopback link whose client→server direction injects the
+/// Creates a single-queue link whose client→server direction injects the
 /// faults described by `faults` — the "lossy wire" for chaos tests.
 pub fn loopback_with_faults(queue_depth: usize, faults: NicFaultPlan) -> (ClientPort, ServerPort) {
-    let (c2s_tx, c2s_rx) = mpsc::channel(queue_depth);
+    loopback_mq_with_faults(queue_depth, 1, Steering::Rss, faults)
+}
+
+/// Creates a loopback link with `num_queues` client→server RX queues and
+/// the given [`Steering`] mode — one RX queue per dispatcher shard.
+///
+/// # Panics
+///
+/// Panics if `num_queues == 0`.
+pub fn loopback_mq(
+    queue_depth: usize,
+    num_queues: usize,
+    steering: Steering,
+) -> (ClientPort, ServerPort) {
+    loopback_mq_with_faults(queue_depth, num_queues, steering, NicFaultPlan::default())
+}
+
+/// [`loopback_mq`] with a fault plan on the client→server direction.
+///
+/// # Panics
+///
+/// Panics if `num_queues == 0`.
+pub fn loopback_mq_with_faults(
+    queue_depth: usize,
+    num_queues: usize,
+    steering: Steering,
+    faults: NicFaultPlan,
+) -> (ClientPort, ServerPort) {
+    assert!(num_queues > 0, "a NIC needs at least one RX queue");
+    let mut txs = Vec::with_capacity(num_queues);
+    let mut rxs = Vec::with_capacity(num_queues);
+    for _ in 0..num_queues {
+        let (tx, rx) = mpsc::channel(queue_depth);
+        txs.push(tx);
+        rxs.push(rx);
+    }
     let (s2c_tx, s2c_rx) = mpsc::channel(queue_depth);
     (
         ClientPort {
-            tx: c2s_tx,
+            txs,
             rx: s2c_rx,
+            steering,
             faults,
             sent: 0,
             fault_drops: 0,
+            per_queue_sent: vec![0; num_queues],
         },
         ServerPort {
-            rx: c2s_rx,
+            rxs,
             tx: s2c_tx,
+            cursor: 0,
         },
     )
 }
 
+/// Splitmix64 finalizer — the loopback's RSS hash function.
+fn rss_hash(id: u64) -> u64 {
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl ClientPort {
-    /// Transmits a request packet toward the server.
+    /// Number of client→server RX queues.
+    pub fn num_queues(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The queue the current steering mode picks for `pkt`.
+    fn steer(&self, pkt: &PacketBuf) -> usize {
+        let k = self.txs.len();
+        if k == 1 {
+            return 0;
+        }
+        let Some((ty, id)) = wire::peek_route(pkt.as_slice()) else {
+            // Undecodable packets hash on nothing useful; queue 0's shard
+            // answers them with BadRequest.
+            return 0;
+        };
+        if let Steering::ByType(table) = &self.steering {
+            if let Some(&q) = table.get(ty as usize) {
+                return q % k;
+            }
+        }
+        (rss_hash(id) % k as u64) as usize
+    }
+
+    /// Transmits a request packet toward the server, steering it to an RX
+    /// queue per the configured [`Steering`] mode.
     ///
     /// An injected fault "loses" the packet in flight: the call reports
     /// success (the wire accepted it) but the server never sees it — and,
@@ -111,7 +216,14 @@ impl ClientPort {
             drop(pkt);
             return Ok(());
         }
-        self.tx.push(pkt).map_err(|e| QueueFull(e.0))
+        let q = self.steer(&pkt);
+        match self.txs[q].push(pkt) {
+            Ok(()) => {
+                self.per_queue_sent[q] += 1;
+                Ok(())
+            }
+            Err(e) => Err(QueueFull(e.0)),
+        }
     }
 
     /// Packets silently dropped by the fault plan so far.
@@ -119,24 +231,82 @@ impl ClientPort {
         self.fault_drops
     }
 
+    /// Packets delivered to each RX queue so far — the client-side view
+    /// of how the steering mode spread the load.
+    pub fn per_queue_sent(&self) -> &[u64] {
+        &self.per_queue_sent
+    }
+
     /// Receives the next response, if any.
     pub fn recv(&mut self) -> Option<PacketBuf> {
         self.rx.pop()
     }
 
-    /// A cloneable sender for multi-threaded load generators.
+    /// A cloneable sender for multi-threaded load generators, bound to
+    /// RX queue 0.
     ///
-    /// Raw senders bypass the fault plan: faults are injected only on
-    /// [`ClientPort::send`], where they can be accounted.
+    /// Raw senders bypass the fault plan and the steering table: faults
+    /// are injected only on [`ClientPort::send`], where they can be
+    /// accounted.
     pub fn sender(&self) -> mpsc::Sender<PacketBuf> {
-        self.tx.clone()
+        self.txs[0].clone()
     }
 }
 
 impl ServerPort {
-    /// Receives the next request (net worker only).
+    /// Number of RX queues this port polls.
+    pub fn num_queues(&self) -> usize {
+        self.rxs.len()
+    }
+
+    /// Splits a multi-queue port into one single-queue port per RX queue
+    /// (each shares the TX ring). This is how a sharded server hands
+    /// every dispatcher its own queue.
+    pub fn split(self) -> Vec<ServerPort> {
+        let tx = self.tx;
+        self.rxs
+            .into_iter()
+            .map(|rx| ServerPort {
+                rxs: vec![rx],
+                tx: tx.clone(),
+                cursor: 0,
+            })
+            .collect()
+    }
+
+    /// Receives the next request, polling the RX queues round-robin
+    /// (net worker only).
     pub fn recv(&mut self) -> Option<PacketBuf> {
-        self.rx.pop()
+        let k = self.rxs.len();
+        for i in 0..k {
+            let q = (self.cursor + i) % k;
+            if let Some(pkt) = self.rxs[q].pop() {
+                self.cursor = (q + 1) % k;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    /// Drains up to `max` requests into `out`, round-robin across the RX
+    /// queues, and returns how many arrived. The dispatcher hot path:
+    /// one call replaces `max` individual [`ServerPort::recv`]s.
+    pub fn recv_batch(&mut self, out: &mut Vec<PacketBuf>, max: usize) -> usize {
+        let k = self.rxs.len();
+        let mut got = 0;
+        let mut dry = 0;
+        while got < max && dry < k {
+            match self.rxs[self.cursor].pop() {
+                Some(pkt) => {
+                    out.push(pkt);
+                    got += 1;
+                    dry = 0;
+                }
+                None => dry += 1,
+            }
+            self.cursor = (self.cursor + 1) % k;
+        }
+        got
     }
 
     /// Creates a transmit context for an application worker.
@@ -180,6 +350,25 @@ impl NetContext {
         }
         Err(QueueFull(pkt))
     }
+
+    /// Transmits a batch of packets, each with the bounded retry of
+    /// [`NetContext::send_with_retry`], and returns how many were
+    /// delivered. Packets that exhaust their retries are dropped (UDP
+    /// semantics); callers should count `batch_len - delivered` as
+    /// give-ups in telemetry.
+    pub fn send_batch(
+        &self,
+        pkts: impl IntoIterator<Item = PacketBuf>,
+        max_attempts_each: usize,
+    ) -> usize {
+        let mut delivered = 0;
+        for pkt in pkts {
+            if self.send_with_retry(pkt, max_attempts_each).is_ok() {
+                delivered += 1;
+            }
+        }
+        delivered
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +378,13 @@ mod tests {
     fn pkt(bytes: &[u8]) -> PacketBuf {
         let mut p = PacketBuf::with_capacity(64);
         assert!(p.fill(bytes));
+        p
+    }
+
+    fn request(ty: u32, id: u64) -> PacketBuf {
+        let mut p = PacketBuf::with_capacity(64);
+        let len = wire::encode_request(p.raw_mut(), ty, id, b"").unwrap();
+        p.set_len(len);
         p
     }
 
@@ -303,5 +499,114 @@ mod tests {
         }
         producer.join().unwrap();
         assert!(client.recv().is_none());
+    }
+
+    #[test]
+    fn rss_steering_spreads_across_queues() {
+        let (mut client, server) = loopback_mq(256, 4, Steering::Rss);
+        assert_eq!(client.num_queues(), 4);
+        assert_eq!(server.num_queues(), 4);
+        for id in 0..200u64 {
+            client.send(request(0, id)).unwrap();
+        }
+        let per_queue = client.per_queue_sent().to_vec();
+        assert_eq!(per_queue.iter().sum::<u64>(), 200);
+        assert!(
+            per_queue.iter().all(|&n| n > 20),
+            "RSS must touch every queue: {per_queue:?}"
+        );
+        // Everything sent is receivable across the split ports.
+        let mut total = 0;
+        for mut shard in server.split() {
+            let mut batch = Vec::new();
+            total += shard.recv_batch(&mut batch, usize::MAX);
+        }
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn rss_steering_is_deterministic_per_id() {
+        let (mut a, server_a) = loopback_mq(64, 4, Steering::Rss);
+        let (mut b, server_b) = loopback_mq(64, 4, Steering::Rss);
+        for id in [0u64, 1, 7, 42, u64::MAX] {
+            a.send(request(0, id)).unwrap();
+            b.send(request(9, id)).unwrap(); // type must not matter to RSS
+        }
+        assert_eq!(a.per_queue_sent(), b.per_queue_sent());
+        drop(server_a);
+        drop(server_b);
+    }
+
+    #[test]
+    fn by_type_steering_pins_types_and_falls_back_to_rss() {
+        let (mut client, server) = loopback_mq(64, 2, Steering::ByType(vec![1, 0]));
+        for id in 0..10u64 {
+            client.send(request(0, id)).unwrap(); // table says queue 1
+        }
+        for id in 0..5u64 {
+            client.send(request(1, id)).unwrap(); // table says queue 0
+        }
+        let mut shards = server.split();
+        let mut q0 = Vec::new();
+        let mut q1 = Vec::new();
+        shards[0].recv_batch(&mut q0, usize::MAX);
+        shards[1].recv_batch(&mut q1, usize::MAX);
+        assert_eq!(q0.len(), 5);
+        assert_eq!(q1.len(), 10);
+        assert!(q0
+            .iter()
+            .all(|p| wire::decode(p.as_slice()).unwrap().0.ty == 1));
+        assert!(q1
+            .iter()
+            .all(|p| wire::decode(p.as_slice()).unwrap().0.ty == 0));
+        // A type past the table end still goes somewhere (RSS fallback).
+        client.send(request(99, 3)).unwrap();
+        assert_eq!(client.per_queue_sent().iter().sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn undecodable_packets_steer_to_queue_zero() {
+        let (mut client, server) = loopback_mq(64, 3, Steering::Rss);
+        client.send(pkt(b"garbage")).unwrap();
+        let mut shards = server.split();
+        assert!(shards[0].recv().is_some(), "malformed lands on queue 0");
+        assert!(shards[1].recv().is_none());
+        assert!(shards[2].recv().is_none());
+    }
+
+    #[test]
+    fn recv_batch_respects_max_and_round_robins() {
+        let (mut client, mut server) = loopback_mq(64, 2, Steering::Rss);
+        let mut sent_ids: Vec<u64> = (0..20).collect();
+        for &id in &sent_ids {
+            client.send(request(0, id)).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(server.recv_batch(&mut out, 8), 8);
+        assert_eq!(out.len(), 8);
+        assert_eq!(server.recv_batch(&mut out, usize::MAX), 12);
+        let mut got_ids: Vec<u64> = out
+            .iter()
+            .map(|p| wire::decode(p.as_slice()).unwrap().0.id)
+            .collect();
+        got_ids.sort_unstable();
+        sent_ids.sort_unstable();
+        assert_eq!(got_ids, sent_ids, "no packet lost or duplicated");
+        assert_eq!(server.recv_batch(&mut out, 8), 0);
+    }
+
+    #[test]
+    fn send_batch_counts_deliveries() {
+        let (mut client, server) = loopback(4);
+        let ctx = server.context();
+        let batch: Vec<PacketBuf> = (0..6).map(|i| pkt(&[i as u8])).collect();
+        // Depth 4: the first four fit, the rest exhaust their retries.
+        let delivered = ctx.send_batch(batch, 10);
+        assert_eq!(delivered, 4);
+        let mut got = 0;
+        while client.recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 4);
     }
 }

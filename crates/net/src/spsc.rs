@@ -132,6 +132,35 @@ impl<T> Producer<T> {
         self.head_cache = self.ring.head.load(Ordering::Acquire);
         self.capacity() - (self.tail - self.head_cache)
     }
+
+    /// Pushes values from the front of `src` until the ring fills or
+    /// `src` is exhausted, returning how many were pushed.
+    ///
+    /// The batch counterpart of [`Producer::push`]: the shared indices
+    /// are touched once per call — one `head` refresh up front, one
+    /// `tail` publish at the end — instead of once per element.
+    pub fn push_batch(&mut self, src: &mut std::collections::VecDeque<T>) -> usize {
+        let cap = self.ring.mask + 1;
+        self.head_cache = self.ring.head.load(Ordering::Acquire);
+        let free = cap - (self.tail - self.head_cache);
+        let n = free.min(src.len());
+        for _ in 0..n {
+            let value = src.pop_front().expect("n <= src.len()");
+            let slot = &self.ring.buf[self.tail & self.ring.mask];
+            // SAFETY: `tail < head + cap` holds for each of the `n` slots
+            // (we claim at most `free` of them), so every written slot is
+            // outside the consumer-owned `[head, tail)` window. We are the
+            // only producer; the consumer cannot see these slots until the
+            // Release store below publishes the new tail.
+            unsafe { (*slot.get()).write(value) };
+            self.tail += 1;
+        }
+        if n > 0 {
+            // One Release publishes the whole batch.
+            self.ring.tail.store(self.tail, Ordering::Release);
+        }
+        n
+    }
 }
 
 impl<T> Consumer<T> {
@@ -171,6 +200,34 @@ impl<T> Consumer<T> {
     /// Whether the ring currently looks empty.
     pub fn is_empty(&mut self) -> bool {
         self.len() == 0
+    }
+
+    /// Pops up to `max` values into `out`, returning how many arrived.
+    ///
+    /// The batch counterpart of [`Consumer::pop`]: the shared indices are
+    /// touched once per call — one `tail` refresh up front, one `head`
+    /// publish at the end — instead of once per element. This is the
+    /// dispatcher's completion-folding hot path.
+    pub fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        self.tail_cache = self.ring.tail.load(Ordering::Acquire);
+        let n = (self.tail_cache - self.head).min(max);
+        out.reserve(n);
+        for _ in 0..n {
+            let slot = &self.ring.buf[self.head & self.ring.mask];
+            // SAFETY: `head < tail` holds for each of the `n` slots (we
+            // take at most the published backlog), so the producer wrote
+            // and published them all (the Acquire load above pairs with
+            // its Release stores). We are the only consumer; the slots
+            // return to the producer only at the Release store below.
+            let value = unsafe { (*slot.get()).assume_init_read() };
+            out.push(value);
+            self.head += 1;
+        }
+        if n > 0 {
+            // One Release hands the whole batch of slots back.
+            self.ring.head.store(self.head, Ordering::Release);
+        }
+        n
     }
 }
 
@@ -291,6 +348,64 @@ mod tests {
                 expected += 1;
             } else {
                 std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn batch_ops_round_trip_and_bound_correctly() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        let mut src: std::collections::VecDeque<u32> = (0..7).collect();
+        assert_eq!(tx.push_batch(&mut src), 4, "ring capacity bounds the push");
+        assert_eq!(src.len(), 3, "unpushed values stay in the source");
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 2), 2);
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(tx.push_batch(&mut src), 2, "freed slots visible");
+        assert_eq!(rx.pop_batch(&mut out, usize::MAX), 4);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5], "FIFO order preserved");
+        assert_eq!(rx.pop_batch(&mut out, usize::MAX), 0);
+        assert!(src.iter().eq([6u32].iter()), "one value never fit");
+    }
+
+    #[test]
+    fn batch_and_single_ops_interleave() {
+        let (mut tx, mut rx) = channel::<u32>(8);
+        tx.push(100).unwrap();
+        let mut src: std::collections::VecDeque<u32> = [101, 102].into();
+        assert_eq!(tx.push_batch(&mut src), 2);
+        assert_eq!(rx.pop(), Some(100));
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, usize::MAX), 2);
+        assert_eq!(out, vec![101, 102]);
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn two_thread_batch_stress_preserves_sequence() {
+        let (mut tx, mut rx) = channel::<u64>(64);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            let mut src: std::collections::VecDeque<u64> = (0..N).collect();
+            while !src.is_empty() {
+                if tx.push_batch(&mut src) == 0 {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut expected = 0u64;
+        let mut out = Vec::new();
+        while expected < N {
+            out.clear();
+            if rx.pop_batch(&mut out, 32) == 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            for &v in &out {
+                assert_eq!(v, expected, "values must arrive in order");
+                expected += 1;
             }
         }
         producer.join().unwrap();

@@ -211,6 +211,24 @@ pub fn decode(src: &[u8]) -> Result<(Header, &[u8]), WireError> {
     ))
 }
 
+/// Cheap peek of a request's `(type, id)` for RX steering.
+///
+/// Validates only the length and magic — the two checks that decide
+/// whether the type/id fields exist at their fixed offsets — and skips
+/// version/kind validation, which the receiving dispatcher performs
+/// anyway when it fully [`decode`]s the packet. Returns `None` for
+/// packets the steering layer should treat as undecodable.
+pub fn peek_route(src: &[u8]) -> Option<(u32, u64)> {
+    if src.len() < HEADER_LEN || u16::from_le_bytes([src[0], src[1]]) != MAGIC {
+        return None;
+    }
+    let mut ty4 = [0u8; 4];
+    ty4.copy_from_slice(&src[TYPE_OFFSET..TYPE_OFFSET + 4]);
+    let mut id8 = [0u8; 8];
+    id8.copy_from_slice(&src[8..16]);
+    Some((u32::from_le_bytes(ty4), u64::from_le_bytes(id8)))
+}
+
 /// Decodes a response's status (responses carry it in the type field).
 pub fn response_status(hdr: &Header) -> Option<Status> {
     if hdr.kind != Kind::Response {
@@ -307,6 +325,18 @@ mod tests {
             request_to_response_in_place(&mut buf, Status::Ok),
             Err(WireError::BadKind)
         );
+    }
+
+    #[test]
+    fn peek_route_matches_decode_and_rejects_garbage() {
+        let mut buf = [0u8; 64];
+        let len = encode_request(&mut buf, 5, 0xDEAD_BEEF, b"x").unwrap();
+        let (hdr, _) = decode(&buf[..len]).unwrap();
+        assert_eq!(peek_route(&buf[..len]), Some((hdr.ty, hdr.id)));
+        assert_eq!(peek_route(&buf[..3]), None, "too short");
+        let mut bad_magic = buf;
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(peek_route(&bad_magic[..len]), None, "bad magic");
     }
 
     #[test]

@@ -7,6 +7,15 @@
 //! dispatch decisions over per-worker SPSC rings, and folds completion
 //! notifications back into the engine (profiling + reservation updates).
 //!
+//! The hot path is batch-oriented: RX packets arrive through
+//! [`persephone_net::nic::ServerPort::recv_batch`] and are classified
+//! with one timestamp per batch; completions are folded through
+//! [`persephone_net::spsc::Consumer::pop_batch`]; control responses for
+//! expired and shutdown-shed requests go out through
+//! [`persephone_net::nic::NetContext::send_batch`]. In a sharded server
+//! (`ServerBuilder::shards`) several of these loops run side by side,
+//! each over its own RX queue, worker slice, and engine.
+//!
 //! ## Overload control
 //!
 //! Each loop iteration also runs the engine's graceful-degradation
@@ -40,6 +49,12 @@ use crate::messages::{Completion, WorkMsg};
 
 /// A queued request: its buffer plus the decoded wire id.
 pub type Pending = (PacketBuf, u64);
+
+/// Largest RX burst pulled off the NIC per loop iteration.
+const RX_BATCH: usize = 64;
+
+/// Retry budget for each control response (best-effort UDP semantics).
+const CONTROL_TX_ATTEMPTS: usize = 10_000;
 
 /// Counters and final engine state returned when the dispatcher exits.
 #[derive(Clone, Debug, Default)]
@@ -79,6 +94,44 @@ pub struct DispatcherReport {
     pub telemetry: Snapshot,
 }
 
+impl DispatcherReport {
+    /// Folds per-shard reports into one server-wide view: counters sum,
+    /// per-type guaranteed-core counts sum elementwise (each shard
+    /// reserves over its own worker slice), and the telemetry snapshots
+    /// merge through [`Snapshot::merge`] — except worker slots, which
+    /// are concatenated in shard order because each shard's workers are
+    /// a disjoint slice, not copies of the same cores.
+    pub fn merged(shards: &[DispatcherReport]) -> DispatcherReport {
+        let mut out = DispatcherReport::default();
+        for s in shards {
+            out.received += s.received;
+            out.classified += s.classified;
+            out.unknown += s.unknown;
+            out.malformed += s.malformed;
+            out.dropped += s.dropped;
+            out.dispatched += s.dispatched;
+            out.completed += s.completed;
+            out.expired += s.expired;
+            out.shed_at_shutdown += s.shed_at_shutdown;
+            out.quarantines += s.quarantines;
+            out.releases += s.releases;
+            out.tx_give_ups += s.tx_give_ups;
+            out.reservation_updates += s.reservation_updates;
+            if out.guaranteed.len() < s.guaranteed.len() {
+                out.guaranteed.resize(s.guaranteed.len(), 0);
+            }
+            for (i, g) in s.guaranteed.iter().enumerate() {
+                out.guaranteed[i] += g;
+            }
+            let mut tel = s.telemetry.clone();
+            let shard_workers = std::mem::take(&mut tel.workers);
+            out.telemetry.merge(&tel);
+            out.telemetry.workers.extend(shard_workers);
+        }
+        out
+    }
+}
+
 /// Runs the dispatcher until `shutdown` is set *and* all in-flight work
 /// has drained.
 #[allow(clippy::too_many_arguments)]
@@ -100,6 +153,11 @@ pub fn run_dispatcher(
     // re-offer. The one-in-flight-per-worker protocol means at most one
     // held message per worker, so a fixed slot each suffices.
     let mut held: Vec<Option<WorkMsg>> = (0..engine.num_workers()).map(|_| None).collect();
+    // Scratch buffers reused across iterations so the hot path never
+    // allocates after the first few batches.
+    let mut rx_batch: Vec<PacketBuf> = Vec::with_capacity(RX_BATCH);
+    let mut comp_batch: Vec<Completion> = Vec::new();
+    let mut ctrl_batch: Vec<PacketBuf> = Vec::new();
 
     loop {
         let mut progressed = false;
@@ -114,52 +172,77 @@ pub fn run_dispatcher(
             }
         }
 
-        // 1. Net-worker role: drain a batch from the NIC RX queue.
-        for _ in 0..64 {
-            let Some(pkt) = port.recv() else { break };
+        // 1. Net-worker role: pull a whole batch off the NIC RX queue,
+        // then decode and classify it under one timestamp — the arrival
+        // time of the batch, not of each packet, exactly as a real NIC's
+        // RX burst would be handled.
+        let got = port.recv_batch(&mut rx_batch, RX_BATCH);
+        if got > 0 {
             progressed = true;
-            report.received += 1;
+            report.received += got as u64;
             let now = clock.now();
-            match wire::decode(pkt.as_slice()) {
-                Ok((hdr, _)) if hdr.kind == wire::Kind::Request => {
-                    let ty = classifier.classify(pkt.as_slice());
-                    if ty.is_unknown() || ty.index() >= num_types {
-                        report.unknown += 1;
-                    } else {
-                        report.classified += 1;
+            for pkt in rx_batch.drain(..) {
+                match wire::decode(pkt.as_slice()) {
+                    Ok((hdr, _)) if hdr.kind == wire::Kind::Request => {
+                        let ty = classifier.classify(pkt.as_slice());
+                        if ty.is_unknown() || ty.index() >= num_types {
+                            report.unknown += 1;
+                        } else {
+                            report.classified += 1;
+                        }
+                        let id = hdr.id;
+                        if let Err((buf, _)) = engine.enqueue(ty, (pkt, id), now) {
+                            report.dropped += 1;
+                            respond_control(
+                                &dispatcher_ctx,
+                                buf,
+                                wire::Status::Dropped,
+                                &mut report,
+                            );
+                        }
                     }
-                    let id = hdr.id;
-                    if let Err((buf, _)) = engine.enqueue(ty, (pkt, id), now) {
-                        report.dropped += 1;
-                        respond_control(&dispatcher_ctx, buf, wire::Status::Dropped, &mut report);
+                    _ => {
+                        report.malformed += 1;
+                        respond_control(
+                            &dispatcher_ctx,
+                            pkt,
+                            wire::Status::BadRequest,
+                            &mut report,
+                        );
                     }
-                }
-                _ => {
-                    report.malformed += 1;
-                    respond_control(&dispatcher_ctx, pkt, wire::Status::BadRequest, &mut report);
                 }
             }
         }
 
-        // 2. Fold in completions (frees engine workers, feeds profiling).
+        // 2. Fold in completions (frees engine workers, feeds profiling):
+        // one batched pop per worker ring, one timestamp per batch.
         for (w, rx) in completion_rx.iter_mut().enumerate() {
-            while let Some(c) = rx.pop() {
-                progressed = true;
-                report.completed += 1;
-                engine.complete(WorkerId::new(w as u32), c.service, clock.now());
+            let n = rx.pop_batch(&mut comp_batch, usize::MAX);
+            if n == 0 {
+                continue;
+            }
+            progressed = true;
+            report.completed += n as u64;
+            let now = clock.now();
+            for c in comp_batch.drain(..) {
+                engine.complete(WorkerId::new(w as u32), c.service, now);
             }
         }
 
         // 3. Overload control: quarantine stalled workers, then shed
-        // queued requests that have already blown their deadline.
+        // queued requests that have already blown their deadline. The
+        // shed notices go out as one TX batch.
         let now = clock.now();
         engine.check_health(now);
         engine.expire_heads(now);
         while let Some((_ty, (buf, _id))) = engine.take_expired() {
             progressed = true;
             report.expired += 1;
-            respond_control(&dispatcher_ctx, buf, wire::Status::Dropped, &mut report);
+            if let Some(p) = rewrite_control(buf, wire::Status::Dropped) {
+                ctrl_batch.push(p);
+            }
         }
+        flush_control_batch(&dispatcher_ctx, &mut ctrl_batch, &mut report);
 
         // 4. DARC dispatch: run Algorithm 1 until no placement is possible.
         while let Some(d) = engine.poll(now) {
@@ -181,11 +264,13 @@ pub fn run_dispatcher(
         if !progressed {
             if shutdown.load(Ordering::Acquire) {
                 // Answer everything still queued with `Dropped` rather
-                // than silently discarding it.
+                // than silently discarding it — as one TX batch.
                 let now = clock.now();
                 for (_ty, (buf, _id)) in engine.drain_all(now) {
                     report.shed_at_shutdown += 1;
-                    respond_control(&dispatcher_ctx, buf, wire::Status::Dropped, &mut report);
+                    if let Some(p) = rewrite_control(buf, wire::Status::Dropped) {
+                        ctrl_batch.push(p);
+                    }
                 }
                 // A message held for a quarantined worker will never be
                 // deliverable (its ring is wedged); shed it too so
@@ -194,15 +279,13 @@ pub fn run_dispatcher(
                     if engine.is_quarantined(WorkerId::new(w as u32)) {
                         if let Some(WorkMsg::Request { buf, .. }) = slot.take() {
                             report.shed_at_shutdown += 1;
-                            respond_control(
-                                &dispatcher_ctx,
-                                buf,
-                                wire::Status::Dropped,
-                                &mut report,
-                            );
+                            if let Some(p) = rewrite_control(buf, wire::Status::Dropped) {
+                                ctrl_batch.push(p);
+                            }
                         }
                     }
                 }
+                flush_control_batch(&dispatcher_ctx, &mut ctrl_batch, &mut report);
                 // Quiescence deliberately excludes quarantined workers:
                 // waiting on a stalled core would turn one fault into a
                 // full-server hang.
@@ -235,23 +318,45 @@ pub fn run_dispatcher(
     report
 }
 
-/// Sends a control response (drop/bad-request) by rewriting the packet in
-/// place when possible; undecodable packets are simply discarded.
-fn respond_control(
-    ctx: &NetContext,
-    mut pkt: PacketBuf,
-    status: wire::Status,
-    report: &mut DispatcherReport,
-) {
+/// Rewrites a request in place into a header-only control response
+/// (drop/bad-request); undecodable packets yield `None` and are simply
+/// discarded.
+fn rewrite_control(mut pkt: PacketBuf, status: wire::Status) -> Option<PacketBuf> {
     let ok = pkt.len() >= wire::HEADER_LEN
         && wire::request_to_response_in_place(pkt.raw_mut(), status).is_ok();
     if !ok {
+        return None;
+    }
+    pkt.set_len(wire::HEADER_LEN);
+    Some(pkt)
+}
+
+/// Sends a single control response with bounded retries (best-effort UDP
+/// semantics), counting a give-up in the report.
+fn respond_control(
+    ctx: &NetContext,
+    pkt: PacketBuf,
+    status: wire::Status,
+    report: &mut DispatcherReport,
+) {
+    if let Some(p) = rewrite_control(pkt, status) {
+        if ctx.send_with_retry(p, CONTROL_TX_ATTEMPTS).is_err() {
+            report.tx_give_ups += 1;
+        }
+    }
+}
+
+/// Transmits the accumulated control responses as one batch, counting
+/// undelivered packets as give-ups. Leaves `batch` empty for reuse.
+fn flush_control_batch(
+    ctx: &NetContext,
+    batch: &mut Vec<PacketBuf>,
+    report: &mut DispatcherReport,
+) {
+    if batch.is_empty() {
         return;
     }
-    let mut p = pkt;
-    p.set_len(wire::HEADER_LEN);
-    // Bounded retries: control responses are best-effort (UDP semantics).
-    if ctx.send_with_retry(p, 10_000).is_err() {
-        report.tx_give_ups += 1;
-    }
+    let total = batch.len();
+    let delivered = ctx.send_batch(batch.drain(..), CONTROL_TX_ATTEMPTS);
+    report.tx_give_ups += (total - delivered) as u64;
 }

@@ -20,24 +20,21 @@
 //! use persephone_net::{nic, pool::BufferPool, wire};
 //! use persephone_runtime::handler::SpinHandler;
 //! use persephone_runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
-//! use persephone_runtime::server::{spawn, ServerConfig};
+//! use persephone_runtime::server::ServerBuilder;
 //! use persephone_store::spin::SpinCalibration;
 //!
 //! let (mut client, server_port) = nic::loopback(256);
-//! let cfg = ServerConfig::darc(2, 2)
-//!     .with_hints(vec![Some(Nanos::from_micros(5)), Some(Nanos::from_micros(100))]);
 //! let cal = SpinCalibration::calibrate();
-//! let handle = spawn(
-//!     cfg,
-//!     server_port,
-//!     Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)),
-//!     move |_| {
+//! let handle = ServerBuilder::new(2, 2)
+//!     .hints(vec![Some(Nanos::from_micros(5)), Some(Nanos::from_micros(100))])
+//!     .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+//!     .handler_factory(move |_| {
 //!         Box::new(SpinHandler::new(
 //!             cal,
 //!             &[Nanos::from_micros(5), Nanos::from_micros(100)],
 //!         ))
-//!     },
-//! );
+//!     })
+//!     .spawn(server_port);
 //!
 //! let mut pool = BufferPool::new(128, 256);
 //! let spec = LoadSpec::new(vec![
@@ -73,4 +70,4 @@ pub mod worker;
 pub use fault::{FaultPlan, StallFault};
 pub use handler::{KvHandler, RequestHandler, SpinHandler, TpccHandler};
 pub use loadgen::{run_open_loop, LoadReport, LoadSpec, LoadType};
-pub use server::{spawn, RuntimeReport, ServerConfig, ServerHandle};
+pub use server::{RuntimeReport, ServerBuilder, ServerConfig, ServerHandle};

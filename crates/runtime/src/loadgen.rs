@@ -66,6 +66,10 @@ pub struct LoadReport {
     /// Requests whose response never arrived within the grace window —
     /// lost on the wire or silently discarded server-side.
     pub timed_out: u64,
+    /// Requests delivered into each NIC TX queue, in queue order — shows
+    /// how the client's steering spread load across dispatcher shards
+    /// (one entry for a single-queue port).
+    pub per_queue_sent: Vec<u64>,
     /// Response latencies (ns) per type index.
     pub latencies_ns: Vec<Vec<u64>>,
     sorted: bool,
@@ -290,6 +294,7 @@ pub fn run_open_loop(
     // Whatever is still unanswered when the client gives up waiting has,
     // by definition, timed out; its slab slot dies with the slab.
     report.timed_out += inflight.live as u64;
+    report.per_queue_sent = client.per_queue_sent().to_vec();
     releaser.flush();
     report.finalize();
     report

@@ -1,5 +1,12 @@
-//! Server assembly: spawns the dispatcher and worker threads and wires
-//! the rings between them (paper Figure 2).
+//! Server assembly: spawns the dispatch plane and worker threads and
+//! wires the rings between them (paper Figure 2).
+//!
+//! The dispatch plane is **sharded**: [`ServerBuilder::shards`] splits the
+//! server into `K` independent dispatchers, each owning a disjoint slice
+//! of the workers and its own DARC engine, fed by one RX queue of a
+//! multi-queue [`ServerPort`] (see `persephone_net::nic::Steering` for
+//! how clients spread requests across queues). `K = 1` reproduces the
+//! paper's single-dispatcher deployment exactly.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -20,6 +27,9 @@ use crate::messages::{Completion, WorkMsg};
 use crate::worker::{run_worker, WorkerReport};
 
 /// Server construction parameters.
+///
+/// Retained as the config carrier for the deprecated [`spawn`] entry
+/// point; new code should use [`ServerBuilder`] directly.
 pub struct ServerConfig {
     /// Number of application worker threads.
     pub workers: usize,
@@ -62,19 +72,307 @@ impl ServerConfig {
     }
 }
 
+/// Where shard classifiers come from.
+enum ClassifierSource {
+    /// One classifier instance; only valid for a single-shard server.
+    Single(Box<dyn Classifier>),
+    /// Builds shard `s`'s classifier (each dispatcher thread owns its own).
+    Factory(Box<dyn Fn(usize) -> Box<dyn Classifier>>),
+}
+
+type HandlerFactory = Box<dyn Fn(usize) -> Box<dyn RequestHandler>>;
+
+/// Typed builder for a Perséphone server.
+///
+/// Replaces the old four-positional-argument [`spawn`] free function:
+/// every optional knob has a named method and a paper-default value, and
+/// sharding (`K > 1` dispatchers) is only reachable through the builder.
+///
+/// ```no_run
+/// use persephone_core::classifier::HeaderClassifier;
+/// use persephone_core::time::Nanos;
+/// use persephone_net::{nic, wire};
+/// use persephone_runtime::handler::SpinHandler;
+/// use persephone_runtime::server::ServerBuilder;
+/// use persephone_store::spin::SpinCalibration;
+///
+/// let (_client, server) = nic::loopback(256);
+/// let cal = SpinCalibration::calibrate();
+/// let handle = ServerBuilder::new(4, 2)
+///     .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+///     .handler_factory(move |_| {
+///         Box::new(SpinHandler::new(cal, &[Nanos::from_micros(1)]))
+///     })
+///     .spawn(server);
+/// let report = handle.stop();
+/// # let _ = report;
+/// ```
+pub struct ServerBuilder {
+    workers: usize,
+    num_types: usize,
+    hints: Vec<Option<Nanos>>,
+    engine: EngineConfig,
+    ring_depth: usize,
+    faults: FaultPlan,
+    shards: usize,
+    classifier: Option<ClassifierSource>,
+    handler_factory: Option<HandlerFactory>,
+}
+
+impl ServerBuilder {
+    /// A dynamic-DARC server with `workers` worker threads, `num_types`
+    /// request types, and paper-default parameters (one dispatcher shard,
+    /// no hints, no faults, ring depth 8).
+    pub fn new(workers: usize, num_types: usize) -> Self {
+        ServerBuilder {
+            workers,
+            num_types,
+            hints: vec![None; num_types],
+            engine: EngineConfig::darc(workers),
+            ring_depth: 8,
+            faults: FaultPlan::none(),
+            shards: 1,
+            classifier: None,
+            handler_factory: None,
+        }
+    }
+
+    /// Seeds the builder from a [`ServerConfig`] (compatibility path for
+    /// the deprecated [`spawn`] wrapper).
+    pub fn from_config(cfg: ServerConfig) -> Self {
+        ServerBuilder {
+            workers: cfg.workers,
+            num_types: cfg.num_types,
+            hints: cfg.hints,
+            engine: cfg.engine,
+            ring_depth: cfg.ring_depth,
+            faults: cfg.faults,
+            shards: 1,
+            classifier: None,
+            handler_factory: None,
+        }
+    }
+
+    /// Sets per-type service-time hints (one per type; `Some` for all
+    /// types skips the c-FCFS warm-up).
+    pub fn hints(mut self, hints: Vec<Option<Nanos>>) -> Self {
+        self.hints = hints;
+        self
+    }
+
+    /// Installs a fault plan for chaos runs.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Splits the dispatch plane into `shards` independent dispatchers,
+    /// each owning a disjoint worker slice and one RX queue of the
+    /// server port. Requires a multi-queue port with exactly this many
+    /// queues and a [`ServerBuilder::classifier_factory`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the depth of each dispatcher↔worker ring.
+    pub fn ring_depth(mut self, depth: usize) -> Self {
+        self.ring_depth = depth;
+        self
+    }
+
+    /// Replaces the whole engine configuration.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Tweaks the engine configuration in place (profiler windows, queue
+    /// capacities, overload control, reservation tuning, …).
+    pub fn tune_engine(mut self, f: impl FnOnce(&mut EngineConfig)) -> Self {
+        f(&mut self.engine);
+        self
+    }
+
+    /// Sets the request classifier (single-shard servers only; sharded
+    /// servers need one classifier per dispatcher thread, see
+    /// [`ServerBuilder::classifier_factory`]).
+    pub fn classifier(mut self, classifier: impl Classifier + 'static) -> Self {
+        self.classifier = Some(ClassifierSource::Single(Box::new(classifier)));
+        self
+    }
+
+    /// Sets an already-boxed classifier (compatibility path for the
+    /// deprecated [`spawn`] wrapper).
+    pub fn boxed_classifier(mut self, classifier: Box<dyn Classifier>) -> Self {
+        self.classifier = Some(ClassifierSource::Single(classifier));
+        self
+    }
+
+    /// Sets a per-shard classifier factory: `f(s)` builds dispatcher
+    /// shard `s`'s classifier. Required when `shards > 1`.
+    pub fn classifier_factory(
+        mut self,
+        f: impl Fn(usize) -> Box<dyn Classifier> + 'static,
+    ) -> Self {
+        self.classifier = Some(ClassifierSource::Factory(Box::new(f)));
+        self
+    }
+
+    /// Sets the handler factory: `f(g)` builds worker `g`'s application
+    /// handler (`g` is the *global* worker index, stable across shard
+    /// counts).
+    pub fn handler_factory(
+        mut self,
+        f: impl Fn(usize) -> Box<dyn RequestHandler> + 'static,
+    ) -> Self {
+        self.handler_factory = Some(Box::new(f));
+        self
+    }
+
+    /// Spawns the server on `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no classifier or handler factory was set, if
+    /// `workers == 0`, `shards == 0`, `workers < shards`, the hint arity
+    /// mismatches `num_types`, the port's queue count differs from the
+    /// shard count, or `shards > 1` with a single (non-factory)
+    /// classifier.
+    pub fn spawn(self, port: ServerPort) -> ServerHandle {
+        assert!(self.workers > 0, "server needs at least one worker");
+        assert!(self.shards > 0, "server needs at least one shard");
+        assert!(
+            self.workers >= self.shards,
+            "need at least one worker per shard ({} workers, {} shards)",
+            self.workers,
+            self.shards
+        );
+        assert_eq!(
+            self.hints.len(),
+            self.num_types,
+            "hint arity mismatches num_types"
+        );
+        assert_eq!(
+            port.num_queues(),
+            self.shards,
+            "port has {} RX queues but the server has {} shards; build the \
+             port with nic::loopback_mq(depth, shards, steering)",
+            port.num_queues(),
+            self.shards
+        );
+        let classifier = self.classifier.expect("ServerBuilder: classifier not set");
+        if self.shards > 1 && matches!(classifier, ClassifierSource::Single(_)) {
+            panic!(
+                "a sharded server needs one classifier per dispatcher; use \
+                 .classifier_factory(|shard| ...) instead of .classifier(...)"
+            );
+        }
+        let handler_factory = self
+            .handler_factory
+            .expect("ServerBuilder: handler_factory not set");
+
+        let clock = RuntimeClock::start();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shard_ports = port.split();
+
+        // Contiguous worker partition: shard s owns global workers
+        // [offset, offset + n_s), with the remainder spread over the
+        // first shards so counts differ by at most one.
+        let base = self.workers / self.shards;
+        let rem = self.workers % self.shards;
+        let mut offset = 0usize;
+
+        let (mut single, factory) = match classifier {
+            ClassifierSource::Single(c) => (Some(c), None),
+            ClassifierSource::Factory(f) => (None, Some(f)),
+        };
+
+        let mut shards = Vec::with_capacity(self.shards);
+        for (s, shard_port) in shard_ports.into_iter().enumerate() {
+            let n_s = base + usize::from(s < rem);
+            let mut engine_cfg = self.engine.clone();
+            engine_cfg.num_workers = n_s;
+            let mut engine: DarcEngine<Pending> =
+                DarcEngine::new(engine_cfg, self.num_types, &self.hints);
+            let telemetry = Arc::new(Telemetry::new(TelemetryConfig::new(self.num_types, n_s)));
+            engine.set_telemetry(telemetry.clone());
+
+            let mut work_tx = Vec::with_capacity(n_s);
+            let mut completion_rx = Vec::with_capacity(n_s);
+            let mut workers = Vec::with_capacity(n_s);
+            for local in 0..n_s {
+                let g = offset + local;
+                let (wtx, wrx) = spsc::channel::<WorkMsg>(self.ring_depth);
+                let (ctx_tx, crx) = spsc::channel::<Completion>(self.ring_depth);
+                work_tx.push(wtx);
+                completion_rx.push(crx);
+                let nic_ctx = shard_port.context();
+                let handler = handler_factory(g);
+                let tel = Some((local, telemetry.clone()));
+                let fault = self.faults.for_worker(g);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("psp-worker-{g}"))
+                        .spawn(move || run_worker(wrx, ctx_tx, nic_ctx, handler, tel, fault))
+                        .expect("spawn worker"),
+                );
+            }
+            offset += n_s;
+
+            let shard_classifier = match &factory {
+                Some(f) => f(s),
+                None => single.take().expect("single classifier consumed twice"),
+            };
+            let dispatcher_ctx = shard_port.context();
+            let flag = shutdown.clone();
+            let dispatcher = std::thread::Builder::new()
+                .name(format!("psp-dispatcher-{s}"))
+                .spawn(move || {
+                    run_dispatcher(
+                        shard_port,
+                        dispatcher_ctx,
+                        shard_classifier,
+                        engine,
+                        work_tx,
+                        completion_rx,
+                        flag,
+                        clock,
+                    )
+                })
+                .expect("spawn dispatcher");
+            shards.push(ShardThreads {
+                dispatcher,
+                workers,
+            });
+        }
+
+        ServerHandle { shutdown, shards }
+    }
+}
+
+/// One shard's threads, joined together on shutdown.
+struct ShardThreads {
+    dispatcher: JoinHandle<DispatcherReport>,
+    workers: Vec<JoinHandle<WorkerReport>>,
+}
+
 /// A running server; `stop` for an orderly drain and join.
 pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
-    dispatcher: JoinHandle<DispatcherReport>,
-    workers: Vec<JoinHandle<WorkerReport>>,
+    shards: Vec<ShardThreads>,
 }
 
 /// Aggregated reports after shutdown.
 #[derive(Clone, Debug)]
 pub struct RuntimeReport {
-    /// The dispatcher's counters and final reservation.
+    /// Server-wide dispatcher view: per-shard reports folded through
+    /// [`DispatcherReport::merged`].
     pub dispatcher: DispatcherReport,
-    /// Per-worker reports.
+    /// Per-shard dispatcher reports, in shard order (one entry for an
+    /// unsharded server).
+    pub shards: Vec<DispatcherReport>,
+    /// Per-worker reports, in global worker order.
     pub workers: Vec<WorkerReport>,
 }
 
@@ -85,6 +383,27 @@ impl RuntimeReport {
     }
 }
 
+impl ServerHandle {
+    /// Requests an orderly shutdown, waits for the pipeline to drain, and
+    /// returns the aggregated reports.
+    pub fn stop(self) -> RuntimeReport {
+        self.shutdown.store(true, Ordering::Release);
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut workers = Vec::new();
+        for shard in self.shards {
+            shards.push(shard.dispatcher.join().expect("dispatcher panicked"));
+            for w in shard.workers {
+                workers.push(w.join().expect("worker panicked"));
+            }
+        }
+        RuntimeReport {
+            dispatcher: DispatcherReport::merged(&shards),
+            shards,
+            workers,
+        }
+    }
+}
+
 /// Spawns a Perséphone server on `port`.
 ///
 /// `handler_factory(i)` builds worker `i`'s application handler.
@@ -92,85 +411,18 @@ impl RuntimeReport {
 /// # Panics
 ///
 /// Panics if `cfg.workers == 0` or the hint arity mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ServerBuilder::new(..).classifier(..).handler_factory(..).spawn(port)"
+)]
 pub fn spawn(
     cfg: ServerConfig,
     port: ServerPort,
     classifier: Box<dyn Classifier>,
-    handler_factory: impl Fn(usize) -> Box<dyn RequestHandler>,
+    handler_factory: impl Fn(usize) -> Box<dyn RequestHandler> + 'static,
 ) -> ServerHandle {
-    assert!(cfg.workers > 0);
-    let mut engine_cfg = cfg.engine;
-    engine_cfg.num_workers = cfg.workers;
-    engine_cfg.reserve.num_workers = cfg.workers;
-    let mut engine: DarcEngine<Pending> = DarcEngine::new(engine_cfg, cfg.num_types, &cfg.hints);
-    let telemetry = Arc::new(Telemetry::new(TelemetryConfig::new(
-        cfg.num_types,
-        cfg.workers,
-    )));
-    engine.set_telemetry(telemetry.clone());
-
-    let clock = RuntimeClock::start();
-    let shutdown = Arc::new(AtomicBool::new(false));
-
-    let mut work_tx = Vec::with_capacity(cfg.workers);
-    let mut completion_rx = Vec::with_capacity(cfg.workers);
-    let mut workers = Vec::with_capacity(cfg.workers);
-    for i in 0..cfg.workers {
-        let (wtx, wrx) = spsc::channel::<WorkMsg>(cfg.ring_depth);
-        let (ctx_tx, crx) = spsc::channel::<Completion>(cfg.ring_depth);
-        work_tx.push(wtx);
-        completion_rx.push(crx);
-        let nic_ctx = port.context();
-        let handler = handler_factory(i);
-        let tel = Some((i, telemetry.clone()));
-        let fault = cfg.faults.for_worker(i);
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("psp-worker-{i}"))
-                .spawn(move || run_worker(wrx, ctx_tx, nic_ctx, handler, tel, fault))
-                .expect("spawn worker"),
-        );
-    }
-
-    let dispatcher_ctx = port.context();
-    let flag = shutdown.clone();
-    let dispatcher = std::thread::Builder::new()
-        .name("psp-dispatcher".into())
-        .spawn(move || {
-            run_dispatcher(
-                port,
-                dispatcher_ctx,
-                classifier,
-                engine,
-                work_tx,
-                completion_rx,
-                flag,
-                clock,
-            )
-        })
-        .expect("spawn dispatcher");
-
-    ServerHandle {
-        shutdown,
-        dispatcher,
-        workers,
-    }
-}
-
-impl ServerHandle {
-    /// Requests an orderly shutdown, waits for the pipeline to drain, and
-    /// returns the aggregated reports.
-    pub fn stop(self) -> RuntimeReport {
-        self.shutdown.store(true, Ordering::Release);
-        let dispatcher = self.dispatcher.join().expect("dispatcher panicked");
-        let workers = self
-            .workers
-            .into_iter()
-            .map(|w| w.join().expect("worker panicked"))
-            .collect();
-        RuntimeReport {
-            dispatcher,
-            workers,
-        }
-    }
+    ServerBuilder::from_config(cfg)
+        .boxed_classifier(classifier)
+        .handler_factory(handler_factory)
+        .spawn(port)
 }

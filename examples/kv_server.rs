@@ -7,42 +7,31 @@
 //!
 //! Run with: `cargo run --release --example kv_server`
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use persephone::core::classifier::HeaderClassifier;
-use persephone::net::pool::BufferPool;
-use persephone::net::{nic, wire};
-use persephone::runtime::handler::KvHandler;
-use persephone::runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
-use persephone::runtime::server::{spawn, ServerConfig};
-use std::sync::Mutex;
+use persephone::prelude::*;
 
 const GET: u32 = 0;
 const SCAN: u32 = 1;
 
 fn main() {
     // The §5.4.4 dataset: 5000 sequential keys, compacted.
-    let db = Arc::new(Mutex::new(
-        persephone::store::kv::KvStore::with_sequential_keys(5_000),
-    ));
+    let db = Arc::new(Mutex::new(KvStore::with_sequential_keys(5_000)));
 
     let (mut client, server_port) = nic::loopback(1024);
 
     // No hints: the server boots in c-FCFS, profiles GET vs SCAN service
     // times live, then installs a DARC reservation (a small profiling
     // window keeps the demo fast; the paper uses 50 000 samples).
-    let mut cfg = ServerConfig::darc(2, 2);
-    cfg.engine.profiler.min_samples = 200;
-    let handle = spawn(
-        cfg,
-        server_port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)),
-        {
+    let handle = ServerBuilder::new(2, 2)
+        .tune_engine(|e| e.profiler.min_samples = 200)
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+        .handler_factory({
             let db = db.clone();
             move |_worker| Box::new(KvHandler::new(db.clone()))
-        },
-    );
+        })
+        .spawn(server_port);
 
     // 50 % GET / 50 % SCAN over 5000 keys, as in the paper.
     let mut pool = BufferPool::new(512, 256);

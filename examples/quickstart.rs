@@ -9,14 +9,7 @@
 
 use std::time::Duration;
 
-use persephone::core::classifier::HeaderClassifier;
-use persephone::core::time::Nanos;
-use persephone::net::pool::BufferPool;
-use persephone::net::{nic, wire};
-use persephone::runtime::handler::SpinHandler;
-use persephone::runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
-use persephone::runtime::server::{spawn, ServerConfig};
-use persephone::store::spin::SpinCalibration;
+use persephone::prelude::*;
 
 fn main() {
     // Service times: type 0 = 5 µs, type 1 = 500 µs (100x dispersion).
@@ -30,13 +23,11 @@ fn main() {
     //    Service-time hints let DARC reserve cores at boot; without hints it
     //    starts in c-FCFS and profiles the live traffic instead.
     let cal = SpinCalibration::calibrate();
-    let cfg = ServerConfig::darc(2, 2).with_hints(services.iter().map(|s| Some(*s)).collect());
-    let handle = spawn(
-        cfg,
-        server_port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)),
-        move |_worker| Box::new(SpinHandler::new(cal, &services)),
-    );
+    let handle = ServerBuilder::new(2, 2)
+        .hints(services.iter().map(|s| Some(*s)).collect())
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+        .handler_factory(move |_worker| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
 
     // 3. An open-loop Poisson client: 90 % short, 10 % long.
     let mut pool = BufferPool::new(512, 256);

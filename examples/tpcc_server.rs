@@ -8,18 +8,11 @@
 //!
 //! Run with: `cargo run --release --example tpcc_server`
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use persephone::core::classifier::HeaderClassifier;
-use persephone::core::time::Nanos;
-use persephone::net::pool::BufferPool;
-use persephone::net::{nic, wire};
-use persephone::runtime::handler::TpccHandler;
-use persephone::runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
-use persephone::runtime::server::{spawn, ServerConfig};
-use persephone::store::tpcc::{TpccDb, Transaction};
-use std::sync::Mutex;
+use persephone::prelude::*;
+use persephone::store::tpcc::Transaction;
 
 fn main() {
     let db = Arc::new(Mutex::new(TpccDb::new(1)));
@@ -30,16 +23,14 @@ fn main() {
         .iter()
         .map(|t| Some(Nanos::from_micros_f64(t.paper_runtime_us())))
         .collect();
-    let cfg = ServerConfig::darc(3, 5).with_hints(hints);
-    let handle = spawn(
-        cfg,
-        server_port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 5)),
-        {
+    let handle = ServerBuilder::new(3, 5)
+        .hints(hints)
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 5))
+        .handler_factory({
             let db = db.clone();
             move |worker| Box::new(TpccHandler::new(db.clone(), worker as u64 + 1))
-        },
-    );
+        })
+        .spawn(server_port);
 
     // The standard transaction mix.
     let mut pool = BufferPool::new(512, 256);

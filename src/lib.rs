@@ -21,6 +21,14 @@
 //! * [`telemetry`] — zero-allocation histograms, counters, and the
 //!   scheduler-decision event ring (crate `persephone-telemetry`).
 //!
+//! For application code, [`prelude`] pulls in the names needed to stand
+//! up a server and drive load against it:
+//!
+//! ```
+//! use persephone::prelude::*;
+//! # let _ = ServerBuilder::new(2, 1);
+//! ```
+//!
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/bench/src/bin/` for the figure-regeneration binaries.
 
@@ -32,3 +40,37 @@ pub use persephone_runtime as runtime;
 pub use persephone_sim as sim;
 pub use persephone_store as store;
 pub use persephone_telemetry as telemetry;
+
+/// One-stop imports for building and driving a Perséphone server.
+///
+/// Covers the common path — classifier, engine configuration,
+/// [`ServerBuilder`](persephone_runtime::server::ServerBuilder), loopback
+/// NIC, wire format, load generator, and application substrates — so
+/// examples and application code start with a single
+/// `use persephone::prelude::*;`.
+pub mod prelude {
+    pub use persephone_core::classifier::{
+        Classifier, FixedClassifier, FnClassifier, HeaderClassifier, RandomClassifier,
+    };
+    pub use persephone_core::dispatch::{
+        DarcEngine, EngineConfig, EngineMode, OverloadConfig, ReserveTuning,
+    };
+    pub use persephone_core::policy::Policy;
+    pub use persephone_core::time::Nanos;
+    pub use persephone_core::types::TypeId;
+    pub use persephone_net::nic::{
+        self, loopback, loopback_mq, ClientPort, NicFaultPlan, ServerPort, Steering,
+    };
+    pub use persephone_net::pool::BufferPool;
+    pub use persephone_net::wire::{self, Kind, Status};
+    pub use persephone_runtime::fault::FaultPlan;
+    pub use persephone_runtime::handler::{KvHandler, RequestHandler, SpinHandler, TpccHandler};
+    pub use persephone_runtime::loadgen::{run_open_loop, LoadReport, LoadSpec, LoadType};
+    pub use persephone_runtime::server::{
+        RuntimeReport, ServerBuilder, ServerConfig, ServerHandle,
+    };
+    pub use persephone_store::kv::KvStore;
+    pub use persephone_store::spin::SpinCalibration;
+    pub use persephone_store::tpcc::TpccDb;
+    pub use persephone_telemetry::{Snapshot, Telemetry};
+}

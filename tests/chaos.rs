@@ -8,20 +8,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use persephone::core::classifier::HeaderClassifier;
-use persephone::core::dispatch::{DarcEngine, EngineConfig, OverloadConfig};
-use persephone::core::time::Nanos;
-use persephone::net::nic::NicFaultPlan;
-use persephone::net::pool::{BufferPool, PacketBuf};
-use persephone::net::{nic, spsc, wire};
+use persephone::net::pool::PacketBuf;
+use persephone::net::{nic, spsc};
+use persephone::prelude::*;
 use persephone::runtime::clock::RuntimeClock;
 use persephone::runtime::dispatcher::{run_dispatcher, Pending};
-use persephone::runtime::handler::SpinHandler;
-use persephone::runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
 use persephone::runtime::messages::{Completion, WorkMsg};
-use persephone::runtime::server::{spawn, ServerConfig};
-use persephone::runtime::FaultPlan;
-use persephone::store::spin::SpinCalibration;
 
 /// A worker that stalls for 200 ms mid-run is quarantined (its reserved
 /// core re-covered), queued requests past their SLO deadline are answered
@@ -31,21 +23,21 @@ fn stalled_worker_degrades_gracefully() {
     let services = [Nanos::from_micros(10), Nanos::from_millis(5)];
     let cal = SpinCalibration::calibrate();
     let stall = Duration::from_millis(200);
-    let mut cfg = ServerConfig::darc(3, 2).with_hints(services.iter().map(|s| Some(*s)).collect());
-    cfg.engine.overload = OverloadConfig {
-        deadline_slowdown: Some(10.0),
-        slo_queues: None, // isolate deadline shedding from queue-bound drops
-        stall_factor: Some(5.0),
-        min_stall: Nanos::from_millis(10),
-    };
-    cfg = cfg.with_faults(FaultPlan::none().stall_worker(0, 3, stall));
     let (mut client, server_port) = nic::loopback(2048);
-    let handle = spawn(
-        cfg,
-        server_port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)),
-        move |_| Box::new(SpinHandler::new(cal, &services)),
-    );
+    let handle = ServerBuilder::new(3, 2)
+        .hints(services.iter().map(|s| Some(*s)).collect())
+        .tune_engine(|e| {
+            e.overload = OverloadConfig {
+                deadline_slowdown: Some(10.0),
+                slo_queues: None, // isolate deadline shedding from queue-bound drops
+                stall_factor: Some(5.0),
+                min_stall: Nanos::from_millis(10),
+            }
+        })
+        .faults(FaultPlan::none().stall_worker(0, 3, stall))
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+        .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
     let mut pool = BufferPool::new(1024, 128);
     // Long requests alone demand 2.5 of 3 cores; the 200 ms stall tips
     // the long type into overload so deadline shedding must engage.
@@ -117,14 +109,12 @@ fn stalled_worker_degrades_gracefully() {
 fn nic_drops_are_timed_out_by_the_client() {
     let services = [Nanos::from_micros(10), Nanos::from_micros(100)];
     let cal = SpinCalibration::calibrate();
-    let cfg = ServerConfig::darc(2, 2).with_hints(services.iter().map(|s| Some(*s)).collect());
     let (mut client, server_port) = nic::loopback_with_faults(512, NicFaultPlan::drop_every(7));
-    let handle = spawn(
-        cfg,
-        server_port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)),
-        move |_| Box::new(SpinHandler::new(cal, &services)),
-    );
+    let handle = ServerBuilder::new(2, 2)
+        .hints(services.iter().map(|s| Some(*s)).collect())
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+        .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
     let mut pool = BufferPool::new(256, 128);
     let spec = LoadSpec::new(vec![
         LoadType {
@@ -280,14 +270,12 @@ fn full_work_ring_is_deferred_not_panicked() {
 fn shutdown_answers_queued_requests_with_dropped() {
     let services = [Nanos::from_millis(5)];
     let cal = SpinCalibration::calibrate();
-    let cfg = ServerConfig::darc(1, 1).with_hints(vec![Some(services[0])]);
     let (mut client, server_port) = nic::loopback(256);
-    let handle = spawn(
-        cfg,
-        server_port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 1)),
-        move |_| Box::new(SpinHandler::new(cal, &services)),
-    );
+    let handle = ServerBuilder::new(1, 1)
+        .hints(vec![Some(services[0])])
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 1))
+        .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
 
     let mut pool = BufferPool::new(64, 128);
     let total: u64 = 30;

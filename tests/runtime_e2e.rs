@@ -2,45 +2,29 @@
 //! client → NIC → net-worker/dispatcher → DARC → worker → NIC → client
 //! round trips, with real threads and the real engine.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use persephone::core::classifier::{FnClassifier, HeaderClassifier};
-use persephone::core::time::Nanos;
-use persephone::core::types::TypeId;
-use persephone::net::pool::BufferPool;
-use persephone::net::{nic, wire};
-use persephone::runtime::handler::{KvHandler, SpinHandler, TpccHandler};
-use persephone::runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
-use persephone::runtime::server::{spawn, ServerConfig};
-use persephone::store::kv::KvStore;
-use persephone::store::spin::SpinCalibration;
-use persephone::store::tpcc::{TpccDb, Transaction};
-use std::sync::Mutex;
+use persephone::prelude::*;
+use persephone::store::tpcc::Transaction;
 
 fn spin_services() -> [Nanos; 2] {
     [Nanos::from_micros(5), Nanos::from_micros(200)]
 }
 
-fn spin_server(
-    workers: usize,
-    port: nic::ServerPort,
-    hints: bool,
-) -> persephone::runtime::server::ServerHandle {
+fn spin_server(workers: usize, port: ServerPort, hints: bool) -> ServerHandle {
     let services = spin_services();
     let cal = SpinCalibration::calibrate();
-    let mut cfg = ServerConfig::darc(workers, 2);
+    let mut builder = ServerBuilder::new(workers, 2);
     if hints {
-        cfg = cfg.with_hints(services.iter().map(|s| Some(*s)).collect());
+        builder = builder.hints(services.iter().map(|s| Some(*s)).collect());
     } else {
-        cfg.engine.profiler.min_samples = 100;
+        builder = builder.tune_engine(|e| e.profiler.min_samples = 100);
     }
-    spawn(
-        cfg,
-        port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)),
-        move |_| Box::new(SpinHandler::new(cal, &services)),
-    )
+    builder
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+        .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(port)
 }
 
 #[test]
@@ -229,14 +213,12 @@ fn flow_control_sheds_only_the_overloaded_type() {
     let (mut client, server_port) = nic::loopback(2048);
     let services = [Nanos::from_micros(1), Nanos::from_millis(5)];
     let cal = SpinCalibration::calibrate();
-    let mut cfg = ServerConfig::darc(2, 2).with_hints(services.iter().map(|s| Some(*s)).collect());
-    cfg.engine.queue_capacity = 4; // Tiny typed queues force drops.
-    let handle = spawn(
-        cfg,
-        server_port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)),
-        move |_| Box::new(SpinHandler::new(cal, &services)),
-    );
+    let handle = ServerBuilder::new(2, 2)
+        .hints(services.iter().map(|s| Some(*s)).collect())
+        .tune_engine(|e| e.queue_capacity = 4) // Tiny typed queues force drops.
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+        .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
     let mut pool = BufferPool::new(1024, 128);
     // Flood with long requests (5 ms each): their queue must overflow.
     let spec = LoadSpec::new(vec![
@@ -275,19 +257,17 @@ fn flow_control_sheds_only_the_overloaded_type() {
 fn kv_service_end_to_end() {
     let db = Arc::new(Mutex::new(KvStore::with_sequential_keys(100)));
     let (mut client, server_port) = nic::loopback(256);
-    let cfg = ServerConfig::darc(2, 2).with_hints(vec![
-        Some(Nanos::from_micros(2)),
-        Some(Nanos::from_micros(50)),
-    ]);
-    let handle = spawn(
-        cfg,
-        server_port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)),
-        {
+    let handle = ServerBuilder::new(2, 2)
+        .hints(vec![
+            Some(Nanos::from_micros(2)),
+            Some(Nanos::from_micros(50)),
+        ])
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+        .handler_factory({
             let db = db.clone();
             move |_| Box::new(KvHandler::new(db.clone()))
-        },
-    );
+        })
+        .spawn(server_port);
     let mut pool = BufferPool::new(128, 256);
     let spec = LoadSpec::new(vec![
         LoadType {
@@ -324,16 +304,14 @@ fn tpcc_service_end_to_end() {
         .iter()
         .map(|t| Some(Nanos::from_micros_f64(t.paper_runtime_us())))
         .collect();
-    let cfg = ServerConfig::darc(2, 5).with_hints(hints);
-    let handle = spawn(
-        cfg,
-        server_port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 5)),
-        {
+    let handle = ServerBuilder::new(2, 5)
+        .hints(hints)
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 5))
+        .handler_factory({
             let db = db.clone();
             move |w| Box::new(TpccHandler::new(db.clone(), w as u64))
-        },
-    );
+        })
+        .spawn(server_port);
     let mut pool = BufferPool::new(128, 128);
     let spec = LoadSpec::new(
         Transaction::ALL
@@ -366,15 +344,16 @@ fn content_classifier_works_in_the_full_pipeline() {
     let (mut client, server_port) = nic::loopback(256);
     let services = spin_services();
     let cal = SpinCalibration::calibrate();
-    let cfg = ServerConfig::darc(2, 2).with_hints(services.iter().map(|s| Some(*s)).collect());
     let classifier = FnClassifier::new(|msg: &[u8]| match msg.get(wire::HEADER_LEN) {
         Some(b'S') => TypeId::new(0),
         Some(b'L') => TypeId::new(1),
         _ => TypeId::UNKNOWN,
     });
-    let handle = spawn(cfg, server_port, Box::new(classifier), move |_| {
-        Box::new(SpinHandler::new(cal, &services))
-    });
+    let handle = ServerBuilder::new(2, 2)
+        .hints(services.iter().map(|s| Some(*s)).collect())
+        .classifier(classifier)
+        .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
     let mut pool = BufferPool::new(128, 128);
     let spec = LoadSpec::new(vec![LoadType {
         // The wire type field says 1, but the classifier reads 'S'.

@@ -1,0 +1,257 @@
+//! End-to-end tests of the sharded dispatch plane: K dispatchers on a
+//! multi-queue loopback NIC, disjoint worker slices, RSS and type-aware
+//! steering, and the merged server-wide report.
+
+use std::time::{Duration, Instant};
+
+use persephone::prelude::*;
+
+fn spin_services() -> [Nanos; 2] {
+    [Nanos::from_micros(5), Nanos::from_micros(100)]
+}
+
+/// Two RSS-fed shards: every request the client manages to send is
+/// answered or explicitly accounted for, the shards see disjoint but
+/// jointly complete traffic, and the merged telemetry agrees with the
+/// per-worker reports.
+#[test]
+fn sharded_server_conserves_requests_and_merges_telemetry() {
+    let services = spin_services();
+    let cal = SpinCalibration::calibrate();
+    let (mut client, server_port) = loopback_mq(512, 2, Steering::Rss);
+    let handle = ServerBuilder::new(4, 2)
+        .shards(2)
+        .hints(services.iter().map(|s| Some(*s)).collect())
+        .classifier_factory(|_shard| Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)))
+        .handler_factory(move |_worker| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
+
+    let mut pool = BufferPool::new(256, 128);
+    let spec = LoadSpec::new(vec![
+        LoadType {
+            ty: 0,
+            ratio: 0.8,
+            payload: b"short".to_vec(),
+        },
+        LoadType {
+            ty: 1,
+            ratio: 0.2,
+            payload: b"long".to_vec(),
+        },
+    ]);
+    let report = run_open_loop(
+        &mut client,
+        &mut pool,
+        &spec,
+        2_000.0,
+        Duration::from_millis(500),
+        Duration::from_secs(2),
+        47,
+    );
+    let server = handle.stop();
+
+    assert!(report.sent > 100, "sent = {}", report.sent);
+    assert_eq!(
+        report.received + report.dropped + report.rejected + report.timed_out,
+        report.sent,
+        "client totals balance"
+    );
+
+    // RSS actually spread the ids over both queues.
+    assert_eq!(report.per_queue_sent.len(), 2);
+    assert!(
+        report.per_queue_sent.iter().all(|&q| q > 0),
+        "both queues carried traffic: {:?}",
+        report.per_queue_sent
+    );
+    assert_eq!(report.per_queue_sent.iter().sum::<u64>(), report.sent);
+
+    // Per-shard reports exist and sum to the merged view.
+    assert_eq!(server.shards.len(), 2);
+    let d = &server.dispatcher;
+    assert_eq!(
+        server.shards.iter().map(|s| s.received).sum::<u64>(),
+        d.received
+    );
+    assert!(
+        server.shards.iter().all(|s| s.received > 0),
+        "both shards received traffic"
+    );
+
+    // Server-side conservation: every packet pulled off the NIC was
+    // handled by a worker or answered with an explicit control status.
+    assert_eq!(
+        d.received,
+        server.handled() + d.dropped + d.expired + d.shed_at_shutdown + d.malformed,
+        "no request may vanish inside the sharded plane"
+    );
+    assert_eq!(d.malformed, 0);
+    assert_eq!(d.unknown, 0);
+
+    // The merged telemetry concatenates the disjoint worker slices and
+    // agrees with the worker-thread reports.
+    assert_eq!(d.telemetry.workers.len(), 4);
+    assert_eq!(d.telemetry.completions(), server.handled());
+    assert_eq!(server.workers.len(), 4);
+    assert!(d.telemetry.workers.iter().any(|w| w.busy_ns > 0));
+}
+
+/// Type-aware steering pins each request type to its configured shard, so
+/// a shard's DARC engine only ever sees the types routed to it.
+#[test]
+fn by_type_steering_pins_types_to_shards() {
+    let services = spin_services();
+    let cal = SpinCalibration::calibrate();
+    let (mut client, server_port) = loopback_mq(256, 2, Steering::ByType(vec![0, 1]));
+    let handle = ServerBuilder::new(2, 2)
+        .shards(2)
+        .hints(services.iter().map(|s| Some(*s)).collect())
+        .classifier_factory(|_shard| Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)))
+        .handler_factory(move |_worker| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
+
+    let mut pool = BufferPool::new(64, 128);
+    let per_type: u64 = 20;
+    for id in 0..per_type * 2 {
+        let ty = (id % 2) as u32;
+        let mut buf = pool.alloc().unwrap();
+        let len = wire::encode_request(buf.raw_mut(), ty, id, b"x").unwrap();
+        buf.set_len(len);
+        client.send(buf).unwrap();
+    }
+    assert_eq!(client.per_queue_sent(), &[per_type, per_type]);
+
+    // Wait until every request is answered (Ok here; the load is light).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut answered = 0u64;
+    while answered < per_type * 2 && Instant::now() < deadline {
+        match client.recv() {
+            Some(_pkt) => answered += 1,
+            None => std::thread::yield_now(),
+        }
+    }
+    assert_eq!(answered, per_type * 2, "all requests answered");
+    let server = handle.stop();
+
+    // Each shard received exactly its pinned type's packets.
+    assert_eq!(server.shards.len(), 2);
+    for (s, shard) in server.shards.iter().enumerate() {
+        assert_eq!(
+            shard.received, per_type,
+            "shard {s} must only see its pinned type"
+        );
+        assert_eq!(shard.classified, per_type);
+        // Only the pinned type shows arrivals in this shard's telemetry.
+        for (ty, t) in shard.telemetry.types.iter().enumerate() {
+            let want = if ty == s { per_type } else { 0 };
+            assert_eq!(
+                t.counters.arrivals, want,
+                "shard {s} type {ty} arrival count"
+            );
+        }
+    }
+}
+
+/// `ServerBuilder::new` with no optional knobs runs a plain single-shard
+/// paper-default server.
+#[test]
+fn builder_defaults_run_a_single_shard_server() {
+    let services = spin_services();
+    let cal = SpinCalibration::calibrate();
+    let (mut client, server_port) = loopback(128);
+    let handle = ServerBuilder::new(2, 2)
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+        .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
+
+    let mut buf = BufferPool::new(8, 64).alloc().unwrap();
+    let len = wire::encode_request(buf.raw_mut(), 0, 1, b"x").unwrap();
+    buf.set_len(len);
+    client.send(buf).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut got = None;
+    while got.is_none() && Instant::now() < deadline {
+        got = client.recv();
+        std::thread::yield_now();
+    }
+    let pkt = got.expect("request answered");
+    let (hdr, _) = wire::decode(pkt.as_slice()).unwrap();
+    assert_eq!(wire::response_status(&hdr), Some(wire::Status::Ok));
+
+    let server = handle.stop();
+    assert_eq!(server.shards.len(), 1);
+    assert_eq!(server.workers.len(), 2);
+    assert_eq!(server.handled(), 1);
+    // The merged view of a single shard is that shard's report.
+    assert_eq!(server.dispatcher.received, server.shards[0].received);
+}
+
+/// The deprecated positional `spawn` keeps working and produces the same
+/// report shape as the builder it forwards to.
+#[test]
+fn deprecated_spawn_wrapper_matches_builder() {
+    let services = spin_services();
+    let cal = SpinCalibration::calibrate();
+    let (mut client, server_port) = loopback(256);
+    let cfg = ServerConfig::darc(2, 2).with_hints(services.iter().map(|s| Some(*s)).collect());
+    #[allow(deprecated)]
+    let handle = persephone::runtime::server::spawn(
+        cfg,
+        server_port,
+        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)),
+        move |_| Box::new(SpinHandler::new(cal, &services)),
+    );
+
+    let mut pool = BufferPool::new(64, 128);
+    let spec = LoadSpec::new(vec![LoadType {
+        ty: 0,
+        ratio: 1.0,
+        payload: b"x".to_vec(),
+    }]);
+    let report = run_open_loop(
+        &mut client,
+        &mut pool,
+        &spec,
+        500.0,
+        Duration::from_millis(200),
+        Duration::from_secs(2),
+        53,
+    );
+    let server = handle.stop();
+    assert!(report.received > 10);
+    assert_eq!(server.handled(), report.received);
+    assert_eq!(server.shards.len(), 1);
+    assert_eq!(report.per_queue_sent, vec![report.sent]);
+}
+
+/// A sharded server refuses a port whose queue count disagrees with the
+/// shard count instead of silently misrouting.
+#[test]
+#[should_panic(expected = "RX queues")]
+fn spawn_rejects_queue_shard_mismatch() {
+    let (_client, server_port) = loopback(64); // one queue
+    let _ = ServerBuilder::new(2, 1)
+        .shards(2)
+        .classifier_factory(|_| Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 1)))
+        .handler_factory(|_| {
+            let cal = SpinCalibration::calibrate();
+            Box::new(SpinHandler::new(cal, &[Nanos::from_micros(1)]))
+        })
+        .spawn(server_port);
+}
+
+/// A sharded server needs a per-shard classifier factory; one shared
+/// classifier instance is rejected with guidance.
+#[test]
+#[should_panic(expected = "classifier_factory")]
+fn spawn_rejects_single_classifier_with_multiple_shards() {
+    let (_client, server_port) = loopback_mq(64, 2, Steering::Rss);
+    let _ = ServerBuilder::new(2, 1)
+        .shards(2)
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 1))
+        .handler_factory(|_| {
+            let cal = SpinCalibration::calibrate();
+            Box::new(SpinHandler::new(cal, &[Nanos::from_micros(1)]))
+        })
+        .spawn(server_port);
+}
