@@ -2,17 +2,24 @@
 //! of Algorithm 1, the dispatcher's per-request critical path.
 
 use persephone_bench::crit::{criterion_group, criterion_main, Criterion, Throughput};
-use persephone_core::dispatch::{DarcEngine, EngineConfig, EngineMode};
+use persephone_core::dispatch::{
+    CfcfsEngine, DarcEngine, EngineConfig, EngineMode, ScheduleEngine,
+};
 use persephone_core::time::Nanos;
 use persephone_core::types::{TypeId, WorkerId};
 use std::hint::black_box;
 
-fn engine(workers: usize, mode: EngineMode) -> DarcEngine<u64> {
+fn config(workers: usize) -> (EngineConfig, [Option<Nanos>; 2]) {
     let mut cfg = EngineConfig::darc(workers);
-    cfg.mode = mode;
     // Huge window so reservation updates never fire inside the benchmark.
     cfg.profiler.min_samples = u64::MAX;
     let hints = [Some(Nanos::from_micros(1)), Some(Nanos::from_micros(100))];
+    (cfg, hints)
+}
+
+fn engine(workers: usize, mode: EngineMode) -> DarcEngine<u64> {
+    let (mut cfg, hints) = config(workers);
+    cfg.mode = mode;
     DarcEngine::new(cfg, 2, &hints)
 }
 
@@ -35,7 +42,8 @@ fn bench_dispatch(c: &mut Criterion) {
     });
 
     g.bench_function("cfcfs_enqueue_poll_complete", |b| {
-        let mut eng = engine(14, EngineMode::CFcfs);
+        let (cfg, hints) = config(14);
+        let mut eng: CfcfsEngine<u64> = CfcfsEngine::new(cfg, 2, &hints);
         let mut i = 0u64;
         b.iter(|| {
             let ty = TypeId::new((i % 2) as u32);

@@ -73,7 +73,7 @@ fn main() {
                     run_point_with(&mut p, &cfg, load, seed)
                 }
                 "c-FCFS" => {
-                    let mut p = CFcfs::new().with_capacity(QUEUE_CAP);
+                    let mut p = CFcfs::new(WORKERS).with_capacity(QUEUE_CAP);
                     run_point_with(&mut p, &cfg, load, seed)
                 }
                 _ => {

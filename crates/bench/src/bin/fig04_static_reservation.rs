@@ -42,7 +42,7 @@ fn main() {
             ..SweepConfig::new(workload.clone(), WORKERS, vec![LOAD], opts.duration(2000))
         };
         // The c-FCFS reference line.
-        let mut cf = CFcfs::new().with_capacity(QUEUE_CAP);
+        let mut cf = CFcfs::new(WORKERS).with_capacity(QUEUE_CAP);
         let cf_out = run_point_with(&mut cf, &cfg, LOAD, opts.seed);
         let cf_slow = cf_out.summary.overall_slowdown.p999;
         csv.push(vec![workload.name.clone(), "c-FCFS".into(), ratio(cf_slow)]);

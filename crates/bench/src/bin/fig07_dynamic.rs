@@ -71,7 +71,7 @@ fn main() {
         total,
         &sim_cfg,
     );
-    let mut cfcfs = CFcfs::new().with_capacity(QUEUE_CAP);
+    let mut cfcfs = CFcfs::new(WORKERS).with_capacity(QUEUE_CAP);
     let cfcfs_out = simulate(
         &mut cfcfs,
         ArrivalGen::phased(&script, WORKERS, opts.seed),

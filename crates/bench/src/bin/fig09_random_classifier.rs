@@ -59,7 +59,7 @@ fn main() {
             let seed = opts.seed.wrapping_add(i as u64);
             let out = match name {
                 "c-FCFS" => {
-                    let mut p = CFcfs::new().with_capacity(QUEUE_CAP);
+                    let mut p = CFcfs::new(WORKERS).with_capacity(QUEUE_CAP);
                     run_point_with(&mut p, &cfg, load, seed)
                 }
                 "DARC-random" => {

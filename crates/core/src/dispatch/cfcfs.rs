@@ -1,0 +1,412 @@
+//! Centralized first-come-first-served (paper Table 1's c-FCFS).
+//!
+//! One global queue, strict arrival order, any free worker — the
+//! single-queue baseline of the paper's evaluation (and what
+//! `DarcEngine`'s legacy `EngineMode::CFcfs` used to emulate with typed
+//! queues and sequence numbers). A dedicated engine keeps the hot path a
+//! plain `pop_front` and lets DARC's code stop special-casing FCFS.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use persephone_telemetry::{DispatchKind, Telemetry};
+
+use super::common::{tslot, WorkerTable};
+use super::engine::{Dispatch, EngineReport, ScheduleEngine};
+use super::EngineConfig;
+use crate::profile::Profiler;
+use crate::time::Nanos;
+use crate::types::{TypeId, WorkerId};
+
+struct Entry<R> {
+    ty: TypeId,
+    req: R,
+    enqueued: Nanos,
+}
+
+/// Centralized FCFS over one global queue.
+///
+/// Flow control bounds the *global* queue at `cfg.queue_capacity` entries
+/// (`0` = unbounded) — a single-queue policy has no per-type backlog to
+/// shed selectively. Deadline shedding expires the queue head only: the
+/// head is always the oldest entry, so anything behind it is younger.
+pub struct CfcfsEngine<R> {
+    queue: VecDeque<Entry<R>>,
+    capacity: usize,
+    workers: WorkerTable,
+    profiler: Profiler,
+    deadline_slowdown: Option<f64>,
+    stall_factor: Option<f64>,
+    min_stall: Nanos,
+    /// Per telemetry slot (`num_types` = UNKNOWN): queued entries, drops.
+    pending: Vec<usize>,
+    drops: Vec<u64>,
+    expired_buf: VecDeque<(TypeId, R)>,
+    expired_total: u64,
+    num_types: usize,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl<R> CfcfsEngine<R> {
+    /// Creates a c-FCFS engine for `num_types` request types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_workers == 0` or `hints.len() != num_types`.
+    pub fn new(cfg: EngineConfig, num_types: usize, hints: &[Option<Nanos>]) -> Self {
+        assert!(cfg.num_workers > 0, "need at least one worker");
+        CfcfsEngine {
+            queue: VecDeque::new(),
+            capacity: cfg.queue_capacity,
+            workers: WorkerTable::new(cfg.num_workers),
+            profiler: Profiler::new(cfg.profiler, num_types, hints),
+            deadline_slowdown: cfg.overload.deadline_slowdown,
+            stall_factor: cfg.overload.stall_factor,
+            min_stall: cfg.overload.min_stall,
+            pending: vec![0; num_types + 1],
+            drops: vec![0; num_types + 1],
+            expired_buf: VecDeque::new(),
+            expired_total: 0,
+            num_types,
+            telemetry: None,
+        }
+    }
+
+    /// The workload profiler (read-only view).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Entries in the global queue.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn expire_one(&mut self, ty: TypeId, req: R, waited: Nanos, now: Nanos) {
+        self.pending[tslot(ty, self.num_types)] -= 1;
+        self.expired_total += 1;
+        if let Some(t) = &self.telemetry {
+            t.record_expired(tslot(ty, self.num_types), waited.as_nanos(), now.as_nanos());
+        }
+        self.expired_buf.push_back((ty, req));
+    }
+}
+
+impl<R: Send> ScheduleEngine<R> for CfcfsEngine<R> {
+    fn policy_name(&self) -> &'static str {
+        "c-FCFS"
+    }
+
+    fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    fn enqueue(&mut self, ty: TypeId, req: R, now: Nanos) -> Result<(), R> {
+        // Ratios are profiled at arrival, exactly as in DarcEngine, so a
+        // later switch to DARC sees consistent history semantics.
+        self.profiler.record_arrival(ty);
+        let slot = tslot(ty, self.num_types);
+        if let Some(t) = &self.telemetry {
+            t.record_arrival(slot);
+        }
+        if self.capacity != 0 && self.queue.len() >= self.capacity {
+            self.drops[slot] += 1;
+            if let Some(t) = &self.telemetry {
+                t.record_drop(slot, self.queue.len() as u64, now.as_nanos());
+            }
+            return Err(req);
+        }
+        self.queue.push_back(Entry {
+            ty,
+            req,
+            enqueued: now,
+        });
+        self.pending[slot] += 1;
+        if let Some(t) = &self.telemetry {
+            t.record_queue_depth(slot, self.queue.len() as u64);
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self, now: Nanos) -> Option<Dispatch<R>> {
+        if self.workers.free_count() == 0 || self.queue.is_empty() {
+            return None;
+        }
+        let worker = self.workers.first_free()?;
+        let entry = self.queue.pop_front()?;
+        self.pending[tslot(entry.ty, self.num_types)] -= 1;
+        let queued_for = now.saturating_sub(entry.enqueued);
+        self.workers.assign(worker, entry.ty, queued_for, now);
+        self.profiler.record_dispatch_delay(entry.ty, queued_for);
+        if let Some(t) = &self.telemetry {
+            t.record_dispatch(
+                tslot(entry.ty, self.num_types),
+                worker.index(),
+                DispatchKind::Fcfs,
+                now.as_nanos(),
+            );
+        }
+        Some(Dispatch {
+            worker,
+            ty: entry.ty,
+            req: entry.req,
+            queued_for,
+            kind: DispatchKind::Fcfs,
+        })
+    }
+
+    fn complete(&mut self, worker: WorkerId, service: Nanos, now: Nanos) {
+        let (ty, queued_for, started, released) = self.workers.complete(worker);
+        if released {
+            if let Some(t) = &self.telemetry {
+                t.record_release(
+                    worker.index(),
+                    now.saturating_sub(started).as_nanos(),
+                    now.as_nanos(),
+                );
+            }
+        }
+        self.profiler.record_completion(ty, service);
+        if let Some(t) = &self.telemetry {
+            let sojourn = queued_for.saturating_add(service);
+            t.record_completion(
+                tslot(ty, self.num_types),
+                worker.index(),
+                sojourn.as_nanos(),
+                service.as_nanos(),
+            );
+        }
+        // Keep the EWMA estimates fresh (used by shedding and quarantine);
+        // there is no reservation to install, so this is the whole update.
+        if self.profiler.window_full() {
+            let _ = self.profiler.commit_window();
+        }
+    }
+
+    fn expire_heads(&mut self, now: Nanos) {
+        let Some(slowdown) = self.deadline_slowdown else {
+            return;
+        };
+        while let Some(head) = self.queue.front() {
+            let Some(est) = self.profiler.estimate_ns(head.ty) else {
+                return; // no estimate: the head (oldest entry) never expires
+            };
+            let deadline = Nanos::from_nanos((slowdown * est) as u64);
+            let waited = now.saturating_sub(head.enqueued);
+            if waited <= deadline {
+                return;
+            }
+            let entry = self.queue.pop_front().unwrap();
+            self.expire_one(entry.ty, entry.req, waited, now);
+        }
+    }
+
+    fn take_expired(&mut self) -> Option<(TypeId, R)> {
+        self.expired_buf.pop_front()
+    }
+
+    fn check_health(&mut self, now: Nanos) {
+        let Some(factor) = self.stall_factor else {
+            return;
+        };
+        let profiler = &self.profiler;
+        let telemetry = &self.telemetry;
+        let num_types = self.num_types;
+        self.workers.check_health(
+            now,
+            factor,
+            self.min_stall,
+            |ty| profiler.estimate_ns(ty),
+            |w, ty, running| {
+                if let Some(t) = telemetry {
+                    t.record_quarantine(
+                        w,
+                        tslot(ty, num_types),
+                        running.as_nanos(),
+                        now.as_nanos(),
+                    );
+                }
+            },
+        );
+    }
+
+    fn is_quarantined(&self, worker: WorkerId) -> bool {
+        self.workers.is_quarantined(worker.index())
+    }
+
+    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
+        let mut out = Vec::new();
+        while let Some(e) = self.queue.pop_front() {
+            let waited = now.saturating_sub(e.enqueued);
+            self.pending[tslot(e.ty, self.num_types)] -= 1;
+            self.expired_total += 1;
+            if let Some(t) = &self.telemetry {
+                t.record_expired(
+                    tslot(e.ty, self.num_types),
+                    waited.as_nanos(),
+                    now.as_nanos(),
+                );
+            }
+            out.push((e.ty, e.req));
+        }
+        out
+    }
+
+    fn quiescent(&self) -> bool {
+        self.workers.quiescent()
+    }
+
+    fn free_workers(&self) -> usize {
+        self.workers.free_count()
+    }
+
+    fn pending(&self, ty: TypeId) -> usize {
+        self.pending[tslot(ty, self.num_types)]
+    }
+
+    fn total_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drops(&self, ty: TypeId) -> u64 {
+        self.drops[tslot(ty, self.num_types)]
+    }
+
+    fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            policy: "c-FCFS",
+            updates: 0,
+            quarantines: self.workers.quarantines(),
+            releases: self.workers.releases(),
+            expired: self.expired_total,
+            guaranteed: vec![0; self.num_types],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(n: u64) -> Nanos {
+        Nanos::from_micros(n)
+    }
+
+    fn engine(workers: usize) -> CfcfsEngine<u32> {
+        CfcfsEngine::new(
+            EngineConfig::darc(workers),
+            2,
+            &[Some(micros(1)), Some(micros(100))],
+        )
+    }
+
+    #[test]
+    fn strict_global_arrival_order() {
+        let mut eng = engine(1);
+        eng.enqueue(TypeId::new(1), 10, micros(0)).unwrap();
+        eng.enqueue(TypeId::new(0), 20, micros(1)).unwrap();
+        eng.enqueue(TypeId::UNKNOWN, 30, micros(2)).unwrap();
+        let d = eng.poll(micros(3)).unwrap();
+        assert_eq!(d.req, 10, "earliest arrival wins regardless of type");
+        assert_eq!(d.kind, DispatchKind::Fcfs);
+        eng.complete(d.worker, micros(1), micros(4));
+        assert_eq!(eng.poll(micros(4)).unwrap().req, 20);
+        eng.complete(WorkerId::new(0), micros(1), micros(5));
+        let d3 = eng.poll(micros(5)).unwrap();
+        assert_eq!((d3.req, d3.ty), (30, TypeId::UNKNOWN));
+    }
+
+    #[test]
+    fn picks_lowest_indexed_free_worker() {
+        let mut eng = engine(3);
+        for i in 0..3 {
+            eng.enqueue(TypeId::new(0), i, micros(0)).unwrap();
+        }
+        let workers: Vec<u32> = std::iter::from_fn(|| eng.poll(micros(0)))
+            .map(|d| d.worker.index() as u32)
+            .collect();
+        assert_eq!(workers, vec![0, 1, 2]);
+        eng.complete(WorkerId::new(1), micros(1), micros(1));
+        eng.enqueue(TypeId::new(0), 9, micros(1)).unwrap();
+        assert_eq!(eng.poll(micros(1)).unwrap().worker, WorkerId::new(1));
+    }
+
+    #[test]
+    fn flow_control_bounds_the_global_queue() {
+        let mut cfg = EngineConfig::darc(1);
+        cfg.queue_capacity = 2;
+        let mut eng: CfcfsEngine<u32> = CfcfsEngine::new(cfg, 2, &[None, None]);
+        for i in 0..5 {
+            let _ = eng.enqueue(TypeId::new(i % 2), i, micros(0));
+        }
+        assert_eq!(eng.total_pending(), 2);
+        assert_eq!(eng.total_drops(), 3);
+        assert_eq!(eng.backlog(), 2);
+    }
+
+    #[test]
+    fn head_only_deadline_shedding() {
+        let mut cfg = EngineConfig::darc(1);
+        cfg.overload.deadline_slowdown = Some(10.0);
+        let mut eng: CfcfsEngine<u32> =
+            CfcfsEngine::new(cfg, 2, &[Some(micros(1)), Some(micros(100))]);
+        // Occupy the lone worker so the queue builds.
+        eng.enqueue(TypeId::new(0), 0, micros(0)).unwrap();
+        let d = eng.poll(micros(0)).unwrap();
+        eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        eng.enqueue(TypeId::new(1), 2, micros(1)).unwrap();
+        // At t = 11 µs the head (type 0, deadline 10 µs) expired; the next
+        // entry is a long with a 1 ms deadline and survives.
+        eng.expire_heads(micros(11));
+        assert_eq!(eng.take_expired(), Some((TypeId::new(0), 1)));
+        assert_eq!(eng.take_expired(), None);
+        assert_eq!(eng.total_pending(), 1);
+        assert_eq!(eng.pending(TypeId::new(1)), 1);
+        eng.complete(d.worker, micros(11), micros(11));
+        // Off by default.
+        let mut plain = engine(1);
+        plain.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        plain.expire_heads(Nanos::from_secs(100));
+        assert_eq!(plain.take_expired(), None);
+    }
+
+    #[test]
+    fn drain_all_empties_queue_and_counts() {
+        let mut eng = engine(2);
+        eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        eng.enqueue(TypeId::UNKNOWN, 2, micros(0)).unwrap();
+        let drained = eng.drain_all(micros(5));
+        assert_eq!(drained.len(), 2);
+        assert_eq!(eng.total_pending(), 0);
+        assert_eq!(eng.report().expired, 2);
+        assert!(eng.quiescent());
+    }
+
+    #[test]
+    fn report_has_no_reservations() {
+        let mut eng = engine(2);
+        eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        let d = eng.poll(micros(0)).unwrap();
+        eng.complete(d.worker, micros(1), micros(1));
+        let r = eng.report();
+        assert_eq!(r.policy, "c-FCFS");
+        assert_eq!(r.updates, 0);
+        assert_eq!(r.guaranteed, vec![0, 0]);
+    }
+}

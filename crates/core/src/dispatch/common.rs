@@ -1,0 +1,253 @@
+//! Worker-pool bookkeeping shared by every [`super::ScheduleEngine`]
+//! implementation: busy/free state, in-flight metadata, and the
+//! quarantine machinery of the overload-control subsystem.
+
+use crate::time::Nanos;
+use crate::types::{TypeId, WorkerId};
+
+/// Telemetry slot for `ty` (UNKNOWN and out-of-range types map to the
+/// registry's overflow slot at index `num_types`).
+#[inline]
+pub(crate) fn tslot(ty: TypeId, num_types: usize) -> usize {
+    if ty.is_unknown() {
+        num_types
+    } else {
+        ty.index().min(num_types)
+    }
+}
+
+/// Per-worker busy/free/quarantine accounting.
+///
+/// Every engine tracks the same three facts about a worker: whether it is
+/// busy (and with what), whether it is quarantined, and the cumulative
+/// quarantine/release counters. Keeping them in one struct means a new
+/// policy cannot get the free-count arithmetic subtly wrong.
+#[derive(Clone, Debug)]
+pub(crate) struct WorkerTable {
+    /// Per worker: the in-flight request's type, how long it queued (kept
+    /// so `complete` can record the full sojourn), and when it was
+    /// dispatched (so health checks can see how long it has been running).
+    busy: Vec<Option<(TypeId, Nanos, Nanos)>>,
+    free_count: usize,
+    /// Per worker: whether its in-flight request ran so far past its
+    /// type's profiled mean that the worker is presumed stalled.
+    quarantined: Vec<bool>,
+    quarantined_count: usize,
+    quarantines_total: u64,
+    releases_total: u64,
+}
+
+impl WorkerTable {
+    pub fn new(num_workers: usize) -> Self {
+        WorkerTable {
+            busy: vec![None; num_workers],
+            free_count: num_workers,
+            quarantined: vec![false; num_workers],
+            quarantined_count: 0,
+            quarantines_total: 0,
+            releases_total: 0,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    #[inline]
+    pub fn free_count(&self) -> usize {
+        self.free_count
+    }
+
+    #[inline]
+    pub fn is_free(&self, worker: usize) -> bool {
+        self.busy[worker].is_none()
+    }
+
+    /// The lowest-indexed free worker, if any.
+    #[inline]
+    pub fn first_free(&self) -> Option<WorkerId> {
+        self.busy
+            .iter()
+            .position(|b| b.is_none())
+            .map(|i| WorkerId::new(i as u32))
+    }
+
+    #[inline]
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined_count
+    }
+
+    #[inline]
+    pub fn is_quarantined(&self, worker: usize) -> bool {
+        self.quarantined.get(worker).copied().unwrap_or(false)
+    }
+
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines_total
+    }
+
+    pub fn releases(&self) -> u64 {
+        self.releases_total
+    }
+
+    /// Whether every worker is either idle or quarantined (the shutdown
+    /// quiescence condition: a stalled core must not wedge teardown).
+    #[inline]
+    pub fn quiescent(&self) -> bool {
+        self.free_count + self.quarantined_count == self.busy.len()
+    }
+
+    /// Marks `worker` busy with a request of type `ty`.
+    #[inline]
+    pub fn assign(&mut self, worker: WorkerId, ty: TypeId, queued_for: Nanos, now: Nanos) {
+        debug_assert!(self.busy[worker.index()].is_none());
+        self.busy[worker.index()] = Some((ty, queued_for, now));
+        self.free_count -= 1;
+    }
+
+    /// Frees `worker`, returning its in-flight metadata `(ty, queued_for,
+    /// started, released_from_quarantine)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` was not busy — a dispatcher/worker protocol
+    /// violation, not a recoverable condition.
+    #[inline]
+    pub fn complete(&mut self, worker: WorkerId) -> (TypeId, Nanos, Nanos, bool) {
+        let slot = self
+            .busy
+            .get_mut(worker.index())
+            .expect("worker id out of range");
+        let (ty, queued_for, started) = slot.take().expect("completion from an idle worker");
+        self.free_count += 1;
+        let mut released = false;
+        if self.quarantined[worker.index()] {
+            // The presumed-stalled worker answered after all: release it
+            // back into the free pool.
+            self.quarantined[worker.index()] = false;
+            self.quarantined_count -= 1;
+            self.releases_total += 1;
+            released = true;
+        }
+        (ty, queued_for, started, released)
+    }
+
+    /// Quarantines any busy worker whose in-flight request has run for
+    /// `factor ×` its type's estimated mean (floored at `min_stall`; types
+    /// without an estimate use `min_stall` alone). `on_quarantine(worker,
+    /// ty, running)` fires once per new quarantine, for telemetry.
+    pub fn check_health(
+        &mut self,
+        now: Nanos,
+        factor: f64,
+        min_stall: Nanos,
+        estimate_ns: impl Fn(TypeId) -> Option<f64>,
+        mut on_quarantine: impl FnMut(usize, TypeId, Nanos),
+    ) {
+        for w in 0..self.busy.len() {
+            if self.quarantined[w] {
+                continue;
+            }
+            let Some((ty, _queued_for, started)) = self.busy[w] else {
+                continue;
+            };
+            let running = now.saturating_sub(started);
+            let threshold = match estimate_ns(ty) {
+                Some(est) => Nanos::from_nanos((factor * est) as u64).max(min_stall),
+                None => min_stall,
+            };
+            if running > threshold {
+                self.quarantined[w] = true;
+                self.quarantined_count += 1;
+                self.quarantines_total += 1;
+                on_quarantine(w, ty, running);
+            }
+        }
+    }
+
+    /// Resizes the pool. Growing takes effect immediately; shrinking
+    /// requires the surrendered (highest-indexed) workers to be idle.
+    /// Returns `Err(())` without changes when shrinking would drop a busy
+    /// worker or `new_workers` is zero.
+    pub fn resize(&mut self, new_workers: usize) -> Result<(), ()> {
+        if new_workers == 0 {
+            return Err(());
+        }
+        let old = self.busy.len();
+        if new_workers < old && self.busy[new_workers..].iter().any(|b| b.is_some()) {
+            return Err(());
+        }
+        self.busy.resize(new_workers, None);
+        self.quarantined.resize(new_workers, false);
+        self.quarantined_count = self.quarantined.iter().filter(|q| **q).count();
+        self.free_count = self.busy.iter().filter(|b| b.is_none()).count();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_complete_roundtrip_tracks_free_count() {
+        let mut t = WorkerTable::new(2);
+        assert_eq!(t.free_count(), 2);
+        assert_eq!(t.first_free(), Some(WorkerId::new(0)));
+        t.assign(WorkerId::new(0), TypeId::new(1), Nanos::ZERO, Nanos::ZERO);
+        assert_eq!(t.free_count(), 1);
+        assert_eq!(t.first_free(), Some(WorkerId::new(1)));
+        assert!(!t.is_free(0));
+        let (ty, _, _, released) = t.complete(WorkerId::new(0));
+        assert_eq!(ty, TypeId::new(1));
+        assert!(!released);
+        assert_eq!(t.free_count(), 2);
+        assert!(t.quiescent());
+    }
+
+    #[test]
+    fn health_check_quarantines_and_release_counts() {
+        let mut t = WorkerTable::new(1);
+        t.assign(WorkerId::new(0), TypeId::new(0), Nanos::ZERO, Nanos::ZERO);
+        let mut fired = 0;
+        t.check_health(
+            Nanos::from_micros(100),
+            5.0,
+            Nanos::from_micros(1),
+            |_| Some(1_000.0),
+            |_, _, _| fired += 1,
+        );
+        assert_eq!(fired, 1);
+        assert!(t.is_quarantined(0));
+        assert!(t.quiescent(), "quarantined workers do not block shutdown");
+        // Re-checking never double-counts.
+        t.check_health(
+            Nanos::from_micros(101),
+            5.0,
+            Nanos::from_micros(1),
+            |_| Some(1_000.0),
+            |_, _, _| fired += 1,
+        );
+        assert_eq!(fired, 1);
+        assert_eq!(t.quarantines(), 1);
+        let (_, _, _, released) = t.complete(WorkerId::new(0));
+        assert!(released);
+        assert_eq!(t.releases(), 1);
+        assert_eq!(t.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn resize_guards_busy_workers() {
+        let mut t = WorkerTable::new(3);
+        t.assign(WorkerId::new(2), TypeId::new(0), Nanos::ZERO, Nanos::ZERO);
+        assert!(t.resize(2).is_err(), "cannot drop a busy worker");
+        assert!(t.resize(0).is_err());
+        let _ = t.complete(WorkerId::new(2));
+        t.resize(2).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.free_count(), 2);
+        t.resize(5).unwrap();
+        assert_eq!(t.free_count(), 5);
+    }
+}

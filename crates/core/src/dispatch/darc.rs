@@ -1,9 +1,9 @@
 //! The DARC dispatch engine (paper §3 Algorithm 1, §4.3.3).
 //!
-//! [`DarcEngine`] is the dispatcher's scheduling brain, shared verbatim by
-//! the discrete-event simulator and the threaded runtime. It owns the
-//! typed queues, the free-worker list, the workload profiler, and the
-//! current worker reservation, and implements:
+//! [`DarcEngine`] is the paper's contribution, shared verbatim by the
+//! discrete-event simulator and the threaded runtime. It owns the typed
+//! queues, the free-worker table, the workload profiler, and the current
+//! worker reservation, and implements:
 //!
 //! * **Algorithm 1** — walk typed queues in ascending profiled service
 //!   time; dispatch the head of the first non-empty queue onto a free
@@ -23,188 +23,14 @@ use std::sync::Arc;
 
 use persephone_telemetry::{DispatchKind, Telemetry};
 
-use crate::profile::{Profiler, ProfilerConfig};
+use super::common::{tslot, WorkerTable};
+use super::engine::{Dispatch, EngineReport, ScheduleEngine};
+use super::{EngineConfig, EngineMode, OverloadConfig};
+use crate::profile::Profiler;
 use crate::queue::TypedQueue;
 use crate::reserve::{reserve, Reservation, ReserveConfig};
 use crate::time::Nanos;
 use crate::types::{TypeId, WorkerId};
-
-/// How the engine schedules.
-#[derive(Clone, Debug)]
-pub enum EngineMode {
-    /// Full DARC: c-FCFS warm-up, then profiled dynamic reservations.
-    Dynamic,
-    /// A fixed, caller-provided reservation ("DARC-static", paper §5.3);
-    /// the profiler observes but never updates.
-    Static(Reservation),
-    /// Centralized FCFS over a single logical queue (baseline).
-    CFcfs,
-}
-
-/// Clamp for SLO-derived typed-queue capacities.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SloQueueBounds {
-    /// Smallest capacity ever installed (also used when a type has no
-    /// service estimate or no guaranteed cores yet).
-    pub min: usize,
-    /// Largest capacity ever installed.
-    pub max: usize,
-}
-
-impl Default for SloQueueBounds {
-    fn default() -> Self {
-        SloQueueBounds {
-            min: 8,
-            max: 65_536,
-        }
-    }
-}
-
-/// Overload-control knobs (deadline shedding, SLO-sized queues, worker
-/// quarantine). Everything defaults to *off* so a plain engine behaves
-/// exactly as before; [`OverloadConfig::enabled`] switches the full set on
-/// with paper-consistent defaults.
-#[derive(Clone, Copy, Debug)]
-pub struct OverloadConfig {
-    /// Deadline shedding: expire a head-of-queue request once its queueing
-    /// delay exceeds `deadline_slowdown ×` its type's profiled mean service
-    /// time (the slowdown-SLO deadline). `None` disables shedding.
-    pub deadline_slowdown: Option<f64>,
-    /// SLO-sized typed queues: on every reservation install, rebound each
-    /// typed queue at `slowdown_slo × guaranteed_cores` entries (clamped to
-    /// the bounds) so a queue never holds more than ~SLO worth of work.
-    /// `None` keeps the static `queue_capacity`.
-    pub slo_queues: Option<SloQueueBounds>,
-    /// Worker quarantine: a busy worker whose in-flight request has run for
-    /// `stall_factor ×` its type's profiled mean is quarantined until its
-    /// late completion arrives. `None` disables health checks.
-    pub stall_factor: Option<f64>,
-    /// Floor for the stall threshold; also the full threshold for types
-    /// without a service estimate (UNKNOWN included).
-    pub min_stall: Nanos,
-}
-
-impl Default for OverloadConfig {
-    fn default() -> Self {
-        OverloadConfig {
-            deadline_slowdown: None,
-            slo_queues: None,
-            stall_factor: None,
-            min_stall: Nanos::from_millis(1),
-        }
-    }
-}
-
-impl OverloadConfig {
-    /// All three mechanisms on: 10× slowdown-SLO deadlines (paper §4.3.3's
-    /// SLO), SLO-sized queues with default bounds, and quarantine at 10×
-    /// the profiled mean (floored at 1 ms).
-    pub fn enabled() -> Self {
-        OverloadConfig {
-            deadline_slowdown: Some(10.0),
-            slo_queues: Some(SloQueueBounds::default()),
-            stall_factor: Some(10.0),
-            min_stall: Nanos::from_millis(1),
-        }
-    }
-}
-
-/// Reservation tuning (δ, spillway count) for [`EngineConfig`].
-///
-/// Unlike [`ReserveConfig`], this carries *no* worker count: the engine
-/// derives it from [`EngineConfig::num_workers`] when it builds its
-/// internal `ReserveConfig`, so the two can never disagree (callers used
-/// to have to patch both fields by hand — a silent-misconfiguration
-/// footgun).
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct ReserveTuning {
-    /// Similarity factor `δ`: a type joins a group when its mean service
-    /// time is at most `δ ×` the group's first (shortest) member.
-    pub delta: f64,
-    /// Number of spillway cores (clamped to the worker count when the
-    /// engine is built; paper: 1).
-    pub spillway: usize,
-}
-
-impl Default for ReserveTuning {
-    /// The paper's defaults: `δ = 2`, one spillway core.
-    fn default() -> Self {
-        ReserveTuning {
-            delta: 2.0,
-            spillway: 1,
-        }
-    }
-}
-
-impl ReserveTuning {
-    /// Sets the grouping factor `δ`.
-    pub fn with_delta(mut self, delta: f64) -> Self {
-        self.delta = delta;
-        self
-    }
-
-    /// Sets the number of spillway cores.
-    pub fn with_spillway(mut self, spillway: usize) -> Self {
-        self.spillway = spillway;
-        self
-    }
-}
-
-/// Engine construction parameters.
-#[derive(Clone, Debug)]
-pub struct EngineConfig {
-    /// Number of application workers — the single source of truth; the
-    /// reservation algorithm's copy is derived from it.
-    pub num_workers: usize,
-    /// Reservation tuning (δ, spillway count).
-    pub reserve: ReserveTuning,
-    /// Profiler parameters (window size, triggers).
-    pub profiler: ProfilerConfig,
-    /// Per-type queue capacity; `0` = unbounded.
-    pub queue_capacity: usize,
-    /// Scheduling mode.
-    pub mode: EngineMode,
-    /// Overload-control knobs (all off by default).
-    pub overload: OverloadConfig,
-}
-
-impl EngineConfig {
-    /// A dynamic-DARC config with paper defaults for `num_workers` workers.
-    pub fn darc(num_workers: usize) -> Self {
-        EngineConfig {
-            num_workers,
-            reserve: ReserveTuning::default(),
-            profiler: ProfilerConfig::default(),
-            queue_capacity: 0,
-            mode: EngineMode::Dynamic,
-            overload: OverloadConfig::default(),
-        }
-    }
-
-    /// A centralized-FCFS config for `num_workers` workers.
-    pub fn cfcfs(num_workers: usize) -> Self {
-        EngineConfig {
-            mode: EngineMode::CFcfs,
-            ..EngineConfig::darc(num_workers)
-        }
-    }
-}
-
-/// One dispatch decision returned by [`DarcEngine::poll`].
-#[derive(Clone, Debug, PartialEq)]
-pub struct Dispatch<R> {
-    /// The worker the request must run on.
-    pub worker: WorkerId,
-    /// The request's type (possibly UNKNOWN).
-    pub ty: TypeId,
-    /// The opaque request payload.
-    pub req: R,
-    /// Time the request waited in its typed queue.
-    pub queued_for: Nanos,
-    /// How the request reached the worker (reserved core, cycle-steal,
-    /// spillway, or the c-FCFS path).
-    pub kind: DispatchKind,
-}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
@@ -214,7 +40,7 @@ enum Phase {
     Darc,
     /// DARC with a frozen reservation.
     Frozen,
-    /// Plain centralized FCFS forever.
+    /// Plain centralized FCFS forever (legacy `EngineMode::CFcfs`).
     CFcfs,
 }
 
@@ -246,18 +72,8 @@ pub struct DarcEngine<R> {
     queues: Vec<TypedQueue<R>>,
     unknown: TypedQueue<R>,
     seq: u64,
-    /// Per worker: the in-flight request's type, how long it queued (kept
-    /// so `complete` can record the full sojourn), and when it was
-    /// dispatched (so health checks can see how long it has been running).
-    worker_busy: Vec<Option<(TypeId, Nanos, Nanos)>>,
-    free_count: usize,
+    workers: WorkerTable,
     overload: OverloadConfig,
-    /// Per worker: whether its in-flight request ran so far past its
-    /// type's profiled mean that the worker is presumed stalled.
-    quarantined: Vec<bool>,
-    quarantined_count: usize,
-    quarantines_total: u64,
-    releases_total: u64,
     /// Deadline-expired requests awaiting pickup by the caller (answered
     /// with `Dropped` in the runtime, counted in the simulator).
     expired_buf: VecDeque<(TypeId, R)>,
@@ -300,13 +116,8 @@ impl<R> DarcEngine<R> {
             queues,
             unknown,
             seq: 0,
-            worker_busy: (0..cfg.num_workers).map(|_| None).collect(),
-            free_count: cfg.num_workers,
+            workers: WorkerTable::new(cfg.num_workers),
             overload: cfg.overload,
-            quarantined: vec![false; cfg.num_workers],
-            quarantined_count: 0,
-            quarantines_total: 0,
-            releases_total: 0,
             expired_buf: VecDeque::new(),
             expired_total: 0,
             reservation: Reservation::all_shared(num_types, cfg.num_workers),
@@ -324,6 +135,7 @@ impl<R> DarcEngine<R> {
             telemetry: None,
             last_demands: vec![0.0; num_types],
         };
+        #[allow(deprecated)] // legacy EngineMode::CFcfs still routes here
         match cfg.mode {
             EngineMode::CFcfs => {
                 eng.phase = Phase::CFcfs;
@@ -363,16 +175,12 @@ impl<R> DarcEngine<R> {
     /// Telemetry slot for `ty` (UNKNOWN and out-of-range types map to
     /// the registry's overflow slot).
     fn tslot(&self, ty: TypeId) -> usize {
-        if ty.is_unknown() {
-            self.num_types
-        } else {
-            (ty.index()).min(self.num_types)
-        }
+        tslot(ty, self.num_types)
     }
 
     /// Number of application workers.
     pub fn num_workers(&self) -> usize {
-        self.worker_busy.len()
+        self.workers.len()
     }
 
     /// Number of registered request types (excluding UNKNOWN).
@@ -402,31 +210,28 @@ impl<R> DarcEngine<R> {
 
     /// Workers currently idle.
     pub fn free_workers(&self) -> usize {
-        self.free_count
+        self.workers.free_count()
     }
 
     /// Workers currently quarantined (busy far past their type's profiled
     /// mean; excluded from the free pool until their completion arrives).
     pub fn quarantined_workers(&self) -> usize {
-        self.quarantined_count
+        self.workers.quarantined_count()
     }
 
     /// Whether `worker` is currently quarantined.
     pub fn is_quarantined(&self, worker: WorkerId) -> bool {
-        self.quarantined
-            .get(worker.index())
-            .copied()
-            .unwrap_or(false)
+        self.workers.is_quarantined(worker.index())
     }
 
     /// Quarantine events since start (cumulative).
     pub fn quarantines(&self) -> u64 {
-        self.quarantines_total
+        self.workers.quarantines()
     }
 
     /// Quarantine releases (late completions) since start.
     pub fn releases(&self) -> u64 {
-        self.releases_total
+        self.workers.releases()
     }
 
     /// Requests expired by deadline shedding or drained at teardown.
@@ -439,7 +244,7 @@ impl<R> DarcEngine<R> {
     /// answer; waiting on it would wedge teardown, which is exactly the
     /// failure mode this subsystem removes.
     pub fn quiescent(&self) -> bool {
-        self.free_count + self.quarantined_count == self.num_workers()
+        self.workers.quiescent()
     }
 
     /// Queued requests of type `ty` (UNKNOWN supported).
@@ -506,17 +311,7 @@ impl<R> DarcEngine<R> {
     /// worker or `new_workers` is zero.
     #[allow(clippy::result_unit_err)]
     pub fn resize(&mut self, new_workers: usize) -> Result<(), ()> {
-        if new_workers == 0 {
-            return Err(());
-        }
-        let old = self.worker_busy.len();
-        if new_workers < old && self.worker_busy[new_workers..].iter().any(|b| b.is_some()) {
-            return Err(());
-        }
-        self.worker_busy.resize(new_workers, None);
-        self.quarantined.resize(new_workers, false);
-        self.quarantined_count = self.quarantined.iter().filter(|q| **q).count();
-        self.free_count = self.worker_busy.iter().filter(|b| b.is_none()).count();
+        self.workers.resize(new_workers)?;
         self.reserve_cfg.num_workers = new_workers;
         match self.phase {
             Phase::Darc => {
@@ -574,7 +369,7 @@ impl<R> DarcEngine<R> {
     ///
     /// Call in a loop after every enqueue/complete until it returns `None`.
     pub fn poll(&mut self, now: Nanos) -> Option<Dispatch<R>> {
-        if self.free_count == 0 {
+        if self.workers.free_count() == 0 {
             return None;
         }
         match self.phase {
@@ -592,18 +387,8 @@ impl<R> DarcEngine<R> {
     /// Panics if `worker` was not busy — that is a dispatcher/worker
     /// protocol violation, not a recoverable condition.
     pub fn complete(&mut self, worker: WorkerId, service: Nanos, now: Nanos) {
-        let slot = self
-            .worker_busy
-            .get_mut(worker.index())
-            .expect("worker id out of range");
-        let (ty, queued_for, started) = slot.take().expect("completion from an idle worker");
-        self.free_count += 1;
-        if self.quarantined[worker.index()] {
-            // The presumed-stalled worker answered after all: release it
-            // back into the free pool.
-            self.quarantined[worker.index()] = false;
-            self.quarantined_count -= 1;
-            self.releases_total += 1;
+        let (ty, queued_for, started, released) = self.workers.complete(worker);
+        if released {
             if let Some(t) = &self.telemetry {
                 t.record_release(
                     worker.index(),
@@ -674,27 +459,25 @@ impl<R> DarcEngine<R> {
         let Some(factor) = self.overload.stall_factor else {
             return;
         };
-        for w in 0..self.worker_busy.len() {
-            if self.quarantined[w] {
-                continue;
-            }
-            let Some((ty, _queued_for, started)) = self.worker_busy[w] else {
-                continue;
-            };
-            let running = now.saturating_sub(started);
-            let threshold = match self.profiler.estimate_ns(ty) {
-                Some(est) => Nanos::from_nanos((factor * est) as u64).max(self.overload.min_stall),
-                None => self.overload.min_stall,
-            };
-            if running > threshold {
-                self.quarantined[w] = true;
-                self.quarantined_count += 1;
-                self.quarantines_total += 1;
-                if let Some(t) = &self.telemetry {
-                    t.record_quarantine(w, self.tslot(ty), running.as_nanos(), now.as_nanos());
+        let profiler = &self.profiler;
+        let telemetry = &self.telemetry;
+        let num_types = self.num_types;
+        self.workers.check_health(
+            now,
+            factor,
+            self.overload.min_stall,
+            |ty| profiler.estimate_ns(ty),
+            |w, ty, running| {
+                if let Some(t) = telemetry {
+                    t.record_quarantine(
+                        w,
+                        tslot(ty, num_types),
+                        running.as_nanos(),
+                        now.as_nanos(),
+                    );
                 }
-            }
-        }
+            },
+        );
     }
 
     /// Drains every typed queue (shutdown teardown), counting each entry
@@ -857,7 +640,7 @@ impl<R> DarcEngine<R> {
     /// Centralized FCFS: dispatch the globally oldest pending request to
     /// any free worker.
     fn poll_fcfs(&mut self, now: Nanos) -> Option<Dispatch<R>> {
-        let worker = self.any_free_worker()?;
+        let worker = self.workers.first_free()?;
         // Find the queue whose head has the smallest sequence number.
         let mut best: Option<(u64, usize)> = None; // (seq, queue index; num_types = UNKNOWN)
         for (i, q) in self.queues.iter().enumerate() {
@@ -942,21 +725,24 @@ impl<R> DarcEngine<R> {
             .reserved
             .iter()
             .copied()
-            .find(|w| self.worker_busy[w.index()].is_none())
+            .find(|w| self.workers.is_free(w.index()))
         {
             return Some((w, DispatchKind::Reserved));
         }
         g.stealable
             .iter()
             .copied()
-            .find(|w| self.worker_busy[w.index()].is_none())
+            .find(|w| self.workers.is_free(w.index()))
             .map(|w| (w, DispatchKind::Stolen))
     }
 
     /// Whether group `gi` has reserved cores and every one is quarantined.
     fn group_reserved_all_quarantined(&self, gi: usize) -> bool {
         let g = &self.reservation.groups[gi];
-        !g.reserved.is_empty() && g.reserved.iter().all(|w| self.quarantined[w.index()])
+        !g.reserved.is_empty()
+            && g.reserved
+                .iter()
+                .all(|w| self.workers.is_quarantined(w.index()))
     }
 
     fn free_spillway(&self) -> Option<WorkerId> {
@@ -964,14 +750,7 @@ impl<R> DarcEngine<R> {
             .spillway
             .iter()
             .copied()
-            .find(|w| self.worker_busy[w.index()].is_none())
-    }
-
-    fn any_free_worker(&self) -> Option<WorkerId> {
-        self.worker_busy
-            .iter()
-            .position(|b| b.is_none())
-            .map(|i| WorkerId::new(i as u32))
+            .find(|w| self.workers.is_free(w.index()))
     }
 
     fn assign(
@@ -982,10 +761,8 @@ impl<R> DarcEngine<R> {
         now: Nanos,
         kind: DispatchKind,
     ) -> Dispatch<R> {
-        debug_assert!(self.worker_busy[worker.index()].is_none());
         let queued_for = now.saturating_sub(entry.enqueued);
-        self.worker_busy[worker.index()] = Some((ty, queued_for, now));
-        self.free_count -= 1;
+        self.workers.assign(worker, ty, queued_for, now);
         self.profiler.record_dispatch_delay(ty, queued_for);
         if let Some(t) = &self.telemetry {
             t.record_dispatch(self.tslot(ty), worker.index(), kind, now.as_nanos());
@@ -1000,8 +777,100 @@ impl<R> DarcEngine<R> {
     }
 }
 
+impl<R: Send> ScheduleEngine<R> for DarcEngine<R> {
+    fn policy_name(&self) -> &'static str {
+        "DARC"
+    }
+
+    fn num_workers(&self) -> usize {
+        DarcEngine::num_workers(self)
+    }
+
+    fn num_types(&self) -> usize {
+        DarcEngine::num_types(self)
+    }
+
+    fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        DarcEngine::set_telemetry(self, telemetry)
+    }
+
+    fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        DarcEngine::telemetry(self)
+    }
+
+    fn enqueue(&mut self, ty: TypeId, req: R, now: Nanos) -> Result<(), R> {
+        DarcEngine::enqueue(self, ty, req, now)
+    }
+
+    fn poll(&mut self, now: Nanos) -> Option<Dispatch<R>> {
+        DarcEngine::poll(self, now)
+    }
+
+    fn complete(&mut self, worker: WorkerId, service: Nanos, now: Nanos) {
+        DarcEngine::complete(self, worker, service, now)
+    }
+
+    fn expire_heads(&mut self, now: Nanos) {
+        DarcEngine::expire_heads(self, now)
+    }
+
+    fn take_expired(&mut self) -> Option<(TypeId, R)> {
+        DarcEngine::take_expired(self)
+    }
+
+    fn check_health(&mut self, now: Nanos) {
+        DarcEngine::check_health(self, now)
+    }
+
+    fn is_quarantined(&self, worker: WorkerId) -> bool {
+        DarcEngine::is_quarantined(self, worker)
+    }
+
+    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
+        DarcEngine::drain_all(self, now)
+    }
+
+    fn quiescent(&self) -> bool {
+        DarcEngine::quiescent(self)
+    }
+
+    fn free_workers(&self) -> usize {
+        DarcEngine::free_workers(self)
+    }
+
+    fn pending(&self, ty: TypeId) -> usize {
+        DarcEngine::pending(self, ty)
+    }
+
+    fn total_pending(&self) -> usize {
+        DarcEngine::total_pending(self)
+    }
+
+    fn drops(&self, ty: TypeId) -> u64 {
+        DarcEngine::drops(self, ty)
+    }
+
+    fn total_drops(&self) -> u64 {
+        DarcEngine::total_drops(self)
+    }
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            policy: "DARC",
+            updates: self.updates,
+            quarantines: self.workers.quarantines(),
+            releases: self.workers.releases(),
+            expired: self.expired_total,
+            guaranteed: (0..self.num_types)
+                .map(|i| self.guaranteed_workers(TypeId::new(i as u32)))
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::super::{ReserveTuning, SloQueueBounds};
     use super::*;
 
     fn micros(n: u64) -> Nanos {
@@ -1073,6 +942,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn fcfs_mode_respects_global_arrival_order() {
         let mut eng: DarcEngine<u32> = DarcEngine::new(EngineConfig::cfcfs(1), 2, &[None, None]);
         let now = micros(0);
@@ -1384,6 +1254,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn dispatch_kinds_distinguish_reserved_from_stolen() {
         let mut eng = hinted_engine(4);
         let now = micros(0);
@@ -1603,5 +1474,24 @@ mod tests {
         }
         assert!(eng.updates() > updates_before, "reservation must adapt");
         assert_eq!(eng.total_pending(), 0, "the backlog must fully drain");
+    }
+
+    #[test]
+    fn trait_report_matches_inherent_counters() {
+        let mut eng = hinted_engine(4);
+        let now = micros(0);
+        eng.enqueue(TypeId::new(0), 1, now).unwrap();
+        let d = eng.poll(now).unwrap();
+        eng.complete(d.worker, micros(1), micros(1));
+        let report = ScheduleEngine::report(&eng);
+        assert_eq!(report.policy, "DARC");
+        assert_eq!(report.updates, eng.updates());
+        assert_eq!(
+            report.guaranteed,
+            vec![
+                eng.guaranteed_workers(TypeId::new(0)),
+                eng.guaranteed_workers(TypeId::new(1))
+            ]
+        );
     }
 }

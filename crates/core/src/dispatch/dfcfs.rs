@@ -1,0 +1,386 @@
+//! Decentralized first-come-first-served (paper Table 1's d-FCFS).
+//!
+//! Each worker owns a private FIFO queue; arrivals are steered to a
+//! uniformly random worker at enqueue time, modelling RSS-style NIC
+//! steering with no centralized dispatch decision at all. A request
+//! committed to a busy worker waits there even while other workers idle —
+//! the dispersion-based baseline whose tail the paper's Figure 1 opens
+//! with.
+//!
+//! The engine carries its own tiny deterministic RNG (splitmix64) so runs
+//! are reproducible and `persephone-core` stays dependency-free; seed it
+//! via [`DfcfsEngine::with_seed`].
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use persephone_telemetry::{DispatchKind, Telemetry};
+
+use super::common::{tslot, WorkerTable};
+use super::engine::{Dispatch, EngineReport, ScheduleEngine};
+use super::EngineConfig;
+use crate::profile::Profiler;
+use crate::time::Nanos;
+use crate::types::{TypeId, WorkerId};
+
+struct Entry<R> {
+    ty: TypeId,
+    req: R,
+    enqueued: Nanos,
+}
+
+/// Deterministic splitmix64 stream for steering decisions.
+#[derive(Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)` via the multiply-shift reduction.
+    fn next_below(&mut self, n: u64) -> u64 {
+        ((self.next() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Decentralized FCFS with random per-worker steering.
+pub struct DfcfsEngine<R> {
+    /// One private FIFO per worker.
+    queues: Vec<VecDeque<Entry<R>>>,
+    /// Per-queue capacity (`0` = unbounded).
+    capacity: usize,
+    rng: SplitMix64,
+    workers: WorkerTable,
+    profiler: Profiler,
+    stall_factor: Option<f64>,
+    min_stall: Nanos,
+    /// Per telemetry slot (`num_types` = UNKNOWN): queued entries, drops.
+    pending: Vec<usize>,
+    drops: Vec<u64>,
+    expired_total: u64,
+    num_types: usize,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl<R> DfcfsEngine<R> {
+    /// Creates a d-FCFS engine for `num_types` request types with the
+    /// default steering seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_workers == 0` or `hints.len() != num_types`.
+    pub fn new(cfg: EngineConfig, num_types: usize, hints: &[Option<Nanos>]) -> Self {
+        assert!(cfg.num_workers > 0, "need at least one worker");
+        DfcfsEngine {
+            queues: (0..cfg.num_workers).map(|_| VecDeque::new()).collect(),
+            capacity: cfg.queue_capacity,
+            rng: SplitMix64(0xD15_EA5E),
+            workers: WorkerTable::new(cfg.num_workers),
+            profiler: Profiler::new(cfg.profiler, num_types, hints),
+            stall_factor: cfg.overload.stall_factor,
+            min_stall: cfg.overload.min_stall,
+            pending: vec![0; num_types + 1],
+            drops: vec![0; num_types + 1],
+            expired_total: 0,
+            num_types,
+            telemetry: None,
+        }
+    }
+
+    /// Reseeds the steering RNG (for reproducible experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = SplitMix64(seed);
+        self
+    }
+
+    /// The workload profiler (read-only view).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+}
+
+impl<R: Send> ScheduleEngine<R> for DfcfsEngine<R> {
+    fn policy_name(&self) -> &'static str {
+        "d-FCFS"
+    }
+
+    fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    fn enqueue(&mut self, ty: TypeId, req: R, now: Nanos) -> Result<(), R> {
+        self.profiler.record_arrival(ty);
+        let slot = tslot(ty, self.num_types);
+        if let Some(t) = &self.telemetry {
+            t.record_arrival(slot);
+        }
+        // The steering decision is made at arrival and never revisited —
+        // that commitment is the whole policy.
+        let w = self.rng.next_below(self.queues.len() as u64) as usize;
+        if self.capacity != 0 && self.queues[w].len() >= self.capacity {
+            self.drops[slot] += 1;
+            if let Some(t) = &self.telemetry {
+                t.record_drop(slot, self.queues[w].len() as u64, now.as_nanos());
+            }
+            return Err(req);
+        }
+        self.queues[w].push_back(Entry {
+            ty,
+            req,
+            enqueued: now,
+        });
+        self.pending[slot] += 1;
+        if let Some(t) = &self.telemetry {
+            t.record_queue_depth(slot, self.queues[w].len() as u64);
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self, now: Nanos) -> Option<Dispatch<R>> {
+        if self.workers.free_count() == 0 {
+            return None;
+        }
+        let w = (0..self.queues.len()).find(|&w| {
+            self.workers.is_free(w) && !self.workers.is_quarantined(w) && !self.queues[w].is_empty()
+        })?;
+        let entry = self.queues[w].pop_front().unwrap();
+        self.pending[tslot(entry.ty, self.num_types)] -= 1;
+        let worker = WorkerId::new(w as u32);
+        let queued_for = now.saturating_sub(entry.enqueued);
+        self.workers.assign(worker, entry.ty, queued_for, now);
+        self.profiler.record_dispatch_delay(entry.ty, queued_for);
+        if let Some(t) = &self.telemetry {
+            t.record_dispatch(
+                tslot(entry.ty, self.num_types),
+                w,
+                DispatchKind::Fcfs,
+                now.as_nanos(),
+            );
+        }
+        Some(Dispatch {
+            worker,
+            ty: entry.ty,
+            req: entry.req,
+            queued_for,
+            kind: DispatchKind::Fcfs,
+        })
+    }
+
+    fn complete(&mut self, worker: WorkerId, service: Nanos, now: Nanos) {
+        let (ty, queued_for, started, released) = self.workers.complete(worker);
+        if released {
+            if let Some(t) = &self.telemetry {
+                t.record_release(
+                    worker.index(),
+                    now.saturating_sub(started).as_nanos(),
+                    now.as_nanos(),
+                );
+            }
+        }
+        self.profiler.record_completion(ty, service);
+        if let Some(t) = &self.telemetry {
+            let sojourn = queued_for.saturating_add(service);
+            t.record_completion(
+                tslot(ty, self.num_types),
+                worker.index(),
+                sojourn.as_nanos(),
+                service.as_nanos(),
+            );
+        }
+        if self.profiler.window_full() {
+            let _ = self.profiler.commit_window();
+        }
+    }
+
+    fn expire_heads(&mut self, _now: Nanos) {
+        // A d-FCFS request is already committed to its worker; there is no
+        // dispatcher-side queue whose head could meaningfully be shed.
+    }
+
+    fn take_expired(&mut self) -> Option<(TypeId, R)> {
+        None
+    }
+
+    fn check_health(&mut self, now: Nanos) {
+        let Some(factor) = self.stall_factor else {
+            return;
+        };
+        let profiler = &self.profiler;
+        let telemetry = &self.telemetry;
+        let num_types = self.num_types;
+        self.workers.check_health(
+            now,
+            factor,
+            self.min_stall,
+            |ty| profiler.estimate_ns(ty),
+            |w, ty, running| {
+                if let Some(t) = telemetry {
+                    t.record_quarantine(
+                        w,
+                        tslot(ty, num_types),
+                        running.as_nanos(),
+                        now.as_nanos(),
+                    );
+                }
+            },
+        );
+    }
+
+    fn is_quarantined(&self, worker: WorkerId) -> bool {
+        self.workers.is_quarantined(worker.index())
+    }
+
+    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
+        let mut out = Vec::new();
+        for w in 0..self.queues.len() {
+            while let Some(e) = self.queues[w].pop_front() {
+                let waited = now.saturating_sub(e.enqueued);
+                self.pending[tslot(e.ty, self.num_types)] -= 1;
+                self.expired_total += 1;
+                if let Some(t) = &self.telemetry {
+                    t.record_expired(
+                        tslot(e.ty, self.num_types),
+                        waited.as_nanos(),
+                        now.as_nanos(),
+                    );
+                }
+                out.push((e.ty, e.req));
+            }
+        }
+        out
+    }
+
+    fn quiescent(&self) -> bool {
+        self.workers.quiescent()
+    }
+
+    fn free_workers(&self) -> usize {
+        self.workers.free_count()
+    }
+
+    fn pending(&self, ty: TypeId) -> usize {
+        self.pending[tslot(ty, self.num_types)]
+    }
+
+    fn total_pending(&self) -> usize {
+        self.pending.iter().sum()
+    }
+
+    fn drops(&self, ty: TypeId) -> u64 {
+        self.drops[tslot(ty, self.num_types)]
+    }
+
+    fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            policy: "d-FCFS",
+            updates: 0,
+            quarantines: self.workers.quarantines(),
+            releases: self.workers.releases(),
+            expired: self.expired_total,
+            guaranteed: vec![0; self.num_types],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(n: u64) -> Nanos {
+        Nanos::from_micros(n)
+    }
+
+    fn engine(workers: usize, seed: u64) -> DfcfsEngine<u32> {
+        DfcfsEngine::new(EngineConfig::darc(workers), 2, &[None, None]).with_seed(seed)
+    }
+
+    #[test]
+    fn steering_is_deterministic_per_seed() {
+        let drive = |seed: u64| -> Vec<(u32, u32)> {
+            let mut eng = engine(4, seed);
+            let mut placements = Vec::new();
+            for i in 0..16 {
+                eng.enqueue(TypeId::new(0), i, micros(i as u64)).unwrap();
+            }
+            // Complete after each dispatch so every committed entry drains
+            // and the full request→worker assignment is observable.
+            while let Some(d) = eng.poll(micros(20)) {
+                placements.push((d.req, d.worker.index() as u32));
+                eng.complete(d.worker, micros(1), micros(21));
+            }
+            placements
+        };
+        assert_eq!(drive(7), drive(7));
+        assert_ne!(drive(7), drive(8), "different seeds steer differently");
+    }
+
+    #[test]
+    fn committed_request_waits_for_its_worker() {
+        let mut eng = engine(2, 1);
+        // Steer enough arrivals that some worker queue holds ≥ 2 entries.
+        for i in 0..8 {
+            eng.enqueue(TypeId::new(0), i, micros(0)).unwrap();
+        }
+        // Dispatch one per worker: both busy now.
+        let d0 = eng.poll(micros(1)).unwrap();
+        let d1 = eng.poll(micros(1)).unwrap();
+        assert_ne!(d0.worker, d1.worker);
+        assert!(eng.poll(micros(1)).is_none(), "remaining work is committed");
+        // Freeing one worker releases only that worker's queue head.
+        eng.complete(d0.worker, micros(1), micros(2));
+        let d2 = eng.poll(micros(2)).unwrap();
+        assert_eq!(d2.worker, d0.worker);
+    }
+
+    #[test]
+    fn per_worker_flow_control() {
+        let mut cfg = EngineConfig::darc(2);
+        cfg.queue_capacity = 1;
+        let mut eng: DfcfsEngine<u32> = DfcfsEngine::new(cfg, 2, &[None, None]).with_seed(3);
+        let mut dropped = 0;
+        for i in 0..32 {
+            if eng.enqueue(TypeId::new(0), i, micros(0)).is_err() {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "bounded per-worker queues must shed");
+        assert_eq!(eng.total_drops(), dropped);
+        assert_eq!(eng.total_pending(), 2, "one entry per worker queue");
+    }
+
+    #[test]
+    fn drains_and_reports() {
+        let mut eng = engine(2, 5);
+        for i in 0..6 {
+            eng.enqueue(TypeId::new(i % 2), i, micros(0)).unwrap();
+        }
+        let n = eng.total_pending();
+        let drained = eng.drain_all(micros(1));
+        assert_eq!(drained.len(), n);
+        assert_eq!(eng.total_pending(), 0);
+        let r = eng.report();
+        assert_eq!(r.policy, "d-FCFS");
+        assert_eq!(r.expired, n as u64);
+    }
+}

@@ -1,0 +1,160 @@
+//! The [`ScheduleEngine`] trait: one dispatch abstraction for every
+//! scheduling policy.
+//!
+//! The dispatcher loop (threaded runtime) and the discrete-event
+//! simulator both drive a scheduling engine through the same verbs:
+//!
+//! * [`ScheduleEngine::enqueue`] — admit a classified request (or shed it
+//!   via flow control),
+//! * [`ScheduleEngine::poll`] — ask for the next placement decision,
+//! * [`ScheduleEngine::complete`] — return a worker to the pool and feed
+//!   profiling,
+//! * [`ScheduleEngine::expire_heads`] / [`ScheduleEngine::check_health`] —
+//!   overload control (deadline shedding, worker quarantine),
+//! * [`ScheduleEngine::drain_all`] — orderly teardown,
+//! * [`ScheduleEngine::report`] — the end-of-run counters every engine
+//!   can answer.
+//!
+//! [`super::DarcEngine`] is the paper's contribution; [`super::CfcfsEngine`],
+//! [`super::SjfEngine`], [`super::FixedPriorityEngine`], and
+//! [`super::DfcfsEngine`] are the baselines of Tables 1 and 5, now running
+//! on the same serving stack. The runtime's hot loop is generic over
+//! `E: ScheduleEngine<Pending>` (monomorphized per policy); `Box<dyn
+//! ScheduleEngine<R>>` exists for configuration-time construction via
+//! [`super::build_engine`].
+
+use std::sync::Arc;
+
+use persephone_telemetry::{DispatchKind, Telemetry};
+
+use crate::time::Nanos;
+use crate::types::{TypeId, WorkerId};
+
+/// One dispatch decision returned by [`ScheduleEngine::poll`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dispatch<R> {
+    /// The worker the request must run on.
+    pub worker: WorkerId,
+    /// The request's type (possibly UNKNOWN).
+    pub ty: TypeId,
+    /// The opaque request payload.
+    pub req: R,
+    /// Time the request waited in its queue.
+    pub queued_for: Nanos,
+    /// How the request reached the worker (reserved core, cycle-steal,
+    /// spillway, or a plain FCFS-style placement).
+    pub kind: DispatchKind,
+}
+
+/// End-of-run counters every engine can answer, regardless of policy.
+///
+/// Policies without a concept report zero (e.g. a c-FCFS engine never
+/// installs reservations, so `updates == 0` and `guaranteed` is all
+/// zeros); the dispatcher folds this into its own
+/// `DispatcherReport` without knowing which engine ran.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Short policy name ("DARC", "c-FCFS", "SJF", ...).
+    pub policy: &'static str,
+    /// Reservation updates installed (DARC only; 0 elsewhere).
+    pub updates: u64,
+    /// Workers quarantined by the wall-clock health check.
+    pub quarantines: u64,
+    /// Quarantined workers released by their late completion.
+    pub releases: u64,
+    /// Requests expired by deadline shedding or drained at teardown.
+    pub expired: u64,
+    /// Guaranteed (reserved) cores per type (all zeros for policies
+    /// without reservations).
+    pub guaranteed: Vec<usize>,
+}
+
+/// A pluggable scheduling engine: the dispatcher's policy brain.
+///
+/// `R` is the opaque request representation — a buffer pointer in the
+/// threaded runtime, a small token in the simulator. Implementations must
+/// be `Send` so a dispatcher thread can own one.
+///
+/// # Contract
+///
+/// * `poll` is called in a loop after every `enqueue`/`complete` until it
+///   returns `None`; it must only place requests on free, non-quarantined
+///   workers and must mark the chosen worker busy.
+/// * `complete(worker, ..)` panics if `worker` was not busy — that is a
+///   dispatcher/worker protocol violation, not a recoverable condition.
+/// * `expire_heads` and `check_health` are called once per dispatcher
+///   iteration and must be no-ops when the corresponding
+///   [`super::OverloadConfig`] knob is off.
+/// * `quiescent` must treat quarantined workers as *not* pending so a
+///   stalled core cannot wedge shutdown.
+pub trait ScheduleEngine<R>: Send {
+    /// Short display name of the policy ("DARC", "c-FCFS", "SJF", ...).
+    fn policy_name(&self) -> &'static str;
+
+    /// Number of application workers.
+    fn num_workers(&self) -> usize;
+
+    /// Number of registered request types (excluding UNKNOWN).
+    fn num_types(&self) -> usize;
+
+    /// Attaches a telemetry registry: from here on the engine records
+    /// arrivals, queue depths, dispatch kinds, sojourns, and drops into it.
+    fn set_telemetry(&mut self, telemetry: Arc<Telemetry>);
+
+    /// The attached telemetry registry, if any.
+    fn telemetry(&self) -> Option<&Arc<Telemetry>>;
+
+    /// Enqueues a classified request; returns it back when flow control
+    /// rejects it (the caller should count/drop it). Types out of the
+    /// registered range are treated as UNKNOWN.
+    fn enqueue(&mut self, ty: TypeId, req: R, now: Nanos) -> Result<(), R>;
+
+    /// Returns the next dispatch decision, or `None` when no request can
+    /// be placed (no pending work, or no eligible free worker).
+    fn poll(&mut self, now: Nanos) -> Option<Dispatch<R>>;
+
+    /// Signals that `worker` finished its request, observed to run for
+    /// `service`. Frees the worker and feeds the profiler.
+    fn complete(&mut self, worker: WorkerId, service: Nanos, now: Nanos);
+
+    /// Deadline shedding: expires queued requests whose queueing delay
+    /// exceeds the slowdown-SLO deadline, moving them to the expired
+    /// buffer drained by [`ScheduleEngine::take_expired`].
+    fn expire_heads(&mut self, now: Nanos);
+
+    /// Takes the next deadline-expired request, if any.
+    fn take_expired(&mut self) -> Option<(TypeId, R)>;
+
+    /// Worker-health check: quarantines any busy worker whose in-flight
+    /// request has run far past its type's profiled mean.
+    fn check_health(&mut self, now: Nanos);
+
+    /// Whether `worker` is currently quarantined.
+    fn is_quarantined(&self, worker: WorkerId) -> bool;
+
+    /// Drains every queue (shutdown teardown), returning all entries so
+    /// the caller can answer each with `Dropped`.
+    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)>;
+
+    /// Whether every worker is either idle or quarantined — the engine's
+    /// quiescence condition for shutdown.
+    fn quiescent(&self) -> bool;
+
+    /// Workers currently idle (and dispatchable).
+    fn free_workers(&self) -> usize;
+
+    /// Queued requests of type `ty` (UNKNOWN supported).
+    fn pending(&self, ty: TypeId) -> usize;
+
+    /// Total queued requests across all types.
+    fn total_pending(&self) -> usize;
+
+    /// Requests dropped by flow control for type `ty`.
+    fn drops(&self, ty: TypeId) -> u64;
+
+    /// Total drops across all queues.
+    fn total_drops(&self) -> u64;
+
+    /// End-of-run counters (policy name, updates, quarantines, ...).
+    fn report(&self) -> EngineReport;
+}

@@ -1,0 +1,372 @@
+//! Fixed-priority scheduling (paper Table 1's FP).
+//!
+//! Typed queues served in a strict priority order fixed at construction:
+//! ascending hinted mean service time, so shorter types always dispatch
+//! before longer ones. Work conserving — any free worker takes the
+//! highest-priority head — which is exactly why FP starves long requests
+//! under short-heavy load (the contrast DARC's reservations exist to fix).
+//! Unhinted types sort after hinted ones (by index); UNKNOWN runs last.
+//!
+//! Unlike [`super::SjfEngine`], the order never adapts: FP is the static
+//! operator-configured policy of the taxonomy.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use persephone_telemetry::{DispatchKind, Telemetry};
+
+use super::common::{tslot, WorkerTable};
+use super::engine::{Dispatch, EngineReport, ScheduleEngine};
+use super::EngineConfig;
+use crate::profile::Profiler;
+use crate::queue::TypedQueue;
+use crate::time::Nanos;
+use crate::types::{TypeId, WorkerId};
+
+/// Strict fixed-priority over hinted type service times.
+pub struct FixedPriorityEngine<R> {
+    queues: Vec<TypedQueue<R>>,
+    unknown: TypedQueue<R>,
+    seq: u64,
+    /// Queue indices in dispatch order (highest priority first).
+    order: Vec<usize>,
+    workers: WorkerTable,
+    profiler: Profiler,
+    deadline_slowdown: Option<f64>,
+    stall_factor: Option<f64>,
+    min_stall: Nanos,
+    expired_buf: VecDeque<(TypeId, R)>,
+    expired_total: u64,
+    num_types: usize,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl<R> FixedPriorityEngine<R> {
+    /// Creates an FP engine whose priority order is the ascending sort of
+    /// `hints` (unhinted types last, then by index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_workers == 0` or `hints.len() != num_types`.
+    pub fn new(cfg: EngineConfig, num_types: usize, hints: &[Option<Nanos>]) -> Self {
+        assert!(cfg.num_workers > 0, "need at least one worker");
+        let mut order: Vec<usize> = (0..num_types).collect();
+        order.sort_by_key(|&i| (hints[i].is_none(), hints[i], i));
+        FixedPriorityEngine {
+            queues: (0..num_types)
+                .map(|_| TypedQueue::new(cfg.queue_capacity))
+                .collect(),
+            unknown: TypedQueue::new(cfg.queue_capacity),
+            seq: 0,
+            order,
+            workers: WorkerTable::new(cfg.num_workers),
+            profiler: Profiler::new(cfg.profiler, num_types, hints),
+            deadline_slowdown: cfg.overload.deadline_slowdown,
+            stall_factor: cfg.overload.stall_factor,
+            min_stall: cfg.overload.min_stall,
+            expired_buf: VecDeque::new(),
+            expired_total: 0,
+            num_types,
+            telemetry: None,
+        }
+    }
+
+    /// The fixed dispatch order (queue indices, highest priority first).
+    pub fn priority_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The workload profiler (read-only view).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+}
+
+impl<R: Send> ScheduleEngine<R> for FixedPriorityEngine<R> {
+    fn policy_name(&self) -> &'static str {
+        "FP"
+    }
+
+    fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    fn enqueue(&mut self, ty: TypeId, req: R, now: Nanos) -> Result<(), R> {
+        self.profiler.record_arrival(ty);
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = tslot(ty, self.num_types);
+        let q = if !ty.is_unknown() && ty.index() < self.queues.len() {
+            &mut self.queues[ty.index()]
+        } else {
+            &mut self.unknown
+        };
+        let depth_if_full = q.len() as u64;
+        let result = q.push(req, now, seq);
+        if let Some(t) = &self.telemetry {
+            t.record_arrival(slot);
+            match &result {
+                Ok(()) => t.record_queue_depth(slot, depth_if_full + 1),
+                Err(_) => t.record_drop(slot, depth_if_full, now.as_nanos()),
+            }
+        }
+        result
+    }
+
+    fn poll(&mut self, now: Nanos) -> Option<Dispatch<R>> {
+        if self.workers.free_count() == 0 {
+            return None;
+        }
+        let qi = self
+            .order
+            .iter()
+            .copied()
+            .find(|&i| !self.queues[i].is_empty())
+            .or_else(|| (!self.unknown.is_empty()).then_some(self.num_types))?;
+        let worker = self.workers.first_free()?;
+        let (ty, entry) = if qi == self.num_types {
+            (TypeId::UNKNOWN, self.unknown.pop().unwrap())
+        } else {
+            (TypeId::new(qi as u32), self.queues[qi].pop().unwrap())
+        };
+        let queued_for = now.saturating_sub(entry.enqueued);
+        self.workers.assign(worker, ty, queued_for, now);
+        self.profiler.record_dispatch_delay(ty, queued_for);
+        if let Some(t) = &self.telemetry {
+            t.record_dispatch(
+                tslot(ty, self.num_types),
+                worker.index(),
+                DispatchKind::Fcfs,
+                now.as_nanos(),
+            );
+        }
+        Some(Dispatch {
+            worker,
+            ty,
+            req: entry.req,
+            queued_for,
+            kind: DispatchKind::Fcfs,
+        })
+    }
+
+    fn complete(&mut self, worker: WorkerId, service: Nanos, now: Nanos) {
+        let (ty, queued_for, started, released) = self.workers.complete(worker);
+        if released {
+            if let Some(t) = &self.telemetry {
+                t.record_release(
+                    worker.index(),
+                    now.saturating_sub(started).as_nanos(),
+                    now.as_nanos(),
+                );
+            }
+        }
+        self.profiler.record_completion(ty, service);
+        if let Some(t) = &self.telemetry {
+            let sojourn = queued_for.saturating_add(service);
+            t.record_completion(
+                tslot(ty, self.num_types),
+                worker.index(),
+                sojourn.as_nanos(),
+                service.as_nanos(),
+            );
+        }
+        if self.profiler.window_full() {
+            let _ = self.profiler.commit_window();
+        }
+    }
+
+    fn expire_heads(&mut self, now: Nanos) {
+        let Some(slowdown) = self.deadline_slowdown else {
+            return;
+        };
+        for i in 0..self.num_types {
+            let ty = TypeId::new(i as u32);
+            let Some(est) = self.profiler.estimate_ns(ty) else {
+                continue;
+            };
+            let deadline = Nanos::from_nanos((slowdown * est) as u64);
+            while let Some(entry) = self.queues[i].pop_expired(now, deadline) {
+                let waited = now.saturating_sub(entry.enqueued);
+                self.expired_total += 1;
+                if let Some(t) = &self.telemetry {
+                    t.record_expired(i, waited.as_nanos(), now.as_nanos());
+                }
+                self.expired_buf.push_back((ty, entry.req));
+            }
+        }
+    }
+
+    fn take_expired(&mut self) -> Option<(TypeId, R)> {
+        self.expired_buf.pop_front()
+    }
+
+    fn check_health(&mut self, now: Nanos) {
+        let Some(factor) = self.stall_factor else {
+            return;
+        };
+        let profiler = &self.profiler;
+        let telemetry = &self.telemetry;
+        let num_types = self.num_types;
+        self.workers.check_health(
+            now,
+            factor,
+            self.min_stall,
+            |ty| profiler.estimate_ns(ty),
+            |w, ty, running| {
+                if let Some(t) = telemetry {
+                    t.record_quarantine(
+                        w,
+                        tslot(ty, num_types),
+                        running.as_nanos(),
+                        now.as_nanos(),
+                    );
+                }
+            },
+        );
+    }
+
+    fn is_quarantined(&self, worker: WorkerId) -> bool {
+        self.workers.is_quarantined(worker.index())
+    }
+
+    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
+        let mut out = Vec::new();
+        for i in 0..self.num_types {
+            let ty = TypeId::new(i as u32);
+            for e in self.queues[i].drain() {
+                let waited = now.saturating_sub(e.enqueued);
+                if let Some(t) = &self.telemetry {
+                    t.record_expired(i, waited.as_nanos(), now.as_nanos());
+                }
+                out.push((ty, e.req));
+            }
+        }
+        for e in self.unknown.drain() {
+            let waited = now.saturating_sub(e.enqueued);
+            if let Some(t) = &self.telemetry {
+                t.record_expired(self.num_types, waited.as_nanos(), now.as_nanos());
+            }
+            out.push((TypeId::UNKNOWN, e.req));
+        }
+        self.expired_total += out.len() as u64;
+        out
+    }
+
+    fn quiescent(&self) -> bool {
+        self.workers.quiescent()
+    }
+
+    fn free_workers(&self) -> usize {
+        self.workers.free_count()
+    }
+
+    fn pending(&self, ty: TypeId) -> usize {
+        if ty.is_unknown() {
+            self.unknown.len()
+        } else {
+            self.queues.get(ty.index()).map(|q| q.len()).unwrap_or(0)
+        }
+    }
+
+    fn total_pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum::<usize>() + self.unknown.len()
+    }
+
+    fn drops(&self, ty: TypeId) -> u64 {
+        if ty.is_unknown() {
+            self.unknown.drops()
+        } else {
+            self.queues.get(ty.index()).map(|q| q.drops()).unwrap_or(0)
+        }
+    }
+
+    fn total_drops(&self) -> u64 {
+        self.queues.iter().map(|q| q.drops()).sum::<u64>() + self.unknown.drops()
+    }
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            policy: "FP",
+            updates: 0,
+            quarantines: self.workers.quarantines(),
+            releases: self.workers.releases(),
+            expired: self.expired_total,
+            guaranteed: vec![0; self.num_types],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(n: u64) -> Nanos {
+        Nanos::from_micros(n)
+    }
+
+    #[test]
+    fn priority_order_sorts_by_hint_ascending() {
+        let hints = [Some(micros(50)), Some(micros(1)), None, Some(micros(100))];
+        let eng: FixedPriorityEngine<u32> =
+            FixedPriorityEngine::new(EngineConfig::darc(2), 4, &hints);
+        assert_eq!(eng.priority_order(), &[1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn shorts_always_beat_longs() {
+        let hints = [Some(micros(1)), Some(micros(100))];
+        let mut eng: FixedPriorityEngine<u32> =
+            FixedPriorityEngine::new(EngineConfig::darc(1), 2, &hints);
+        eng.enqueue(TypeId::new(1), 10, micros(0)).unwrap();
+        eng.enqueue(TypeId::new(0), 20, micros(1)).unwrap();
+        eng.enqueue(TypeId::new(0), 21, micros(2)).unwrap();
+        let d = eng.poll(micros(3)).unwrap();
+        assert_eq!(d.req, 20, "short queue drains first, FIFO within it");
+        eng.complete(d.worker, micros(1), micros(4));
+        assert_eq!(eng.poll(micros(4)).unwrap().req, 21);
+        eng.complete(WorkerId::new(0), micros(1), micros(5));
+        assert_eq!(eng.poll(micros(5)).unwrap().req, 10);
+    }
+
+    #[test]
+    fn work_conserving_across_all_workers() {
+        let hints = [Some(micros(1)), Some(micros(100))];
+        let mut eng: FixedPriorityEngine<u32> =
+            FixedPriorityEngine::new(EngineConfig::darc(4), 2, &hints);
+        // Unlike DARC, longs may occupy every worker: no reservations.
+        for i in 0..4 {
+            eng.enqueue(TypeId::new(1), i, micros(0)).unwrap();
+        }
+        let mut dispatched = 0;
+        while eng.poll(micros(0)).is_some() {
+            dispatched += 1;
+        }
+        assert_eq!(dispatched, 4, "FP is work conserving");
+    }
+
+    #[test]
+    fn unknown_runs_last() {
+        let hints = [Some(micros(1)), Some(micros(100))];
+        let mut eng: FixedPriorityEngine<u32> =
+            FixedPriorityEngine::new(EngineConfig::darc(1), 2, &hints);
+        eng.enqueue(TypeId::UNKNOWN, 1, micros(0)).unwrap();
+        eng.enqueue(TypeId::new(1), 2, micros(1)).unwrap();
+        let d = eng.poll(micros(2)).unwrap();
+        assert_eq!(d.req, 2, "typed work beats UNKNOWN");
+        eng.complete(d.worker, micros(100), micros(102));
+        let d2 = eng.poll(micros(102)).unwrap();
+        assert_eq!((d2.req, d2.ty), (1, TypeId::UNKNOWN));
+    }
+}

@@ -1,0 +1,367 @@
+//! Pluggable dispatch engines (paper §3 Algorithm 1, §4.3.3, Tables 1 & 5).
+//!
+//! The dispatcher's scheduling brain is a [`ScheduleEngine`]: it owns the
+//! request queues, the free-worker list, and the overload-control
+//! machinery, and answers `enqueue` / `poll` / `complete`. The same
+//! engines are shared verbatim by the discrete-event simulator and the
+//! threaded runtime.
+//!
+//! ## Module split
+//!
+//! * [`engine`] — the [`ScheduleEngine`] trait, [`Dispatch`] decisions,
+//!   and the policy-agnostic [`EngineReport`].
+//! * [`darc`] — [`DarcEngine`], the paper's contribution: typed queues,
+//!   c-FCFS warm-up, profiled reservations, cycle stealing, spillway.
+//! * [`cfcfs`] — [`CfcfsEngine`], centralized FCFS over one global queue.
+//! * [`sjf`] — [`SjfEngine`], non-preemptive shortest-job-first by
+//!   profiled type service time.
+//! * [`fixed_priority`] — [`FixedPriorityEngine`], strict priority by
+//!   hinted type service time, work conserving.
+//! * [`dfcfs`] — [`DfcfsEngine`], decentralized FCFS with RSS-style
+//!   random steering onto per-worker queues.
+//!
+//! [`build_engine`] maps a [`Policy`](crate::policy::Policy) onto a boxed
+//! engine; the runtime's hot loop stays generic (monomorphized) over the
+//! concrete engine type.
+//!
+//! The time-sharing policy of Table 1 is deliberately absent: it requires
+//! preempting a running request, which the non-preemptive threaded
+//! runtime cannot do. It remains simulator-only (`persephone-sim`'s `ts`
+//! module).
+
+mod common;
+pub mod engine;
+
+pub mod cfcfs;
+pub mod darc;
+pub mod dfcfs;
+pub mod fixed_priority;
+pub mod sjf;
+
+pub use cfcfs::CfcfsEngine;
+pub use darc::DarcEngine;
+pub use dfcfs::DfcfsEngine;
+pub use engine::{Dispatch, EngineReport, ScheduleEngine};
+pub use fixed_priority::FixedPriorityEngine;
+pub use sjf::SjfEngine;
+
+use crate::policy::Policy;
+use crate::profile::ProfilerConfig;
+use crate::reserve::Reservation;
+use crate::time::Nanos;
+use crate::types::TypeId;
+
+/// How a [`DarcEngine`] schedules.
+#[derive(Clone, Debug)]
+pub enum EngineMode {
+    /// Full DARC: c-FCFS warm-up, then profiled dynamic reservations.
+    Dynamic,
+    /// A fixed, caller-provided reservation ("DARC-static", paper §5.3);
+    /// the profiler observes but never updates.
+    Static(Reservation),
+    /// Centralized FCFS over a single logical queue (baseline).
+    #[deprecated(
+        since = "0.4.0",
+        note = "use the dedicated CfcfsEngine (Policy::CFcfs / build_engine) \
+                instead of running c-FCFS inside DarcEngine"
+    )]
+    CFcfs,
+}
+
+/// Clamp for SLO-derived typed-queue capacities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloQueueBounds {
+    /// Smallest capacity ever installed (also used when a type has no
+    /// service estimate or no guaranteed cores yet).
+    pub min: usize,
+    /// Largest capacity ever installed.
+    pub max: usize,
+}
+
+impl Default for SloQueueBounds {
+    fn default() -> Self {
+        SloQueueBounds {
+            min: 8,
+            max: 65_536,
+        }
+    }
+}
+
+/// Overload-control knobs (deadline shedding, SLO-sized queues, worker
+/// quarantine). Everything defaults to *off* so a plain engine behaves
+/// exactly as before; [`OverloadConfig::enabled`] switches the full set on
+/// with paper-consistent defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadConfig {
+    /// Deadline shedding: expire a head-of-queue request once its queueing
+    /// delay exceeds `deadline_slowdown ×` its type's profiled mean service
+    /// time (the slowdown-SLO deadline). `None` disables shedding.
+    pub deadline_slowdown: Option<f64>,
+    /// SLO-sized typed queues: on every reservation install, rebound each
+    /// typed queue at `slowdown_slo × guaranteed_cores` entries (clamped to
+    /// the bounds) so a queue never holds more than ~SLO worth of work.
+    /// `None` keeps the static `queue_capacity`. (DARC only: other engines
+    /// have no reservations to size against.)
+    pub slo_queues: Option<SloQueueBounds>,
+    /// Worker quarantine: a busy worker whose in-flight request has run for
+    /// `stall_factor ×` its type's profiled mean is quarantined until its
+    /// late completion arrives. `None` disables health checks.
+    pub stall_factor: Option<f64>,
+    /// Floor for the stall threshold; also the full threshold for types
+    /// without a service estimate (UNKNOWN included).
+    pub min_stall: Nanos,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            deadline_slowdown: None,
+            slo_queues: None,
+            stall_factor: None,
+            min_stall: Nanos::from_millis(1),
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// All three mechanisms on: 10× slowdown-SLO deadlines (paper §4.3.3's
+    /// SLO), SLO-sized queues with default bounds, and quarantine at 10×
+    /// the profiled mean (floored at 1 ms).
+    pub fn enabled() -> Self {
+        OverloadConfig {
+            deadline_slowdown: Some(10.0),
+            slo_queues: Some(SloQueueBounds::default()),
+            stall_factor: Some(10.0),
+            min_stall: Nanos::from_millis(1),
+        }
+    }
+}
+
+/// Reservation tuning (δ, spillway count) for [`EngineConfig`].
+///
+/// Unlike [`crate::reserve::ReserveConfig`], this carries *no* worker
+/// count: the engine derives it from [`EngineConfig::num_workers`] when it
+/// builds its internal `ReserveConfig`, so the two can never disagree
+/// (callers used to have to patch both fields by hand — a
+/// silent-misconfiguration footgun).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReserveTuning {
+    /// Similarity factor `δ`: a type joins a group when its mean service
+    /// time is at most `δ ×` the group's first (shortest) member.
+    pub delta: f64,
+    /// Number of spillway cores (clamped to the worker count when the
+    /// engine is built; paper: 1).
+    pub spillway: usize,
+}
+
+impl Default for ReserveTuning {
+    /// The paper's defaults: `δ = 2`, one spillway core.
+    fn default() -> Self {
+        ReserveTuning {
+            delta: 2.0,
+            spillway: 1,
+        }
+    }
+}
+
+impl ReserveTuning {
+    /// Sets the grouping factor `δ`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the number of spillway cores.
+    pub fn with_spillway(mut self, spillway: usize) -> Self {
+        self.spillway = spillway;
+        self
+    }
+}
+
+/// Engine construction parameters, shared by every engine.
+///
+/// DARC-specific fields (`reserve`, `mode`) are ignored by the baseline
+/// engines; the profiler, queue capacity, and overload knobs apply to all.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of application workers — the single source of truth; the
+    /// reservation algorithm's copy is derived from it.
+    pub num_workers: usize,
+    /// Reservation tuning (δ, spillway count; [`DarcEngine`] only).
+    pub reserve: ReserveTuning,
+    /// Profiler parameters (window size, triggers).
+    pub profiler: ProfilerConfig,
+    /// Per-queue capacity; `0` = unbounded.
+    pub queue_capacity: usize,
+    /// Scheduling mode ([`DarcEngine`] only).
+    pub mode: EngineMode,
+    /// Overload-control knobs (all off by default).
+    pub overload: OverloadConfig,
+}
+
+impl EngineConfig {
+    /// A dynamic-DARC config with paper defaults for `num_workers` workers.
+    pub fn darc(num_workers: usize) -> Self {
+        EngineConfig {
+            num_workers,
+            reserve: ReserveTuning::default(),
+            profiler: ProfilerConfig::default(),
+            queue_capacity: 0,
+            mode: EngineMode::Dynamic,
+            overload: OverloadConfig::default(),
+        }
+    }
+
+    /// A centralized-FCFS config for `num_workers` workers.
+    #[deprecated(
+        since = "0.4.0",
+        note = "construct a CfcfsEngine (or use Policy::CFcfs with \
+                build_engine / ServerBuilder::policy) instead of the \
+                c-FCFS mode wedged into DarcEngine"
+    )]
+    pub fn cfcfs(num_workers: usize) -> Self {
+        #[allow(deprecated)]
+        EngineConfig {
+            mode: EngineMode::CFcfs,
+            ..EngineConfig::darc(num_workers)
+        }
+    }
+}
+
+/// Builds the engine for `policy` as a boxed trait object.
+///
+/// This is the configuration-time entry point (`Policy` → engine); hot
+/// loops that want monomorphized dispatch construct the concrete engine
+/// type directly, as `ServerBuilder::policy` does in the runtime.
+///
+/// `cfg.mode` is overridden to match the policy where relevant:
+/// [`Policy::Darc`] forces [`EngineMode::Dynamic`] unless a static
+/// reservation was supplied, and [`Policy::DarcStatic`] builds the §5.3
+/// two-class reservation from the hints.
+///
+/// # Panics
+///
+/// Panics for [`Policy::TimeSharing`] (preemptive, therefore sim-only —
+/// see the policy matrix in DESIGN.md), and for [`Policy::DarcStatic`]
+/// without any service-time hint (the shortest type is undefined).
+pub fn build_engine<R: Send + 'static>(
+    policy: &Policy,
+    cfg: EngineConfig,
+    num_types: usize,
+    hints: &[Option<Nanos>],
+) -> Box<dyn ScheduleEngine<R>> {
+    match policy {
+        Policy::Darc => {
+            let mut cfg = cfg;
+            #[allow(deprecated)]
+            if matches!(cfg.mode, EngineMode::CFcfs) {
+                cfg.mode = EngineMode::Dynamic;
+            }
+            Box::new(DarcEngine::new(cfg, num_types, hints))
+        }
+        Policy::DarcStatic { reserved_short } => {
+            let short = hints
+                .iter()
+                .enumerate()
+                .filter_map(|(i, h)| h.map(|n| (n, i)))
+                .min()
+                .map(|(_, i)| i)
+                .expect("Policy::DarcStatic needs service-time hints to find the shortest type");
+            let res = Reservation::two_class_static(
+                num_types,
+                cfg.num_workers,
+                TypeId::new(short as u32),
+                *reserved_short,
+            );
+            let cfg = EngineConfig {
+                mode: EngineMode::Static(res),
+                ..cfg
+            };
+            Box::new(DarcEngine::new(cfg, num_types, hints))
+        }
+        Policy::CFcfs => Box::new(CfcfsEngine::new(cfg, num_types, hints)),
+        Policy::Sjf => Box::new(SjfEngine::new(cfg, num_types, hints)),
+        Policy::FixedPriority => Box::new(FixedPriorityEngine::new(cfg, num_types, hints)),
+        Policy::DFcfs => Box::new(DfcfsEngine::new(cfg, num_types, hints)),
+        Policy::TimeSharing(_) => panic!(
+            "Policy::TimeSharing is preemptive and therefore simulator-only; \
+             the threaded runtime runs requests to completion (see the \
+             policy matrix in DESIGN.md)"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_engine_maps_policies_to_their_engines() {
+        let hints = [Some(Nanos::from_micros(1)), Some(Nanos::from_micros(100))];
+        let cases = [
+            (Policy::Darc, "DARC"),
+            (Policy::DarcStatic { reserved_short: 1 }, "DARC"),
+            (Policy::CFcfs, "c-FCFS"),
+            (Policy::Sjf, "SJF"),
+            (Policy::FixedPriority, "FP"),
+            (Policy::DFcfs, "d-FCFS"),
+        ];
+        for (policy, name) in cases {
+            let eng: Box<dyn ScheduleEngine<u64>> =
+                build_engine(&policy, EngineConfig::darc(4), 2, &hints);
+            assert_eq!(eng.policy_name(), name, "policy {policy:?}");
+            assert_eq!(eng.num_workers(), 4);
+            assert_eq!(eng.num_types(), 2);
+        }
+    }
+
+    #[test]
+    fn built_engines_schedule_through_the_trait() {
+        let hints = [Some(Nanos::from_micros(1)), Some(Nanos::from_micros(100))];
+        for policy in [
+            Policy::Darc,
+            Policy::CFcfs,
+            Policy::Sjf,
+            Policy::FixedPriority,
+            Policy::DFcfs,
+        ] {
+            let mut eng: Box<dyn ScheduleEngine<u64>> =
+                build_engine(&policy, EngineConfig::darc(2), 2, &hints);
+            let now = Nanos::from_micros(1);
+            eng.enqueue(TypeId::new(0), 7, now).unwrap();
+            let d = eng
+                .poll(now)
+                .unwrap_or_else(|| panic!("{} must place onto an idle pool", eng.policy_name()));
+            assert_eq!(d.req, 7);
+            eng.complete(d.worker, Nanos::from_micros(1), now + Nanos::from_micros(1));
+            assert_eq!(eng.free_workers(), 2);
+            assert_eq!(eng.total_pending(), 0);
+            let report = eng.report();
+            assert_eq!(report.policy, eng.policy_name());
+            assert_eq!(report.guaranteed.len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "simulator-only")]
+    fn time_sharing_cannot_build_a_live_engine() {
+        use crate::policy::TimeSharingParams;
+        let _ = build_engine::<u64>(
+            &Policy::TimeSharing(TimeSharingParams::shinjuku_fig1()),
+            EngineConfig::darc(2),
+            2,
+            &[None, None],
+        );
+    }
+
+    #[test]
+    fn deprecated_cfcfs_config_still_routes() {
+        #[allow(deprecated)]
+        let cfg = EngineConfig::cfcfs(2);
+        #[allow(deprecated)]
+        let is_cfcfs = matches!(cfg.mode, EngineMode::CFcfs);
+        assert!(is_cfcfs);
+        let eng: DarcEngine<u64> = DarcEngine::new(cfg, 2, &[None, None]);
+        assert!(!eng.in_warmup(), "legacy c-FCFS mode never warms up");
+    }
+}

@@ -1,0 +1,441 @@
+//! Non-preemptive shortest-job-first (paper Table 1's SJF).
+//!
+//! Typed queues, dispatched in ascending order of the *profiled* (or
+//! hinted) per-type mean service time — the realizable form of SJF for a
+//! dispatcher that only knows request types, not exact sizes. Within a
+//! type (and across types with equal estimates) order is FIFO by global
+//! arrival sequence, so equal-length requests never overtake each other.
+//! Types without any estimate, and UNKNOWN requests, sort last.
+//!
+//! Estimates adapt online: every full profiling window is committed into
+//! the EWMA, so a type whose service time drifts re-sorts itself without
+//! any reservation machinery.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use persephone_telemetry::{DispatchKind, Telemetry};
+
+use super::common::{tslot, WorkerTable};
+use super::engine::{Dispatch, EngineReport, ScheduleEngine};
+use super::EngineConfig;
+use crate::profile::Profiler;
+use crate::queue::TypedQueue;
+use crate::time::Nanos;
+use crate::types::{TypeId, WorkerId};
+
+/// Shortest-job-first over profiled type service times.
+pub struct SjfEngine<R> {
+    queues: Vec<TypedQueue<R>>,
+    unknown: TypedQueue<R>,
+    seq: u64,
+    workers: WorkerTable,
+    profiler: Profiler,
+    deadline_slowdown: Option<f64>,
+    stall_factor: Option<f64>,
+    min_stall: Nanos,
+    expired_buf: VecDeque<(TypeId, R)>,
+    expired_total: u64,
+    num_types: usize,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl<R> SjfEngine<R> {
+    /// Creates an SJF engine for `num_types` request types.
+    ///
+    /// `hints[i]` seeds type `i`'s service-time estimate; unhinted types
+    /// sort last until their first profiling window commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_workers == 0` or `hints.len() != num_types`.
+    pub fn new(cfg: EngineConfig, num_types: usize, hints: &[Option<Nanos>]) -> Self {
+        assert!(cfg.num_workers > 0, "need at least one worker");
+        SjfEngine {
+            queues: (0..num_types)
+                .map(|_| TypedQueue::new(cfg.queue_capacity))
+                .collect(),
+            unknown: TypedQueue::new(cfg.queue_capacity),
+            seq: 0,
+            workers: WorkerTable::new(cfg.num_workers),
+            profiler: Profiler::new(cfg.profiler, num_types, hints),
+            deadline_slowdown: cfg.overload.deadline_slowdown,
+            stall_factor: cfg.overload.stall_factor,
+            min_stall: cfg.overload.min_stall,
+            expired_buf: VecDeque::new(),
+            expired_total: 0,
+            num_types,
+            telemetry: None,
+        }
+    }
+
+    /// The workload profiler (read-only view).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Picks the next queue to serve: smallest estimated service time,
+    /// FIFO (head sequence number) among equals; estimate-less queues and
+    /// UNKNOWN sort last. Returns `num_types` for the UNKNOWN queue.
+    fn shortest_queue(&self) -> Option<usize> {
+        let mut best: Option<(f64, u64, usize)> = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            let Some(head) = q.front() else { continue };
+            let est = self
+                .profiler
+                .estimate_ns(TypeId::new(i as u32))
+                .unwrap_or(f64::INFINITY);
+            let better = match &best {
+                None => true,
+                Some((b_est, b_seq, _)) => est < *b_est || (est == *b_est && head.seq < *b_seq),
+            };
+            if better {
+                best = Some((est, head.seq, i));
+            }
+        }
+        if let Some(head) = self.unknown.front() {
+            let better = match &best {
+                None => true,
+                Some((b_est, b_seq, _)) => b_est.is_infinite() && head.seq < *b_seq,
+            };
+            if better {
+                best = Some((f64::INFINITY, head.seq, self.num_types));
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+}
+
+impl<R: Send> ScheduleEngine<R> for SjfEngine<R> {
+    fn policy_name(&self) -> &'static str {
+        "SJF"
+    }
+
+    fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    fn enqueue(&mut self, ty: TypeId, req: R, now: Nanos) -> Result<(), R> {
+        self.profiler.record_arrival(ty);
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = tslot(ty, self.num_types);
+        let q = if !ty.is_unknown() && ty.index() < self.queues.len() {
+            &mut self.queues[ty.index()]
+        } else {
+            &mut self.unknown
+        };
+        let depth_if_full = q.len() as u64;
+        let result = q.push(req, now, seq);
+        if let Some(t) = &self.telemetry {
+            t.record_arrival(slot);
+            match &result {
+                Ok(()) => t.record_queue_depth(slot, depth_if_full + 1),
+                Err(_) => t.record_drop(slot, depth_if_full, now.as_nanos()),
+            }
+        }
+        result
+    }
+
+    fn poll(&mut self, now: Nanos) -> Option<Dispatch<R>> {
+        if self.workers.free_count() == 0 {
+            return None;
+        }
+        let qi = self.shortest_queue()?;
+        let worker = self.workers.first_free()?;
+        let (ty, entry) = if qi == self.num_types {
+            (TypeId::UNKNOWN, self.unknown.pop().unwrap())
+        } else {
+            (TypeId::new(qi as u32), self.queues[qi].pop().unwrap())
+        };
+        let queued_for = now.saturating_sub(entry.enqueued);
+        self.workers.assign(worker, ty, queued_for, now);
+        self.profiler.record_dispatch_delay(ty, queued_for);
+        if let Some(t) = &self.telemetry {
+            t.record_dispatch(
+                tslot(ty, self.num_types),
+                worker.index(),
+                DispatchKind::Fcfs,
+                now.as_nanos(),
+            );
+        }
+        Some(Dispatch {
+            worker,
+            ty,
+            req: entry.req,
+            queued_for,
+            kind: DispatchKind::Fcfs,
+        })
+    }
+
+    fn complete(&mut self, worker: WorkerId, service: Nanos, now: Nanos) {
+        let (ty, queued_for, started, released) = self.workers.complete(worker);
+        if released {
+            if let Some(t) = &self.telemetry {
+                t.record_release(
+                    worker.index(),
+                    now.saturating_sub(started).as_nanos(),
+                    now.as_nanos(),
+                );
+            }
+        }
+        self.profiler.record_completion(ty, service);
+        if let Some(t) = &self.telemetry {
+            let sojourn = queued_for.saturating_add(service);
+            t.record_completion(
+                tslot(ty, self.num_types),
+                worker.index(),
+                sojourn.as_nanos(),
+                service.as_nanos(),
+            );
+        }
+        // Fold the window into the EWMA so the SJF ordering tracks drift.
+        if self.profiler.window_full() {
+            let _ = self.profiler.commit_window();
+        }
+    }
+
+    fn expire_heads(&mut self, now: Nanos) {
+        let Some(slowdown) = self.deadline_slowdown else {
+            return;
+        };
+        for i in 0..self.num_types {
+            let ty = TypeId::new(i as u32);
+            let Some(est) = self.profiler.estimate_ns(ty) else {
+                continue;
+            };
+            let deadline = Nanos::from_nanos((slowdown * est) as u64);
+            while let Some(entry) = self.queues[i].pop_expired(now, deadline) {
+                let waited = now.saturating_sub(entry.enqueued);
+                self.expired_total += 1;
+                if let Some(t) = &self.telemetry {
+                    t.record_expired(i, waited.as_nanos(), now.as_nanos());
+                }
+                self.expired_buf.push_back((ty, entry.req));
+            }
+        }
+    }
+
+    fn take_expired(&mut self) -> Option<(TypeId, R)> {
+        self.expired_buf.pop_front()
+    }
+
+    fn check_health(&mut self, now: Nanos) {
+        let Some(factor) = self.stall_factor else {
+            return;
+        };
+        let profiler = &self.profiler;
+        let telemetry = &self.telemetry;
+        let num_types = self.num_types;
+        self.workers.check_health(
+            now,
+            factor,
+            self.min_stall,
+            |ty| profiler.estimate_ns(ty),
+            |w, ty, running| {
+                if let Some(t) = telemetry {
+                    t.record_quarantine(
+                        w,
+                        tslot(ty, num_types),
+                        running.as_nanos(),
+                        now.as_nanos(),
+                    );
+                }
+            },
+        );
+    }
+
+    fn is_quarantined(&self, worker: WorkerId) -> bool {
+        self.workers.is_quarantined(worker.index())
+    }
+
+    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
+        let mut out = Vec::new();
+        for i in 0..self.num_types {
+            let ty = TypeId::new(i as u32);
+            for e in self.queues[i].drain() {
+                let waited = now.saturating_sub(e.enqueued);
+                if let Some(t) = &self.telemetry {
+                    t.record_expired(i, waited.as_nanos(), now.as_nanos());
+                }
+                out.push((ty, e.req));
+            }
+        }
+        for e in self.unknown.drain() {
+            let waited = now.saturating_sub(e.enqueued);
+            if let Some(t) = &self.telemetry {
+                t.record_expired(self.num_types, waited.as_nanos(), now.as_nanos());
+            }
+            out.push((TypeId::UNKNOWN, e.req));
+        }
+        self.expired_total += out.len() as u64;
+        out
+    }
+
+    fn quiescent(&self) -> bool {
+        self.workers.quiescent()
+    }
+
+    fn free_workers(&self) -> usize {
+        self.workers.free_count()
+    }
+
+    fn pending(&self, ty: TypeId) -> usize {
+        if ty.is_unknown() {
+            self.unknown.len()
+        } else {
+            self.queues.get(ty.index()).map(|q| q.len()).unwrap_or(0)
+        }
+    }
+
+    fn total_pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum::<usize>() + self.unknown.len()
+    }
+
+    fn drops(&self, ty: TypeId) -> u64 {
+        if ty.is_unknown() {
+            self.unknown.drops()
+        } else {
+            self.queues.get(ty.index()).map(|q| q.drops()).unwrap_or(0)
+        }
+    }
+
+    fn total_drops(&self) -> u64 {
+        self.queues.iter().map(|q| q.drops()).sum::<u64>() + self.unknown.drops()
+    }
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            policy: "SJF",
+            updates: 0,
+            quarantines: self.workers.quarantines(),
+            releases: self.workers.releases(),
+            expired: self.expired_total,
+            guaranteed: vec![0; self.num_types],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(n: u64) -> Nanos {
+        Nanos::from_micros(n)
+    }
+
+    fn engine(workers: usize) -> SjfEngine<u32> {
+        SjfEngine::new(
+            EngineConfig::darc(workers),
+            2,
+            &[Some(micros(1)), Some(micros(100))],
+        )
+    }
+
+    #[test]
+    fn shorter_type_preempts_queue_order() {
+        let mut eng = engine(1);
+        // Long arrives first, short second: SJF serves the short first.
+        eng.enqueue(TypeId::new(1), 10, micros(0)).unwrap();
+        eng.enqueue(TypeId::new(0), 20, micros(1)).unwrap();
+        let d = eng.poll(micros(2)).unwrap();
+        assert_eq!(d.ty, TypeId::new(0));
+        eng.complete(d.worker, micros(1), micros(3));
+        assert_eq!(eng.poll(micros(3)).unwrap().ty, TypeId::new(1));
+    }
+
+    #[test]
+    fn fifo_within_a_type() {
+        let mut eng = engine(1);
+        eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        eng.enqueue(TypeId::new(0), 2, micros(1)).unwrap();
+        let d = eng.poll(micros(2)).unwrap();
+        assert_eq!(d.req, 1);
+        eng.complete(d.worker, micros(1), micros(3));
+        assert_eq!(eng.poll(micros(3)).unwrap().req, 2);
+    }
+
+    #[test]
+    fn unhinted_and_unknown_sort_last() {
+        let mut eng: SjfEngine<u32> =
+            SjfEngine::new(EngineConfig::darc(1), 2, &[None, Some(micros(100))]);
+        // UNKNOWN and the unhinted type 0 both lose to the hinted long.
+        eng.enqueue(TypeId::UNKNOWN, 1, micros(0)).unwrap();
+        eng.enqueue(TypeId::new(0), 2, micros(1)).unwrap();
+        eng.enqueue(TypeId::new(1), 3, micros(2)).unwrap();
+        let d = eng.poll(micros(3)).unwrap();
+        assert_eq!(d.req, 3, "only the hinted type has a finite estimate");
+        eng.complete(d.worker, micros(100), micros(103));
+        // Among the estimate-less, FIFO by arrival: UNKNOWN came first.
+        assert_eq!(eng.poll(micros(103)).unwrap().req, 1);
+    }
+
+    #[test]
+    fn estimates_adapt_after_windows_commit() {
+        let mut cfg = EngineConfig::darc(1);
+        cfg.profiler.min_samples = 8;
+        // Hints claim type 0 is the short one; reality is inverted.
+        let mut eng: SjfEngine<u32> = SjfEngine::new(cfg, 2, &[Some(micros(1)), Some(micros(100))]);
+        let mut now = Nanos::ZERO;
+        // Several windows of truth: type 0 takes 100 µs, type 1 takes 1 µs.
+        for i in 0..64u32 {
+            let ty = TypeId::new(i % 2);
+            eng.enqueue(ty, i, now).unwrap();
+            let d = eng.poll(now).unwrap();
+            let service = if d.ty == TypeId::new(0) {
+                micros(100)
+            } else {
+                micros(1)
+            };
+            now += service;
+            eng.complete(d.worker, service, now);
+        }
+        // Now the ordering must follow the measured times: type 1 first.
+        eng.enqueue(TypeId::new(0), 100, now).unwrap();
+        eng.enqueue(TypeId::new(1), 101, now).unwrap();
+        assert_eq!(eng.poll(now).unwrap().ty, TypeId::new(1));
+    }
+
+    #[test]
+    fn flow_control_is_per_type() {
+        let mut cfg = EngineConfig::darc(1);
+        cfg.queue_capacity = 2;
+        let mut eng: SjfEngine<u32> = SjfEngine::new(cfg, 2, &[Some(micros(1)), Some(micros(100))]);
+        for i in 0..5 {
+            let _ = eng.enqueue(TypeId::new(1), i, micros(0));
+        }
+        assert_eq!(eng.drops(TypeId::new(1)), 3);
+        assert!(eng.enqueue(TypeId::new(0), 9, micros(0)).is_ok());
+        assert_eq!(eng.drops(TypeId::new(0)), 0);
+        assert_eq!(eng.total_drops(), 3);
+    }
+
+    #[test]
+    fn deadline_shedding_and_drain() {
+        let mut cfg = EngineConfig::darc(1);
+        cfg.overload.deadline_slowdown = Some(10.0);
+        let mut eng: SjfEngine<u32> = SjfEngine::new(cfg, 2, &[Some(micros(1)), Some(micros(100))]);
+        eng.enqueue(TypeId::new(0), 0, micros(0)).unwrap();
+        let d = eng.poll(micros(0)).unwrap();
+        eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
+        eng.expire_heads(micros(11));
+        assert_eq!(eng.take_expired(), Some((TypeId::new(0), 1)));
+        eng.complete(d.worker, micros(11), micros(11));
+        eng.enqueue(TypeId::new(1), 2, micros(11)).unwrap();
+        let drained = eng.drain_all(micros(12));
+        assert_eq!(drained, vec![(TypeId::new(1), 2)]);
+        assert_eq!(eng.report().expired, 2);
+    }
+}

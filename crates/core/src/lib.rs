@@ -12,9 +12,15 @@
 //! for longer types (never the reverse), and keeps a *spillway* core so no
 //! type is ever denied service.
 //!
-//! The crate is substrate-agnostic: the same [`dispatch::DarcEngine`]
-//! drives both the discrete-event simulator (`persephone-sim`) and the
-//! threaded runtime (`persephone-runtime`).
+//! The crate is substrate-agnostic: the same scheduling engines drive
+//! both the discrete-event simulator (`persephone-sim`) and the threaded
+//! runtime (`persephone-runtime`), behind one
+//! [`dispatch::ScheduleEngine`] trait. [`dispatch::DarcEngine`] is the
+//! paper's contribution; [`dispatch::CfcfsEngine`],
+//! [`dispatch::SjfEngine`], [`dispatch::FixedPriorityEngine`], and
+//! [`dispatch::DfcfsEngine`] are the baselines it is evaluated against.
+//! [`policy::Policy`] names them all, and [`dispatch::build_engine`] maps
+//! a policy onto its engine.
 //!
 //! ## Module map
 //!
@@ -24,8 +30,11 @@
 //! * [`profile`] — profiling windows, Eq. 1 demand vector (paper §3).
 //! * [`reserve`] — worker reservation, grouping, spillway (Algorithm 2).
 //! * [`queue`] — bounded typed queues with drop-based flow control.
-//! * [`dispatch`] — the DARC dispatch engine (Algorithm 1).
-//! * [`policy`] — the policy taxonomy of the paper's Tables 1 and 5.
+//! * [`dispatch`] — the pluggable scheduling engines: the
+//!   [`dispatch::ScheduleEngine`] trait, DARC (Algorithm 1), and the
+//!   c-FCFS / SJF / FP / d-FCFS baselines.
+//! * [`policy`] — the policy taxonomy of the paper's Tables 1 and 5, and
+//!   the configuration surface engines are built from.
 //!
 //! ## Quickstart
 //!
@@ -63,7 +72,9 @@ pub mod types;
 
 pub use classifier::Classifier;
 pub use dispatch::{
-    DarcEngine, Dispatch, EngineConfig, EngineMode, OverloadConfig, ReserveTuning, SloQueueBounds,
+    build_engine, CfcfsEngine, DarcEngine, DfcfsEngine, Dispatch, EngineConfig, EngineMode,
+    EngineReport, FixedPriorityEngine, OverloadConfig, ReserveTuning, ScheduleEngine, SjfEngine,
+    SloQueueBounds,
 };
 pub use policy::Policy;
 pub use profile::{Profiler, ProfilerConfig, TypeStat};

@@ -1,10 +1,21 @@
-//! The scheduling-policy taxonomy of the paper's Tables 1 and 5.
+//! The scheduling-policy taxonomy of the paper's Tables 1 and 5 — and
+//! the configuration surface scheduling engines are built from.
 //!
-//! This module is descriptive: it names the policies compared throughout
-//! the paper and records their properties (application awareness,
-//! preemption, work conservation, head-of-line-blocking avoidance). The
-//! simulator uses [`Policy`] as its configuration surface; the properties
-//! drive documentation tables in the benchmark harness.
+//! [`Policy`] is how callers everywhere in the workspace say *which*
+//! scheduler they want: the simulator's experiment harness, the threaded
+//! runtime's `ServerBuilder::policy(...)`, and the figure-regeneration
+//! benches all take a `Policy` and construct the matching
+//! [`ScheduleEngine`](crate::dispatch::ScheduleEngine) via
+//! [`build_engine`](crate::dispatch::build_engine) (or the monomorphic
+//! equivalent). Every variant except [`Policy::TimeSharing`] runs on the
+//! live runtime; time sharing requires preemption, which the
+//! run-to-completion runtime cannot do, so it stays simulator-only — see
+//! [`Policy::runs_live`].
+//!
+//! Each policy also carries its Table 1/5 taxonomy row ([`PolicyTraits`]:
+//! application awareness, preemption, work conservation,
+//! head-of-line-blocking avoidance), which drives documentation tables in
+//! the benchmark harness.
 
 use crate::time::Nanos;
 
@@ -155,6 +166,15 @@ impl Policy {
             },
         }
     }
+
+    /// Whether the policy can run on the live threaded runtime.
+    ///
+    /// Everything non-preemptive can: the runtime runs each request to
+    /// completion on its worker. [`Policy::TimeSharing`] needs to preempt
+    /// mid-request, so it is simulator-only.
+    pub fn runs_live(&self) -> bool {
+        self.traits().non_preemptive
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +212,17 @@ mod tests {
         let darc = Policy::Darc.traits();
         assert!(darc.app_aware && darc.non_work_conserving && darc.non_preemptive);
         assert!(darc.prevents_hol_blocking);
+    }
+
+    #[test]
+    fn only_time_sharing_is_sim_only() {
+        assert!(Policy::DFcfs.runs_live());
+        assert!(Policy::CFcfs.runs_live());
+        assert!(Policy::FixedPriority.runs_live());
+        assert!(Policy::Sjf.runs_live());
+        assert!(Policy::DarcStatic { reserved_short: 1 }.runs_live());
+        assert!(Policy::Darc.runs_live());
+        assert!(!Policy::TimeSharing(TimeSharingParams::ideal()).runs_live());
     }
 
     #[test]

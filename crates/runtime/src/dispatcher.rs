@@ -3,9 +3,15 @@
 //! One thread plays both the net worker and the dispatcher role (the
 //! paper colocates them on one hardware thread): it drains the NIC RX
 //! queue, classifies requests with the user-provided classifier, pushes
-//! them into the DARC engine's typed queues, executes the engine's
+//! them into the scheduling engine's queues, executes the engine's
 //! dispatch decisions over per-worker SPSC rings, and folds completion
 //! notifications back into the engine (profiling + reservation updates).
+//!
+//! The loop is generic over `E: ScheduleEngine<Pending>` — the policy
+//! (DARC, c-FCFS, SJF, FP, d-FCFS) is a compile-time parameter, so each
+//! policy's `poll`/`enqueue` monomorphizes into the hot loop with no
+//! virtual dispatch per packet. `ServerBuilder::policy` picks the
+//! concrete engine at spawn time.
 //!
 //! The hot path is batch-oriented: RX packets arrive through
 //! [`persephone_net::nic::ServerPort::recv_batch`] and are classified
@@ -19,10 +25,10 @@
 //! ## Overload control
 //!
 //! Each loop iteration also runs the engine's graceful-degradation
-//! machinery: [`DarcEngine::check_health`] quarantines workers that have
-//! held a request for far longer than the type's profiled mean (their
-//! reserved cores are re-covered via the spillway), and
-//! [`DarcEngine::expire_heads`] sheds head-of-queue requests whose
+//! machinery: [`ScheduleEngine::check_health`] quarantines workers that
+//! have held a request for far longer than the type's profiled mean
+//! (DARC re-covers their reserved cores via the spillway), and
+//! [`ScheduleEngine::expire_heads`] sheds head-of-queue requests whose
 //! queueing delay has already blown the slowdown SLO — those are answered
 //! with [`wire::Status::Dropped`] so the client can retry elsewhere
 //! instead of waiting on a response that would arrive too late to matter.
@@ -36,8 +42,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use persephone_core::classifier::Classifier;
-use persephone_core::dispatch::DarcEngine;
-use persephone_core::types::{TypeId, WorkerId};
+use persephone_core::dispatch::ScheduleEngine;
+use persephone_core::types::WorkerId;
 use persephone_net::nic::{NetContext, ServerPort};
 use persephone_net::pool::PacketBuf;
 use persephone_net::spsc;
@@ -59,6 +65,10 @@ const CONTROL_TX_ATTEMPTS: usize = 10_000;
 /// Counters and final engine state returned when the dispatcher exits.
 #[derive(Clone, Debug, Default)]
 pub struct DispatcherReport {
+    /// Name of the scheduling policy the engine ran ("DARC", "c-FCFS",
+    /// ...). Merged reports take the first shard's name — all shards of
+    /// one server run the same policy.
+    pub policy: String,
     /// Packets pulled off the NIC.
     pub received: u64,
     /// Requests that decoded and classified to a registered type.
@@ -104,6 +114,9 @@ impl DispatcherReport {
     pub fn merged(shards: &[DispatcherReport]) -> DispatcherReport {
         let mut out = DispatcherReport::default();
         for s in shards {
+            if out.policy.is_empty() {
+                out.policy = s.policy.clone();
+            }
             out.received += s.received;
             out.classified += s.classified;
             out.unknown += s.unknown;
@@ -134,12 +147,15 @@ impl DispatcherReport {
 
 /// Runs the dispatcher until `shutdown` is set *and* all in-flight work
 /// has drained.
+///
+/// Generic over the scheduling engine so every policy's hot path
+/// monomorphizes — no `dyn` dispatch inside the loop.
 #[allow(clippy::too_many_arguments)]
-pub fn run_dispatcher(
+pub fn run_dispatcher<E: ScheduleEngine<Pending>>(
     mut port: ServerPort,
     dispatcher_ctx: NetContext,
     mut classifier: Box<dyn Classifier>,
-    mut engine: DarcEngine<Pending>,
+    mut engine: E,
     mut work_tx: Vec<spsc::Producer<WorkMsg>>,
     mut completion_rx: Vec<spsc::Consumer<Completion>>,
     shutdown: Arc<AtomicBool>,
@@ -308,12 +324,12 @@ pub fn run_dispatcher(
         }
     }
 
-    report.quarantines = engine.quarantines();
-    report.releases = engine.releases();
-    report.reservation_updates = engine.updates();
-    report.guaranteed = (0..num_types)
-        .map(|i| engine.guaranteed_workers(TypeId::new(i as u32)))
-        .collect();
+    let engine_report = engine.report();
+    report.policy = engine_report.policy.to_string();
+    report.quarantines = engine_report.quarantines;
+    report.releases = engine_report.releases;
+    report.reservation_updates = engine_report.updates;
+    report.guaranteed = engine_report.guaranteed;
     report.telemetry = engine.telemetry().map(|t| t.snapshot()).unwrap_or_default();
     report
 }

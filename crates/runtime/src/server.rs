@@ -3,18 +3,30 @@
 //!
 //! The dispatch plane is **sharded**: [`ServerBuilder::shards`] splits the
 //! server into `K` independent dispatchers, each owning a disjoint slice
-//! of the workers and its own DARC engine, fed by one RX queue of a
+//! of the workers and its own scheduling engine, fed by one RX queue of a
 //! multi-queue [`ServerPort`] (see `persephone_net::nic::Steering` for
 //! how clients spread requests across queues). `K = 1` reproduces the
 //! paper's single-dispatcher deployment exactly.
+//!
+//! Which engine the shards run is picked by [`ServerBuilder::policy`]
+//! (default [`Policy::Darc`]). Every live policy of the paper's Table 5 —
+//! d-FCFS, c-FCFS, FP, SJF, DARC-static, DARC — maps onto a concrete
+//! [`ScheduleEngine`] type, and each policy monomorphizes its own copy of
+//! the dispatcher loop, so no per-packet dynamic dispatch is introduced.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use persephone_core::classifier::Classifier;
-use persephone_core::dispatch::{DarcEngine, EngineConfig};
+use persephone_core::dispatch::{
+    CfcfsEngine, DarcEngine, DfcfsEngine, EngineConfig, EngineMode, FixedPriorityEngine,
+    ScheduleEngine, SjfEngine,
+};
+use persephone_core::policy::Policy;
+use persephone_core::reserve::Reservation;
 use persephone_core::time::Nanos;
+use persephone_core::types::TypeId;
 use persephone_net::nic::ServerPort;
 use persephone_net::spsc;
 use persephone_telemetry::{Telemetry, TelemetryConfig};
@@ -112,6 +124,7 @@ pub struct ServerBuilder {
     num_types: usize,
     hints: Vec<Option<Nanos>>,
     engine: EngineConfig,
+    policy: Option<Policy>,
     ring_depth: usize,
     faults: FaultPlan,
     shards: usize,
@@ -129,6 +142,7 @@ impl ServerBuilder {
             num_types,
             hints: vec![None; num_types],
             engine: EngineConfig::darc(workers),
+            policy: None,
             ring_depth: 8,
             faults: FaultPlan::none(),
             shards: 1,
@@ -145,12 +159,33 @@ impl ServerBuilder {
             num_types: cfg.num_types,
             hints: cfg.hints,
             engine: cfg.engine,
+            policy: None,
             ring_depth: cfg.ring_depth,
             faults: cfg.faults,
             shards: 1,
             classifier: None,
             handler_factory: None,
         }
+    }
+
+    /// Selects the scheduling policy all dispatcher shards run (default
+    /// [`Policy::Darc`]).
+    ///
+    /// Every live policy maps onto a concrete [`ScheduleEngine`]:
+    /// [`Policy::Darc`] and [`Policy::DarcStatic`] run [`DarcEngine`],
+    /// [`Policy::CFcfs`] runs [`CfcfsEngine`], [`Policy::Sjf`] runs
+    /// [`SjfEngine`], [`Policy::FixedPriority`] runs
+    /// [`FixedPriorityEngine`], and [`Policy::DFcfs`] runs
+    /// [`DfcfsEngine`]. The dispatcher loop is monomorphized per engine
+    /// type, so policy selection costs nothing per packet.
+    ///
+    /// [`ServerBuilder::spawn`] panics for [`Policy::TimeSharing`]: it
+    /// requires preempting a running request, which the
+    /// run-to-completion runtime cannot do (`Policy::runs_live` is
+    /// `false`; it stays simulator-only).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = Some(policy);
+        self
     }
 
     /// Sets per-type service-time hints (one per type; `Some` for all
@@ -238,8 +273,78 @@ impl ServerBuilder {
     /// `workers == 0`, `shards == 0`, `workers < shards`, the hint arity
     /// mismatches `num_types`, the port's queue count differs from the
     /// shard count, or `shards > 1` with a single (non-factory)
-    /// classifier.
+    /// classifier. Also panics for [`Policy::TimeSharing`] (preemptive,
+    /// simulator-only) and for [`Policy::DarcStatic`] without any
+    /// service-time hint (the shortest type is undefined).
     pub fn spawn(self, port: ServerPort) -> ServerHandle {
+        // Resolve the effective policy: an explicit `.policy(...)` wins;
+        // otherwise the legacy `EngineConfig::cfcfs()` mode still selects
+        // c-FCFS, and everything else defaults to DARC.
+        #[allow(deprecated)]
+        let legacy_cfcfs = matches!(self.engine.mode, EngineMode::CFcfs);
+        let policy = match self.policy.clone() {
+            Some(p) => p,
+            None if legacy_cfcfs => Policy::CFcfs,
+            None => Policy::Darc,
+        };
+        match policy {
+            Policy::Darc => self.spawn_with(port, |mut cfg, nt, hints| {
+                // A leftover legacy c-FCFS mode would contradict the
+                // explicit DARC request; run full dynamic DARC instead.
+                #[allow(deprecated)]
+                if matches!(cfg.mode, EngineMode::CFcfs) {
+                    cfg.mode = EngineMode::Dynamic;
+                }
+                DarcEngine::new(cfg, nt, hints)
+            }),
+            Policy::DarcStatic { reserved_short } => {
+                self.spawn_with(port, move |cfg, nt, hints| {
+                    let short = hints
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, h)| h.map(|n| (n, i)))
+                        .min()
+                        .map(|(_, i)| i)
+                        .expect(
+                            "Policy::DarcStatic needs service-time hints to \
+                             find the shortest type",
+                        );
+                    let res = Reservation::two_class_static(
+                        nt,
+                        cfg.num_workers,
+                        TypeId::new(short as u32),
+                        reserved_short,
+                    );
+                    let cfg = EngineConfig {
+                        mode: EngineMode::Static(res),
+                        ..cfg
+                    };
+                    DarcEngine::new(cfg, nt, hints)
+                })
+            }
+            Policy::CFcfs => self.spawn_with(port, CfcfsEngine::new),
+            Policy::Sjf => self.spawn_with(port, SjfEngine::new),
+            Policy::FixedPriority => self.spawn_with(port, FixedPriorityEngine::new),
+            Policy::DFcfs => self.spawn_with(port, DfcfsEngine::new),
+            Policy::TimeSharing(_) => panic!(
+                "Policy::TimeSharing is preemptive and therefore simulator-only; \
+                 the threaded runtime runs requests to completion (see the \
+                 policy matrix in DESIGN.md)"
+            ),
+        }
+    }
+
+    /// Spawns the server with `make(cfg, num_types, hints)` building each
+    /// shard's engine. Generic over the engine type so every policy's
+    /// dispatcher loop monomorphizes.
+    fn spawn_with<E>(
+        self,
+        port: ServerPort,
+        make: impl Fn(EngineConfig, usize, &[Option<Nanos>]) -> E,
+    ) -> ServerHandle
+    where
+        E: ScheduleEngine<Pending> + 'static,
+    {
         assert!(self.workers > 0, "server needs at least one worker");
         assert!(self.shards > 0, "server needs at least one shard");
         assert!(
@@ -293,8 +398,7 @@ impl ServerBuilder {
             let n_s = base + usize::from(s < rem);
             let mut engine_cfg = self.engine.clone();
             engine_cfg.num_workers = n_s;
-            let mut engine: DarcEngine<Pending> =
-                DarcEngine::new(engine_cfg, self.num_types, &self.hints);
+            let mut engine = make(engine_cfg, self.num_types, &self.hints);
             let telemetry = Arc::new(Telemetry::new(TelemetryConfig::new(self.num_types, n_s)));
             engine.set_telemetry(telemetry.clone());
 

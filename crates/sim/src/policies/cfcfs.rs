@@ -4,34 +4,48 @@
 //! servers (NGINX-style) do, and what work-stealing kernel-bypass systems
 //! (ZygOS, Shenango) approximate with per-worker queues plus stealing —
 //! which is how the paper evaluates Shenango.
+//!
+//! Thin adapter over the shared [`CfcfsEngine`]: the simulator runs the
+//! exact queueing and worker-selection code the threaded runtime runs
+//! under `ServerBuilder::policy(Policy::CFcfs)`.
 
-use std::collections::VecDeque;
+use persephone_core::dispatch::{CfcfsEngine, EngineConfig};
 
+use super::EngineAdapter;
 use crate::engine::{Core, Event, ReqId, SimPolicy};
 
 /// The c-FCFS policy.
-#[derive(Default)]
 pub struct CFcfs {
-    queue: VecDeque<ReqId>,
-    capacity: usize,
+    inner: EngineAdapter<CfcfsEngine<ReqId>>,
+    workers: usize,
 }
 
 impl CFcfs {
-    /// Creates a c-FCFS policy with an unbounded queue.
-    pub fn new() -> Self {
-        CFcfs::default()
+    /// Creates a c-FCFS policy over `workers` cores with an unbounded
+    /// queue. c-FCFS is type-blind, so no workload description is needed.
+    pub fn new(workers: usize) -> Self {
+        CFcfs::build(workers, 0)
     }
 
     /// Bounds the central queue (`0` = unbounded); arrivals beyond the
-    /// bound are dropped, as a real system's finite buffers would.
-    pub fn with_capacity(mut self, capacity: usize) -> Self {
-        self.capacity = capacity;
-        self
+    /// bound are dropped, as a real system's finite buffers would. Call
+    /// right after the constructor, before the first event.
+    pub fn with_capacity(self, capacity: usize) -> Self {
+        CFcfs::build(self.workers, capacity)
+    }
+
+    fn build(workers: usize, capacity: usize) -> Self {
+        let mut cfg = EngineConfig::darc(workers);
+        cfg.queue_capacity = capacity;
+        CFcfs {
+            inner: EngineAdapter::new(CfcfsEngine::new(cfg, 0, &[])),
+            workers,
+        }
     }
 
     /// Queued requests (test hook).
     pub fn backlog(&self) -> usize {
-        self.queue.len()
+        self.inner.engine().backlog()
     }
 }
 
@@ -41,25 +55,7 @@ impl SimPolicy for CFcfs {
     }
 
     fn handle(&mut self, ev: Event, core: &mut Core) {
-        match ev {
-            Event::Arrival(id) => {
-                if let Some(w) = core.idle_worker() {
-                    core.run(w, id);
-                } else if self.capacity != 0 && self.queue.len() >= self.capacity {
-                    core.drop_req(id);
-                } else {
-                    self.queue.push_back(id);
-                }
-            }
-            Event::Completed { worker, .. } => {
-                if let Some(next) = self.queue.pop_front() {
-                    core.run(worker, next);
-                }
-            }
-            Event::SliceExpired { .. } | Event::Timer(_) => {
-                unreachable!("c-FCFS never slices or sets timers")
-            }
-        }
+        self.inner.handle(ev, core);
     }
 }
 
@@ -74,7 +70,7 @@ mod tests {
         let wl = Workload::extreme_bimodal();
         let dur = Nanos::from_millis(100);
         let gen = ArrivalGen::uniform(&wl, 8, load, dur, seed);
-        let mut p = CFcfs::new();
+        let mut p = CFcfs::new(8);
         simulate(&mut p, gen, 2, dur, &SimConfig::new(8))
     }
 
@@ -84,7 +80,7 @@ mod tests {
         let dur = Nanos::from_millis(200);
         let out_c = {
             let gen = ArrivalGen::uniform(&wl, 8, 0.5, dur, 7);
-            let mut p = CFcfs::new();
+            let mut p = CFcfs::new(8);
             simulate(&mut p, gen, 2, dur, &SimConfig::new(8))
         };
         let out_d = {
@@ -129,7 +125,7 @@ mod tests {
         );
         let dur = Nanos::from_millis(400);
         let gen = ArrivalGen::uniform(&wl, 8, 0.7, dur, 13);
-        let mut p = CFcfs::new();
+        let mut p = CFcfs::new(8);
         let out = simulate(&mut p, gen, 1, dur, &SimConfig::new(8));
         // Erlang C for c=8, rho=0.7: P_wait ≈ 0.2709; W_q = P_wait /
         // (c·µ·(1−ρ)) = 0.2709 / (8·0.1·0.3) µs ≈ 1.129 µs; sojourn ≈ 11.13 µs.
@@ -138,5 +134,17 @@ mod tests {
             (mean_ns - 11_130.0).abs() < 450.0,
             "mean sojourn = {mean_ns} ns, expected ≈ 11130"
         );
+    }
+
+    #[test]
+    fn bounded_queue_sheds_overload() {
+        let wl = Workload::high_bimodal();
+        let dur = Nanos::from_millis(20);
+        let gen = ArrivalGen::uniform(&wl, 2, 3.0, dur, 19);
+        let mut p = CFcfs::new(2).with_capacity(4);
+        let out = simulate(&mut p, gen, 2, dur, &SimConfig::new(2));
+        assert!(out.summary.dropped > 0, "3× offered load must drop");
+        assert!(out.completions > 0);
+        assert_eq!(p.backlog(), 0, "simulate drains the queue");
     }
 }

@@ -244,7 +244,7 @@ mod tests {
         let wl = Workload::extreme_bimodal();
         let mut darc = DarcSim::dynamic(&wl, 8, 5_000);
         let out = run(&mut darc, &wl, 8, 0.85, 100, 4);
-        let mut cf = super::super::cfcfs::CFcfs::new();
+        let mut cf = super::super::cfcfs::CFcfs::new(8);
         let out_cf = run(&mut cf, &wl, 8, 0.85, 100, 4);
         let darc_short = out.summary.per_type[0].slowdown.p999;
         let cf_short = out_cf.summary.per_type[0].slowdown.p999;
@@ -295,7 +295,7 @@ mod tests {
         let wl = Workload::high_bimodal();
         let mut rnd = DarcSim::random_classifier(&wl, 8, 2_000, 99);
         let out_rnd = run(&mut rnd, &wl, 8, 0.8, 200, 7);
-        let mut cf = super::super::cfcfs::CFcfs::new();
+        let mut cf = super::super::cfcfs::CFcfs::new(8);
         let out_cf = run(&mut cf, &wl, 8, 0.8, 200, 7);
         let r = out_rnd.summary.overall_slowdown.p999;
         let c = out_cf.summary.overall_slowdown.p999;

@@ -5,39 +5,50 @@
 //! Shenango with work stealing disabled). Workers never help each other,
 //! so d-FCFS exhibits an *uncontrolled* form of non work conservation:
 //! cores idle while requests wait in other cores' queues.
+//!
+//! Thin adapter over the shared [`DfcfsEngine`]: the simulator runs the
+//! exact steering and per-worker-queue code the threaded runtime runs
+//! under `ServerBuilder::policy(Policy::DFcfs)`.
 
-use std::collections::VecDeque;
+use persephone_core::dispatch::{DfcfsEngine, EngineConfig, ScheduleEngine};
 
+use super::EngineAdapter;
 use crate::engine::{Core, Event, ReqId, SimPolicy};
-use crate::rng::Rng;
 
 /// The d-FCFS policy.
 pub struct DFcfs {
-    queues: Vec<VecDeque<ReqId>>,
-    rng: Rng,
-    capacity: usize,
+    inner: EngineAdapter<DfcfsEngine<ReqId>>,
+    workers: usize,
+    seed: u64,
 }
 
 impl DFcfs {
     /// Creates a d-FCFS policy over `workers` local queues; `seed` drives
-    /// the RSS-like uniform steering.
+    /// the RSS-like uniform steering. d-FCFS is type-blind, so no workload
+    /// description is needed.
     pub fn new(workers: usize, seed: u64) -> Self {
-        DFcfs {
-            queues: vec![VecDeque::new(); workers],
-            rng: Rng::new(seed),
-            capacity: 0,
-        }
+        DFcfs::build(workers, seed, 0)
     }
 
-    /// Bounds each local queue (`0` = unbounded).
-    pub fn with_capacity(mut self, capacity: usize) -> Self {
-        self.capacity = capacity;
-        self
+    /// Bounds each local queue (`0` = unbounded). Call right after the
+    /// constructor, before the first event.
+    pub fn with_capacity(self, capacity: usize) -> Self {
+        DFcfs::build(self.workers, self.seed, capacity)
+    }
+
+    fn build(workers: usize, seed: u64, capacity: usize) -> Self {
+        let mut cfg = EngineConfig::darc(workers);
+        cfg.queue_capacity = capacity;
+        DFcfs {
+            inner: EngineAdapter::new(DfcfsEngine::new(cfg, 0, &[]).with_seed(seed)),
+            workers,
+            seed,
+        }
     }
 
     /// Queued requests across all local queues (test hook).
     pub fn backlog(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.inner.engine().total_pending()
     }
 }
 
@@ -47,28 +58,7 @@ impl SimPolicy for DFcfs {
     }
 
     fn handle(&mut self, ev: Event, core: &mut Core) {
-        match ev {
-            Event::Arrival(id) => {
-                // RSS: the NIC hashes the flow onto a queue; an open-loop
-                // client population makes that effectively uniform.
-                let w = self.rng.next_below(core.num_workers() as u64) as usize;
-                if core.worker_idle(w) {
-                    core.run(w, id);
-                } else if self.capacity != 0 && self.queues[w].len() >= self.capacity {
-                    core.drop_req(id);
-                } else {
-                    self.queues[w].push_back(id);
-                }
-            }
-            Event::Completed { worker, .. } => {
-                if let Some(next) = self.queues[worker].pop_front() {
-                    core.run(worker, next);
-                }
-            }
-            Event::SliceExpired { .. } | Event::Timer(_) => {
-                unreachable!("d-FCFS never slices or sets timers")
-            }
-        }
+        self.inner.handle(ev, core);
     }
 }
 

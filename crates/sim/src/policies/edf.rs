@@ -125,7 +125,7 @@ mod tests {
         };
         let cf = {
             let gen = ArrivalGen::uniform(&wl, 8, 0.9, dur, 11);
-            let mut p = super::super::cfcfs::CFcfs::new();
+            let mut p = super::super::cfcfs::CFcfs::new(8);
             simulate(&mut p, gen, 2, dur, &SimConfig::new(8))
         };
         assert!(

@@ -4,52 +4,52 @@
 //! run on every worker — equivalent to "DARC-static with 0 reserved
 //! cores" (paper §5.3). FP still suffers dispersion-based head-of-line
 //! blocking: once long requests occupy all workers, arriving shorts wait.
+//!
+//! Thin adapter over the shared [`FixedPriorityEngine`]: the simulator
+//! runs the exact priority-scan code the threaded runtime runs under
+//! `ServerBuilder::policy(Policy::FixedPriority)`.
 
-use std::collections::VecDeque;
+use persephone_core::dispatch::{EngineConfig, FixedPriorityEngine};
+use persephone_core::time::Nanos;
 
+use super::EngineAdapter;
 use crate::engine::{Core, Event, ReqId, SimPolicy};
 use crate::workload::Workload;
 
 /// The fixed-priority policy.
 pub struct FixedPriority {
-    /// Typed queues, indexed by type id.
-    queues: Vec<VecDeque<ReqId>>,
-    /// Type ids in ascending mean-service order.
-    order: Vec<usize>,
-    capacity: usize,
+    inner: EngineAdapter<FixedPriorityEngine<ReqId>>,
+    workers: usize,
+    hints: Vec<Option<Nanos>>,
 }
 
 impl FixedPriority {
-    /// Creates an FP policy; priorities follow the workload's declared
-    /// mean service times, ascending.
-    pub fn new(workload: &Workload) -> Self {
-        let mut order: Vec<usize> = (0..workload.num_types()).collect();
-        order.sort_by(|&a, &b| {
-            workload.types[a]
-                .service
-                .mean()
-                .cmp(&workload.types[b].service.mean())
-        });
+    /// Creates an FP policy over `workers` cores; priorities follow the
+    /// workload's declared mean service times, ascending.
+    pub fn new(workload: &Workload, workers: usize) -> Self {
+        FixedPriority::build(workload.hints(), workers, 0)
+    }
+
+    /// Bounds each typed queue (`0` = unbounded). Call right after the
+    /// constructor, before the first event.
+    pub fn with_capacity(self, capacity: usize) -> Self {
+        FixedPriority::build(self.hints, self.workers, capacity)
+    }
+
+    fn build(hints: Vec<Option<Nanos>>, workers: usize, capacity: usize) -> Self {
+        let mut cfg = EngineConfig::darc(workers);
+        cfg.queue_capacity = capacity;
+        let n = hints.len();
         FixedPriority {
-            queues: vec![VecDeque::new(); workload.num_types()],
-            order,
-            capacity: 0,
+            inner: EngineAdapter::new(FixedPriorityEngine::new(cfg, n, &hints)),
+            workers,
+            hints,
         }
     }
 
-    /// Bounds each typed queue (`0` = unbounded).
-    pub fn with_capacity(mut self, capacity: usize) -> Self {
-        self.capacity = capacity;
-        self
-    }
-
-    fn pop_highest(&mut self) -> Option<ReqId> {
-        for &t in &self.order {
-            if let Some(id) = self.queues[t].pop_front() {
-                return Some(id);
-            }
-        }
-        None
+    /// Type ids in descending priority (ascending mean-service) order.
+    pub fn priority_order(&self) -> &[usize] {
+        self.inner.engine().priority_order()
     }
 }
 
@@ -59,28 +59,7 @@ impl SimPolicy for FixedPriority {
     }
 
     fn handle(&mut self, ev: Event, core: &mut Core) {
-        match ev {
-            Event::Arrival(id) => {
-                if let Some(w) = core.idle_worker() {
-                    core.run(w, id);
-                } else {
-                    let ty = core.req(id).ty.index();
-                    if self.capacity != 0 && self.queues[ty].len() >= self.capacity {
-                        core.drop_req(id);
-                    } else {
-                        self.queues[ty].push_back(id);
-                    }
-                }
-            }
-            Event::Completed { worker, .. } => {
-                if let Some(next) = self.pop_highest() {
-                    core.run(worker, next);
-                }
-            }
-            Event::SliceExpired { .. } | Event::Timer(_) => {
-                unreachable!("FP never slices or sets timers")
-            }
-        }
+        self.inner.handle(ev, core);
     }
 }
 
@@ -96,7 +75,7 @@ mod tests {
         let wl = Workload::high_bimodal();
         let dur = Nanos::from_millis(300);
         let gen = ArrivalGen::uniform(&wl, 8, 0.9, dur, 3);
-        let mut p = FixedPriority::new(&wl);
+        let mut p = FixedPriority::new(&wl, 8);
         let out = simulate(&mut p, gen, 2, dur, &SimConfig::new(8));
         let short = &out.summary.per_type[0];
         let long = &out.summary.per_type[1];
@@ -114,12 +93,12 @@ mod tests {
         let dur = Nanos::from_millis(300);
         let fp = {
             let gen = ArrivalGen::uniform(&wl, 8, 0.85, dur, 17);
-            let mut p = FixedPriority::new(&wl);
+            let mut p = FixedPriority::new(&wl, 8);
             simulate(&mut p, gen, 2, dur, &SimConfig::new(8))
         };
         let cf = {
             let gen = ArrivalGen::uniform(&wl, 8, 0.85, dur, 17);
-            let mut p = super::super::cfcfs::CFcfs::new();
+            let mut p = super::super::cfcfs::CFcfs::new(8);
             simulate(&mut p, gen, 2, dur, &SimConfig::new(8))
         };
         assert!(
@@ -133,7 +112,11 @@ mod tests {
     #[test]
     fn priority_order_sorts_by_service_time() {
         let wl = Workload::tpcc();
-        let p = FixedPriority::new(&wl);
-        assert_eq!(p.order, vec![0, 1, 2, 3, 4], "TPC-C types are pre-sorted");
+        let p = FixedPriority::new(&wl, 8);
+        assert_eq!(
+            p.priority_order(),
+            &[0, 1, 2, 3, 4],
+            "TPC-C types are pre-sorted"
+        );
     }
 }

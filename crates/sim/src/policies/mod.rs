@@ -12,6 +12,13 @@
 //! * [`ts`] — quantum-based time sharing (Shinjuku model).
 //! * [`darc`] — DARC, driving the real `persephone_core` engine.
 //!
+//! The Table 5 policies that also run on the live runtime — d-FCFS,
+//! c-FCFS, FP, SJF, and both DARC variants — are thin adapters over the
+//! shared `persephone_core` [`ScheduleEngine`]s, so the simulator
+//! exercises the exact scheduling code a deployment runs. The remaining
+//! modules (`edf`, `drr`, `cscq`, and the preemptive `ts`) are
+//! simulator-only disciplines with their own logic.
+//!
 //! [`build`] maps a [`Policy`] description onto a boxed implementation.
 
 pub mod cfcfs;
@@ -24,10 +31,62 @@ pub mod fp;
 pub mod sjf;
 pub mod ts;
 
+use persephone_core::dispatch::ScheduleEngine;
 use persephone_core::policy::Policy;
+use persephone_core::types::WorkerId;
 
-use crate::engine::SimPolicy;
+use crate::engine::{Core, Event, ReqId, SimPolicy};
 use crate::workload::Workload;
+
+/// Shared glue between a core [`ScheduleEngine`] and the simulator (the
+/// pattern [`darc::DarcSim`] established): arrivals are classified with
+/// the request's true type and enqueued, every dispatch decision the
+/// engine makes is executed on the simulated cores, and completions are
+/// fed back so the engine's worker bookkeeping mirrors the simulation.
+pub(crate) struct EngineAdapter<E: ScheduleEngine<ReqId>> {
+    engine: E,
+}
+
+impl<E: ScheduleEngine<ReqId>> EngineAdapter<E> {
+    pub(crate) fn new(engine: E) -> Self {
+        EngineAdapter { engine }
+    }
+
+    /// Read access to the wrapped engine (test hooks, accessors).
+    pub(crate) fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    fn drain(&mut self, core: &mut Core) {
+        while let Some(d) = self.engine.poll(core.now) {
+            core.run(d.worker.index(), d.req);
+        }
+    }
+
+    /// Routes a simulation event through the engine. Slice/timer events
+    /// are unreachable: every adapted engine is non-preemptive.
+    pub(crate) fn handle(&mut self, ev: Event, core: &mut Core) {
+        match ev {
+            Event::Arrival(id) => {
+                let ty = core.req(id).ty;
+                if let Err(rejected) = self.engine.enqueue(ty, id, core.now) {
+                    core.drop_req(rejected);
+                }
+                self.drain(core);
+            }
+            Event::Completed {
+                worker, service, ..
+            } => {
+                self.engine
+                    .complete(WorkerId::new(worker as u32), service, core.now);
+                self.drain(core);
+            }
+            Event::SliceExpired { .. } | Event::Timer(_) => {
+                unreachable!("core scheduling engines are non-preemptive")
+            }
+        }
+    }
+}
 
 /// Instantiates the simulator implementation of `policy` for `workload`
 /// on `workers` cores.
@@ -48,11 +107,11 @@ pub fn build(
 ) -> Box<dyn SimPolicy> {
     match policy {
         Policy::DFcfs => Box::new(dfcfs::DFcfs::new(workers, 0xD15).with_capacity(queue_capacity)),
-        Policy::CFcfs => Box::new(cfcfs::CFcfs::new().with_capacity(queue_capacity)),
+        Policy::CFcfs => Box::new(cfcfs::CFcfs::new(workers).with_capacity(queue_capacity)),
         Policy::FixedPriority => {
-            Box::new(fp::FixedPriority::new(workload).with_capacity(queue_capacity))
+            Box::new(fp::FixedPriority::new(workload, workers).with_capacity(queue_capacity))
         }
-        Policy::Sjf => Box::new(sjf::Sjf::new().with_capacity(queue_capacity)),
+        Policy::Sjf => Box::new(sjf::Sjf::new(workload, workers).with_capacity(queue_capacity)),
         Policy::TimeSharing(p) => {
             Box::new(ts::TimeSharing::new(*p, workload.num_types()).with_capacity(queue_capacity))
         }

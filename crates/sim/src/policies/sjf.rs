@@ -1,35 +1,51 @@
-//! Non-preemptive Shortest-Job-First (SJF).
+//! Non-preemptive Shortest-Job-First (SJF) by profiled type.
 //!
-//! An idealized comparison point from Table 5: the dispatcher magically
-//! knows each request's exact service demand and always dequeues the
-//! shortest pending one. Running requests are never preempted, so SJF
-//! still lets an unlucky short request block behind `W` in-flight longs.
+//! A comparison point from Table 5: pending requests are dequeued in
+//! ascending order of their *type's* mean service time, seeded here from
+//! the workload's declared means (what a converged profiler would
+//! report). Running requests are never preempted, so SJF still lets an
+//! unlucky short request block behind `W` in-flight longs.
+//!
+//! Thin adapter over the shared [`SjfEngine`]: the simulator runs the
+//! exact typed-queue selection code the threaded runtime runs under
+//! `ServerBuilder::policy(Policy::Sjf)`.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use persephone_core::dispatch::{EngineConfig, SjfEngine};
 use persephone_core::time::Nanos;
 
+use super::EngineAdapter;
 use crate::engine::{Core, Event, ReqId, SimPolicy};
+use crate::workload::Workload;
 
-/// The SJF policy (oracle service times).
-#[derive(Default)]
+/// The SJF policy (type-mean service times).
 pub struct Sjf {
-    heap: BinaryHeap<Reverse<(Nanos, u64, ReqId)>>,
-    seq: u64,
-    capacity: usize,
+    inner: EngineAdapter<SjfEngine<ReqId>>,
+    workers: usize,
+    hints: Vec<Option<Nanos>>,
 }
 
 impl Sjf {
-    /// Creates an SJF policy.
-    pub fn new() -> Self {
-        Sjf::default()
+    /// Creates an SJF policy over `workers` cores; type service times come
+    /// from the workload's declared means.
+    pub fn new(workload: &Workload, workers: usize) -> Self {
+        Sjf::build(workload.hints(), workers, 0)
     }
 
-    /// Bounds the pending heap (`0` = unbounded).
-    pub fn with_capacity(mut self, capacity: usize) -> Self {
-        self.capacity = capacity;
-        self
+    /// Bounds each typed queue (`0` = unbounded). Call right after the
+    /// constructor, before the first event.
+    pub fn with_capacity(self, capacity: usize) -> Self {
+        Sjf::build(self.hints, self.workers, capacity)
+    }
+
+    fn build(hints: Vec<Option<Nanos>>, workers: usize, capacity: usize) -> Self {
+        let mut cfg = EngineConfig::darc(workers);
+        cfg.queue_capacity = capacity;
+        let n = hints.len();
+        Sjf {
+            inner: EngineAdapter::new(SjfEngine::new(cfg, n, &hints)),
+            workers,
+            hints,
+        }
     }
 }
 
@@ -39,27 +55,7 @@ impl SimPolicy for Sjf {
     }
 
     fn handle(&mut self, ev: Event, core: &mut Core) {
-        match ev {
-            Event::Arrival(id) => {
-                if let Some(w) = core.idle_worker() {
-                    core.run(w, id);
-                } else if self.capacity != 0 && self.heap.len() >= self.capacity {
-                    core.drop_req(id);
-                } else {
-                    let svc = core.req(id).service;
-                    self.seq += 1;
-                    self.heap.push(Reverse((svc, self.seq, id)));
-                }
-            }
-            Event::Completed { worker, .. } => {
-                if let Some(Reverse((_, _, next))) = self.heap.pop() {
-                    core.run(worker, next);
-                }
-            }
-            Event::SliceExpired { .. } | Event::Timer(_) => {
-                unreachable!("SJF never slices or sets timers")
-            }
-        }
+        self.inner.handle(ev, core);
     }
 }
 
@@ -75,12 +71,12 @@ mod tests {
         let dur = Nanos::from_millis(300);
         let sjf = {
             let gen = ArrivalGen::uniform(&wl, 4, 0.9, dur, 21);
-            let mut p = Sjf::new();
+            let mut p = Sjf::new(&wl, 4);
             simulate(&mut p, gen, 2, dur, &SimConfig::new(4))
         };
         let cf = {
             let gen = ArrivalGen::uniform(&wl, 4, 0.9, dur, 21);
-            let mut p = super::super::cfcfs::CFcfs::new();
+            let mut p = super::super::cfcfs::CFcfs::new(4);
             simulate(&mut p, gen, 2, dur, &SimConfig::new(4))
         };
         // SJF minimizes mean waiting time relative to FCFS.
@@ -93,15 +89,35 @@ mod tests {
     }
 
     #[test]
-    fn fifo_among_equal_lengths() {
-        // With one constant type SJF degenerates to FCFS: equal keys must
-        // break ties by arrival order, which the seq counter guarantees.
-        let mut h: BinaryHeap<Reverse<(Nanos, u64, ReqId)>> = BinaryHeap::new();
-        h.push(Reverse((Nanos::from_micros(1), 0, 10)));
-        h.push(Reverse((Nanos::from_micros(1), 1, 11)));
-        h.push(Reverse((Nanos::from_micros(1), 2, 12)));
-        assert_eq!(h.pop().unwrap().0 .2, 10);
-        assert_eq!(h.pop().unwrap().0 .2, 11);
-        assert_eq!(h.pop().unwrap().0 .2, 12);
+    fn degenerates_to_fcfs_for_a_single_type() {
+        // With one type every queue key is equal, so SJF must break ties
+        // by arrival order — identical completions to c-FCFS on the same
+        // arrival trace.
+        use crate::dist::Dist;
+        use crate::workload::TypeMix;
+        let wl = Workload::new(
+            "uni",
+            vec![TypeMix::new(
+                "X",
+                1.0,
+                Dist::Exponential(Nanos::from_micros(10)),
+            )],
+        );
+        let dur = Nanos::from_millis(100);
+        let sjf = {
+            let gen = ArrivalGen::uniform(&wl, 4, 0.8, dur, 5);
+            let mut p = Sjf::new(&wl, 4);
+            simulate(&mut p, gen, 1, dur, &SimConfig::new(4))
+        };
+        let cf = {
+            let gen = ArrivalGen::uniform(&wl, 4, 0.8, dur, 5);
+            let mut p = super::super::cfcfs::CFcfs::new(4);
+            simulate(&mut p, gen, 1, dur, &SimConfig::new(4))
+        };
+        assert_eq!(sjf.completions, cf.completions);
+        assert_eq!(
+            sjf.summary.per_type[0].latency_ns.p999, cf.summary.per_type[0].latency_ns.p999,
+            "one-type SJF must replay c-FCFS exactly"
+        );
     }
 }

@@ -202,7 +202,7 @@ mod tests {
             let wl = Workload::extreme_bimodal();
             let dur = Nanos::from_millis(100);
             let gen = ArrivalGen::uniform(&wl, 8, 0.7, dur, 3);
-            let mut p = super::super::cfcfs::CFcfs::new();
+            let mut p = super::super::cfcfs::CFcfs::new(8);
             simulate(&mut p, gen, 2, dur, &SimConfig::new(8))
         };
         assert!(

@@ -53,11 +53,13 @@ pub mod prelude {
         Classifier, FixedClassifier, FnClassifier, HeaderClassifier, RandomClassifier,
     };
     pub use persephone_core::dispatch::{
-        DarcEngine, EngineConfig, EngineMode, OverloadConfig, ReserveTuning,
+        build_engine, CfcfsEngine, DarcEngine, DfcfsEngine, Dispatch, EngineConfig, EngineMode,
+        EngineReport, FixedPriorityEngine, OverloadConfig, ReserveTuning, ScheduleEngine,
+        SjfEngine, SloQueueBounds,
     };
     pub use persephone_core::policy::Policy;
     pub use persephone_core::time::Nanos;
-    pub use persephone_core::types::TypeId;
+    pub use persephone_core::types::{TypeId, WorkerId};
     pub use persephone_net::nic::{
         self, loopback, loopback_mq, ClientPort, NicFaultPlan, ServerPort, Steering,
     };

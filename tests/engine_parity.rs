@@ -1,0 +1,214 @@
+//! Decision-parity tests for the extracted baseline engines.
+//!
+//! The dispatch.rs split (PR 4) must not change a single scheduling
+//! decision: the dedicated [`CfcfsEngine`] has to replay the legacy
+//! `EngineMode::CFcfs`-inside-`DarcEngine` path decision for decision,
+//! and [`SjfEngine`] has to order a hinted trace exactly as the
+//! simulator's pre-adapterization shortest-job-first did. Both tests
+//! drive the engines through the [`ScheduleEngine`] trait with the same
+//! seeded arrival trace and compare the full `(worker, request)` dispatch
+//! sequences, not just aggregate counts.
+
+use persephone::prelude::*;
+
+/// A deterministic arrival trace: `(type, request id, arrival time)`.
+/// SplitMix64 keeps it seed-stable across runs and platforms.
+fn trace(seed: u64, n: u64, num_types: u32, gap_ns: u64) -> Vec<(TypeId, u64, Nanos)> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|i| {
+            let ty = TypeId::new((next() % num_types as u64) as u32);
+            // Irregular but monotone arrival times.
+            let at = Nanos::from_nanos(i * gap_ns + next() % gap_ns);
+            (ty, i, at)
+        })
+        .collect()
+}
+
+/// Drives `engine` through arrivals, polls, and completions, recording
+/// every dispatch decision. `service(ty)` is the deterministic service
+/// time; completions retire in dispatch order, `inflight_cap` at a time,
+/// so both engines see identical free-worker sequences.
+fn drive<E: ScheduleEngine<u64> + ?Sized>(
+    engine: &mut E,
+    trace: &[(TypeId, u64, Nanos)],
+    service: impl Fn(TypeId) -> Nanos,
+) -> Vec<(usize, u64)> {
+    let mut decisions = Vec::new();
+    let mut inflight: std::collections::VecDeque<(WorkerId, TypeId)> =
+        std::collections::VecDeque::new();
+    for (i, &(ty, id, at)) in trace.iter().enumerate() {
+        engine.enqueue(ty, id, at).expect("unbounded queues");
+        while let Some(d) = engine.poll(at) {
+            decisions.push((d.worker.index(), d.req));
+            inflight.push_back((d.worker, d.ty));
+        }
+        // Retire the oldest in-flight request every other arrival so the
+        // engines alternate between queue pressure and free workers.
+        if i % 2 == 1 {
+            if let Some((w, wty)) = inflight.pop_front() {
+                engine.complete(w, service(wty), at);
+                while let Some(d) = engine.poll(at) {
+                    decisions.push((d.worker.index(), d.req));
+                    inflight.push_back((d.worker, d.ty));
+                }
+            }
+        }
+    }
+    // Drain: complete everything still running, polling as workers free.
+    let end = trace.last().map(|&(_, _, at)| at).unwrap_or(Nanos::ZERO);
+    while let Some((w, wty)) = inflight.pop_front() {
+        engine.complete(w, service(wty), end);
+        while let Some(d) = engine.poll(end) {
+            decisions.push((d.worker.index(), d.req));
+            inflight.push_back((d.worker, d.ty));
+        }
+    }
+    decisions
+}
+
+/// The legacy c-FCFS mode inside `DarcEngine` and the dedicated
+/// `CfcfsEngine` make byte-identical decisions on the same trace.
+#[test]
+fn cfcfs_engine_replays_legacy_darc_cfcfs_mode() {
+    let hints = [Some(Nanos::from_micros(1)), Some(Nanos::from_micros(100))];
+    let service = |ty: TypeId| hints[ty.index()].unwrap();
+    let arrivals = trace(0xC0FFEE, 4_000, 2, 700);
+
+    #[allow(deprecated)]
+    let legacy_cfg = EngineConfig::cfcfs(6);
+    let mut legacy: DarcEngine<u64> = DarcEngine::new(legacy_cfg, 2, &hints);
+    let legacy_decisions = drive(&mut legacy, &arrivals, service);
+
+    let mut dedicated: CfcfsEngine<u64> = CfcfsEngine::new(EngineConfig::darc(6), 2, &hints);
+    let dedicated_decisions = drive(&mut dedicated, &arrivals, service);
+
+    assert_eq!(
+        legacy_decisions.len(),
+        arrivals.len(),
+        "every request dispatched exactly once"
+    );
+    assert_eq!(
+        legacy_decisions, dedicated_decisions,
+        "the split must not change a single c-FCFS decision"
+    );
+    assert_eq!(ScheduleEngine::total_pending(&legacy), 0);
+    assert_eq!(ScheduleEngine::total_pending(&dedicated), 0);
+    assert_eq!(
+        ScheduleEngine::free_workers(&legacy),
+        ScheduleEngine::free_workers(&dedicated)
+    );
+}
+
+/// `build_engine(Policy::CFcfs)` routes to the same decisions as the
+/// concrete engine — the boxed and monomorphized paths agree.
+#[test]
+fn boxed_cfcfs_engine_matches_concrete() {
+    let hints = [Some(Nanos::from_micros(2)), Some(Nanos::from_micros(50))];
+    let service = |ty: TypeId| hints[ty.index()].unwrap();
+    let arrivals = trace(0xBEEF, 1_000, 2, 900);
+
+    let mut boxed = build_engine::<u64>(&Policy::CFcfs, EngineConfig::darc(4), 2, &hints);
+    let boxed_decisions = drive(boxed.as_mut(), &arrivals, service);
+
+    let mut concrete: CfcfsEngine<u64> = CfcfsEngine::new(EngineConfig::darc(4), 2, &hints);
+    let concrete_decisions = drive(&mut concrete, &arrivals, service);
+
+    assert_eq!(boxed_decisions, concrete_decisions);
+}
+
+/// Reference shortest-job-first exactly as the simulator's pre-adapter
+/// `sjf.rs` implemented it: a min-heap keyed by `(service, seq)` with
+/// FIFO tie-breaks, dispatching to the lowest-indexed free worker.
+struct ReferenceSjf {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(Nanos, u64, u64)>>,
+    seq: u64,
+    free: Vec<bool>,
+}
+
+impl ReferenceSjf {
+    fn new(workers: usize) -> Self {
+        ReferenceSjf {
+            heap: std::collections::BinaryHeap::new(),
+            seq: 0,
+            free: vec![true; workers],
+        }
+    }
+
+    fn push(&mut self, svc: Nanos, id: u64) {
+        self.seq += 1;
+        self.heap.push(std::cmp::Reverse((svc, self.seq, id)));
+    }
+
+    fn poll(&mut self) -> Option<(usize, u64)> {
+        let w = self.free.iter().position(|&f| f)?;
+        let std::cmp::Reverse((_, _, id)) = self.heap.pop()?;
+        self.free[w] = false;
+        Some((w, id))
+    }
+}
+
+/// With per-type (hinted) service times, `SjfEngine` reproduces the
+/// simulator's old heap-based SJF decision for decision.
+#[test]
+fn sjf_engine_matches_presplit_simulator_sjf() {
+    let hints = [
+        Some(Nanos::from_micros(1)),
+        Some(Nanos::from_micros(10)),
+        Some(Nanos::from_micros(100)),
+    ];
+    let service = |ty: TypeId| hints[ty.index()].unwrap();
+    let arrivals = trace(0x5EED, 3_000, 3, 800);
+    let workers = 4;
+
+    // Freeze profiling so estimates stay at the hints, matching the
+    // oracle's fixed per-type service times.
+    let mut cfg = EngineConfig::darc(workers);
+    cfg.profiler.min_samples = u64::MAX;
+    let mut engine: SjfEngine<u64> = SjfEngine::new(cfg, 3, &hints);
+    let engine_decisions = drive(&mut engine, &arrivals, service);
+
+    // Replay the same drive schedule against the reference heap.
+    let mut reference = ReferenceSjf::new(workers);
+    let mut expected = Vec::new();
+    let mut inflight: std::collections::VecDeque<(usize, TypeId)> =
+        std::collections::VecDeque::new();
+    let mut ty_of = std::collections::HashMap::new();
+    for (i, &(ty, id, _at)) in arrivals.iter().enumerate() {
+        ty_of.insert(id, ty);
+        reference.push(service(ty), id);
+        while let Some((w, rid)) = reference.poll() {
+            expected.push((w, rid));
+            inflight.push_back((w, ty_of[&rid]));
+        }
+        if i % 2 == 1 {
+            if let Some((w, _)) = inflight.pop_front() {
+                reference.free[w] = true;
+                while let Some((w2, rid)) = reference.poll() {
+                    expected.push((w2, rid));
+                    inflight.push_back((w2, ty_of[&rid]));
+                }
+            }
+        }
+    }
+    while let Some((w, _)) = inflight.pop_front() {
+        reference.free[w] = true;
+        while let Some((w2, rid)) = reference.poll() {
+            expected.push((w2, rid));
+            inflight.push_back((w2, ty_of[&rid]));
+        }
+    }
+
+    assert_eq!(engine_decisions.len(), arrivals.len());
+    assert_eq!(
+        engine_decisions, expected,
+        "SjfEngine must replay the simulator's heap-based SJF"
+    );
+}

@@ -1,0 +1,189 @@
+//! Live-policy end-to-end tests: the threaded server boots through
+//! `ServerBuilder::policy(...)` for each runnable Table 5 policy and is
+//! driven with real open-loop load over the loopback NIC on K = 2
+//! dispatcher shards. Every policy must conserve requests (client and
+//! server ledgers balance), report the policy it ran, and produce sane
+//! telemetry.
+
+use std::time::Duration;
+
+use persephone::prelude::*;
+
+fn spin_services() -> [Nanos; 2] {
+    [Nanos::from_micros(5), Nanos::from_micros(100)]
+}
+
+/// Boots a K=2-shard server under `policy`, drives a 80/20 short/long
+/// mix, and checks conservation plus telemetry agreement.
+///
+/// Reports carry the *engine's* name, so both DARC variants show "DARC"
+/// (static vs dynamic reservations are configuration, not a different
+/// engine).
+fn run_policy(policy: Policy, seed: u64) {
+    let name = match policy {
+        Policy::DarcStatic { .. } => "DARC".to_string(),
+        ref p => p.name(),
+    };
+    let services = spin_services();
+    let cal = SpinCalibration::calibrate();
+    let (mut client, server_port) = loopback_mq(512, 2, Steering::Rss);
+    let handle = ServerBuilder::new(4, 2)
+        .shards(2)
+        .policy(policy)
+        .hints(services.iter().map(|s| Some(*s)).collect())
+        .classifier_factory(|_shard| Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)))
+        .handler_factory(move |_worker| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
+
+    let mut pool = BufferPool::new(256, 128);
+    let spec = LoadSpec::new(vec![
+        LoadType {
+            ty: 0,
+            ratio: 0.8,
+            payload: b"short".to_vec(),
+        },
+        LoadType {
+            ty: 1,
+            ratio: 0.2,
+            payload: b"long".to_vec(),
+        },
+    ]);
+    let report = run_open_loop(
+        &mut client,
+        &mut pool,
+        &spec,
+        2_000.0,
+        Duration::from_millis(400),
+        Duration::from_secs(2),
+        seed,
+    );
+    let server = handle.stop();
+
+    assert!(report.sent > 100, "[{name}] sent = {}", report.sent);
+    assert!(
+        report.received > 0,
+        "[{name}] some requests must be answered"
+    );
+    assert_eq!(
+        report.received + report.dropped + report.rejected + report.timed_out,
+        report.sent,
+        "[{name}] client totals balance"
+    );
+
+    // The merged report names the policy that actually ran.
+    let d = &server.dispatcher;
+    assert_eq!(d.policy, name, "merged report carries the policy name");
+    assert_eq!(server.shards.len(), 2);
+    for s in &server.shards {
+        assert_eq!(s.policy, name, "every shard ran {name}");
+    }
+
+    // Server-side conservation: every packet pulled off the NIC was
+    // handled by a worker or answered with an explicit control status.
+    assert_eq!(
+        d.received,
+        server.handled() + d.dropped + d.expired + d.shed_at_shutdown + d.malformed,
+        "[{name}] no request may vanish inside the dispatch plane"
+    );
+    assert_eq!(d.malformed, 0, "[{name}]");
+    assert_eq!(d.unknown, 0, "[{name}]");
+
+    // Telemetry agrees with the worker ledgers across both shards.
+    assert_eq!(d.telemetry.workers.len(), 4, "[{name}]");
+    assert_eq!(d.telemetry.completions(), server.handled(), "[{name}]");
+    assert!(
+        d.telemetry.workers.iter().any(|w| w.busy_ns > 0),
+        "[{name}] workers did real work"
+    );
+    assert!(
+        server.shards.iter().all(|s| s.received > 0),
+        "[{name}] both shards received traffic"
+    );
+}
+
+#[test]
+fn cfcfs_policy_runs_live_on_two_shards() {
+    run_policy(Policy::CFcfs, 61);
+}
+
+#[test]
+fn sjf_policy_runs_live_on_two_shards() {
+    run_policy(Policy::Sjf, 67);
+}
+
+#[test]
+fn darc_policy_runs_live_on_two_shards() {
+    run_policy(Policy::Darc, 71);
+}
+
+#[test]
+fn fixed_priority_policy_runs_live_on_two_shards() {
+    run_policy(Policy::FixedPriority, 73);
+}
+
+#[test]
+fn dfcfs_policy_runs_live_on_two_shards() {
+    run_policy(Policy::DFcfs, 79);
+}
+
+#[test]
+fn darc_static_policy_runs_live_on_two_shards() {
+    run_policy(Policy::DarcStatic { reserved_short: 1 }, 83);
+}
+
+/// The preemptive policy is rejected at spawn with actionable guidance,
+/// not silently approximated.
+#[test]
+#[should_panic(expected = "simulator-only")]
+fn time_sharing_is_rejected_at_spawn() {
+    use persephone::core::policy::TimeSharingParams;
+    let (_client, server_port) = loopback(64);
+    let _ = ServerBuilder::new(2, 1)
+        .policy(Policy::TimeSharing(TimeSharingParams::shinjuku_fig1()))
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 1))
+        .handler_factory(|_| {
+            let cal = SpinCalibration::calibrate();
+            Box::new(SpinHandler::new(cal, &[Nanos::from_micros(1)]))
+        })
+        .spawn(server_port);
+}
+
+/// The legacy deprecated `EngineConfig::cfcfs()` shim still boots a
+/// server, now routed onto the dedicated c-FCFS engine.
+#[test]
+fn legacy_cfcfs_engine_config_still_boots() {
+    let services = spin_services();
+    let cal = SpinCalibration::calibrate();
+    let (mut client, server_port) = loopback(256);
+    #[allow(deprecated)]
+    let engine = persephone::core::dispatch::EngineConfig::cfcfs(2);
+    let handle = ServerBuilder::new(2, 2)
+        .engine(engine)
+        .hints(services.iter().map(|s| Some(*s)).collect())
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+        .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
+        .spawn(server_port);
+
+    let mut pool = BufferPool::new(64, 128);
+    let spec = LoadSpec::new(vec![LoadType {
+        ty: 0,
+        ratio: 1.0,
+        payload: b"x".to_vec(),
+    }]);
+    let report = run_open_loop(
+        &mut client,
+        &mut pool,
+        &spec,
+        500.0,
+        Duration::from_millis(200),
+        Duration::from_secs(2),
+        89,
+    );
+    let server = handle.stop();
+    assert!(report.received > 10);
+    assert_eq!(server.handled(), report.received);
+    assert_eq!(
+        server.dispatcher.policy, "c-FCFS",
+        "the deprecated shim routes onto the dedicated engine"
+    );
+}

@@ -181,7 +181,7 @@ fn darc_absorbs_bursts_via_stealing() {
     };
     let mut darc = DarcSim::dynamic(&wl, 14, 5_000);
     let darc_out = simulate(&mut darc, bursty(21), 2, dur, &SimConfig::new(14));
-    let mut cf = CFcfs::new();
+    let mut cf = CFcfs::new(14);
     let cf_out = simulate(&mut cf, bursty(21), 2, dur, &SimConfig::new(14));
     let d = darc_out.summary.per_type[0].slowdown.p999;
     let c = cf_out.summary.per_type[0].slowdown.p999;
