@@ -1,0 +1,63 @@
+//! # persephone-check — in-tree concurrency model checker
+//!
+//! Every latency number this reproduction reports flows through
+//! hand-rolled lock-free code: the Barrelfish-style SPSC rings carrying
+//! requests between dispatcher and workers (paper §4.3.2), the MPSC
+//! buffer-return ring (§4.3.1), and the telemetry seqlock event ring. A
+//! single misplaced `Ordering` silently corrupts requests in flight —
+//! exactly the class of bug one interleaving under `cargo test` never
+//! sees. The workspace builds offline with no registry dependencies, so
+//! loom and miri are unavailable; this crate is the in-tree substitute.
+//!
+//! ## How it works
+//!
+//! [`model`] reruns a closure over every thread interleaving within
+//! configurable bounds (see [`Config`]). The closure builds its shared
+//! state from the instrumented types in [`sync`] and spawns threads via
+//! [`thread::spawn`]; each operation on those types is a scheduling
+//! point where the explorer picks who runs next (DFS over a persistent
+//! choice path, bounded preemptions) and — for `Relaxed`/`Acquire`
+//! loads — *which visible store* the load observes, bounded by a store
+//! history and a stale-read budget. Release/acquire edges, fences,
+//! spawn/join, and `Arc` teardown maintain vector clocks, and every
+//! [`sync::UnsafeCell`] access is checked against them: unordered
+//! accesses are reported as data races with the schedule that produced
+//! them, before the memory is touched.
+//!
+//! What it catches: data races (concurrent `UnsafeCell` access), torn
+//! seqlock reads and lost writes (via stale-value exploration plus test
+//! assertions), double/missing drops (via drop-counting assertions),
+//! deadlocks, and livelocks. What it cannot prove: anything beyond the
+//! explored bounds (preemptions, store history, schedule length), SC
+//! total-order subtleties of `SeqCst`, or spurious
+//! `compare_exchange_weak` failures — see `DESIGN.md` §6.
+//!
+//! ## Writing a model test
+//!
+//! ```
+//! use persephone_check::{model, sync::atomic::{AtomicU64, Ordering}, sync::Arc, thread};
+//!
+//! model(|| {
+//!     let flag = Arc::new(AtomicU64::new(0));
+//!     let t = {
+//!         let flag = flag.clone();
+//!         thread::spawn(move || flag.store(1, Ordering::Release))
+//!     };
+//!     let seen = flag.load(Ordering::Acquire);
+//!     assert!(seen == 0 || seen == 1);
+//!     t.join();
+//! });
+//! ```
+
+#![warn(missing_docs)]
+// The single `unsafe impl Sync` lives in `sync::cell` with a SAFETY
+// argument; everything else is safe code.
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod sched;
+pub mod sync;
+pub mod thread;
+mod vclock;
+
+pub use sched::{model, model_expect_violation, model_with, Config, Stats};

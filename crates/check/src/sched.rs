@@ -1,0 +1,634 @@
+//! The deterministic interleaving explorer.
+//!
+//! [`model`] runs a closure many times. Each run is one *execution*: the
+//! model threads it spawns (via [`crate::thread::spawn`]) are real OS
+//! threads, but a token protocol lets exactly one run at a time, and
+//! every shared-memory operation on the instrumented types
+//! ([`crate::sync`]) is a *scheduling point* where the explorer decides
+//! which thread performs the next operation. Decisions are recorded in a
+//! persistent choice path; after each execution the path is advanced
+//! depth-first (the last not-yet-exhausted choice is bumped), so the
+//! bounded tree of interleavings is enumerated without ever snapshotting
+//! program state.
+//!
+//! Exploration is bounded three ways, all configurable:
+//!
+//! * **Preemptions** — involuntary context switches per execution
+//!   ([`Config::preemption_bound`]); the classic CHESS result is that
+//!   almost all concurrency bugs surface within 2–3.
+//! * **Stale reads** — how many consecutive times a `Relaxed`/`Acquire`
+//!   load may return an outdated value ([`Config::stale_budget`]),
+//!   which keeps spin loops terminating while still exploring weak
+//!   memory behaviours.
+//! * **Executions / steps** — hard caps that turn runaway state spaces
+//!   into loud failures instead of hung test suites.
+//!
+//! A *violation* (data race on a [`crate::sync::UnsafeCell`], a panic or
+//! failed assertion inside a model thread, a deadlock, or a livelock)
+//! aborts the execution and is reported together with the schedule
+//! trace that produced it, so the interleaving can be read back by a
+//! human.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::vclock::VClock;
+
+/// Exploration limits. [`Config::default`] is the quick tier used by CI;
+/// [`Config::heavy`] is the deep tier behind `--features heavy-testing`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum involuntary context switches per execution.
+    pub preemption_bound: usize,
+    /// How many stores per atomic stay visible to stale reads.
+    pub max_history: usize,
+    /// Consecutive stale loads a thread may take from one atomic before
+    /// it is forced to observe the newest value (livelock bound).
+    pub stale_budget: u32,
+    /// Hard cap on explored executions; exceeding it panics.
+    pub max_executions: usize,
+    /// Hard cap on scheduling points within one execution; exceeding it
+    /// is reported as a livelock violation.
+    pub max_steps: usize,
+    /// Schedule-trace entries kept for violation reports.
+    pub trace_cap: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_history: 2,
+            stale_budget: 2,
+            max_executions: 60_000,
+            max_steps: 20_000,
+            trace_cap: 64,
+        }
+    }
+}
+
+impl Config {
+    /// The deep-exploration tier: one more preemption, longer visible
+    /// store history, and a much larger execution budget.
+    pub fn heavy() -> Self {
+        Config {
+            preemption_bound: 3,
+            max_history: 3,
+            stale_budget: 3,
+            max_executions: 400_000,
+            max_steps: 40_000,
+            trace_cap: 64,
+        }
+    }
+
+    /// [`Config::heavy`] when the crate is built with the
+    /// `heavy-testing` feature, [`Config::default`] otherwise.
+    pub fn auto() -> Self {
+        if cfg!(feature = "heavy-testing") {
+            Config::heavy()
+        } else {
+            Config::default()
+        }
+    }
+}
+
+/// Summary returned by a completed (violation-free) exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Executions (distinct schedules) explored.
+    pub executions: usize,
+}
+
+/// One recorded decision: `options` were available, `taken` was chosen.
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    options: usize,
+    taken: usize,
+}
+
+/// The persistent DFS choice path (prefix replayed, suffix explored).
+#[derive(Debug, Default)]
+pub(crate) struct Path {
+    nodes: Vec<Node>,
+    cursor: usize,
+}
+
+impl Path {
+    /// Takes the next decision: replays the recorded branch while inside
+    /// the prefix, appends option 0 at the frontier. Forced decisions
+    /// (`options <= 1`) are not recorded.
+    pub(crate) fn choose(&mut self, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        if self.cursor < self.nodes.len() {
+            let node = self.nodes[self.cursor];
+            assert_eq!(
+                node.options, options,
+                "non-deterministic model execution: replay diverged \
+                 (model closures must be deterministic apart from \
+                 instrumented shared state)"
+            );
+            self.cursor += 1;
+            node.taken
+        } else {
+            self.nodes.push(Node { options, taken: 0 });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// Advances to the next unexplored schedule; `false` when done.
+    fn advance(&mut self) -> bool {
+        while let Some(last) = self.nodes.last_mut() {
+            if last.taken + 1 < last.options {
+                last.taken += 1;
+                self.cursor = 0;
+                return true;
+            }
+            self.nodes.pop();
+        }
+        false
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting for the target thread to finish.
+    Blocked {
+        on: usize,
+    },
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadState {
+    status: Status,
+    /// Deprioritized until every other runnable thread has had a turn.
+    yielded: bool,
+    /// Happens-before clock; component `t` counts thread `t`'s ops.
+    pub(crate) clock: VClock,
+    /// Snapshot taken by the last `fence(Release)`, if any.
+    pub(crate) released: Option<VClock>,
+    /// Sync clocks gathered by relaxed loads, claimed by `fence(Acquire)`.
+    pub(crate) acq_pending: VClock,
+}
+
+impl ThreadState {
+    fn new(clock: VClock) -> Self {
+        ThreadState {
+            status: Status::Runnable,
+            yielded: false,
+            clock,
+            released: None,
+            acq_pending: VClock::new(),
+        }
+    }
+}
+
+pub(crate) struct ExecInner {
+    pub(crate) config: Config,
+    pub(crate) threads: Vec<ThreadState>,
+    pub(crate) path: Path,
+    /// Which thread currently holds the run token.
+    active: usize,
+    preemptions: usize,
+    steps: usize,
+    violation: Option<String>,
+    aborting: bool,
+    /// Wrapper threads that have fully exited (monitor's end condition).
+    exited: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    trace: Vec<String>,
+}
+
+impl ExecInner {
+    fn record_trace(&mut self, entry: String) {
+        if self.trace.len() == self.config.trace_cap {
+            self.trace.remove(0);
+        }
+        self.trace.push(entry);
+    }
+}
+
+/// Shared state of one execution; model threads and the monitor hold it
+/// through an `Arc`.
+pub(crate) struct Execution {
+    inner: Mutex<ExecInner>,
+    cv: Condvar,
+}
+
+/// Sentinel unwind payload used to tear model threads down when an
+/// execution aborts; swallowed by the thread wrapper, never user-visible.
+struct Abort;
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ctx>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// A model thread's link back to its execution.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+/// The calling thread's model context, if it is a model thread.
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Execution {
+    fn new(config: Config, path: Path) -> Self {
+        let mut clock = VClock::new();
+        clock.tick(0);
+        Execution {
+            inner: Mutex::new(ExecInner {
+                config,
+                threads: vec![ThreadState::new(clock)],
+                path,
+                active: 0,
+                preemptions: 0,
+                steps: 0,
+                violation: None,
+                aborting: false,
+                exited: 0,
+                os_handles: Vec::new(),
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ExecInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a violation, aborts the execution, and unwinds the
+    /// calling model thread. All parked threads are woken so their
+    /// wrappers can tear down.
+    pub(crate) fn violation(&self, mut inner: MutexGuard<'_, ExecInner>, what: &str) -> ! {
+        if inner.violation.is_none() {
+            let mut report = String::new();
+            report.push_str("persephone-check violation: ");
+            report.push_str(what);
+            report.push_str("\n  schedule trace (most recent last):\n");
+            for line in &inner.trace {
+                report.push_str("    ");
+                report.push_str(line);
+                report.push('\n');
+            }
+            inner.violation = Some(report);
+        }
+        inner.aborting = true;
+        drop(inner);
+        self.cv.notify_all();
+        std::panic::resume_unwind(Box::new(Abort));
+    }
+
+    /// Parks the calling model thread until it is scheduled (or the
+    /// execution aborts, in which case it unwinds).
+    fn wait_for_turn(&self, mut inner: MutexGuard<'_, ExecInner>, tid: usize) {
+        while inner.active != tid && !inner.aborting {
+            inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+        if inner.aborting {
+            drop(inner);
+            std::panic::resume_unwind(Box::new(Abort));
+        }
+        // Being scheduled clears a voluntary yield.
+        inner.threads[tid].yielded = false;
+    }
+
+    /// The heart of the explorer: picks which runnable thread performs
+    /// the next operation. `voluntary` means the current thread gave up
+    /// its turn (yield / block / finish) so a switch is free; otherwise
+    /// switching away from a still-runnable thread costs a preemption.
+    ///
+    /// Returns with the token handed to the chosen thread; if that is
+    /// not the caller, the caller parks until rescheduled.
+    fn schedule(&self, mut inner: MutexGuard<'_, ExecInner>, tid: usize, voluntary: bool) {
+        inner.steps += 1;
+        if inner.steps > inner.config.max_steps {
+            let max = inner.config.max_steps;
+            self.violation(
+                inner,
+                &format!("possible livelock: execution exceeded {max} scheduling points"),
+            );
+        }
+
+        let can_continue = !voluntary && inner.threads[tid].status == Status::Runnable;
+
+        // Candidates: runnable threads, current first so that option 0
+        // (the DFS default) is "no context switch". Yielded threads are
+        // excluded while any non-yielded thread can run.
+        let mut candidates: Vec<usize> = Vec::new();
+        if can_continue {
+            candidates.push(tid);
+        }
+        let mut yielded_only: Vec<usize> = Vec::new();
+        for (t, th) in inner.threads.iter().enumerate() {
+            if t == tid || th.status != Status::Runnable {
+                continue;
+            }
+            if th.yielded {
+                yielded_only.push(t);
+            } else {
+                candidates.push(t);
+            }
+        }
+        let current_yielded = voluntary && inner.threads[tid].status == Status::Runnable;
+        if candidates.is_empty() {
+            // Only yielded threads (possibly including the current one)
+            // remain runnable: un-yield them all.
+            candidates = yielded_only;
+            if current_yielded {
+                candidates.push(tid);
+            }
+            for t in &candidates {
+                inner.threads[*t].yielded = false;
+            }
+        }
+
+        if candidates.is_empty() {
+            // Nobody can run. Either a clean finish or a deadlock.
+            let all_done = inner.threads.iter().all(|t| t.status == Status::Finished);
+            if all_done {
+                drop(inner);
+                self.cv.notify_all();
+                return;
+            }
+            let blocked: Vec<usize> = inner
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.status, Status::Blocked { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            self.violation(
+                inner,
+                &format!("deadlock: threads {blocked:?} are blocked and nothing can run"),
+            );
+        }
+
+        // Enforce the preemption bound: once spent, the current thread
+        // keeps running whenever it can.
+        let chosen = if can_continue && inner.preemptions >= inner.config.preemption_bound {
+            tid
+        } else {
+            let idx = inner.path.choose(candidates.len());
+            candidates[idx]
+        };
+        if can_continue && chosen != tid {
+            inner.preemptions += 1;
+        }
+        if chosen != tid {
+            let step = inner.steps;
+            inner.record_trace(format!("step {step}: switch t{tid} -> t{chosen}"));
+        }
+        inner.active = chosen;
+        if chosen == tid {
+            return;
+        }
+        drop(inner);
+        self.cv.notify_all();
+        // Park until rescheduled — unless this thread is done for good.
+        let inner = self.lock();
+        if inner.threads[tid].status == Status::Finished {
+            return;
+        }
+        self.wait_for_turn(inner, tid);
+    }
+
+    /// A scheduling point before a shared-memory operation, with a
+    /// human-readable label for the trace.
+    pub(crate) fn op_point(&self, tid: usize, label: &str) {
+        let mut inner = self.lock();
+        let step = inner.steps + 1;
+        inner.record_trace(format!("step {step}: t{tid} {label}"));
+        self.schedule(inner, tid, false);
+    }
+
+    /// Voluntary yield: deprioritizes the caller until others have run.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut inner = self.lock();
+        inner.threads[tid].yielded = true;
+        self.schedule(inner, tid, true);
+    }
+
+    /// Registers a new model thread (spawned by `parent`); the child
+    /// inherits the parent's clock (the spawn happens-before edge).
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut inner = self.lock();
+        if inner.aborting {
+            drop(inner);
+            std::panic::resume_unwind(Box::new(Abort));
+        }
+        let mut clock = inner.threads[parent].clock.clone();
+        let tid = inner.threads.len();
+        clock.tick(tid);
+        inner.threads.push(ThreadState::new(clock));
+        let step = inner.steps;
+        inner.record_trace(format!("step {step}: t{parent} spawns t{tid}"));
+        tid
+    }
+
+    pub(crate) fn add_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock().os_handles.push(handle);
+    }
+
+    /// Blocks the caller until `target` finishes, then merges its final
+    /// clock (the join happens-before edge).
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        let mut inner = self.lock();
+        if inner.threads[target].status != Status::Finished {
+            inner.threads[tid].status = Status::Blocked { on: target };
+            self.schedule(inner, tid, true);
+            inner = self.lock();
+            debug_assert_eq!(inner.threads[target].status, Status::Finished);
+        }
+        let target_clock = inner.threads[target].clock.clone();
+        inner.threads[tid].clock.join(&target_clock);
+    }
+
+    /// Marks the caller finished, wakes its joiners, and hands the token
+    /// onward. Called from the thread wrapper on every exit path.
+    fn finish_thread(&self, tid: usize) {
+        let mut inner = self.lock();
+        inner.threads[tid].status = Status::Finished;
+        for th in inner.threads.iter_mut() {
+            if th.status == (Status::Blocked { on: tid }) {
+                th.status = Status::Runnable;
+            }
+        }
+        if inner.aborting {
+            drop(inner);
+            self.cv.notify_all();
+            return;
+        }
+        self.schedule(inner, tid, true);
+    }
+
+    /// Records a panic from a model thread as a violation (unless it is
+    /// the abort sentinel or a violation is already recorded).
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        if payload.downcast_ref::<Abort>().is_some() {
+            return;
+        }
+        let msg = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "model thread panicked".to_string());
+        let mut inner = self.lock();
+        if inner.violation.is_none() {
+            let mut report = String::new();
+            report.push_str("persephone-check violation: panic in model thread: ");
+            report.push_str(&msg);
+            report.push_str("\n  schedule trace (most recent last):\n");
+            for line in &inner.trace {
+                report.push_str("    ");
+                report.push_str(line);
+                report.push('\n');
+            }
+            inner.violation = Some(report);
+        }
+        inner.aborting = true;
+        drop(inner);
+        self.cv.notify_all();
+    }
+}
+
+/// Runs `f` as model thread `tid` of `exec`: installs the context,
+/// waits for its first turn, and guarantees the exit bookkeeping runs
+/// on every path (normal return, assertion failure, abort teardown).
+pub(crate) fn run_model_thread(exec: Arc<Execution>, tid: usize, f: impl FnOnce()) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: exec.clone(),
+            tid,
+        })
+    });
+    let inner = exec.lock();
+    let result = if inner.aborting {
+        drop(inner);
+        Ok(())
+    } else {
+        exec.wait_for_turn(inner, tid);
+        catch_unwind(AssertUnwindSafe(f))
+    };
+    if let Err(payload) = result {
+        exec.record_panic(payload);
+    }
+    // `finish_thread` may unwind with `Abort` if teardown races with the
+    // abort flag; swallow it so the wrapper always reaches the exit
+    // accounting below.
+    let _ = catch_unwind(AssertUnwindSafe(|| exec.finish_thread(tid)));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let mut inner = exec.lock();
+    inner.exited += 1;
+    drop(inner);
+    exec.cv.notify_all();
+}
+
+/// Explores every bounded interleaving of `f`, panicking with a
+/// schedule-trace report on the first violation.
+///
+/// The closure runs once per explored execution and must be
+/// deterministic apart from the instrumented shared state.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(report) = explore(Config::auto(), f) {
+        panic!("{report}");
+    }
+}
+
+/// [`model`] with explicit exploration limits.
+pub fn model_with<F>(config: Config, f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match explore_with_stats(config, f) {
+        (Err(report), _) => panic!("{report}"),
+        (Ok(()), stats) => stats,
+    }
+}
+
+/// Runs the explorer expecting it to find a violation; returns the
+/// report. Panics if the full bounded exploration finds nothing — this
+/// is the mutation-self-test hook that proves the checker has teeth.
+pub fn model_expect_violation<F>(f: F) -> String
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match explore(Config::auto(), f) {
+        Err(report) => report,
+        Ok(()) => panic!(
+            "model_expect_violation: exploration completed without finding a violation \
+             (the checker was expected to catch a seeded bug)"
+        ),
+    }
+}
+
+fn explore<F>(config: Config, f: F) -> Result<(), String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore_with_stats(config, f).0
+}
+
+fn explore_with_stats<F>(config: Config, f: F) -> (Result<(), String>, Stats)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut path = Path::default();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= config.max_executions,
+            "persephone-check: exploration budget exhausted after {} executions — \
+             shrink the model test or raise Config::max_executions",
+            config.max_executions
+        );
+        let exec = Arc::new(Execution::new(config.clone(), path));
+        let root = {
+            let exec = exec.clone();
+            let f = f.clone();
+            std::thread::spawn(move || run_model_thread(exec.clone(), 0, move || f()))
+        };
+        // Wait for every wrapper (root + spawned) to exit. New threads
+        // only appear while some wrapper is still live, so this
+        // condition is stable once true.
+        {
+            let mut inner = exec.lock();
+            loop {
+                let total = inner.threads.len();
+                if inner.exited == total {
+                    break;
+                }
+                inner = exec.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        root.join().expect("model root wrapper never panics");
+        let mut inner = exec.lock();
+        for handle in std::mem::take(&mut inner.os_handles) {
+            drop(inner);
+            handle.join().expect("model thread wrapper never panics");
+            inner = exec.lock();
+        }
+        if let Some(report) = inner.violation.take() {
+            return (Err(report), Stats { executions });
+        }
+        path = std::mem::take(&mut inner.path);
+        drop(inner);
+        if !path.advance() {
+            return (Ok(()), Stats { executions });
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Instrumented `Arc`.
+//!
+//! The real `std::sync::Arc` synchronizes its reference count with
+//! Release/Acquire atomics, which is what makes running a destructor
+//! after the last clone drops sound. The checker cannot see std's
+//! internal atomics, so this wrapper re-creates the edge at the model
+//! level: every drop releases the dropping thread's clock into a shared
+//! sync clock, and the drop that takes the count to zero acquires the
+//! accumulated clock before the inner value's destructor runs. Without
+//! this, `Ring::drop`'s relaxed index loads would be offered stale
+//! values and a correct program would fail its drop-accounting tests.
+//!
+//! Outside a model run the wrapper is just a `std::sync::Arc` with an
+//! ignored side table.
+
+use std::ops::Deref;
+use std::sync::Mutex;
+
+use crate::sched::current_ctx;
+use crate::vclock::VClock;
+
+struct Inner<T: ?Sized> {
+    /// Clocks released by dropped clones; acquired by the final drop.
+    sync: Mutex<VClock>,
+    data: T,
+}
+
+/// Instrumented atomically reference-counted pointer.
+pub struct Arc<T: ?Sized> {
+    inner: std::sync::Arc<Inner<T>>,
+}
+
+impl<T> Arc<T> {
+    /// Wraps a value.
+    pub fn new(data: T) -> Self {
+        Arc {
+            inner: std::sync::Arc::new(Inner {
+                sync: Mutex::new(VClock::new()),
+                data,
+            }),
+        }
+    }
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    fn clone(&self) -> Self {
+        Arc {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner.data
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.data.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for Arc<T> {
+    fn drop(&mut self) {
+        let Some(ctx) = current_ctx() else { return };
+        // Model threads run one at a time, so the strong count is
+        // stable while we hold the token.
+        let mut inner = ctx.exec.lock();
+        let tid = ctx.tid;
+        inner.threads[tid].clock.tick(tid);
+        let mut sync = self.inner.sync.lock().unwrap_or_else(|e| e.into_inner());
+        // Release: publish everything this clone's thread did.
+        let clock = inner.threads[tid].clock.clone();
+        sync.join(&clock);
+        if std::sync::Arc::strong_count(&self.inner) == 1 {
+            // Acquire: the destructor of `data` (run by the inner Arc
+            // drop after we return) sees every clone's work.
+            let sync = sync.clone();
+            inner.threads[tid].clock.join(&sync);
+        }
+    }
+}

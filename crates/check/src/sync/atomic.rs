@@ -1,0 +1,491 @@
+//! Instrumented atomics.
+//!
+//! Each atomic keeps a bounded *store history* instead of a single
+//! value. Inside a model run every operation is a scheduling point, and
+//! loads may — subject to coherence, happens-before, and the stale-read
+//! budget — return any store still in the history, with the choice
+//! explored by the DFS path. Release stores (and relaxed stores after a
+//! `fence(Release)`) carry the writer's vector clock; acquire loads
+//! (and relaxed loads whose clock is later claimed by `fence(Acquire)`)
+//! join it, which is how the checker learns the happens-before edges
+//! that the race detector in [`crate::sync::UnsafeCell`] relies on.
+//!
+//! Deliberate simplifications, all *sound* for a bug-finder (they can
+//! hide behaviours, never invent impossible ones):
+//!
+//! * `SeqCst` loads and every read-modify-write observe the newest
+//!   store (C11 requires the latter; the former skips modelling the
+//!   SC total order).
+//! * `compare_exchange_weak` never fails spuriously.
+//! * Read-modify-writes carry the previous store's synchronization
+//!   clock forward, which models C11 release sequences.
+//!
+//! Outside a model run the types degrade to mutex-guarded sequentially
+//! consistent cells, so code built with the `model-check` feature still
+//! runs correctly (just slower) under plain `cargo test`.
+
+use std::sync::Mutex;
+
+pub use core::sync::atomic::Ordering;
+
+use crate::sched::{current_ctx, ExecInner};
+use crate::vclock::VClock;
+
+/// One store event in an atomic's visible history.
+#[derive(Debug)]
+struct Store {
+    value: u64,
+    /// The clock an acquiring reader synchronizes with (set by release
+    /// stores, or by relaxed stores issued after a release fence).
+    sync: Option<VClock>,
+    /// `(tid, epoch)` of the writing operation; `None` for the initial
+    /// value, which happens-before everything.
+    writer: Option<(usize, u64)>,
+}
+
+/// Per-thread read cursor: newest history index this thread has
+/// observed, plus its remaining stale-read budget.
+#[derive(Debug)]
+struct LastSeen {
+    tid: usize,
+    index: usize,
+    budget: u32,
+}
+
+#[derive(Debug)]
+struct AtomicState {
+    init: u64,
+    /// Absolute index of `history[0]` (old entries are pruned).
+    base: usize,
+    history: Vec<Store>,
+    last_seen: Vec<LastSeen>,
+}
+
+impl AtomicState {
+    fn ensure_init(&mut self) {
+        if self.history.is_empty() {
+            self.history.push(Store {
+                value: self.init,
+                sync: None,
+                writer: None,
+            });
+        }
+    }
+
+    fn latest_index(&self) -> usize {
+        self.base + self.history.len() - 1
+    }
+
+    fn entry(&self, index: usize) -> &Store {
+        &self.history[index - self.base]
+    }
+
+    fn last_seen_of(&self, tid: usize) -> Option<&LastSeen> {
+        self.last_seen.iter().find(|l| l.tid == tid)
+    }
+
+    fn set_last_seen(&mut self, tid: usize, index: usize, budget: u32) {
+        if let Some(l) = self.last_seen.iter_mut().find(|l| l.tid == tid) {
+            l.index = index;
+            l.budget = budget;
+        } else {
+            self.last_seen.push(LastSeen { tid, index, budget });
+        }
+    }
+
+    fn prune(&mut self, max_history: usize) {
+        while self.history.len() > max_history.max(1) {
+            self.history.remove(0);
+            self.base += 1;
+        }
+    }
+}
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// The shared 64-bit core behind [`AtomicU64`] and [`AtomicUsize`].
+struct Core {
+    state: Mutex<AtomicState>,
+}
+
+impl Core {
+    const fn new(init: u64) -> Self {
+        Core {
+            state: Mutex::new(AtomicState {
+                init,
+                base: 0,
+                history: Vec::new(),
+                last_seen: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, AtomicState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Model-mode load: pick (via the DFS path) which visible store this
+    /// load observes, then apply its synchronization.
+    fn model_load(&self, inner: &mut ExecInner, tid: usize, order: Ordering) -> u64 {
+        let _epoch = inner.threads[tid].clock.tick(tid);
+        let mut state = self.lock_state();
+        state.ensure_init();
+        let latest = state.latest_index();
+
+        // Coherence + happens-before floor: cannot read anything older
+        // than (a) what this thread already observed, (b) the newest
+        // store that happens-before this load.
+        let mut floor = state.base;
+        for (i, s) in state.history.iter().enumerate() {
+            let hb = match s.writer {
+                None => true,
+                Some((wt, we)) => inner.threads[tid].clock.saw(wt, we),
+            };
+            if hb {
+                floor = state.base + i;
+            }
+        }
+        let (mut lo, budget) = match state.last_seen_of(tid) {
+            Some(l) => (floor.max(l.index), l.budget),
+            None => (floor, inner.config.stale_budget),
+        };
+        if order == Ordering::SeqCst || budget == 0 {
+            lo = latest;
+        }
+
+        // Option 0 = the newest store, so the first execution of every
+        // schedule behaves sequentially consistently.
+        let options = latest - lo + 1;
+        let pick = inner.path.choose(options);
+        let index = latest - pick;
+        let new_budget = if index == latest {
+            inner.config.stale_budget
+        } else {
+            budget - 1
+        };
+        state.set_last_seen(tid, index, new_budget);
+
+        let entry = state.entry(index);
+        let value = entry.value;
+        if let Some(sync) = &entry.sync {
+            if is_acquire(order) {
+                inner.threads[tid].clock.join(sync);
+            } else {
+                inner.threads[tid].acq_pending.join(sync);
+            }
+        }
+        value
+    }
+
+    /// Model-mode store: append to the history with the synchronization
+    /// clock implied by `order` (and any earlier release fence).
+    fn model_store(&self, inner: &mut ExecInner, tid: usize, value: u64, order: Ordering) {
+        let sync = if is_release(order) {
+            Some(inner.threads[tid].clock.clone())
+        } else {
+            inner.threads[tid].released.clone()
+        };
+        let epoch = inner.threads[tid].clock.tick(tid);
+        let mut state = self.lock_state();
+        state.ensure_init();
+        state.history.push(Store {
+            value,
+            sync,
+            writer: Some((tid, epoch)),
+        });
+        state.prune(inner.config.max_history);
+        let latest = state.latest_index();
+        let budget = inner.config.stale_budget;
+        state.set_last_seen(tid, latest, budget);
+    }
+
+    /// Model-mode read-modify-write: always observes the newest store
+    /// (C11), carries its sync clock forward (release sequences).
+    fn model_rmw(
+        &self,
+        inner: &mut ExecInner,
+        tid: usize,
+        order: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let epoch = inner.threads[tid].clock.tick(tid);
+        let mut state = self.lock_state();
+        state.ensure_init();
+        let latest = state.latest_index();
+        let old_sync = state.entry(latest).sync.clone();
+        let old = state.entry(latest).value;
+        if let Some(sync) = &old_sync {
+            if is_acquire(order) {
+                inner.threads[tid].clock.join(sync);
+            } else {
+                inner.threads[tid].acq_pending.join(sync);
+            }
+        }
+        let mut sync = if is_release(order) {
+            Some(inner.threads[tid].clock.clone())
+        } else {
+            inner.threads[tid].released.clone()
+        };
+        if let Some(prev) = old_sync {
+            match &mut sync {
+                Some(s) => s.join(&prev),
+                None => sync = Some(prev),
+            }
+        }
+        state.history.push(Store {
+            value: f(old),
+            sync,
+            writer: Some((tid, epoch)),
+        });
+        state.prune(inner.config.max_history);
+        let latest = state.latest_index();
+        let budget = inner.config.stale_budget;
+        state.set_last_seen(tid, latest, budget);
+        old
+    }
+
+    fn load(&self, order: Ordering, label: &str) -> u64 {
+        match current_ctx() {
+            Some(ctx) => {
+                ctx.exec.op_point(ctx.tid, label);
+                let mut inner = ctx.exec.lock();
+                self.model_load(&mut inner, ctx.tid, order)
+            }
+            None => {
+                let mut state = self.lock_state();
+                state.ensure_init();
+                state.entry(state.latest_index()).value
+            }
+        }
+    }
+
+    fn store(&self, value: u64, order: Ordering, label: &str) {
+        match current_ctx() {
+            Some(ctx) => {
+                ctx.exec.op_point(ctx.tid, label);
+                let mut inner = ctx.exec.lock();
+                self.model_store(&mut inner, ctx.tid, value, order);
+            }
+            None => {
+                let mut state = self.lock_state();
+                state.ensure_init();
+                state.history.push(Store {
+                    value,
+                    sync: None,
+                    writer: None,
+                });
+                state.prune(1);
+            }
+        }
+    }
+
+    fn rmw(&self, order: Ordering, label: &str, f: impl FnOnce(u64) -> u64) -> u64 {
+        match current_ctx() {
+            Some(ctx) => {
+                ctx.exec.op_point(ctx.tid, label);
+                let mut inner = ctx.exec.lock();
+                self.model_rmw(&mut inner, ctx.tid, order, f)
+            }
+            None => {
+                let mut state = self.lock_state();
+                state.ensure_init();
+                let old = state.entry(state.latest_index()).value;
+                state.history.push(Store {
+                    value: f(old),
+                    sync: None,
+                    writer: None,
+                });
+                state.prune(1);
+                old
+            }
+        }
+    }
+
+    /// Compare-exchange: observes the newest store; succeeds as an RMW,
+    /// fails as a load with `failure` ordering.
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+        label: &str,
+    ) -> Result<u64, u64> {
+        match current_ctx() {
+            Some(ctx) => {
+                ctx.exec.op_point(ctx.tid, label);
+                let mut inner = ctx.exec.lock();
+                let latest = {
+                    let mut state = self.lock_state();
+                    state.ensure_init();
+                    state.entry(state.latest_index()).value
+                };
+                if latest == current {
+                    Ok(self.model_rmw(&mut inner, ctx.tid, success, |_| new))
+                } else {
+                    // Failure path is a load forced to the newest value.
+                    let _epoch = inner.threads[ctx.tid].clock.tick(ctx.tid);
+                    let mut state = self.lock_state();
+                    let index = state.latest_index();
+                    let budget = inner.config.stale_budget;
+                    state.set_last_seen(ctx.tid, index, budget);
+                    if let Some(sync) = &state.entry(index).sync {
+                        if is_acquire(failure) {
+                            inner.threads[ctx.tid].clock.join(sync);
+                        } else {
+                            inner.threads[ctx.tid].acq_pending.join(sync);
+                        }
+                    }
+                    Err(latest)
+                }
+            }
+            None => {
+                let mut state = self.lock_state();
+                state.ensure_init();
+                let latest = state.entry(state.latest_index()).value;
+                if latest == current {
+                    state.history.push(Store {
+                        value: new,
+                        sync: None,
+                        writer: None,
+                    });
+                    state.prune(1);
+                    Ok(latest)
+                } else {
+                    Err(latest)
+                }
+            }
+        }
+    }
+
+    fn unsync_load(&self) -> u64 {
+        let mut state = self.lock_state();
+        state.ensure_init();
+        state.entry(state.latest_index()).value
+    }
+}
+
+macro_rules! atomic_wrapper {
+    ($name:ident, $int:ty, $label:literal) => {
+        #[doc = concat!("Instrumented stand-in for `core::sync::atomic::", stringify!($name), "`.")]
+        pub struct $name {
+            core: Core,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(value: $int) -> Self {
+                $name {
+                    core: Core::new(value as u64),
+                }
+            }
+
+            /// Loads the value; inside a model run the result may be any
+            /// store permitted by coherence and happens-before.
+            pub fn load(&self, order: Ordering) -> $int {
+                self.core.load(order, concat!($label, ".load")) as $int
+            }
+
+            /// Stores a value.
+            pub fn store(&self, value: $int, order: Ordering) {
+                self.core
+                    .store(value as u64, order, concat!($label, ".store"))
+            }
+
+            /// Adds to the value, returning the previous value.
+            pub fn fetch_add(&self, value: $int, order: Ordering) -> $int {
+                self.core.rmw(order, concat!($label, ".fetch_add"), |old| {
+                    (old as $int).wrapping_add(value) as u64
+                }) as $int
+            }
+
+            /// Maximum with the value, returning the previous value.
+            pub fn fetch_max(&self, value: $int, order: Ordering) -> $int {
+                self.core.rmw(order, concat!($label, ".fetch_max"), |old| {
+                    (old as $int).max(value) as u64
+                }) as $int
+            }
+
+            /// Compare-exchange; the model never fails spuriously.
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.core
+                    .compare_exchange(
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                        concat!($label, ".compare_exchange"),
+                    )
+                    .map(|v| v as $int)
+                    .map_err(|v| v as $int)
+            }
+
+            /// Weak compare-exchange; behaves like the strong variant
+            /// (spurious failures are not modelled).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&(self.core.unsync_load() as $int))
+                    .finish()
+            }
+        }
+    };
+}
+
+atomic_wrapper!(AtomicU64, u64, "AtomicU64");
+atomic_wrapper!(AtomicUsize, usize, "AtomicUsize");
+
+/// Instrumented `core::sync::atomic::fence`.
+///
+/// A release fence snapshots the thread's clock so later relaxed stores
+/// publish it; an acquire fence claims the clocks gathered by earlier
+/// relaxed loads. `AcqRel`/`SeqCst` do both (acquire first).
+pub fn fence(order: Ordering) {
+    let Some(ctx) = current_ctx() else { return };
+    ctx.exec.op_point(ctx.tid, "fence");
+    let mut inner = ctx.exec.lock();
+    let tid = ctx.tid;
+    inner.threads[tid].clock.tick(tid);
+    if is_acquire(order) {
+        let pending = std::mem::take(&mut inner.threads[tid].acq_pending);
+        inner.threads[tid].clock.join(&pending);
+    }
+    if is_release(order) {
+        inner.threads[tid].released = Some(inner.threads[tid].clock.clone());
+    }
+}

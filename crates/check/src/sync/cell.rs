@@ -1,0 +1,132 @@
+//! Race-detecting `UnsafeCell`.
+//!
+//! Access goes through [`UnsafeCell::with`] (shared read) and
+//! [`UnsafeCell::with_mut`] (exclusive write) so the checker can see
+//! every access. Inside a model run each access is checked against the
+//! happens-before relation maintained by the instrumented atomics: a
+//! write must have observed every previous read and write, a read must
+//! have observed the previous write. Two accesses that are not ordered
+//! — the definition of a data race, and undefined behaviour in the real
+//! program — abort the execution with a schedule-trace report *before*
+//! the memory is touched.
+//!
+//! The std-mode facades in `persephone-net`/`persephone-telemetry`
+//! provide the same `with`/`with_mut` API as zero-cost wrappers over
+//! `core::cell::UnsafeCell`, so the ported ring code compiles
+//! identically in both worlds.
+
+use std::sync::Mutex;
+
+use crate::sched::current_ctx;
+
+/// `(tid, epoch)` of an access, checked against observer clocks.
+#[derive(Clone, Copy, Debug)]
+struct Access {
+    tid: usize,
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct CellState {
+    last_write: Option<Access>,
+    /// Most recent read per thread since the last write.
+    reads: Vec<Access>,
+}
+
+/// Instrumented interior-mutability cell (loom-style API).
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    data: core::cell::UnsafeCell<T>,
+    state: Mutex<CellState>,
+}
+
+// SAFETY: sharing the shim across threads is sound because (a) inside a
+// model run all model threads are serialized by the scheduler token, so
+// accesses never physically overlap and unsynchronized ones are
+// *reported* rather than executed blind; (b) outside a model run the
+// shim adds no synchronization — exactly like `core::cell::UnsafeCell`
+// — and the containing type (e.g. the rings' `Ring<T>`) carries the
+// aliasing obligations in its own `unsafe impl`s, as it does in std
+// mode. `T: Send` because the value may be read, written, and dropped
+// from whichever thread holds the token.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Wraps a value.
+    pub const fn new(data: T) -> Self {
+        UnsafeCell {
+            data: core::cell::UnsafeCell::new(data),
+            state: Mutex::new(CellState {
+                last_write: None,
+                reads: Vec::new(),
+            }),
+        }
+    }
+
+    fn check(&self, is_write: bool) {
+        let Some(ctx) = current_ctx() else { return };
+        ctx.exec.op_point(
+            ctx.tid,
+            if is_write {
+                "UnsafeCell write"
+            } else {
+                "UnsafeCell read"
+            },
+        );
+        let mut inner = ctx.exec.lock();
+        let tid = ctx.tid;
+        let epoch = inner.threads[tid].clock.tick(tid);
+        let clock = inner.threads[tid].clock.clone();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let racing_write = state
+            .last_write
+            .filter(|w| w.tid != tid && !clock.saw(w.tid, w.epoch));
+        if let Some(w) = racing_write {
+            let msg = format!(
+                "data race on UnsafeCell: thread {tid} {} concurrently with \
+                 thread {}'s unsynchronized write",
+                if is_write { "writes" } else { "reads" },
+                w.tid
+            );
+            drop(state);
+            ctx.exec.violation(inner, &msg);
+        }
+        if is_write {
+            let racing_read = state
+                .reads
+                .iter()
+                .find(|r| r.tid != tid && !clock.saw(r.tid, r.epoch))
+                .copied();
+            if let Some(r) = racing_read {
+                let msg = format!(
+                    "data race on UnsafeCell: thread {tid} writes concurrently \
+                     with thread {}'s unsynchronized read",
+                    r.tid
+                );
+                drop(state);
+                ctx.exec.violation(inner, &msg);
+            }
+            state.last_write = Some(Access { tid, epoch });
+            state.reads.clear();
+        } else if let Some(r) = state.reads.iter_mut().find(|r| r.tid == tid) {
+            r.epoch = epoch;
+        } else {
+            state.reads.push(Access { tid, epoch });
+        }
+    }
+
+    /// Shared access: records a read, race-checks it, then hands `f` a
+    /// const pointer to the data.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        self.check(false);
+        f(self.data.get())
+    }
+
+    /// Exclusive access: records a write, race-checks it, then hands
+    /// `f` a mut pointer to the data.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        self.check(true);
+        f(self.data.get())
+    }
+}

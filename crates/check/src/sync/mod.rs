@@ -1,0 +1,15 @@
+//! Instrumented stand-ins for the `std::sync` / `core::sync::atomic`
+//! vocabulary the lock-free rings use.
+//!
+//! The `sync` facade modules in `persephone-net` and
+//! `persephone-telemetry` re-export these under `--features
+//! model-check` and the zero-cost std equivalents otherwise, so the
+//! ring code itself is written once against this API.
+
+mod arc;
+pub mod atomic;
+mod cell;
+
+pub use arc::Arc;
+pub use atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+pub use cell::UnsafeCell;

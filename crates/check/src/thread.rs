@@ -1,0 +1,90 @@
+//! Model-thread spawn/join/yield shims.
+//!
+//! Inside a model run these integrate with the explorer: `spawn`
+//! registers the child with the scheduler (the child inherits the
+//! parent's clock — the spawn edge), `join` blocks at the model level
+//! and merges the child's final clock (the join edge), and `yield_now`
+//! deprioritizes the caller until every other runnable thread has had a
+//! turn, which is what makes spin loops explorable without livelock.
+//! Outside a model run they fall back to `std::thread`.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{current_ctx, run_model_thread};
+
+enum HandleKind<T> {
+    Model {
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned thread; see [`spawn`].
+pub struct JoinHandle<T> {
+    kind: HandleKind<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target thread panicked (inside a model run that is
+    /// already a reported violation and this is unreachable).
+    pub fn join(self) -> T {
+        match self.kind {
+            HandleKind::Model { tid, slot } => {
+                let ctx = current_ctx().expect("model JoinHandle joined outside its model run");
+                ctx.exec.join_thread(ctx.tid, tid);
+                let value = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                value.expect("joined model thread left no value (panicked)")
+            }
+            HandleKind::Os(handle) => handle.join().expect("spawned thread panicked"),
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model run the child becomes a model
+/// thread under the explorer's control; otherwise a plain OS thread.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match current_ctx() {
+        Some(ctx) => {
+            let tid = ctx.exec.register_thread(ctx.tid);
+            let slot = Arc::new(Mutex::new(None));
+            let exec = ctx.exec.clone();
+            let os = {
+                let slot = slot.clone();
+                let exec = exec.clone();
+                std::thread::spawn(move || {
+                    run_model_thread(exec.clone(), tid, move || {
+                        let value = f();
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+                    })
+                })
+            };
+            exec.add_os_handle(os);
+            // The spawn itself is a scheduling point: the child may run
+            // before the parent's next operation.
+            exec.op_point(ctx.tid, "spawn");
+            JoinHandle {
+                kind: HandleKind::Model { tid, slot },
+            }
+        }
+        None => JoinHandle {
+            kind: HandleKind::Os(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// Cooperative yield; the explorer's anti-livelock point for spin loops.
+pub fn yield_now() {
+    match current_ctx() {
+        Some(ctx) => ctx.exec.yield_point(ctx.tid),
+        None => std::thread::yield_now(),
+    }
+}

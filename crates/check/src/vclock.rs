@@ -1,0 +1,77 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Every model thread carries a [`VClock`]; component `i` counts the
+//! shared-memory operations thread `i` has performed. Synchronizing
+//! operations (Release stores read by Acquire loads, spawn/join edges,
+//! fences) join clocks, so `a.happens_before(&b)` is exactly the C11
+//! happens-before relation restricted to the edges the checker models.
+
+/// A grow-on-demand vector clock. Missing components are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    slots: Vec<u64>,
+}
+
+impl VClock {
+    /// The all-zero clock (happens before everything).
+    pub const fn new() -> Self {
+        VClock { slots: Vec::new() }
+    }
+
+    /// This clock's component for thread `tid`.
+    pub fn get(&self, tid: usize) -> u64 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets component `tid` to `value` (used for local-epoch bumps).
+    pub fn set(&mut self, tid: usize, value: u64) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] = value;
+    }
+
+    /// Increments this thread's own component and returns the new epoch.
+    pub fn tick(&mut self, tid: usize) -> u64 {
+        let next = self.get(tid) + 1;
+        self.set(tid, next);
+        next
+    }
+
+    /// Componentwise maximum: afterwards `other ⊑ self`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (s, o) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// Whether an event at `(tid, epoch)` happens-before a thread whose
+    /// clock is `self` — i.e. `self` has observed that epoch.
+    pub fn saw(&self, tid: usize, epoch: u64) -> bool {
+        self.get(tid) >= epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_saw() {
+        let mut a = VClock::new();
+        let e1 = a.tick(0);
+        let e2 = a.tick(0);
+        assert_eq!((e1, e2), (1, 2));
+        let mut b = VClock::new();
+        b.tick(3);
+        assert!(!b.saw(0, 1));
+        b.join(&a);
+        assert!(b.saw(0, 2));
+        assert!(b.saw(3, 1));
+        assert!(!b.saw(3, 2));
+        assert_eq!(b.get(7), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Litmus self-tests: tiny known-good and known-bad programs that pin
+//! down what the explorer can see and what the race detector reports.
+//! The known-bad halves are the first line of "does the checker have
+//! teeth" evidence; the ring-shaped mutation tests live in
+//! `tests/mutation.rs`.
+//!
+//! The raw-pointer derefs below are the checker's own access-tracking
+//! API; each carries a SAFETY note saying which edge (or deliberate
+//! lack of one) governs it.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use persephone_check::sync::atomic::{fence, AtomicU64, Ordering};
+use persephone_check::sync::{Arc, UnsafeCell};
+use persephone_check::{model, model_expect_violation, model_with, thread, Config};
+
+/// Release/acquire message passing is race-free: the data write
+/// happens-before the read whenever the flag is observed set.
+#[test]
+fn message_passing_release_acquire_is_clean() {
+    model(|| {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicU64::new(0));
+        let t = {
+            let data = data.clone();
+            let flag = flag.clone();
+            thread::spawn(move || {
+                // SAFETY: `p` is valid inside the closure; cross-thread
+                // ordering of this access is the subject under test.
+                data.with_mut(|p| unsafe { *p = 42 });
+                flag.store(1, Ordering::Release);
+            })
+        };
+        if flag.load(Ordering::Acquire) == 1 {
+            // SAFETY: `p` is valid; the acquire edge above orders it.
+            let v = data.with(|p| unsafe { *p });
+            assert_eq!(v, 42, "acquire must see the released write");
+        }
+        t.join();
+    });
+}
+
+/// The same program with a relaxed flag store is a data race, and the
+/// checker must find the interleaving that proves it.
+#[test]
+fn message_passing_relaxed_store_is_a_race() {
+    let report = model_expect_violation(|| {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicU64::new(0));
+        let t = {
+            let data = data.clone();
+            let flag = flag.clone();
+            thread::spawn(move || {
+                // SAFETY: `p` is valid inside the closure; cross-thread
+                // ordering of this access is the subject under test.
+                data.with_mut(|p| unsafe { *p = 42 });
+                flag.store(1, Ordering::Relaxed); // BUG: no release edge
+            })
+        };
+        if flag.load(Ordering::Acquire) == 1 {
+            // SAFETY: `p` is valid; the missing release edge makes
+            // this the race the checker must report.
+            data.with(|p| unsafe { *p });
+        }
+        t.join();
+    });
+    assert!(report.contains("data race"), "unexpected report: {report}");
+}
+
+/// A relaxed *load* of a released flag is equally racy: without the
+/// acquire edge the reader's clock never learns of the writer's work.
+#[test]
+fn message_passing_relaxed_load_is_a_race() {
+    let report = model_expect_violation(|| {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicU64::new(0));
+        let t = {
+            let data = data.clone();
+            let flag = flag.clone();
+            thread::spawn(move || {
+                // SAFETY: `p` is valid inside the closure; cross-thread
+                // ordering of this access is the subject under test.
+                data.with_mut(|p| unsafe { *p = 42 });
+                flag.store(1, Ordering::Release);
+            })
+        };
+        if flag.load(Ordering::Relaxed) == 1 {
+            // BUG: relaxed load
+            // SAFETY: `p` is valid; the missing acquire edge makes
+            // this the race the checker must report.
+            data.with(|p| unsafe { *p });
+        }
+        t.join();
+    });
+    assert!(report.contains("data race"), "unexpected report: {report}");
+}
+
+/// Fences upgrade relaxed accesses: `fence(Release)` before a relaxed
+/// store and `fence(Acquire)` after a relaxed load restore the edge.
+#[test]
+fn fence_pair_synchronizes_relaxed_accesses() {
+    model(|| {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicU64::new(0));
+        let t = {
+            let data = data.clone();
+            let flag = flag.clone();
+            thread::spawn(move || {
+                // SAFETY: `p` is valid; the fence pair below supplies
+                // the ordering.
+                data.with_mut(|p| unsafe { *p = 7 });
+                fence(Ordering::Release);
+                flag.store(1, Ordering::Relaxed);
+            })
+        };
+        if flag.load(Ordering::Relaxed) == 1 {
+            fence(Ordering::Acquire);
+            // SAFETY: `p` is valid; the acquire fence orders the read.
+            let v = data.with(|p| unsafe { *p });
+            assert_eq!(v, 7);
+        }
+        t.join();
+    });
+}
+
+/// Two unsynchronized writers are the textbook write/write race.
+#[test]
+fn concurrent_writes_are_a_race() {
+    let report = model_expect_violation(|| {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let t = {
+            let data = data.clone();
+            // SAFETY: `p` is valid; the write/write race with the
+            // parent below is exactly what the checker must report.
+            thread::spawn(move || data.with_mut(|p| unsafe { *p = 1 }))
+        };
+        // SAFETY: see above — the racing half.
+        data.with_mut(|p| unsafe { *p = 2 });
+        t.join();
+    });
+    assert!(report.contains("data race"), "unexpected report: {report}");
+}
+
+/// Relaxed loads may observe stale values: the explorer must find the
+/// execution where the reader misses a write that already "happened"
+/// in wall-clock order. This is what gives the seqlock tests teeth.
+#[test]
+fn relaxed_loads_explore_stale_values() {
+    let report = model_expect_violation(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        let t = {
+            let flag = flag.clone();
+            thread::spawn(move || flag.store(1, Ordering::Release))
+        };
+        t.join();
+        // join() creates a happens-before edge, so freshness IS
+        // guaranteed here...
+        assert_eq!(flag.load(Ordering::Relaxed), 1);
+        let stale = Arc::new(AtomicU64::new(0));
+        let u = {
+            let stale = stale.clone();
+            thread::spawn(move || stale.store(1, Ordering::Release))
+        };
+        // ...but here, with no edge, a relaxed load may legally return
+        // 0 even in schedules where the store already executed. The
+        // "violation" is this deliberately wrong assertion.
+        let seen = stale.load(Ordering::Relaxed);
+        u.join();
+        assert_eq!(seen, 1, "deliberately assumes freshness");
+    });
+    assert!(
+        report.contains("deliberately assumes freshness"),
+        "unexpected report: {report}"
+    );
+}
+
+/// A spin loop that can never make progress is reported as a livelock
+/// instead of hanging the suite.
+#[test]
+fn hopeless_spin_loop_reports_livelock() {
+    let report = model_expect_violation(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        while flag.load(Ordering::Acquire) == 0 {
+            thread::yield_now();
+        }
+    });
+    assert!(report.contains("livelock"), "unexpected report: {report}");
+}
+
+/// Arc teardown carries the release/acquire edge of real `Arc`: the
+/// thread that drops the last clone sees every other clone's writes,
+/// so drop-time accounting is race-free.
+#[test]
+fn arc_teardown_synchronizes_destructor() {
+    model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let t = {
+            let cell = cell.clone();
+            thread::spawn(move || {
+                // SAFETY: `p` is valid; the Arc teardown edge orders
+                // this against the post-join read.
+                cell.with_mut(|p| unsafe { *p += 1 });
+                // `cell` clone drops here, releasing the write.
+            })
+        };
+        t.join();
+        // SAFETY: `p` is valid; join + Arc teardown order the read.
+        let v = cell.with(|p| unsafe { *p });
+        assert_eq!(v, 1);
+    });
+}
+
+/// The explorer actually enumerates schedules: both orders of two
+/// racing (but atomic, hence race-free) stores must be observed.
+#[test]
+fn exploration_covers_both_store_orders() {
+    use std::sync::atomic::{AtomicU64 as RealAtomic, Ordering as RealOrdering};
+    let saw_one_first = std::sync::Arc::new(RealAtomic::new(0));
+    let saw_two_first = std::sync::Arc::new(RealAtomic::new(0));
+    let (c1, c2) = (saw_one_first.clone(), saw_two_first.clone());
+    let stats = model_with(Config::default(), move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let t = {
+            let x = x.clone();
+            thread::spawn(move || x.store(1, Ordering::SeqCst))
+        };
+        x.store(2, Ordering::SeqCst);
+        t.join();
+        match x.load(Ordering::SeqCst) {
+            1 => c1.fetch_add(1, RealOrdering::Relaxed),
+            2 => c2.fetch_add(1, RealOrdering::Relaxed),
+            v => panic!("impossible final value {v}"),
+        };
+    });
+    assert!(stats.executions >= 2, "expected several schedules");
+    assert!(saw_one_first.load(RealOrdering::Relaxed) > 0);
+    assert!(saw_two_first.load(RealOrdering::Relaxed) > 0);
+}

@@ -1,0 +1,270 @@
+//! Mutation self-tests: prove the checker has teeth.
+//!
+//! `MiniSpsc` mirrors `persephone-net/src/spsc.rs` — same Barrelfish
+//! lazy index caching, same slot ownership protocol, and the same three
+//! Release stores (single-push tail publish, batch tail publish, pop's
+//! head hand-back) — but takes each store's `Ordering` as a parameter.
+//! With all three at `Release` the full bounded exploration finds
+//! nothing; weakening ANY ONE of them to `Relaxed` must make the
+//! checker report a data race on the slot. `MiniSeqlock` does the same
+//! for the telemetry event ring's writer protocol, where the seeded bug
+//! surfaces as a torn read instead.
+//!
+//! If one of these tests fails, the checker lost its ability to catch
+//! that bug class and the real ring tests are no longer trustworthy.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use persephone_check::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use persephone_check::sync::{Arc, UnsafeCell};
+use persephone_check::{model, model_expect_violation, thread};
+
+/// Two-slot SPSC ring with parameterized publish orderings.
+struct MiniSpsc {
+    buf: [UnsafeCell<u64>; 2],
+    tail: AtomicUsize,
+    head: AtomicUsize,
+    /// Ordering of the producer's tail-publish store.
+    push_publish: Ordering,
+    /// Ordering of the consumer's head hand-back store.
+    pop_release: Ordering,
+}
+
+impl MiniSpsc {
+    fn new(push_publish: Ordering, pop_release: Ordering) -> Self {
+        MiniSpsc {
+            buf: [UnsafeCell::new(0), UnsafeCell::new(0)],
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            push_publish,
+            pop_release,
+        }
+    }
+
+    /// Producer side; `tail_local` is the producer's local cursor.
+    fn push(&self, tail_local: &mut usize, value: u64) -> bool {
+        let head = self.head.load(Ordering::Acquire);
+        if *tail_local - head == self.buf.len() {
+            return false;
+        }
+        // SAFETY: `p` is valid; this slot is outside `[head, tail)`, so
+        // whether the consumer can race it is decided by the publish
+        // ordering under test.
+        self.buf[*tail_local % self.buf.len()].with_mut(|p| unsafe { *p = value });
+        *tail_local += 1;
+        self.tail.store(*tail_local, self.push_publish);
+        true
+    }
+
+    /// Batch push: one head refresh, one tail publish for `src`.
+    fn push_batch(&self, tail_local: &mut usize, src: &[u64]) -> usize {
+        let head = self.head.load(Ordering::Acquire);
+        let free = self.buf.len() - (*tail_local - head);
+        let n = free.min(src.len());
+        for &value in &src[..n] {
+            // SAFETY: as in `push` — claimed slots, ordering under test.
+            self.buf[*tail_local % self.buf.len()].with_mut(|p| unsafe { *p = value });
+            *tail_local += 1;
+        }
+        if n > 0 {
+            self.tail.store(*tail_local, self.push_publish);
+        }
+        n
+    }
+
+    /// Consumer side; `head_local` is the consumer's local cursor.
+    fn pop(&self, head_local: &mut usize) -> Option<u64> {
+        let tail = self.tail.load(Ordering::Acquire);
+        if *head_local == tail {
+            return None;
+        }
+        // SAFETY: `p` is valid; `head < tail` was observed with Acquire,
+        // so this read races only if the publish under test is too weak.
+        let value = self.buf[*head_local % self.buf.len()].with(|p| unsafe { *p });
+        *head_local += 1;
+        self.head.store(*head_local, self.pop_release);
+        Some(value)
+    }
+}
+
+/// Drives one producer (2 single pushes) against one consumer under the
+/// model; capacity 2 forces slot reuse so every ordering matters.
+fn spsc_single_scenario(push_publish: Ordering, pop_release: Ordering) -> impl Fn() + Send + Sync {
+    move || {
+        let ring = Arc::new(MiniSpsc::new(push_publish, pop_release));
+        let producer = {
+            let ring = ring.clone();
+            thread::spawn(move || {
+                let mut tail = 0;
+                let mut next = 1u64;
+                while next <= 3 {
+                    if ring.push(&mut tail, next) {
+                        next += 1;
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut head = 0;
+        let mut expect = 1u64;
+        while expect <= 3 {
+            match ring.pop(&mut head) {
+                Some(v) => {
+                    assert_eq!(v, expect, "FIFO order violated");
+                    expect += 1;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        producer.join();
+    }
+}
+
+/// Same shape but the producer uses `push_batch`.
+fn spsc_batch_scenario(push_publish: Ordering, pop_release: Ordering) -> impl Fn() + Send + Sync {
+    move || {
+        let ring = Arc::new(MiniSpsc::new(push_publish, pop_release));
+        let producer = {
+            let ring = ring.clone();
+            thread::spawn(move || {
+                let src = [1u64, 2, 3];
+                let mut tail = 0;
+                let mut sent = 0;
+                while sent < src.len() {
+                    let n = ring.push_batch(&mut tail, &src[sent..]);
+                    if n == 0 {
+                        thread::yield_now();
+                    }
+                    sent += n;
+                }
+            })
+        };
+        let mut head = 0;
+        let mut expect = 1u64;
+        while expect <= 3 {
+            match ring.pop(&mut head) {
+                Some(v) => {
+                    assert_eq!(v, expect, "FIFO order violated");
+                    expect += 1;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        producer.join();
+    }
+}
+
+#[test]
+fn correct_spsc_single_passes() {
+    model(spsc_single_scenario(Ordering::Release, Ordering::Release));
+}
+
+#[test]
+fn correct_spsc_batch_passes() {
+    model(spsc_batch_scenario(Ordering::Release, Ordering::Release));
+}
+
+/// Mutation 1: weaken the single-push tail publish (`spsc.rs`
+/// `Producer::push`'s `tail.store(.., Release)`).
+#[test]
+fn weakened_push_publish_is_caught() {
+    let report = model_expect_violation(spsc_single_scenario(Ordering::Relaxed, Ordering::Release));
+    assert!(report.contains("data race"), "unexpected report: {report}");
+}
+
+/// Mutation 2: weaken the batch tail publish (`spsc.rs`
+/// `Producer::push_batch`'s one-per-batch `tail.store(.., Release)`).
+#[test]
+fn weakened_batch_publish_is_caught() {
+    let report = model_expect_violation(spsc_batch_scenario(Ordering::Relaxed, Ordering::Release));
+    assert!(report.contains("data race"), "unexpected report: {report}");
+}
+
+/// Mutation 3: weaken the consumer's head hand-back (`spsc.rs`
+/// `Consumer::pop`'s `head.store(.., Release)`): the producer then
+/// reuses a slot without having observed the consumer's read.
+#[test]
+fn weakened_pop_release_is_caught() {
+    let report = model_expect_violation(spsc_single_scenario(Ordering::Release, Ordering::Relaxed));
+    assert!(report.contains("data race"), "unexpected report: {report}");
+}
+
+/// Single-slot seqlock mirroring the telemetry event ring's writer:
+/// odd sequence -> release fence -> relaxed payload stores -> even
+/// sequence publish, with the publish ordering parameterized.
+struct MiniSeqlock {
+    seq: AtomicU64,
+    words: [AtomicU64; 2],
+    publish: Ordering,
+}
+
+impl MiniSeqlock {
+    fn write(&self, generation: u64, value: u64) {
+        self.seq.store(2 * generation + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        // A well-formed record has both words equal.
+        self.words[0].store(value, Ordering::Relaxed);
+        self.words[1].store(value, Ordering::Relaxed);
+        self.seq.store(2 * generation + 2, self.publish);
+    }
+
+    /// Returns `Some((w0, w1))` only for snapshots the seqlock protocol
+    /// claims are consistent.
+    fn read(&self) -> Option<(u64, u64)> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if !s1.is_multiple_of(2) {
+            return None;
+        }
+        let w0 = self.words[0].load(Ordering::Relaxed);
+        let w1 = self.words[1].load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        let s2 = self.seq.load(Ordering::Relaxed);
+        if s1 == s2 {
+            Some((w0, w1))
+        } else {
+            None
+        }
+    }
+}
+
+fn seqlock_scenario(publish: Ordering) -> impl Fn() + Send + Sync {
+    move || {
+        let lock = Arc::new(MiniSeqlock {
+            seq: AtomicU64::new(0),
+            words: [AtomicU64::new(0), AtomicU64::new(0)],
+            publish,
+        });
+        let writer = {
+            let lock = lock.clone();
+            thread::spawn(move || {
+                lock.write(0, 7);
+                lock.write(1, 9);
+            })
+        };
+        // Any snapshot the protocol accepts must be un-torn: both words
+        // from the same write (or both still zero).
+        if let Some((w0, w1)) = lock.read() {
+            assert_eq!(w0, w1, "torn seqlock read: {w0} vs {w1}");
+        }
+        writer.join();
+    }
+}
+
+#[test]
+fn correct_seqlock_passes() {
+    model(seqlock_scenario(Ordering::Release));
+}
+
+/// Mutation 4: weaken the even-sequence publish (`ring.rs`
+/// `EventRing::push`'s final `seq.store(.., Release)`): a reader can
+/// now observe the new sequence with stale payload words — a torn read
+/// the s1 == s2 check no longer detects.
+#[test]
+fn weakened_seqlock_publish_is_caught() {
+    let report = model_expect_violation(seqlock_scenario(Ordering::Relaxed));
+    assert!(
+        report.contains("torn seqlock read"),
+        "unexpected report: {report}"
+    );
+}

@@ -7,7 +7,11 @@
 //! in the header (§5.1), and a loopback NIC with RX/TX queues.
 //!
 //! All `unsafe` code in the workspace lives in [`spsc`] and [`mpsc`], with
-//! `// SAFETY:` arguments on every block.
+//! `// SAFETY:` arguments on every block — enforced mechanically by
+//! `cargo xtask lint`. Both rings are built on the [`sync`] facade, so
+//! under `--features model-check` the exact shipped code runs inside
+//! `persephone_check`'s bounded interleaving explorer (see
+//! `tests/model_rings.rs`).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +42,7 @@ pub mod mpsc;
 pub mod nic;
 pub mod pool;
 pub mod spsc;
+pub mod sync;
 pub mod wire;
 
 pub use nic::{

@@ -8,12 +8,9 @@
 //!
 //! All `unsafe` blocks carry SAFETY arguments (kernel Rust guidelines).
 
-use core::cell::UnsafeCell;
 use core::mem::MaybeUninit;
-use core::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
-use persephone_telemetry::CachePadded;
+use crate::sync::{Arc, AtomicUsize, CachePadded, Ordering, UnsafeCell};
 
 /// Error returned by [`Sender::push`] when the ring is full.
 #[derive(Debug, PartialEq, Eq)]
@@ -117,7 +114,7 @@ impl<T> Sender<T> {
                         // `pos`; the consumer will not read the slot until
                         // `seq` becomes `pos + 1`, which happens below,
                         // after the write.
-                        unsafe { (*slot.value.get()).write(value) };
+                        slot.value.with_mut(|p| unsafe { (*p).write(value) });
                         slot.seq.store(pos + 1, Ordering::Release);
                         return Ok(());
                     }
@@ -151,12 +148,43 @@ impl<T> Receiver<T> {
         // SAFETY: `seq == head + 1` means a producer published this slot
         // (Release write paired with our Acquire load) and no other thread
         // will touch it until we bump `seq` for the next lap.
-        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        let value = slot.value.with(|p| unsafe { (*p).assume_init_read() });
         slot.seq.store(self.head + ring.mask + 1, Ordering::Release);
         self.head += 1;
         // Mirror the head for the drop bookkeeping.
         ring.head.store(self.head, Ordering::Release);
         Some(value)
+    }
+
+    /// Estimate of the number of queued values: claimed slots,
+    /// `tail - head`.
+    ///
+    /// Under concurrency this is approximate in both directions. It may
+    /// *overshoot* poppable values (a producer won the CAS but has not
+    /// published the slot yet, so [`Receiver::pop`] still returns
+    /// `None`), and it may *undershoot* them (the `tail` load may lag a
+    /// claim whose per-slot `seq` publish is already visible — Acquire
+    /// orders what a load sees, it does not force freshness; the model
+    /// tests in `tests/model_rings.rs` exercise exactly this window).
+    /// It is exact whenever the caller happens-after the producers —
+    /// e.g. after joining them.
+    ///
+    /// It never underflows: popping slot `pos` required observing
+    /// `seq == pos + 1` (Acquire), which synchronizes with the
+    /// producer's publish and therefore makes its earlier tail CAS
+    /// (`tail >= pos + 1`) visible, so `tail >= self.head` always. The
+    /// Acquire here mirrors the decision in
+    /// [`crate::spsc::Consumer::len`], keeping the two rings' observer
+    /// semantics identical.
+    pub fn len(&self) -> usize {
+        self.ring.tail.load(Ordering::Acquire) - self.head
+    }
+
+    /// Whether no slot is claimed (see [`Receiver::len`] for the caveat:
+    /// this is an estimate unless the caller happens-after all
+    /// producers).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Drains everything currently visible into a vector.
@@ -181,7 +209,7 @@ impl<T> Drop for Ring<T> {
             }
             // SAFETY: `seq == pos + 1` marks a published, unconsumed value;
             // in `drop` we have exclusive access to the ring.
-            unsafe { (*slot.value.get()).assume_init_drop() };
+            slot.value.with_mut(|p| unsafe { (*p).assume_init_drop() });
             pos += 1;
         }
     }

@@ -11,14 +11,13 @@
 //! This is the only module in the workspace (together with its sibling
 //! [`crate::mpsc`]) that uses `unsafe`; every block carries a SAFETY
 //! argument. The ring is validated by unit tests, a two-thread stress
-//! test, and property tests in `tests/`.
+//! test, property tests in `tests/`, and — because every primitive here
+//! comes from [`crate::sync`] — by exhaustive bounded model checking
+//! under `--features model-check` (see `tests/model_rings.rs`).
 
-use core::cell::UnsafeCell;
 use core::mem::MaybeUninit;
-use core::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
-use persephone_telemetry::CachePadded;
+use crate::sync::{Arc, AtomicUsize, CachePadded, Ordering, UnsafeCell};
 
 /// Error returned by [`Producer::push`] when the ring is full.
 #[derive(Debug, PartialEq, Eq)]
@@ -120,7 +119,7 @@ impl<T> Producer<T> {
         // SAFETY: `tail < head + cap` was just established, so this slot is
         // outside the consumer-owned `[head, tail)` window and free. We are
         // the only producer, so nobody else writes it.
-        unsafe { (*slot.get()).write(value) };
+        slot.with_mut(|p| unsafe { (*p).write(value) });
         self.tail += 1;
         // Release publishes the slot contents before the new tail.
         self.ring.tail.store(self.tail, Ordering::Release);
@@ -152,7 +151,7 @@ impl<T> Producer<T> {
             // outside the consumer-owned `[head, tail)` window. We are the
             // only producer; the consumer cannot see these slots until the
             // Release store below publishes the new tail.
-            unsafe { (*slot.get()).write(value) };
+            slot.with_mut(|p| unsafe { (*p).write(value) });
             self.tail += 1;
         }
         if n > 0 {
@@ -184,7 +183,7 @@ impl<T> Consumer<T> {
         // and published this slot (Acquire on `tail` paired with its
         // Release store). We are the only consumer; after the read we
         // advance `head`, returning the slot to the producer.
-        let value = unsafe { (*slot.get()).assume_init_read() };
+        let value = slot.with(|p| unsafe { (*p).assume_init_read() });
         self.head += 1;
         // Release hands the slot back before the new head is visible.
         self.ring.head.store(self.head, Ordering::Release);
@@ -192,6 +191,17 @@ impl<T> Consumer<T> {
     }
 
     /// Lower bound on the number of queued values (exact from this side).
+    ///
+    /// The `tail` load is deliberately `Acquire`, not `Relaxed`, even
+    /// though this is "just" an observer: `len` refreshes `tail_cache`,
+    /// and a subsequent [`Consumer::pop`] may trust that cache and read
+    /// a slot *without* reloading `tail`. The Acquire here is therefore
+    /// load-bearing — it pairs with the producer's Release publish so
+    /// the slot contents are visible before the count that advertises
+    /// them. A Relaxed load would be sound only for a length that is
+    /// never fed back into the pop fast path; ours is. The same
+    /// decision is mirrored in [`crate::mpsc::Receiver::len`], where
+    /// the claimed-count load is Acquire for the analogous reason.
     pub fn len(&mut self) -> usize {
         self.tail_cache = self.ring.tail.load(Ordering::Acquire);
         self.tail_cache - self.head
@@ -219,7 +229,7 @@ impl<T> Consumer<T> {
             // and published them all (the Acquire load above pairs with
             // its Release stores). We are the only consumer; the slots
             // return to the producer only at the Release store below.
-            let value = unsafe { (*slot.get()).assume_init_read() };
+            let value = slot.with(|p| unsafe { (*p).assume_init_read() });
             out.push(value);
             self.head += 1;
         }
@@ -234,14 +244,17 @@ impl<T> Consumer<T> {
 impl<T> Drop for Ring<T> {
     fn drop(&mut self) {
         // Drop any values still in flight. `Ring` is dropped only when both
-        // halves are gone, so the indices are quiescent.
+        // halves are gone, so the indices are quiescent: `Arc`'s refcount
+        // teardown (Release on every clone drop, Acquire before running
+        // this destructor) already ordered both sides' final stores before
+        // this point, which is why Relaxed loads suffice here.
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Relaxed);
         for i in head..tail {
             let slot = &self.buf[i & self.mask];
             // SAFETY: slots in `[head, tail)` hold initialized values that
             // were never popped; we have exclusive access in `drop`.
-            unsafe { (*slot.get()).assume_init_drop() };
+            slot.with_mut(|p| unsafe { (*p).assume_init_drop() });
         }
     }
 }

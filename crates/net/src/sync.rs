@@ -1,0 +1,61 @@
+//! Synchronization facade: std types normally, instrumented types under
+//! `--features model-check`.
+//!
+//! The lock-free ring modules ([`crate::spsc`], [`crate::mpsc`]) import
+//! every synchronization primitive from here instead of `std`/`core`.
+//! In a normal build the facade is zero-cost: the atomics and `Arc` are
+//! re-exports and [`UnsafeCell`] is a `#[repr(transparent)]` wrapper
+//! whose `with`/`with_mut` accessors compile to a bare pointer call.
+//! Under the `model-check` feature the same names resolve to
+//! `persephone-check`'s instrumented shims, so `persephone_check::model`
+//! can enumerate interleavings of the *real* ring code and race-check
+//! every `UnsafeCell` access against the happens-before relation.
+//!
+//! The accessor-closure API (`cell.with(|p| ..)` instead of
+//! `cell.get()`) exists because the checker must observe each access;
+//! see `DESIGN.md` §6.
+
+#[cfg(feature = "model-check")]
+pub use persephone_check::sync::{fence, Arc, AtomicU64, AtomicUsize, Ordering, UnsafeCell};
+
+#[cfg(not(feature = "model-check"))]
+pub use std_impl::UnsafeCell;
+#[cfg(not(feature = "model-check"))]
+pub use {
+    core::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering},
+    std::sync::Arc,
+};
+
+/// Re-exported so ring code can import its whole vocabulary from one
+/// place; padding is identical in both modes.
+pub use persephone_telemetry::CachePadded;
+
+#[cfg(not(feature = "model-check"))]
+mod std_impl {
+    /// Zero-cost `core::cell::UnsafeCell` wrapper exposing the
+    /// accessor-closure API the model checker needs to observe.
+    #[derive(Debug, Default)]
+    #[repr(transparent)]
+    pub struct UnsafeCell<T>(core::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        /// Wraps a value.
+        pub const fn new(data: T) -> Self {
+            UnsafeCell(core::cell::UnsafeCell::new(data))
+        }
+
+        /// Shared access: hands `f` a const pointer to the data. The
+        /// caller's `unsafe` dereference carries the aliasing proof,
+        /// exactly as with `core::cell::UnsafeCell::get`.
+        #[inline(always)]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Exclusive access: hands `f` a mut pointer to the data.
+        #[inline(always)]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}

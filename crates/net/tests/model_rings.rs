@@ -1,0 +1,297 @@
+//! Model-checked tests for the real SPSC/MPSC rings.
+//!
+//! These run the exact shipped ring code — not a test double — inside
+//! `persephone_check`'s bounded interleaving explorer, because the rings
+//! are built on the `crate::sync` facade. Every atomic operation and
+//! every `UnsafeCell` access is a scheduling point; the explorer
+//! enumerates thread schedules (and stale-but-coherent values for
+//! relaxed loads) within the configured bounds, so a misplaced
+//! `Ordering` in push/pop shows up as a reported data race or a failed
+//! assertion here rather than as a one-in-a-million corruption in a
+//! stress test.
+//!
+//! Scenarios stay tiny (capacity 2, two or three values): the point is
+//! exhaustiveness within bounds, not volume. `Config::auto()` deepens
+//! the preemption bound under `--features heavy-testing`.
+
+#![cfg(feature = "model-check")]
+
+use std::collections::VecDeque;
+
+use persephone_check::{model, model_with, thread, Config};
+use persephone_net::{mpsc, spsc};
+
+/// Single-value-at-a-time ownership transfer: the producer hands two
+/// boxed values across the ring; the consumer must observe each value
+/// fully initialized, in order, exactly once. A weakened tail publish
+/// in `Producer::push` is reported as a data race on the slot.
+#[test]
+fn spsc_ownership_transfer_single() {
+    model(|| {
+        let (mut tx, mut rx) = spsc::channel::<Box<u64>>(2);
+        let producer = thread::spawn(move || {
+            for v in 0..2u64 {
+                let mut boxed = Box::new(v);
+                loop {
+                    match tx.push(boxed) {
+                        Ok(()) => break,
+                        Err(spsc::Full(back)) => {
+                            boxed = back;
+                            thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match rx.pop() {
+                Some(v) => got.push(*v),
+                None => thread::yield_now(),
+            }
+        }
+        assert_eq!(got, vec![0, 1], "values crossed the ring in order");
+        assert_eq!(rx.pop(), None, "nothing published beyond the two pushes");
+        producer.join();
+    });
+}
+
+/// Batched transfer: `push_batch` claims free slots with one Acquire
+/// head refresh and publishes with one Release tail store; `pop_batch`
+/// mirrors it. The single publish covering multiple slots is exactly
+/// where a weakened ordering would tear, so drive it under the model.
+#[test]
+fn spsc_ownership_transfer_batch() {
+    model(|| {
+        let (mut tx, mut rx) = spsc::channel::<u64>(2);
+        let producer = thread::spawn(move || {
+            let mut src: VecDeque<u64> = (0..3).collect();
+            while !src.is_empty() {
+                if tx.push_batch(&mut src) == 0 {
+                    thread::yield_now();
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            if rx.pop_batch(&mut got, 2) == 0 {
+                thread::yield_now();
+            }
+        }
+        assert_eq!(got, vec![0, 1, 2], "batch transfer preserved order");
+        producer.join();
+    });
+}
+
+/// Full/empty boundary race: with capacity 2, the producer spins on
+/// `Full` while the consumer spins on empty, so head/tail cache
+/// refreshes interleave with publishes at every offset. `len`'s
+/// Acquire-refreshed `tail_cache` feeds the subsequent `pop`, which is
+/// the exact feedback path its ordering comment argues about.
+#[test]
+fn spsc_full_empty_boundary() {
+    model(|| {
+        let (mut tx, mut rx) = spsc::channel::<u64>(2);
+        let producer = thread::spawn(move || {
+            let mut rejected = 0u32;
+            for v in 0..3u64 {
+                let mut val = v;
+                loop {
+                    match tx.push(val) {
+                        Ok(()) => break,
+                        Err(spsc::Full(back)) => {
+                            val = back;
+                            rejected += 1;
+                            thread::yield_now();
+                        }
+                    }
+                }
+            }
+            rejected
+        });
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            let advertised = rx.len();
+            if advertised > 0 {
+                // Anything `len` advertises must be poppable and intact:
+                // the Acquire in `len` ordered the slot contents before
+                // the count.
+                let v = rx.pop().expect("len() advertised a value");
+                got.push(v);
+            } else {
+                thread::yield_now();
+            }
+        }
+        assert!(rx.is_empty());
+        assert_eq!(got, vec![0, 1, 2]);
+        producer.join();
+    });
+}
+
+/// Two producers race CAS claims on the Vyukov ring while the consumer
+/// drains: every pushed value arrives exactly once and per-producer
+/// order holds. A weakened per-slot `seq` publish would let the
+/// consumer read an unwritten slot — a data race on the slot cell.
+#[test]
+fn mpsc_two_producer_claims() {
+    model(|| {
+        let (tx, mut rx) = mpsc::channel::<u64>(2);
+        let mut producers = Vec::new();
+        for p in 0..2u64 {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                // Tag values with the producer id in the high bit.
+                let mut v = (p << 32) | 0;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(mpsc::Full(back)) => {
+                            v = back;
+                            thread::yield_now();
+                        }
+                    }
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match rx.pop() {
+                Some(v) => got.push(v),
+                None => thread::yield_now(),
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            vec![0, 1 << 32],
+            "each producer delivered exactly once"
+        );
+        for p in producers {
+            p.join();
+        }
+    });
+}
+
+/// `Receiver::len` semantics: under concurrency it is an estimate
+/// (the first exploration of this test caught an over-strong "never
+/// undershoots" assertion — an Acquire `tail` load may lag a claim
+/// whose slot publish is already visible), it never underflows, and it
+/// becomes exact once the consumer happens-after the producer (here:
+/// after `join`).
+#[test]
+fn mpsc_len_exact_after_join() {
+    model(|| {
+        let (tx, mut rx) = mpsc::channel::<u64>(2);
+        let producer = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                tx.push(7)
+                    .unwrap_or_else(|_| panic!("capacity-2 ring rejected first push"));
+            })
+        };
+        // Concurrent estimates must at least stay in range (no
+        // underflow, never more than the one claim in flight).
+        assert!(rx.len() <= 1);
+        producer.join();
+        // The join edge makes the claim visible: now the count is exact.
+        assert_eq!(
+            rx.len(),
+            1,
+            "len() exact once it happens-after the producer"
+        );
+        assert_eq!(rx.pop(), Some(7));
+        assert_eq!(rx.len(), 0);
+        assert!(rx.is_empty(), "drained ring reports empty");
+    });
+}
+
+/// In-flight values are dropped exactly once when the ring is torn
+/// down with values still queued — for both rings. Exercises the Drop
+/// impls' Relaxed loads, which are sound only because `Arc` teardown
+/// ordered both sides' final stores (the checker models that edge).
+#[test]
+fn rings_drop_in_flight_values_exactly_once() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc as StdArc;
+
+    struct D(StdArc<AtomicU32>);
+    impl Drop for D {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    model(|| {
+        let drops = StdArc::new(AtomicU32::new(0));
+        {
+            let (mut tx, mut rx) = spsc::channel::<D>(2);
+            tx.push(D(drops.clone())).unwrap_or_else(|_| unreachable!());
+            tx.push(D(drops.clone())).unwrap_or_else(|_| unreachable!());
+            let consumer = thread::spawn(move || {
+                // Pop at most one; whatever is left must be dropped by the
+                // ring's destructor, never twice.
+                rx.pop().is_some()
+            });
+            let popped = consumer.join();
+            drop(tx);
+            assert!(popped, "both values were published before the spawn");
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            2,
+            "spsc: every value dropped once"
+        );
+
+        let drops = StdArc::new(AtomicU32::new(0));
+        {
+            let (tx, rx) = mpsc::channel::<D>(2);
+            tx.push(D(drops.clone())).unwrap_or_else(|_| unreachable!());
+            tx.push(D(drops.clone())).unwrap_or_else(|_| unreachable!());
+            drop(tx);
+            drop(rx);
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            2,
+            "mpsc: every value dropped once"
+        );
+    });
+}
+
+/// The randomized generators in `tests/ring_proptests.rs` reuse this
+/// entry point to drive model-checked scenarios; keep one explicit
+/// deep-tier smoke here so `--features heavy-testing` exercises the
+/// wider preemption bound even when run standalone.
+#[test]
+fn spsc_deep_tier_smoke() {
+    let stats = model_with(Config::auto(), || {
+        let (mut tx, mut rx) = spsc::channel::<u8>(2);
+        let producer = thread::spawn(move || {
+            let mut v = 1u8;
+            loop {
+                match tx.push(v) {
+                    Ok(()) => break,
+                    Err(spsc::Full(back)) => {
+                        v = back;
+                        thread::yield_now();
+                    }
+                }
+            }
+        });
+        loop {
+            match rx.pop() {
+                Some(v) => {
+                    assert_eq!(v, 1);
+                    break;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        producer.join();
+    });
+    assert!(
+        stats.executions > 1,
+        "explorer tried more than one schedule"
+    );
+}

@@ -5,7 +5,7 @@
 //! line. Every increment is a single relaxed atomic RMW — no locks, no
 //! allocation — cheap enough for the dispatch hot loop.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Counters tracked per request type.
 #[derive(Debug, Default)]

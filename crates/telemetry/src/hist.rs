@@ -18,7 +18,7 @@
 //! Both produce a [`HistSnapshot`]: a frozen, mergeable copy answering
 //! percentile queries.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Default sub-bucket precision: `2^-7 ≈ 0.8 %` relative error.
 pub const DEFAULT_PRECISION_BITS: u32 = 7;

@@ -39,6 +39,7 @@ pub mod hist;
 pub mod padded;
 pub mod ring;
 pub mod snapshot;
+pub mod sync;
 
 pub use counters::{TypeCounters, TypeCountersSnap, WorkerCounters, WorkerCountersSnap};
 pub use hist::{AtomicHist, HistSnapshot, LogHist, DEFAULT_PRECISION_BITS};

@@ -5,8 +5,10 @@
 //! hits, and drops — without ever blocking the dispatch loop. Each slot
 //! is a seqlock over a fixed block of `AtomicU64` words:
 //!
-//! * A writer claims a position with one `fetch_add` on the head, marks
-//!   the slot's sequence odd, stores the encoded event words, then
+//! * A writer claims a position with one `fetch_add` on the head, CAS's
+//!   the slot's sequence from its previous-lap value to odd (dropping
+//!   the event if another writer holds the slot — see
+//!   [`EventRing::push`]), stores the encoded event words, then
 //!   publishes an even sequence derived from the position.
 //! * A reader loads the sequence, copies the words, and re-checks the
 //!   sequence; any concurrent overwrite changes the sequence and the
@@ -18,9 +20,8 @@
 //! Pushing is wait-free for a single writer and lock-free for many; no
 //! path allocates.
 
-use core::sync::atomic::{fence, AtomicU64, Ordering};
-
 use crate::padded::CachePadded;
+use crate::sync::{fence, AtomicU64, Ordering};
 
 /// Fixed number of payload words per event.
 pub const EVENT_WORDS: usize = 8;
@@ -326,12 +327,35 @@ impl EventRing {
 
     /// Records an event, overwriting the oldest if the ring is full.
     /// Never blocks, never allocates; returns the event's position.
+    ///
+    /// If a writer stalls for an entire lap, the writer that laps it
+    /// collides with it on the same slot. A classic seqlock is
+    /// single-writer, and two writers blindly storing odd/even
+    /// sequences can publish a *blend* of their payload words under an
+    /// even sequence — the model checker found exactly that schedule
+    /// (see `tests/model_seqlock.rs`). The claim below is therefore a
+    /// CAS on the previous generation's published sequence: whichever
+    /// colliding writer loses simply drops its event, which readers
+    /// count as lost via the sequence-gap accounting. Losses stay
+    /// detectable; blends become impossible.
     pub fn push(&self, ev: &SchedEvent) -> u64 {
         let pos = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(pos & self.mask) as usize];
-        // Mark the slot dirty, then fence so no payload store can become
+        let cap = self.slots.len() as u64;
+        // The slot is claimable only in its quiescent previous-lap
+        // state: published `2*(pos-cap)+2`, or 0 on the first lap. Any
+        // other value means a lapped writer is mid-write (odd) or a
+        // newer writer already took the slot (larger) — back off.
+        let expected = if pos >= cap { 2 * (pos - cap) + 2 } else { 0 };
+        if slot
+            .seq
+            .compare_exchange(expected, 2 * pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return pos;
+        }
+        // The slot is marked dirty; fence so no payload store can become
         // visible before the odd sequence (classic seqlock writer).
-        slot.seq.store(2 * pos + 1, Ordering::Relaxed);
         fence(Ordering::Release);
         for (w, v) in slot.words.iter().zip(ev.encode()) {
             w.store(v, Ordering::Relaxed);

@@ -1,0 +1,18 @@
+//! Synchronization facade: std atomics normally, instrumented atomics
+//! under `--features model-check`.
+//!
+//! The seqlock event ring ([`crate::ring`]), the counter sets
+//! ([`crate::counters`]), and the shared histogram ([`crate::hist`])
+//! import `AtomicU64`/`Ordering`/`fence` from here, so the exact code
+//! the dispatcher runs can also run inside `persephone_check::model`,
+//! where relaxed loads are offered stale-but-coherent values and the
+//! seqlock's torn-read detection is exercised for real. In a normal
+//! build everything is a plain `core::sync::atomic` re-export — zero
+//! cost, and `Ordering` is the same type in both modes so callers in
+//! other crates never notice.
+
+#[cfg(feature = "model-check")]
+pub use persephone_check::sync::atomic::{fence, AtomicU64, Ordering};
+
+#[cfg(not(feature = "model-check"))]
+pub use core::sync::atomic::{fence, AtomicU64, Ordering};

@@ -3,6 +3,14 @@
 //! of recordings. (Lock-freedom is by construction — every path is
 //! relaxed/release atomics only; see the module docs in the crate.)
 
+// The zero-allocation property holds for the production atomics. Under
+// `--features model-check` the sync facade swaps in the checker's
+// instrumented shims, whose fallback path records per-atomic store
+// history on the heap — an artifact of the test double, not a hot-path
+// regression — so this proof only runs with default features.
+#![cfg(not(feature = "model-check"))]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -15,15 +23,21 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 // SAFETY: delegates everything to the system allocator unchanged; the
 // counter is a relaxed atomic, safe from any context.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: the caller upholds `GlobalAlloc`'s contract; forwarded.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarding the caller's contract to `System`.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: the caller upholds `GlobalAlloc`'s contract; forwarded.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarding the caller's contract to `System`.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: the caller upholds `GlobalAlloc`'s contract; forwarded.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarding the caller's contract to `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

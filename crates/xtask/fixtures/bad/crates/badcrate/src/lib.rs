@@ -1,0 +1,5 @@
+// Seeded violations: unsafe outside the allowlist (R1-confine) in a
+// crate without unsafe-fn hygiene (R5-unsafe-fn).
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,6 @@
+// Seeded violation: wall-clock time in a virtual-time crate (R3).
+pub fn now_ns() -> u128 {
+    let t = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t.elapsed().as_nanos()
+}

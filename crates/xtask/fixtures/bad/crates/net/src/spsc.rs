@@ -1,0 +1,5 @@
+// Seeded violation: this path IS allowlisted for unsafe, but the block
+// below carries no SAFETY comment (R1-safety).
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

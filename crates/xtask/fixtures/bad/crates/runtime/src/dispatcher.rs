@@ -1,0 +1,9 @@
+// Seeded violations: Relaxed outside the allowlist (R2) and hot-path
+// style breaches (R4: println! and .unwrap()).
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn dispatch(depth: &AtomicUsize, queue: &mut Vec<u64>) {
+    depth.fetch_add(1, Ordering::Relaxed);
+    let req = queue.pop().unwrap();
+    println!("dispatching {req}");
+}

@@ -1,0 +1,565 @@
+//! The workspace invariant linter.
+//!
+//! Five rules, each guarding a decision the codebase has already made
+//! and that code review keeps re-litigating:
+//!
+//! * **R1 — unsafe confinement.** `unsafe` may appear only in the
+//!   allowlisted modules (the two rings, the checker's cell shim, and
+//!   the allocation-counting test harness), and *every* occurrence —
+//!   allowlisted or not — must carry a `// SAFETY:` comment on the same
+//!   line or within the three lines above it.
+//! * **R2 — Relaxed allowlist.** `Ordering::Relaxed` on an atomic is a
+//!   claim that no cross-thread data depends on it; that claim is only
+//!   accepted in the allowlisted files, where each use is argued in
+//!   comments (and, for the rings, exercised under the model checker).
+//! * **R3 — simulated-time purity.** `persephone-core` and
+//!   `persephone-sim` run on virtual nanoseconds; `Instant::now` or
+//!   `thread::sleep` in their `src/` would silently couple results to
+//!   wall-clock load.
+//! * **R4 — hot-path style.** Dispatcher/worker/ring hot-path modules
+//!   must not `println!` (stdout locking in a microsecond loop) or
+//!   `.unwrap()` (use `.expect(...)` with a reason, or handle it).
+//! * **R5 — unsafe-fn hygiene.** Any crate whose `src/` contains
+//!   `unsafe`, and any standalone test file using it, must opt into
+//!   `#![deny(unsafe_op_in_unsafe_fn)]` (or forbid unsafe outright).
+//!
+//! The scanner is a hand-rolled line cleaner (comments, strings, and
+//! char literals stripped; `// SAFETY:` markers remembered), not a full
+//! parser — deliberately: it has no dependencies, runs in milliseconds,
+//! and rejects the obfuscated cases a parser would accept. Test code
+//! (`#[cfg(test)]` modules, `tests/`, `benches/`) is exempt from the
+//! style rules R2–R4 but not from the unsafe rules R1/R5.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to contain `unsafe` (suffix match on `/`-separated
+/// relative paths). Every occurrence still requires `// SAFETY:`.
+const UNSAFE_ALLOW: &[&str] = &[
+    "crates/net/src/spsc.rs",
+    "crates/net/src/mpsc.rs",
+    "crates/check/src/sync/cell.rs",
+    "crates/telemetry/tests/no_alloc.rs",
+    "crates/check/tests/litmus.rs",
+    "crates/check/tests/mutation.rs",
+];
+
+/// Files allowed to use `Ordering::Relaxed` in non-test code.
+const RELAXED_ALLOW: &[&str] = &[
+    "crates/net/src/spsc.rs",
+    "crates/net/src/mpsc.rs",
+    "crates/telemetry/src/ring.rs",
+    "crates/telemetry/src/counters.rs",
+    "crates/telemetry/src/hist.rs",
+    "crates/telemetry/src/snapshot.rs",
+];
+
+/// Crates that must stay on virtual time (rule applies to their src/).
+const VIRTUAL_TIME_CRATES: &[&str] = &["crates/core/src/", "crates/sim/src/"];
+
+/// Hot-path modules: no `println!`, no `.unwrap()` outside tests.
+const HOT_PATH: &[&str] = &[
+    "crates/runtime/src/dispatcher.rs",
+    "crates/runtime/src/worker.rs",
+    "crates/net/src/spsc.rs",
+    "crates/net/src/mpsc.rs",
+    "crates/net/src/nic.rs",
+];
+
+/// One lint finding; `Display` renders `path:line: [rule] message`.
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// A source line with comments/strings removed and metadata kept.
+struct CleanLine {
+    /// Code with comments, string contents, and char literals blanked.
+    code: String,
+    /// The line carries a `// SAFETY:` (or `/* SAFETY:`) comment.
+    safety: bool,
+    /// The line is inside a `#[cfg(test)]` module block.
+    in_test_mod: bool,
+}
+
+/// Strips comments, string literals, and char literals, preserving the
+/// line structure so findings keep real line numbers.
+fn clean_source(text: &str) -> Vec<CleanLine> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut st = St::Code;
+    let mut lines = Vec::new();
+    for raw in text.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut safety = raw.contains("SAFETY:")
+            && (raw.trim_start().starts_with("//")
+                || raw.contains("// SAFETY:")
+                || raw.contains("/* SAFETY:"));
+        let b = raw.as_bytes();
+        let mut i = 0;
+        while i < b.len() {
+            match st {
+                St::Block(depth) => {
+                    if raw[i..].starts_with("*/") {
+                        st = if depth == 1 {
+                            St::Code
+                        } else {
+                            St::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if raw[i..].starts_with("/*") {
+                        st = St::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        if raw[i..].starts_with("SAFETY:") {
+                            safety = true;
+                        }
+                        i += 1;
+                    }
+                }
+                St::Str => {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        st = St::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                St::RawStr(hashes) => {
+                    let close = format!("\"{}", "#".repeat(hashes as usize));
+                    if raw[i..].starts_with(&close) {
+                        st = St::Code;
+                        code.push('"');
+                        i += close.len();
+                    } else {
+                        i += 1;
+                    }
+                }
+                St::Code => {
+                    if raw[i..].starts_with("//") {
+                        if raw[i..].contains("SAFETY:") {
+                            safety = true;
+                        }
+                        break; // rest of line is a comment
+                    } else if raw[i..].starts_with("/*") {
+                        st = St::Block(1);
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        st = St::Str;
+                        code.push('"');
+                        i += 1;
+                    } else if b[i] == b'r' && raw[i + 1..].starts_with(['"', '#']) {
+                        // Raw string: r"..." or r#"..."#
+                        let mut j = i + 1;
+                        let mut hashes = 0u32;
+                        while j < b.len() && b[j] == b'#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if j < b.len() && b[j] == b'"' {
+                            st = St::RawStr(hashes);
+                            code.push('"');
+                            i = j + 1;
+                        } else {
+                            code.push('r');
+                            i += 1;
+                        }
+                    } else if b[i] == b'\'' {
+                        // Char literal vs lifetime: 'x' / '\n' are
+                        // literals, 'a (no closing quote nearby) is a
+                        // lifetime.
+                        if i + 2 < b.len() && b[i + 1] == b'\\' {
+                            let mut j = i + 2;
+                            while j < b.len() && b[j] != b'\'' {
+                                j += 1;
+                            }
+                            i = (j + 1).min(b.len());
+                        } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                            i += 3;
+                        } else {
+                            i += 1; // lifetime tick
+                        }
+                    } else {
+                        code.push(b[i] as char);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        lines.push(CleanLine {
+            code,
+            safety,
+            in_test_mod: false,
+        });
+    }
+    mark_test_mods(&mut lines);
+    lines
+}
+
+/// Marks lines inside `#[cfg(test)] mod ... { ... }` blocks by brace
+/// counting on the cleaned code.
+fn mark_test_mods(lines: &mut [CleanLine]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Find the opening brace of the following item.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                lines[j].in_test_mod = true;
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Word-boundary search: `needle` at a position not flanked by
+/// identifier characters.
+fn has_word(code: &str, needle: &str) -> bool {
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(off) = code[from..].find(needle) {
+        let start = from + off;
+        let end = start + needle.len();
+        let pre = start == 0 || !is_ident(b[start - 1]);
+        let post = end >= b.len() || !is_ident(b[end]);
+        if pre && post {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn rel(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn matches_any(rel: &str, list: &[&str]) -> bool {
+    list.iter()
+        .any(|s| rel == *s || rel.ends_with(s) || rel.contains(s))
+}
+
+fn is_test_path(rel: &str) -> bool {
+    rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "target" | ".git" | "fixtures" | ".cargo" | "related"
+            ) {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every `.rs` file under `root` (excluding `target/`, fixture
+/// trees, and VCS metadata) and returns the findings, sorted by path.
+pub fn run(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    // crate src dir -> (has unsafe, has deny attr in crate root file)
+    let mut crate_unsafe: Vec<(PathBuf, PathBuf)> = Vec::new();
+
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let relpath = rel(path, root);
+        let lines = clean_source(&text);
+        let has_deny_attr = text.contains("#![deny(unsafe_op_in_unsafe_fn)]")
+            || text.contains("#![forbid(unsafe_code)]");
+        let mut file_has_unsafe = false;
+
+        for (idx, line) in lines.iter().enumerate() {
+            let n = idx + 1;
+            let code = line.code.as_str();
+
+            // R1: unsafe confinement + SAFETY discipline (applies to
+            // test code too — unsafe is unsafe everywhere).
+            if has_word(code, "unsafe") {
+                file_has_unsafe = true;
+                if !matches_any(&relpath, UNSAFE_ALLOW) {
+                    violations.push(Violation {
+                        file: PathBuf::from(&relpath),
+                        line: n,
+                        rule: "R1-confine",
+                        msg: "`unsafe` outside the allowlisted modules (see xtask lint docs)"
+                            .into(),
+                    });
+                } else {
+                    // Walk upward through the contiguous run of
+                    // comment-only / attribute / blank lines above: a
+                    // multi-line `// SAFETY: ...` argument counts no
+                    // matter how long it is.
+                    let mut documented = line.safety;
+                    let mut j = idx;
+                    while !documented && j > 0 {
+                        j -= 1;
+                        let above = &lines[j];
+                        if above.safety {
+                            documented = true;
+                            break;
+                        }
+                        let t = above.code.trim();
+                        if !(t.is_empty() || t.starts_with("#[")) {
+                            break;
+                        }
+                    }
+                    if !documented {
+                        violations.push(Violation {
+                            file: PathBuf::from(&relpath),
+                            line: n,
+                            rule: "R1-safety",
+                            msg: "`unsafe` without an adjacent `// SAFETY:` comment".into(),
+                        });
+                    }
+                }
+            }
+
+            let style_exempt = line.in_test_mod || is_test_path(&relpath);
+            if style_exempt {
+                continue;
+            }
+
+            // R2: Relaxed allowlist.
+            if code.contains("Ordering::Relaxed") && !matches_any(&relpath, RELAXED_ALLOW) {
+                violations.push(Violation {
+                    file: PathBuf::from(&relpath),
+                    line: n,
+                    rule: "R2-relaxed",
+                    msg: "`Ordering::Relaxed` outside the allowlisted files; justify and allowlist, or strengthen".into(),
+                });
+            }
+
+            // R3: virtual-time purity.
+            if matches_any(&relpath, VIRTUAL_TIME_CRATES)
+                && (code.contains("Instant::now") || code.contains("thread::sleep"))
+            {
+                violations.push(Violation {
+                    file: PathBuf::from(&relpath),
+                    line: n,
+                    rule: "R3-virtual-time",
+                    msg: "wall-clock call in a virtual-time crate (persephone-core/sim run on simulated ns)".into(),
+                });
+            }
+
+            // R4: hot-path style.
+            if matches_any(&relpath, HOT_PATH) {
+                if code.contains("println!") {
+                    violations.push(Violation {
+                        file: PathBuf::from(&relpath),
+                        line: n,
+                        rule: "R4-hotpath",
+                        msg: "`println!` in a hot-path module (stdout lock in the dispatch loop)"
+                            .into(),
+                    });
+                }
+                if code.contains(".unwrap()") {
+                    violations.push(Violation {
+                        file: PathBuf::from(&relpath),
+                        line: n,
+                        rule: "R4-hotpath",
+                        msg:
+                            "`.unwrap()` in a hot-path module; use `.expect(\"reason\")` or handle"
+                                .into(),
+                    });
+                }
+            }
+        }
+
+        // R5 bookkeeping: remember files with unsafe and whether their
+        // compilation unit opted into unsafe-fn hygiene.
+        if file_has_unsafe && !has_deny_attr {
+            crate_unsafe.push((path.clone(), PathBuf::from(&relpath)));
+        }
+    }
+
+    // R5: a file using unsafe must itself carry the attr (tests) or its
+    // crate root must (src files).
+    for (path, relpath) in crate_unsafe {
+        let rels = relpath.to_string_lossy();
+        if is_test_path(&rels) {
+            violations.push(Violation {
+                file: relpath.clone(),
+                line: 1,
+                rule: "R5-unsafe-fn",
+                msg: "test file uses `unsafe` but lacks `#![deny(unsafe_op_in_unsafe_fn)]`".into(),
+            });
+            continue;
+        }
+        // Walk up to the crate's src/ dir, then check lib.rs / main.rs.
+        let mut dir = path.parent();
+        let mut root_file = None;
+        while let Some(d) = dir {
+            if d.file_name().is_some_and(|n| n == "src") {
+                for cand in ["lib.rs", "main.rs"] {
+                    let c = d.join(cand);
+                    if c.exists() {
+                        root_file = Some(c);
+                        break;
+                    }
+                }
+                break;
+            }
+            dir = d.parent();
+        }
+        let covered = root_file
+            .and_then(|f| std::fs::read_to_string(f).ok())
+            .is_some_and(|t| {
+                t.contains("#![deny(unsafe_op_in_unsafe_fn)]")
+                    || t.contains("#![forbid(unsafe_code)]")
+            });
+        if !covered {
+            violations.push(Violation {
+                file: relpath,
+                line: 1,
+                rule: "R5-unsafe-fn",
+                msg: "crate uses `unsafe` but its root lacks `#![deny(unsafe_op_in_unsafe_fn)]`"
+                    .into(),
+            });
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad")
+    }
+
+    fn workspace_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("workspace root")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn seeded_fixture_trips_every_rule() {
+        let violations = run(&fixture_root());
+        let fired: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+        for rule in [
+            "R1-confine",
+            "R1-safety",
+            "R2-relaxed",
+            "R3-virtual-time",
+            "R4-hotpath",
+            "R5-unsafe-fn",
+        ] {
+            assert!(
+                fired.contains(&rule),
+                "fixture should trip {rule}; got {fired:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn real_workspace_is_clean() {
+        let violations = run(&workspace_root());
+        assert!(
+            violations.is_empty(),
+            "workspace lint must be clean:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn cleaner_strips_comments_strings_and_doc_examples() {
+        let lines = clean_source(
+            "/// let x = foo.unwrap();\nlet s = \"unsafe println!\"; // unsafe in comment\nlet c = 'u'; let l: &'static str = s;\n",
+        );
+        assert!(!lines.iter().any(|l| has_word(&l.code, "unsafe")));
+        assert!(!lines.iter().any(|l| l.code.contains(".unwrap()")));
+    }
+
+    #[test]
+    fn safety_comment_detection_spans_adjacent_lines() {
+        let src = "// SAFETY: fine\nlet x = unsafe { y() };\n";
+        let lines = clean_source(src);
+        assert!(lines[0].safety);
+        assert!(has_word(&lines[1].code, "unsafe"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_style_exempt() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let lines = clean_source(src);
+        assert!(!lines[0].in_test_mod);
+        assert!(lines[3].in_test_mod);
+        assert!(!lines[5].in_test_mod);
+    }
+}

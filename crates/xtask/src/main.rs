@@ -1,0 +1,54 @@
+//! Workspace task runner. Currently one task:
+//!
+//! ```text
+//! cargo xtask lint [workspace-root]
+//! ```
+//!
+//! runs the invariant linter over the workspace sources and exits
+//! non-zero if any rule fires. See [`lint`] for the rule catalogue.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = args
+                .next()
+                .map(PathBuf::from)
+                .unwrap_or_else(workspace_root);
+            let violations = lint::run(&root);
+            if violations.is_empty() {
+                eprintln!("xtask lint: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo xtask lint [workspace-root]{}",
+                other
+                    .map(|o| format!(" (unknown task {o:?})"))
+                    .unwrap_or_default()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

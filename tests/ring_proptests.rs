@@ -112,6 +112,82 @@ fn spsc_two_thread_transfer() {
     }
 }
 
+/// Randomized *structural* parameters driven through the exhaustive
+/// model checker: the seeded generator picks ring capacity, message
+/// count, and single-vs-batch API, and `persephone_check::model`
+/// explores every bounded interleaving of each generated scenario
+/// against the real SPSC code. Randomization covers the parameter
+/// space; the checker covers the schedule space. Enable with
+/// `--features model-check` (stack with `heavy-testing` for more
+/// scenarios and a deeper preemption bound via `Config::auto`).
+#[cfg(feature = "model-check")]
+mod model_props {
+    use super::{Rng, VecDeque};
+    use persephone::net::spsc;
+    use persephone_check::{model, thread};
+
+    #[cfg(feature = "heavy-testing")]
+    const SCENARIOS: u64 = 8;
+    #[cfg(not(feature = "heavy-testing"))]
+    const SCENARIOS: u64 = 4;
+
+    fn transfer_scenario(capacity: usize, count: u64, batch: bool) -> impl Fn() + Send + Sync {
+        move || {
+            let (mut tx, mut rx) = spsc::channel::<u64>(capacity);
+            let producer = thread::spawn(move || {
+                if batch {
+                    let mut src: VecDeque<u64> = (0..count).collect();
+                    while !src.is_empty() {
+                        if tx.push_batch(&mut src) == 0 {
+                            thread::yield_now();
+                        }
+                    }
+                } else {
+                    for i in 0..count {
+                        let mut v = i;
+                        loop {
+                            match tx.push(v) {
+                                Ok(()) => break,
+                                Err(spsc::Full(back)) => {
+                                    v = back;
+                                    thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+            let mut expect = 0u64;
+            while expect < count {
+                match rx.pop() {
+                    Some(v) => {
+                        assert_eq!(v, expect, "in-order, exactly-once delivery");
+                        expect += 1;
+                    }
+                    None => thread::yield_now(),
+                }
+            }
+            producer.join();
+            assert_eq!(rx.pop(), None);
+        }
+    }
+
+    /// Each generated (capacity, count, api) scenario is explored
+    /// exhaustively within the checker's bounds. Scenarios stay tiny —
+    /// the schedule space, not the message count, is the coverage axis.
+    #[test]
+    fn generated_spsc_scenarios_hold_under_model() {
+        let mut rng = Rng::new(0x5EED);
+        for case in 0..SCENARIOS {
+            let capacity = 1 + rng.next_below(2) as usize; // 1..=2 (cap rounds to 2)
+            let count = 1 + rng.next_below(3); // 1..=3 values
+            let batch = rng.next_below(2) == 1;
+            eprintln!("model scenario {case}: capacity={capacity} count={count} batch={batch}");
+            model(transfer_scenario(capacity, count, batch));
+        }
+    }
+}
+
 /// Wire-format round trips for random payloads and ids.
 mod wire_props {
     use super::{Rng, CASES};
