@@ -1,0 +1,154 @@
+//! Service-time distributions for synthetic workloads.
+//!
+//! Shared by the simulator's workload generator and the threaded
+//! runtime's load generator, so both backends sample *identical*
+//! distributions from the same seeded [`Rng`] stream.
+
+use crate::rng::Rng;
+use crate::time::Nanos;
+
+/// A service-time distribution for one request type.
+///
+/// The paper's synthetic workloads use fixed per-type service times
+/// ([`Dist::Constant`]); the other shapes support sensitivity studies and
+/// richer workload modeling.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Dist {
+    /// Every request takes exactly this long.
+    Constant(Nanos),
+    /// Exponentially distributed with the given mean.
+    Exponential(Nanos),
+    /// Uniform between the two bounds (inclusive low, exclusive high).
+    Uniform(Nanos, Nanos),
+    /// Log-normal with the given *linear-space* mean and sigma of the
+    /// underlying normal (heavy right tail).
+    LogNormal {
+        /// Mean of the resulting distribution (linear space).
+        mean: Nanos,
+        /// Standard deviation of the underlying normal (log space).
+        sigma: f64,
+    },
+}
+
+impl Dist {
+    /// Constant distribution from microseconds (convenience for tables).
+    pub fn const_micros(us: f64) -> Dist {
+        Dist::Constant(Nanos::from_micros_f64(us))
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> Nanos {
+        match *self {
+            Dist::Constant(n) => n,
+            Dist::Exponential(m) => m,
+            Dist::Uniform(lo, hi) => Nanos::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2),
+            Dist::LogNormal { mean, .. } => mean,
+        }
+    }
+
+    /// Draws a sample; samples are clamped to at least 1 ns so slowdown
+    /// ratios stay finite.
+    pub fn sample(&self, rng: &mut Rng) -> Nanos {
+        let ns = match *self {
+            Dist::Constant(n) => return n.max(Nanos::from_nanos(1)),
+            Dist::Exponential(m) => rng.next_exp(m.as_nanos() as f64),
+            Dist::Uniform(lo, hi) => {
+                let (lo, hi) = (lo.as_nanos(), hi.as_nanos());
+                if hi <= lo {
+                    lo as f64
+                } else {
+                    lo as f64 + rng.next_f64() * (hi - lo) as f64
+                }
+            }
+            Dist::LogNormal { mean, sigma } => {
+                // With underlying N(mu, sigma), the log-normal mean is
+                // exp(mu + sigma^2/2); solve mu for the requested mean.
+                let mu = (mean.as_nanos() as f64).ln() - sigma * sigma / 2.0;
+                (mu + sigma * rng.next_normal()).exp()
+            }
+        };
+        Nanos::from_nanos((ns.max(1.0)) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| d.sample(&mut rng).as_nanos() as f64)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::const_micros(5.0);
+        let mut rng = Rng::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), Nanos::from_micros(5));
+        }
+        assert_eq!(d.mean(), Nanos::from_micros(5));
+    }
+
+    #[test]
+    fn constant_zero_clamps_to_one_ns() {
+        let d = Dist::Constant(Nanos::ZERO);
+        assert_eq!(d.sample(&mut Rng::new(1)), Nanos::from_nanos(1));
+    }
+
+    #[test]
+    fn exponential_converges_to_mean() {
+        let d = Dist::Exponential(Nanos::from_micros(10));
+        let m = sample_mean(d, 200_000, 2);
+        assert!((m - 10_000.0).abs() < 150.0, "mean = {m}");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform(Nanos::from_micros(1), Nanos::from_micros(3));
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= Nanos::from_micros(1) && s < Nanos::from_micros(3));
+        }
+        let m = sample_mean(d, 100_000, 4);
+        assert!((m - 2_000.0).abs() < 30.0, "mean = {m}");
+        assert_eq!(d.mean(), Nanos::from_micros(2));
+    }
+
+    #[test]
+    fn degenerate_uniform_is_constant() {
+        let d = Dist::Uniform(Nanos::from_micros(2), Nanos::from_micros(2));
+        assert_eq!(d.sample(&mut Rng::new(5)), Nanos::from_micros(2));
+    }
+
+    #[test]
+    fn lognormal_mean_converges() {
+        let d = Dist::LogNormal {
+            mean: Nanos::from_micros(100),
+            sigma: 1.0,
+        };
+        let m = sample_mean(d, 400_000, 6);
+        assert!((m - 100_000.0).abs() < 3_000.0, "mean = {m}");
+    }
+
+    #[test]
+    fn samples_are_never_zero() {
+        let dists = [
+            Dist::Exponential(Nanos::from_nanos(1)),
+            Dist::LogNormal {
+                mean: Nanos::from_nanos(2),
+                sigma: 2.0,
+            },
+        ];
+        let mut rng = Rng::new(9);
+        for d in dists {
+            for _ in 0..10_000 {
+                assert!(d.sample(&mut rng) >= Nanos::from_nanos(1));
+            }
+        }
+    }
+}

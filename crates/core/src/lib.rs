@@ -25,6 +25,10 @@
 //! ## Module map
 //!
 //! * [`time`] — integer nanosecond clock type.
+//! * [`rng`] — seeded xoshiro256++ streams shared by the simulator, the
+//!   load generator, and the scenario engine.
+//! * [`dist`] — service-time distributions sampled identically on both
+//!   backends.
 //! * [`types`] — request types, workers, type registry.
 //! * [`classifier`] — user-defined request classifiers (paper §4.2).
 //! * [`profile`] — profiling windows, Eq. 1 demand vector (paper §3).
@@ -63,10 +67,12 @@
 
 pub mod classifier;
 pub mod dispatch;
+pub mod dist;
 pub mod policy;
 pub mod profile;
 pub mod queue;
 pub mod reserve;
+pub mod rng;
 pub mod time;
 pub mod types;
 

@@ -69,6 +69,41 @@ impl RequestHandler for SpinHandler {
     }
 }
 
+/// Synthetic handler for scenario replays: burns the per-request service
+/// time carried in the request payload's first 8 bytes (little-endian
+/// nanoseconds), so arbitrary service-time distributions execute exactly
+/// as the load generator sampled them (see
+/// [`crate::loadgen::run_scheduled`]).
+pub struct PayloadSpinHandler {
+    cal: SpinCalibration,
+    /// Safety clamp on a single request's demand, so a corrupt payload
+    /// cannot wedge a worker for minutes.
+    max_ns: u64,
+}
+
+impl PayloadSpinHandler {
+    /// Creates a payload-driven spinner; single-request demand is clamped
+    /// to `max` (pick comfortably above the workload's slowest type).
+    pub fn new(cal: SpinCalibration, max: Nanos) -> Self {
+        PayloadSpinHandler {
+            cal,
+            max_ns: max.as_nanos(),
+        }
+    }
+}
+
+impl RequestHandler for PayloadSpinHandler {
+    fn handle(&mut self, _ty: TypeId, payload: &mut [u8], request_len: usize) -> usize {
+        let ns = if request_len >= 8 {
+            u64::from_le_bytes(payload[..8].try_into().expect("sliced to 8 bytes"))
+        } else {
+            0
+        };
+        self.cal.spin_for_ns(ns.min(self.max_ns));
+        0
+    }
+}
+
 /// Text protocol for [`KvHandler`] request payloads:
 ///
 /// ```text

@@ -14,8 +14,9 @@
 
 use std::time::{Duration, Instant};
 
+use persephone_core::rng::Rng;
 use persephone_net::nic::ClientPort;
-use persephone_net::pool::PoolAllocator;
+use persephone_net::pool::{PoolAllocator, PoolReleaser};
 use persephone_net::wire;
 
 /// One request type in the client mix.
@@ -159,6 +160,32 @@ impl Inflight {
     }
 }
 
+/// Drains every response currently readable from `client` into `report`,
+/// reconciling each against the in-flight slab and recycling the buffer.
+fn drain_responses(
+    client: &mut ClientPort,
+    inflight: &mut Inflight,
+    report: &mut LoadReport,
+    releaser: &mut PoolReleaser,
+) {
+    while let Some(pkt) = client.recv() {
+        if let Ok((hdr, _)) = wire::decode(pkt.as_slice()) {
+            let matched = inflight.reclaim(hdr.id);
+            match wire::response_status(&hdr) {
+                Some(wire::Status::Ok) => {
+                    if let Some((sent_at, ty)) = matched {
+                        report.received += 1;
+                        report.latencies_ns[ty].push(sent_at.elapsed().as_nanos() as u64);
+                    }
+                }
+                Some(wire::Status::Dropped) => report.dropped += 1,
+                _ => report.rejected += 1,
+            }
+        }
+        releaser.release(pkt);
+    }
+}
+
 /// Runs an open-loop Poisson client for `duration` at `rate_rps`, then
 /// drains outstanding responses for up to `grace`.
 ///
@@ -185,18 +212,14 @@ pub fn run_open_loop(
         latencies_ns: vec![Vec::new(); num_types],
         ..Default::default()
     };
-    // Splitmix-based deterministic exponential gaps and type picks.
-    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
-    let mut next_u64 = move || {
-        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
+    // The shared seeded xoshiro streams (one forked stream per concern,
+    // exactly like the simulator's `ArrivalGen`), so gaps and type picks
+    // are drawn from the same generator on both backends.
+    let mut root = Rng::new(seed);
+    let mut rng_arrival = root.fork();
+    let mut rng_type = root.fork();
     let mean_gap_ns = 1e9 / rate_rps;
     let weights: Vec<f64> = spec.types.iter().map(|t| t.ratio).collect();
-    let total_w: f64 = weights.iter().sum();
 
     let start = Instant::now();
     let deadline = start + duration;
@@ -206,28 +229,6 @@ pub fn run_open_loop(
     let mut next_send = start;
     let mut releaser = pool.releaser();
 
-    let drain = |client: &mut ClientPort,
-                 inflight: &mut Inflight,
-                 report: &mut LoadReport,
-                 releaser: &mut persephone_net::pool::PoolReleaser| {
-        while let Some(pkt) = client.recv() {
-            if let Ok((hdr, _)) = wire::decode(pkt.as_slice()) {
-                let matched = inflight.reclaim(hdr.id);
-                match wire::response_status(&hdr) {
-                    Some(wire::Status::Ok) => {
-                        if let Some((sent_at, ty)) = matched {
-                            report.received += 1;
-                            report.latencies_ns[ty].push(sent_at.elapsed().as_nanos() as u64);
-                        }
-                    }
-                    Some(wire::Status::Dropped) => report.dropped += 1,
-                    _ => report.rejected += 1,
-                }
-            }
-            releaser.release(pkt);
-        }
-    };
-
     loop {
         let now = Instant::now();
         if now >= deadline {
@@ -236,20 +237,11 @@ pub fn run_open_loop(
         if now >= next_send {
             // Schedule the next send first (open loop: the schedule never
             // depends on the server).
-            let u = (next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-            let gap = -mean_gap_ns * (1.0 - u).ln();
+            let gap = rng_arrival.next_exp(mean_gap_ns);
             next_send += Duration::from_nanos(gap.max(1.0) as u64);
 
             // Pick the type.
-            let mut x = (next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * total_w;
-            let mut ti = num_types - 1;
-            for (i, w) in weights.iter().enumerate() {
-                if x < *w {
-                    ti = i;
-                    break;
-                }
-                x -= w;
-            }
+            let ti = rng_type.pick_weighted(&weights);
             let lt = &spec.types[ti];
 
             releaser.flush();
@@ -282,17 +274,118 @@ pub fn run_open_loop(
                 None => report.starved += 1,
             }
         }
-        drain(client, &mut inflight, &mut report, &mut releaser);
+        drain_responses(client, &mut inflight, &mut report, &mut releaser);
     }
 
     // Grace period: collect stragglers.
     let grace_deadline = Instant::now() + grace;
     while Instant::now() < grace_deadline && inflight.live > 0 {
-        drain(client, &mut inflight, &mut report, &mut releaser);
+        drain_responses(client, &mut inflight, &mut report, &mut releaser);
         std::thread::yield_now();
     }
     // Whatever is still unanswered when the client gives up waiting has,
     // by definition, timed out; its slab slot dies with the slab.
+    report.timed_out += inflight.live as u64;
+    report.per_queue_sent = client.per_queue_sent().to_vec();
+    releaser.flush();
+    report.finalize();
+    report
+}
+
+/// One pre-sampled request of a scenario schedule: send `at` nanoseconds
+/// after the run starts, typed `ty`, asking the server to burn
+/// `service_ns` of CPU (carried in the payload for
+/// [`crate::handler::PayloadSpinHandler`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledRequest {
+    /// Send offset from the start of the run, in nanoseconds.
+    pub at_ns: u64,
+    /// Wire type id.
+    pub ty: u32,
+    /// Per-request service demand, nanoseconds.
+    pub service_ns: u64,
+}
+
+/// Replays a pre-sampled schedule open-loop, then drains responses for up
+/// to `grace`.
+///
+/// Where [`run_open_loop`] samples gaps and types on the fly, this replays
+/// a schedule the scenario engine materialized up front — the *same*
+/// trace the simulator consumes — so both backends serve an identical
+/// request sequence under a fixed seed. Each request's sampled service
+/// time travels in its first 8 payload bytes (little-endian nanoseconds);
+/// pair with [`crate::handler::PayloadSpinHandler`] so arbitrary
+/// service-time distributions replay exactly as sampled.
+///
+/// `num_types` sizes the per-type latency vectors (schedule entries with
+/// `ty >= num_types` are still sent, but their latencies land in the last
+/// slot). The same ledger balance as [`run_open_loop`] holds:
+/// `sent == received + dropped + rejected + timed_out`, with skipped
+/// sends in [`LoadReport::starved`].
+///
+/// The returned report is already [`LoadReport::finalize`]d.
+pub fn run_scheduled(
+    client: &mut ClientPort,
+    pool: &mut PoolAllocator,
+    num_types: usize,
+    schedule: &[ScheduledRequest],
+    grace: Duration,
+) -> LoadReport {
+    assert!(num_types > 0, "run_scheduled needs at least one type");
+    let mut report = LoadReport {
+        latencies_ns: vec![Vec::new(); num_types],
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let mut inflight = Inflight::new(pool.total().max(1));
+    let mut releaser = pool.releaser();
+
+    for req in schedule {
+        // Open loop: wait for the scheduled send time regardless of
+        // response progress, draining responses while early.
+        loop {
+            let elapsed = start.elapsed().as_nanos() as u64;
+            if elapsed >= req.at_ns {
+                break;
+            }
+            drain_responses(client, &mut inflight, &mut report, &mut releaser);
+        }
+        releaser.flush();
+        let ti = (req.ty as usize).min(num_types - 1);
+        match pool.alloc() {
+            Some(mut buf) => match inflight.claim(Instant::now(), ti) {
+                Some(id) => {
+                    let payload = req.service_ns.to_le_bytes();
+                    let len = wire::encode_request(buf.raw_mut(), req.ty, id, &payload)
+                        .expect("pool buffers sized for requests");
+                    buf.set_len(len);
+                    report.sent += 1;
+                    let mut pkt = buf;
+                    loop {
+                        match client.send(pkt) {
+                            Ok(()) => break,
+                            Err(e) => {
+                                pkt = e.0;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+                None => {
+                    report.starved += 1;
+                    releaser.release(buf);
+                }
+            },
+            None => report.starved += 1,
+        }
+        drain_responses(client, &mut inflight, &mut report, &mut releaser);
+    }
+
+    let grace_deadline = Instant::now() + grace;
+    while Instant::now() < grace_deadline && inflight.live > 0 {
+        drain_responses(client, &mut inflight, &mut report, &mut releaser);
+        std::thread::yield_now();
+    }
     report.timed_out += inflight.live as u64;
     report.per_queue_sent = client.per_queue_sent().to_vec();
     releaser.flush();

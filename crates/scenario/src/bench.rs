@@ -1,0 +1,443 @@
+//! The `BENCH_<scenario>.json` report: the repo's performance trajectory.
+//!
+//! One run of one scenario produces one report with a stable schema
+//! ([`crate::json::BENCH_SCHEMA`]), split into three sections by
+//! reproducibility class:
+//!
+//! * `meta` — everything wall-clock dependent (timestamp, host, git
+//!   commit, elapsed time). Excluded from reproducibility diffs.
+//! * `deterministic` — derived purely from the spec and seed: config
+//!   echo, per-type scheduled arrival counts, and an FNV-1a hash of the
+//!   materialized schedule. Byte-identical across same-seed runs on
+//!   *any* backend, which is what the CI reproducibility check pins.
+//! * `runs` — one entry per (backend × policy): measured percentiles,
+//!   throughput, shed/expired/quarantine counters, and a merged
+//!   telemetry summary. Deterministic on the simulator; measured (and
+//!   thus wall-clock noisy) on the threaded runtime.
+
+use persephone_sim::workload::Arrival;
+use persephone_telemetry::Snapshot;
+
+use crate::json::{Json, BENCH_SCHEMA};
+use crate::spec::ScenarioSpec;
+
+/// Latency/slowdown percentile summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Pcts {
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile — the paper's headline metric.
+    pub p999: f64,
+    /// Maximum observed.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Pcts {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("p50".into(), Json::Num(self.p50)),
+            ("p99".into(), Json::Num(self.p99)),
+            ("p999".into(), Json::Num(self.p999)),
+            ("max".into(), Json::Num(self.max)),
+            ("mean".into(), Json::Num(self.mean)),
+        ])
+    }
+}
+
+/// Per-type measured results.
+#[derive(Clone, Debug)]
+pub struct TypeResult {
+    /// Type display name.
+    pub name: String,
+    /// Completions measured for this type.
+    pub count: u64,
+    /// Latency percentiles, microseconds.
+    pub latency_us: Pcts,
+    /// Slowdown percentiles (latency / service demand, dimensionless).
+    pub slowdown: Pcts,
+}
+
+/// Aggregated scheduler telemetry for one run (merged across shards).
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySummary {
+    /// Completions folded into the engine.
+    pub completions: u64,
+    /// Cross-reservation steals (DARC work conservation for shorts).
+    pub steals: u64,
+    /// Requests served on the spillway core.
+    pub spillway_hits: u64,
+    /// Flow-control drops.
+    pub drops: u64,
+    /// SLO-expired requests.
+    pub expired: u64,
+    /// Worker quarantines.
+    pub quarantines: u64,
+    /// Scheduler events pushed to the telemetry ring.
+    pub events_pushed: u64,
+}
+
+impl TelemetrySummary {
+    /// Folds a merged [`Snapshot`] down to the report's counters.
+    pub fn from_snapshot(snap: &Snapshot) -> TelemetrySummary {
+        let mut s = TelemetrySummary::default();
+        for ty in snap.types.iter().chain(snap.unknown.iter()) {
+            s.completions += ty.counters.completions;
+            s.steals += ty.counters.steals;
+            s.spillway_hits += ty.counters.spillway_hits;
+            s.drops += ty.counters.drops;
+            s.expired += ty.counters.expired;
+        }
+        for w in &snap.workers {
+            s.quarantines += w.quarantines;
+        }
+        s.events_pushed = snap.events.pushed;
+        s
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("completions".into(), Json::Int(self.completions as i64)),
+            ("steals".into(), Json::Int(self.steals as i64)),
+            ("spillway_hits".into(), Json::Int(self.spillway_hits as i64)),
+            ("drops".into(), Json::Int(self.drops as i64)),
+            ("expired".into(), Json::Int(self.expired as i64)),
+            ("quarantines".into(), Json::Int(self.quarantines as i64)),
+            ("events_pushed".into(), Json::Int(self.events_pushed as i64)),
+        ])
+    }
+}
+
+/// One (backend × policy) run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// `"sim"` or `"threaded"`.
+    pub backend: String,
+    /// Policy display name (`Policy::name`).
+    pub policy: String,
+    /// Duration-weighted mean offered load across phases.
+    pub offered_load: f64,
+    /// Completions per second of scenario time.
+    pub achieved_rps: f64,
+    /// Requests offered to the server.
+    pub sent: u64,
+    /// Completions measured.
+    pub completions: u64,
+    /// Requests shed by flow control.
+    pub dropped: u64,
+    /// Malformed/rejected requests.
+    pub rejected: u64,
+    /// Requests whose response never arrived (threaded; lossy wire).
+    pub timed_out: u64,
+    /// Requests expired past their slowdown SLO before dispatch.
+    pub expired: u64,
+    /// Requests shed at shutdown (threaded drain).
+    pub shed_at_shutdown: u64,
+    /// Worker quarantines observed.
+    pub quarantines: u64,
+    /// Slowdown distribution across all completions.
+    pub overall_slowdown: Pcts,
+    /// Per-type results, in declared type order.
+    pub per_type: Vec<TypeResult>,
+    /// Merged telemetry, when the engine had telemetry attached.
+    pub telemetry: Option<TelemetrySummary>,
+}
+
+impl RunResult {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("backend".into(), Json::Str(self.backend.clone())),
+            ("policy".into(), Json::Str(self.policy.clone())),
+            ("offered_load".into(), Json::Num(self.offered_load)),
+            ("achieved_rps".into(), Json::Num(self.achieved_rps)),
+            ("sent".into(), Json::Int(self.sent as i64)),
+            ("completions".into(), Json::Int(self.completions as i64)),
+            ("dropped".into(), Json::Int(self.dropped as i64)),
+            ("rejected".into(), Json::Int(self.rejected as i64)),
+            ("timed_out".into(), Json::Int(self.timed_out as i64)),
+            ("expired".into(), Json::Int(self.expired as i64)),
+            (
+                "shed_at_shutdown".into(),
+                Json::Int(self.shed_at_shutdown as i64),
+            ),
+            ("quarantines".into(), Json::Int(self.quarantines as i64)),
+            ("overall_slowdown".into(), self.overall_slowdown.to_json()),
+            (
+                "per_type".into(),
+                Json::Arr(
+                    self.per_type
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(t.name.clone())),
+                                ("count".into(), Json::Int(t.count as i64)),
+                                ("latency_us".into(), t.latency_us.to_json()),
+                                ("slowdown".into(), t.slowdown.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "telemetry".into(),
+                match &self.telemetry {
+                    Some(t) => t.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Wall-clock-dependent report metadata.
+#[derive(Clone, Debug)]
+pub struct Meta {
+    /// Unix timestamp, milliseconds.
+    pub created_unix_ms: u64,
+    /// Wall time the whole scenario took, milliseconds.
+    pub wall_ms: u64,
+    /// `git rev-parse --short HEAD`, or `"unknown"`.
+    pub git_commit: String,
+    /// Hostname, or `"unknown"`.
+    pub host: String,
+}
+
+impl Meta {
+    /// A fixed meta block, for byte-identity tests.
+    pub fn fixed() -> Meta {
+        Meta {
+            created_unix_ms: 0,
+            wall_ms: 0,
+            git_commit: "fixed".into(),
+            host: "fixed".into(),
+        }
+    }
+}
+
+/// The seed-derived section: identical across same-seed runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Deterministic {
+    /// Master seed.
+    pub seed: u64,
+    /// Worker cores.
+    pub workers: u64,
+    /// Dispatcher shards.
+    pub shards: u64,
+    /// Phase count.
+    pub phases: u64,
+    /// Total scripted duration, ms.
+    pub total_duration_ms: f64,
+    /// Type display names, declared order.
+    pub types: Vec<String>,
+    /// Total scheduled arrivals.
+    pub arrivals: u64,
+    /// Scheduled arrivals per type.
+    pub arrivals_per_type: Vec<u64>,
+    /// FNV-1a-64 over every (at, ty, service) in the schedule, hex.
+    pub schedule_hash: String,
+}
+
+impl Deterministic {
+    /// Derives the deterministic section from a spec and its trace.
+    pub fn derive(spec: &ScenarioSpec, trace: &[Arrival]) -> Deterministic {
+        let mut per_type = vec![0u64; spec.types.len()];
+        for a in trace {
+            if let Some(slot) = per_type.get_mut(a.ty.index()) {
+                *slot += 1;
+            }
+        }
+        Deterministic {
+            seed: spec.seed,
+            workers: spec.workers as u64,
+            shards: spec.shards as u64,
+            phases: spec.phases.len() as u64,
+            total_duration_ms: spec.total_duration().as_nanos() as f64 / 1e6,
+            types: spec.types.iter().map(|t| t.name.clone()).collect(),
+            arrivals: trace.len() as u64,
+            arrivals_per_type: per_type,
+            schedule_hash: schedule_hash(trace),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("seed".into(), Json::Int(self.seed as i64)),
+            ("workers".into(), Json::Int(self.workers as i64)),
+            ("shards".into(), Json::Int(self.shards as i64)),
+            ("phases".into(), Json::Int(self.phases as i64)),
+            (
+                "total_duration_ms".into(),
+                Json::Num(self.total_duration_ms),
+            ),
+            (
+                "types".into(),
+                Json::Arr(self.types.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("arrivals".into(), Json::Int(self.arrivals as i64)),
+            (
+                "arrivals_per_type".into(),
+                Json::Arr(
+                    self.arrivals_per_type
+                        .iter()
+                        .map(|&c| Json::Int(c as i64))
+                        .collect(),
+                ),
+            ),
+            (
+                "schedule_hash".into(),
+                Json::Str(self.schedule_hash.clone()),
+            ),
+        ])
+    }
+}
+
+/// FNV-1a-64 over the materialized schedule, as 16 hex digits. Pins the
+/// exact arrival times, types, and service demands both backends replay.
+pub fn schedule_hash(trace: &[Arrival]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for a in trace {
+        eat(a.at.as_nanos());
+        eat(a.ty.index() as u64);
+        eat(a.service.as_nanos());
+    }
+    format!("{h:016x}")
+}
+
+/// The full report.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario description, echoed from the spec.
+    pub description: String,
+    /// Wall-clock metadata.
+    pub meta: Meta,
+    /// Seed-derived section.
+    pub deterministic: Deterministic,
+    /// One entry per (backend × policy).
+    pub runs: Vec<RunResult>,
+}
+
+impl BenchReport {
+    /// The canonical output file name.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.scenario)
+    }
+
+    /// Serializes with the stable v1 schema and key order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(BENCH_SCHEMA.into())),
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("description".into(), Json::Str(self.description.clone())),
+            (
+                "meta".into(),
+                Json::Obj(vec![
+                    (
+                        "created_unix_ms".into(),
+                        Json::Int(self.meta.created_unix_ms as i64),
+                    ),
+                    ("wall_ms".into(), Json::Int(self.meta.wall_ms as i64)),
+                    ("git_commit".into(), Json::Str(self.meta.git_commit.clone())),
+                    ("host".into(), Json::Str(self.meta.host.clone())),
+                ]),
+            ),
+            ("deterministic".into(), self.deterministic.to_json()),
+            (
+                "runs".into(),
+                Json::Arr(self.runs.iter().map(RunResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Renders the report text.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_bench;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::from_toml(
+            r#"
+name = "bench_unit"
+seed = 3
+workers = 4
+duration_ms = 5.0
+
+[[types]]
+name = "SHORT"
+ratio = 0.5
+service = { dist = "constant", mean_us = 1.0 }
+
+[[types]]
+name = "LONG"
+ratio = 0.5
+service = { dist = "constant", mean_us = 100.0 }
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_section_is_seed_stable() {
+        let s = spec();
+        let a = Deterministic::derive(&s, &s.build_trace());
+        let b = Deterministic::derive(&s, &s.build_trace());
+        assert_eq!(a, b);
+        assert_eq!(a.arrivals, a.arrivals_per_type.iter().sum::<u64>());
+        assert_eq!(a.schedule_hash.len(), 16);
+    }
+
+    #[test]
+    fn report_validates_against_the_schema() {
+        let s = spec();
+        let trace = s.build_trace();
+        let report = BenchReport {
+            scenario: s.name.clone(),
+            description: s.description.clone(),
+            meta: Meta::fixed(),
+            deterministic: Deterministic::derive(&s, &trace),
+            runs: vec![RunResult {
+                backend: "sim".into(),
+                policy: "DARC".into(),
+                offered_load: 0.7,
+                achieved_rps: 1000.0,
+                sent: 10,
+                completions: 10,
+                dropped: 0,
+                rejected: 0,
+                timed_out: 0,
+                expired: 0,
+                shed_at_shutdown: 0,
+                quarantines: 0,
+                overall_slowdown: Pcts::default(),
+                per_type: vec![TypeResult {
+                    name: "SHORT".into(),
+                    count: 5,
+                    latency_us: Pcts::default(),
+                    slowdown: Pcts::default(),
+                }],
+                telemetry: None,
+            }],
+        };
+        let text = report.render();
+        let parsed = Json::parse(&text).unwrap();
+        let problems = validate_bench(&parsed);
+        assert!(problems.is_empty(), "schema problems: {problems:?}");
+        assert_eq!(report.file_name(), "BENCH_bench_unit.json");
+    }
+}

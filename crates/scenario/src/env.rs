@@ -1,0 +1,180 @@
+//! Berserker-style environment overrides for scenario fields.
+//!
+//! Any scenario key can be overridden without editing the TOML:
+//!
+//! ```text
+//! PSP_SCENARIO_LOAD=0.8                    # top-level `load`
+//! PSP_SCENARIO_SEED=99                     # top-level `seed`
+//! PSP_SCENARIO_ENGINE__QUEUE_CAPACITY=64   # [engine] queue_capacity
+//! PSP_SCENARIO_PHASES__0__LOAD=0.95        # [[phases]] #0, `load`
+//! PSP_SCENARIO_POLICIES='["darc","sjf"]'   # whole arrays too
+//! ```
+//!
+//! The variable name after the `PSP_SCENARIO_` prefix is lowercased and
+//! split on `__` into a path; numeric segments index arrays. Values are
+//! parsed as TOML scalars ([`crate::toml::parse_scalar`]), falling back
+//! to a plain string — so `PSP_SCENARIO_POLICY=cfcfs` needs no quoting.
+//!
+//! Overrides are applied to the **raw value tree before typed parsing**
+//! ([`crate::spec::ScenarioSpec::from_table`]), which makes precedence
+//! unambiguous: env beats TOML, and an override that produces an invalid
+//! spec fails with the same actionable error a bad file would.
+
+use crate::toml::parse_scalar;
+use crate::value::{set_path, Table};
+
+/// The environment-variable prefix.
+pub const ENV_PREFIX: &str = "PSP_SCENARIO_";
+
+/// An override that could not be applied.
+#[derive(Debug)]
+pub struct EnvError {
+    /// The offending variable name.
+    pub var: String,
+    /// Why it failed.
+    pub msg: String,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot apply override {}: {}", self.var, self.msg)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Applies overrides from an explicit variable list (testable core).
+/// Variables without the prefix are ignored. Returns a human-readable
+/// description of each override applied, in sorted-variable order so
+/// application is deterministic regardless of environment iteration
+/// order.
+pub fn apply_overrides<I>(table: &mut Table, vars: I) -> Result<Vec<String>, EnvError>
+where
+    I: IntoIterator<Item = (String, String)>,
+{
+    let mut matched: Vec<(String, String)> = vars
+        .into_iter()
+        .filter(|(k, _)| k.starts_with(ENV_PREFIX) && k.len() > ENV_PREFIX.len())
+        .collect();
+    matched.sort();
+    let mut applied = Vec::with_capacity(matched.len());
+    for (var, raw) in matched {
+        let path_str = var[ENV_PREFIX.len()..].to_ascii_lowercase();
+        let segments: Vec<&str> = path_str.split("__").collect();
+        if segments.iter().any(|s| s.is_empty()) {
+            return Err(EnvError {
+                var,
+                msg: "empty path segment (separate nested keys with exactly two underscores)"
+                    .into(),
+            });
+        }
+        let value = parse_scalar(&raw);
+        set_path(table, &segments, value).map_err(|e| EnvError {
+            var: var.clone(),
+            msg: e.0,
+        })?;
+        applied.push(format!("{} = {} (from {var})", segments.join("."), raw));
+    }
+    Ok(applied)
+}
+
+/// Applies overrides from the process environment.
+pub fn apply_env_overrides(table: &mut Table) -> Result<Vec<String>, EnvError> {
+    apply_overrides(table, std::env::vars())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+    use crate::value::Value;
+
+    const SPEC: &str = r#"
+name = "envtest"
+seed = 7
+workers = 4
+load = 0.5
+duration_ms = 10.0
+
+[engine]
+queue_capacity = 0
+
+[[types]]
+name = "SHORT"
+ratio = 0.5
+service = { dist = "constant", mean_us = 1.0 }
+
+[[types]]
+name = "LONG"
+ratio = 0.5
+service = { dist = "constant", mean_us = 100.0 }
+"#;
+
+    fn vars(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn env_beats_toml_for_scalars_tables_and_arrays() {
+        let mut table = crate::toml::parse(SPEC).unwrap();
+        let applied = apply_overrides(
+            &mut table,
+            vars(&[
+                ("PSP_SCENARIO_LOAD", "0.8"),
+                ("PSP_SCENARIO_ENGINE__QUEUE_CAPACITY", "64"),
+                ("PSP_SCENARIO_TYPES__1__RATIO", "0.5"),
+                ("PSP_SCENARIO_POLICY", "cfcfs"),
+                ("UNRELATED", "ignored"),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(applied.len(), 4);
+        let spec = ScenarioSpec::from_table(&table).unwrap();
+        assert_eq!(spec.load, 0.8, "env override wins over the TOML value");
+        assert_eq!(spec.engine.queue_capacity, 64);
+        assert_eq!(
+            spec.policies,
+            vec![persephone_core::policy::Policy::CFcfs],
+            "bare string value parses without quoting"
+        );
+    }
+
+    #[test]
+    fn overrides_go_through_full_spec_validation() {
+        let mut table = crate::toml::parse(SPEC).unwrap();
+        apply_overrides(&mut table, vars(&[("PSP_SCENARIO_LOAD", "7.5")])).unwrap();
+        let e = ScenarioSpec::from_table(&table).unwrap_err();
+        assert_eq!(e.path, "load", "an env-sourced bad value errors like TOML");
+    }
+
+    #[test]
+    fn unknown_key_from_env_is_rejected_downstream() {
+        let mut table = crate::toml::parse(SPEC).unwrap();
+        apply_overrides(&mut table, vars(&[("PSP_SCENARIO_WORKER", "9")])).unwrap();
+        let e = ScenarioSpec::from_table(&table).unwrap_err();
+        assert_eq!(e.path, "worker");
+    }
+
+    #[test]
+    fn bad_paths_error_with_the_variable_name() {
+        let mut table = crate::toml::parse(SPEC).unwrap();
+        let e = apply_overrides(&mut table, vars(&[("PSP_SCENARIO_TYPES__9__RATIO", "1.0")]))
+            .unwrap_err();
+        assert_eq!(e.var, "PSP_SCENARIO_TYPES__9__RATIO");
+        assert!(e.msg.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn whole_array_override() {
+        let mut table = crate::toml::parse(SPEC).unwrap();
+        apply_overrides(
+            &mut table,
+            vars(&[("PSP_SCENARIO_POLICIES", "[\"darc\", \"sjf\"]")]),
+        )
+        .unwrap();
+        assert!(matches!(table.get("policies"), Some(Value::Array(a)) if a.len() == 2));
+    }
+}

@@ -1,0 +1,585 @@
+//! A minimal JSON value, parser, and deterministic renderer.
+//!
+//! Same zero-registry-dependency rationale as [`crate::toml`]: the
+//! scenario engine needs to *emit* `BENCH_*.json` byte-stably (the
+//! reproducibility tests diff the output of two same-seed runs) and to
+//! *re-read* emitted files for `scenario validate` and the CI schema
+//! check. Objects preserve insertion order; rendering is fully
+//! deterministic (2-space indent, `\u{...}` escapes only where JSON
+//! requires them, shortest-round-trip float formatting).
+
+use std::fmt;
+
+/// A JSON value. Integers and floats are kept apart so `u64` counters
+/// render exactly (`42`, never `42.0`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (all BENCH counters).
+    Int(i64),
+    /// A float (latencies, ratios).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, widening integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// A short human name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::Int(_) | Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Renders with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(f) => out.push_str(&render_f64(*f)),
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    render_string(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the top-level value"));
+        }
+        Ok(v)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_f64(f: f64) -> String {
+    if !f.is_finite() {
+        // JSON has no inf/nan; null is the closest faithful encoding.
+        return "null".to_string();
+    }
+    if f.fract() == 0.0 && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse failure with a byte offset.
+#[derive(Debug)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", want as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit(b"true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit(b"false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit(b"null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(format!("unexpected `{}`", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &[u8], v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{}`", String::from_utf8_lossy(lit))))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b) if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+        if raw.contains('.') || raw.contains('e') || raw.contains('E') {
+            raw.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| self.err(format!("`{raw}` is not a number")))
+        } else {
+            raw.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err(format!("`{raw}` is not an integer")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    self.pos += 1;
+                    while matches!(self.bytes.get(self.pos), Some(c) if *c & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BENCH schema validation
+// ---------------------------------------------------------------------------
+
+/// The BENCH schema identifier the validator accepts.
+pub const BENCH_SCHEMA: &str = "persephone-bench-v1";
+
+/// Validates a parsed `BENCH_*.json` document against the v1 schema and
+/// returns every problem found (empty ⇒ valid). Checked structure:
+///
+/// ```text
+/// schema: "persephone-bench-v1"
+/// scenario: string
+/// meta: { created_unix_ms, wall_ms: number; git_commit, host: string }
+/// deterministic: { seed, workers, shards, arrivals: number;
+///                  types: [string]; arrivals_per_type: [number];
+///                  schedule_hash: string; total_duration_ms: number }
+/// runs: non-empty [ { backend, policy: string; offered_load,
+///                     achieved_rps: number; sent, completions: number;
+///                     overall_slowdown: pcts;
+///                     per_type: [ { name: string; count: number;
+///                                   latency_us: pcts; slowdown: pcts } ] } ]
+/// pcts = { p50, p99, p999: number }
+/// ```
+pub fn validate_bench(doc: &Json) -> Vec<String> {
+    let mut c = Checker {
+        problems: Vec::new(),
+    };
+
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(BENCH_SCHEMA) => {}
+        Some(other) => c
+            .problems
+            .push(format!("`schema` is `{other}`, expected `{BENCH_SCHEMA}`")),
+        None => c.problems.push("missing field `schema`".into()),
+    }
+    c.check("scenario", doc.get("scenario"), "string");
+
+    if c.check("meta", doc.get("meta"), "object") {
+        let meta = doc.get("meta").unwrap();
+        c.check(
+            "meta.created_unix_ms",
+            meta.get("created_unix_ms"),
+            "number",
+        );
+        c.check("meta.wall_ms", meta.get("wall_ms"), "number");
+        c.check("meta.git_commit", meta.get("git_commit"), "string");
+        c.check("meta.host", meta.get("host"), "string");
+    }
+
+    if c.check("deterministic", doc.get("deterministic"), "object") {
+        let det = doc.get("deterministic").unwrap();
+        for k in ["seed", "workers", "shards", "arrivals", "total_duration_ms"] {
+            c.check(&format!("deterministic.{k}"), det.get(k), "number");
+        }
+        c.check("deterministic.types", det.get("types"), "array");
+        c.check(
+            "deterministic.arrivals_per_type",
+            det.get("arrivals_per_type"),
+            "array",
+        );
+        c.check(
+            "deterministic.schedule_hash",
+            det.get("schedule_hash"),
+            "string",
+        );
+        if let (Some(types), Some(counts)) = (
+            det.get("types").and_then(Json::as_arr),
+            det.get("arrivals_per_type").and_then(Json::as_arr),
+        ) {
+            if types.len() != counts.len() {
+                c.problems.push(format!(
+                    "deterministic.types has {} entries but arrivals_per_type has {}",
+                    types.len(),
+                    counts.len()
+                ));
+            }
+        }
+    }
+
+    if c.check("runs", doc.get("runs"), "array") {
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        if runs.is_empty() {
+            c.problems.push("`runs` must not be empty".into());
+        }
+        for (i, run) in runs.iter().enumerate() {
+            let at = |f: &str| format!("runs[{i}].{f}");
+            c.check(&at("backend"), run.get("backend"), "string");
+            c.check(&at("policy"), run.get("policy"), "string");
+            c.check(&at("offered_load"), run.get("offered_load"), "number");
+            c.check(&at("achieved_rps"), run.get("achieved_rps"), "number");
+            c.check(&at("sent"), run.get("sent"), "number");
+            c.check(&at("completions"), run.get("completions"), "number");
+            if c.check(
+                &at("overall_slowdown"),
+                run.get("overall_slowdown"),
+                "object",
+            ) {
+                let p = run.get("overall_slowdown").unwrap();
+                for k in ["p50", "p99", "p999"] {
+                    c.check(&at(&format!("overall_slowdown.{k}")), p.get(k), "number");
+                }
+            }
+            if c.check(&at("per_type"), run.get("per_type"), "array") {
+                for (t, entry) in run
+                    .get("per_type")
+                    .and_then(Json::as_arr)
+                    .unwrap()
+                    .iter()
+                    .enumerate()
+                {
+                    let at = |f: &str| format!("runs[{i}].per_type[{t}].{f}");
+                    c.check(&at("name"), entry.get("name"), "string");
+                    c.check(&at("count"), entry.get("count"), "number");
+                    for obj in ["latency_us", "slowdown"] {
+                        if c.check(&at(obj), entry.get(obj), "object") {
+                            let p = entry.get(obj).unwrap();
+                            for k in ["p50", "p99", "p999"] {
+                                c.check(&at(&format!("{obj}.{k}")), p.get(k), "number");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c.problems
+}
+
+struct Checker {
+    problems: Vec<String>,
+}
+
+impl Checker {
+    fn check(&mut self, path: &str, v: Option<&Json>, want: &str) -> bool {
+        match v {
+            None => {
+                self.problems.push(format!("missing field `{path}`"));
+                false
+            }
+            Some(v) => {
+                let ok = match want {
+                    "string" => matches!(v, Json::Str(_)),
+                    "number" => matches!(v, Json::Int(_) | Json::Num(_)),
+                    "array" => matches!(v, Json::Arr(_)),
+                    "object" => matches!(v, Json::Obj(_)),
+                    _ => unreachable!("unknown want {want}"),
+                };
+                if !ok {
+                    self.problems
+                        .push(format!("`{path}` must be a {want}, found {}", v.kind()));
+                }
+                ok
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trip() {
+        let doc = Json::Obj(vec![
+            ("a".into(), Json::Int(1)),
+            ("b".into(), Json::Num(0.5)),
+            (
+                "c".into(),
+                Json::Arr(vec![
+                    Json::Str("x\n\"y".into()),
+                    Json::Null,
+                    Json::Bool(true),
+                ]),
+            ),
+            ("d".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        assert_eq!(Json::Int(42).render(), "42\n");
+        assert_eq!(Json::Num(42.0).render(), "42.0\n");
+    }
+
+    #[test]
+    fn validator_flags_missing_and_mistyped_fields() {
+        let doc = Json::parse(r#"{"schema": "persephone-bench-v1", "scenario": 3}"#).unwrap();
+        let problems = validate_bench(&doc);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("`scenario` must be a string")));
+        assert!(problems.iter().any(|p| p.contains("missing field `meta`")));
+        assert!(problems.iter().any(|p| p.contains("missing field `runs`")));
+    }
+}

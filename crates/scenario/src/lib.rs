@@ -1,0 +1,53 @@
+//! # persephone-scenario — declarative workload scenarios
+//!
+//! The scenario engine turns a TOML spec into a full experiment run and
+//! a `BENCH_<name>.json` report — the repo's performance trajectory. One
+//! spec declares everything the paper's evaluation harness needed flags
+//! and code for: the request-type mix (optionally Zipf-skewed), per-type
+//! service distributions, an open-loop Poisson (optionally MMPP-bursty)
+//! arrival process, a script of time-varying phases (diurnal ramps,
+//! flash crowds, mid-run workload shifts — §5.5 Figure 7 generalized),
+//! the scheduling policies to compare, engine tuning, and fault
+//! injection (lossy wire, worker stalls).
+//!
+//! The same spec runs on **both** backends from one binary:
+//!
+//! ```text
+//! scenario run scenarios/high_bimodal.toml --backend both
+//! ```
+//!
+//! * the discrete-event simulator (`persephone-sim`) — deterministic;
+//! * the threaded runtime (`persephone-runtime`) over the loopback NIC —
+//!   real threads, real queues, wall-clock noisy.
+//!
+//! Both replay the *same* materialized arrival schedule (times, types,
+//! per-request service demands) sampled once from the seeded RNG in
+//! `persephone-core::rng`, so results answer "same offered work,
+//! different substrate". Any field can be overridden per-run with
+//! `PSP_SCENARIO_*` environment variables ([`env`]).
+//!
+//! ## Module map
+//!
+//! * [`value`] — the dynamic TOML value tree (insertion-ordered).
+//! * [`toml`] — hand-rolled TOML parser/renderer (the workspace builds
+//!   offline with zero registry dependencies).
+//! * [`json`] — hand-rolled JSON emitter/parser + BENCH schema validator.
+//! * [`env`] — `PSP_SCENARIO_*` override layer.
+//! * [`spec`] — the typed, validating scenario model.
+//! * [`bench`] — the `BENCH_*.json` report model.
+//! * [`runner`] — backend drivers ([`runner::sim`], [`runner::threaded`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod env;
+pub mod json;
+pub mod runner;
+pub mod spec;
+pub mod toml;
+pub mod value;
+
+pub use bench::{BenchReport, Deterministic, Meta, RunResult};
+pub use runner::{run_scenario, Backend};
+pub use spec::{ScenarioSpec, SpecError};

@@ -1,0 +1,231 @@
+//! `scenario` — run declarative workload scenarios.
+//!
+//! ```text
+//! scenario run <spec.toml> [--backend sim|threaded|both] [--out DIR] [--no-env] [--quiet]
+//! scenario print <spec.toml>        # effective spec after env overrides
+//! scenario validate <bench.json>    # check a report against the schema
+//! scenario list [DIR]               # list specs in a directory
+//! ```
+//!
+//! `run` writes `BENCH_<name>.json` into `--out` (default: the current
+//! directory) and prints a one-line summary per (backend × policy).
+//! Every scenario field can be overridden per-run via `PSP_SCENARIO_*`
+//! environment variables (see `persephone_scenario::env`); `--no-env`
+//! disables that layer.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use persephone_scenario::bench::Meta;
+use persephone_scenario::json::{validate_bench, Json};
+use persephone_scenario::runner::{run_scenario, summarize, Backend};
+use persephone_scenario::spec::ScenarioSpec;
+use persephone_scenario::{env as scenario_env, toml};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("run") => cmd_run(&args[1..]),
+        Some("print") => cmd_print(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+scenario — run declarative Perséphone workload scenarios
+
+USAGE:
+    scenario run <spec.toml> [--backend sim|threaded|both] [--out DIR] [--no-env] [--quiet]
+    scenario print <spec.toml>
+    scenario validate <bench.json>
+    scenario list [DIR]
+
+Every scenario field can be overridden per-run with PSP_SCENARIO_* env
+vars, e.g. PSP_SCENARIO_LOAD=0.8 or PSP_SCENARIO_PHASES__0__LOAD=0.95.
+";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Loads a spec file, applies env overrides (unless disabled), and
+/// returns the effective raw table plus the validated spec.
+fn load_spec(
+    path: &Path,
+    use_env: bool,
+    quiet: bool,
+) -> Result<(persephone_scenario::value::Table, ScenarioSpec), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut table = toml::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if use_env {
+        let applied = scenario_env::apply_env_overrides(&mut table)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if !quiet {
+            for line in &applied {
+                eprintln!("override: {line}");
+            }
+        }
+    }
+    let spec = ScenarioSpec::from_table(&table).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok((table, spec))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut backends = vec![Backend::Sim, Backend::Threaded];
+    let mut out_dir = PathBuf::from(".");
+    let mut use_env = true;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" => match it.next().map(|s| Backend::parse_list(s)) {
+                Some(Ok(b)) => backends = b,
+                Some(Err(e)) => return fail(e),
+                None => return fail("--backend needs a value (sim, threaded, both)"),
+            },
+            "--out" => match it.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => return fail("--out needs a directory"),
+            },
+            "--no-env" => use_env = false,
+            "--quiet" => quiet = true,
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(PathBuf::from(other))
+            }
+            other => return fail(format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        return fail("missing <spec.toml> (try: scenario run scenarios/smoke.toml)");
+    };
+    let (_, spec) = match load_spec(&spec_path, use_env, quiet) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+
+    let started = Instant::now();
+    let mut report = run_scenario(&spec, &backends, Meta::fixed());
+    report.meta = Meta {
+        created_unix_ms: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        wall_ms: started.elapsed().as_millis() as u64,
+        git_commit: git_commit(),
+        host: std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown".into()),
+    };
+
+    let out_path = out_dir.join(report.file_name());
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        return fail(format!("cannot create {}: {e}", out_dir.display()));
+    }
+    if let Err(e) = std::fs::write(&out_path, report.render()) {
+        return fail(format!("cannot write {}: {e}", out_path.display()));
+    }
+    if !quiet {
+        print!("{}", summarize(&report));
+    }
+    println!("wrote {}", out_path.display());
+    ExitCode::SUCCESS
+}
+
+fn cmd_print(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("missing <spec.toml>");
+    };
+    match load_spec(Path::new(path), true, true) {
+        Ok((table, _)) => {
+            print!("{}", toml::render(&table));
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("missing <bench.json>");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    let problems = validate_bench(&doc);
+    if problems.is_empty() {
+        println!(
+            "{path}: valid ({})",
+            persephone_scenario::json::BENCH_SCHEMA
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{path}: {} schema problem(s):", problems.len());
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    let dir = args
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("scenarios"));
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => return fail(format!("cannot read {}: {e}", dir.display())),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        match load_spec(&path, false, true) {
+            Ok((_, spec)) => println!(
+                "{:<28} {} type(s), {} phase(s), {} policy(ies) — {}",
+                path.display(),
+                spec.types.len(),
+                spec.phases.len(),
+                spec.policies.len(),
+                if spec.description.is_empty() {
+                    "(no description)"
+                } else {
+                    &spec.description
+                }
+            ),
+            Err(e) => println!("{:<28} INVALID: {e}", path.display()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}

@@ -1,0 +1,114 @@
+//! Scenario execution: one spec, two backends, one report.
+//!
+//! Both backends replay the *same* materialized arrival schedule
+//! ([`crate::spec::ScenarioSpec::build_trace`]) — arrival times, request
+//! types, and per-request service demands sampled once from the seeded
+//! RNG — so a scenario's deterministic section is backend-independent
+//! and the measured sections answer "same offered work, different
+//! substrate".
+
+pub mod sim;
+pub mod threaded;
+
+use crate::bench::{BenchReport, Deterministic, Meta, Pcts};
+use crate::spec::ScenarioSpec;
+
+/// Which backends to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Discrete-event simulator (`persephone-sim`).
+    Sim,
+    /// Threaded runtime over the loopback NIC (`persephone-runtime`).
+    Threaded,
+}
+
+impl Backend {
+    /// Parses `sim` / `threaded` / `both`.
+    pub fn parse_list(s: &str) -> Result<Vec<Backend>, String> {
+        match s {
+            "sim" => Ok(vec![Backend::Sim]),
+            "threaded" => Ok(vec![Backend::Threaded]),
+            "both" => Ok(vec![Backend::Sim, Backend::Threaded]),
+            other => Err(format!(
+                "unknown backend `{other}` (accepted: sim, threaded, both)"
+            )),
+        }
+    }
+}
+
+/// Runs a scenario on the given backends and assembles the report with
+/// the supplied wall-clock metadata (pass [`Meta::fixed`] in tests).
+pub fn run_scenario(spec: &ScenarioSpec, backends: &[Backend], meta: Meta) -> BenchReport {
+    let trace = spec.build_trace();
+    let deterministic = Deterministic::derive(spec, &trace);
+    let mut runs = Vec::new();
+    for backend in backends {
+        match backend {
+            Backend::Sim => runs.extend(sim::run(spec, &trace)),
+            Backend::Threaded => runs.extend(threaded::run(spec, &trace)),
+        }
+    }
+    BenchReport {
+        scenario: spec.name.clone(),
+        description: spec.description.clone(),
+        meta,
+        deterministic,
+        runs,
+    }
+}
+
+/// Duration-weighted mean offered load across the phase script.
+pub(crate) fn mean_offered_load(spec: &ScenarioSpec) -> f64 {
+    let total: f64 = spec.phases.iter().map(|p| p.duration_ms).sum();
+    spec.phases
+        .iter()
+        .map(|p| p.load.unwrap_or(spec.load) * p.duration_ms)
+        .sum::<f64>()
+        / total
+}
+
+/// Exact percentiles over f64 samples (sorted in place), mirroring the
+/// simulator's rank convention.
+pub(crate) fn pcts_of(samples: &mut [f64]) -> Pcts {
+    if samples.is_empty() {
+        return Pcts::default();
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = |p: f64| {
+        let n = samples.len();
+        let r = ((n as f64) * p).ceil() as usize;
+        samples[r.clamp(1, n) - 1]
+    };
+    Pcts {
+        p50: rank(0.50),
+        p99: rank(0.99),
+        p999: rank(0.999),
+        max: *samples.last().expect("non-empty"),
+        mean: samples.iter().sum::<f64>() / samples.len() as f64,
+    }
+}
+
+/// A compact human summary of a report, one line per run.
+pub fn summarize(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "scenario {}: {} arrivals, {} type(s), {} phase(s)\n",
+        report.scenario,
+        report.deterministic.arrivals,
+        report.deterministic.types.len(),
+        report.deterministic.phases,
+    ));
+    for run in &report.runs {
+        out.push_str(&format!(
+            "  [{}] {:<14} load={:.2} rps={:.0} done={} drop={} p99.9 slowdown={:.1}\n",
+            run.backend,
+            run.policy,
+            run.offered_load,
+            run.achieved_rps,
+            run.completions,
+            run.dropped + run.timed_out + run.expired,
+            run.overall_slowdown.p999,
+        ));
+    }
+    out
+}

@@ -1,0 +1,103 @@
+//! Simulator backend: replays the trace through `persephone-sim`.
+//!
+//! Fully deterministic — two same-seed runs produce byte-identical
+//! results, which the reproducibility test pins on the whole report.
+
+use std::sync::Arc;
+
+use persephone_core::policy::Policy;
+use persephone_sim::engine::{simulate, SimConfig, SimPolicy};
+use persephone_sim::metrics::Percentiles;
+use persephone_sim::policies::{self, darc::DarcSim};
+use persephone_sim::workload::Arrival;
+use persephone_telemetry::{Telemetry, TelemetryConfig};
+
+use persephone_core::time::Nanos;
+
+use crate::bench::{Pcts, RunResult, TelemetrySummary, TypeResult};
+use crate::runner::mean_offered_load;
+use crate::spec::ScenarioSpec;
+
+fn pcts(p: &Percentiles, scale: f64) -> Pcts {
+    Pcts {
+        p50: p.p50 * scale,
+        p99: p.p99 * scale,
+        p999: p.p999 * scale,
+        max: p.max * scale,
+        mean: p.mean * scale,
+    }
+}
+
+/// Runs every policy in the spec on the simulator.
+pub fn run(spec: &ScenarioSpec, trace: &[Arrival]) -> Vec<RunResult> {
+    let base = spec.base_workload();
+    let num_types = spec.types.len();
+    let total = spec.total_duration();
+    let mut cfg = SimConfig::new(spec.workers);
+    cfg.warmup_fraction = spec.sim.warmup_fraction;
+    cfg.rtt = Nanos::from_micros_f64(spec.sim.rtt_us);
+
+    let mut runs = Vec::with_capacity(spec.policies.len());
+    for policy in &spec.policies {
+        // DARC gets telemetry attached (it is the only sim policy that
+        // rings the engine's instruments); baselines run bare.
+        let (mut boxed, telemetry): (Box<dyn SimPolicy>, Option<Arc<Telemetry>>) = match policy {
+            Policy::Darc => {
+                let mut darc = DarcSim::dynamic(&base, spec.workers, spec.engine.darc_min_samples)
+                    .with_capacity(spec.engine.queue_capacity);
+                let tel = Arc::new(Telemetry::new(TelemetryConfig::new(
+                    num_types,
+                    spec.workers,
+                )));
+                darc.attach_telemetry(tel.clone());
+                (Box::new(darc), Some(tel))
+            }
+            other => (
+                policies::build(
+                    other,
+                    &base,
+                    spec.workers,
+                    spec.engine.darc_min_samples,
+                    spec.engine.queue_capacity,
+                ),
+                None,
+            ),
+        };
+        let out = simulate(
+            boxed.as_mut(),
+            trace.iter().copied(),
+            num_types,
+            total,
+            &cfg,
+        );
+        let per_type = spec
+            .types
+            .iter()
+            .zip(out.summary.per_type.iter())
+            .map(|(ty, s)| TypeResult {
+                name: ty.name.clone(),
+                count: s.latency_ns.count as u64,
+                latency_us: pcts(&s.latency_ns, 1e-3),
+                slowdown: pcts(&s.slowdown, 1.0),
+            })
+            .collect();
+        runs.push(RunResult {
+            backend: "sim".into(),
+            policy: policy.name(),
+            offered_load: mean_offered_load(spec),
+            achieved_rps: out.completions as f64 / total.as_secs_f64(),
+            sent: trace.len() as u64,
+            completions: out.completions,
+            dropped: out.summary.dropped,
+            rejected: 0,
+            timed_out: 0,
+            expired: 0,
+            shed_at_shutdown: 0,
+            quarantines: 0,
+            overall_slowdown: pcts(&out.summary.overall_slowdown, 1.0),
+            per_type,
+            telemetry: telemetry.map(|t| TelemetrySummary::from_snapshot(&t.snapshot())),
+        });
+    }
+    runs
+}

@@ -1,0 +1,150 @@
+//! Threaded backend: replays the trace through the real runtime.
+//!
+//! The scenario's scripted time can be compressed by
+//! `threaded.time_scale`: arrival times *and* service demands are both
+//! scaled, preserving utilization (and therefore slowdown shape) while a
+//! long script replays in bounded wall time. Per-request service demands
+//! ride in the request payload and are burned by
+//! [`persephone_runtime::handler::PayloadSpinHandler`], so both backends
+//! execute the exact same sampled distributions.
+
+use std::time::Duration;
+
+use persephone_core::classifier::HeaderClassifier;
+use persephone_net::nic::{loopback_mq_with_faults, NicFaultPlan, Steering};
+use persephone_net::pool::BufferPool;
+use persephone_net::wire;
+use persephone_runtime::fault::FaultPlan;
+use persephone_runtime::handler::PayloadSpinHandler;
+use persephone_runtime::loadgen::{run_scheduled, ScheduledRequest};
+use persephone_runtime::server::ServerBuilder;
+use persephone_sim::workload::Arrival;
+use persephone_store::spin::SpinCalibration;
+
+use persephone_core::time::Nanos;
+
+use crate::bench::{RunResult, TelemetrySummary, TypeResult};
+use crate::runner::{mean_offered_load, pcts_of};
+use crate::spec::ScenarioSpec;
+
+/// Runs every policy in the spec on the threaded runtime.
+pub fn run(spec: &ScenarioSpec, trace: &[Arrival]) -> Vec<RunResult> {
+    let num_types = spec.types.len();
+    let ts = spec.threaded.time_scale;
+    let schedule: Vec<ScheduledRequest> = trace
+        .iter()
+        .map(|a| ScheduledRequest {
+            at_ns: (a.at.as_nanos() as f64 * ts) as u64,
+            ty: a.ty.index() as u32,
+            service_ns: ((a.service.as_nanos() as f64 * ts) as u64).max(1),
+        })
+        .collect();
+    // Per-type mean of the *scaled* demands: the slowdown denominator.
+    let mut svc_sum = vec![0u64; num_types];
+    let mut svc_n = vec![0u64; num_types];
+    for r in &schedule {
+        if let Some(i) = svc_sum.get_mut(r.ty as usize) {
+            *i += r.service_ns;
+            svc_n[r.ty as usize] += 1;
+        }
+    }
+    let mean_svc_ns: Vec<f64> = svc_sum
+        .iter()
+        .zip(&svc_n)
+        .map(|(&s, &n)| if n == 0 { 1.0 } else { s as f64 / n as f64 })
+        .collect();
+
+    let cal = SpinCalibration::calibrate();
+    let max_spin = Nanos::from_micros_f64(spec.threaded.max_service_ms * 1_000.0);
+    let scaled_secs = spec.total_duration().as_secs_f64() * ts;
+
+    let mut runs = Vec::with_capacity(spec.policies.len());
+    for policy in &spec.policies {
+        let steering = match spec.threaded.steering.as_str() {
+            "by_type" => Steering::ByType((0..num_types).map(|t| t % spec.shards).collect()),
+            _ => Steering::Rss,
+        };
+        let nic_faults = if spec.faults.nic_drop_every > 0 {
+            NicFaultPlan::drop_every(spec.faults.nic_drop_every)
+        } else {
+            NicFaultPlan::default()
+        };
+        let (mut client, server) =
+            loopback_mq_with_faults(spec.threaded.ring_depth, spec.shards, steering, nic_faults);
+        let mut fault_plan = FaultPlan::none();
+        for stall in &spec.faults.stalls {
+            fault_plan = fault_plan.stall_worker(
+                stall.worker,
+                stall.after_requests,
+                Duration::from_secs_f64(stall.stall_ms / 1_000.0),
+            );
+        }
+        let handle = ServerBuilder::new(spec.workers, num_types)
+            .shards(spec.shards)
+            .policy(policy.clone())
+            .hints(spec.hints())
+            .faults(fault_plan)
+            .tune_engine(|e| {
+                e.profiler.min_samples = spec.engine.darc_min_samples;
+                e.queue_capacity = spec.engine.queue_capacity;
+            })
+            .classifier_factory(move |_shard| {
+                Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, num_types as u32))
+            })
+            .handler_factory(move |_worker| Box::new(PayloadSpinHandler::new(cal, max_spin)))
+            .spawn(server);
+
+        let mut pool = BufferPool::new(spec.threaded.pool_buffers, spec.threaded.buf_size);
+        let report = run_scheduled(
+            &mut client,
+            &mut pool,
+            num_types,
+            &schedule,
+            Duration::from_millis(spec.threaded.grace_ms),
+        );
+        let rt = handle.stop();
+
+        let mut overall_slowdown: Vec<f64> = Vec::new();
+        let per_type = spec
+            .types
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| {
+                let mut lat_us: Vec<f64> = report.latencies_ns[i]
+                    .iter()
+                    .map(|&ns| ns as f64 / 1e3)
+                    .collect();
+                let mut slow: Vec<f64> = report.latencies_ns[i]
+                    .iter()
+                    .map(|&ns| ns as f64 / mean_svc_ns[i])
+                    .collect();
+                overall_slowdown.extend_from_slice(&slow);
+                TypeResult {
+                    name: ty.name.clone(),
+                    count: report.latencies_ns[i].len() as u64,
+                    latency_us: pcts_of(&mut lat_us),
+                    slowdown: pcts_of(&mut slow),
+                }
+            })
+            .collect();
+
+        runs.push(RunResult {
+            backend: "threaded".into(),
+            policy: policy.name(),
+            offered_load: mean_offered_load(spec),
+            achieved_rps: report.received as f64 / scaled_secs,
+            sent: report.sent,
+            completions: report.received,
+            dropped: report.dropped,
+            rejected: report.rejected,
+            timed_out: report.timed_out,
+            expired: rt.dispatcher.expired,
+            shed_at_shutdown: rt.dispatcher.shed_at_shutdown,
+            quarantines: rt.dispatcher.quarantines,
+            overall_slowdown: pcts_of(&mut overall_slowdown),
+            per_type,
+            telemetry: Some(TelemetrySummary::from_snapshot(&rt.dispatcher.telemetry)),
+        });
+    }
+    runs
+}

@@ -1,0 +1,706 @@
+//! A minimal TOML parser and renderer.
+//!
+//! The workspace is offline-buildable with zero registry dependencies
+//! (see ROADMAP §constraints), so the scenario engine carries its own
+//! parser for the subset of TOML the specs use: bare/quoted keys, dotted
+//! keys, `[table]` and `[[array-of-tables]]` headers, basic and literal
+//! strings, integers (with `_` separators), floats, booleans, possibly
+//! multi-line arrays, and single-line inline tables. Dates and
+//! hex/octal/binary integers are rejected with a pointed error rather
+//! than silently misparsed.
+//!
+//! [`render`] is the inverse, used by golden-file round-trip tests and
+//! `scenario print` (the effective spec after env overrides).
+
+use std::fmt;
+
+use crate::value::{Table, Value};
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// What went wrong, with the offending token where helpful.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TOML parse error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a TOML document into a [`Table`].
+pub fn parse(text: &str) -> Result<Table, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut root = Table::new();
+    // Path of the table currently receiving `key = value` lines.
+    let mut current: Vec<String> = Vec::new();
+    loop {
+        p.skip_trivia();
+        if p.at_end() {
+            return Ok(root);
+        }
+        if p.peek() == Some(b'[') {
+            p.bump();
+            let array_of_tables = p.peek() == Some(b'[');
+            if array_of_tables {
+                p.bump();
+            }
+            p.skip_spaces();
+            let path = p.parse_dotted_key()?;
+            p.skip_spaces();
+            p.expect(b']')?;
+            if array_of_tables {
+                p.expect(b']')?;
+            }
+            p.expect_line_end()?;
+            if array_of_tables {
+                push_array_table(&mut root, &path).map_err(|msg| p.err_at(msg))?;
+            } else {
+                open_table(&mut root, &path).map_err(|msg| p.err_at(msg))?;
+            }
+            current = path;
+        } else {
+            let path = p.parse_dotted_key()?;
+            p.skip_spaces();
+            p.expect(b'=')?;
+            p.skip_spaces();
+            let value = p.parse_value()?;
+            p.expect_line_end()?;
+            let table = navigate(&mut root, &current).map_err(|msg| p.err_at(msg))?;
+            let (leaf, parents) = path.split_last().expect("parse_dotted_key is non-empty");
+            let table = navigate(table, parents).map_err(|msg| p.err_at(msg))?;
+            if table.contains(leaf) {
+                return Err(p.err_at(format!("duplicate key `{leaf}`")));
+            }
+            table.insert(leaf.clone(), value);
+        }
+    }
+}
+
+/// Parses a single scalar value (for `PSP_SCENARIO_*` env overrides):
+/// integer, float, boolean, quoted string, or array. Anything that does
+/// not parse as one of those is taken as a bare string, so
+/// `PSP_SCENARIO_POLICY=cfcfs` works without quoting.
+pub fn parse_scalar(text: &str) -> Value {
+    let trimmed = text.trim();
+    let mut p = Parser {
+        bytes: trimmed.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    match p.parse_value() {
+        Ok(v) if p.pos == trimmed.len() => v,
+        _ => Value::Str(trimmed.to_string()),
+    }
+}
+
+/// Walks `path` from `table`, creating intermediate tables; steps through
+/// an array-of-tables into its last element.
+fn navigate<'a>(mut table: &'a mut Table, path: &[String]) -> Result<&'a mut Table, String> {
+    for seg in path {
+        if !table.contains(seg) {
+            table.insert(seg.clone(), Value::Table(Table::new()));
+        }
+        table = match table.get_mut(seg).expect("just inserted") {
+            Value::Table(t) => t,
+            Value::Array(a) => match a.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return Err(format!("`{seg}` is not an array of tables")),
+            },
+            other => {
+                return Err(format!(
+                    "`{seg}` is already a {}, not a table",
+                    other.kind()
+                ))
+            }
+        };
+    }
+    Ok(table)
+}
+
+fn open_table(root: &mut Table, path: &[String]) -> Result<(), String> {
+    let (leaf, parents) = path.split_last().ok_or("empty table header")?;
+    let parent = navigate(root, parents)?;
+    match parent.get_mut(leaf) {
+        None => {
+            parent.insert(leaf.clone(), Value::Table(Table::new()));
+            Ok(())
+        }
+        // Re-opening a table created implicitly by a deeper header is
+        // fine; re-opening one that already got keys is a duplicate.
+        Some(Value::Table(_)) => Ok(()),
+        Some(other) => Err(format!(
+            "`{leaf}` is already a {}, cannot open it as a table",
+            other.kind()
+        )),
+    }
+}
+
+fn push_array_table(root: &mut Table, path: &[String]) -> Result<(), String> {
+    let (leaf, parents) = path.split_last().ok_or("empty table header")?;
+    let parent = navigate(root, parents)?;
+    match parent.get_mut(leaf) {
+        None => {
+            parent.insert(leaf.clone(), Value::Array(vec![Value::Table(Table::new())]));
+            Ok(())
+        }
+        Some(Value::Array(a)) => {
+            a.push(Value::Table(Table::new()));
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "`{leaf}` is already a {}, cannot append a [[{leaf}]] table",
+            other.kind()
+        )),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn err_at(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    /// Skips spaces and tabs.
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace, newlines and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(b) if b == want => {
+                self.bump();
+                Ok(())
+            }
+            Some(b) => Err(self.err_at(format!(
+                "expected `{}`, found `{}`",
+                want as char, b as char
+            ))),
+            None => Err(self.err_at(format!("expected `{}`, found end of input", want as char))),
+        }
+    }
+
+    /// Consumes trailing spaces, an optional comment, then a newline or EOF.
+    fn expect_line_end(&mut self) -> Result<(), ParseError> {
+        self.skip_spaces();
+        if self.peek() == Some(b'#') {
+            while !matches!(self.peek(), None | Some(b'\n')) {
+                self.bump();
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') => {
+                self.bump();
+                Ok(())
+            }
+            Some(b'\r') => {
+                self.bump();
+                self.expect(b'\n')
+            }
+            Some(b) => Err(self.err_at(format!(
+                "unexpected `{}` after value (one key = value pair per line)",
+                b as char
+            ))),
+        }
+    }
+
+    fn parse_dotted_key(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut segs = vec![self.parse_key()?];
+        loop {
+            self.skip_spaces();
+            if self.peek() == Some(b'.') {
+                self.bump();
+                self.skip_spaces();
+                segs.push(self.parse_key()?);
+            } else {
+                return Ok(segs);
+            }
+        }
+    }
+
+    fn parse_key(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(b'"') => match self.parse_value()? {
+                Value::Str(s) => Ok(s),
+                _ => unreachable!("a leading quote parses as a string"),
+            },
+            Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+                {
+                    self.bump();
+                }
+                Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+            }
+            Some(b) => Err(self.err_at(format!("expected a key, found `{}`", b as char))),
+            None => Err(self.err_at("expected a key, found end of input")),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'"') => self.parse_basic_string(),
+            Some(b'\'') => self.parse_literal_string(),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_inline_table(),
+            Some(b't') | Some(b'f') => self.parse_bool(),
+            Some(b) if b == b'+' || b == b'-' || b == b'.' || b.is_ascii_digit() => {
+                self.parse_number()
+            }
+            Some(b) => Err(self.err_at(format!("expected a value, found `{}`", b as char))),
+            None => Err(self.err_at("expected a value, found end of input")),
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => {
+                    return Err(self.err_at("unterminated string (missing closing `\"`)"))
+                }
+                Some(b'"') => return Ok(Value::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b) => {
+                        return Err(self.err_at(format!(
+                            "unsupported escape `\\{}` (supported: \\\" \\\\ \\n \\t \\r)",
+                            b as char
+                        )))
+                    }
+                    None => return Err(self.err_at("unterminated escape at end of input")),
+                },
+                Some(b) => {
+                    // Re-assemble UTF-8: collect continuation bytes.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        while matches!(self.peek(), Some(c) if c & 0xC0 == 0x80) {
+                            self.bump();
+                        }
+                        out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_literal_string(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'\'')?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    return Err(self.err_at("unterminated string (missing closing `'`)"))
+                }
+                Some(b'\'') => {
+                    let s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.bump();
+                    return Ok(Value::Str(s));
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(Value::Bool(true))
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(Value::Bool(false))
+        } else {
+            Err(self.err_at("expected `true` or `false`"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        // Letters are consumed too so `0xff` and `2021-10-26` reach the
+        // pointed errors below instead of a generic "unexpected x".
+        while matches!(
+            self.peek(),
+            Some(b) if b.is_ascii_alphanumeric() || matches!(b, b'+' | b'-' | b'.' | b'_')
+        ) {
+            self.bump();
+        }
+        let raw =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number chars are ASCII");
+        let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+        if cleaned.starts_with("0x") || cleaned.starts_with("0o") || cleaned.starts_with("0b") {
+            return Err(self.err_at(format!(
+                "`{raw}`: hex/octal/binary integers are not supported, use decimal"
+            )));
+        }
+        if raw.contains('-') && !raw.starts_with('-') {
+            return Err(self.err_at(format!(
+                "`{raw}` looks like a date; dates are not supported, use a string"
+            )));
+        }
+        if cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E') {
+            cleaned
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err_at(format!("`{raw}` is not a valid float")))
+        } else {
+            cleaned
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err_at(format!("`{raw}` is not a valid integer")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b']') {
+                self.bump();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {}
+                _ => return Err(self.err_at("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut t = Table::new();
+        self.skip_spaces();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Value::Table(t));
+        }
+        loop {
+            self.skip_spaces();
+            let key = self.parse_key()?;
+            self.skip_spaces();
+            self.expect(b'=')?;
+            self.skip_spaces();
+            let value = self.parse_value()?;
+            if t.contains(&key) {
+                return Err(self.err_at(format!("duplicate key `{key}` in inline table")));
+            }
+            t.insert(key, value);
+            self.skip_spaces();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(Value::Table(t));
+                }
+                _ => return Err(self.err_at("expected `,` or `}` in inline table")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Renders a table back to TOML text. Scalar keys come first, then
+/// `[sub.tables]`, then `[[arrays.of.tables]]`, preserving insertion
+/// order within each group — re-parsing the output yields an equal tree.
+pub fn render(table: &Table) -> String {
+    let mut out = String::new();
+    render_table(&mut out, table, &mut Vec::new());
+    out
+}
+
+fn is_table_array(v: &Value) -> bool {
+    matches!(v, Value::Array(a) if !a.is_empty() && a.iter().all(|e| matches!(e, Value::Table(_))))
+}
+
+fn render_table(out: &mut String, table: &Table, path: &mut Vec<String>) {
+    for (k, v) in table.entries() {
+        if matches!(v, Value::Table(_)) || is_table_array(v) {
+            continue;
+        }
+        out.push_str(&render_key(k));
+        out.push_str(" = ");
+        render_value(out, v);
+        out.push('\n');
+    }
+    for (k, v) in table.entries() {
+        if let Value::Table(t) = v {
+            path.push(k.clone());
+            out.push('\n');
+            out.push('[');
+            out.push_str(&render_path(path));
+            out.push_str("]\n");
+            render_table(out, t, path);
+            path.pop();
+        }
+    }
+    for (k, v) in table.entries() {
+        if !is_table_array(v) {
+            continue;
+        }
+        let Value::Array(elems) = v else {
+            unreachable!()
+        };
+        path.push(k.clone());
+        for elem in elems {
+            let Value::Table(t) = elem else {
+                unreachable!()
+            };
+            out.push('\n');
+            out.push_str("[[");
+            out.push_str(&render_path(path));
+            out.push_str("]]\n");
+            render_table(out, t, path);
+        }
+        path.pop();
+    }
+}
+
+fn render_path(path: &[String]) -> String {
+    path.iter()
+        .map(|s| render_key(s))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn render_key(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        format!("\"{}\"", escape(key))
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => out.push_str(&render_float(*f)),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Table(t) => {
+            // Inline table (only reached for tables nested inside arrays
+            // of scalars or values set by env overrides).
+            out.push('{');
+            for (i, (k, v)) in t.entries().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push(' ');
+                out.push_str(&render_key(k));
+                out.push_str(" = ");
+                render_value(out, v);
+            }
+            out.push_str(" }");
+        }
+    }
+}
+
+/// Renders a float so it re-parses as a float (`5` → `5.0`).
+fn render_float(f: f64) -> String {
+    if f.fract() == 0.0 && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# a scenario
+name = "demo"
+seed = 42
+load = 0.7
+flag = true
+ratios = [0.5, 0.5]
+service = { dist = "constant", mean_us = 1.0 }
+
+[engine]
+queue_capacity = 0
+
+[[types]]
+name = "SHORT"
+ratio = 0.5
+
+[[types]]
+name = "LONG"
+ratio = 0.5
+"#;
+
+    #[test]
+    fn parses_the_full_subset() {
+        let t = parse(SAMPLE).unwrap();
+        assert_eq!(t.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(t.get("seed").unwrap().as_u64(), Some(42));
+        assert_eq!(t.get("load").unwrap().as_f64(), Some(0.7));
+        assert_eq!(t.get("flag"), Some(&Value::Bool(true)));
+        assert_eq!(t.get("ratios").unwrap().as_array().unwrap().len(), 2);
+        let svc = t.get("service").unwrap().as_table().unwrap();
+        assert_eq!(svc.get("dist").unwrap().as_str(), Some("constant"));
+        let types = t.get("types").unwrap().as_array().unwrap();
+        assert_eq!(types.len(), 2);
+        assert_eq!(
+            types[1].as_table().unwrap().get("name").unwrap().as_str(),
+            Some("LONG")
+        );
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let t = parse(SAMPLE).unwrap();
+        let rendered = render(&t);
+        let reparsed = parse(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
+        assert_eq!(t, reparsed, "render → parse must be the identity");
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse("a = 1\nb = @\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains('@'), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = parse("a = 1\na = 2\n").unwrap_err();
+        assert!(err.msg.contains("duplicate key `a`"), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_unsupported_forms_pointedly() {
+        let err = parse("x = 0xff\n").unwrap_err();
+        assert!(err.msg.contains("hex"), "{}", err.msg);
+        let err = parse("when = 2021-10-26\n").unwrap_err();
+        assert!(err.msg.contains("date"), "{}", err.msg);
+    }
+
+    #[test]
+    fn multiline_arrays_and_underscore_ints() {
+        let t = parse("xs = [\n  1_000,\n  2_000, # comment\n]\nbig = 50_000\n").unwrap();
+        assert_eq!(
+            t.get("xs").unwrap().as_array().unwrap(),
+            &[Value::Int(1000), Value::Int(2000)]
+        );
+        assert_eq!(t.get("big").unwrap().as_u64(), Some(50_000));
+    }
+
+    #[test]
+    fn scalar_parser_falls_back_to_string() {
+        assert_eq!(parse_scalar("0.8"), Value::Float(0.8));
+        assert_eq!(parse_scalar("42"), Value::Int(42));
+        assert_eq!(parse_scalar("true"), Value::Bool(true));
+        assert_eq!(parse_scalar("cfcfs"), Value::Str("cfcfs".into()));
+        assert_eq!(
+            parse_scalar("[0.9, 0.1]"),
+            Value::Array(vec![Value::Float(0.9), Value::Float(0.1)])
+        );
+        assert_eq!(parse_scalar("\"quoted\""), Value::Str("quoted".into()));
+    }
+}

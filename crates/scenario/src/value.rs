@@ -1,0 +1,287 @@
+//! The dynamic value tree scenario TOML parses into.
+//!
+//! Tables preserve insertion order so [`crate::toml::render`] is
+//! deterministic and golden-file tests stay byte-stable. The tree is the
+//! substrate env-var overrides ([`crate::env`]) operate on *before* typed
+//! parsing ([`crate::spec`]), which makes override precedence trivial:
+//! whatever reaches the typed layer wins.
+
+use std::fmt;
+
+/// A TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array (scalars or tables, homogeneous in practice).
+    Array(Vec<Value>),
+    /// A nested table.
+    Table(Table),
+}
+
+impl Value {
+    /// A short human name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+
+    /// The value as a float, widening integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a table.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks a key up mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Inserts or replaces a key, preserving its original position when
+    /// replacing.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        match self.get_mut(&key) {
+            Some(slot) => *slot = value,
+            None => self.entries.push((key, value)),
+        }
+    }
+
+    /// True when the key exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// The entries, in insertion order.
+    pub fn entries(&self) -> &[(String, Value)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Error from [`set_path`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct PathError(pub String);
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Sets `value` at a dotted path. Segment rules: a name indexes a table
+/// (intermediate tables are created on demand); a decimal number indexes
+/// an existing array element. Used by the env-override layer, where
+/// `PSP_SCENARIO_PHASES__0__LOAD` becomes the path `["phases","0","load"]`.
+pub fn set_path(root: &mut Table, path: &[&str], value: Value) -> Result<(), PathError> {
+    if path.is_empty() {
+        return Err(PathError("empty override path".into()));
+    }
+    set_in_table(root, path, value, &mut String::new())
+}
+
+fn set_in_table(
+    table: &mut Table,
+    path: &[&str],
+    value: Value,
+    walked: &mut String,
+) -> Result<(), PathError> {
+    let seg = path[0];
+    if !walked.is_empty() {
+        walked.push('.');
+    }
+    walked.push_str(seg);
+    if path.len() == 1 {
+        table.insert(seg, value);
+        return Ok(());
+    }
+    if !table.contains(seg) {
+        // Creating an intermediate array makes no sense (we cannot know
+        // its length); tables are safe to create.
+        if path[1].parse::<usize>().is_ok() {
+            return Err(PathError(format!(
+                "`{walked}` does not exist, cannot index into it with `{}`",
+                path[1]
+            )));
+        }
+        table.insert(seg, Value::Table(Table::new()));
+    }
+    match table.get_mut(seg).expect("just ensured present") {
+        Value::Table(t) => set_in_table(t, &path[1..], value, walked),
+        Value::Array(a) => set_in_array(a, &path[1..], value, walked),
+        other => Err(PathError(format!(
+            "`{walked}` is a {}, not a table or array",
+            other.kind()
+        ))),
+    }
+}
+
+fn set_in_array(
+    array: &mut [Value],
+    path: &[&str],
+    value: Value,
+    walked: &mut String,
+) -> Result<(), PathError> {
+    let seg = path[0];
+    let idx: usize = seg.parse().map_err(|_| {
+        PathError(format!(
+            "`{walked}` is an array; expected a numeric index, got `{seg}`"
+        ))
+    })?;
+    let len = array.len();
+    let slot = array.get_mut(idx).ok_or_else(|| {
+        PathError(format!(
+            "`{walked}` has {len} elements, index {idx} is out of range"
+        ))
+    })?;
+    walked.push('.');
+    walked.push_str(seg);
+    if path.len() == 1 {
+        *slot = value;
+        return Ok(());
+    }
+    match slot {
+        Value::Table(t) => set_in_table(t, &path[1..], value, walked),
+        Value::Array(a) => set_in_array(a, &path[1..], value, walked),
+        other => Err(PathError(format!(
+            "`{walked}` is a {}, not a table or array",
+            other.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(pairs: Vec<(&str, Value)>) -> Table {
+        let mut t = Table::new();
+        for (k, v) in pairs {
+            t.insert(k, v);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_preserves_position_on_replace() {
+        let mut t = table(vec![("a", Value::Int(1)), ("b", Value::Int(2))]);
+        t.insert("a", Value::Int(9));
+        assert_eq!(t.entries()[0], ("a".to_string(), Value::Int(9)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn set_path_top_level_and_nested() {
+        let mut t = table(vec![("load", Value::Float(0.5))]);
+        set_path(&mut t, &["load"], Value::Float(0.8)).unwrap();
+        assert_eq!(t.get("load"), Some(&Value::Float(0.8)));
+        set_path(&mut t, &["engine", "queue_capacity"], Value::Int(64)).unwrap();
+        let engine = t.get("engine").unwrap().as_table().unwrap();
+        assert_eq!(engine.get("queue_capacity"), Some(&Value::Int(64)));
+    }
+
+    #[test]
+    fn set_path_array_index() {
+        let mut t = Table::new();
+        t.insert(
+            "phases",
+            Value::Array(vec![
+                Value::Table(table(vec![("load", Value::Float(0.5))])),
+                Value::Table(table(vec![("load", Value::Float(0.6))])),
+            ]),
+        );
+        set_path(&mut t, &["phases", "1", "load"], Value::Float(0.9)).unwrap();
+        let phases = t.get("phases").unwrap().as_array().unwrap();
+        let p1 = phases[1].as_table().unwrap();
+        assert_eq!(p1.get("load"), Some(&Value::Float(0.9)));
+    }
+
+    #[test]
+    fn set_path_errors_are_actionable() {
+        let mut t = table(vec![("load", Value::Float(0.5))]);
+        let err = set_path(&mut t, &["load", "deep"], Value::Int(1)).unwrap_err();
+        assert!(err.0.contains("`load` is a float"), "{}", err.0);
+        let err = set_path(&mut t, &["phases", "0", "load"], Value::Int(1)).unwrap_err();
+        assert!(err.0.contains("does not exist"), "{}", err.0);
+        t.insert("xs", Value::Array(vec![Value::Int(1)]));
+        let err = set_path(&mut t, &["xs", "5"], Value::Int(1)).unwrap_err();
+        assert!(err.0.contains("out of range"), "{}", err.0);
+    }
+}

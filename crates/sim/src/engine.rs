@@ -18,7 +18,7 @@ use persephone_core::time::Nanos;
 use persephone_core::types::TypeId;
 
 use crate::metrics::{Recorder, RunSummary, Timeline};
-use crate::workload::ArrivalGen;
+use crate::workload::Arrival;
 
 /// Index of a live request in the engine's slab.
 pub type ReqId = u32;
@@ -374,13 +374,17 @@ impl SimOutput {
 ///
 /// Panics if the policy strands requests (queues non-empty with the event
 /// heap exhausted) — that is a policy bug, not an overload condition.
-pub fn simulate(
+pub fn simulate<I>(
     policy: &mut dyn SimPolicy,
-    mut gen: ArrivalGen,
+    gen: I,
     num_types: usize,
     total_duration: Nanos,
     cfg: &SimConfig,
-) -> SimOutput {
+) -> SimOutput
+where
+    I: IntoIterator<Item = Arrival>,
+{
+    let mut gen = gen.into_iter();
     let warmup_end =
         Nanos::from_nanos((total_duration.as_nanos() as f64 * cfg.warmup_fraction) as u64);
     let mut core = Core {
@@ -475,7 +479,7 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::Workload;
+    use crate::workload::{ArrivalGen, Workload};
 
     /// A trivial c-FCFS policy used to exercise the engine itself.
     struct MiniFcfs {

@@ -447,6 +447,17 @@ impl ArrivalGen {
     }
 }
 
+/// `ArrivalGen` is a genuine iterator: the scenario engine materializes
+/// traces with `collect()`, and [`crate::engine::simulate`] accepts any
+/// arrival source.
+impl Iterator for ArrivalGen {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        ArrivalGen::next(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

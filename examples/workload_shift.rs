@@ -1,49 +1,55 @@
 //! Reacting to workload changes (paper §5.5, Figure 7) — in simulation.
 //!
-//! Replays the paper's four-phase script through the discrete-event
-//! simulator with DARC driving the real `persephone-core` engine:
-//!
-//! 1. A slow (500 µs) / B fast (0.5 µs) at 50/50;
-//! 2. service times swap (the misclassification stress);
-//! 3. ratios shift to 99.5 % A / 0.5 % B (A's demand grows ⇒ 2 cores);
-//! 4. only A remains (B pending work rides the spillway core).
-//!
-//! Prints the reservation-change log and a per-phase latency table.
+//! Thin driver over `scenarios/workload_shift.toml`: the four-phase
+//! script (service swap, ratio shift, type drain) lives in the
+//! declarative spec, and this example only adds the presentation the
+//! generic `scenario run` CLI does not — the DARC reservation-change
+//! log and a per-bucket latency timeline.
 //!
 //! Run with: `cargo run --release --example workload_shift`
 
 use persephone::core::time::Nanos;
+use persephone::scenario::ScenarioSpec;
 use persephone::sim::engine::{simulate, SimConfig};
 use persephone::sim::policies::darc::DarcSim;
-use persephone::sim::workload::{ArrivalGen, PhasedWorkload};
 
 fn main() {
-    let script = PhasedWorkload::paper_fig7();
-    let workers = 14;
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/workload_shift.toml");
+    let text = std::fs::read_to_string(path).expect("read scenarios/workload_shift.toml");
+    let spec = ScenarioSpec::from_toml(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+
+    let workers = spec.workers;
+    let num_types = spec.types.len();
+    let script = spec.phased_workload();
     println!(
-        "running the Figure 7 script: {} phases, {} total simulated",
+        "running the Figure 7 script from {path}: {} phases, {} total simulated",
         script.phases.len(),
         script.total_duration()
     );
 
-    let gen = ArrivalGen::phased(&script, workers, 2024);
-    // A 50k-sample window, as in the paper.
-    let mut darc = DarcSim::dynamic(&script.phases[0].workload, workers, 50_000);
+    let mut darc = DarcSim::dynamic(&spec.base_workload(), workers, spec.engine.darc_min_samples);
     let telemetry = std::sync::Arc::new(persephone::telemetry::Telemetry::new(
-        persephone::telemetry::TelemetryConfig::new(2, workers),
+        persephone::telemetry::TelemetryConfig::new(num_types, workers),
     ));
     darc.attach_telemetry(telemetry.clone());
     let mut cfg = SimConfig::new(workers);
-    cfg.timeline_bucket = Some(Nanos::from_millis(500));
-    cfg.warmup_fraction = 0.0; // Keep every phase visible.
-    let out = simulate(&mut darc, gen, 2, script.total_duration(), &cfg);
+    // One bucket per tenth of a phase keeps the shift visible.
+    let bucket = Nanos::from_nanos(script.total_duration().as_nanos() / 40);
+    cfg.timeline_bucket = Some(bucket);
+    cfg.warmup_fraction = spec.sim.warmup_fraction;
+    let trace = spec.build_trace();
+    let total = script.total_duration();
+    let out = simulate(&mut darc, trace.iter().copied(), num_types, total, &cfg);
 
     println!("\nreservation log (time → guaranteed cores [A, B]):");
     for (t, counts) in darc.reservation_log() {
-        println!("  {:>8.2}s  {:?}", t.as_secs_f64(), counts);
+        println!("  {:>8.3}s  {:?}", t.as_secs_f64(), counts);
     }
 
-    println!("\np99.9 latency per 500ms bucket (us):");
+    println!(
+        "\np99.9 latency per {:.0}ms bucket (us):",
+        bucket.as_secs_f64() * 1e3
+    );
     println!("  {:>8} {:>12} {:>12}", "time", "A", "B");
     if let Some(tl) = &out.timeline {
         for (start, per_ty) in tl {
@@ -55,7 +61,7 @@ fn main() {
                 }
             };
             println!(
-                "  {:>7.1}s {:>12} {:>12}",
+                "  {:>7.3}s {:>12} {:>12}",
                 start.as_secs_f64(),
                 fmt(&per_ty[0]),
                 fmt(&per_ty[1])

@@ -20,6 +20,9 @@
 //!   `persephone-store`).
 //! * [`telemetry`] — zero-allocation histograms, counters, and the
 //!   scheduler-decision event ring (crate `persephone-telemetry`).
+//! * [`scenario`] — declarative TOML workload scenarios runnable on both
+//!   backends, emitting `BENCH_*.json` reports (crate
+//!   `persephone-scenario`; also the `scenario` CLI binary).
 //!
 //! For application code, [`prelude`] pulls in the names needed to stand
 //! up a server and drive load against it:
@@ -37,6 +40,7 @@
 pub use persephone_core as core;
 pub use persephone_net as net;
 pub use persephone_runtime as runtime;
+pub use persephone_scenario as scenario;
 pub use persephone_sim as sim;
 pub use persephone_store as store;
 pub use persephone_telemetry as telemetry;
@@ -66,11 +70,16 @@ pub mod prelude {
     pub use persephone_net::pool::BufferPool;
     pub use persephone_net::wire::{self, Kind, Status};
     pub use persephone_runtime::fault::FaultPlan;
-    pub use persephone_runtime::handler::{KvHandler, RequestHandler, SpinHandler, TpccHandler};
-    pub use persephone_runtime::loadgen::{run_open_loop, LoadReport, LoadSpec, LoadType};
+    pub use persephone_runtime::handler::{
+        KvHandler, PayloadSpinHandler, RequestHandler, SpinHandler, TpccHandler,
+    };
+    pub use persephone_runtime::loadgen::{
+        run_open_loop, run_scheduled, LoadReport, LoadSpec, LoadType, ScheduledRequest,
+    };
     pub use persephone_runtime::server::{
         RuntimeReport, ServerBuilder, ServerConfig, ServerHandle,
     };
+    pub use persephone_scenario::{Backend, BenchReport, ScenarioSpec};
     pub use persephone_store::kv::KvStore;
     pub use persephone_store::spin::SpinCalibration;
     pub use persephone_store::tpcc::TpccDb;
