@@ -1,0 +1,84 @@
+//! Wire round-trip microbenchmark: in-process loopback rings vs real
+//! 127.0.0.1 UDP sockets through the same `ClientPort`/`ServerPort`
+//! surface.
+//!
+//! One iteration is a full echo: encode a request, send it, pull it off
+//! the server queue, rewrite it to a response in place, send it back, and
+//! receive it on the client. The loopback number is the floor the runtime
+//! pays per packet; the UDP number adds two kernel socket crossings and
+//! is the cost of leaving the process.
+
+use persephone_bench::crit::{criterion_group, criterion_main, Criterion, Throughput};
+use persephone_net::nic::{self, ClientPort, NicFaultPlan, ServerPort, Steering};
+use persephone_net::pool::PacketBuf;
+use persephone_net::udp::{self, UdpConfig};
+use persephone_net::wire;
+use std::hint::black_box;
+
+/// Echoes one request through a client/server port pair, recycling the
+/// buffers so the pair is ready for the next iteration.
+fn echo_once(
+    client: &mut ClientPort,
+    server: &mut ServerPort,
+    ctx: &nic::NetContext,
+    mut req: PacketBuf,
+) {
+    let len = wire::encode_request(req.raw_mut(), 0, 7, b"ping").expect("encode");
+    req.set_len(len);
+    client.send(req).expect("request send");
+    let mut pkt = loop {
+        if let Some(p) = server.recv() {
+            break p;
+        }
+        std::hint::spin_loop();
+    };
+    let len = pkt.as_slice().len();
+    wire::request_to_response_in_place(&mut pkt.raw_mut()[..len], wire::Status::Ok)
+        .expect("rewrite");
+    ctx.send_with_retry(pkt, 1 << 20).expect("response send");
+    let resp = loop {
+        if let Some(p) = client.recv() {
+            break p;
+        }
+        std::hint::spin_loop();
+    };
+    black_box(&resp);
+    // Loopback hands the same buffer back; keep it circulating.
+    drop(resp);
+}
+
+fn bench_net_rtt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_rtt");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("loopback_echo", |b| {
+        let (mut client, mut server) = nic::loopback(256);
+        let ctx = server.context();
+        b.iter(|| {
+            let req = PacketBuf::with_capacity(256);
+            echo_once(&mut client, &mut server, &ctx, req);
+        });
+    });
+
+    g.bench_function("udp_echo", |b| {
+        let cfg = UdpConfig {
+            buf_size: 256,
+            pool_buffers: 64,
+        };
+        let mut server = udp::server(std::net::SocketAddr::from(([127, 0, 0, 1], 0)), 1, cfg)
+            .expect("bind server socket");
+        let addrs = server.local_addrs().expect("udp addrs");
+        let mut client = udp::client(&addrs, Steering::Rss, NicFaultPlan::default(), cfg)
+            .expect("bind client socket");
+        let ctx = server.context();
+        b.iter(|| {
+            let req = PacketBuf::with_capacity(256);
+            echo_once(&mut client, &mut server, &ctx, req);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_net_rtt);
+criterion_main!(benches);

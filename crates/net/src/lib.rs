@@ -43,6 +43,7 @@ pub mod nic;
 pub mod pool;
 pub mod spsc;
 pub mod sync;
+pub mod udp;
 pub mod wire;
 
 pub use nic::{
@@ -50,3 +51,4 @@ pub use nic::{
     NicFaultPlan, ServerPort, Steering,
 };
 pub use pool::{BufferPool, PacketBuf, PoolAllocator, PoolReleaser};
+pub use udp::{UdpConfig, UdpQueueStats};

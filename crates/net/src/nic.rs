@@ -1,12 +1,19 @@
-//! An in-process loopback "NIC" with multi-queue RX.
+//! The NIC abstraction: an in-process loopback "NIC" with multi-queue
+//! RX, plus the plumbing shared with the real-socket UDP backend.
 //!
-//! The hardware substitute for the paper's Intel X710: bounded lock-free
-//! rings standing in for the RX and TX hardware queues. The client side
-//! pushes request packets and drains responses; the server side gives
-//! each net worker exclusive access to one RX queue and hands every
-//! application worker a [`NetContext`] with direct TX access — matching
-//! Perséphone's design where workers transmit responses themselves
-//! without bouncing through the net worker (paper §4.3.1, §6).
+//! The loopback transport is the hardware substitute for the paper's
+//! Intel X710: bounded lock-free rings standing in for the RX and TX
+//! hardware queues. The client side pushes request packets and drains
+//! responses; the server side gives each net worker exclusive access to
+//! one RX queue and hands every application worker a [`NetContext`] with
+//! direct TX access — matching Perséphone's design where workers
+//! transmit responses themselves without bouncing through the net worker
+//! (paper §4.3.1, §6).
+//!
+//! The same three types also front the real-network transport: the
+//! [`crate::udp`] constructors return `ClientPort`/`ServerPort` values
+//! backed by nonblocking sockets instead of rings, so the dispatcher,
+//! workers, and load generator are transport-agnostic.
 //!
 //! ## Multi-queue RX and steering
 //!
@@ -19,12 +26,27 @@
 //! ring (every worker already owns a TX context; the client is one
 //! drain loop).
 
+use std::net::SocketAddr;
+
 use crate::mpsc;
 use crate::pool::PacketBuf;
+use crate::udp;
 use crate::wire;
 
 /// Default depth of each hardware queue.
 pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+/// Attempts of [`NetContext::send_with_retry`] spent pure-spinning
+/// before the backoff ladder starts yielding.
+const RETRY_SPIN_ATTEMPTS: usize = 64;
+
+/// Attempts after which the ladder escalates from `yield_now` to a
+/// short sleep — past this point the consumer is clearly not keeping
+/// up, and burning a core polling the ring starves whatever shares it.
+const RETRY_YIELD_ATTEMPTS: usize = 1024;
+
+/// Sleep per attempt in the final backoff tier.
+const RETRY_SLEEP: std::time::Duration = std::time::Duration::from_micros(10);
 
 /// How [`ClientPort::send`] distributes requests over the RX queues —
 /// the loopback stand-in for NIC receive-side scaling.
@@ -45,7 +67,9 @@ pub enum Steering {
 /// Deterministic NIC-level fault injection for chaos tests.
 ///
 /// The default plan injects nothing; [`loopback_with_faults`] wires a plan
-/// into the client→server direction of a link.
+/// into the client→server direction of a link. The UDP client applies
+/// the same plan before the socket, so datagram loss is injected with
+/// identical semantics on both transports.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NicFaultPlan {
     /// Silently drop every `drop_every`-th request packet (1-based count:
@@ -61,10 +85,25 @@ impl NicFaultPlan {
     }
 }
 
+/// The transport behind a [`ClientPort`].
+enum ClientLink {
+    /// In-process rings: one TX ring per RX queue plus the shared
+    /// response ring.
+    Loopback {
+        txs: Vec<mpsc::Sender<PacketBuf>>,
+        rx: mpsc::Receiver<PacketBuf>,
+    },
+    /// One real socket; steering picks the destination address.
+    Udp(udp::UdpClient),
+}
+
 /// The client's end of the link.
+///
+/// Steering, fault injection, and per-queue accounting live here, above
+/// the transport, so loopback and UDP behave identically to the load
+/// generator.
 pub struct ClientPort {
-    txs: Vec<mpsc::Sender<PacketBuf>>,
-    rx: mpsc::Receiver<PacketBuf>,
+    link: ClientLink,
     steering: Steering,
     faults: NicFaultPlan,
     sent: u64,
@@ -72,20 +111,36 @@ pub struct ClientPort {
     per_queue_sent: Vec<u64>,
 }
 
-/// The server's end of the link: one or more RX queues plus the shared
-/// TX ring. [`ServerPort::split`] turns a `k`-queue port into `k`
+/// The transport behind a [`ServerPort`].
+enum ServerInner {
+    /// In-process rings: one RX ring per queue plus the shared TX ring.
+    Loopback {
+        rxs: Vec<mpsc::Receiver<PacketBuf>>,
+        tx: mpsc::Sender<PacketBuf>,
+    },
+    /// One nonblocking socket per RX queue.
+    Udp(Vec<udp::UdpServerQueue>),
+}
+
+/// The server's end of the link: one or more RX queues plus transmit
+/// access. [`ServerPort::split`] turns a `k`-queue port into `k`
 /// single-queue ports, one per dispatcher shard.
 pub struct ServerPort {
-    rxs: Vec<mpsc::Receiver<PacketBuf>>,
-    tx: mpsc::Sender<PacketBuf>,
+    inner: ServerInner,
     /// Round-robin cursor so a multi-queue `recv` serves queues fairly.
     cursor: usize,
+}
+
+/// The transport behind a [`NetContext`].
+enum CtxInner {
+    Loopback(mpsc::Sender<PacketBuf>),
+    Udp(udp::UdpContext),
 }
 
 /// A per-worker transmit context (paper: "this context gives them unique
 /// access to receive and transmit queues in the NIC").
 pub struct NetContext {
-    tx: mpsc::Sender<PacketBuf>,
+    inner: CtxInner,
 }
 
 /// Error returned when a hardware queue is full.
@@ -153,8 +208,7 @@ pub fn loopback_mq_with_faults(
     let (s2c_tx, s2c_rx) = mpsc::channel(queue_depth);
     (
         ClientPort {
-            txs,
-            rx: s2c_rx,
+            link: ClientLink::Loopback { txs, rx: s2c_rx },
             steering,
             faults,
             sent: 0,
@@ -162,8 +216,7 @@ pub fn loopback_mq_with_faults(
             per_queue_sent: vec![0; num_queues],
         },
         ServerPort {
-            rxs,
-            tx: s2c_tx,
+            inner: ServerInner::Loopback { rxs, tx: s2c_tx },
             cursor: 0,
         },
     )
@@ -178,14 +231,31 @@ fn rss_hash(id: u64) -> u64 {
 }
 
 impl ClientPort {
+    /// Wraps a UDP client in the shared steering/fault/accounting shell.
+    pub(crate) fn from_udp(
+        inner: udp::UdpClient,
+        steering: Steering,
+        faults: NicFaultPlan,
+    ) -> Self {
+        let num_queues = inner.num_queues();
+        ClientPort {
+            link: ClientLink::Udp(inner),
+            steering,
+            faults,
+            sent: 0,
+            fault_drops: 0,
+            per_queue_sent: vec![0; num_queues],
+        }
+    }
+
     /// Number of client→server RX queues.
     pub fn num_queues(&self) -> usize {
-        self.txs.len()
+        self.per_queue_sent.len()
     }
 
     /// The queue the current steering mode picks for `pkt`.
     fn steer(&self, pkt: &PacketBuf) -> usize {
-        let k = self.txs.len();
+        let k = self.per_queue_sent.len();
         if k == 1 {
             return 0;
         }
@@ -217,12 +287,16 @@ impl ClientPort {
             return Ok(());
         }
         let q = self.steer(&pkt);
-        match self.txs[q].push(pkt) {
+        let pushed = match &mut self.link {
+            ClientLink::Loopback { txs, .. } => txs[q].push(pkt).map_err(|e| QueueFull(e.0)),
+            ClientLink::Udp(cli) => cli.send(q, pkt),
+        };
+        match pushed {
             Ok(()) => {
                 self.per_queue_sent[q] += 1;
                 Ok(())
             }
-            Err(e) => Err(QueueFull(e.0)),
+            Err(e) => Err(e),
         }
     }
 
@@ -239,7 +313,19 @@ impl ClientPort {
 
     /// Receives the next response, if any.
     pub fn recv(&mut self) -> Option<PacketBuf> {
-        self.rx.pop()
+        match &mut self.link {
+            ClientLink::Loopback { rx, .. } => rx.pop(),
+            ClientLink::Udp(cli) => cli.recv(),
+        }
+    }
+
+    /// Socket-level datagram counters, when this client runs over UDP
+    /// (`None` on loopback).
+    pub fn udp_stats(&self) -> Option<udp::UdpQueueStats> {
+        match &self.link {
+            ClientLink::Loopback { .. } => None,
+            ClientLink::Udp(cli) => Some(cli.stats()),
+        }
     }
 
     /// A cloneable sender for multi-threaded load generators, bound to
@@ -248,39 +334,98 @@ impl ClientPort {
     /// Raw senders bypass the fault plan and the steering table: faults
     /// are injected only on [`ClientPort::send`], where they can be
     /// accounted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a UDP-backed client: a real socket has no sharable
+    /// ring; clone the socket-level client instead.
     pub fn sender(&self) -> mpsc::Sender<PacketBuf> {
-        self.txs[0].clone()
+        match &self.link {
+            ClientLink::Loopback { txs, .. } => txs[0].clone(),
+            ClientLink::Udp(_) => {
+                panic!("ClientPort::sender is loopback-only; UDP clients steer on send")
+            }
+        }
     }
 }
 
 impl ServerPort {
-    /// Number of RX queues this port polls.
-    pub fn num_queues(&self) -> usize {
-        self.rxs.len()
+    /// Wraps bound UDP sockets as a server port.
+    pub(crate) fn from_udp(queues: Vec<udp::UdpServerQueue>) -> Self {
+        ServerPort {
+            inner: ServerInner::Udp(queues),
+            cursor: 0,
+        }
     }
 
-    /// Splits a multi-queue port into one single-queue port per RX queue
-    /// (each shares the TX ring). This is how a sharded server hands
-    /// every dispatcher its own queue.
+    /// Number of RX queues this port polls.
+    pub fn num_queues(&self) -> usize {
+        match &self.inner {
+            ServerInner::Loopback { rxs, .. } => rxs.len(),
+            ServerInner::Udp(queues) => queues.len(),
+        }
+    }
+
+    /// The bound socket address of every RX queue, when this port runs
+    /// over UDP (`None` on loopback). Queue `i`'s shard listens on
+    /// element `i` — this is what an external client must be given.
+    pub fn local_addrs(&self) -> Option<Vec<SocketAddr>> {
+        match &self.inner {
+            ServerInner::Loopback { .. } => None,
+            ServerInner::Udp(queues) => Some(queues.iter().map(|q| q.local_addr()).collect()),
+        }
+    }
+
+    /// Socket-level datagram counters per RX queue, when this port runs
+    /// over UDP (`None` on loopback).
+    pub fn udp_stats(&self) -> Option<Vec<udp::UdpQueueStats>> {
+        match &self.inner {
+            ServerInner::Loopback { .. } => None,
+            ServerInner::Udp(queues) => Some(queues.iter().map(|q| q.stats()).collect()),
+        }
+    }
+
+    /// Splits a multi-queue port into one single-queue port per RX queue.
+    /// Loopback shards share the TX ring; UDP shards each keep their own
+    /// socket (responses leave from the socket the request arrived on).
+    /// This is how a sharded server hands every dispatcher its own queue.
     pub fn split(self) -> Vec<ServerPort> {
-        let tx = self.tx;
-        self.rxs
-            .into_iter()
-            .map(|rx| ServerPort {
-                rxs: vec![rx],
-                tx: tx.clone(),
-                cursor: 0,
-            })
-            .collect()
+        match self.inner {
+            ServerInner::Loopback { rxs, tx } => rxs
+                .into_iter()
+                .map(|rx| ServerPort {
+                    inner: ServerInner::Loopback {
+                        rxs: vec![rx],
+                        tx: tx.clone(),
+                    },
+                    cursor: 0,
+                })
+                .collect(),
+            ServerInner::Udp(queues) => queues
+                .into_iter()
+                .map(|q| ServerPort {
+                    inner: ServerInner::Udp(vec![q]),
+                    cursor: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Polls one RX queue.
+    fn poll_queue(&mut self, q: usize) -> Option<PacketBuf> {
+        match &mut self.inner {
+            ServerInner::Loopback { rxs, .. } => rxs[q].pop(),
+            ServerInner::Udp(queues) => queues[q].recv_one(),
+        }
     }
 
     /// Receives the next request, polling the RX queues round-robin
     /// (net worker only).
     pub fn recv(&mut self) -> Option<PacketBuf> {
-        let k = self.rxs.len();
+        let k = self.num_queues();
         for i in 0..k {
             let q = (self.cursor + i) % k;
-            if let Some(pkt) = self.rxs[q].pop() {
+            if let Some(pkt) = self.poll_queue(q) {
                 self.cursor = (q + 1) % k;
                 return Some(pkt);
             }
@@ -292,11 +437,12 @@ impl ServerPort {
     /// queues, and returns how many arrived. The dispatcher hot path:
     /// one call replaces `max` individual [`ServerPort::recv`]s.
     pub fn recv_batch(&mut self, out: &mut Vec<PacketBuf>, max: usize) -> usize {
-        let k = self.rxs.len();
+        let k = self.num_queues();
         let mut got = 0;
         let mut dry = 0;
         while got < max && dry < k {
-            match self.rxs[self.cursor].pop() {
+            let q = self.cursor;
+            match self.poll_queue(q) {
                 Some(pkt) => {
                     out.push(pkt);
                     got += 1;
@@ -310,9 +456,26 @@ impl ServerPort {
     }
 
     /// Creates a transmit context for an application worker.
+    ///
+    /// On UDP the context clones queue 0's socket (a split single-queue
+    /// shard port has exactly one), so responses leave from the address
+    /// the shard's requests arrive on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cloning the socket handle fails (UDP only) — a
+    /// fd-exhaustion failure at spawn time, not a hot-path condition.
     pub fn context(&self) -> NetContext {
-        NetContext {
-            tx: self.tx.clone(),
+        match &self.inner {
+            ServerInner::Loopback { tx, .. } => NetContext {
+                inner: CtxInner::Loopback(tx.clone()),
+            },
+            ServerInner::Udp(queues) => match queues[0].context() {
+                Ok(ctx) => NetContext {
+                    inner: CtxInner::Udp(ctx),
+                },
+                Err(e) => panic!("cloning the shard socket for a worker context failed: {e}"),
+            },
         }
     }
 }
@@ -320,17 +483,23 @@ impl ServerPort {
 impl NetContext {
     /// Transmits a response packet toward the client.
     pub fn send(&self, pkt: PacketBuf) -> Result<(), QueueFull> {
-        self.tx.push(pkt).map_err(|e| QueueFull(e.0))
+        match &self.inner {
+            CtxInner::Loopback(tx) => tx.push(pkt).map_err(|e| QueueFull(e.0)),
+            CtxInner::Udp(ctx) => ctx.send(pkt),
+        }
     }
 
-    /// Transmits with a bounded spin-then-yield retry, returning the
-    /// packet only after `max_attempts` pushes all found the queue full.
+    /// Transmits with a bounded backoff retry, returning the packet only
+    /// after `max_attempts` pushes all found the queue full.
     ///
     /// This is the one send-retry loop shared by the dispatcher's control
     /// responses and the workers' data responses: short bursts of
-    /// backpressure (a client briefly not draining) are absorbed, while a
-    /// dead client bounds the stall instead of wedging the server. Callers
-    /// should count an `Err` as a give-up in telemetry.
+    /// backpressure (a client briefly not draining) are absorbed by a
+    /// spin-then-yield ladder, while sustained backpressure — a slow or
+    /// dead peer, which a real socket makes routine — escalates to short
+    /// sleeps so the retry loop cannot peg a core and starve the worker
+    /// sharing it. Callers should count an `Err` as a give-up in
+    /// telemetry.
     pub fn send_with_retry(&self, pkt: PacketBuf, max_attempts: usize) -> Result<(), QueueFull> {
         let mut pkt = pkt;
         for attempt in 0..max_attempts.max(1) {
@@ -338,12 +507,15 @@ impl NetContext {
                 Ok(()) => return Ok(()),
                 Err(QueueFull(p)) => {
                     pkt = p;
-                    // Spin briefly for the common transient case, then
-                    // yield so a same-core client can drain the ring.
-                    if attempt < 64 {
+                    // Spin briefly for the common transient case, yield
+                    // so a same-core client can drain the ring, then back
+                    // off to sleeps once the queue is clearly stuck.
+                    if attempt < RETRY_SPIN_ATTEMPTS {
                         core::hint::spin_loop();
-                    } else {
+                    } else if attempt < RETRY_YIELD_ATTEMPTS {
                         std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(RETRY_SLEEP);
                     }
                 }
             }
@@ -411,6 +583,14 @@ mod tests {
     }
 
     #[test]
+    fn loopback_has_no_udp_facilities() {
+        let (client, server) = loopback(8);
+        assert!(client.udp_stats().is_none());
+        assert!(server.local_addrs().is_none());
+        assert!(server.udp_stats().is_none());
+    }
+
+    #[test]
     fn multiple_worker_contexts_share_tx() {
         let (mut client, server) = loopback(16);
         let a = server.context();
@@ -469,6 +649,32 @@ mod tests {
         let got = drainer.join().unwrap();
         assert_eq!(got[0], b"full1");
         assert_eq!(got[2], b"later");
+    }
+
+    #[test]
+    fn send_with_retry_backs_off_instead_of_busy_spinning() {
+        // Regression (wire-path hardening): a stuck queue used to burn
+        // pure spin/yield for the whole retry budget, pegging the core.
+        // The ladder's sleep tier makes a deep retry measurably idle:
+        // 3_000 attempts spend ≥ ~1_900 of them in 10µs sleeps (≥ 19ms
+        // even with perfect timers), where the pre-fix loop finished in
+        // well under a millisecond of yields.
+        let (_client, server) = loopback(2);
+        let ctx = server.context();
+        ctx.send(pkt(b"plug1")).unwrap();
+        ctx.send(pkt(b"plug2")).unwrap();
+        let start = std::time::Instant::now();
+        let err = ctx.send_with_retry(pkt(b"stuck"), 3_000).unwrap_err();
+        let elapsed = start.elapsed();
+        assert_eq!(
+            err.0.as_slice(),
+            b"stuck",
+            "give-up still returns the packet"
+        );
+        assert!(
+            elapsed >= std::time::Duration::from_millis(15),
+            "deep retries must back off, not busy-spin (took {elapsed:?})"
+        );
     }
 
     #[test]

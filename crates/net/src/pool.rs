@@ -18,6 +18,11 @@ use crate::mpsc;
 pub struct PacketBuf {
     data: Box<[u8]>,
     len: usize,
+    /// Source address of the datagram this buffer was received from, when
+    /// it arrived over a real socket (`None` on the loopback transport).
+    /// Zero-copy response reuse carries it back out, so a worker's
+    /// `NetContext::send` knows where to `send_to` without any lookup.
+    peer: Option<std::net::SocketAddr>,
 }
 
 impl PacketBuf {
@@ -26,6 +31,7 @@ impl PacketBuf {
         PacketBuf {
             data: vec![0u8; cap].into_boxed_slice(),
             len: 0,
+            peer: None,
         }
     }
 
@@ -78,9 +84,21 @@ impl PacketBuf {
         self.len = len;
     }
 
-    /// Resets to an empty buffer (contents retained, length zeroed).
+    /// Resets to an empty buffer (contents retained, length and peer
+    /// address zeroed — a recycled buffer must not leak a stale route).
     pub fn clear(&mut self) {
         self.len = 0;
+        self.peer = None;
+    }
+
+    /// The datagram's source address, when received over a real socket.
+    pub fn peer(&self) -> Option<std::net::SocketAddr> {
+        self.peer
+    }
+
+    /// Stamps the peer address a response should be sent to.
+    pub fn set_peer(&mut self, peer: Option<std::net::SocketAddr>) {
+        self.peer = peer;
     }
 }
 

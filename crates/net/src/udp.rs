@@ -1,0 +1,553 @@
+//! Real-network UDP backend for the NIC abstraction.
+//!
+//! Where [`crate::nic::loopback_mq`] stands in for the paper's DPDK
+//! deployment with in-process rings, this module binds actual
+//! `std::net::UdpSocket`s — one nonblocking socket per dispatcher shard —
+//! and adapts them to the exact same [`crate::nic::ServerPort`] /
+//! [`crate::nic::ClientPort`] / [`crate::nic::NetContext`] surface, so a
+//! server flips from loopback to a real port with zero dispatcher
+//! changes.
+//!
+//! ## Socket-per-shard model
+//!
+//! `std` exposes no `SO_REUSEPORT` (and this workspace is offline: no
+//! `libc`/`socket2`), so kernel-side RSS fan-out over one port is not
+//! available. Instead every RX queue is its own socket on its own port:
+//! [`server`] binds `num_queues` sockets on consecutive ports (or all
+//! ephemeral when asked for port 0), and the *client* performs the
+//! steering — the same [`crate::nic::Steering`] policy that picks a
+//! loopback ring now picks a destination port. Responses leave from the
+//! owning shard's socket, so the reply's source address matches the
+//! address the request was sent to.
+//!
+//! ## Buffer management
+//!
+//! RX buffers are pooled per queue: a recycle ring brings buffers back
+//! from worker [`crate::nic::NetContext`]s after `send_to`, and a local
+//! stash refills it without cross-thread traffic. When both run dry the
+//! queue allocates a fresh buffer — total outstanding memory stays
+//! bounded by the engine's typed-queue capacities, and a buffer dropped
+//! on an error path is simply freed, never leaked. Unlike the loopback
+//! transport, buffers never travel between client and server: the wire
+//! carries bytes, both ends recycle locally.
+//!
+//! ## What loopback guarantees that UDP does not
+//!
+//! The in-process rings are lossless, ordered per queue, and conserve
+//! buffers end to end. A real socket can drop datagrams in either
+//! direction (kernel buffer overrun), reorder them, and silently
+//! truncate a datagram longer than the receive buffer — which is exactly
+//! why the wire path validates lengths instead of trusting them
+//! (`wire::decode` returns `WireError::Truncated`, the dispatcher counts
+//! `rx_malformed`). Client-side accounting absorbs loss as
+//! `timed_out`, the same write-off as a loopback fault-plan drop.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::mpsc;
+use crate::nic::{ClientPort, NicFaultPlan, QueueFull, ServerPort, Steering};
+use crate::pool::PacketBuf;
+
+/// Sizing knobs for a UDP endpoint (one per server queue, one per
+/// client).
+#[derive(Clone, Copy, Debug)]
+pub struct UdpConfig {
+    /// Capacity of each receive buffer, bytes. Datagrams longer than
+    /// this are silently truncated by the kernel and then rejected by
+    /// the wire decoder.
+    pub buf_size: usize,
+    /// Buffers kept cached per endpoint (recycle ring + stash). More
+    /// are allocated on demand; this only bounds the cache.
+    pub pool_buffers: usize,
+}
+
+impl Default for UdpConfig {
+    fn default() -> Self {
+        UdpConfig {
+            buf_size: 2048,
+            pool_buffers: 1024,
+        }
+    }
+}
+
+/// Shared per-socket counters — the UDP analogue of the loopback's
+/// per-queue accounting, cheap enough to bump on every datagram (the
+/// syscall dominates by orders of magnitude).
+///
+/// All counters are independent monotone event counts: no cross-thread
+/// control flow reads them, so relaxed ordering is sufficient (same
+/// argument as `persephone-telemetry`'s counter slots).
+#[derive(Debug, Default)]
+pub struct UdpCounters {
+    rx_datagrams: AtomicU64,
+    tx_datagrams: AtomicU64,
+    tx_would_block: AtomicU64,
+    tx_errors: AtomicU64,
+    rx_allocs: AtomicU64,
+}
+
+/// A plain snapshot of one socket's [`UdpCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UdpQueueStats {
+    /// Datagrams received on this socket.
+    pub rx_datagrams: u64,
+    /// Datagrams transmitted from this socket.
+    pub tx_datagrams: u64,
+    /// Sends that found the kernel TX buffer full (`WouldBlock`) — each
+    /// surfaces to the caller as a retryable `QueueFull`.
+    pub tx_would_block: u64,
+    /// Sends that failed with a non-retryable error; UDP semantics treat
+    /// the datagram as sent-and-lost.
+    pub tx_errors: u64,
+    /// Receive buffers allocated because the recycle path ran dry.
+    pub rx_allocs: u64,
+}
+
+impl UdpCounters {
+    fn snapshot(&self) -> UdpQueueStats {
+        UdpQueueStats {
+            rx_datagrams: self.rx_datagrams.load(Ordering::Relaxed),
+            tx_datagrams: self.tx_datagrams.load(Ordering::Relaxed),
+            tx_would_block: self.tx_would_block.load(Ordering::Relaxed),
+            tx_errors: self.tx_errors.load(Ordering::Relaxed),
+            rx_allocs: self.rx_allocs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One server RX queue: a nonblocking socket plus its buffer recycling.
+pub(crate) struct UdpServerQueue {
+    sock: UdpSocket,
+    local: SocketAddr,
+    /// Buffers returned by worker contexts after transmission.
+    recycle_rx: mpsc::Receiver<PacketBuf>,
+    recycle_tx: mpsc::Sender<PacketBuf>,
+    /// Thread-local refill cache in front of the recycle ring.
+    stash: Vec<PacketBuf>,
+    stash_max: usize,
+    buf_size: usize,
+    counters: Arc<UdpCounters>,
+}
+
+impl UdpServerQueue {
+    fn bind(addr: SocketAddr, cfg: UdpConfig) -> io::Result<UdpServerQueue> {
+        let sock = UdpSocket::bind(addr)?;
+        sock.set_nonblocking(true)?;
+        let local = sock.local_addr()?;
+        let ring_cap = cfg.pool_buffers.next_power_of_two() * 2;
+        let (recycle_tx, recycle_rx) = mpsc::channel(ring_cap);
+        let stash = (0..cfg.pool_buffers)
+            .map(|_| PacketBuf::with_capacity(cfg.buf_size))
+            .collect();
+        Ok(UdpServerQueue {
+            sock,
+            local,
+            recycle_rx,
+            recycle_tx,
+            stash,
+            stash_max: cfg.pool_buffers,
+            buf_size: cfg.buf_size,
+            counters: Arc::new(UdpCounters::default()),
+        })
+    }
+
+    /// The socket's bound address.
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    pub(crate) fn stats(&self) -> UdpQueueStats {
+        self.counters.snapshot()
+    }
+
+    fn take_buffer(&mut self) -> PacketBuf {
+        if let Some(b) = self.stash.pop() {
+            return b;
+        }
+        if let Some(mut b) = self.recycle_rx.pop() {
+            b.clear();
+            return b;
+        }
+        self.counters.rx_allocs.fetch_add(1, Ordering::Relaxed);
+        PacketBuf::with_capacity(self.buf_size)
+    }
+
+    fn put_buffer(&mut self, buf: PacketBuf) {
+        if self.stash.len() < self.stash_max {
+            self.stash.push(buf);
+        }
+        // Over the cap the buffer is simply freed; the cache is a
+        // fast path, not a conservation invariant.
+    }
+
+    /// Receives one datagram, or `None` when the socket is dry.
+    pub(crate) fn recv_one(&mut self) -> Option<PacketBuf> {
+        let mut buf = self.take_buffer();
+        match self.sock.recv_from(buf.raw_mut()) {
+            Ok((n, peer)) => {
+                buf.set_len(n);
+                buf.set_peer(Some(peer));
+                self.counters.rx_datagrams.fetch_add(1, Ordering::Relaxed);
+                Some(buf)
+            }
+            Err(_) => {
+                // WouldBlock (dry) and transient errors (e.g. a
+                // connection-refused bounce surfaced by the kernel) are
+                // both "nothing received"; keep the buffer.
+                self.put_buffer(buf);
+                None
+            }
+        }
+    }
+
+    /// A transmit context bound to this queue's socket.
+    pub(crate) fn context(&self) -> io::Result<UdpContext> {
+        Ok(UdpContext {
+            sock: self.sock.try_clone()?,
+            recycle: self.recycle_tx.clone(),
+            counters: self.counters.clone(),
+        })
+    }
+}
+
+/// The UDP flavour of a worker's transmit context: `send_to` on the
+/// owning shard's socket, then recycle the buffer back to that shard's
+/// RX queue.
+pub(crate) struct UdpContext {
+    sock: UdpSocket,
+    recycle: mpsc::Sender<PacketBuf>,
+    counters: Arc<UdpCounters>,
+}
+
+impl UdpContext {
+    fn recycle(&self, buf: PacketBuf) {
+        // A full recycle ring means the queue already has more cached
+        // buffers than it will ever hand out; freeing is correct.
+        let _ = self.recycle.push(buf);
+    }
+
+    /// Transmits `pkt` to its stamped peer. `WouldBlock` surfaces as a
+    /// retryable [`QueueFull`]; any other send error is counted and the
+    /// datagram treated as sent-and-lost (UDP semantics), so a dead
+    /// route can never wedge the worker in its retry loop.
+    pub(crate) fn send(&self, pkt: PacketBuf) -> Result<(), QueueFull> {
+        let Some(peer) = pkt.peer() else {
+            // Only packets that arrived through `recv_from` reach a
+            // response path; a peerless packet has nowhere to go.
+            self.counters.tx_errors.fetch_add(1, Ordering::Relaxed);
+            self.recycle(pkt);
+            return Ok(());
+        };
+        match self.sock.send_to(pkt.as_slice(), peer) {
+            Ok(_) => {
+                self.counters.tx_datagrams.fetch_add(1, Ordering::Relaxed);
+                self.recycle(pkt);
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.counters.tx_would_block.fetch_add(1, Ordering::Relaxed);
+                Err(QueueFull(pkt))
+            }
+            Err(_) => {
+                self.counters.tx_errors.fetch_add(1, Ordering::Relaxed);
+                self.recycle(pkt);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The UDP flavour of the client side: one socket, steering done by
+/// destination address. Owned by [`ClientPort`], which layers the
+/// shared fault-injection and per-queue accounting on top.
+pub(crate) struct UdpClient {
+    sock: UdpSocket,
+    addrs: Vec<SocketAddr>,
+    /// Buffers parked after `send_to`, reused as receive buffers.
+    stash: Vec<PacketBuf>,
+    stash_max: usize,
+    buf_size: usize,
+    counters: Arc<UdpCounters>,
+}
+
+impl UdpClient {
+    pub(crate) fn num_queues(&self) -> usize {
+        self.addrs.len()
+    }
+
+    pub(crate) fn stats(&self) -> UdpQueueStats {
+        self.counters.snapshot()
+    }
+
+    /// Sends `pkt` to server queue `q`. The buffer is parked locally on
+    /// success — unlike loopback, it never travels to the server.
+    pub(crate) fn send(&mut self, q: usize, pkt: PacketBuf) -> Result<(), QueueFull> {
+        match self.sock.send_to(pkt.as_slice(), self.addrs[q]) {
+            Ok(_) => {
+                self.counters.tx_datagrams.fetch_add(1, Ordering::Relaxed);
+                if self.stash.len() < self.stash_max {
+                    self.stash.push(pkt);
+                }
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.counters.tx_would_block.fetch_add(1, Ordering::Relaxed);
+                Err(QueueFull(pkt))
+            }
+            Err(_) => {
+                // Sent-and-lost: the open-loop client writes the request
+                // off as timed out, exactly like a dropped datagram.
+                self.counters.tx_errors.fetch_add(1, Ordering::Relaxed);
+                if self.stash.len() < self.stash_max {
+                    self.stash.push(pkt);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Receives one response datagram, if any is readable.
+    pub(crate) fn recv(&mut self) -> Option<PacketBuf> {
+        let mut buf = match self.stash.pop() {
+            Some(b) => {
+                let mut b = b;
+                b.clear();
+                b
+            }
+            None => {
+                self.counters.rx_allocs.fetch_add(1, Ordering::Relaxed);
+                PacketBuf::with_capacity(self.buf_size)
+            }
+        };
+        match self.sock.recv_from(buf.raw_mut()) {
+            Ok((n, peer)) => {
+                buf.set_len(n);
+                buf.set_peer(Some(peer));
+                self.counters.rx_datagrams.fetch_add(1, Ordering::Relaxed);
+                Some(buf)
+            }
+            Err(_) => {
+                if self.stash.len() < self.stash_max {
+                    self.stash.push(buf);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Binds one nonblocking UDP socket per RX queue and returns a
+/// [`ServerPort`] indistinguishable, to the dispatcher, from a loopback
+/// one.
+///
+/// With `addr.port() == 0` every queue binds an ephemeral port (query
+/// them via [`ServerPort::local_addrs`]); otherwise queue `i` binds
+/// `addr.port() + i` — the explicit per-shard-port layout clients must
+/// mirror in [`client`].
+///
+/// # Errors
+///
+/// Any bind or socket-option failure is returned as-is.
+pub fn server(addr: SocketAddr, num_queues: usize, cfg: UdpConfig) -> io::Result<ServerPort> {
+    assert!(num_queues > 0, "a NIC needs at least one RX queue");
+    let mut queues = Vec::with_capacity(num_queues);
+    for i in 0..num_queues {
+        let mut qaddr = addr;
+        if addr.port() != 0 {
+            qaddr.set_port(addr.port() + i as u16);
+        }
+        queues.push(UdpServerQueue::bind(qaddr, cfg)?);
+    }
+    Ok(ServerPort::from_udp(queues))
+}
+
+/// Connects a client to the per-queue server addresses, steering and
+/// fault injection included — the real-socket twin of
+/// [`crate::nic::loopback_mq_with_faults`]'s client half.
+///
+/// # Errors
+///
+/// Any bind or socket-option failure is returned as-is.
+///
+/// # Panics
+///
+/// Panics if `server_addrs` is empty.
+pub fn client(
+    server_addrs: &[SocketAddr],
+    steering: Steering,
+    faults: NicFaultPlan,
+    cfg: UdpConfig,
+) -> io::Result<ClientPort> {
+    assert!(
+        !server_addrs.is_empty(),
+        "a client needs at least one server address"
+    );
+    let bind: SocketAddr = if server_addrs[0].is_ipv4() {
+        SocketAddr::from(([0, 0, 0, 0], 0))
+    } else {
+        SocketAddr::from((std::net::Ipv6Addr::UNSPECIFIED, 0))
+    };
+    let sock = UdpSocket::bind(bind)?;
+    sock.set_nonblocking(true)?;
+    let inner = UdpClient {
+        sock,
+        addrs: server_addrs.to_vec(),
+        stash: Vec::new(),
+        stash_max: cfg.pool_buffers,
+        buf_size: cfg.buf_size,
+        counters: Arc::new(UdpCounters::default()),
+    };
+    Ok(ClientPort::from_udp(inner, steering, faults))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+
+    fn request(ty: u32, id: u64, payload: &[u8]) -> PacketBuf {
+        let mut p = PacketBuf::with_capacity(256);
+        let len = wire::encode_request(p.raw_mut(), ty, id, payload).unwrap();
+        p.set_len(len);
+        p
+    }
+
+    fn local_server(queues: usize) -> (ServerPort, Vec<SocketAddr>) {
+        let port =
+            server("127.0.0.1:0".parse().unwrap(), queues, UdpConfig::default()).expect("bind");
+        let addrs = port.local_addrs().expect("udp port has addrs");
+        (port, addrs)
+    }
+
+    /// Polls `f` until it yields, failing after ~2s — real sockets are
+    /// asynchronous even on loopback.
+    fn poll_until<T>(mut f: impl FnMut() -> Option<T>) -> T {
+        for _ in 0..20_000 {
+            if let Some(v) = f() {
+                return v;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        panic!("polled out");
+    }
+
+    #[test]
+    fn udp_request_and_response_flow() {
+        let (mut srv, addrs) = local_server(1);
+        let mut cli = client(
+            &addrs,
+            Steering::Rss,
+            NicFaultPlan::default(),
+            UdpConfig::default(),
+        )
+        .unwrap();
+        cli.send(request(1, 42, b"ping")).unwrap();
+        let got = poll_until(|| srv.recv());
+        let (hdr, payload) = wire::decode(got.as_slice()).unwrap();
+        assert_eq!((hdr.ty, hdr.id, payload), (1, 42, &b"ping"[..]));
+        assert!(got.peer().is_some(), "ingress datagram carries its peer");
+
+        // Zero-copy response reuse: rewrite in place, send via context.
+        let ctx = srv.context();
+        let mut resp = got;
+        wire::request_to_response_in_place(resp.raw_mut(), wire::Status::Ok).unwrap();
+        ctx.send(resp).unwrap();
+        let back = poll_until(|| cli.recv());
+        let (hdr, _) = wire::decode(back.as_slice()).unwrap();
+        assert_eq!(hdr.kind, wire::Kind::Response);
+        assert_eq!(hdr.id, 42);
+    }
+
+    #[test]
+    fn udp_steering_spreads_and_split_isolates() {
+        let (srv, addrs) = local_server(2);
+        assert_eq!(addrs.len(), 2);
+        assert_ne!(addrs[0].port(), addrs[1].port());
+        let mut cli = client(
+            &addrs,
+            Steering::ByType(vec![0, 1]),
+            NicFaultPlan::default(),
+            UdpConfig::default(),
+        )
+        .unwrap();
+        for id in 0..4u64 {
+            cli.send(request(0, id, b"")).unwrap();
+            cli.send(request(1, id, b"")).unwrap();
+        }
+        assert_eq!(cli.per_queue_sent(), &[4, 4]);
+        let mut shards = srv.split();
+        for (q, shard) in shards.iter_mut().enumerate() {
+            for _ in 0..4 {
+                let pkt = poll_until(|| shard.recv());
+                let (hdr, _) = wire::decode(pkt.as_slice()).unwrap();
+                assert_eq!(hdr.ty as usize, q, "type pinned to its queue");
+            }
+        }
+    }
+
+    #[test]
+    fn udp_fault_plan_drops_before_the_wire() {
+        let (mut srv, addrs) = local_server(1);
+        let mut cli = client(
+            &addrs,
+            Steering::Rss,
+            NicFaultPlan::drop_every(3),
+            UdpConfig::default(),
+        )
+        .unwrap();
+        for id in 0..9u64 {
+            cli.send(request(0, id, b"")).unwrap();
+        }
+        assert_eq!(cli.fault_drops(), 3);
+        let mut arrived = 0;
+        for _ in 0..6 {
+            let _ = poll_until(|| srv.recv());
+            arrived += 1;
+        }
+        assert_eq!(arrived, 6);
+        // Nothing else in flight.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(srv.recv().is_none());
+    }
+
+    #[test]
+    fn consecutive_port_layout_for_explicit_base() {
+        // Find a pair of free consecutive ports by binding ephemerally
+        // first, then re-binding the explicit layout.
+        let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let base = probe.local_addr().unwrap().port();
+        drop(probe);
+        let Ok(port) = server(
+            format!("127.0.0.1:{base}").parse().unwrap(),
+            2,
+            UdpConfig::default(),
+        ) else {
+            // The neighbouring port was taken; nothing to assert.
+            return;
+        };
+        let addrs = port.local_addrs().unwrap();
+        assert_eq!(addrs[0].port(), base);
+        assert_eq!(addrs[1].port(), base + 1);
+    }
+
+    #[test]
+    fn stats_count_datagrams() {
+        let (mut srv, addrs) = local_server(1);
+        let mut cli = client(
+            &addrs,
+            Steering::Rss,
+            NicFaultPlan::default(),
+            UdpConfig::default(),
+        )
+        .unwrap();
+        cli.send(request(0, 7, b"x")).unwrap();
+        let _ = poll_until(|| srv.recv());
+        let srv_stats = srv.udp_stats().expect("udp port has stats");
+        assert_eq!(srv_stats[0].rx_datagrams, 1);
+        let cli_stats = cli.udp_stats().expect("udp client has stats");
+        assert_eq!(cli_stats.tx_datagrams, 1);
+    }
+}

@@ -291,6 +291,20 @@ mod tests {
     }
 
     #[test]
+    fn truncation_boundary_is_exact() {
+        // Real sockets can deliver any length, including one byte short
+        // of a header; both entry points must reject every short length
+        // without panicking.
+        let mut buf = [0u8; HEADER_LEN];
+        encode_request(&mut buf, 1, 1, b"").unwrap();
+        assert!(decode(&buf).is_ok());
+        for n in 0..HEADER_LEN {
+            assert_eq!(decode(&buf[..n]), Err(WireError::Truncated), "len {n}");
+            assert_eq!(peek_route(&buf[..n]), None, "len {n}");
+        }
+    }
+
+    #[test]
     fn encode_checks_destination_size() {
         let mut tiny = [0u8; 8];
         assert_eq!(

@@ -60,7 +60,10 @@ pub type Pending = (PacketBuf, u64);
 const RX_BATCH: usize = 64;
 
 /// Retry budget for each control response (best-effort UDP semantics).
-const CONTROL_TX_ATTEMPTS: usize = 10_000;
+/// Sized against the send-retry backoff ladder: exhausting it against a
+/// vanished client costs tens of milliseconds of mostly-sleeping time
+/// per packet, so even a shutdown shed burst stays bounded.
+const CONTROL_TX_ATTEMPTS: usize = 2_048;
 
 /// Counters and final engine state returned when the dispatcher exits.
 #[derive(Clone, Debug, Default)]
@@ -219,6 +222,9 @@ pub fn run_dispatcher<E: ScheduleEngine<Pending>>(
                     }
                     _ => {
                         report.malformed += 1;
+                        if let Some(t) = engine.telemetry() {
+                            t.record_rx_malformed();
+                        }
                         respond_control(
                             &dispatcher_ctx,
                             pkt,

@@ -7,7 +7,9 @@
 //!
 //! In-flight bookkeeping is a bounded slab with one slot per pool buffer
 //! (the pool already caps true in-flight count), keyed through the wire
-//! id as `generation << 32 | slot`. Requests whose response never arrives
+//! id as `generation << SLOT_BITS | slot` (40 generation bits — wide
+//! enough that ids never repeat within a run, even across a u32 wrap).
+//! Requests whose response never arrives
 //! — a lossy wire, a server that shed silently — are written off when
 //! the grace window closes ([`LoadReport::timed_out`]), so memory stays
 //! constant and the totals balance no matter how broken the server.
@@ -116,18 +118,31 @@ impl LoadReport {
     }
 }
 
+/// Bits of the wire id that address a slab slot; the rest carry the
+/// slot's generation. 24 bits cover any plausible pool (16M buffers)
+/// while leaving 40 generation bits — at one reuse per microsecond a
+/// slot's generation first repeats after ~12 days, so a stale response
+/// can never alias a live request within a run.
+const SLOT_BITS: u32 = 24;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+const GEN_MASK: u64 = (1 << (64 - SLOT_BITS)) - 1;
+
 /// The in-flight slab: fixed slots, a free list, and per-slot generations
 /// so a response to an already-reclaimed (timed-out) slot is recognised
 /// as stale instead of crediting a newer request.
 struct Inflight {
     slots: Vec<Option<(Instant, usize)>>,
-    gens: Vec<u32>,
+    gens: Vec<u64>,
     free: Vec<usize>,
     live: usize,
 }
 
 impl Inflight {
     fn new(capacity: usize) -> Self {
+        assert!(
+            capacity as u64 <= SLOT_MASK + 1,
+            "inflight slab capped at 2^{SLOT_BITS} slots"
+        );
         Inflight {
             slots: vec![None; capacity],
             gens: vec![0; capacity],
@@ -141,19 +156,19 @@ impl Inflight {
         let slot = self.free.pop()?;
         self.slots[slot] = Some((sent_at, ty));
         self.live += 1;
-        Some(((self.gens[slot] as u64) << 32) | slot as u64)
+        Some((self.gens[slot] << SLOT_BITS) | slot as u64)
     }
 
     /// Reclaims the slot a response's wire id names, if it is still the
     /// same generation (i.e. not a stale duplicate of a reused slot).
     fn reclaim(&mut self, id: u64) -> Option<(Instant, usize)> {
-        let slot = (id & 0xFFFF_FFFF) as usize;
-        let gen = (id >> 32) as u32;
+        let slot = (id & SLOT_MASK) as usize;
+        let gen = id >> SLOT_BITS;
         if slot >= self.slots.len() || self.gens[slot] != gen {
             return None;
         }
         let entry = self.slots[slot].take()?;
-        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.gens[slot] = (self.gens[slot] + 1) & GEN_MASK;
         self.free.push(slot);
         self.live -= 1;
         Some(entry)
@@ -485,5 +500,46 @@ mod tests {
         assert!(slab.reclaim(c).is_none(), "double reclaim rejected");
         assert_eq!(slab.reclaim(b).map(|(_, ty)| ty), Some(1));
         assert_eq!(slab.live, 0, "everything reclaimed");
+    }
+
+    #[test]
+    fn generation_tag_survives_u32_wraparound() {
+        let mut slab = Inflight::new(1);
+        let t = Instant::now();
+        let first = slab.claim(t, 0).unwrap();
+        slab.reclaim(first).unwrap();
+        // Fast-forward this slot to the 32-bit generation boundary.
+        slab.gens[0] = u64::from(u32::MAX);
+        let at_edge = slab.claim(t, 1).unwrap();
+        assert_eq!(at_edge >> SLOT_BITS, u64::from(u32::MAX));
+        slab.reclaim(at_edge).unwrap();
+        let past_edge = slab.claim(t, 2).unwrap();
+        // When the generation was stored as a u32 it wrapped to 0 here,
+        // making this id identical to `first`: a stale response for the
+        // long-dead original request would be credited to this new one.
+        assert_ne!(
+            past_edge, first,
+            "wire id must not repeat across the u32 boundary"
+        );
+        assert_eq!(past_edge >> SLOT_BITS, u64::from(u32::MAX) + 1);
+        assert!(slab.reclaim(first).is_none(), "stale pre-wrap id rejected");
+        assert_eq!(slab.reclaim(past_edge).map(|(_, ty)| ty), Some(2));
+    }
+
+    #[test]
+    fn generation_wrap_at_full_width_is_masked() {
+        // At the (astronomically distant) top of the 40-bit generation
+        // space the counter must wrap cleanly instead of leaking into the
+        // slot bits.
+        let mut slab = Inflight::new(2);
+        slab.gens[0] = GEN_MASK;
+        let id = slab.claim(Instant::now(), 0).unwrap();
+        assert_eq!(id & SLOT_MASK, 0, "free list hands out slot 0 first");
+        assert_eq!(id >> SLOT_BITS, GEN_MASK);
+        slab.reclaim(id).unwrap();
+        assert_eq!(slab.gens[0], 0, "generation wraps within its field");
+        let reused = slab.claim(Instant::now(), 0).unwrap();
+        assert_eq!(reused & SLOT_MASK, 0);
+        assert_eq!(reused >> SLOT_BITS, 0);
     }
 }

@@ -27,8 +27,9 @@ use persephone_core::policy::Policy;
 use persephone_core::reserve::Reservation;
 use persephone_core::time::Nanos;
 use persephone_core::types::TypeId;
-use persephone_net::nic::ServerPort;
+use persephone_net::nic::{self, ClientPort, ServerPort, Steering};
 use persephone_net::spsc;
+use persephone_net::udp::{self, UdpConfig};
 use persephone_telemetry::{Telemetry, TelemetryConfig};
 
 use crate::clock::RuntimeClock;
@@ -84,6 +85,39 @@ impl ServerConfig {
     }
 }
 
+/// Which wire [`ServerBuilder::start`] puts the server on.
+///
+/// The transport only decides how packets reach the dispatcher shards;
+/// scheduling, workers, and telemetry are identical on both. With
+/// [`Transport::Udp`] the port in the given address is the *base* port:
+/// shard `i` binds `base + i` (port 0 binds every shard ephemerally —
+/// read the actual sockets back from [`BoundTransport::Udp`]).
+#[derive(Clone, Copy, Debug)]
+pub enum Transport {
+    /// In-process loopback rings ([`nic::loopback_mq`] with RSS steering
+    /// and paper-default ring depth). For custom steering or fault
+    /// injection build the port yourself and use [`ServerBuilder::spawn`].
+    Loopback,
+    /// One nonblocking UDP socket per dispatcher shard, rooted at this
+    /// address (see [`udp::server`]).
+    Udp(std::net::SocketAddr),
+}
+
+/// What [`ServerBuilder::start`] bound: the client half of the chosen
+/// [`Transport`].
+pub enum BoundTransport {
+    /// The loopback [`ClientPort`] wired to the server's RX queues.
+    Loopback(ClientPort),
+    /// The per-shard socket addresses a remote client (e.g.
+    /// `loadgen --connect`) should send to, in shard order.
+    Udp(Vec<std::net::SocketAddr>),
+}
+
+/// NIC-ring depth [`ServerBuilder::start`] uses for
+/// [`Transport::Loopback`] (distinct from the dispatcher↔worker
+/// [`ServerBuilder::ring_depth`], which stays a builder knob).
+const LOOPBACK_NIC_DEPTH: usize = 256;
+
 /// Where shard classifiers come from.
 enum ClassifierSource {
     /// One classifier instance; only valid for a single-shard server.
@@ -130,6 +164,7 @@ pub struct ServerBuilder {
     shards: usize,
     classifier: Option<ClassifierSource>,
     handler_factory: Option<HandlerFactory>,
+    transport: Transport,
 }
 
 impl ServerBuilder {
@@ -148,6 +183,7 @@ impl ServerBuilder {
             shards: 1,
             classifier: None,
             handler_factory: None,
+            transport: Transport::Loopback,
         }
     }
 
@@ -165,7 +201,16 @@ impl ServerBuilder {
             shards: 1,
             classifier: None,
             handler_factory: None,
+            transport: Transport::Loopback,
         }
+    }
+
+    /// Selects the wire [`ServerBuilder::start`] binds (default
+    /// [`Transport::Loopback`]). Ignored by [`ServerBuilder::spawn`],
+    /// which takes an explicit port.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Selects the scheduling policy all dispatcher shards run (default
@@ -331,6 +376,39 @@ impl ServerBuilder {
                  the threaded runtime runs requests to completion (see the \
                  policy matrix in DESIGN.md)"
             ),
+        }
+    }
+
+    /// Binds the configured [`Transport`] and spawns the server on it,
+    /// returning the handle plus the client half of the wire: a loopback
+    /// [`ClientPort`], or the per-shard socket addresses a remote load
+    /// generator should target.
+    ///
+    /// This is [`ServerBuilder::spawn`] with the port built for you —
+    /// switching an in-process experiment to real sockets is one
+    /// [`ServerBuilder::transport`] call, zero dispatcher changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if a UDP shard socket cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// As [`ServerBuilder::spawn`].
+    pub fn start(self) -> std::io::Result<(ServerHandle, BoundTransport)> {
+        match self.transport {
+            Transport::Loopback => {
+                let (client, server) =
+                    nic::loopback_mq(LOOPBACK_NIC_DEPTH, self.shards, Steering::Rss);
+                Ok((self.spawn(server), BoundTransport::Loopback(client)))
+            }
+            Transport::Udp(addr) => {
+                let port = udp::server(addr, self.shards, UdpConfig::default())?;
+                let addrs = port
+                    .local_addrs()
+                    .expect("a UDP server port always knows its socket addresses");
+                Ok((self.spawn(port), BoundTransport::Udp(addrs)))
+            }
         }
     }
 

@@ -19,6 +19,13 @@ use crate::fault::StallFault;
 use crate::handler::RequestHandler;
 use crate::messages::{Completion, WorkMsg};
 
+/// Retry budget for a worker's response transmission. With the
+/// spin/yield/sleep backoff ladder in
+/// [`persephone_net::nic::NetContext::send_with_retry`], exhausting the
+/// budget against a dead client takes tens of milliseconds of mostly
+/// idle time — bounded, and off the core the moment the spin tier ends.
+const TX_RETRY_ATTEMPTS: usize = 2_048;
+
 /// Final report returned when a worker terminates.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WorkerReport {
@@ -28,6 +35,9 @@ pub struct WorkerReport {
     pub busy: Nanos,
     /// Responses abandoned after the bounded TX retry gave up.
     pub tx_give_ups: u64,
+    /// Requests whose buffer could not hold a wire header — dropped
+    /// without running the handler (see the guard in the loop).
+    pub rx_malformed: u64,
     /// Injected stalls that fired (chaos runs only).
     pub stalls_injected: u64,
 }
@@ -74,6 +84,28 @@ pub fn run_worker(
                         std::thread::sleep(f.stall);
                     }
                 }
+                // A buffer too short for a wire header cannot carry a
+                // payload or be rewritten into a response. The dispatcher
+                // validates ingress, but a real-socket path can hand over
+                // kernel-truncated datagrams — slicing `raw[HEADER_LEN..]`
+                // below would then panic the worker. Drop it, count it,
+                // and still signal completion so the engine frees the
+                // core.
+                if buf.len() < wire::HEADER_LEN || buf.capacity() < wire::HEADER_LEN {
+                    report.rx_malformed += 1;
+                    if let Some((_, tel)) = &telemetry {
+                        tel.record_rx_malformed();
+                    }
+                    drop(buf);
+                    let mut c = Completion {
+                        service: Nanos::ZERO,
+                    };
+                    while let Err(back) = completion_tx.push(c) {
+                        c = back.0;
+                        std::thread::yield_now();
+                    }
+                    continue;
+                }
                 let started = Instant::now();
                 // The handler sees only the payload region; the header is
                 // rewritten in place below (zero-copy response, §4.3.1).
@@ -103,7 +135,7 @@ pub fn run_worker(
                     // vanished (queue stays full), drop the response after
                     // a bounded number of attempts instead of wedging the
                     // pipeline — and account the give-up.
-                    if nic.send_with_retry(buf, 100_000).is_err() {
+                    if nic.send_with_retry(buf, TX_RETRY_ATTEMPTS).is_err() {
                         report.tx_give_ups += 1;
                         if let Some((idx, tel)) = &telemetry {
                             tel.record_tx_give_up(*idx);
@@ -183,6 +215,63 @@ mod tests {
         let snap = tel.snapshot();
         assert_eq!(snap.workers[0].busy_ns, 0);
         assert!(snap.workers[1].busy_ns > 0);
+    }
+
+    #[test]
+    fn truncated_request_is_counted_not_a_panic() {
+        // Regression (wire-path hardening): a buffer shorter than the
+        // wire header used to panic the worker thread at the payload
+        // slice (`raw[HEADER_LEN..]` past capacity). It must instead be
+        // dropped, counted as malformed, and still free the core.
+        let (mut work_tx, work_rx) = spsc::channel::<WorkMsg>(8);
+        let (completion_tx, mut completion_rx) = spsc::channel::<Completion>(8);
+        let (_client, server) = nic::loopback(8);
+        let handler = Box::new(SpinHandler::new(
+            SpinCalibration::fixed(0.001),
+            &[Nanos::from_micros(1)],
+        ));
+        let ctx = server.context();
+        let tel = Arc::new(Telemetry::new(persephone_telemetry::TelemetryConfig::new(
+            1, 1,
+        )));
+        let tel_worker = Some((0, tel.clone()));
+        // Capacity 8 < HEADER_LEN: the pre-fix slice panics outright.
+        let runt = PacketBuf::with_capacity(8);
+        // A full-capacity buffer with a short valid prefix is the
+        // kernel-truncated-datagram shape: capacity fits a header, the
+        // received bytes do not.
+        let mut short = PacketBuf::with_capacity(256);
+        short.fill(b"tiny");
+        work_tx
+            .push(WorkMsg::Request {
+                buf: runt,
+                ty: TypeId::new(0),
+                id: 1,
+            })
+            .unwrap();
+        work_tx
+            .push(WorkMsg::Request {
+                buf: short,
+                ty: TypeId::new(0),
+                id: 2,
+            })
+            .unwrap();
+        work_tx.push(WorkMsg::Shutdown).unwrap();
+        let report = std::thread::spawn(move || {
+            run_worker(work_rx, completion_tx, ctx, handler, tel_worker, None)
+        })
+        .join()
+        .expect("malformed buffers must not panic the worker");
+        assert_eq!(report.rx_malformed, 2);
+        assert_eq!(report.handled, 0, "the handler never ran");
+        // Both requests still signalled completion (the engine frees the
+        // worker either way).
+        let mut completions = 0;
+        while completion_rx.pop().is_some() {
+            completions += 1;
+        }
+        assert_eq!(completions, 2);
+        assert_eq!(tel.snapshot().rx_malformed, 2);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::time::Duration;
 use persephone_core::classifier::HeaderClassifier;
 use persephone_net::nic::{loopback_mq_with_faults, NicFaultPlan, Steering};
 use persephone_net::pool::BufferPool;
+use persephone_net::udp::{self, UdpConfig};
 use persephone_net::wire;
 use persephone_runtime::fault::FaultPlan;
 use persephone_runtime::handler::PayloadSpinHandler;
@@ -69,8 +70,6 @@ pub fn run(spec: &ScenarioSpec, trace: &[Arrival]) -> Vec<RunResult> {
         } else {
             NicFaultPlan::default()
         };
-        let (mut client, server) =
-            loopback_mq_with_faults(spec.threaded.ring_depth, spec.shards, steering, nic_faults);
         let mut fault_plan = FaultPlan::none();
         for stall in &spec.faults.stalls {
             fault_plan = fault_plan.stall_worker(
@@ -79,7 +78,7 @@ pub fn run(spec: &ScenarioSpec, trace: &[Arrival]) -> Vec<RunResult> {
                 Duration::from_secs_f64(stall.stall_ms / 1_000.0),
             );
         }
-        let handle = ServerBuilder::new(spec.workers, num_types)
+        let builder = ServerBuilder::new(spec.workers, num_types)
             .shards(spec.shards)
             .policy(policy.clone())
             .hints(spec.hints())
@@ -91,8 +90,40 @@ pub fn run(spec: &ScenarioSpec, trace: &[Arrival]) -> Vec<RunResult> {
             .classifier_factory(move |_shard| {
                 Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, num_types as u32))
             })
-            .handler_factory(move |_worker| Box::new(PayloadSpinHandler::new(cal, max_spin)))
-            .spawn(server);
+            .handler_factory(move |_worker| Box::new(PayloadSpinHandler::new(cal, max_spin)));
+        // Same runtime, different wire: in-process rings, or one real
+        // 127.0.0.1 socket per shard (the client steers by destination
+        // address, so steering and fault injection behave identically).
+        let (mut client, handle) = match spec.threaded.transport.as_str() {
+            "udp" => {
+                let cfg = UdpConfig {
+                    buf_size: spec.threaded.buf_size,
+                    pool_buffers: spec.threaded.pool_buffers,
+                };
+                let port = udp::server(
+                    std::net::SocketAddr::from(([127, 0, 0, 1], 0)),
+                    spec.shards,
+                    cfg,
+                )
+                .expect("binding the scenario's shard sockets");
+                let addrs = port
+                    .local_addrs()
+                    .expect("a UDP server port always knows its socket addresses");
+                let handle = builder.spawn(port);
+                let client = udp::client(&addrs, steering, nic_faults, cfg)
+                    .expect("binding the scenario's client socket");
+                (client, handle)
+            }
+            _ => {
+                let (client, server) = loopback_mq_with_faults(
+                    spec.threaded.ring_depth,
+                    spec.shards,
+                    steering,
+                    nic_faults,
+                );
+                (client, builder.spawn(server))
+            }
+        };
 
         let mut pool = BufferPool::new(spec.threaded.pool_buffers, spec.threaded.buf_size);
         let report = run_scheduled(

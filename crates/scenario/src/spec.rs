@@ -151,6 +151,9 @@ pub struct ThreadedTuning {
     pub max_service_ms: f64,
     /// RX steering: `"rss"` or `"by_type"` (round-robin types → queues).
     pub steering: String,
+    /// Wire between client and server: `"loopback"` (in-process rings)
+    /// or `"udp"` (one real 127.0.0.1 socket per shard).
+    pub transport: String,
 }
 
 /// A fully validated scenario.
@@ -786,6 +789,7 @@ impl ScenarioSpec {
                     "grace_ms",
                     "max_service_ms",
                     "steering",
+                    "transport",
                 ])?;
                 let time_scale = ctx.f64_or("time_scale", 1.0)?;
                 if time_scale <= 0.0 {
@@ -801,6 +805,13 @@ impl ScenarioSpec {
                         format!("unknown steering `{steering}` (accepted: rss, by_type)"),
                     ));
                 }
+                let transport = ctx.opt_str("transport")?.unwrap_or("loopback").to_string();
+                if transport != "loopback" && transport != "udp" {
+                    return Err(err(
+                        ctx.at("transport"),
+                        format!("unknown transport `{transport}` (accepted: loopback, udp)"),
+                    ));
+                }
                 ThreadedTuning {
                     time_scale,
                     ring_depth: ctx.usize_or("ring_depth", 4096)?,
@@ -809,6 +820,7 @@ impl ScenarioSpec {
                     grace_ms: ctx.u64_or("grace_ms", 200)?,
                     max_service_ms: ctx.f64_or("max_service_ms", 50.0)?,
                     steering,
+                    transport,
                 }
             }
         };
@@ -930,6 +942,7 @@ impl Default for ThreadedTuning {
             grace_ms: 200,
             max_service_ms: 50.0,
             steering: "rss".to_string(),
+            transport: "loopback".to_string(),
         }
     }
 }
@@ -976,6 +989,22 @@ service = { dist = "constant", mean_us = 100.0 }
         assert_eq!(e.path, "worker");
         assert!(e.msg.contains("unknown key"), "{e}");
         assert!(e.msg.contains("workers"), "lists accepted keys: {e}");
+    }
+
+    #[test]
+    fn transport_key_parses_and_rejects_unknown_wires() {
+        let spec = ScenarioSpec::from_toml(MINIMAL).unwrap();
+        assert_eq!(spec.threaded.transport, "loopback", "default wire");
+        let udp = MINIMAL.replace(
+            "duration_ms = 10.0",
+            "duration_ms = 10.0\n\n[threaded]\ntransport = \"udp\"",
+        );
+        let spec = ScenarioSpec::from_toml(&udp).unwrap();
+        assert_eq!(spec.threaded.transport, "udp");
+        let bad = udp.replace("\"udp\"", "\"rdma\"");
+        let e = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert_eq!(e.path, "threaded.transport");
+        assert!(e.msg.contains("loopback, udp"), "lists accepted wires: {e}");
     }
 
     #[test]

@@ -132,9 +132,9 @@ impl LogHist {
     }
 
     /// Approximate `p`-quantile (0–1), within the configured relative
-    /// error; 0 when empty.
+    /// error; 0 when empty. `quantile(1.0)` is the exact max.
     pub fn quantile(&self, p: f64) -> u64 {
-        quantile_of(&self.counts, self.precision_bits, self.total, p).min(self.max)
+        quantile_of(&self.counts, self.precision_bits, self.total, self.max, p)
     }
 
     /// Merges another histogram with the same precision into this one.
@@ -270,9 +270,10 @@ impl HistSnapshot {
     }
 
     /// Approximate `p`-quantile (0–1), within `2^-precision_bits`
-    /// relative error; 0 when empty.
+    /// relative error; 0 when empty. `quantile(1.0)` equals
+    /// [`HistSnapshot::max`].
     pub fn quantile(&self, p: f64) -> u64 {
-        quantile_of(&self.counts, self.precision_bits, self.total, p).min(self.max)
+        quantile_of(&self.counts, self.precision_bits, self.total, self.max, p)
     }
 
     /// Merges `other` into this snapshot. Merging is associative and
@@ -303,19 +304,28 @@ impl HistSnapshot {
     }
 }
 
-fn quantile_of(counts: &[u64], precision_bits: u32, total: u64, p: f64) -> u64 {
+fn quantile_of(counts: &[u64], precision_bits: u32, total: u64, max: u64, p: f64) -> u64 {
     if total == 0 {
         return 0;
     }
     let rank = ((total as f64 * p).ceil() as u64).clamp(1, total);
+    if rank == total {
+        // The top-rank query asks for the distribution max. Answering
+        // with the final occupied bucket's *lower* bound understated it
+        // by up to `bucket_width - 1` (an off-by-one invisible in the
+        // zero-width exact range, wrong everywhere else); the tracked
+        // max is that bucket's inclusive upper bound — exact for
+        // `LogHist`, bucket-precision for `AtomicHist`.
+        return max;
+    }
     let mut seen = 0u64;
     for (i, &c) in counts.iter().enumerate() {
         seen += c;
         if seen >= rank {
-            return bucket_low(precision_bits, i);
+            return bucket_low(precision_bits, i).min(max);
         }
     }
-    bucket_low(precision_bits, counts.len() - 1)
+    max
 }
 
 #[cfg(test)]
@@ -335,6 +345,44 @@ mod tests {
         fn below(&mut self, n: u64) -> u64 {
             self.next() % n
         }
+    }
+
+    #[test]
+    fn top_quantile_is_the_bucket_upper_bound_not_lower() {
+        // Regression: with 7 bits, 1003 lands in bucket [1000, 1004).
+        // quantile(1.0) used to answer the bucket's lower bound (1000),
+        // understating the max by bucket_width - 1.
+        let mut h = LogHist::new(7);
+        h.record(1003);
+        assert_eq!(h.max(), 1003);
+        assert_eq!(h.quantile(1.0), 1003, "top quantile must equal max");
+
+        // Same shape through the atomic recorder: max is reconstructed
+        // as the bucket's inclusive upper bound and p=1.0 must match it.
+        let a = AtomicHist::new(7);
+        a.record(1003);
+        let s = a.snapshot();
+        assert_eq!(s.max(), 1003);
+        assert_eq!(s.quantile(1.0), 1003);
+
+        // Boundary: the exact small-value range has width-1 buckets, so
+        // upper bound == lower bound there (the case that masked the
+        // bug); zero must stay zero.
+        let mut z = LogHist::new(7);
+        z.record(0);
+        assert_eq!(z.quantile(1.0), 0);
+        let mut small = LogHist::new(7);
+        for v in 0..32 {
+            small.record(v);
+        }
+        assert_eq!(small.quantile(1.0), 31);
+
+        // Sub-max ranks still answer bucket lower bounds.
+        let mut two = LogHist::new(7);
+        two.record(1000);
+        two.record(1003);
+        assert_eq!(two.quantile(0.5), 1000);
+        assert_eq!(two.quantile(1.0), 1003);
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub struct Telemetry {
     worker_counters: Box<[CachePadded<WorkerCounters>]>,
     events: EventRing,
     num_types: usize,
+    /// Packets that failed wire validation (truncated, bad magic, wrong
+    /// kind) on the RX path — server-wide, not per type, because a
+    /// malformed packet has no trustworthy type field to attribute.
+    rx_malformed: core::sync::atomic::AtomicU64,
 }
 
 impl Telemetry {
@@ -92,6 +96,7 @@ impl Telemetry {
                 .collect(),
             events: EventRing::new(cfg.ring_capacity.next_power_of_two().max(2)),
             num_types: cfg.num_types,
+            rx_malformed: core::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -251,6 +256,15 @@ impl Telemetry {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A packet failed wire validation on the RX path (truncated
+    /// datagram, bad magic, non-request kind) and was answered with
+    /// `BadRequest` instead of being scheduled.
+    #[inline]
+    pub fn record_rx_malformed(&self) {
+        use core::sync::atomic::Ordering;
+        self.rx_malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A reservation update was installed: logs the old→new
     /// guaranteed-core map and the demand shift that triggered it.
     pub fn record_reservation_update(
@@ -290,6 +304,9 @@ impl Telemetry {
             unknown: Some(snap_ty(self.num_types)),
             workers: self.worker_counters.iter().map(|w| w.snapshot()).collect(),
             events: self.events.collect(),
+            rx_malformed: self
+                .rx_malformed
+                .load(core::sync::atomic::Ordering::Relaxed),
         }
     }
 }
@@ -325,6 +342,8 @@ pub struct Snapshot {
     pub workers: Vec<WorkerCountersSnap>,
     /// Drained scheduler events with loss accounting.
     pub events: EventLog,
+    /// Packets rejected by wire validation on the RX path.
+    pub rx_malformed: u64,
 }
 
 impl Snapshot {
@@ -351,6 +370,7 @@ impl Snapshot {
             a.merge(b);
         }
         self.events.merge(&other.events);
+        self.rx_malformed += other.rx_malformed;
     }
 
     /// Total completions across all type slots.
@@ -423,6 +443,9 @@ impl Snapshot {
                 .collect::<Vec<_>>()
                 .join(" ")
         );
+        if self.rx_malformed > 0 {
+            let _ = writeln!(out, "rx_malformed: {}", self.rx_malformed);
+        }
         let per_kind = |label: &str, pred: fn(&SchedEvent) -> bool| {
             let n = self.events.events.iter().filter(|(_, e)| pred(e)).count();
             format!("{label}={n}")
@@ -635,6 +658,11 @@ impl Snapshot {
         }
         let _ = writeln!(
             out,
+            "{{\"kind\":\"net\",\"rx_malformed\":{}}}",
+            self.rx_malformed,
+        );
+        let _ = writeln!(
+            out,
             "{{\"kind\":\"ring\",\"pushed\":{},\"kept\":{},\"overwritten\":{}}}",
             self.events.pushed,
             self.events.events.len(),
@@ -704,6 +732,23 @@ mod tests {
         let unk = s.unknown.as_ref().unwrap();
         assert_eq!(unk.counters.arrivals, 2);
         assert_eq!(unk.counters.completions, 1);
+    }
+
+    #[test]
+    fn rx_malformed_counts_merges_and_exports() {
+        let t = Telemetry::new(TelemetryConfig::new(1, 1));
+        t.record_rx_malformed();
+        t.record_rx_malformed();
+        let s = t.snapshot();
+        assert_eq!(s.rx_malformed, 2);
+        let mut twice = s.clone();
+        twice.merge(&s);
+        assert_eq!(twice.rx_malformed, 4);
+        assert!(s.to_text().contains("rx_malformed: 2"));
+        assert!(s.to_json_lines().contains("\"rx_malformed\":2"));
+        // A clean snapshot keeps the text report noise-free.
+        let clean = Telemetry::new(TelemetryConfig::new(1, 1)).snapshot();
+        assert!(!clean.to_text().contains("rx_malformed"));
     }
 
     #[test]

@@ -48,6 +48,9 @@ const UNSAFE_ALLOW: &[&str] = &[
 const RELAXED_ALLOW: &[&str] = &[
     "crates/net/src/spsc.rs",
     "crates/net/src/mpsc.rs",
+    // udp.rs: per-socket datagram counters are independent monotone
+    // event counts; no cross-thread control flow reads them.
+    "crates/net/src/udp.rs",
     "crates/telemetry/src/ring.rs",
     "crates/telemetry/src/counters.rs",
     "crates/telemetry/src/hist.rs",
@@ -64,6 +67,7 @@ const HOT_PATH: &[&str] = &[
     "crates/net/src/spsc.rs",
     "crates/net/src/mpsc.rs",
     "crates/net/src/nic.rs",
+    "crates/net/src/udp.rs",
 ];
 
 /// One lint finding; `Display` renders `path:line: [rule] message`.

@@ -1,0 +1,68 @@
+//! A Perséphone server on real UDP sockets — the server half of a
+//! two-process deployment.
+//!
+//! Binds one nonblocking socket per dispatcher shard (shard `i` on
+//! `base_port + i`), prints the addresses, and serves until the duration
+//! expires. Drive it from another terminal with the external client:
+//!
+//! ```text
+//! cargo run --release --example udp_server -- 9000 2 &
+//! cargo run --release --bin loadgen -- --connect 127.0.0.1:9000 --shards 2
+//! ```
+//!
+//! Requests carry their service demand in the first 8 payload bytes
+//! (little-endian nanoseconds), which `PayloadSpinHandler` burns on a
+//! calibrated spin — the same convention the scenario engine and
+//! `loadgen` use. Arguments: `[base_port] [shards] [duration_secs]`
+//! (defaults 9000, 2, 10; base_port 0 binds ephemeral ports).
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use persephone::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let base_port: u16 = args.first().and_then(|s| s.parse().ok()).unwrap_or(9000);
+    let shards: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let num_types: u32 = 2;
+    let workers = shards.max(2) * 2;
+    let cal = SpinCalibration::calibrate();
+    let bind: SocketAddr = SocketAddr::from(([127, 0, 0, 1], base_port));
+
+    let (handle, bound) = ServerBuilder::new(workers, num_types as usize)
+        .shards(shards)
+        .transport(Transport::Udp(bind))
+        .classifier_factory(move |_shard| {
+            Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, num_types))
+        })
+        .handler_factory(move |_worker| {
+            Box::new(PayloadSpinHandler::new(cal, Nanos::from_millis(5)))
+        })
+        .start()
+        .expect("binding the shard sockets");
+
+    match &bound {
+        BoundTransport::Udp(addrs) => {
+            for (i, a) in addrs.iter().enumerate() {
+                println!("shard {i} listening on {a}");
+            }
+        }
+        BoundTransport::Loopback(_) => unreachable!("transport is UDP"),
+    }
+
+    println!("serving for {secs}s...");
+    std::thread::sleep(Duration::from_secs(secs));
+
+    let report = handle.stop();
+    println!(
+        "received={} dispatched={} completed={} shed={} malformed={}",
+        report.dispatcher.received,
+        report.dispatcher.dispatched,
+        report.dispatcher.completed,
+        report.dispatcher.dropped + report.dispatcher.expired + report.dispatcher.shed_at_shutdown,
+        report.dispatcher.malformed,
+    );
+}

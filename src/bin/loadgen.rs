@@ -1,0 +1,231 @@
+//! External UDP load generator: the client half of a two-process
+//! Perséphone deployment.
+//!
+//! Where the in-process harness wires [`run_open_loop`] straight onto a
+//! loopback port, this binary points the same open-loop Poisson client at
+//! real sockets — a server started with `Transport::Udp` (see
+//! `examples/udp_server.rs`), on this machine or another one:
+//!
+//! ```text
+//! loadgen --connect 127.0.0.1:9000,127.0.0.1:9001 --rate 5000 --duration-ms 2000
+//! ```
+//!
+//! Each request's first 8 payload bytes carry its service demand in
+//! little-endian nanoseconds (the `PayloadSpinHandler` convention), so
+//! the server burns exactly the CPU the client asked for. The run's
+//! ledger and latency percentiles are printed as one JSON object on
+//! stdout.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use persephone::prelude::*;
+
+struct Args {
+    connect: Vec<SocketAddr>,
+    shards: Option<usize>,
+    rate: f64,
+    duration_ms: u64,
+    grace_ms: u64,
+    types: usize,
+    service_us: Vec<u64>,
+    payload_bytes: usize,
+    seed: u64,
+    pool: usize,
+    buf_size: usize,
+    steering: String,
+}
+
+const USAGE: &str = "usage: loadgen --connect host:port[,host:port...] [options]
+
+  --connect ADDRS     comma-separated shard sockets; with --shards K and a
+                      single address, shard i targets port base+i
+  --shards K          expand a single --connect address to K consecutive ports
+  --rate RPS          offered Poisson rate, requests/s        [default 1000]
+  --duration-ms MS    send window                             [default 1000]
+  --grace-ms MS       straggler drain after the window        [default 500]
+  --types N           request types, equal mix                [default 2]
+  --service-us LIST   per-type service demand, microseconds   [default 1,100]
+  --payload-bytes N   request payload size (min 8)            [default 16]
+  --seed N            RNG seed                                [default 42]
+  --pool N            client buffer pool size                 [default 256]
+  --buf-size N        client buffer capacity, bytes           [default 2048]
+  --steering MODE     rss | bytype                            [default rss]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        connect: Vec::new(),
+        shards: None,
+        rate: 1_000.0,
+        duration_ms: 1_000,
+        grace_ms: 500,
+        types: 2,
+        service_us: vec![1, 100],
+        payload_bytes: 16,
+        seed: 42,
+        pool: 256,
+        buf_size: 2048,
+        steering: "rss".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let val = || -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--connect" => {
+                args.connect = val()?
+                    .split(',')
+                    .map(|a| a.parse().map_err(|e| format!("bad address {a:?}: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--shards" => args.shards = Some(val()?.parse().map_err(|e| format!("{e}"))?),
+            "--rate" => args.rate = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--duration-ms" => args.duration_ms = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--grace-ms" => args.grace_ms = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--types" => args.types = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--service-us" => {
+                args.service_us = val()?
+                    .split(',')
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|e| format!("bad service time {s:?}: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--payload-bytes" => args.payload_bytes = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--pool" => args.pool = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--buf-size" => args.buf_size = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--steering" => args.steering = val()?.to_string(),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+        i += 2;
+    }
+    if args.connect.is_empty() {
+        return Err(format!("--connect is required\n\n{USAGE}"));
+    }
+    if let Some(k) = args.shards {
+        if args.connect.len() == 1 && k > 1 {
+            let base = args.connect[0];
+            args.connect = (0..k)
+                .map(|s| SocketAddr::new(base.ip(), base.port() + s as u16))
+                .collect();
+        } else if args.connect.len() != k {
+            return Err(format!(
+                "--shards {k} disagrees with {} --connect addresses",
+                args.connect.len()
+            ));
+        }
+    }
+    if args.types == 0 {
+        return Err("--types must be at least 1".into());
+    }
+    if args.payload_bytes < 8 {
+        return Err("--payload-bytes must be at least 8 (service-time header)".into());
+    }
+    Ok(args)
+}
+
+fn json_u64_array(vals: &[u64]) -> String {
+    let inner: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let steering = match args.steering.as_str() {
+        "rss" => Steering::Rss,
+        // Round-robin type→shard table: type t lands on shard t % K, so
+        // each type stays on one shard and its DARC profile coherent.
+        "bytype" => Steering::ByType((0..args.types).map(|t| t % args.connect.len()).collect()),
+        other => {
+            eprintln!("unknown steering {other:?}; use rss or bytype");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = UdpConfig {
+        buf_size: args.buf_size,
+        pool_buffers: args.pool,
+    };
+    let mut client = match udp::client(&args.connect, steering, NicFaultPlan::default(), cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("binding the client socket failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // One LoadType per requested type, equal ratios; the sampled service
+    // demand travels in the first 8 payload bytes.
+    let ratio = 1.0 / args.types as f64;
+    let spec = LoadSpec::new(
+        (0..args.types)
+            .map(|t| {
+                let us = args
+                    .service_us
+                    .get(t)
+                    .or(args.service_us.last())
+                    .copied()
+                    .unwrap_or(1);
+                let mut payload = vec![0u8; args.payload_bytes];
+                payload[..8].copy_from_slice(&(us * 1_000).to_le_bytes());
+                LoadType {
+                    ty: t as u32,
+                    ratio,
+                    payload,
+                }
+            })
+            .collect(),
+    );
+
+    let mut pool = BufferPool::new(args.pool, args.buf_size);
+    let report = run_open_loop(
+        &mut client,
+        &mut pool,
+        &spec,
+        args.rate,
+        Duration::from_millis(args.duration_ms),
+        Duration::from_millis(args.grace_ms),
+        args.seed,
+    );
+
+    let per_type: Vec<String> = (0..args.types)
+        .map(|t| {
+            format!(
+                "{{\"type\":{t},\"count\":{},\"mean_ns\":{:.0},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+                report.latencies_ns[t].len(),
+                report.mean_ns(t).unwrap_or(0.0),
+                report.percentile_ns(t, 0.5).unwrap_or(0),
+                report.percentile_ns(t, 0.99).unwrap_or(0),
+                report.percentile_ns(t, 0.999).unwrap_or(0),
+            )
+        })
+        .collect();
+    println!(
+        "{{\"sent\":{},\"received\":{},\"dropped\":{},\"rejected\":{},\"starved\":{},\
+         \"timed_out\":{},\"per_queue_sent\":{},\"latency\":[{}]}}",
+        report.sent,
+        report.received,
+        report.dropped,
+        report.rejected,
+        report.starved,
+        report.timed_out,
+        json_u64_array(&report.per_queue_sent),
+        per_type.join(","),
+    );
+    ExitCode::SUCCESS
+}

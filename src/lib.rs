@@ -68,6 +68,7 @@ pub mod prelude {
         self, loopback, loopback_mq, ClientPort, NicFaultPlan, ServerPort, Steering,
     };
     pub use persephone_net::pool::BufferPool;
+    pub use persephone_net::udp::{self, UdpConfig, UdpQueueStats};
     pub use persephone_net::wire::{self, Kind, Status};
     pub use persephone_runtime::fault::FaultPlan;
     pub use persephone_runtime::handler::{
@@ -77,7 +78,7 @@ pub mod prelude {
         run_open_loop, run_scheduled, LoadReport, LoadSpec, LoadType, ScheduledRequest,
     };
     pub use persephone_runtime::server::{
-        RuntimeReport, ServerBuilder, ServerConfig, ServerHandle,
+        BoundTransport, RuntimeReport, ServerBuilder, ServerConfig, ServerHandle, Transport,
     };
     pub use persephone_scenario::{Backend, BenchReport, ScenarioSpec};
     pub use persephone_store::kv::KvStore;

@@ -1,0 +1,218 @@
+//! End-to-end tests over real UDP sockets: a sharded server bound with
+//! `Transport::Udp` serving an external-style client through
+//! 127.0.0.1 datagrams, exactly as the two-process
+//! `udp_server` / `loadgen` pair would — plus a chaos run with injected
+//! datagram loss.
+//!
+//! Rates are deliberately gentle: CI boxes can be single-core, and the
+//! client, two dispatchers, and four workers all timeshare it.
+
+// These tests drive the threaded runtime against wall-clock deadlines;
+// under `--features model-check` the rings run on the checker's fallback
+// shims (orders of magnitude slower), which breaks the timing
+// assumptions. The model-check tier covers the rings directly in
+// `model_rings.rs` / `model_seqlock.rs`.
+#![cfg(not(feature = "model-check"))]
+
+use std::time::Duration;
+
+use persephone::prelude::*;
+
+fn service_payload(ns: u64) -> Vec<u8> {
+    ns.to_le_bytes().to_vec()
+}
+
+fn udp_builder(workers: usize, shards: usize) -> ServerBuilder {
+    let cal = SpinCalibration::calibrate();
+    ServerBuilder::new(workers, 2)
+        .shards(shards)
+        .transport(Transport::Udp(std::net::SocketAddr::from((
+            [127, 0, 0, 1],
+            0,
+        ))))
+        .classifier_factory(|_shard| Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)))
+        .handler_factory(move |_worker| {
+            Box::new(PayloadSpinHandler::new(cal, Nanos::from_millis(1)))
+        })
+}
+
+/// Two dispatcher shards on two real sockets serve an open-loop client
+/// end to end: the client ledger balances, both shards carry traffic,
+/// nothing vanishes inside the server, and the merged telemetry agrees
+/// with the per-worker reports — the same guarantees the loopback
+/// sharded e2e proves, now across the kernel's UDP stack.
+#[test]
+fn udp_two_shard_server_serves_external_style_client() {
+    let (handle, bound) = udp_builder(4, 2).start().expect("bind shard sockets");
+    let addrs = match bound {
+        BoundTransport::Udp(a) => a,
+        BoundTransport::Loopback(_) => unreachable!("transport is UDP"),
+    };
+    assert_eq!(addrs.len(), 2, "one socket per shard");
+    assert_ne!(addrs[0].port(), addrs[1].port());
+
+    let mut client = udp::client(
+        &addrs,
+        Steering::Rss,
+        NicFaultPlan::default(),
+        UdpConfig::default(),
+    )
+    .expect("bind client socket");
+    let mut pool = BufferPool::new(256, 512);
+    let spec = LoadSpec::new(vec![
+        LoadType {
+            ty: 0,
+            ratio: 0.8,
+            payload: service_payload(1_000),
+        },
+        LoadType {
+            ty: 1,
+            ratio: 0.2,
+            payload: service_payload(50_000),
+        },
+    ]);
+    let report = run_open_loop(
+        &mut client,
+        &mut pool,
+        &spec,
+        1_000.0,
+        Duration::from_millis(400),
+        Duration::from_secs(2),
+        7,
+    );
+    let server = handle.stop();
+
+    assert!(report.sent > 50, "sent = {}", report.sent);
+    assert!(report.received > 0, "some responses made it back");
+    assert_eq!(
+        report.received + report.dropped + report.rejected + report.timed_out,
+        report.sent,
+        "client totals balance"
+    );
+
+    // RSS spread the wire ids across both real sockets.
+    assert_eq!(report.per_queue_sent.len(), 2);
+    assert!(
+        report.per_queue_sent.iter().all(|&q| q > 0),
+        "both sockets carried traffic: {:?}",
+        report.per_queue_sent
+    );
+    assert_eq!(report.per_queue_sent.iter().sum::<u64>(), report.sent);
+    let stats = client
+        .udp_stats()
+        .expect("a UDP client exposes socket stats");
+    assert_eq!(stats.tx_datagrams, report.sent);
+    assert_eq!(
+        stats.rx_datagrams,
+        report.received + report.dropped + report.rejected
+    );
+
+    // Server side: both shards saw requests, and every datagram pulled
+    // off a socket was either handled or answered with a control status.
+    let d = &server.dispatcher;
+    assert_eq!(server.shards.len(), 2);
+    assert!(
+        server.shards.iter().all(|s| s.received > 0),
+        "both shards received traffic"
+    );
+    assert!(
+        d.received <= report.sent,
+        "the server cannot receive more than was sent"
+    );
+    assert_eq!(
+        d.received,
+        server.handled() + d.dropped + d.expired + d.shed_at_shutdown + d.malformed,
+        "no request may vanish inside the server"
+    );
+    assert_eq!(d.malformed, 0);
+    assert_eq!(d.telemetry.rx_malformed, 0);
+
+    // Merged telemetry concatenates the shard slices and agrees with the
+    // worker-thread reports.
+    assert_eq!(d.telemetry.workers.len(), 4);
+    assert_eq!(d.telemetry.completions(), server.handled());
+    assert!(report.received <= server.handled());
+}
+
+/// Chaos: a lossy client-side wire (every 4th datagram dropped before it
+/// reaches the socket). Every injected drop is written off as a timeout,
+/// the ledger still balances, and the client/pool pair survives to run a
+/// second wave — no in-flight slots or buffers leak.
+#[test]
+fn udp_lossy_wire_times_out_injected_drops_without_leaks() {
+    let (handle, bound) = udp_builder(2, 1).start().expect("bind shard socket");
+    let addrs = match bound {
+        BoundTransport::Udp(a) => a,
+        BoundTransport::Loopback(_) => unreachable!("transport is UDP"),
+    };
+
+    let mut client = udp::client(
+        &addrs,
+        Steering::Rss,
+        NicFaultPlan::drop_every(4),
+        UdpConfig::default(),
+    )
+    .expect("bind client socket");
+    let mut pool = BufferPool::new(128, 512);
+    let spec = LoadSpec::new(vec![
+        LoadType {
+            ty: 0,
+            ratio: 1.0,
+            payload: service_payload(1_000),
+        },
+        LoadType {
+            ty: 1,
+            ratio: 0.0,
+            payload: service_payload(1_000),
+        },
+    ]);
+    let report = run_open_loop(
+        &mut client,
+        &mut pool,
+        &spec,
+        500.0,
+        Duration::from_millis(400),
+        Duration::from_secs(2),
+        11,
+    );
+
+    let drops = client.fault_drops();
+    assert!(drops > 10, "the fault plan fired: {drops} drops");
+    assert_eq!(
+        report.timed_out, drops,
+        "every injected drop times out and nothing else is lost"
+    );
+    assert_eq!(
+        report.received + report.dropped + report.rejected + report.timed_out,
+        report.sent,
+        "client totals balance under loss"
+    );
+
+    // The slab wrote the lost slots off cleanly: the same client and pool
+    // immediately sustain a second, clean wave.
+    let second = run_open_loop(
+        &mut client,
+        &mut pool,
+        &spec,
+        500.0,
+        Duration::from_millis(200),
+        Duration::from_secs(2),
+        13,
+    );
+    assert!(second.sent > 20, "second wave sent = {}", second.sent);
+    assert_eq!(
+        second.received + second.dropped + second.rejected + second.timed_out,
+        second.sent,
+        "second-wave totals balance"
+    );
+    assert!(second.received > 0, "the pool still has live buffers");
+
+    let server = handle.stop();
+    let d = &server.dispatcher;
+    assert_eq!(
+        d.received,
+        report.sent + second.sent - client.fault_drops(),
+        "the server saw exactly the datagrams that survived the faults"
+    );
+    assert_eq!(d.malformed, 0);
+}
