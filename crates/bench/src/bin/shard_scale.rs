@@ -24,7 +24,7 @@ use persephone_net::pool::BufferPool;
 use persephone_net::wire;
 use persephone_runtime::handler::SpinHandler;
 use persephone_runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
-use persephone_runtime::server::ServerBuilder;
+use persephone_runtime::server::{ServerBuilder, Transport};
 use persephone_sim::report::Table;
 use persephone_store::spin::SpinCalibration;
 
@@ -62,7 +62,10 @@ fn main() {
             .hints(services.iter().map(|s| Some(*s)).collect())
             .classifier_factory(|_shard| Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)))
             .handler_factory(move |_worker| Box::new(SpinHandler::new(cal, &services)))
-            .spawn(server_port);
+            .transport(Transport::Port(server_port))
+            .start()
+            .expect("in-process start cannot fail")
+            .0;
 
         let mut pool = BufferPool::new(1024, 128);
         let spec = LoadSpec::new(vec![

@@ -40,8 +40,6 @@ enum Phase {
     Darc,
     /// DARC with a frozen reservation.
     Frozen,
-    /// Plain centralized FCFS forever (legacy `EngineMode::CFcfs`).
-    CFcfs,
 }
 
 /// The DARC scheduling engine.
@@ -122,7 +120,7 @@ impl<R> DarcEngine<R> {
             expired_total: 0,
             reservation: Reservation::all_shared(num_types, cfg.num_workers),
             profiler,
-            phase: Phase::CFcfs,
+            phase: Phase::Warmup,
             priority: Vec::new(),
             spill_types: Vec::new(),
             reserve_cfg: ReserveConfig {
@@ -135,11 +133,7 @@ impl<R> DarcEngine<R> {
             telemetry: None,
             last_demands: vec![0.0; num_types],
         };
-        #[allow(deprecated)] // legacy EngineMode::CFcfs still routes here
         match cfg.mode {
-            EngineMode::CFcfs => {
-                eng.phase = Phase::CFcfs;
-            }
             EngineMode::Static(res) => {
                 eng.install(res);
                 eng.phase = Phase::Frozen;
@@ -320,7 +314,7 @@ impl<R> DarcEngine<R> {
                 let res = reserve(&stats, &self.reserve_cfg);
                 self.install(res);
             }
-            Phase::Warmup | Phase::CFcfs => {
+            Phase::Warmup => {
                 self.reservation = Reservation::all_shared(self.num_types, new_workers);
             }
             Phase::Frozen => {
@@ -373,7 +367,7 @@ impl<R> DarcEngine<R> {
             return None;
         }
         match self.phase {
-            Phase::Warmup | Phase::CFcfs => self.poll_fcfs(now),
+            Phase::Warmup => self.poll_fcfs(now),
             Phase::Darc | Phase::Frozen => self.poll_darc(now),
         }
     }
@@ -536,7 +530,7 @@ impl<R> DarcEngine<R> {
                     self.commit_and_install(now);
                 }
             }
-            Phase::Frozen | Phase::CFcfs => {}
+            Phase::Frozen => {}
         }
     }
 
@@ -942,9 +936,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn fcfs_mode_respects_global_arrival_order() {
-        let mut eng: DarcEngine<u32> = DarcEngine::new(EngineConfig::cfcfs(1), 2, &[None, None]);
+    fn warmup_fcfs_respects_global_arrival_order() {
+        // An unhinted dynamic engine starts in the c-FCFS warm-up phase.
+        let mut eng: DarcEngine<u32> = DarcEngine::new(EngineConfig::darc(1), 2, &[None, None]);
+        assert!(eng.in_warmup());
         let now = micros(0);
         eng.enqueue(TypeId::new(1), 10, now).unwrap();
         eng.enqueue(TypeId::new(0), 20, now).unwrap();
@@ -1254,7 +1249,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn dispatch_kinds_distinguish_reserved_from_stolen() {
         let mut eng = hinted_engine(4);
         let now = micros(0);
@@ -1273,8 +1267,8 @@ mod tests {
         let mut eng = hinted_engine(2);
         eng.enqueue(TypeId::UNKNOWN, 9, now).unwrap();
         assert_eq!(eng.poll(now).unwrap().kind, DispatchKind::Spillway);
-        // c-FCFS mode reports the FCFS kind.
-        let mut eng: DarcEngine<u32> = DarcEngine::new(EngineConfig::cfcfs(1), 2, &[None, None]);
+        // Warm-up c-FCFS reports the FCFS kind.
+        let mut eng: DarcEngine<u32> = DarcEngine::new(EngineConfig::darc(1), 2, &[None, None]);
         eng.enqueue(TypeId::new(0), 1, now).unwrap();
         assert_eq!(eng.poll(now).unwrap().kind, DispatchKind::Fcfs);
     }

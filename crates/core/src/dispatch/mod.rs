@@ -59,13 +59,6 @@ pub enum EngineMode {
     /// A fixed, caller-provided reservation ("DARC-static", paper §5.3);
     /// the profiler observes but never updates.
     Static(Reservation),
-    /// Centralized FCFS over a single logical queue (baseline).
-    #[deprecated(
-        since = "0.4.0",
-        note = "use the dedicated CfcfsEngine (Policy::CFcfs / build_engine) \
-                instead of running c-FCFS inside DarcEngine"
-    )]
-    CFcfs,
 }
 
 /// Clamp for SLO-derived typed-queue capacities.
@@ -211,21 +204,6 @@ impl EngineConfig {
             overload: OverloadConfig::default(),
         }
     }
-
-    /// A centralized-FCFS config for `num_workers` workers.
-    #[deprecated(
-        since = "0.4.0",
-        note = "construct a CfcfsEngine (or use Policy::CFcfs with \
-                build_engine / ServerBuilder::policy) instead of the \
-                c-FCFS mode wedged into DarcEngine"
-    )]
-    pub fn cfcfs(num_workers: usize) -> Self {
-        #[allow(deprecated)]
-        EngineConfig {
-            mode: EngineMode::CFcfs,
-            ..EngineConfig::darc(num_workers)
-        }
-    }
 }
 
 /// Builds the engine for `policy` as a boxed trait object.
@@ -235,9 +213,8 @@ impl EngineConfig {
 /// type directly, as `ServerBuilder::policy` does in the runtime.
 ///
 /// `cfg.mode` is overridden to match the policy where relevant:
-/// [`Policy::Darc`] forces [`EngineMode::Dynamic`] unless a static
-/// reservation was supplied, and [`Policy::DarcStatic`] builds the §5.3
-/// two-class reservation from the hints.
+/// [`Policy::DarcStatic`] builds the §5.3 two-class reservation from the
+/// hints; [`Policy::Darc`] honours whatever mode the caller configured.
 ///
 /// # Panics
 ///
@@ -251,14 +228,7 @@ pub fn build_engine<R: Send + 'static>(
     hints: &[Option<Nanos>],
 ) -> Box<dyn ScheduleEngine<R>> {
     match policy {
-        Policy::Darc => {
-            let mut cfg = cfg;
-            #[allow(deprecated)]
-            if matches!(cfg.mode, EngineMode::CFcfs) {
-                cfg.mode = EngineMode::Dynamic;
-            }
-            Box::new(DarcEngine::new(cfg, num_types, hints))
-        }
+        Policy::Darc => Box::new(DarcEngine::new(cfg, num_types, hints)),
         Policy::DarcStatic { reserved_short } => {
             let short = hints
                 .iter()
@@ -352,16 +322,5 @@ mod tests {
             2,
             &[None, None],
         );
-    }
-
-    #[test]
-    fn deprecated_cfcfs_config_still_routes() {
-        #[allow(deprecated)]
-        let cfg = EngineConfig::cfcfs(2);
-        #[allow(deprecated)]
-        let is_cfcfs = matches!(cfg.mode, EngineMode::CFcfs);
-        assert!(is_cfcfs);
-        let eng: DarcEngine<u64> = DarcEngine::new(cfg, 2, &[None, None]);
-        assert!(!eng.in_warmup(), "legacy c-FCFS mode never warms up");
     }
 }

@@ -1,0 +1,241 @@
+//! The live rack ingress: one steering loop in front of K running
+//! servers.
+//!
+//! Mirrors [`persephone_runtime::loadgen::run_scheduled`] — same open-loop
+//! replay of a pre-sampled schedule, same ledger discipline
+//! (`sent == received + dropped + rejected + timed_out`) — but fans each
+//! request out across per-server [`ClientPort`]s through a [`RackPolicy`]
+//! instead of down one wire. Service estimates for SED are polled from
+//! each server's worker telemetry ([`ServerHandle::telemetries`] hands the
+//! `Arc<Telemetry>`s to the caller), so the live and simulated racks share
+//! one estimate path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use persephone_core::types::TypeId;
+use persephone_net::nic::ClientPort;
+use persephone_net::pool::PoolAllocator;
+use persephone_net::wire;
+use persephone_runtime::loadgen::ScheduledRequest;
+use persephone_telemetry::{Snapshot, Telemetry};
+
+use crate::policy::{RackLoads, RackPolicy};
+
+/// How many sends between telemetry-snapshot estimate refreshes.
+const REFRESH_EVERY: u64 = 512;
+
+/// Ingress-side results of one rack run.
+#[derive(Clone, Debug, Default)]
+pub struct RackLoadReport {
+    /// Requests sent (across all servers).
+    pub sent: u64,
+    /// Ok responses received.
+    pub received: u64,
+    /// Server-shed requests (Dropped status).
+    pub dropped: u64,
+    /// BadRequest responses.
+    pub rejected: u64,
+    /// Sends skipped because the packet pool was empty.
+    pub starved: u64,
+    /// Requests unanswered when the grace window closed.
+    pub timed_out: u64,
+    /// Requests steered to each server, in server order.
+    pub per_server_sent: Vec<u64>,
+    /// Response latencies (ns) per type index.
+    pub latencies_ns: Vec<Vec<u64>>,
+}
+
+/// One rack member as the ingress sees it: the client half of its wire
+/// plus its per-shard telemetry (from [`ServerHandle::telemetries`]).
+///
+/// [`ServerHandle::telemetries`]: persephone_runtime::ServerHandle::telemetries
+pub struct RackMember {
+    /// Client half of this server's transport.
+    pub client: ClientPort,
+    /// The server's per-shard telemetry handles.
+    pub telemetries: Vec<Arc<Telemetry>>,
+}
+
+/// Merged telemetry snapshots of one member (all shards of one server
+/// share a worker pool partition; the rack estimate path folds them).
+fn member_snapshots(members: &[RackMember]) -> Vec<Snapshot> {
+    members
+        .iter()
+        .flat_map(|m| m.telemetries.iter().map(|t| t.snapshot()))
+        .collect()
+}
+
+fn drain_members(
+    members: &mut [RackMember],
+    inflight: &mut HashMap<u64, (Instant, usize, usize)>,
+    loads: &mut RackLoads,
+    report: &mut RackLoadReport,
+    releaser: &mut persephone_net::pool::PoolReleaser,
+) {
+    for (server, member) in members.iter_mut().enumerate() {
+        while let Some(pkt) = member.client.recv() {
+            if let Ok((hdr, _)) = wire::decode(pkt.as_slice()) {
+                let matched = inflight.remove(&hdr.id);
+                if let Some((_, ty, from)) = matched {
+                    debug_assert_eq!(from, server, "responses return on their own wire");
+                    loads.completed(server, TypeId::new(ty as u32));
+                    match wire::response_status(&hdr) {
+                        Some(wire::Status::Ok) => {
+                            report.received += 1;
+                            if let Some((sent_at, ty, _)) = matched {
+                                report.latencies_ns[ty].push(sent_at.elapsed().as_nanos() as u64);
+                            }
+                        }
+                        Some(wire::Status::Dropped) => report.dropped += 1,
+                        _ => report.rejected += 1,
+                    }
+                }
+            }
+            releaser.release(pkt);
+        }
+    }
+}
+
+/// Replays `schedule` open-loop across the rack, steering each request
+/// with `policy`, then drains responses for up to `grace`.
+///
+/// One shared `pool` bounds rack-wide client memory; when it runs dry the
+/// send is skipped and counted in [`RackLoadReport::starved`]. Unanswered
+/// requests are written off as timed out when the grace window closes, so
+/// `sent == received + dropped + rejected + timed_out` always balances.
+///
+/// With `idle_backoff` set, the steering loop parks for that long per
+/// poll while the next arrival is comfortably far away (and during the
+/// grace drain), instead of busy-polling — the ingress-side counterpart
+/// of [`ServerBuilder::idle_backoff`], for hosts where the rack's thread
+/// count dwarfs the core count. `None` busy-polls for minimum send
+/// jitter.
+///
+/// [`ServerBuilder::idle_backoff`]: persephone_runtime::ServerBuilder::idle_backoff
+#[allow(clippy::too_many_arguments)]
+pub fn run_rack_scheduled(
+    members: &mut [RackMember],
+    policy: &mut dyn RackPolicy,
+    pool: &mut PoolAllocator,
+    num_types: usize,
+    workers_per_server: usize,
+    hints: &[Option<persephone_core::time::Nanos>],
+    schedule: &[ScheduledRequest],
+    grace: Duration,
+    idle_backoff: Option<Duration>,
+) -> RackLoadReport {
+    assert!(!members.is_empty(), "a rack needs at least one server");
+    assert!(num_types > 0);
+    let servers = members.len();
+    let mut report = RackLoadReport {
+        per_server_sent: vec![0; servers],
+        latencies_ns: vec![Vec::new(); num_types],
+        ..Default::default()
+    };
+    let mut loads = RackLoads::new(servers, num_types, workers_per_server, hints);
+    // Wire id → (send instant, type index, server). The pool bounds how
+    // many entries can be live, so the map stays small.
+    let mut inflight: HashMap<u64, (Instant, usize, usize)> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut releaser = pool.releaser();
+    let start = Instant::now();
+
+    for req in schedule {
+        loop {
+            let elapsed = start.elapsed().as_nanos() as u64;
+            if elapsed >= req.at_ns {
+                break;
+            }
+            drain_members(
+                members,
+                &mut inflight,
+                &mut loads,
+                &mut report,
+                &mut releaser,
+            );
+            // Park only when the arrival is several parks away, so an
+            // oversleep cannot push the send past its scheduled time.
+            if let Some(park) = idle_backoff {
+                if req.at_ns - elapsed > 4 * park.as_nanos() as u64 {
+                    std::thread::sleep(park);
+                }
+            }
+        }
+        releaser.flush();
+        let ti = (req.ty as usize).min(num_types - 1);
+        let ty = TypeId::new(req.ty);
+        let server = policy.pick(ty, &loads);
+        debug_assert!(server < servers);
+        match pool.alloc() {
+            Some(mut buf) => {
+                let id = next_id;
+                next_id += 1;
+                let payload = req.service_ns.to_le_bytes();
+                let len = wire::encode_request(buf.raw_mut(), req.ty, id, &payload)
+                    .expect("pool buffers sized for requests");
+                buf.set_len(len);
+                report.sent += 1;
+                report.per_server_sent[server] += 1;
+                inflight.insert(id, (Instant::now(), ti, server));
+                loads.sent(server, ty);
+                let mut pkt = buf;
+                loop {
+                    match members[server].client.send(pkt) {
+                        Ok(()) => break,
+                        Err(e) => {
+                            pkt = e.0;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                if report.sent.is_multiple_of(REFRESH_EVERY) {
+                    loads.refresh_estimates(&member_snapshots(members));
+                }
+            }
+            None => report.starved += 1,
+        }
+        drain_members(
+            members,
+            &mut inflight,
+            &mut loads,
+            &mut report,
+            &mut releaser,
+        );
+    }
+
+    let grace_deadline = Instant::now() + grace;
+    while Instant::now() < grace_deadline && !inflight.is_empty() {
+        drain_members(
+            members,
+            &mut inflight,
+            &mut loads,
+            &mut report,
+            &mut releaser,
+        );
+        match idle_backoff {
+            Some(park) => std::thread::sleep(park),
+            None => std::thread::yield_now(),
+        }
+    }
+    report.timed_out += inflight.len() as u64;
+    releaser.flush();
+    for v in &mut report.latencies_ns {
+        v.sort_unstable();
+    }
+    report
+}
+
+impl RackLoadReport {
+    /// Exact percentile (0–1) of one type's latencies, in nanoseconds.
+    /// Latency vectors are sorted by [`run_rack_scheduled`] before return.
+    pub fn percentile_ns(&self, ty: usize, p: f64) -> Option<u64> {
+        let v = self.latencies_ns.get(ty)?;
+        if v.is_empty() {
+            return None;
+        }
+        let rank = (((v.len() as f64) * p).ceil() as usize).clamp(1, v.len()) - 1;
+        Some(v[rank])
+    }
+}

@@ -1,0 +1,34 @@
+//! Rack-scale scheduling tier above per-server DARC (PR 8).
+//!
+//! Perséphone schedules *within* one server; RackSched's observation is
+//! that preserving tail bounds at rack scale needs a second, inter-server
+//! layer that steers each request to a server *before* the µs-scale
+//! intra-server scheduler sees it. This crate is that layer:
+//!
+//! * [`policy`] — the pluggable steering plane: [`policy::RackPolicy`]
+//!   implementations (`random`, `rr`, `po2c`, `sed`, `affinity`) deciding
+//!   from the ingress-side [`policy::RackLoads`] ledger.
+//! * [`sim`] — the rack in the simulator: [`sim::RackSim`] fronts N
+//!   per-server engines on a flat worker space under `persephone-sim`'s
+//!   virtual clock.
+//! * [`ingress`] — the rack live: [`ingress::run_rack_scheduled`] steers a
+//!   pre-sampled schedule across K running `ServerBuilder` servers, one
+//!   [`ingress::RackMember`] (client port + telemetry handles) each.
+//! * [`report`] — [`report::RackReport`] folds per-server runtime reports
+//!   into one rack-wide dispatcher view.
+//!
+//! Both execution modes drive the *same* policy objects and the same
+//! telemetry-snapshot estimate path, so a steering policy is written once
+//! and exercised twice.
+
+#![warn(missing_docs)]
+
+pub mod ingress;
+pub mod policy;
+pub mod report;
+pub mod sim;
+
+pub use ingress::{run_rack_scheduled, RackLoadReport, RackMember};
+pub use policy::{build as build_rack_policy, RackLoads, RackPolicy, POLICY_NAMES};
+pub use report::RackReport;
+pub use sim::RackSim;

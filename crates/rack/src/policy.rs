@@ -1,0 +1,480 @@
+//! Inter-server steering policies (the rack tier's pluggable plane).
+//!
+//! A [`RackPolicy`] answers one question per arrival: *which server gets
+//! this request?* It decides from [`RackLoads`] — the ingress-side ledger
+//! of what is outstanding where, plus per-type service estimates refreshed
+//! from each server's telemetry [`persephone_telemetry::Snapshot`] — and
+//! never sees intra-server state beyond that. Per-server scheduling stays
+//! with the DARC engines; the rack tier only steers, mirroring RackSched's
+//! split between inter-server load placement and intra-server µs-scale
+//! ordering.
+//!
+//! Shipped policies:
+//!
+//! | name       | decision                                                  |
+//! |------------|-----------------------------------------------------------|
+//! | `random`   | uniform random server                                      |
+//! | `rr`       | round-robin over servers                                   |
+//! | `po2c`     | power-of-two-choices on outstanding request count          |
+//! | `sed`      | shortest expected delay: argmin Σ outstanding·E[service]/W |
+//! | `affinity` | type-hashed home server, spilling when the home is deep    |
+
+use persephone_core::rng::Rng;
+use persephone_core::types::TypeId;
+use persephone_telemetry::Snapshot;
+
+/// The steering-side view of rack load: per-server and per-(server, type)
+/// outstanding requests, plus per-type service estimates.
+///
+/// Outstanding counts are maintained by the driver (simulator or live
+/// ingress) from its own send/complete ledger; estimates are refreshed
+/// from server telemetry snapshots via [`RackLoads::refresh_estimates`].
+#[derive(Clone, Debug)]
+pub struct RackLoads {
+    servers: usize,
+    num_types: usize,
+    workers_per_server: usize,
+    /// Outstanding requests per server (sent minus completed/failed).
+    outstanding: Vec<u64>,
+    /// Outstanding per (server, type), row-major `server * num_types + ty`.
+    per_type: Vec<u64>,
+    /// Per-type service estimate, nanoseconds.
+    est_ns: Vec<f64>,
+}
+
+impl RackLoads {
+    /// An empty ledger; estimates start at the per-type `hints` (1 ns for
+    /// unhinted types, so SED degrades to least-outstanding-count).
+    pub fn new(
+        servers: usize,
+        num_types: usize,
+        workers_per_server: usize,
+        hints: &[Option<persephone_core::time::Nanos>],
+    ) -> Self {
+        assert!(servers > 0, "a rack needs at least one server");
+        assert!(workers_per_server > 0);
+        let est_ns = (0..num_types)
+            .map(|t| {
+                hints
+                    .get(t)
+                    .copied()
+                    .flatten()
+                    .map(|n| n.as_nanos() as f64)
+                    .unwrap_or(1.0)
+                    .max(1.0)
+            })
+            .collect();
+        RackLoads {
+            servers,
+            num_types,
+            workers_per_server,
+            outstanding: vec![0; servers],
+            per_type: vec![0; servers * num_types],
+            est_ns,
+        }
+    }
+
+    /// Number of servers in the rack.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Worker cores per server.
+    pub fn workers_per_server(&self) -> usize {
+        self.workers_per_server
+    }
+
+    /// Outstanding requests at `server`.
+    pub fn outstanding(&self, server: usize) -> u64 {
+        self.outstanding[server]
+    }
+
+    /// Records a request steered to `server`.
+    pub fn sent(&mut self, server: usize, ty: TypeId) {
+        self.outstanding[server] += 1;
+        if let Some(slot) = self.type_slot(server, ty) {
+            self.per_type[slot] += 1;
+        }
+    }
+
+    /// Records a response (or write-off) from `server`.
+    pub fn completed(&mut self, server: usize, ty: TypeId) {
+        self.outstanding[server] = self.outstanding[server].saturating_sub(1);
+        if let Some(slot) = self.type_slot(server, ty) {
+            self.per_type[slot] = self.per_type[slot].saturating_sub(1);
+        }
+    }
+
+    fn type_slot(&self, server: usize, ty: TypeId) -> Option<usize> {
+        if ty.is_unknown() || ty.index() >= self.num_types {
+            None
+        } else {
+            Some(server * self.num_types + ty.index())
+        }
+    }
+
+    /// The current per-type service estimate, nanoseconds.
+    pub fn estimate_ns(&self, ty_index: usize) -> f64 {
+        self.est_ns.get(ty_index).copied().unwrap_or(1.0)
+    }
+
+    /// Expected queueing+service backlog at `server`: outstanding work,
+    /// valued at the per-type estimates, divided by its worker count.
+    pub fn expected_delay_ns(&self, server: usize) -> f64 {
+        let row = &self.per_type[server * self.num_types..(server + 1) * self.num_types];
+        let work: f64 = row
+            .iter()
+            .zip(&self.est_ns)
+            .map(|(&n, &e)| n as f64 * e)
+            .sum();
+        // Requests of unregistered types still occupy a worker; value
+        // them at the mean estimate so they are not free.
+        let untyped = self.outstanding[server].saturating_sub(row.iter().sum::<u64>());
+        let mean_est = self.est_ns.iter().sum::<f64>() / self.est_ns.len().max(1) as f64;
+        (work + untyped as f64 * mean_est) / self.workers_per_server as f64
+    }
+
+    /// Folds per-server telemetry snapshots into fresh per-type service
+    /// estimates (completion-weighted mean of each server's measured
+    /// service histogram). Types with no completions anywhere keep their
+    /// previous estimate — the hint, early in a run.
+    pub fn refresh_estimates(&mut self, snapshots: &[Snapshot]) {
+        for t in 0..self.num_types {
+            let mut weighted = 0.0;
+            let mut count = 0u64;
+            for snap in snapshots {
+                if let Some(ts) = snap.types.get(t) {
+                    let n = ts.counters.completions;
+                    if n > 0 {
+                        weighted += ts.service.mean() * n as f64;
+                        count += n;
+                    }
+                }
+            }
+            if count > 0 {
+                self.est_ns[t] = (weighted / count as f64).max(1.0);
+            }
+        }
+    }
+}
+
+/// An inter-server steering policy.
+///
+/// `pick` is called once per arrival with the current ledger and must
+/// return a server index in `0..loads.servers()`. Policies are `Send` so
+/// the live ingress can run on its own thread.
+pub trait RackPolicy: Send {
+    /// Display name for reports (`random`, `po2c`, ...).
+    fn name(&self) -> &'static str;
+    /// Chooses the server for one request.
+    fn pick(&mut self, ty: TypeId, loads: &RackLoads) -> usize;
+}
+
+/// Uniform random steering — RackSched's strawman baseline.
+pub struct Random {
+    rng: Rng,
+}
+
+impl Random {
+    /// Seeded uniform steering.
+    pub fn new(seed: u64) -> Self {
+        Random {
+            rng: Rng::new(seed),
+        }
+    }
+}
+
+impl RackPolicy for Random {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn pick(&mut self, _ty: TypeId, loads: &RackLoads) -> usize {
+        self.rng.next_below(loads.servers() as u64) as usize
+    }
+}
+
+/// Round-robin steering: perfectly even counts, blind to request size.
+#[derive(Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Starts at server 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl RackPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+
+    fn pick(&mut self, _ty: TypeId, loads: &RackLoads) -> usize {
+        let s = self.next % loads.servers();
+        self.next = (self.next + 1) % loads.servers();
+        s
+    }
+}
+
+/// Power-of-two-choices on outstanding request count: sample two distinct
+/// servers, send to the shallower queue (ties keep the first sample).
+pub struct PowerOfTwo {
+    rng: Rng,
+}
+
+impl PowerOfTwo {
+    /// Seeded po2c steering.
+    pub fn new(seed: u64) -> Self {
+        PowerOfTwo {
+            rng: Rng::new(seed),
+        }
+    }
+}
+
+impl RackPolicy for PowerOfTwo {
+    fn name(&self) -> &'static str {
+        "po2c"
+    }
+
+    fn pick(&mut self, _ty: TypeId, loads: &RackLoads) -> usize {
+        let n = loads.servers();
+        let a = self.rng.next_below(n as u64) as usize;
+        if n == 1 {
+            return a;
+        }
+        let b = (a + 1 + self.rng.next_below(n as u64 - 1) as usize) % n;
+        if loads.outstanding(b) < loads.outstanding(a) {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// Shortest expected delay: weigh each server's outstanding requests by
+/// the telemetry-fed per-type service estimates and pick the argmin —
+/// a size-aware refinement of join-shortest-queue.
+#[derive(Default)]
+pub struct ShortestExpectedDelay;
+
+impl ShortestExpectedDelay {
+    /// Stateless SED steering.
+    pub fn new() -> Self {
+        ShortestExpectedDelay
+    }
+}
+
+impl RackPolicy for ShortestExpectedDelay {
+    fn name(&self) -> &'static str {
+        "sed"
+    }
+
+    fn pick(&mut self, _ty: TypeId, loads: &RackLoads) -> usize {
+        let mut best = 0;
+        let mut best_delay = f64::INFINITY;
+        for s in 0..loads.servers() {
+            let d = loads.expected_delay_ns(s);
+            if d < best_delay {
+                best = s;
+                best_delay = d;
+            }
+        }
+        best
+    }
+}
+
+/// Type-affinity steering: each type hashes to a home server (locality —
+/// warm caches, type-specialized reservations), spilling to the
+/// least-loaded server when the home's queue is deeper than
+/// `spill_depth × workers`.
+pub struct TypeAffinity {
+    /// Home-queue depth (in multiples of the server's worker count) past
+    /// which requests spill to the least-loaded server.
+    spill_depth: u64,
+}
+
+impl TypeAffinity {
+    /// Affinity with the default spill depth (2× workers outstanding).
+    pub fn new() -> Self {
+        TypeAffinity { spill_depth: 2 }
+    }
+}
+
+impl Default for TypeAffinity {
+    fn default() -> Self {
+        TypeAffinity::new()
+    }
+}
+
+impl RackPolicy for TypeAffinity {
+    fn name(&self) -> &'static str {
+        "affinity"
+    }
+
+    fn pick(&mut self, ty: TypeId, loads: &RackLoads) -> usize {
+        let n = loads.servers();
+        let least = |loads: &RackLoads| {
+            (0..n)
+                .min_by_key(|&s| loads.outstanding(s))
+                .expect("servers > 0")
+        };
+        if ty.is_unknown() {
+            return least(loads);
+        }
+        let home = ty.index() % n;
+        let cap = self.spill_depth * loads.workers_per_server() as u64;
+        if loads.outstanding(home) > cap {
+            least(loads)
+        } else {
+            home
+        }
+    }
+}
+
+/// The steering policies [`build`] accepts, for error messages and
+/// spec validation.
+pub const POLICY_NAMES: &[&str] = &["random", "rr", "po2c", "sed", "affinity"];
+
+/// Builds a steering policy by name (`random`, `rr`, `po2c`, `sed`,
+/// `affinity`); `seed` feeds the randomized ones.
+pub fn build(name: &str, seed: u64) -> Result<Box<dyn RackPolicy>, String> {
+    match name {
+        "random" => Ok(Box::new(Random::new(seed))),
+        "rr" | "round_robin" => Ok(Box::new(RoundRobin::new())),
+        "po2c" | "power_of_two" => Ok(Box::new(PowerOfTwo::new(seed))),
+        "sed" => Ok(Box::new(ShortestExpectedDelay::new())),
+        "affinity" | "type_affinity" => Ok(Box::new(TypeAffinity::new())),
+        other => Err(format!(
+            "unknown rack policy `{other}` (accepted: {})",
+            POLICY_NAMES.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persephone_core::time::Nanos;
+
+    fn loads(servers: usize) -> RackLoads {
+        RackLoads::new(
+            servers,
+            2,
+            2,
+            &[Some(Nanos::from_micros(1)), Some(Nanos::from_micros(100))],
+        )
+    }
+
+    #[test]
+    fn ledger_tracks_outstanding_per_server_and_type() {
+        let mut l = loads(3);
+        l.sent(1, TypeId::new(0));
+        l.sent(1, TypeId::new(1));
+        l.sent(2, TypeId::new(1));
+        assert_eq!(l.outstanding(0), 0);
+        assert_eq!(l.outstanding(1), 2);
+        assert_eq!(l.outstanding(2), 1);
+        l.completed(1, TypeId::new(0));
+        assert_eq!(l.outstanding(1), 1);
+        // Expected delay weighs the long type 100× the short one.
+        assert!(l.expected_delay_ns(1) > l.expected_delay_ns(0));
+        assert!((l.expected_delay_ns(1) - l.expected_delay_ns(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_types_still_count_toward_backlog() {
+        let mut l = loads(2);
+        l.sent(0, TypeId::UNKNOWN);
+        assert_eq!(l.outstanding(0), 1);
+        assert!(l.expected_delay_ns(0) > 0.0, "untyped work is not free");
+        l.completed(0, TypeId::UNKNOWN);
+        assert_eq!(l.outstanding(0), 0);
+    }
+
+    #[test]
+    fn po2c_prefers_the_shallower_of_its_two_samples() {
+        let mut l = loads(2);
+        for _ in 0..10 {
+            l.sent(0, TypeId::new(0));
+        }
+        let mut p = PowerOfTwo::new(7);
+        // With one deep and one empty server, both samples always include
+        // server 1 (n=2 ⇒ the two picks are distinct), so every decision
+        // lands on the shallow server.
+        for _ in 0..50 {
+            assert_eq!(p.pick(TypeId::new(0), &l), 1);
+        }
+    }
+
+    #[test]
+    fn sed_weighs_backlog_by_service_estimate() {
+        let mut l = loads(2);
+        // Server 0 holds 3 shorts (1 µs), server 1 holds 1 long (100 µs):
+        // count-based JSQ would pick server 1; SED must pick server 0.
+        for _ in 0..3 {
+            l.sent(0, TypeId::new(0));
+        }
+        l.sent(1, TypeId::new(1));
+        assert_eq!(ShortestExpectedDelay::new().pick(TypeId::new(0), &l), 0);
+    }
+
+    #[test]
+    fn sed_estimates_follow_telemetry_snapshots() {
+        use persephone_telemetry::{Telemetry, TelemetryConfig};
+        let mut l = loads(2);
+        let tel = Telemetry::new(TelemetryConfig::new(2, 2));
+        // Measured shorts are 10× the hint; SED's ledger must follow.
+        for _ in 0..32 {
+            tel.record_completion(0, 0, 0, 10_000);
+        }
+        l.refresh_estimates(&[tel.snapshot()]);
+        // The telemetry histogram is log-bucketed, so the mean is
+        // approximate — within a bucket's relative error of the truth.
+        let est = l.estimate_ns(0);
+        assert!(
+            (est - 10_000.0).abs() / 10_000.0 < 0.05,
+            "estimate {est} tracks the measured 10 µs"
+        );
+        assert!(
+            (l.estimate_ns(1) - 100_000.0).abs() < 1.0,
+            "no completions ⇒ the hint survives"
+        );
+    }
+
+    #[test]
+    fn affinity_homes_types_and_spills_under_depth() {
+        let mut l = loads(2);
+        let mut p = TypeAffinity::new();
+        assert_eq!(p.pick(TypeId::new(0), &l), 0);
+        assert_eq!(p.pick(TypeId::new(1), &l), 1);
+        // Bury the home past 2× its 2 workers: spills to the other server.
+        for _ in 0..5 {
+            l.sent(0, TypeId::new(0));
+        }
+        assert_eq!(p.pick(TypeId::new(0), &l), 1);
+    }
+
+    #[test]
+    fn round_robin_cycles_and_random_stays_in_range() {
+        let l = loads(3);
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..6).map(|_| rr.pick(TypeId::new(0), &l)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        let mut r = Random::new(3);
+        for _ in 0..100 {
+            assert!(r.pick(TypeId::new(0), &l) < 3);
+        }
+    }
+
+    #[test]
+    fn build_accepts_every_listed_name_and_rejects_typos() {
+        for name in POLICY_NAMES {
+            assert_eq!(build(name, 1).unwrap().name(), *name);
+        }
+        let e = build("jsq", 1).err().expect("typos are rejected");
+        assert!(e.contains("po2c"), "error lists accepted names: {e}");
+    }
+}

@@ -1,0 +1,33 @@
+//! The rack-wide report: per-server [`RuntimeReport`]s plus a merged
+//! dispatcher view, generalizing `DispatcherReport::merged` from "shards
+//! of one server" to "shards of every server in the rack".
+
+use persephone_runtime::dispatcher::DispatcherReport;
+use persephone_runtime::RuntimeReport;
+
+/// One live rack run's server-side results.
+#[derive(Clone, Debug, Default)]
+pub struct RackReport {
+    /// Per-server runtime reports, in server order.
+    pub servers: Vec<RuntimeReport>,
+}
+
+impl RackReport {
+    /// The rack-wide dispatcher view: every server's shard reports folded
+    /// through [`DispatcherReport::merged`] in server order, so counters
+    /// sum across the rack and telemetry worker slots concatenate
+    /// server-by-server (server 0's workers first, then server 1's, ...).
+    pub fn merged(&self) -> DispatcherReport {
+        let shards: Vec<DispatcherReport> = self
+            .servers
+            .iter()
+            .flat_map(|s| s.shards.iter().cloned())
+            .collect();
+        DispatcherReport::merged(&shards)
+    }
+
+    /// Requests handled by workers across the whole rack.
+    pub fn handled(&self) -> u64 {
+        self.servers.iter().map(RuntimeReport::handled).sum()
+    }
+}

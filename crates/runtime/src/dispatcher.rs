@@ -40,6 +40,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use persephone_core::classifier::Classifier;
 use persephone_core::dispatch::ScheduleEngine;
@@ -52,6 +53,7 @@ use persephone_telemetry::Snapshot;
 
 use crate::clock::RuntimeClock;
 use crate::messages::{Completion, WorkMsg};
+use crate::worker::IDLE_SPINS_BEFORE_PARK;
 
 /// A queued request: its buffer plus the decoded wire id.
 pub type Pending = (PacketBuf, u64);
@@ -153,6 +155,10 @@ impl DispatcherReport {
 ///
 /// Generic over the scheduling engine so every policy's hot path
 /// monomorphizes — no `dyn` dispatch inside the loop.
+///
+/// An unproductive iteration yields; with `idle_backoff` set, an
+/// iteration that stays unproductive past a short yield-spin phase parks
+/// for that long instead — see [`crate::ServerBuilder::idle_backoff`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_dispatcher<E: ScheduleEngine<Pending>>(
     mut port: ServerPort,
@@ -163,6 +169,7 @@ pub fn run_dispatcher<E: ScheduleEngine<Pending>>(
     mut completion_rx: Vec<spsc::Consumer<Completion>>,
     shutdown: Arc<AtomicBool>,
     clock: RuntimeClock,
+    idle_backoff: Option<Duration>,
 ) -> DispatcherReport {
     assert_eq!(work_tx.len(), engine.num_workers());
     assert_eq!(completion_rx.len(), engine.num_workers());
@@ -177,6 +184,7 @@ pub fn run_dispatcher<E: ScheduleEngine<Pending>>(
     let mut rx_batch: Vec<PacketBuf> = Vec::with_capacity(RX_BATCH);
     let mut comp_batch: Vec<Completion> = Vec::new();
     let mut ctrl_batch: Vec<PacketBuf> = Vec::new();
+    let mut idle_spins: u32 = 0;
 
     loop {
         let mut progressed = false;
@@ -318,7 +326,13 @@ pub fn run_dispatcher<E: ScheduleEngine<Pending>>(
                     break;
                 }
             }
-            std::thread::yield_now();
+            idle_spins = idle_spins.saturating_add(1);
+            match idle_backoff {
+                Some(park) if idle_spins > IDLE_SPINS_BEFORE_PARK => std::thread::sleep(park),
+                _ => std::thread::yield_now(),
+            }
+        } else {
+            idle_spins = 0;
         }
     }
 

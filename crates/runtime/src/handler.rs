@@ -104,6 +104,45 @@ impl RequestHandler for PayloadSpinHandler {
     }
 }
 
+/// Like [`PayloadSpinHandler`] but the worker *sleeps* for the requested
+/// service time instead of burning CPU. Occupancy (a busy worker) is
+/// modeled identically, but the core is free while the request "runs" —
+/// which is what makes many-server rack scenarios runnable in one
+/// process on a small machine, where K servers' worth of spinning would
+/// oversubscribe every core and drown the scheduling signal in
+/// contention. Accurate only for service times well above the OS sleep
+/// granularity (hundreds of microseconds and up).
+pub struct PayloadSleepHandler {
+    /// Safety clamp on a single request's demand (see
+    /// [`PayloadSpinHandler`]).
+    max_ns: u64,
+}
+
+impl PayloadSleepHandler {
+    /// Creates a payload-driven sleeper; single-request demand is clamped
+    /// to `max`.
+    pub fn new(max: Nanos) -> Self {
+        PayloadSleepHandler {
+            max_ns: max.as_nanos(),
+        }
+    }
+}
+
+impl RequestHandler for PayloadSleepHandler {
+    fn handle(&mut self, _ty: TypeId, payload: &mut [u8], request_len: usize) -> usize {
+        let ns = if request_len >= 8 {
+            u64::from_le_bytes(payload[..8].try_into().expect("sliced to 8 bytes"))
+        } else {
+            0
+        };
+        let ns = ns.min(self.max_ns);
+        if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
+        0
+    }
+}
+
 /// Text protocol for [`KvHandler`] request payloads:
 ///
 /// ```text
@@ -215,6 +254,7 @@ impl RequestHandler for TpccHandler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn spin_handler_burns_roughly_the_requested_time() {
@@ -225,6 +265,22 @@ mod tests {
         h.handle(TypeId::new(0), &mut buf, 0);
         let took = start.elapsed().as_micros();
         assert!(took >= 50, "200 µs spin finished in {took} µs");
+    }
+
+    #[test]
+    fn sleep_handler_sleeps_roughly_the_requested_time_and_clamps() {
+        let mut h = PayloadSleepHandler::new(Nanos::from_micros(500));
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&2_000_000u64.to_le_bytes()); // asks for 2 ms
+        let start = std::time::Instant::now();
+        h.handle(TypeId::new(0), &mut buf, 8);
+        let took = start.elapsed();
+        assert!(took >= Duration::from_micros(400), "slept at least ~500 µs");
+        assert!(took < Duration::from_millis(50), "clamped well below 2 ms");
+        // A short payload means zero demand: no sleep at all.
+        let start = std::time::Instant::now();
+        h.handle(TypeId::new(0), &mut buf, 4);
+        assert!(start.elapsed() < Duration::from_millis(5));
     }
 
     #[test]

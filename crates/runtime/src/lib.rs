@@ -17,15 +17,14 @@
 //! ```
 //! use persephone_core::classifier::HeaderClassifier;
 //! use persephone_core::time::Nanos;
-//! use persephone_net::{nic, pool::BufferPool, wire};
+//! use persephone_net::{pool::BufferPool, wire};
 //! use persephone_runtime::handler::SpinHandler;
 //! use persephone_runtime::loadgen::{run_open_loop, LoadSpec, LoadType};
 //! use persephone_runtime::server::ServerBuilder;
 //! use persephone_store::spin::SpinCalibration;
 //!
-//! let (mut client, server_port) = nic::loopback(256);
 //! let cal = SpinCalibration::calibrate();
-//! let handle = ServerBuilder::new(2, 2)
+//! let (handle, bound) = ServerBuilder::new(2, 2)
 //!     .hints(vec![Some(Nanos::from_micros(5)), Some(Nanos::from_micros(100))])
 //!     .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
 //!     .handler_factory(move |_| {
@@ -34,7 +33,9 @@
 //!             &[Nanos::from_micros(5), Nanos::from_micros(100)],
 //!         ))
 //!     })
-//!     .spawn(server_port);
+//!     .start()
+//!     .expect("loopback start cannot fail");
+//! let mut client = bound.into_loopback();
 //!
 //! let mut pool = BufferPool::new(128, 256);
 //! let spec = LoadSpec::new(vec![
@@ -68,6 +69,8 @@ pub mod server;
 pub mod worker;
 
 pub use fault::{FaultPlan, StallFault};
-pub use handler::{KvHandler, RequestHandler, SpinHandler, TpccHandler};
+pub use handler::{
+    KvHandler, PayloadSleepHandler, PayloadSpinHandler, RequestHandler, SpinHandler, TpccHandler,
+};
 pub use loadgen::{run_open_loop, LoadReport, LoadSpec, LoadType};
-pub use server::{RuntimeReport, ServerBuilder, ServerConfig, ServerHandle};
+pub use server::{BoundTransport, RuntimeReport, ServerBuilder, ServerHandle, Transport};

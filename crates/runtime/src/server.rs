@@ -17,6 +17,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use persephone_core::classifier::Classifier;
 use persephone_core::dispatch::{
@@ -39,68 +40,24 @@ use crate::handler::RequestHandler;
 use crate::messages::{Completion, WorkMsg};
 use crate::worker::{run_worker, WorkerReport};
 
-/// Server construction parameters.
-///
-/// Retained as the config carrier for the deprecated [`spawn`] entry
-/// point; new code should use [`ServerBuilder`] directly.
-pub struct ServerConfig {
-    /// Number of application worker threads.
-    pub workers: usize,
-    /// Number of registered request types.
-    pub num_types: usize,
-    /// Optional per-type service-time hints (skips the c-FCFS warm-up when
-    /// all are present).
-    pub hints: Vec<Option<Nanos>>,
-    /// DARC engine configuration (mode, profiler, reservation, queues).
-    pub engine: EngineConfig,
-    /// Depth of each dispatcher↔worker ring.
-    pub ring_depth: usize,
-    /// Fault injection for chaos runs (default: none).
-    pub faults: FaultPlan,
-}
-
-impl ServerConfig {
-    /// A dynamic-DARC server with paper-default parameters.
-    pub fn darc(workers: usize, num_types: usize) -> Self {
-        ServerConfig {
-            workers,
-            num_types,
-            hints: vec![None; num_types],
-            engine: EngineConfig::darc(workers),
-            ring_depth: 8,
-            faults: FaultPlan::none(),
-        }
-    }
-
-    /// Sets service-time hints (one per type).
-    pub fn with_hints(mut self, hints: Vec<Option<Nanos>>) -> Self {
-        self.hints = hints;
-        self
-    }
-
-    /// Installs a fault plan for chaos runs.
-    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
-        self
-    }
-}
-
 /// Which wire [`ServerBuilder::start`] puts the server on.
 ///
 /// The transport only decides how packets reach the dispatcher shards;
-/// scheduling, workers, and telemetry are identical on both. With
+/// scheduling, workers, and telemetry are identical on all of them. With
 /// [`Transport::Udp`] the port in the given address is the *base* port:
 /// shard `i` binds `base + i` (port 0 binds every shard ephemerally —
 /// read the actual sockets back from [`BoundTransport::Udp`]).
-#[derive(Clone, Copy, Debug)]
 pub enum Transport {
     /// In-process loopback rings ([`nic::loopback_mq`] with RSS steering
-    /// and paper-default ring depth). For custom steering or fault
-    /// injection build the port yourself and use [`ServerBuilder::spawn`].
+    /// and paper-default ring depth).
     Loopback,
     /// One nonblocking UDP socket per dispatcher shard, rooted at this
     /// address (see [`udp::server`]).
     Udp(std::net::SocketAddr),
+    /// A pre-built [`ServerPort`] whose client half the caller already
+    /// holds — custom steering ([`Steering::ByType`]), NIC fault plans,
+    /// or a hand-rolled depth all come in through here.
+    Port(ServerPort),
 }
 
 /// What [`ServerBuilder::start`] bound: the client half of the chosen
@@ -111,6 +68,41 @@ pub enum BoundTransport {
     /// The per-shard socket addresses a remote client (e.g.
     /// `loadgen --connect`) should send to, in shard order.
     Udp(Vec<std::net::SocketAddr>),
+    /// The server ran on a caller-supplied [`Transport::Port`]; the
+    /// caller already owns the matching client half.
+    External,
+}
+
+impl BoundTransport {
+    /// Unwraps the loopback client half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was started on another transport.
+    pub fn into_loopback(self) -> ClientPort {
+        match self {
+            BoundTransport::Loopback(client) => client,
+            BoundTransport::Udp(_) => panic!("server bound UDP sockets, not a loopback port"),
+            BoundTransport::External => {
+                panic!("server ran on a caller-supplied port; the client half is yours already")
+            }
+        }
+    }
+
+    /// Unwraps the per-shard UDP socket addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was started on another transport.
+    pub fn into_udp_addrs(self) -> Vec<std::net::SocketAddr> {
+        match self {
+            BoundTransport::Udp(addrs) => addrs,
+            BoundTransport::Loopback(_) => panic!("server bound a loopback port, not UDP sockets"),
+            BoundTransport::External => {
+                panic!("server ran on a caller-supplied port; the client half is yours already")
+            }
+        }
+    }
 }
 
 /// NIC-ring depth [`ServerBuilder::start`] uses for
@@ -130,26 +122,29 @@ type HandlerFactory = Box<dyn Fn(usize) -> Box<dyn RequestHandler>>;
 
 /// Typed builder for a Perséphone server.
 ///
-/// Replaces the old four-positional-argument [`spawn`] free function:
-/// every optional knob has a named method and a paper-default value, and
-/// sharding (`K > 1` dispatchers) is only reachable through the builder.
+/// Every optional knob has a named method and a paper-default value;
+/// sharding (`K > 1` dispatchers) and the wire ([`Transport`]) are both
+/// builder knobs, and [`ServerBuilder::start`] is the single entry point
+/// for every deployment shape — in-process loopback, real UDP sockets,
+/// or a caller-supplied port.
 ///
 /// ```no_run
 /// use persephone_core::classifier::HeaderClassifier;
 /// use persephone_core::time::Nanos;
-/// use persephone_net::{nic, wire};
+/// use persephone_net::wire;
 /// use persephone_runtime::handler::SpinHandler;
 /// use persephone_runtime::server::ServerBuilder;
 /// use persephone_store::spin::SpinCalibration;
 ///
-/// let (_client, server) = nic::loopback(256);
 /// let cal = SpinCalibration::calibrate();
-/// let handle = ServerBuilder::new(4, 2)
+/// let (handle, bound) = ServerBuilder::new(4, 2)
 ///     .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
 ///     .handler_factory(move |_| {
 ///         Box::new(SpinHandler::new(cal, &[Nanos::from_micros(1)]))
 ///     })
-///     .spawn(server);
+///     .start()
+///     .expect("loopback start cannot fail");
+/// let _client = bound.into_loopback();
 /// let report = handle.stop();
 /// # let _ = report;
 /// ```
@@ -165,6 +160,7 @@ pub struct ServerBuilder {
     classifier: Option<ClassifierSource>,
     handler_factory: Option<HandlerFactory>,
     transport: Transport,
+    idle_backoff: Option<Duration>,
 }
 
 impl ServerBuilder {
@@ -184,30 +180,12 @@ impl ServerBuilder {
             classifier: None,
             handler_factory: None,
             transport: Transport::Loopback,
-        }
-    }
-
-    /// Seeds the builder from a [`ServerConfig`] (compatibility path for
-    /// the deprecated [`spawn`] wrapper).
-    pub fn from_config(cfg: ServerConfig) -> Self {
-        ServerBuilder {
-            workers: cfg.workers,
-            num_types: cfg.num_types,
-            hints: cfg.hints,
-            engine: cfg.engine,
-            policy: None,
-            ring_depth: cfg.ring_depth,
-            faults: cfg.faults,
-            shards: 1,
-            classifier: None,
-            handler_factory: None,
-            transport: Transport::Loopback,
+            idle_backoff: None,
         }
     }
 
     /// Selects the wire [`ServerBuilder::start`] binds (default
-    /// [`Transport::Loopback`]). Ignored by [`ServerBuilder::spawn`],
-    /// which takes an explicit port.
+    /// [`Transport::Loopback`]).
     pub fn transport(mut self, transport: Transport) -> Self {
         self.transport = transport;
         self
@@ -224,7 +202,7 @@ impl ServerBuilder {
     /// [`DfcfsEngine`]. The dispatcher loop is monomorphized per engine
     /// type, so policy selection costs nothing per packet.
     ///
-    /// [`ServerBuilder::spawn`] panics for [`Policy::TimeSharing`]: it
+    /// [`ServerBuilder::start`] panics for [`Policy::TimeSharing`]: it
     /// requires preempting a running request, which the
     /// run-to-completion runtime cannot do (`Policy::runs_live` is
     /// `false`; it stays simulator-only).
@@ -261,6 +239,24 @@ impl ServerBuilder {
         self
     }
 
+    /// Parks dispatcher and worker threads for `park` per idle iteration
+    /// once they have been unproductive for a short yield-spin phase,
+    /// instead of busy-yielding forever (the default).
+    ///
+    /// Busy-yielding gives the lowest wake-up latency and is right when
+    /// the server has cores to spare — which is why it stays the default.
+    /// But on a machine with fewer cores than server threads (CI, rack
+    /// tests running several servers side by side), a pile of always-
+    /// runnable idle threads starves the ones with actual work and the
+    /// tail measurements drown in scheduler noise. Parking trades up to
+    /// `park` (plus OS wake-up latency) of added response time on an idle
+    /// server for a quiet machine; with millisecond-scale service times a
+    /// 50–100µs park is invisible in the measurements.
+    pub fn idle_backoff(mut self, park: Duration) -> Self {
+        self.idle_backoff = Some(park);
+        self
+    }
+
     /// Replaces the whole engine configuration.
     pub fn engine(mut self, engine: EngineConfig) -> Self {
         self.engine = engine;
@@ -279,13 +275,6 @@ impl ServerBuilder {
     /// [`ServerBuilder::classifier_factory`]).
     pub fn classifier(mut self, classifier: impl Classifier + 'static) -> Self {
         self.classifier = Some(ClassifierSource::Single(Box::new(classifier)));
-        self
-    }
-
-    /// Sets an already-boxed classifier (compatibility path for the
-    /// deprecated [`spawn`] wrapper).
-    pub fn boxed_classifier(mut self, classifier: Box<dyn Classifier>) -> Self {
-        self.classifier = Some(ClassifierSource::Single(classifier));
         self
     }
 
@@ -310,38 +299,14 @@ impl ServerBuilder {
         self
     }
 
-    /// Spawns the server on `port`.
+    /// Spawns the server on an explicit, pre-built `port`.
     ///
-    /// # Panics
-    ///
-    /// Panics if no classifier or handler factory was set, if
-    /// `workers == 0`, `shards == 0`, `workers < shards`, the hint arity
-    /// mismatches `num_types`, the port's queue count differs from the
-    /// shard count, or `shards > 1` with a single (non-factory)
-    /// classifier. Also panics for [`Policy::TimeSharing`] (preemptive,
-    /// simulator-only) and for [`Policy::DarcStatic`] without any
-    /// service-time hint (the shortest type is undefined).
-    pub fn spawn(self, port: ServerPort) -> ServerHandle {
-        // Resolve the effective policy: an explicit `.policy(...)` wins;
-        // otherwise the legacy `EngineConfig::cfcfs()` mode still selects
-        // c-FCFS, and everything else defaults to DARC.
-        #[allow(deprecated)]
-        let legacy_cfcfs = matches!(self.engine.mode, EngineMode::CFcfs);
-        let policy = match self.policy.clone() {
-            Some(p) => p,
-            None if legacy_cfcfs => Policy::CFcfs,
-            None => Policy::Darc,
-        };
+    /// Internal engine-selection step of [`ServerBuilder::start`] (which
+    /// is the public entry point; `Transport::Port(port)` routes here).
+    fn spawn_on(self, port: ServerPort) -> ServerHandle {
+        let policy = self.policy.clone().unwrap_or(Policy::Darc);
         match policy {
-            Policy::Darc => self.spawn_with(port, |mut cfg, nt, hints| {
-                // A leftover legacy c-FCFS mode would contradict the
-                // explicit DARC request; run full dynamic DARC instead.
-                #[allow(deprecated)]
-                if matches!(cfg.mode, EngineMode::CFcfs) {
-                    cfg.mode = EngineMode::Dynamic;
-                }
-                DarcEngine::new(cfg, nt, hints)
-            }),
+            Policy::Darc => self.spawn_with(port, DarcEngine::new),
             Policy::DarcStatic { reserved_short } => {
                 self.spawn_with(port, move |cfg, nt, hints| {
                     let short = hints
@@ -381,11 +346,14 @@ impl ServerBuilder {
 
     /// Binds the configured [`Transport`] and spawns the server on it,
     /// returning the handle plus the client half of the wire: a loopback
-    /// [`ClientPort`], or the per-shard socket addresses a remote load
-    /// generator should target.
+    /// [`ClientPort`], the per-shard socket addresses a remote load
+    /// generator should target, or [`BoundTransport::External`] when the
+    /// caller supplied the port (and therefore already holds its client
+    /// half).
     ///
-    /// This is [`ServerBuilder::spawn`] with the port built for you —
-    /// switching an in-process experiment to real sockets is one
+    /// This is the single construction path — single-server and rack
+    /// deployments, in-process and real-socket wires all come through
+    /// here; switching an in-process experiment to real sockets is one
     /// [`ServerBuilder::transport`] call, zero dispatcher changes.
     ///
     /// # Errors
@@ -394,21 +362,28 @@ impl ServerBuilder {
     ///
     /// # Panics
     ///
-    /// As [`ServerBuilder::spawn`].
-    pub fn start(self) -> std::io::Result<(ServerHandle, BoundTransport)> {
-        match self.transport {
+    /// Panics if no classifier or handler factory was set, if
+    /// `workers == 0`, `shards == 0`, `workers < shards`, the hint arity
+    /// mismatches `num_types`, the port's queue count differs from the
+    /// shard count, or `shards > 1` with a single (non-factory)
+    /// classifier. Also panics for [`Policy::TimeSharing`] (preemptive,
+    /// simulator-only) and for [`Policy::DarcStatic`] without any
+    /// service-time hint (the shortest type is undefined).
+    pub fn start(mut self) -> std::io::Result<(ServerHandle, BoundTransport)> {
+        match std::mem::replace(&mut self.transport, Transport::Loopback) {
             Transport::Loopback => {
                 let (client, server) =
                     nic::loopback_mq(LOOPBACK_NIC_DEPTH, self.shards, Steering::Rss);
-                Ok((self.spawn(server), BoundTransport::Loopback(client)))
+                Ok((self.spawn_on(server), BoundTransport::Loopback(client)))
             }
             Transport::Udp(addr) => {
                 let port = udp::server(addr, self.shards, UdpConfig::default())?;
                 let addrs = port
                     .local_addrs()
                     .expect("a UDP server port always knows its socket addresses");
-                Ok((self.spawn(port), BoundTransport::Udp(addrs)))
+                Ok((self.spawn_on(port), BoundTransport::Udp(addrs)))
             }
+            Transport::Port(port) => Ok((self.spawn_on(port), BoundTransport::External)),
         }
     }
 
@@ -472,6 +447,7 @@ impl ServerBuilder {
         };
 
         let mut shards = Vec::with_capacity(self.shards);
+        let mut telemetries = Vec::with_capacity(self.shards);
         for (s, shard_port) in shard_ports.into_iter().enumerate() {
             let n_s = base + usize::from(s < rem);
             let mut engine_cfg = self.engine.clone();
@@ -479,6 +455,7 @@ impl ServerBuilder {
             let mut engine = make(engine_cfg, self.num_types, &self.hints);
             let telemetry = Arc::new(Telemetry::new(TelemetryConfig::new(self.num_types, n_s)));
             engine.set_telemetry(telemetry.clone());
+            telemetries.push(telemetry.clone());
 
             let mut work_tx = Vec::with_capacity(n_s);
             let mut completion_rx = Vec::with_capacity(n_s);
@@ -493,10 +470,13 @@ impl ServerBuilder {
                 let handler = handler_factory(g);
                 let tel = Some((local, telemetry.clone()));
                 let fault = self.faults.for_worker(g);
+                let backoff = self.idle_backoff;
                 workers.push(
                     std::thread::Builder::new()
                         .name(format!("psp-worker-{g}"))
-                        .spawn(move || run_worker(wrx, ctx_tx, nic_ctx, handler, tel, fault))
+                        .spawn(move || {
+                            run_worker(wrx, ctx_tx, nic_ctx, handler, tel, fault, backoff)
+                        })
                         .expect("spawn worker"),
                 );
             }
@@ -508,6 +488,7 @@ impl ServerBuilder {
             };
             let dispatcher_ctx = shard_port.context();
             let flag = shutdown.clone();
+            let backoff = self.idle_backoff;
             let dispatcher = std::thread::Builder::new()
                 .name(format!("psp-dispatcher-{s}"))
                 .spawn(move || {
@@ -520,6 +501,7 @@ impl ServerBuilder {
                         completion_rx,
                         flag,
                         clock,
+                        backoff,
                     )
                 })
                 .expect("spawn dispatcher");
@@ -529,7 +511,11 @@ impl ServerBuilder {
             });
         }
 
-        ServerHandle { shutdown, shards }
+        ServerHandle {
+            shutdown,
+            shards,
+            telemetries,
+        }
     }
 }
 
@@ -543,6 +529,7 @@ struct ShardThreads {
 pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     shards: Vec<ShardThreads>,
+    telemetries: Vec<Arc<Telemetry>>,
 }
 
 /// Aggregated reports after shutdown.
@@ -566,6 +553,15 @@ impl RuntimeReport {
 }
 
 impl ServerHandle {
+    /// Per-shard telemetry registries, in shard order — a *live* view of
+    /// the running server (queue depths, per-type counters, sojourns),
+    /// safe to snapshot at any time. A rack steering plane polls these to
+    /// feed load estimates (e.g. shortest-expected-delay) without
+    /// touching the dispatcher hot path.
+    pub fn telemetries(&self) -> &[Arc<Telemetry>] {
+        &self.telemetries
+    }
+
     /// Requests an orderly shutdown, waits for the pipeline to drain, and
     /// returns the aggregated reports.
     pub fn stop(self) -> RuntimeReport {
@@ -584,27 +580,4 @@ impl ServerHandle {
             workers,
         }
     }
-}
-
-/// Spawns a Perséphone server on `port`.
-///
-/// `handler_factory(i)` builds worker `i`'s application handler.
-///
-/// # Panics
-///
-/// Panics if `cfg.workers == 0` or the hint arity mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "use ServerBuilder::new(..).classifier(..).handler_factory(..).spawn(port)"
-)]
-pub fn spawn(
-    cfg: ServerConfig,
-    port: ServerPort,
-    classifier: Box<dyn Classifier>,
-    handler_factory: impl Fn(usize) -> Box<dyn RequestHandler> + 'static,
-) -> ServerHandle {
-    ServerBuilder::from_config(cfg)
-        .boxed_classifier(classifier)
-        .handler_factory(handler_factory)
-        .spawn(port)
 }

@@ -7,7 +7,7 @@
 //! the dispatcher with the measured service time.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use persephone_core::time::Nanos;
 use persephone_net::nic::NetContext;
@@ -25,6 +25,12 @@ use crate::messages::{Completion, WorkMsg};
 /// budget against a dead client takes tens of milliseconds of mostly
 /// idle time — bounded, and off the core the moment the spin tier ends.
 const TX_RETRY_ATTEMPTS: usize = 2_048;
+
+/// Consecutive unproductive loop iterations before an `idle_backoff`
+/// thread parks instead of yielding. The yield-spin phase keeps the
+/// common case (work arrives within microseconds) park-free; only a
+/// genuinely idle thread pays the wake-up latency.
+pub(crate) const IDLE_SPINS_BEFORE_PARK: u32 = 64;
 
 /// Final report returned when a worker terminates.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,7 +55,10 @@ pub struct WorkerReport {
 /// atomic add per request — never on the handler's critical path).
 ///
 /// Idle iterations yield to the OS scheduler so oversubscribed test
-/// environments (more threads than cores) stay live.
+/// environments (more threads than cores) stay live. When `idle_backoff`
+/// is set, a worker that stays idle past a short yield-spin phase parks
+/// for that long per iteration instead — see
+/// [`crate::ServerBuilder::idle_backoff`] for the trade-off.
 ///
 /// `fault` optionally injects a one-shot [`StallFault`]: once the worker
 /// has handled `after_requests` requests, it blocks for the configured
@@ -64,16 +73,23 @@ pub fn run_worker(
     mut handler: Box<dyn RequestHandler>,
     telemetry: Option<(usize, Arc<Telemetry>)>,
     mut fault: Option<StallFault>,
+    idle_backoff: Option<Duration>,
 ) -> WorkerReport {
     let mut report = WorkerReport::default();
+    let mut idle_spins: u32 = 0;
     loop {
         let msg = match work_rx.pop() {
             Some(m) => m,
             None => {
-                std::thread::yield_now();
+                idle_spins = idle_spins.saturating_add(1);
+                match idle_backoff {
+                    Some(park) if idle_spins > IDLE_SPINS_BEFORE_PARK => std::thread::sleep(park),
+                    _ => std::thread::yield_now(),
+                }
                 continue;
             }
         };
+        idle_spins = 0;
         match msg {
             WorkMsg::Shutdown => return report,
             WorkMsg::Request { mut buf, ty, id: _ } => {
@@ -186,7 +202,7 @@ mod tests {
         )));
         let tel_worker = Some((1, tel.clone()));
         let t = std::thread::spawn(move || {
-            run_worker(work_rx, completion_tx, ctx, handler, tel_worker, None)
+            run_worker(work_rx, completion_tx, ctx, handler, tel_worker, None, None)
         });
 
         work_tx
@@ -258,7 +274,7 @@ mod tests {
             .unwrap();
         work_tx.push(WorkMsg::Shutdown).unwrap();
         let report = std::thread::spawn(move || {
-            run_worker(work_rx, completion_tx, ctx, handler, tel_worker, None)
+            run_worker(work_rx, completion_tx, ctx, handler, tel_worker, None, None)
         })
         .join()
         .expect("malformed buffers must not panic the worker");
@@ -295,7 +311,7 @@ mod tests {
         }
         work_tx.push(WorkMsg::Shutdown).unwrap();
         let report = std::thread::spawn(move || {
-            run_worker(work_rx, completion_tx, ctx, handler, None, None)
+            run_worker(work_rx, completion_tx, ctx, handler, None, None, None)
         })
         .join()
         .unwrap();
@@ -333,7 +349,7 @@ mod tests {
             stall: std::time::Duration::from_millis(5),
         });
         let report = std::thread::spawn(move || {
-            run_worker(work_rx, completion_tx, ctx, handler, None, fault)
+            run_worker(work_rx, completion_tx, ctx, handler, None, fault, None)
         })
         .join()
         .unwrap();

@@ -98,6 +98,18 @@ impl TelemetrySummary {
         s
     }
 
+    /// Folds another summary's counters in (rack runs merge one summary
+    /// per server).
+    pub fn absorb(&mut self, other: &TelemetrySummary) {
+        self.completions += other.completions;
+        self.steals += other.steals;
+        self.spillway_hits += other.spillway_hits;
+        self.drops += other.drops;
+        self.expired += other.expired;
+        self.quarantines += other.quarantines;
+        self.events_pushed += other.events_pushed;
+    }
+
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("completions".into(), Json::Int(self.completions as i64)),
@@ -118,6 +130,10 @@ pub struct RunResult {
     pub backend: String,
     /// Policy display name (`Policy::name`).
     pub policy: String,
+    /// Inter-server steering policy, when a rack tier fronted the run.
+    pub rack_policy: Option<String>,
+    /// Servers behind the rack ingress (1 = no rack tier).
+    pub servers: u64,
     /// Duration-weighted mean offered load across phases.
     pub offered_load: f64,
     /// Completions per second of scenario time.
@@ -148,9 +164,17 @@ pub struct RunResult {
 
 impl RunResult {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("backend".into(), Json::Str(self.backend.clone())),
             ("policy".into(), Json::Str(self.policy.clone())),
+        ];
+        // Rack keys only appear on rack scenarios, so pre-rack reports
+        // stay byte-identical under the same schema version.
+        if let Some(rp) = &self.rack_policy {
+            fields.push(("rack_policy".into(), Json::Str(rp.clone())));
+            fields.push(("servers".into(), Json::Int(self.servers as i64)));
+        }
+        fields.extend([
             ("offered_load".into(), Json::Num(self.offered_load)),
             ("achieved_rps".into(), Json::Num(self.achieved_rps)),
             ("sent".into(), Json::Int(self.sent as i64)),
@@ -188,7 +212,8 @@ impl RunResult {
                     None => Json::Null,
                 },
             ),
-        ])
+        ]);
+        Json::Obj(fields)
     }
 }
 
@@ -414,6 +439,8 @@ service = { dist = "constant", mean_us = 100.0 }
             runs: vec![RunResult {
                 backend: "sim".into(),
                 policy: "DARC".into(),
+                rack_policy: None,
+                servers: 1,
                 offered_load: 0.7,
                 achieved_rps: 1000.0,
                 sent: 10,

@@ -11,7 +11,7 @@ pub mod sim;
 pub mod threaded;
 
 use crate::bench::{BenchReport, Deterministic, Meta, Pcts};
-use crate::spec::ScenarioSpec;
+use crate::spec::{RackSpec, ScenarioSpec};
 
 /// Which backends to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,11 +41,52 @@ impl Backend {
 pub fn run_scenario(spec: &ScenarioSpec, backends: &[Backend], meta: Meta) -> BenchReport {
     let trace = spec.build_trace();
     let deterministic = Deterministic::derive(spec, &trace);
+    // All rack runs — the pooled 1-server baseline included — replay one
+    // trace built for the rack's *total* capacity (`workers × servers`).
+    // The baseline serves it with all those workers in a single pooled
+    // server; the rack runs shard the same capacity into `servers`
+    // machines behind a steering policy. That isolates exactly what
+    // RackSched measures: how much of the pooled server's tail does
+    // sharding lose, and how much does each steering policy recover?
+    // The baseline goes through the same rack machinery (every steering
+    // policy is the identity at one server, so it runs as round-robin)
+    // rather than an unrelated single-server code path, so engine setup
+    // is not a confounder.
+    let rack_trace = spec
+        .rack
+        .as_ref()
+        .map(|r| spec.build_trace_for(spec.workers * r.servers));
+    let baseline = RackSpec {
+        servers: 1,
+        policies: vec!["rr".into()],
+    };
     let mut runs = Vec::new();
     for backend in backends {
         match backend {
-            Backend::Sim => runs.extend(sim::run(spec, &trace)),
-            Backend::Threaded => runs.extend(threaded::run(spec, &trace)),
+            Backend::Sim => {
+                runs.extend(sim::run(spec, &trace));
+                if let (Some(rack), Some(rt)) = (&spec.rack, &rack_trace) {
+                    runs.extend(sim::run_rack(
+                        spec,
+                        &baseline,
+                        spec.workers * rack.servers,
+                        rt,
+                    ));
+                    runs.extend(sim::run_rack(spec, rack, spec.workers, rt));
+                }
+            }
+            Backend::Threaded => {
+                runs.extend(threaded::run(spec, &trace));
+                if let (Some(rack), Some(rt)) = (&spec.rack, &rack_trace) {
+                    runs.extend(threaded::run_rack(
+                        spec,
+                        &baseline,
+                        spec.workers * rack.servers,
+                        rt,
+                    ));
+                    runs.extend(threaded::run_rack(spec, rack, spec.workers, rt));
+                }
+            }
         }
     }
     BenchReport {
@@ -99,10 +140,14 @@ pub fn summarize(report: &BenchReport) -> String {
         report.deterministic.phases,
     ));
     for run in &report.runs {
+        let label = match &run.rack_policy {
+            Some(rp) => format!("{}@{}x{}", run.policy, rp, run.servers),
+            None => run.policy.clone(),
+        };
         out.push_str(&format!(
             "  [{}] {:<14} load={:.2} rps={:.0} done={} drop={} p99.9 slowdown={:.1}\n",
             run.backend,
-            run.policy,
+            label,
             run.offered_load,
             run.achieved_rps,
             run.completions,

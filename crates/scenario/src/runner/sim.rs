@@ -6,6 +6,7 @@
 use std::sync::Arc;
 
 use persephone_core::policy::Policy;
+use persephone_rack::{build_rack_policy, RackSim};
 use persephone_sim::engine::{simulate, SimConfig, SimPolicy};
 use persephone_sim::metrics::Percentiles;
 use persephone_sim::policies::{self, darc::DarcSim};
@@ -16,7 +17,7 @@ use persephone_core::time::Nanos;
 
 use crate::bench::{Pcts, RunResult, TelemetrySummary, TypeResult};
 use crate::runner::mean_offered_load;
-use crate::spec::ScenarioSpec;
+use crate::spec::{RackSpec, ScenarioSpec};
 
 fn pcts(p: &Percentiles, scale: f64) -> Pcts {
     Pcts {
@@ -84,6 +85,8 @@ pub fn run(spec: &ScenarioSpec, trace: &[Arrival]) -> Vec<RunResult> {
         runs.push(RunResult {
             backend: "sim".into(),
             policy: policy.name(),
+            rack_policy: None,
+            servers: 1,
             offered_load: mean_offered_load(spec),
             achieved_rps: out.completions as f64 / total.as_secs_f64(),
             sent: trace.len() as u64,
@@ -97,6 +100,77 @@ pub fn run(spec: &ScenarioSpec, trace: &[Arrival]) -> Vec<RunResult> {
             overall_slowdown: pcts(&out.summary.overall_slowdown, 1.0),
             per_type,
             telemetry: telemetry.map(|t| TelemetrySummary::from_snapshot(&t.snapshot())),
+        });
+    }
+    runs
+}
+
+/// Runs the rack tier on the simulator: for each steering policy,
+/// `rack.servers` copies of the spec's first intra-server policy (each
+/// with `workers_per_server` workers) behind that policy, replaying
+/// `trace`. The 1-server baseline passes all the rack's workers as one
+/// pooled server, so total capacity is held constant while the rack is
+/// sharded.
+pub fn run_rack(
+    spec: &ScenarioSpec,
+    rack: &RackSpec,
+    workers_per_server: usize,
+    trace: &[Arrival],
+) -> Vec<RunResult> {
+    let num_types = spec.types.len();
+    let total = spec.total_duration();
+    let hints = spec.hints();
+    let intra = &spec.policies[0];
+    let mut cfg = SimConfig::new(workers_per_server * rack.servers);
+    cfg.warmup_fraction = spec.sim.warmup_fraction;
+    cfg.rtt = Nanos::from_micros_f64(spec.sim.rtt_us);
+
+    let mut runs = Vec::with_capacity(rack.policies.len());
+    for name in &rack.policies {
+        let mut rs = RackSim::new(
+            build_rack_policy(name, spec.seed).expect("names are validated at parse time"),
+            intra,
+            rack.servers,
+            workers_per_server,
+            num_types,
+            &hints,
+            spec.engine.darc_min_samples,
+            spec.engine.queue_capacity,
+        );
+        let out = simulate(&mut rs, trace.iter().copied(), num_types, total, &cfg);
+        let per_type = spec
+            .types
+            .iter()
+            .zip(out.summary.per_type.iter())
+            .map(|(ty, s)| TypeResult {
+                name: ty.name.clone(),
+                count: s.latency_ns.count as u64,
+                latency_us: pcts(&s.latency_ns, 1e-3),
+                slowdown: pcts(&s.slowdown, 1.0),
+            })
+            .collect();
+        let mut telemetry = TelemetrySummary::default();
+        for t in rs.telemetries() {
+            telemetry.absorb(&TelemetrySummary::from_snapshot(&t.snapshot()));
+        }
+        runs.push(RunResult {
+            backend: "sim".into(),
+            policy: intra.name(),
+            rack_policy: Some(name.clone()),
+            servers: rack.servers as u64,
+            offered_load: mean_offered_load(spec),
+            achieved_rps: out.completions as f64 / total.as_secs_f64(),
+            sent: trace.len() as u64,
+            completions: out.completions,
+            dropped: out.summary.dropped,
+            rejected: 0,
+            timed_out: 0,
+            expired: 0,
+            shed_at_shutdown: 0,
+            quarantines: 0,
+            overall_slowdown: pcts(&out.summary.overall_slowdown, 1.0),
+            per_type,
+            telemetry: Some(telemetry),
         });
     }
     runs

@@ -131,6 +131,22 @@ pub struct SimTuning {
     pub rtt_us: f64,
 }
 
+/// The rack tier: replicate the server N times behind inter-server
+/// steering policies (crate `persephone-rack`).
+///
+/// When present, each backend additionally runs a 1-server baseline plus
+/// one N-server rack run per steering policy, with the arrival rate
+/// scaled to the rack's total capacity — so per-server offered load is
+/// held constant while servers are added (the RackSched scaling claim).
+#[derive(Clone, Debug)]
+pub struct RackSpec {
+    /// Servers in the rack (each gets `workers` workers, `shards`
+    /// dispatcher shards, and its own engine).
+    pub servers: usize,
+    /// Steering policies to run; each becomes one rack run per backend.
+    pub policies: Vec<String>,
+}
+
 /// Threaded-runtime-only tuning.
 #[derive(Clone, Debug)]
 pub struct ThreadedTuning {
@@ -154,6 +170,22 @@ pub struct ThreadedTuning {
     /// Wire between client and server: `"loopback"` (in-process rings)
     /// or `"udp"` (one real 127.0.0.1 socket per shard).
     pub transport: String,
+    /// How workers burn the payload-carried service demand: `"spin"`
+    /// (calibrated busy loop — exact, but costs real CPU) or `"sleep"`
+    /// (OS sleep — occupancy without CPU, for many-server rack scenarios
+    /// on small machines; needs service times ≳ hundreds of µs).
+    pub handler: String,
+    /// Idle park per unproductive loop iteration, microseconds; `0.0`
+    /// (the default) busy-yields. Applied to every server's dispatchers
+    /// and workers ([`ServerBuilder::idle_backoff`]) and to the rack
+    /// ingress. Set it (50–100µs) whenever the scenario runs more
+    /// threads than the host has cores and service times are long enough
+    /// to hide the wake-up latency — otherwise idle threads drown the
+    /// busy ones in scheduler noise and the tail measurements are noise,
+    /// not scheduling.
+    ///
+    /// [`ServerBuilder::idle_backoff`]: persephone_runtime::ServerBuilder::idle_backoff
+    pub idle_backoff_us: f64,
 }
 
 /// A fully validated scenario.
@@ -190,6 +222,8 @@ pub struct ScenarioSpec {
     pub sim: SimTuning,
     /// Threaded-runtime tuning.
     pub threaded: ThreadedTuning,
+    /// Optional rack tier (N servers behind inter-server steering).
+    pub rack: Option<RackSpec>,
 }
 
 /// Zipf weights over ranks 1..=n with exponent `s`, normalized to sum 1.
@@ -287,6 +321,26 @@ impl<'a> Ctx<'a> {
     fn req_str(&self, key: &str) -> Result<&'a str, SpecError> {
         self.opt_str(key)?
             .ok_or_else(|| err(self.at(key), "required string is missing"))
+    }
+
+    fn opt_str_array(&self, key: &str) -> Result<Vec<String>, SpecError> {
+        match self.table.get(key) {
+            None => Ok(Vec::new()),
+            Some(Value::Array(items)) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let path = format!("{}[{i}]", self.at(key));
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| err(path, format!("expected a string, found {}", v.kind())))
+                })
+                .collect(),
+            Some(v) => Err(err(
+                self.at(key),
+                format!("expected an array of strings, found {}", v.kind()),
+            )),
+        }
     }
 
     fn opt_table(&self, key: &str) -> Result<Option<Ctx<'a>>, SpecError> {
@@ -452,6 +506,7 @@ impl ScenarioSpec {
             "faults",
             "sim",
             "threaded",
+            "rack",
         ])?;
 
         let name = root.req_str("name")?.to_string();
@@ -790,6 +845,8 @@ impl ScenarioSpec {
                     "max_service_ms",
                     "steering",
                     "transport",
+                    "handler",
+                    "idle_backoff_us",
                 ])?;
                 let time_scale = ctx.f64_or("time_scale", 1.0)?;
                 if time_scale <= 0.0 {
@@ -812,6 +869,20 @@ impl ScenarioSpec {
                         format!("unknown transport `{transport}` (accepted: loopback, udp)"),
                     ));
                 }
+                let handler = ctx.opt_str("handler")?.unwrap_or("spin").to_string();
+                if handler != "spin" && handler != "sleep" {
+                    return Err(err(
+                        ctx.at("handler"),
+                        format!("unknown handler `{handler}` (accepted: spin, sleep)"),
+                    ));
+                }
+                let idle_backoff_us = ctx.f64_or("idle_backoff_us", 0.0)?;
+                if !idle_backoff_us.is_finite() || idle_backoff_us < 0.0 {
+                    return Err(err(
+                        ctx.at("idle_backoff_us"),
+                        format!("{idle_backoff_us} must be finite and >= 0 (0 busy-yields)"),
+                    ));
+                }
                 ThreadedTuning {
                     time_scale,
                     ring_depth: ctx.usize_or("ring_depth", 4096)?,
@@ -821,7 +892,45 @@ impl ScenarioSpec {
                     max_service_ms: ctx.f64_or("max_service_ms", 50.0)?,
                     steering,
                     transport,
+                    handler,
+                    idle_backoff_us,
                 }
+            }
+        };
+
+        let rack = match root.opt_table("rack")? {
+            None => None,
+            Some(ctx) => {
+                ctx.known_keys(&["servers", "policy", "policies"])?;
+                let servers = ctx.usize_or("servers", 2)?;
+                if servers < 2 {
+                    return Err(err(
+                        ctx.at("servers"),
+                        format!("{servers} must be at least 2 (1-server baseline runs anyway)"),
+                    ));
+                }
+                let mut rack_policies = Vec::new();
+                if let Some(one) = ctx.opt_str("policy")? {
+                    rack_policies.push(one.to_string());
+                }
+                for p in ctx.opt_str_array("policies")? {
+                    rack_policies.push(p);
+                }
+                if rack_policies.is_empty() {
+                    return Err(err(
+                        ctx.at("policy"),
+                        "need `policy = \"...\"` or `policies = [...]`",
+                    ));
+                }
+                for p in &rack_policies {
+                    if let Err(e) = persephone_rack::build_rack_policy(p, 0) {
+                        return Err(err(ctx.at("policy"), e));
+                    }
+                }
+                Some(RackSpec {
+                    servers,
+                    policies: rack_policies,
+                })
             }
         };
 
@@ -841,6 +950,7 @@ impl ScenarioSpec {
             faults,
             sim,
             threaded,
+            rack,
         })
     }
 
@@ -914,8 +1024,15 @@ impl ScenarioSpec {
     /// single seeded-RNG source of arrival times, request types, and
     /// per-request service demands.
     pub fn build_trace(&self) -> Vec<Arrival> {
+        self.build_trace_for(self.workers)
+    }
+
+    /// Like [`build_trace`](Self::build_trace), but with the arrival rate
+    /// scaled to `capacity_workers` worker cores — used by rack runs to
+    /// hold per-server offered load constant as servers are added.
+    pub fn build_trace_for(&self, capacity_workers: usize) -> Vec<Arrival> {
         let pw = self.phased_workload();
-        let mut gen = ArrivalGen::phased(&pw, self.workers, self.seed);
+        let mut gen = ArrivalGen::phased(&pw, capacity_workers, self.seed);
         if let ArrivalSpec::Bursty {
             calm_ms,
             burst_ms,
@@ -943,6 +1060,8 @@ impl Default for ThreadedTuning {
             max_service_ms: 50.0,
             steering: "rss".to_string(),
             transport: "loopback".to_string(),
+            handler: "spin".to_string(),
+            idle_backoff_us: 0.0,
         }
     }
 }
@@ -1005,6 +1124,101 @@ service = { dist = "constant", mean_us = 100.0 }
         let e = ScenarioSpec::from_toml(&bad).unwrap_err();
         assert_eq!(e.path, "threaded.transport");
         assert!(e.msg.contains("loopback, udp"), "lists accepted wires: {e}");
+    }
+
+    #[test]
+    fn handler_key_parses_and_rejects_unknown_handlers() {
+        let spec = ScenarioSpec::from_toml(MINIMAL).unwrap();
+        assert_eq!(spec.threaded.handler, "spin", "default handler");
+        let sleepy = MINIMAL.replace(
+            "duration_ms = 10.0",
+            "duration_ms = 10.0\n\n[threaded]\nhandler = \"sleep\"",
+        );
+        let spec = ScenarioSpec::from_toml(&sleepy).unwrap();
+        assert_eq!(spec.threaded.handler, "sleep");
+        let bad = sleepy.replace("\"sleep\"", "\"yield\"");
+        let e = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert_eq!(e.path, "threaded.handler");
+        assert!(e.msg.contains("spin, sleep"), "lists accepted: {e}");
+    }
+
+    #[test]
+    fn idle_backoff_parses_and_rejects_negatives() {
+        let spec = ScenarioSpec::from_toml(MINIMAL).unwrap();
+        assert_eq!(spec.threaded.idle_backoff_us, 0.0, "default busy-yields");
+        let parked = MINIMAL.replace(
+            "duration_ms = 10.0",
+            "duration_ms = 10.0\n\n[threaded]\nidle_backoff_us = 50.0",
+        );
+        let spec = ScenarioSpec::from_toml(&parked).unwrap();
+        assert_eq!(spec.threaded.idle_backoff_us, 50.0);
+        let bad = parked.replace("50.0", "-1.0");
+        let e = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert_eq!(e.path, "threaded.idle_backoff_us");
+        assert!(e.msg.contains(">= 0"), "states the bound: {e}");
+    }
+
+    #[test]
+    fn rack_section_round_trips_and_rejects_bad_input() {
+        let spec = ScenarioSpec::from_toml(MINIMAL).unwrap();
+        assert!(spec.rack.is_none(), "no [rack] means no rack tier");
+
+        let racked = MINIMAL.replace(
+            "duration_ms = 10.0",
+            "duration_ms = 10.0\n\n[rack]\nservers = 4\npolicies = [\"random\", \"po2c\"]",
+        );
+        let spec = ScenarioSpec::from_toml(&racked).unwrap();
+        let rack = spec.rack.expect("[rack] parses");
+        assert_eq!(rack.servers, 4);
+        assert_eq!(rack.policies, vec!["random", "po2c"]);
+
+        let single = MINIMAL.replace(
+            "duration_ms = 10.0",
+            "duration_ms = 10.0\n\n[rack]\nservers = 2\npolicy = \"sed\"",
+        );
+        let rack = ScenarioSpec::from_toml(&single).unwrap().rack.unwrap();
+        assert_eq!(rack.policies, vec!["sed"]);
+
+        // Unknown steering policy names are rejected at parse time.
+        let bad = racked.replace("\"po2c\"", "\"jsq2\"");
+        let e = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert!(e.msg.contains("jsq2"), "names the offender: {e}");
+
+        // Unknown keys inside [rack] are rejected with the accepted list.
+        let bad = racked.replace("servers = 4", "servers = 4\nreplicas = 3");
+        let e = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert!(e.msg.contains("servers"), "lists accepted keys: {e}");
+
+        // A rack of one is a misconfiguration, not a degenerate run.
+        let bad = racked.replace("servers = 4", "servers = 1");
+        let e = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert_eq!(e.path, "rack.servers");
+
+        // A [rack] with no policy at all is rejected.
+        let bad = racked.replace("\npolicies = [\"random\", \"po2c\"]", "");
+        let e = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert_eq!(e.path, "rack.policy");
+    }
+
+    #[test]
+    fn trace_for_scaled_capacity_keeps_per_server_load_constant() {
+        let spec = ScenarioSpec::from_toml(MINIMAL).unwrap();
+        let one = spec.build_trace();
+        let four = spec.build_trace_for(spec.workers * 4);
+        // Same duration, ~4x the arrivals: per-server offered load holds.
+        let ratio = four.len() as f64 / one.len() as f64;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "expected ~4x arrivals, got {}x ({} vs {})",
+            ratio,
+            four.len(),
+            one.len()
+        );
+        assert_eq!(
+            spec.build_trace_for(spec.workers).len(),
+            one.len(),
+            "build_trace == build_trace_for(workers)"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ fn main() {
             let db = db.clone();
             move |_worker| Box::new(KvHandler::new(db.clone()))
         })
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 
     // 50 % GET / 50 % SCAN over 5000 keys, as in the paper.
     let mut pool = BufferPool::new(512, 256);

@@ -27,7 +27,10 @@ fn main() {
         .hints(services.iter().map(|s| Some(*s)).collect())
         .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
         .handler_factory(move |_worker| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 
     // 3. An open-loop Poisson client: 90 % short, 10 % long.
     let mut pool = BufferPool::new(512, 256);

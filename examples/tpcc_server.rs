@@ -30,7 +30,10 @@ fn main() {
             let db = db.clone();
             move |worker| Box::new(TpccHandler::new(db.clone(), worker as u64 + 1))
         })
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 
     // The standard transaction mix.
     let mut pool = BufferPool::new(512, 256);

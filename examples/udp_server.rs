@@ -50,7 +50,7 @@ fn main() {
                 println!("shard {i} listening on {a}");
             }
         }
-        BoundTransport::Loopback(_) => unreachable!("transport is UDP"),
+        _ => unreachable!("transport is UDP"),
     }
 
     println!("serving for {secs}s...");

@@ -20,6 +20,8 @@
 //!   `persephone-store`).
 //! * [`telemetry`] — zero-allocation histograms, counters, and the
 //!   scheduler-decision event ring (crate `persephone-telemetry`).
+//! * [`rack`] — the rack-scale steering tier: inter-server policies over
+//!   N servers, in the simulator and live (crate `persephone-rack`).
 //! * [`scenario`] — declarative TOML workload scenarios runnable on both
 //!   backends, emitting `BENCH_*.json` reports (crate
 //!   `persephone-scenario`; also the `scenario` CLI binary).
@@ -39,6 +41,7 @@
 
 pub use persephone_core as core;
 pub use persephone_net as net;
+pub use persephone_rack as rack;
 pub use persephone_runtime as runtime;
 pub use persephone_scenario as scenario;
 pub use persephone_sim as sim;
@@ -70,16 +73,23 @@ pub mod prelude {
     pub use persephone_net::pool::BufferPool;
     pub use persephone_net::udp::{self, UdpConfig, UdpQueueStats};
     pub use persephone_net::wire::{self, Kind, Status};
+    pub use persephone_rack::{
+        build_rack_policy, run_rack_scheduled, RackLoadReport, RackLoads, RackMember, RackPolicy,
+        RackReport, RackSim,
+    };
+    pub use persephone_runtime::dispatcher::DispatcherReport;
     pub use persephone_runtime::fault::FaultPlan;
     pub use persephone_runtime::handler::{
-        KvHandler, PayloadSpinHandler, RequestHandler, SpinHandler, TpccHandler,
+        KvHandler, PayloadSleepHandler, PayloadSpinHandler, RequestHandler, SpinHandler,
+        TpccHandler,
     };
     pub use persephone_runtime::loadgen::{
         run_open_loop, run_scheduled, LoadReport, LoadSpec, LoadType, ScheduledRequest,
     };
     pub use persephone_runtime::server::{
-        BoundTransport, RuntimeReport, ServerBuilder, ServerConfig, ServerHandle, Transport,
+        BoundTransport, RuntimeReport, ServerBuilder, ServerHandle, Transport,
     };
+    pub use persephone_runtime::worker::WorkerReport;
     pub use persephone_scenario::{Backend, BenchReport, ScenarioSpec};
     pub use persephone_store::kv::KvStore;
     pub use persephone_store::spin::SpinCalibration;

@@ -44,7 +44,10 @@ fn stalled_worker_degrades_gracefully() {
         .faults(FaultPlan::none().stall_worker(0, 3, stall))
         .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
         .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
     let mut pool = BufferPool::new(1024, 128);
     // Long requests alone demand 2.5 of 3 cores; the 200 ms stall tips
     // the long type into overload so deadline shedding must engage.
@@ -121,7 +124,10 @@ fn nic_drops_are_timed_out_by_the_client() {
         .hints(services.iter().map(|s| Some(*s)).collect())
         .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
         .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
     let mut pool = BufferPool::new(256, 128);
     let spec = LoadSpec::new(vec![
         LoadType {
@@ -240,6 +246,7 @@ fn full_work_ring_is_deferred_not_panicked() {
             vec![completion_rx],
             flag,
             RuntimeClock::start(),
+            None,
         )
     });
 
@@ -282,7 +289,10 @@ fn shutdown_answers_queued_requests_with_dropped() {
         .hints(vec![Some(services[0])])
         .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 1))
         .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 
     let mut pool = BufferPool::new(64, 128);
     let total: u64 = 30;

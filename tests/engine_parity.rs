@@ -1,8 +1,8 @@
 //! Decision-parity tests for the extracted baseline engines.
 //!
 //! The dispatch.rs split (PR 4) must not change a single scheduling
-//! decision: the dedicated [`CfcfsEngine`] has to replay the legacy
-//! `EngineMode::CFcfs`-inside-`DarcEngine` path decision for decision,
+//! decision: the dedicated [`CfcfsEngine`] has to replay `DarcEngine`'s
+//! c-FCFS warm-up placement path decision for decision,
 //! and [`SjfEngine`] has to order a hinted trace exactly as the
 //! simulator's pre-adapterization shortest-job-first did. Both tests
 //! drive the engines through the [`ScheduleEngine`] trait with the same
@@ -74,35 +74,38 @@ fn drive<E: ScheduleEngine<u64> + ?Sized>(
     decisions
 }
 
-/// The legacy c-FCFS mode inside `DarcEngine` and the dedicated
-/// `CfcfsEngine` make byte-identical decisions on the same trace.
+/// `DarcEngine`'s c-FCFS warm-up phase and the dedicated `CfcfsEngine`
+/// make byte-identical decisions on the same trace (they share the same
+/// FCFS placement path).
 #[test]
-fn cfcfs_engine_replays_legacy_darc_cfcfs_mode() {
+fn cfcfs_engine_replays_darc_warmup_fcfs() {
     let hints = [Some(Nanos::from_micros(1)), Some(Nanos::from_micros(100))];
     let service = |ty: TypeId| hints[ty.index()].unwrap();
     let arrivals = trace(0xC0FFEE, 4_000, 2, 700);
 
-    #[allow(deprecated)]
-    let legacy_cfg = EngineConfig::cfcfs(6);
-    let mut legacy: DarcEngine<u64> = DarcEngine::new(legacy_cfg, 2, &hints);
-    let legacy_decisions = drive(&mut legacy, &arrivals, service);
+    // Unhinted + an unfillable window: the engine stays in c-FCFS
+    // warm-up for the whole trace.
+    let mut warmup_cfg = EngineConfig::darc(6);
+    warmup_cfg.profiler.min_samples = u64::MAX;
+    let mut warmup: DarcEngine<u64> = DarcEngine::new(warmup_cfg, 2, &[None, None]);
+    let warmup_decisions = drive(&mut warmup, &arrivals, service);
 
     let mut dedicated: CfcfsEngine<u64> = CfcfsEngine::new(EngineConfig::darc(6), 2, &hints);
     let dedicated_decisions = drive(&mut dedicated, &arrivals, service);
 
     assert_eq!(
-        legacy_decisions.len(),
+        warmup_decisions.len(),
         arrivals.len(),
         "every request dispatched exactly once"
     );
     assert_eq!(
-        legacy_decisions, dedicated_decisions,
+        warmup_decisions, dedicated_decisions,
         "the split must not change a single c-FCFS decision"
     );
-    assert_eq!(ScheduleEngine::total_pending(&legacy), 0);
+    assert_eq!(ScheduleEngine::total_pending(&warmup), 0);
     assert_eq!(ScheduleEngine::total_pending(&dedicated), 0);
     assert_eq!(
-        ScheduleEngine::free_workers(&legacy),
+        ScheduleEngine::free_workers(&warmup),
         ScheduleEngine::free_workers(&dedicated)
     );
 }

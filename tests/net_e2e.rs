@@ -44,10 +44,7 @@ fn udp_builder(workers: usize, shards: usize) -> ServerBuilder {
 #[test]
 fn udp_two_shard_server_serves_external_style_client() {
     let (handle, bound) = udp_builder(4, 2).start().expect("bind shard sockets");
-    let addrs = match bound {
-        BoundTransport::Udp(a) => a,
-        BoundTransport::Loopback(_) => unreachable!("transport is UDP"),
-    };
+    let addrs = bound.into_udp_addrs();
     assert_eq!(addrs.len(), 2, "one socket per shard");
     assert_ne!(addrs[0].port(), addrs[1].port());
 
@@ -141,10 +138,7 @@ fn udp_two_shard_server_serves_external_style_client() {
 #[test]
 fn udp_lossy_wire_times_out_injected_drops_without_leaks() {
     let (handle, bound) = udp_builder(2, 1).start().expect("bind shard socket");
-    let addrs = match bound {
-        BoundTransport::Udp(a) => a,
-        BoundTransport::Loopback(_) => unreachable!("transport is UDP"),
-    };
+    let addrs = bound.into_udp_addrs();
 
     let mut client = udp::client(
         &addrs,

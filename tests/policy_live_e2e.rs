@@ -40,7 +40,10 @@ fn run_policy(policy: Policy, seed: u64) {
         .hints(services.iter().map(|s| Some(*s)).collect())
         .classifier_factory(|_shard| Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)))
         .handler_factory(move |_worker| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 
     let mut pool = BufferPool::new(256, 128);
     let spec = LoadSpec::new(vec![
@@ -152,24 +155,27 @@ fn time_sharing_is_rejected_at_spawn() {
             let cal = SpinCalibration::calibrate();
             Box::new(SpinHandler::new(cal, &[Nanos::from_micros(1)]))
         })
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 }
 
-/// The legacy deprecated `EngineConfig::cfcfs()` shim still boots a
-/// server, now routed onto the dedicated c-FCFS engine.
+/// `Policy::CFcfs` boots through the unified `start()` entry point on
+/// the default loopback transport and routes onto the dedicated c-FCFS
+/// engine.
 #[test]
-fn legacy_cfcfs_engine_config_still_boots() {
+fn cfcfs_policy_boots_through_start() {
     let services = spin_services();
     let cal = SpinCalibration::calibrate();
-    let (mut client, server_port) = loopback(256);
-    #[allow(deprecated)]
-    let engine = persephone::core::dispatch::EngineConfig::cfcfs(2);
-    let handle = ServerBuilder::new(2, 2)
-        .engine(engine)
+    let (handle, bound) = ServerBuilder::new(2, 2)
+        .policy(Policy::CFcfs)
         .hints(services.iter().map(|s| Some(*s)).collect())
         .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
         .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .start()
+        .expect("loopback start cannot fail");
+    let mut client = bound.into_loopback();
 
     let mut pool = BufferPool::new(64, 128);
     let spec = LoadSpec::new(vec![LoadType {
@@ -191,6 +197,6 @@ fn legacy_cfcfs_engine_config_still_boots() {
     assert_eq!(server.handled(), report.received);
     assert_eq!(
         server.dispatcher.policy, "c-FCFS",
-        "the deprecated shim routes onto the dedicated engine"
+        "Policy::CFcfs routes onto the dedicated engine"
     );
 }

@@ -1,0 +1,208 @@
+//! End-to-end tests of the rack tier: cross-server report merging
+//! (`RackReport::merged` generalizes `DispatcherReport::merged` from
+//! "shards of one server" to "shards of every server"), and a live
+//! 2-server × 2-shard rack driven through `run_rack_scheduled`.
+
+// These tests drive the threaded runtime against wall-clock deadlines;
+// under `--features model-check` the rings run on the checker's fallback
+// shims (orders of magnitude slower), which breaks the timing assumptions.
+#![cfg(not(feature = "model-check"))]
+
+use std::time::Duration;
+
+use persephone::prelude::*;
+use persephone::telemetry::WorkerCountersSnap;
+
+/// A synthetic shard report with every counter set to a distinct
+/// multiple of `base`, plus one telemetry worker slot tagged with `base`
+/// so concatenation order is observable.
+fn shard_report(base: u64, guaranteed: Vec<usize>) -> DispatcherReport {
+    let mut telemetry = Snapshot::default();
+    telemetry.workers.push(WorkerCountersSnap {
+        busy_ns: base,
+        ..Default::default()
+    });
+    DispatcherReport {
+        policy: "DARC".into(),
+        received: base,
+        classified: 2 * base,
+        unknown: 3 * base,
+        malformed: 4 * base,
+        dropped: 5 * base,
+        dispatched: 6 * base,
+        completed: 7 * base,
+        expired: 8 * base,
+        shed_at_shutdown: 9 * base,
+        quarantines: 10 * base,
+        releases: 11 * base,
+        tx_give_ups: 12 * base,
+        reservation_updates: 13 * base,
+        guaranteed,
+        telemetry,
+    }
+}
+
+/// `RackReport::merged` is conservative: every counter is the sum over
+/// all shards of all servers, `guaranteed` sums element-wise, and the
+/// telemetry worker slots concatenate in server order.
+#[test]
+fn rack_merged_conserves_counters_across_servers() {
+    let bases = [1u64, 10, 100, 1000];
+    let servers: Vec<RuntimeReport> = bases
+        .chunks(2)
+        .map(|pair| {
+            let shards: Vec<DispatcherReport> =
+                pair.iter().map(|&b| shard_report(b, vec![1, 2])).collect();
+            RuntimeReport {
+                dispatcher: DispatcherReport::merged(&shards),
+                shards,
+                workers: vec![WorkerReport::default(); 2],
+            }
+        })
+        .collect();
+    let rack = RackReport { servers };
+
+    let merged = rack.merged();
+    let total: u64 = bases.iter().sum();
+    assert_eq!(merged.policy, "DARC", "first shard's policy name");
+    assert_eq!(merged.received, total);
+    assert_eq!(merged.classified, 2 * total);
+    assert_eq!(merged.unknown, 3 * total);
+    assert_eq!(merged.malformed, 4 * total);
+    assert_eq!(merged.dropped, 5 * total);
+    assert_eq!(merged.dispatched, 6 * total);
+    assert_eq!(merged.completed, 7 * total);
+    assert_eq!(merged.expired, 8 * total);
+    assert_eq!(merged.shed_at_shutdown, 9 * total);
+    assert_eq!(merged.quarantines, 10 * total);
+    assert_eq!(merged.releases, 11 * total);
+    assert_eq!(merged.tx_give_ups, 12 * total);
+    assert_eq!(merged.reservation_updates, 13 * total);
+    assert_eq!(
+        merged.guaranteed,
+        vec![bases.len(), 2 * bases.len()],
+        "guaranteed cores sum element-wise"
+    );
+    assert_eq!(
+        merged.telemetry.workers.len(),
+        bases.len(),
+        "worker slots concatenate, one per shard here"
+    );
+    let order: Vec<u64> = merged.telemetry.workers.iter().map(|w| w.busy_ns).collect();
+    assert_eq!(
+        order,
+        bases.to_vec(),
+        "server 0's shards first, then server 1's"
+    );
+}
+
+/// A live 2-server rack, each server sharded 2×: the ingress ledger
+/// balances, both servers carry traffic, and the rack-merged dispatcher
+/// view agrees with the per-server reports the same way a single
+/// server's merged view agrees with its shards.
+#[test]
+fn two_server_two_shard_rack_conserves_and_merges() {
+    let num_types = 2;
+    let workers_per_server = 2;
+    let services = [Nanos::from_micros(5), Nanos::from_micros(100)];
+    let hints: Vec<Option<Nanos>> = services.iter().map(|s| Some(*s)).collect();
+    let cal = SpinCalibration::calibrate();
+
+    let mut members = Vec::new();
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let (client, server_port) = loopback_mq(512, 2, Steering::Rss);
+        let (handle, _) = ServerBuilder::new(workers_per_server, num_types)
+            .shards(2)
+            .hints(hints.clone())
+            .idle_backoff(Duration::from_micros(50))
+            .classifier_factory(|_shard| Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)))
+            .handler_factory(move |_worker| {
+                Box::new(PayloadSpinHandler::new(cal, Nanos::from_millis(5)))
+            })
+            .transport(Transport::Port(server_port))
+            .start()
+            .expect("in-process start cannot fail");
+        members.push(RackMember {
+            client,
+            telemetries: handle.telemetries().to_vec(),
+        });
+        handles.push(handle);
+    }
+
+    // 400 requests, 80/20 short/long, paced 200µs apart (~80ms of load —
+    // light enough that a one-core CI host drains it without starving
+    // the client pool).
+    let schedule: Vec<ScheduledRequest> = (0..400u64)
+        .map(|i| {
+            let ty = u32::from(i % 5 == 4);
+            ScheduledRequest {
+                at_ns: i * 200_000,
+                ty,
+                service_ns: services[ty as usize].as_nanos(),
+            }
+        })
+        .collect();
+
+    let mut policy = build_rack_policy("rr", 7).expect("rr is a valid rack policy");
+    let mut pool = BufferPool::new(512, 128);
+    let report = run_rack_scheduled(
+        &mut members,
+        policy.as_mut(),
+        &mut pool,
+        num_types,
+        workers_per_server,
+        &hints,
+        &schedule,
+        Duration::from_secs(2),
+        Some(Duration::from_micros(50)),
+    );
+    let rack = RackReport {
+        servers: handles.into_iter().map(|h| h.stop()).collect(),
+    };
+
+    // Ingress ledger balances and round-robin touched both servers.
+    assert_eq!(report.sent, 400);
+    assert_eq!(
+        report.received + report.dropped + report.rejected + report.timed_out,
+        report.sent,
+        "client totals balance"
+    );
+    assert_eq!(report.per_server_sent.iter().sum::<u64>(), report.sent);
+    assert_eq!(report.per_server_sent, vec![200, 200], "rr alternates");
+    assert_eq!(report.timed_out, 0, "light load drains within grace");
+
+    // Per-server reports exist with the full shard structure.
+    assert_eq!(rack.servers.len(), 2);
+    for (s, server) in rack.servers.iter().enumerate() {
+        assert_eq!(server.shards.len(), 2, "server {s} keeps its shards");
+        assert_eq!(server.workers.len(), workers_per_server);
+        assert!(server.handled() > 0, "server {s} did work");
+    }
+
+    // The rack-merged view sums counters over every server's shards …
+    let merged = rack.merged();
+    assert_eq!(
+        merged.received,
+        rack.servers
+            .iter()
+            .map(|s| s.dispatcher.received)
+            .sum::<u64>()
+    );
+    assert_eq!(merged.received, report.sent, "nothing lost on the wire");
+    assert_eq!(merged.malformed, 0);
+    assert_eq!(merged.unknown, 0);
+
+    // … conserves requests end to end across the rack …
+    assert_eq!(
+        merged.received,
+        rack.handled() + merged.dropped + merged.expired + merged.shed_at_shutdown,
+        "no request may vanish inside the rack"
+    );
+    assert_eq!(rack.handled(), report.received + report.dropped);
+
+    // … and concatenates every server's worker telemetry slots.
+    assert_eq!(merged.telemetry.workers.len(), 2 * workers_per_server);
+    assert_eq!(merged.telemetry.completions(), rack.handled());
+    assert!(merged.telemetry.workers.iter().any(|w| w.busy_ns > 0));
+}

@@ -31,7 +31,10 @@ fn spin_server(workers: usize, port: ServerPort, hints: bool) -> ServerHandle {
     builder
         .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
         .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(port)
+        .transport(Transport::Port(port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0
 }
 
 #[test]
@@ -225,7 +228,10 @@ fn flow_control_sheds_only_the_overloaded_type() {
         .tune_engine(|e| e.queue_capacity = 4) // Tiny typed queues force drops.
         .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
         .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
     let mut pool = BufferPool::new(1024, 128);
     // Flood with long requests (5 ms each): their queue must overflow.
     let spec = LoadSpec::new(vec![
@@ -274,7 +280,10 @@ fn kv_service_end_to_end() {
             let db = db.clone();
             move |_| Box::new(KvHandler::new(db.clone()))
         })
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
     let mut pool = BufferPool::new(128, 256);
     let spec = LoadSpec::new(vec![
         LoadType {
@@ -318,7 +327,10 @@ fn tpcc_service_end_to_end() {
             let db = db.clone();
             move |w| Box::new(TpccHandler::new(db.clone(), w as u64))
         })
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
     let mut pool = BufferPool::new(128, 128);
     let spec = LoadSpec::new(
         Transaction::ALL
@@ -360,7 +372,10 @@ fn content_classifier_works_in_the_full_pipeline() {
         .hints(services.iter().map(|s| Some(*s)).collect())
         .classifier(classifier)
         .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
     let mut pool = BufferPool::new(128, 128);
     let spec = LoadSpec::new(vec![LoadType {
         // The wire type field says 1, but the classifier reads 'S'.

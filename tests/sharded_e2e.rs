@@ -31,7 +31,10 @@ fn sharded_server_conserves_requests_and_merges_telemetry() {
         .hints(services.iter().map(|s| Some(*s)).collect())
         .classifier_factory(|_shard| Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)))
         .handler_factory(move |_worker| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 
     let mut pool = BufferPool::new(256, 128);
     let spec = LoadSpec::new(vec![
@@ -115,7 +118,10 @@ fn by_type_steering_pins_types_to_shards() {
         .hints(services.iter().map(|s| Some(*s)).collect())
         .classifier_factory(|_shard| Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)))
         .handler_factory(move |_worker| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 
     let mut pool = BufferPool::new(64, 128);
     let per_type: u64 = 20;
@@ -169,7 +175,10 @@ fn builder_defaults_run_a_single_shard_server() {
     let handle = ServerBuilder::new(2, 2)
         .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
         .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 
     let mut buf = BufferPool::new(8, 64).alloc().unwrap();
     let len = wire::encode_request(buf.raw_mut(), 0, 1, b"x").unwrap();
@@ -193,21 +202,20 @@ fn builder_defaults_run_a_single_shard_server() {
     assert_eq!(server.dispatcher.received, server.shards[0].received);
 }
 
-/// The deprecated positional `spawn` keeps working and produces the same
-/// report shape as the builder it forwards to.
+/// The unified `start()` entry point returns the in-process client half
+/// through `BoundTransport` for the default loopback transport — no
+/// hand-built port required.
 #[test]
-fn deprecated_spawn_wrapper_matches_builder() {
+fn start_on_default_loopback_returns_the_client_half() {
     let services = spin_services();
     let cal = SpinCalibration::calibrate();
-    let (mut client, server_port) = loopback(256);
-    let cfg = ServerConfig::darc(2, 2).with_hints(services.iter().map(|s| Some(*s)).collect());
-    #[allow(deprecated)]
-    let handle = persephone::runtime::server::spawn(
-        cfg,
-        server_port,
-        Box::new(HeaderClassifier::new(wire::TYPE_OFFSET, 2)),
-        move |_| Box::new(SpinHandler::new(cal, &services)),
-    );
+    let (handle, bound) = ServerBuilder::new(2, 2)
+        .hints(services.iter().map(|s| Some(*s)).collect())
+        .classifier(HeaderClassifier::new(wire::TYPE_OFFSET, 2))
+        .handler_factory(move |_| Box::new(SpinHandler::new(cal, &services)))
+        .start()
+        .expect("loopback start cannot fail");
+    let mut client = bound.into_loopback();
 
     let mut pool = BufferPool::new(64, 128);
     let spec = LoadSpec::new(vec![LoadType {
@@ -244,7 +252,10 @@ fn spawn_rejects_queue_shard_mismatch() {
             let cal = SpinCalibration::calibrate();
             Box::new(SpinHandler::new(cal, &[Nanos::from_micros(1)]))
         })
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 }
 
 /// A sharded server needs a per-shard classifier factory; one shared
@@ -260,5 +271,8 @@ fn spawn_rejects_single_classifier_with_multiple_shards() {
             let cal = SpinCalibration::calibrate();
             Box::new(SpinHandler::new(cal, &[Nanos::from_micros(1)]))
         })
-        .spawn(server_port);
+        .transport(Transport::Port(server_port))
+        .start()
+        .expect("in-process start cannot fail")
+        .0;
 }
