@@ -1,0 +1,114 @@
+//! Hot-path microbenchmarks behind the committed `BENCH_hotpath.json`
+//! trajectory: per-policy dispatch-cycle cost on the dense request
+//! plane, the DARC decision paths, and the sharded-cycle cost.
+//!
+//! The scenario CLI (`scenario run scenarios/hotpath.toml`) regenerates
+//! the committed report with a min-of-reps methodology; this harness is
+//! the interactive view of the same loops with full statistics:
+//!
+//! ```text
+//! cargo bench -p persephone-bench --bench hotpath
+//! ```
+
+use persephone_bench::crit::{criterion_group, criterion_main, Criterion, Throughput};
+use persephone_core::dispatch::{
+    CfcfsEngine, DarcEngine, DfcfsEngine, EngineConfig, FixedPriorityEngine, ScheduleEngine,
+    SjfEngine,
+};
+use persephone_core::time::Nanos;
+use persephone_core::types::TypeId;
+use std::hint::black_box;
+
+const WORKERS: usize = 8;
+
+fn config(workers: usize) -> (EngineConfig, [Option<Nanos>; 2]) {
+    let mut cfg = EngineConfig::darc(workers);
+    // Huge window so reservation updates never fire inside the benchmark.
+    cfg.profiler.min_samples = u64::MAX;
+    let hints = [Some(Nanos::from_micros(1)), Some(Nanos::from_micros(100))];
+    (cfg, hints)
+}
+
+/// One full enqueue → poll → complete cycle, monomorphized per engine.
+fn cycle<E: ScheduleEngine<u64>>(eng: &mut E, i: &mut u64) {
+    let ty = TypeId::new((*i % 2) as u32);
+    let now = Nanos::from_nanos(*i);
+    eng.enqueue(ty, *i, now).unwrap();
+    let d = eng.poll(now).expect("a worker is free");
+    eng.complete(d.worker, Nanos::from_micros(1), now);
+    *i += 1;
+}
+
+/// FNV-1a-64 of the sequence number — the stand-in RSS hash the runtime
+/// and the scenario tier both steer by.
+#[inline]
+fn rss_hash(seq: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in seq.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.throughput(Throughput::Elements(1));
+
+    macro_rules! policy_cycle {
+        ($name:literal, $engine:ty) => {
+            g.bench_function(concat!($name, "_cycle"), |b| {
+                let (cfg, hints) = config(WORKERS);
+                let mut eng: $engine = <$engine>::new(cfg, 2, &hints);
+                let mut i = 0u64;
+                b.iter(|| {
+                    cycle(&mut eng, &mut i);
+                    black_box(&eng);
+                });
+            });
+        };
+    }
+    policy_cycle!("darc", DarcEngine<u64>);
+    policy_cycle!("cfcfs", CfcfsEngine<u64>);
+    policy_cycle!("sjf", SjfEngine<u64>);
+    policy_cycle!("fp", FixedPriorityEngine<u64>);
+    policy_cycle!("dfcfs", DfcfsEngine<u64>);
+
+    // The non-work-conserving decision: every worker busy, work queued,
+    // poll scans the dense queue array and chooses to idle.
+    g.bench_function("darc_idle_poll", |b| {
+        let (cfg, hints) = config(WORKERS);
+        let mut eng: DarcEngine<u64> = DarcEngine::new(cfg, 2, &hints);
+        for i in 0..(WORKERS as u64 + 8) {
+            eng.enqueue(TypeId::new((i % 2) as u32), i, Nanos::from_nanos(i))
+                .unwrap();
+        }
+        for _ in 0..WORKERS {
+            eng.poll(Nanos::ZERO).expect("a worker is free");
+        }
+        b.iter(|| black_box(eng.poll(Nanos::ZERO).is_none()));
+    });
+
+    // Shard scaling: K independent engines behind hash steering.
+    for k in [1usize, 2, 4, 8] {
+        g.bench_function(format!("sharded_cycle_k{k}"), |b| {
+            let mut engines: Vec<DarcEngine<u64>> = (0..k)
+                .map(|_| {
+                    let (cfg, hints) = config((WORKERS / k).max(1));
+                    DarcEngine::new(cfg, 2, &hints)
+                })
+                .collect();
+            let mut i = 0u64;
+            b.iter(|| {
+                let eng = &mut engines[(rss_hash(i) % k as u64) as usize];
+                cycle(eng, &mut i);
+                black_box(&engines);
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

@@ -6,7 +6,6 @@
 //! queues and sequence numbers). A dedicated engine keeps the hot path a
 //! plain `pop_front` and lets DARC's code stop special-casing FCFS.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use persephone_telemetry::{DispatchKind, Telemetry};
@@ -14,6 +13,7 @@ use persephone_telemetry::{DispatchKind, Telemetry};
 use super::common::{tslot, WorkerTable};
 use super::engine::{Dispatch, EngineReport, ScheduleEngine};
 use super::EngineConfig;
+use crate::arena::ArenaRing;
 use crate::profile::Profiler;
 use crate::time::Nanos;
 use crate::types::{TypeId, WorkerId};
@@ -31,7 +31,7 @@ struct Entry<R> {
 /// shed selectively. Deadline shedding expires the queue head only: the
 /// head is always the oldest entry, so anything behind it is younger.
 pub struct CfcfsEngine<R> {
-    queue: VecDeque<Entry<R>>,
+    queue: ArenaRing<Entry<R>>,
     capacity: usize,
     workers: WorkerTable,
     profiler: Profiler,
@@ -41,7 +41,7 @@ pub struct CfcfsEngine<R> {
     /// Per telemetry slot (`num_types` = UNKNOWN): queued entries, drops.
     pending: Vec<usize>,
     drops: Vec<u64>,
-    expired_buf: VecDeque<(TypeId, R)>,
+    expired_buf: ArenaRing<(TypeId, R)>,
     expired_total: u64,
     num_types: usize,
     telemetry: Option<Arc<Telemetry>>,
@@ -56,7 +56,7 @@ impl<R> CfcfsEngine<R> {
     pub fn new(cfg: EngineConfig, num_types: usize, hints: &[Option<Nanos>]) -> Self {
         assert!(cfg.num_workers > 0, "need at least one worker");
         CfcfsEngine {
-            queue: VecDeque::new(),
+            queue: ArenaRing::with_slots(cfg.queue_capacity),
             capacity: cfg.queue_capacity,
             workers: WorkerTable::new(cfg.num_workers),
             profiler: Profiler::new(cfg.profiler, num_types, hints),
@@ -65,7 +65,7 @@ impl<R> CfcfsEngine<R> {
             min_stall: cfg.overload.min_stall,
             pending: vec![0; num_types + 1],
             drops: vec![0; num_types + 1],
-            expired_buf: VecDeque::new(),
+            expired_buf: ArenaRing::new(),
             expired_total: 0,
             num_types,
             telemetry: None,
@@ -141,9 +141,11 @@ impl<R: Send> ScheduleEngine<R> for CfcfsEngine<R> {
     }
 
     fn poll(&mut self, now: Nanos) -> Option<Dispatch<R>> {
-        if self.workers.free_count() == 0 || self.queue.is_empty() {
+        if self.queue.is_empty() {
             return None;
         }
+        // `first_free` is the emptiness check for the worker side: one
+        // bitmask word scan, no separate counter load.
         let worker = self.workers.first_free()?;
         let entry = self.queue.pop_front()?;
         self.pending[tslot(entry.ty, self.num_types)] -= 1;
@@ -246,8 +248,7 @@ impl<R: Send> ScheduleEngine<R> for CfcfsEngine<R> {
         self.workers.is_quarantined(worker.index())
     }
 
-    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
-        let mut out = Vec::new();
+    fn drain_all(&mut self, now: Nanos, out: &mut Vec<(TypeId, R)>) {
         while let Some(e) = self.queue.pop_front() {
             let waited = now.saturating_sub(e.enqueued);
             self.pending[tslot(e.ty, self.num_types)] -= 1;
@@ -261,7 +262,6 @@ impl<R: Send> ScheduleEngine<R> for CfcfsEngine<R> {
             }
             out.push((e.ty, e.req));
         }
-        out
     }
 
     fn quiescent(&self) -> bool {
@@ -391,7 +391,8 @@ mod tests {
         let mut eng = engine(2);
         eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
         eng.enqueue(TypeId::UNKNOWN, 2, micros(0)).unwrap();
-        let drained = eng.drain_all(micros(5));
+        let mut drained = Vec::new();
+        eng.drain_all(micros(5), &mut drained);
         assert_eq!(drained.len(), 2);
         assert_eq!(eng.total_pending(), 0);
         assert_eq!(eng.report().expired, 2);

@@ -18,7 +18,6 @@
 //! * **Flow control** — arrivals to a full typed queue are rejected back
 //!   to the caller (dropped), shedding load only for the overloaded type.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use persephone_telemetry::{DispatchKind, Telemetry};
@@ -26,6 +25,7 @@ use persephone_telemetry::{DispatchKind, Telemetry};
 use super::common::{tslot, WorkerTable};
 use super::engine::{Dispatch, EngineReport, ScheduleEngine};
 use super::{EngineConfig, EngineMode, OverloadConfig};
+use crate::arena::ArenaRing;
 use crate::profile::Profiler;
 use crate::queue::TypedQueue;
 use crate::reserve::{reserve, Reservation, ReserveConfig};
@@ -74,7 +74,7 @@ pub struct DarcEngine<R> {
     overload: OverloadConfig,
     /// Deadline-expired requests awaiting pickup by the caller (answered
     /// with `Dropped` in the runtime, counted in the simulator).
-    expired_buf: VecDeque<(TypeId, R)>,
+    expired_buf: ArenaRing<(TypeId, R)>,
     expired_total: u64,
     reservation: Reservation,
     profiler: Profiler,
@@ -116,7 +116,7 @@ impl<R> DarcEngine<R> {
             seq: 0,
             workers: WorkerTable::new(cfg.num_workers),
             overload: cfg.overload,
-            expired_buf: VecDeque::new(),
+            expired_buf: ArenaRing::new(),
             expired_total: 0,
             reservation: Reservation::all_shared(num_types, cfg.num_workers),
             profiler,
@@ -363,12 +363,16 @@ impl<R> DarcEngine<R> {
     ///
     /// Call in a loop after every enqueue/complete until it returns `None`.
     pub fn poll(&mut self, now: Nanos) -> Option<Dispatch<R>> {
-        if self.workers.free_count() == 0 {
-            return None;
-        }
         match self.phase {
+            // `poll_fcfs` starts with its own `first_free` probe, so a
+            // separate free-count load here would be pure overhead.
             Phase::Warmup => self.poll_fcfs(now),
-            Phase::Darc | Phase::Frozen => self.poll_darc(now),
+            Phase::Darc | Phase::Frozen => {
+                if self.workers.free_count() == 0 {
+                    return None;
+                }
+                self.poll_darc(now)
+            }
         }
     }
 
@@ -475,10 +479,12 @@ impl<R> DarcEngine<R> {
     }
 
     /// Drains every typed queue (shutdown teardown), counting each entry
-    /// as shed and returning all of them so the caller can answer each
-    /// with `Dropped` instead of silently discarding queued work.
-    pub fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
-        let mut out = Vec::new();
+    /// as shed and appending all of them to `out` so the caller can
+    /// answer each with `Dropped` instead of silently discarding queued
+    /// work. Entries stream straight from the queues into the caller's
+    /// (reusable) buffer — no intermediate collect.
+    pub fn drain_all(&mut self, now: Nanos, out: &mut Vec<(TypeId, R)>) {
+        let before = out.len();
         for i in 0..self.num_types {
             let ty = TypeId::new(i as u32);
             for e in self.queues[i].drain() {
@@ -496,8 +502,7 @@ impl<R> DarcEngine<R> {
             }
             out.push((TypeId::UNKNOWN, e.req));
         }
-        self.expired_total += out.len() as u64;
-        out
+        self.expired_total += (out.len() - before) as u64;
     }
 
     /// Forces a reservation recomputation from the current window (used by
@@ -633,27 +638,33 @@ impl<R> DarcEngine<R> {
 
     /// Centralized FCFS: dispatch the globally oldest pending request to
     /// any free worker.
+    ///
+    /// The queue walk is a branch-light min-fold over head sequence
+    /// numbers: empty queues report `u64::MAX` via
+    /// [`TypedQueue::head_seq`] and lose every comparison, so the loop
+    /// body carries no emptiness branch and sequence numbers are unique,
+    /// so no tiebreak is needed.
     fn poll_fcfs(&mut self, now: Nanos) -> Option<Dispatch<R>> {
         let worker = self.workers.first_free()?;
-        // Find the queue whose head has the smallest sequence number.
-        let mut best: Option<(u64, usize)> = None; // (seq, queue index; num_types = UNKNOWN)
+        let mut best_seq = self.unknown.head_seq();
+        let mut best_qi = self.num_types; // num_types = the UNKNOWN queue
         for (i, q) in self.queues.iter().enumerate() {
-            if let Some(e) = q.front() {
-                if best.map(|(s, _)| e.seq < s).unwrap_or(true) {
-                    best = Some((e.seq, i));
-                }
+            let seq = q.head_seq();
+            if seq < best_seq {
+                best_seq = seq;
+                best_qi = i;
             }
         }
-        if let Some(e) = self.unknown.front() {
-            if best.map(|(s, _)| e.seq < s).unwrap_or(true) {
-                best = Some((e.seq, self.num_types));
-            }
+        if best_seq == u64::MAX {
+            return None;
         }
-        let (_, qi) = best?;
-        let (ty, entry) = if qi == self.num_types {
+        let (ty, entry) = if best_qi == self.num_types {
             (TypeId::UNKNOWN, self.unknown.pop().unwrap())
         } else {
-            (TypeId::new(qi as u32), self.queues[qi].pop().unwrap())
+            (
+                TypeId::new(best_qi as u32),
+                self.queues[best_qi].pop().unwrap(),
+            )
         };
         Some(self.assign(worker, ty, entry, now, DispatchKind::Fcfs))
     }
@@ -712,21 +723,17 @@ impl<R> DarcEngine<R> {
     }
 
     /// A free worker serving group `gi`: first the group's own reserved
-    /// cores, then stealable cores borrowed from longer groups.
+    /// cores, then stealable cores borrowed from longer groups. The
+    /// lists are ascending and short (they partition the worker pool),
+    /// and the walk is a branch-predictable byte scan over `free[..]`.
+    #[inline]
     fn free_in_group(&self, gi: usize) -> Option<(WorkerId, DispatchKind)> {
         let g = &self.reservation.groups[gi];
-        if let Some(w) = g
-            .reserved
-            .iter()
-            .copied()
-            .find(|w| self.workers.is_free(w.index()))
-        {
+        if let Some(w) = self.workers.first_free_in(&g.reserved) {
             return Some((w, DispatchKind::Reserved));
         }
-        g.stealable
-            .iter()
-            .copied()
-            .find(|w| self.workers.is_free(w.index()))
+        self.workers
+            .first_free_in(&g.stealable)
             .map(|w| (w, DispatchKind::Stolen))
     }
 
@@ -739,12 +746,9 @@ impl<R> DarcEngine<R> {
                 .all(|w| self.workers.is_quarantined(w.index()))
     }
 
+    #[inline]
     fn free_spillway(&self) -> Option<WorkerId> {
-        self.reservation
-            .spillway
-            .iter()
-            .copied()
-            .find(|w| self.workers.is_free(w.index()))
+        self.workers.first_free_in(&self.reservation.spillway)
     }
 
     fn assign(
@@ -820,8 +824,8 @@ impl<R: Send> ScheduleEngine<R> for DarcEngine<R> {
         DarcEngine::is_quarantined(self, worker)
     }
 
-    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
-        DarcEngine::drain_all(self, now)
+    fn drain_all(&mut self, now: Nanos, out: &mut Vec<(TypeId, R)>) {
+        DarcEngine::drain_all(self, now, out)
     }
 
     fn quiescent(&self) -> bool {
@@ -1415,7 +1419,8 @@ mod tests {
         eng.enqueue(TypeId::new(0), 1, micros(0)).unwrap();
         eng.enqueue(TypeId::new(1), 2, micros(0)).unwrap();
         eng.enqueue(TypeId::UNKNOWN, 3, micros(0)).unwrap();
-        let drained = eng.drain_all(micros(5));
+        let mut drained = Vec::new();
+        eng.drain_all(micros(5), &mut drained);
         assert_eq!(drained.len(), 3);
         assert!(drained.contains(&(TypeId::new(0), 1)));
         assert!(drained.contains(&(TypeId::UNKNOWN, 3)));

@@ -11,7 +11,6 @@
 //! are reproducible and `persephone-core` stays dependency-free; seed it
 //! via [`DfcfsEngine::with_seed`].
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use persephone_telemetry::{DispatchKind, Telemetry};
@@ -19,6 +18,7 @@ use persephone_telemetry::{DispatchKind, Telemetry};
 use super::common::{tslot, WorkerTable};
 use super::engine::{Dispatch, EngineReport, ScheduleEngine};
 use super::EngineConfig;
+use crate::arena::ArenaRing;
 use crate::profile::Profiler;
 use crate::time::Nanos;
 use crate::types::{TypeId, WorkerId};
@@ -51,7 +51,7 @@ impl SplitMix64 {
 /// Decentralized FCFS with random per-worker steering.
 pub struct DfcfsEngine<R> {
     /// One private FIFO per worker.
-    queues: Vec<VecDeque<Entry<R>>>,
+    queues: Vec<ArenaRing<Entry<R>>>,
     /// Per-queue capacity (`0` = unbounded).
     capacity: usize,
     rng: SplitMix64,
@@ -77,7 +77,7 @@ impl<R> DfcfsEngine<R> {
     pub fn new(cfg: EngineConfig, num_types: usize, hints: &[Option<Nanos>]) -> Self {
         assert!(cfg.num_workers > 0, "need at least one worker");
         DfcfsEngine {
-            queues: (0..cfg.num_workers).map(|_| VecDeque::new()).collect(),
+            queues: (0..cfg.num_workers).map(|_| ArenaRing::new()).collect(),
             capacity: cfg.queue_capacity,
             rng: SplitMix64(0xD15_EA5E),
             workers: WorkerTable::new(cfg.num_workers),
@@ -247,8 +247,7 @@ impl<R: Send> ScheduleEngine<R> for DfcfsEngine<R> {
         self.workers.is_quarantined(worker.index())
     }
 
-    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
-        let mut out = Vec::new();
+    fn drain_all(&mut self, now: Nanos, out: &mut Vec<(TypeId, R)>) {
         for w in 0..self.queues.len() {
             while let Some(e) = self.queues[w].pop_front() {
                 let waited = now.saturating_sub(e.enqueued);
@@ -264,7 +263,6 @@ impl<R: Send> ScheduleEngine<R> for DfcfsEngine<R> {
                 out.push((e.ty, e.req));
             }
         }
-        out
     }
 
     fn quiescent(&self) -> bool {
@@ -376,7 +374,8 @@ mod tests {
             eng.enqueue(TypeId::new(i % 2), i, micros(0)).unwrap();
         }
         let n = eng.total_pending();
-        let drained = eng.drain_all(micros(1));
+        let mut drained = Vec::new();
+        eng.drain_all(micros(1), &mut drained);
         assert_eq!(drained.len(), n);
         assert_eq!(eng.total_pending(), 0);
         let r = eng.report();

@@ -132,9 +132,11 @@ pub trait ScheduleEngine<R>: Send {
     /// Whether `worker` is currently quarantined.
     fn is_quarantined(&self, worker: WorkerId) -> bool;
 
-    /// Drains every queue (shutdown teardown), returning all entries so
-    /// the caller can answer each with `Dropped`.
-    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)>;
+    /// Drains every queue (shutdown teardown), appending all entries to
+    /// `out` so the caller can answer each with `Dropped`. Taking the
+    /// buffer from the caller lets it be reused across engines instead
+    /// of allocating a fresh `Vec` per drain.
+    fn drain_all(&mut self, now: Nanos, out: &mut Vec<(TypeId, R)>);
 
     /// Whether every worker is either idle or quarantined — the engine's
     /// quiescence condition for shutdown.

@@ -10,7 +10,6 @@
 //! Unlike [`super::SjfEngine`], the order never adapts: FP is the static
 //! operator-configured policy of the taxonomy.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use persephone_telemetry::{DispatchKind, Telemetry};
@@ -18,6 +17,7 @@ use persephone_telemetry::{DispatchKind, Telemetry};
 use super::common::{tslot, WorkerTable};
 use super::engine::{Dispatch, EngineReport, ScheduleEngine};
 use super::EngineConfig;
+use crate::arena::ArenaRing;
 use crate::profile::Profiler;
 use crate::queue::TypedQueue;
 use crate::time::Nanos;
@@ -35,7 +35,7 @@ pub struct FixedPriorityEngine<R> {
     deadline_slowdown: Option<f64>,
     stall_factor: Option<f64>,
     min_stall: Nanos,
-    expired_buf: VecDeque<(TypeId, R)>,
+    expired_buf: ArenaRing<(TypeId, R)>,
     expired_total: u64,
     num_types: usize,
     telemetry: Option<Arc<Telemetry>>,
@@ -64,7 +64,7 @@ impl<R> FixedPriorityEngine<R> {
             deadline_slowdown: cfg.overload.deadline_slowdown,
             stall_factor: cfg.overload.stall_factor,
             min_stall: cfg.overload.min_stall,
-            expired_buf: VecDeque::new(),
+            expired_buf: ArenaRing::new(),
             expired_total: 0,
             num_types,
             telemetry: None,
@@ -241,8 +241,8 @@ impl<R: Send> ScheduleEngine<R> for FixedPriorityEngine<R> {
         self.workers.is_quarantined(worker.index())
     }
 
-    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
-        let mut out = Vec::new();
+    fn drain_all(&mut self, now: Nanos, out: &mut Vec<(TypeId, R)>) {
+        let before = out.len();
         for i in 0..self.num_types {
             let ty = TypeId::new(i as u32);
             for e in self.queues[i].drain() {
@@ -260,8 +260,7 @@ impl<R: Send> ScheduleEngine<R> for FixedPriorityEngine<R> {
             }
             out.push((TypeId::UNKNOWN, e.req));
         }
-        self.expired_total += out.len() as u64;
-        out
+        self.expired_total += (out.len() - before) as u64;
     }
 
     fn quiescent(&self) -> bool {

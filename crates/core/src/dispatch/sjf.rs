@@ -11,7 +11,6 @@
 //! the EWMA, so a type whose service time drifts re-sorts itself without
 //! any reservation machinery.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use persephone_telemetry::{DispatchKind, Telemetry};
@@ -19,6 +18,7 @@ use persephone_telemetry::{DispatchKind, Telemetry};
 use super::common::{tslot, WorkerTable};
 use super::engine::{Dispatch, EngineReport, ScheduleEngine};
 use super::EngineConfig;
+use crate::arena::ArenaRing;
 use crate::profile::Profiler;
 use crate::queue::TypedQueue;
 use crate::time::Nanos;
@@ -34,7 +34,7 @@ pub struct SjfEngine<R> {
     deadline_slowdown: Option<f64>,
     stall_factor: Option<f64>,
     min_stall: Nanos,
-    expired_buf: VecDeque<(TypeId, R)>,
+    expired_buf: ArenaRing<(TypeId, R)>,
     expired_total: u64,
     num_types: usize,
     telemetry: Option<Arc<Telemetry>>,
@@ -62,7 +62,7 @@ impl<R> SjfEngine<R> {
             deadline_slowdown: cfg.overload.deadline_slowdown,
             stall_factor: cfg.overload.stall_factor,
             min_stall: cfg.overload.min_stall,
-            expired_buf: VecDeque::new(),
+            expired_buf: ArenaRing::new(),
             expired_total: 0,
             num_types,
             telemetry: None,
@@ -261,8 +261,8 @@ impl<R: Send> ScheduleEngine<R> for SjfEngine<R> {
         self.workers.is_quarantined(worker.index())
     }
 
-    fn drain_all(&mut self, now: Nanos) -> Vec<(TypeId, R)> {
-        let mut out = Vec::new();
+    fn drain_all(&mut self, now: Nanos, out: &mut Vec<(TypeId, R)>) {
+        let before = out.len();
         for i in 0..self.num_types {
             let ty = TypeId::new(i as u32);
             for e in self.queues[i].drain() {
@@ -280,8 +280,7 @@ impl<R: Send> ScheduleEngine<R> for SjfEngine<R> {
             }
             out.push((TypeId::UNKNOWN, e.req));
         }
-        self.expired_total += out.len() as u64;
-        out
+        self.expired_total += (out.len() - before) as u64;
     }
 
     fn quiescent(&self) -> bool {
@@ -434,7 +433,8 @@ mod tests {
         assert_eq!(eng.take_expired(), Some((TypeId::new(0), 1)));
         eng.complete(d.worker, micros(11), micros(11));
         eng.enqueue(TypeId::new(1), 2, micros(11)).unwrap();
-        let drained = eng.drain_all(micros(12));
+        let mut drained = Vec::new();
+        eng.drain_all(micros(12), &mut drained);
         assert_eq!(drained, vec![(TypeId::new(1), 2)]);
         assert_eq!(eng.report().expired, 2);
     }

@@ -25,6 +25,8 @@
 //! ## Module map
 //!
 //! * [`time`] — integer nanosecond clock type.
+//! * [`arena`] — slab FIFO with an intrusive freelist; the zero-alloc
+//!   storage layer under every typed queue.
 //! * [`rng`] — seeded xoshiro256++ streams shared by the simulator, the
 //!   load generator, and the scenario engine.
 //! * [`dist`] — service-time distributions sampled identically on both
@@ -65,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod classifier;
 pub mod dispatch;
 pub mod dist;

@@ -205,10 +205,20 @@ impl Profiler {
         let Some(tw) = self.types.get(ty.index()) else {
             return;
         };
-        if let Some(est) = self.current_estimate(tw) {
-            if delay.as_nanos() as f64 > self.cfg.slowdown_slo * est {
-                self.delay_signal = true;
-            }
+        // Division-free form of `delay > slo * (sum / count)`: cross-
+        // multiply by `count` so the per-dispatch cost is two f64
+        // multiplies instead of a divide (fdiv is the single most
+        // expensive ALU op on this path, and this runs on every poll).
+        let d = delay.as_nanos() as f64;
+        let exceeded = if tw.count > 0 {
+            d * tw.count as f64 > self.cfg.slowdown_slo * tw.service_sum_ns as f64
+        } else if let Some(est) = tw.estimate_ns {
+            d > self.cfg.slowdown_slo * est
+        } else {
+            false
+        };
+        if exceeded {
+            self.delay_signal = true;
         }
     }
 

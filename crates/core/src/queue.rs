@@ -4,9 +4,14 @@
 //! is under pressure and a typed queue fills up, new arrivals of that type
 //! are dropped — shedding load *only* for the overloaded type without
 //! impacting the rest of the workload.
+//!
+//! Storage is an [`ArenaRing`](crate::arena::ArenaRing): a slab FIFO with
+//! an intrusive freelist. Bounded queues pre-warm the slab to their
+//! capacity at construction, and unbounded queues grow to their high-water
+//! mark once — after that, enqueue/dequeue touch no allocator at all
+//! (pinned by the `no_alloc_dispatch` harness).
 
-use std::collections::VecDeque;
-
+use crate::arena::ArenaRing;
 use crate::time::Nanos;
 
 /// A queued request together with its arrival metadata.
@@ -38,7 +43,13 @@ pub struct Entry<R> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct TypedQueue<R> {
-    entries: VecDeque<Entry<R>>,
+    entries: ArenaRing<Entry<R>>,
+    /// Cached `seq` of the head entry (`u64::MAX` when empty). The
+    /// centralized-FCFS min-fold reads this once per queue straight out of
+    /// the dense queue array — no arena-slot dereference on the poll path.
+    /// Kept coherent by every call that changes the head (push into an
+    /// empty queue, pop, expiry, drain).
+    head_seq: u64,
     capacity: usize,
     drops: u64,
     shed: u64,
@@ -47,9 +58,14 @@ pub struct TypedQueue<R> {
 
 impl<R> TypedQueue<R> {
     /// Creates a queue bounded at `capacity` entries; `0` means unbounded.
+    ///
+    /// Bounded queues pre-warm their arena to `capacity` slots so the
+    /// steady state never allocates; unbounded queues grow on demand to
+    /// their high-water mark.
     pub fn new(capacity: usize) -> Self {
         TypedQueue {
-            entries: VecDeque::new(),
+            entries: ArenaRing::with_slots(capacity),
+            head_seq: u64::MAX,
             capacity,
             drops: 0,
             shed: 0,
@@ -61,17 +77,23 @@ impl<R> TypedQueue<R> {
     ///
     /// Entries already queued above a tighter bound are kept — they were
     /// admitted under the old bound and will drain (or expire) normally;
-    /// only *new* arrivals see the new capacity.
+    /// only *new* arrivals see the new capacity. Widening the bound
+    /// pre-warms the arena up front so the hot path stays allocation-free.
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
+        self.entries.reserve_slots(capacity);
     }
 
     /// Enqueues a request, or returns it back (and counts a drop) when the
     /// queue is at capacity.
+    #[inline]
     pub fn push(&mut self, req: R, enqueued: Nanos, seq: u64) -> Result<(), R> {
         if self.capacity != 0 && self.entries.len() >= self.capacity {
             self.drops += 1;
             return Err(req);
+        }
+        if self.entries.is_empty() {
+            self.head_seq = seq;
         }
         self.entries.push_back(Entry { req, enqueued, seq });
         self.total_enqueued += 1;
@@ -79,21 +101,37 @@ impl<R> TypedQueue<R> {
     }
 
     /// Dequeues the oldest entry.
+    #[inline]
     pub fn pop(&mut self) -> Option<Entry<R>> {
-        self.entries.pop_front()
+        let e = self.entries.pop_front();
+        self.head_seq = self.entries.front().map_or(u64::MAX, |e| e.seq);
+        e
     }
 
     /// Peeks at the oldest entry without removing it.
+    #[inline]
     pub fn front(&self) -> Option<&Entry<R>> {
         self.entries.front()
     }
 
+    /// Arrival sequence number of the head entry, or `u64::MAX` when
+    /// empty. Branch-light helper for the centralized-FCFS min-fold:
+    /// empty queues lose every `min` comparison without a separate
+    /// emptiness branch. Served from a cached field so the fold never
+    /// touches arena slots.
+    #[inline]
+    pub fn head_seq(&self) -> u64 {
+        self.head_seq
+    }
+
     /// Number of queued entries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether the queue is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -120,6 +158,7 @@ impl<R> TypedQueue<R> {
     }
 
     /// Queueing delay of the head entry at time `now`, zero when empty.
+    #[inline]
     pub fn head_delay(&self, now: Nanos) -> Nanos {
         self.front()
             .map(|e| now.saturating_sub(e.enqueued))
@@ -130,20 +169,26 @@ impl<R> TypedQueue<R> {
     /// exceeds `deadline`, counting it as shed. Deadline shedding walks the
     /// queue one head at a time: the caller answers each expired request
     /// and calls again until `None`.
+    #[inline]
     pub fn pop_expired(&mut self, now: Nanos, deadline: Nanos) -> Option<Entry<R>> {
         let head = self.front()?;
         if now.saturating_sub(head.enqueued) <= deadline {
             return None;
         }
         self.shed += 1;
-        self.entries.pop_front()
+        let e = self.entries.pop_front();
+        self.head_seq = self.entries.front().map_or(u64::MAX, |e| e.seq);
+        e
     }
 
     /// Drains all entries, counting each as shed (used when tearing an
     /// engine down — the runtime answers drained requests with `Dropped`).
+    /// Entries are handed back one `pop` at a time; no temporary `Vec` is
+    /// built.
     pub fn drain(&mut self) -> impl Iterator<Item = Entry<R>> + '_ {
         self.shed += self.entries.len() as u64;
-        self.entries.drain(..)
+        self.head_seq = u64::MAX;
+        self.entries.drain()
     }
 }
 
@@ -237,5 +282,29 @@ mod tests {
         q.pop().unwrap();
         q.pop().unwrap();
         assert!(q.push(9, Nanos::ZERO, 9).is_ok());
+    }
+
+    #[test]
+    fn head_seq_is_max_when_empty() {
+        let mut q = TypedQueue::new(0);
+        assert_eq!(q.head_seq(), u64::MAX);
+        q.push((), Nanos::ZERO, 7).unwrap();
+        assert_eq!(q.head_seq(), 7);
+        q.pop().unwrap();
+        assert_eq!(q.head_seq(), u64::MAX);
+    }
+
+    #[test]
+    fn steady_state_does_not_grow_the_arena() {
+        let mut q = TypedQueue::new(8);
+        for round in 0..1_000u64 {
+            for i in 0..8 {
+                q.push(round * 8 + i, Nanos::ZERO, round * 8 + i).unwrap();
+            }
+            for _ in 0..8 {
+                q.pop().unwrap();
+            }
+        }
+        assert_eq!(q.drops(), 0);
     }
 }

@@ -44,7 +44,7 @@ use std::time::Duration;
 
 use persephone_core::classifier::Classifier;
 use persephone_core::dispatch::ScheduleEngine;
-use persephone_core::types::WorkerId;
+use persephone_core::types::{TypeId, WorkerId};
 use persephone_net::nic::{NetContext, ServerPort};
 use persephone_net::pool::PacketBuf;
 use persephone_net::spsc;
@@ -184,6 +184,7 @@ pub fn run_dispatcher<E: ScheduleEngine<Pending>>(
     let mut rx_batch: Vec<PacketBuf> = Vec::with_capacity(RX_BATCH);
     let mut comp_batch: Vec<Completion> = Vec::new();
     let mut ctrl_batch: Vec<PacketBuf> = Vec::new();
+    let mut drain_buf: Vec<(TypeId, Pending)> = Vec::new();
     let mut idle_spins: u32 = 0;
 
     loop {
@@ -296,7 +297,9 @@ pub fn run_dispatcher<E: ScheduleEngine<Pending>>(
                 // Answer everything still queued with `Dropped` rather
                 // than silently discarding it — as one TX batch.
                 let now = clock.now();
-                for (_ty, (buf, _id)) in engine.drain_all(now) {
+                drain_buf.clear();
+                engine.drain_all(now, &mut drain_buf);
+                for (_ty, (buf, _id)) in drain_buf.drain(..) {
                     report.shed_at_shutdown += 1;
                     if let Some(p) = rewrite_control(buf, wire::Status::Dropped) {
                         ctrl_batch.push(p);

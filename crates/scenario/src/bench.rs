@@ -350,6 +350,10 @@ pub struct BenchReport {
     pub deterministic: Deterministic,
     /// One entry per (backend × policy).
     pub runs: Vec<RunResult>,
+    /// Hot-path microbench section, when the spec declares `[hotpath]`.
+    /// Wall-clock ns/op numbers — kept outside `deterministic` so the
+    /// reproducibility diff never sees them.
+    pub hotpath: Option<crate::hotpath::HotpathResult>,
 }
 
 impl BenchReport {
@@ -360,7 +364,7 @@ impl BenchReport {
 
     /// Serializes with the stable v1 schema and key order.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), Json::Str(BENCH_SCHEMA.into())),
             ("scenario".into(), Json::Str(self.scenario.clone())),
             ("description".into(), Json::Str(self.description.clone())),
@@ -381,7 +385,13 @@ impl BenchReport {
                 "runs".into(),
                 Json::Arr(self.runs.iter().map(RunResult::to_json).collect()),
             ),
-        ])
+        ];
+        // Appended last so reports without a [hotpath] tier stay
+        // byte-identical under the same schema version.
+        if let Some(h) = &self.hotpath {
+            fields.push(("hotpath".into(), h.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     /// Renders the report text.
@@ -460,6 +470,7 @@ service = { dist = "constant", mean_us = 100.0 }
                 }],
                 telemetry: None,
             }],
+            hotpath: None,
         };
         let text = report.render();
         let parsed = Json::parse(&text).unwrap();

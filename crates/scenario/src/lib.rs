@@ -42,6 +42,7 @@
 
 pub mod bench;
 pub mod env;
+pub mod hotpath;
 pub mod json;
 pub mod runner;
 pub mod spec;

@@ -89,12 +89,16 @@ pub fn run_scenario(spec: &ScenarioSpec, backends: &[Backend], meta: Meta) -> Be
             }
         }
     }
+    // The hot-path tier runs after the backends so its tight wall-clock
+    // loops never contend with the threaded runtime's worker threads.
+    let hotpath = spec.hotpath.as_ref().map(|h| crate::hotpath::run(spec, h));
     BenchReport {
         scenario: spec.name.clone(),
         description: spec.description.clone(),
         meta,
         deterministic,
         runs,
+        hotpath,
     }
 }
 

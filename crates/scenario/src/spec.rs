@@ -147,6 +147,27 @@ pub struct RackSpec {
     pub policies: Vec<String>,
 }
 
+/// The in-process hot-path microbench tier (see [`crate::hotpath`]).
+///
+/// When present, the report grows a `hotpath` section: per-policy
+/// enqueue → poll → complete nanoseconds, the DARC idle-poll and
+/// poll+complete decision costs, and a 1..=`shards_max` shard-scaling
+/// curve. All wall-clock, machine-dependent — kept outside the
+/// `deterministic` section by construction.
+#[derive(Clone, Debug)]
+pub struct HotpathSpec {
+    /// Dispatch cycles per timed repetition.
+    pub cycles: u64,
+    /// Repetitions per metric; the fastest is reported.
+    pub reps: usize,
+    /// Largest shard count on the scaling curve (clamped to `workers`).
+    pub shards_max: usize,
+    /// Reference numbers echoed into the report (policy name → ns/op),
+    /// recorded at an earlier commit on the same reference host — the
+    /// "before" half of the committed before/after trajectory.
+    pub baseline_ns: Vec<(String, f64)>,
+}
+
 /// Threaded-runtime-only tuning.
 #[derive(Clone, Debug)]
 pub struct ThreadedTuning {
@@ -224,6 +245,8 @@ pub struct ScenarioSpec {
     pub threaded: ThreadedTuning,
     /// Optional rack tier (N servers behind inter-server steering).
     pub rack: Option<RackSpec>,
+    /// Optional hot-path microbench tier.
+    pub hotpath: Option<HotpathSpec>,
 }
 
 /// Zipf weights over ranks 1..=n with exponent `s`, normalized to sum 1.
@@ -507,6 +530,7 @@ impl ScenarioSpec {
             "sim",
             "threaded",
             "rack",
+            "hotpath",
         ])?;
 
         let name = root.req_str("name")?.to_string();
@@ -934,6 +958,49 @@ impl ScenarioSpec {
             }
         };
 
+        let hotpath = match root.opt_table("hotpath")? {
+            None => None,
+            Some(ctx) => {
+                ctx.known_keys(&["cycles", "reps", "shards_max", "baseline_ns"])?;
+                let cycles = ctx.u64_or("cycles", 200_000)?;
+                if cycles == 0 {
+                    return Err(err(ctx.at("cycles"), "must be at least 1"));
+                }
+                let reps = ctx.usize_or("reps", 5)?;
+                if reps == 0 {
+                    return Err(err(ctx.at("reps"), "must be at least 1"));
+                }
+                let shards_max = ctx.usize_or("shards_max", 8)?;
+                if shards_max == 0 {
+                    return Err(err(ctx.at("shards_max"), "must be at least 1"));
+                }
+                let mut baseline_ns = Vec::new();
+                if let Some(b) = ctx.opt_table("baseline_ns")? {
+                    for (k, v) in b.table.entries() {
+                        let ns = v.as_f64().ok_or_else(|| {
+                            err(
+                                b.at(k),
+                                format!("expected nanoseconds (a number), found {}", v.kind()),
+                            )
+                        })?;
+                        if !(ns.is_finite() && ns > 0.0) {
+                            return Err(err(
+                                b.at(k),
+                                format!("{ns} is not a positive ns/op baseline"),
+                            ));
+                        }
+                        baseline_ns.push((k.clone(), ns));
+                    }
+                }
+                Some(HotpathSpec {
+                    cycles,
+                    reps,
+                    shards_max,
+                    baseline_ns,
+                })
+            }
+        };
+
         Ok(ScenarioSpec {
             name,
             description,
@@ -951,6 +1018,7 @@ impl ScenarioSpec {
             sim,
             threaded,
             rack,
+            hotpath,
         })
     }
 
@@ -1198,6 +1266,41 @@ service = { dist = "constant", mean_us = 100.0 }
         let bad = racked.replace("\npolicies = [\"random\", \"po2c\"]", "");
         let e = ScenarioSpec::from_toml(&bad).unwrap_err();
         assert_eq!(e.path, "rack.policy");
+    }
+
+    #[test]
+    fn hotpath_section_round_trips_and_rejects_bad_input() {
+        let spec = ScenarioSpec::from_toml(MINIMAL).unwrap();
+        assert!(spec.hotpath.is_none(), "no [hotpath] means no microbench");
+
+        let hot = MINIMAL.replace(
+            "duration_ms = 10.0",
+            "duration_ms = 10.0\n\n[hotpath]\ncycles = 1000\nreps = 3\nshards_max = 4\n\
+             \n[hotpath.baseline_ns]\ndarc = 22.3\ncfcfs = 15.6",
+        );
+        let spec = ScenarioSpec::from_toml(&hot).unwrap();
+        let h = spec.hotpath.expect("[hotpath] parses");
+        assert_eq!(h.cycles, 1000);
+        assert_eq!(h.reps, 3);
+        assert_eq!(h.shards_max, 4);
+        assert_eq!(
+            h.baseline_ns,
+            vec![("darc".to_string(), 22.3), ("cfcfs".to_string(), 15.6)]
+        );
+
+        // Defaults when the table is present but sparse.
+        let sparse = MINIMAL.replace("duration_ms = 10.0", "duration_ms = 10.0\n\n[hotpath]");
+        let h = ScenarioSpec::from_toml(&sparse).unwrap().hotpath.unwrap();
+        assert_eq!((h.cycles, h.reps, h.shards_max), (200_000, 5, 8));
+        assert!(h.baseline_ns.is_empty());
+
+        // Unknown keys and non-positive baselines are rejected.
+        let bad = hot.replace("cycles = 1000", "cycles = 1000\nwarmup = 5");
+        let e = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert!(e.msg.contains("shards_max"), "lists accepted keys: {e}");
+        let bad = hot.replace("darc = 22.3", "darc = -1.0");
+        let e = ScenarioSpec::from_toml(&bad).unwrap_err();
+        assert_eq!(e.path, "hotpath.baseline_ns.darc");
     }
 
     #[test]

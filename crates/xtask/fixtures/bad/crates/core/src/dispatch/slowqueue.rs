@@ -1,0 +1,7 @@
+// Seeded violation: pointer-chasing std containers in a request-plane
+// module (R6-dense).
+use std::collections::{HashMap, VecDeque};
+
+pub struct SlowQueues {
+    pub by_type: HashMap<u32, VecDeque<u64>>,
+}

@@ -1,6 +1,6 @@
 //! The workspace invariant linter.
 //!
-//! Five rules, each guarding a decision the codebase has already made
+//! Six rules, each guarding a decision the codebase has already made
 //! and that code review keeps re-litigating:
 //!
 //! * **R1 — unsafe confinement.** `unsafe` may appear only in the
@@ -22,6 +22,13 @@
 //! * **R5 — unsafe-fn hygiene.** Any crate whose `src/` contains
 //!   `unsafe`, and any standalone test file using it, must opt into
 //!   `#![deny(unsafe_op_in_unsafe_fn)]` (or forbid unsafe outright).
+//! * **R6 — dense request plane.** `HashMap`, `VecDeque`, and
+//!   `BTreeMap` are forbidden in the request-plane modules (typed
+//!   queues, arena, dispatch engines, dispatcher/worker loops): the hot
+//!   path indexes dense type ids into flat arrays and arena rings, and
+//!   a rehash or node allocation hiding in a µs-scale loop is exactly
+//!   the regression this rule exists to catch. Cold setup code may be
+//!   allowlisted with an argument.
 //!
 //! The scanner is a hand-rolled line cleaner (comments, strings, and
 //! char literals stripped; `// SAFETY:` markers remembered), not a full
@@ -40,6 +47,7 @@ const UNSAFE_ALLOW: &[&str] = &[
     "crates/net/src/mpsc.rs",
     "crates/check/src/sync/cell.rs",
     "crates/telemetry/tests/no_alloc.rs",
+    "crates/core/tests/no_alloc_dispatch.rs",
     "crates/check/tests/litmus.rs",
     "crates/check/tests/mutation.rs",
 ];
@@ -69,6 +77,23 @@ const HOT_PATH: &[&str] = &[
     "crates/net/src/nic.rs",
     "crates/net/src/udp.rs",
 ];
+
+/// Request-plane modules that must stay on dense containers (R6): no
+/// `HashMap` / `VecDeque` / `BTreeMap` outside test code. Everything a
+/// request touches between enqueue and completion lives here.
+const DENSE_HOT_PATH: &[&str] = &[
+    "crates/core/src/queue.rs",
+    "crates/core/src/arena.rs",
+    "crates/core/src/dispatch/",
+    "crates/runtime/src/dispatcher.rs",
+    "crates/runtime/src/worker.rs",
+];
+
+/// Files inside [`DENSE_HOT_PATH`] allowed to use the forbidden
+/// containers in *cold setup only* (construction/reconfiguration, never
+/// per-request). Currently empty — add an entry only with a comment in
+/// the file arguing why the use can never run per-request.
+const DENSE_COLD_ALLOW: &[&str] = &[];
 
 /// One lint finding; `Display` renders `path:line: [rule] message`.
 pub struct Violation {
@@ -433,6 +458,24 @@ pub fn run(root: &Path) -> Vec<Violation> {
                     });
                 }
             }
+
+            // R6: dense containers only in the request plane.
+            if matches_any(&relpath, DENSE_HOT_PATH) && !matches_any(&relpath, DENSE_COLD_ALLOW) {
+                for container in ["HashMap", "VecDeque", "BTreeMap"] {
+                    if has_word(code, container) {
+                        violations.push(Violation {
+                            file: PathBuf::from(&relpath),
+                            line: n,
+                            rule: "R6-dense",
+                            msg: format!(
+                                "`{container}` in a request-plane module; use dense \
+                                 type-indexed arrays or the arena ring (or allowlist \
+                                 cold setup with an argument)"
+                            ),
+                        });
+                    }
+                }
+            }
         }
 
         // R5 bookkeeping: remember files with unsafe and whether their
@@ -518,6 +561,7 @@ mod tests {
             "R3-virtual-time",
             "R4-hotpath",
             "R5-unsafe-fn",
+            "R6-dense",
         ] {
             assert!(
                 fired.contains(&rule),

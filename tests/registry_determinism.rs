@@ -1,0 +1,82 @@
+//! Registry determinism: every committed `BENCH_<name>.json` with a
+//! shipped `scenarios/<name>.toml` must have a `deterministic` section
+//! (schedule hash included) that today's code re-derives byte-for-byte.
+//!
+//! This is the contract the whole trajectory rests on: refactors of the
+//! request plane may change *measured* numbers, but if they perturb the
+//! materialized schedule — arrival times, type draws, service demands —
+//! the before/after comparison is comparing different experiments. A
+//! hash mismatch here means the RNG stream, the workload lowering, or
+//! the hash itself changed, and the committed baselines must be
+//! regenerated *and explained*, not silently overwritten.
+
+use persephone::scenario::{BenchReport, Deterministic, Meta, ScenarioSpec};
+use persephone_scenario::json::Json;
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
+}
+
+/// Renders just the deterministic section a fresh derivation produces.
+fn derived_section(spec: &ScenarioSpec) -> String {
+    let trace = spec.build_trace();
+    let report = BenchReport {
+        scenario: spec.name.clone(),
+        description: spec.description.clone(),
+        meta: Meta::fixed(),
+        deterministic: Deterministic::derive(spec, &trace),
+        runs: Vec::new(),
+        hotpath: None,
+    };
+    let json = Json::parse(&report.render()).unwrap();
+    json.get("deterministic").unwrap().render()
+}
+
+#[test]
+fn committed_bench_reports_match_rederived_deterministic_sections() {
+    let root = repo_root();
+    let mut checked = Vec::new();
+    for entry in std::fs::read_dir(&root).expect("repo root") {
+        let path = entry.unwrap().path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let spec_path = root.join("scenarios").join(format!("{stem}.toml"));
+        let spec_text = std::fs::read_to_string(&spec_path)
+            .unwrap_or_else(|e| panic!("{name} has no scenarios/{stem}.toml ({e})"));
+        let spec = ScenarioSpec::from_toml(&spec_text)
+            .unwrap_or_else(|e| panic!("scenarios/{stem}.toml rejected: {e}"));
+
+        let committed_text = std::fs::read_to_string(&path).unwrap();
+        let committed = Json::parse(&committed_text)
+            .unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"));
+        let committed_det = committed
+            .get("deterministic")
+            .unwrap_or_else(|| panic!("{name} lacks a deterministic section"))
+            .render();
+
+        assert_eq!(
+            committed_det,
+            derived_section(&spec),
+            "{name}: committed deterministic section (schedule_hash included) \
+             no longer matches what scenarios/{stem}.toml derives — the \
+             arrival schedule changed; regenerate the baseline deliberately"
+        );
+        checked.push(stem.to_string());
+    }
+    checked.sort();
+    // The suite must actually cover the committed registry; an empty
+    // loop would vacuously pass.
+    for required in ["smoke", "rack_scale"] {
+        assert!(
+            checked.iter().any(|s| s == required),
+            "expected a committed BENCH_{required}.json, found only {checked:?}"
+        );
+    }
+}
