@@ -40,15 +40,17 @@ pub struct UnsafeCell<T> {
     state: Mutex<CellState>,
 }
 
-// SAFETY: sharing the shim across threads is sound because (a) inside a
-// model run all model threads are serialized by the scheduler token, so
+// Sharing the shim across threads is sound because (a) inside a model
+// run all model threads are serialized by the scheduler token, so
 // accesses never physically overlap and unsynchronized ones are
 // *reported* rather than executed blind; (b) outside a model run the
-// shim adds no synchronization — exactly like `core::cell::UnsafeCell`
-// — and the containing type (e.g. the rings' `Ring<T>`) carries the
-// aliasing obligations in its own `unsafe impl`s, as it does in std
-// mode. `T: Send` because the value may be read, written, and dropped
-// from whichever thread holds the token.
+// shim adds no synchronization — exactly like `core::cell::UnsafeCell` —
+// and the containing type carries the aliasing obligations in its own
+// `unsafe impl`s, as it does in std mode.
+// SAFETY: `UnsafeCell` accesses are serialized by the model scheduler
+// token, or delegated to the containing type's invariants (e.g. the
+// rings' `Ring<T>`) outside a run; `T: Send` because the value may be
+// read, written, and dropped from whichever thread holds the token.
 #[allow(unsafe_code)]
 unsafe impl<T: Send> Sync for UnsafeCell<T> {}
 

@@ -108,6 +108,9 @@ impl<T> ArenaRing<T> {
     /// (live + free). Idempotent once satisfied; this is the warm-up
     /// knob for zero-alloc steady state. Like growth, reaching for more
     /// slots may relocate the live window and so invalidates handles.
+    /// Warm-up/growth lane, never per-request — cold keeps the audit's
+    /// reachability frontier honest about that.
+    #[cold]
     pub fn reserve_slots(&mut self, want: usize) {
         debug_assert!(
             want < u32::MAX as usize,
@@ -275,6 +278,7 @@ impl<T> ArenaRing<T> {
     /// slab exactly: every position inside `head .. head+len` holds a
     /// value, every position outside holds none. Debug/model-test
     /// helper — O(slots), not for the hot path.
+    #[cold]
     pub fn check_invariants(&self) -> Result<(), String> {
         let n = self.slots.len();
         if self.len as usize > n {
@@ -338,7 +342,7 @@ impl<'a, T> Iterator for Iter<'a, T> {
         }
         let idx = self.ring.pos(self.offset);
         self.offset += 1;
-        self.ring.slots[idx as usize].0.as_ref()
+        self.ring.slots.get(idx as usize)?.0.as_ref()
     }
 }
 

@@ -193,7 +193,7 @@ impl<R: Send> ScheduleEngine<R> for CfcfsEngine<R> {
         // Keep the EWMA estimates fresh (used by shedding and quarantine);
         // there is no reservation to install, so this is the whole update.
         if self.profiler.window_full() {
-            let _ = self.profiler.commit_window();
+            self.profiler.commit_window_quiet();
         }
     }
 
@@ -210,7 +210,9 @@ impl<R: Send> ScheduleEngine<R> for CfcfsEngine<R> {
             if waited <= deadline {
                 return;
             }
-            let entry = self.queue.pop_front().unwrap();
+            let Some(entry) = self.queue.pop_front() else {
+                return;
+            };
             self.expire_one(entry.ty, entry.req, waited, now);
         }
     }

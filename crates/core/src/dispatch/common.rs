@@ -166,8 +166,11 @@ impl WorkerTable {
         let slot = self
             .state
             .get_mut(worker.index())
+            // audit:allow(A1): crashing on a completion from an unknown
+            // worker is the contract (see Panics above)
             .expect("worker id out of range");
         let was = *slot;
+        // audit:allow(A1): same contract — completion from an idle worker
         assert!(was != Slot::Free, "completion from an idle worker");
         *slot = Slot::Free;
         self.free_count += 1;
@@ -216,7 +219,9 @@ impl WorkerTable {
     /// Resizes the pool. Growing takes effect immediately; shrinking
     /// requires the surrendered (highest-indexed) workers to be idle.
     /// Returns `Err(())` without changes when shrinking would drop a busy
-    /// worker or `new_workers` is zero.
+    /// worker or `new_workers` is zero. Reconfiguration lane, never per
+    /// request — cold marks the audit frontier.
+    #[cold]
     pub fn resize(&mut self, new_workers: usize) -> Result<(), ()> {
         if new_workers == 0 {
             return Err(());

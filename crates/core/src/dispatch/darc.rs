@@ -91,6 +91,9 @@ pub struct DarcEngine<R> {
     telemetry: Option<Arc<Telemetry>>,
     /// Demand vector at the last install, for the update-trigger Δ.
     last_demands: Vec<f64>,
+    /// Pre-warmed scratch for the per-completion staleness check, so the
+    /// hot path folds the live demand vector without allocating.
+    demand_scratch: Vec<f64>,
 }
 
 impl<R> DarcEngine<R> {
@@ -132,6 +135,7 @@ impl<R> DarcEngine<R> {
             num_types,
             telemetry: None,
             last_demands: vec![0.0; num_types],
+            demand_scratch: vec![0.0; num_types],
         };
         match cfg.mode {
             EngineMode::Static(res) => {
@@ -302,8 +306,10 @@ impl<R> DarcEngine<R> {
     /// engine keeps its policy but gains/loses the raw cores.
     ///
     /// Returns `Err(())` without changes when shrinking would drop a busy
-    /// worker or `new_workers` is zero.
+    /// worker or `new_workers` is zero. Reconfiguration lane, never per
+    /// request — cold marks the audit frontier.
     #[allow(clippy::result_unit_err)]
+    #[cold]
     pub fn resize(&mut self, new_workers: usize) -> Result<(), ()> {
         self.workers.resize(new_workers)?;
         self.reserve_cfg.num_workers = new_workers;
@@ -542,9 +548,10 @@ impl<R> DarcEngine<R> {
     /// Whether recomputing Algorithm 2 on the live window would grant any
     /// group a different number of reserved cores than it currently holds,
     /// or an ungrouped (previously vanished) type now carries real demand.
-    fn allocation_stale(&self) -> bool {
-        let demands = self.profiler.demands();
-        let w = self.num_workers() as f64;
+    fn allocation_stale(&mut self) -> bool {
+        self.profiler.demands_into(&mut self.demand_scratch);
+        let demands = &self.demand_scratch;
+        let w = self.workers.len() as f64;
         for g in &self.reservation.groups {
             let d: f64 = g
                 .types
@@ -562,16 +569,22 @@ impl<R> DarcEngine<R> {
         })
     }
 
+    /// Reservation updates are the sanctioned slow lane (paper §4.3.3:
+    /// rare, ~μs-scale): Algorithm 2 plus queue re-sizing may allocate.
+    /// `#[cold]` keeps them off the audited hot path.
+    #[cold]
     fn commit_and_install(&mut self, now: Nanos) {
         let stats = self.profiler.commit_window();
         let res = reserve(&stats, &self.reserve_cfg);
         self.install_at(res, now);
     }
 
+    #[cold]
     fn install(&mut self, res: Reservation) {
         self.install_at(res, Nanos::ZERO);
     }
 
+    #[cold]
     fn install_at(&mut self, res: Reservation, now: Nanos) {
         // Capture the outgoing guaranteed-core map and the demand shift
         // before the new reservation replaces them.
@@ -659,12 +672,9 @@ impl<R> DarcEngine<R> {
             return None;
         }
         let (ty, entry) = if best_qi == self.num_types {
-            (TypeId::UNKNOWN, self.unknown.pop().unwrap())
+            (TypeId::UNKNOWN, self.unknown.pop()?)
         } else {
-            (
-                TypeId::new(best_qi as u32),
-                self.queues[best_qi].pop().unwrap(),
-            )
+            (TypeId::new(best_qi as u32), self.queues[best_qi].pop()?)
         };
         Some(self.assign(worker, ty, entry, now, DispatchKind::Fcfs))
     }
@@ -683,16 +693,19 @@ impl<R> DarcEngine<R> {
                 None => continue,
             };
             if let Some((worker, kind)) = self.free_in_group(gi) {
-                let entry = self.queues[ty.index()].pop().unwrap();
-                return Some(self.assign(worker, ty, entry, now, kind));
+                if let Some(entry) = self.queues[ty.index()].pop() {
+                    return Some(self.assign(worker, ty, entry, now, kind));
+                }
+                continue;
             }
             // Graceful degradation: when every core reserved for this group
             // is quarantined (stalled mid-request), the spillway re-covers
             // the group so its types keep flowing instead of wedging.
             if self.group_reserved_all_quarantined(gi) {
                 if let Some(worker) = self.free_spillway() {
-                    let entry = self.queues[ty.index()].pop().unwrap();
-                    return Some(self.assign(worker, ty, entry, now, DispatchKind::Spillway));
+                    if let Some(entry) = self.queues[ty.index()].pop() {
+                        return Some(self.assign(worker, ty, entry, now, DispatchKind::Spillway));
+                    }
                 }
             }
         }
@@ -703,20 +716,22 @@ impl<R> DarcEngine<R> {
                 continue;
             }
             if let Some(worker) = self.free_spillway() {
-                let entry = self.queues[ty.index()].pop().unwrap();
-                return Some(self.assign(worker, ty, entry, now, DispatchKind::Spillway));
+                if let Some(entry) = self.queues[ty.index()].pop() {
+                    return Some(self.assign(worker, ty, entry, now, DispatchKind::Spillway));
+                }
             }
         }
         if !self.unknown.is_empty() {
             if let Some(worker) = self.free_spillway() {
-                let entry = self.unknown.pop().unwrap();
-                return Some(self.assign(
-                    worker,
-                    TypeId::UNKNOWN,
-                    entry,
-                    now,
-                    DispatchKind::Spillway,
-                ));
+                if let Some(entry) = self.unknown.pop() {
+                    return Some(self.assign(
+                        worker,
+                        TypeId::UNKNOWN,
+                        entry,
+                        now,
+                        DispatchKind::Spillway,
+                    ));
+                }
             }
         }
         None

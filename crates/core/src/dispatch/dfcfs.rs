@@ -160,7 +160,7 @@ impl<R: Send> ScheduleEngine<R> for DfcfsEngine<R> {
         let w = (0..self.queues.len()).find(|&w| {
             self.workers.is_free(w) && !self.workers.is_quarantined(w) && !self.queues[w].is_empty()
         })?;
-        let entry = self.queues[w].pop_front().unwrap();
+        let entry = self.queues[w].pop_front()?;
         self.pending[tslot(entry.ty, self.num_types)] -= 1;
         let worker = WorkerId::new(w as u32);
         let queued_for = now.saturating_sub(entry.enqueued);
@@ -205,7 +205,7 @@ impl<R: Send> ScheduleEngine<R> for DfcfsEngine<R> {
             );
         }
         if self.profiler.window_full() {
-            let _ = self.profiler.commit_window();
+            self.profiler.commit_window_quiet();
         }
     }
 

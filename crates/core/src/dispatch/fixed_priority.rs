@@ -137,9 +137,9 @@ impl<R: Send> ScheduleEngine<R> for FixedPriorityEngine<R> {
             .or_else(|| (!self.unknown.is_empty()).then_some(self.num_types))?;
         let worker = self.workers.first_free()?;
         let (ty, entry) = if qi == self.num_types {
-            (TypeId::UNKNOWN, self.unknown.pop().unwrap())
+            (TypeId::UNKNOWN, self.unknown.pop()?)
         } else {
-            (TypeId::new(qi as u32), self.queues[qi].pop().unwrap())
+            (TypeId::new(qi as u32), self.queues[qi].pop()?)
         };
         let queued_for = now.saturating_sub(entry.enqueued);
         self.workers.assign(worker, ty, queued_for, now);
@@ -183,7 +183,7 @@ impl<R: Send> ScheduleEngine<R> for FixedPriorityEngine<R> {
             );
         }
         if self.profiler.window_full() {
-            let _ = self.profiler.commit_window();
+            self.profiler.commit_window_quiet();
         }
     }
 

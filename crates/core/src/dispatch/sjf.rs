@@ -156,9 +156,9 @@ impl<R: Send> ScheduleEngine<R> for SjfEngine<R> {
         let qi = self.shortest_queue()?;
         let worker = self.workers.first_free()?;
         let (ty, entry) = if qi == self.num_types {
-            (TypeId::UNKNOWN, self.unknown.pop().unwrap())
+            (TypeId::UNKNOWN, self.unknown.pop()?)
         } else {
-            (TypeId::new(qi as u32), self.queues[qi].pop().unwrap())
+            (TypeId::new(qi as u32), self.queues[qi].pop()?)
         };
         let queued_for = now.saturating_sub(entry.enqueued);
         self.workers.assign(worker, ty, queued_for, now);
@@ -203,7 +203,7 @@ impl<R: Send> ScheduleEngine<R> for SjfEngine<R> {
         }
         // Fold the window into the EWMA so the SJF ordering tracks drift.
         if self.profiler.window_full() {
-            let _ = self.profiler.commit_window();
+            self.profiler.commit_window_quiet();
         }
     }
 

@@ -303,11 +303,49 @@ impl Profiler {
             .collect()
     }
 
+    /// Live (uncommitted) `S_i·R_i` weight of type `i`, mirroring one
+    /// element of [`Profiler::estimates`] without building the vector.
+    fn live_weight_at(&self, i: usize) -> f64 {
+        let Some(tw) = self.types.get(i) else {
+            return 0.0;
+        };
+        let by_arrivals = self.window_arrivals > 0;
+        let total = if by_arrivals {
+            self.window_arrivals
+        } else {
+            self.window_samples
+        };
+        let observed = if by_arrivals { tw.arrivals } else { tw.count };
+        let ratio = if total > 0 {
+            observed as f64 / total as f64
+        } else {
+            tw.committed_ratio
+        };
+        self.current_estimate(tw).unwrap_or(0.0) * ratio
+    }
+
     /// The CPU-demand vector of Eq. 1: `Δ_i = S_i·R_i / Σ_j S_j·R_j`.
     ///
     /// Returns all zeros when nothing has been profiled yet.
     pub fn demands(&self) -> Vec<f64> {
-        demands_of(&self.estimates())
+        let mut out = Vec::with_capacity(self.types.len());
+        self.demands_into(&mut out);
+        out
+    }
+
+    /// Writes the demand vector of Eq. 1 into `out`. Allocation-free once
+    /// `out`'s capacity covers the type set — the hot-path variant of
+    /// [`Profiler::demands`] for callers that keep a scratch vector.
+    pub fn demands_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        let n = self.types.len();
+        let total: f64 = (0..n).map(|i| self.live_weight_at(i)).sum();
+        if total <= 0.0 {
+            // audit:allow(A2): fills a pre-warmed scratch; grows only on first use
+            out.resize(n, 0.0);
+            return;
+        }
+        out.extend((0..n).map(|i| self.live_weight_at(i) / total));
     }
 
     /// Checks whether a reservation update should fire (paper §4.3.3):
@@ -324,11 +362,21 @@ impl Profiler {
 
     /// Whether the live demand vector deviates from the snapshot taken at
     /// the last reservation by more than the configured threshold.
+    ///
+    /// Runs on every completion once the window fills, so it folds the
+    /// demand vector on the fly instead of materializing it.
     pub fn demand_deviated(&self) -> bool {
-        let now = self.demands();
-        now.iter()
-            .zip(self.snapshot_demand.iter())
-            .any(|(a, b)| (a - b).abs() > self.cfg.demand_deviation)
+        let n = self.types.len();
+        let total: f64 = (0..n).map(|i| self.live_weight_at(i)).sum();
+        (0..n).any(|i| {
+            let d = if total > 0.0 {
+                self.live_weight_at(i) / total
+            } else {
+                0.0
+            };
+            let snap = self.snapshot_demand.get(i).copied().unwrap_or(0.0);
+            (d - snap).abs() > self.cfg.demand_deviation
+        })
     }
 
     /// Commits the current window: folds window means into the cross-window
@@ -338,6 +386,52 @@ impl Profiler {
     /// Returns the committed per-type statistics, suitable for
     /// [`crate::reserve::reserve`].
     pub fn commit_window(&mut self) -> Vec<TypeStat> {
+        let mut out = Vec::with_capacity(self.types.len());
+        self.commit_window_into(&mut out);
+        out
+    }
+
+    /// [`Profiler::commit_window`] for engines that discard the returned
+    /// statistics: folds and re-snapshots without allocating at all.
+    pub fn commit_window_quiet(&mut self) {
+        self.fold_window();
+        self.resnapshot_demand();
+    }
+
+    /// [`Profiler::commit_window`] writing the statistics into `out`.
+    /// Allocation-free once `out`'s capacity covers the type set.
+    pub fn commit_window_into(&mut self, out: &mut Vec<TypeStat>) {
+        self.fold_window();
+        self.resnapshot_demand();
+        out.clear();
+        out.extend(self.types.iter().enumerate().map(|(i, tw)| TypeStat {
+            ty: TypeId::new(i as u32),
+            mean_service_ns: tw.estimate_ns.unwrap_or(0.0),
+            ratio: tw.committed_ratio,
+        }));
+    }
+
+    /// Recomputes `snapshot_demand` in place. Called right after a fold,
+    /// when the live view (zeroed counts, committed ratios/estimates) *is*
+    /// the committed view, so this equals `demands_of(&stats)`.
+    fn resnapshot_demand(&mut self) {
+        let n = self.types.len();
+        let total: f64 = (0..n).map(|i| self.live_weight_at(i)).sum();
+        for i in 0..n {
+            let d = if total > 0.0 {
+                self.live_weight_at(i) / total
+            } else {
+                0.0
+            };
+            if let Some(s) = self.snapshot_demand.get_mut(i) {
+                *s = d;
+            }
+        }
+    }
+
+    /// Folds window means into the cross-window estimates and opens a
+    /// fresh window (the mutation half of a commit).
+    fn fold_window(&mut self) {
         let by_arrivals = self.window_arrivals > 0;
         let total = if by_arrivals {
             self.window_arrivals
@@ -372,18 +466,6 @@ impl Profiler {
         self.window_arrivals = 0;
         self.delay_signal = false;
         self.windows_committed += 1;
-        let stats: Vec<TypeStat> = self
-            .types
-            .iter()
-            .enumerate()
-            .map(|(i, tw)| TypeStat {
-                ty: TypeId::new(i as u32),
-                mean_service_ns: tw.estimate_ns.unwrap_or(0.0),
-                ratio: tw.committed_ratio,
-            })
-            .collect();
-        self.snapshot_demand = demands_of(&stats);
-        stats
     }
 }
 

@@ -52,15 +52,19 @@ impl Rng {
     /// The next 64 uniformly random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
+        // audit:allow(A1): constant indices into the fixed [u64; 4] state
         let result = (self.s[0].wrapping_add(self.s[3]))
             .rotate_left(23)
             .wrapping_add(self.s[0]);
+        // audit:allow(A1): constant indices into the fixed [u64; 4] state
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
+        // audit:allow(A1): constant indices into the fixed [u64; 4] state
         self.s[1] ^= self.s[2];
         self.s[0] ^= self.s[3];
         self.s[2] ^= t;
+        // audit:allow(A1): constant indices into the fixed [u64; 4] state
         self.s[3] = self.s[3].rotate_left(45);
         result
     }
@@ -84,6 +88,7 @@ impl Rng {
     /// Panics if `n == 0`.
     #[inline]
     pub fn next_below(&mut self, n: u64) -> u64 {
+        // audit:allow(A1): n == 0 is a caller bug; crashing is the contract
         assert!(n > 0, "next_below(0)");
         // Lemire-style widening multiply; bias is negligible for our n.
         ((self.next_u64() as u128 * n as u128) >> 64) as u64

@@ -25,12 +25,34 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// Allocations made by *this thread*. The global counter would also see
+// the libtest harness thread, whose mpmc channel lazily allocates its
+// park context the first time it blocks waiting for the test result —
+// a race that lands inside the measured window often enough to flake.
+// Each test drives the engine on its own thread, so the thread-local
+// view is exactly the engine's allocation behavior. Const-initialized:
+// first access on a thread touches TLS, never the heap, so reading it
+// from inside the allocator hook cannot recurse.
+thread_local! {
+    static THREAD_ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn count_here() {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
 // SAFETY: delegates everything to the system allocator unchanged; the
-// counter is a relaxed atomic, safe from any context.
+// counters are a relaxed atomic and a const-init thread-local `Cell`,
+// safe from any context.
 unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: the caller upholds `GlobalAlloc`'s contract; forwarded.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_here();
         // SAFETY: forwarding the caller's contract to `System`.
         unsafe { System.alloc(layout) }
     }
@@ -41,7 +63,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
     // SAFETY: the caller upholds `GlobalAlloc`'s contract; forwarded.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_here();
         // SAFETY: forwarding the caller's contract to `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -63,7 +85,7 @@ fn assert_steady_state_allocation_free<E: ScheduleEngine<u64>>(
     cycles: u64,
     label: &str,
 ) {
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = thread_allocs();
     let mut i = 0u64;
     while i < cycles {
         for b in 0..burst {
@@ -78,7 +100,7 @@ fn assert_steady_state_allocation_free<E: ScheduleEngine<u64>>(
         }
         i += burst;
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = thread_allocs();
     assert_eq!(
         after - before,
         0,
@@ -106,7 +128,7 @@ fn darc_unbounded_queues_stop_allocating_after_high_water() {
     cfg.queue_capacity = 0; // unbounded: slab grows to high-water once
     let mut eng: DarcEngine<u64> = DarcEngine::new(cfg, 2, &hints());
     // Warm-up burst deeper than anything the measured phase queues.
-    assert!(ALLOCS.load(Ordering::Relaxed) > 0, "allocator is counting");
+    assert!(thread_allocs() > 0, "allocator is counting");
     for b in 0..16u64 {
         eng.enqueue(TypeId::new((b % 2) as u32), b, Nanos::from_nanos(b))
             .expect("unbounded queues never refuse");

@@ -31,12 +31,14 @@ struct Ring<T> {
     head: CachePadded<AtomicUsize>,
 }
 
-// SAFETY: slot ownership is mediated by the per-slot `seq` protocol —
-// exactly one producer wins the CAS on `tail` for a given position and
-// writes the slot; the single consumer reads it only after observing
-// `seq == pos + 1` (Acquire, pairing with the producer's Release).
+// SAFETY: `Ring` mediates slot ownership through the per-slot `seq`
+// protocol — exactly one producer wins the CAS on `tail` for a given
+// position and writes the slot; the single consumer reads it only after
+// observing `seq == pos + 1` (Acquire, pairing with the producer's
+// Release).
 unsafe impl<T: Send> Send for Ring<T> {}
-// SAFETY: see above.
+// SAFETY: `Ring`'s seq protocol (above) serializes every slot access, so
+// shared references cross threads without data races.
 unsafe impl<T: Send> Sync for Ring<T> {}
 
 /// A cloneable producer handle.
@@ -97,6 +99,9 @@ impl<T> Sender<T> {
     /// Pushes a value from any thread, or returns it when the ring is full.
     pub fn push(&self, value: T) -> Result<(), Full<T>> {
         let ring = &*self.ring;
+        // audit:ordering: optimistic position guess only — the per-slot
+        // `seq` Acquire below is what validates it, and a stale read just
+        // costs one retry lap
         let mut pos = ring.tail.load(Ordering::Relaxed);
         loop {
             let slot = &ring.buf[pos & ring.mask];
@@ -106,14 +111,16 @@ impl<T> Sender<T> {
                 match ring.tail.compare_exchange_weak(
                     pos,
                     pos + 1,
+                    // audit:ordering: the CAS only allocates a position —
+                    // the slot's seq Release/Acquire pair orders the handoff
                     Ordering::Relaxed,
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
                         // SAFETY: the CAS gave us exclusive ownership of
-                        // `pos`; the consumer will not read the slot until
-                        // `seq` becomes `pos + 1`, which happens below,
-                        // after the write.
+                        // the `Slot` at `pos`; the consumer will not read
+                        // it until `seq` becomes `pos + 1`, which happens
+                        // below, after the write.
                         slot.value.with_mut(|p| unsafe { (*p).write(value) });
                         slot.seq.store(pos + 1, Ordering::Release);
                         return Ok(());
@@ -125,6 +132,8 @@ impl<T> Sender<T> {
                 return Err(Full(value));
             } else {
                 // Another producer claimed `pos`; move to the fresh tail.
+                // audit:ordering: retry-loop position guess, validated by
+                // the slot seq Acquire at the top of the next lap
                 pos = ring.tail.load(Ordering::Relaxed);
             }
         }
@@ -145,7 +154,7 @@ impl<T> Receiver<T> {
         if seq != self.head + 1 {
             return None;
         }
-        // SAFETY: `seq == head + 1` means a producer published this slot
+        // SAFETY: `seq == head + 1` means a producer published this `Slot`
         // (Release write paired with our Acquire load) and no other thread
         // will touch it until we bump `seq` for the next lap.
         let value = slot.value.with(|p| unsafe { (*p).assume_init_read() });
@@ -188,6 +197,10 @@ impl<T> Receiver<T> {
     }
 
     /// Drains everything currently visible into a vector.
+    ///
+    /// Teardown/test convenience — the dispatch loop pops in place and
+    /// never calls this, so the fresh `Vec` is fine here.
+    #[cold]
     pub fn drain(&mut self) -> Vec<T> {
         let mut out = Vec::new();
         while let Some(v) = self.pop() {
@@ -201,14 +214,18 @@ impl<T> Drop for Ring<T> {
     fn drop(&mut self) {
         // Drop in-flight values: walk forward from the consumer's head
         // while slots hold published-but-unpopped values.
+        // audit:ordering: `&mut self` in drop — both handles are gone, and
+        // Arc's refcount teardown already ordered their final stores
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.buf[pos & self.mask];
+            // audit:ordering: exclusive access in drop (see the head load
+            // above); no concurrent writers remain to order against
             if slot.seq.load(Ordering::Relaxed) != pos + 1 {
                 break;
             }
             // SAFETY: `seq == pos + 1` marks a published, unconsumed value;
-            // in `drop` we have exclusive access to the ring.
+            // in `drop` we have exclusive access to the `Ring`.
             slot.value.with_mut(|p| unsafe { (*p).assume_init_drop() });
             pos += 1;
         }

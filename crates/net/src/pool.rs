@@ -27,6 +27,12 @@ pub struct PacketBuf {
 
 impl PacketBuf {
     /// Creates a zero-length buffer of the given capacity.
+    ///
+    /// Buffer *construction* is the slow lane by design: pools build
+    /// their stock up front, and a steady-state RX path only recycles
+    /// (a pool-miss refill is counted in `rx_allocs`). Cold marks that
+    /// frontier for the audit.
+    #[cold]
     pub fn with_capacity(cap: usize) -> Self {
         PacketBuf {
             data: vec![0u8; cap].into_boxed_slice(),
@@ -80,6 +86,8 @@ impl PacketBuf {
     ///
     /// Panics if `len` exceeds the capacity.
     pub fn set_len(&mut self, len: usize) {
+        // audit:allow(A1): a length beyond capacity would hand out
+        // uninitialized tail bytes; crashing is the contract
         assert!(len <= self.data.len(), "len beyond capacity");
         self.len = len;
     }
@@ -177,6 +185,9 @@ impl PoolAllocator {
 
     /// Creates a release handle for another thread. The local cache holds
     /// up to 32 buffers before flushing to the shared ring.
+    ///
+    /// Spawn-time wiring, called once per releasing thread.
+    #[cold]
     pub fn releaser(&self) -> PoolReleaser {
         PoolReleaser {
             ring: self.release_sender(),

@@ -38,8 +38,8 @@ struct Ring<T> {
 // the producer. The atomics transfer ownership with Acquire/Release
 // ordering, so no slot is ever accessed concurrently from both sides.
 unsafe impl<T: Send> Send for Ring<T> {}
-// SAFETY: see above — interior mutability is partitioned by index ranges
-// guarded by the head/tail atomics.
+// SAFETY: see above — `Ring`'s interior mutability is partitioned by
+// index ranges guarded by the head/tail atomics.
 unsafe impl<T: Send> Sync for Ring<T> {}
 
 /// The sending half of the channel.
@@ -116,9 +116,9 @@ impl<T> Producer<T> {
             }
         }
         let slot = &self.ring.buf[self.tail & self.ring.mask];
-        // SAFETY: `tail < head + cap` was just established, so this slot is
-        // outside the consumer-owned `[head, tail)` window and free. We are
-        // the only producer, so nobody else writes it.
+        // SAFETY: `tail < head + cap` was just established, so this `Ring`
+        // slot is outside the consumer-owned `[head, tail)` window and
+        // free. We are the only producer, so nobody else writes it.
         slot.with_mut(|p| unsafe { (*p).write(value) });
         self.tail += 1;
         // Release publishes the slot contents before the new tail.
@@ -146,11 +146,11 @@ impl<T> Producer<T> {
         for _ in 0..n {
             let value = src.pop_front().expect("n <= src.len()");
             let slot = &self.ring.buf[self.tail & self.ring.mask];
-            // SAFETY: `tail < head + cap` holds for each of the `n` slots
-            // (we claim at most `free` of them), so every written slot is
-            // outside the consumer-owned `[head, tail)` window. We are the
-            // only producer; the consumer cannot see these slots until the
-            // Release store below publishes the new tail.
+            // SAFETY: `tail < head + cap` holds for each of the `n` `Ring`
+            // slots (we claim at most `free` of them), so every written
+            // slot is outside the consumer-owned `[head, tail)` window. We
+            // are the only producer; the consumer cannot see these slots
+            // until the Release store below publishes the new tail.
             slot.with_mut(|p| unsafe { (*p).write(value) });
             self.tail += 1;
         }
@@ -180,7 +180,7 @@ impl<T> Consumer<T> {
         }
         let slot = &self.ring.buf[self.head & self.ring.mask];
         // SAFETY: `head < tail` was just established, so the producer wrote
-        // and published this slot (Acquire on `tail` paired with its
+        // and published this `Ring` slot (Acquire on `tail` paired with its
         // Release store). We are the only consumer; after the read we
         // advance `head`, returning the slot to the producer.
         let value = slot.with(|p| unsafe { (*p).assume_init_read() });
@@ -221,13 +221,15 @@ impl<T> Consumer<T> {
     pub fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         self.tail_cache = self.ring.tail.load(Ordering::Acquire);
         let n = (self.tail_cache - self.head).min(max);
+        // audit:allow(A2): no-op for pre-warmed callers (the dispatcher
+        // sizes its batch buffers at spawn); grows only on cold first use
         out.reserve(n);
         for _ in 0..n {
             let slot = &self.ring.buf[self.head & self.ring.mask];
-            // SAFETY: `head < tail` holds for each of the `n` slots (we
-            // take at most the published backlog), so the producer wrote
-            // and published them all (the Acquire load above pairs with
-            // its Release stores). We are the only consumer; the slots
+            // SAFETY: `head < tail` holds for each of the `n` `Ring` slots
+            // (we take at most the published backlog), so the producer
+            // wrote and published them all (the Acquire load above pairs
+            // with its Release stores). We are the only consumer; the slots
             // return to the producer only at the Release store below.
             let value = slot.with(|p| unsafe { (*p).assume_init_read() });
             out.push(value);
@@ -248,12 +250,15 @@ impl<T> Drop for Ring<T> {
         // teardown (Release on every clone drop, Acquire before running
         // this destructor) already ordered both sides' final stores before
         // this point, which is why Relaxed loads suffice here.
+        // audit:ordering: exclusive access in drop — Arc teardown already
+        // ordered both halves' final stores (see above)
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Relaxed);
         for i in head..tail {
             let slot = &self.buf[i & self.mask];
-            // SAFETY: slots in `[head, tail)` hold initialized values that
-            // were never popped; we have exclusive access in `drop`.
+            // SAFETY: `Ring` slots in `[head, tail)` hold initialized
+            // values that were never popped; we have exclusive access in
+            // `drop`.
             slot.with_mut(|p| unsafe { (*p).assume_init_drop() });
         }
     }

@@ -109,8 +109,11 @@ pub struct UdpQueueStats {
 impl UdpCounters {
     fn snapshot(&self) -> UdpQueueStats {
         UdpQueueStats {
+            // audit:ordering: monotonic statistics reads — approximate
+            // under load by design, exact at quiescence
             rx_datagrams: self.rx_datagrams.load(Ordering::Relaxed),
             tx_datagrams: self.tx_datagrams.load(Ordering::Relaxed),
+            // audit:ordering: same statistics-read rationale as above
             tx_would_block: self.tx_would_block.load(Ordering::Relaxed),
             tx_errors: self.tx_errors.load(Ordering::Relaxed),
             rx_allocs: self.rx_allocs.load(Ordering::Relaxed),
@@ -171,6 +174,7 @@ impl UdpServerQueue {
             b.clear();
             return b;
         }
+        // audit:ordering: monotonic statistics counter — nothing is published through it
         self.counters.rx_allocs.fetch_add(1, Ordering::Relaxed);
         PacketBuf::with_capacity(self.buf_size)
     }
@@ -190,6 +194,7 @@ impl UdpServerQueue {
             Ok((n, peer)) => {
                 buf.set_len(n);
                 buf.set_peer(Some(peer));
+                // audit:ordering: monotonic statistics counter — nothing is published through it
                 self.counters.rx_datagrams.fetch_add(1, Ordering::Relaxed);
                 Some(buf)
             }
@@ -237,21 +242,25 @@ impl UdpContext {
         let Some(peer) = pkt.peer() else {
             // Only packets that arrived through `recv_from` reach a
             // response path; a peerless packet has nowhere to go.
+            // audit:ordering: monotonic statistics counter — nothing is published through it
             self.counters.tx_errors.fetch_add(1, Ordering::Relaxed);
             self.recycle(pkt);
             return Ok(());
         };
         match self.sock.send_to(pkt.as_slice(), peer) {
             Ok(_) => {
+                // audit:ordering: monotonic statistics counter — nothing is published through it
                 self.counters.tx_datagrams.fetch_add(1, Ordering::Relaxed);
                 self.recycle(pkt);
                 Ok(())
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // audit:ordering: monotonic statistics counter — nothing is published through it
                 self.counters.tx_would_block.fetch_add(1, Ordering::Relaxed);
                 Err(QueueFull(pkt))
             }
             Err(_) => {
+                // audit:ordering: monotonic statistics counter — nothing is published through it
                 self.counters.tx_errors.fetch_add(1, Ordering::Relaxed);
                 self.recycle(pkt);
                 Ok(())
@@ -285,8 +294,11 @@ impl UdpClient {
     /// Sends `pkt` to server queue `q`. The buffer is parked locally on
     /// success — unlike loopback, it never travels to the server.
     pub(crate) fn send(&mut self, q: usize, pkt: PacketBuf) -> Result<(), QueueFull> {
+        // audit:allow(A1): callers steer with q % num_queues(), and
+        // num_queues() == addrs.len()
         match self.sock.send_to(pkt.as_slice(), self.addrs[q]) {
             Ok(_) => {
+                // audit:ordering: monotonic statistics counter — nothing is published through it
                 self.counters.tx_datagrams.fetch_add(1, Ordering::Relaxed);
                 if self.stash.len() < self.stash_max {
                     self.stash.push(pkt);
@@ -294,12 +306,14 @@ impl UdpClient {
                 Ok(())
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // audit:ordering: monotonic statistics counter — nothing is published through it
                 self.counters.tx_would_block.fetch_add(1, Ordering::Relaxed);
                 Err(QueueFull(pkt))
             }
             Err(_) => {
                 // Sent-and-lost: the open-loop client writes the request
                 // off as timed out, exactly like a dropped datagram.
+                // audit:ordering: monotonic statistics counter — nothing is published through it
                 self.counters.tx_errors.fetch_add(1, Ordering::Relaxed);
                 if self.stash.len() < self.stash_max {
                     self.stash.push(pkt);
@@ -318,6 +332,7 @@ impl UdpClient {
                 b
             }
             None => {
+                // audit:ordering: monotonic statistics counter — nothing is published through it
                 self.counters.rx_allocs.fetch_add(1, Ordering::Relaxed);
                 PacketBuf::with_capacity(self.buf_size)
             }
@@ -326,6 +341,7 @@ impl UdpClient {
             Ok((n, peer)) => {
                 buf.set_len(n);
                 buf.set_peer(Some(peer));
+                // audit:ordering: monotonic statistics counter — nothing is published through it
                 self.counters.rx_datagrams.fetch_add(1, Ordering::Relaxed);
                 Some(buf)
             }

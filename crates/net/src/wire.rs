@@ -152,6 +152,7 @@ pub fn request_to_response_in_place(buf: &mut [u8], status: Status) -> Result<()
     if hdr.kind != Kind::Request {
         return Err(WireError::BadKind);
     }
+    // audit:allow(A1): decode() above verified buf.len() >= HEADER_LEN
     buf[3] = 1;
     buf[TYPE_OFFSET..TYPE_OFFSET + 4].copy_from_slice(&status.to_u32().to_le_bytes());
     Ok(())
@@ -168,12 +169,14 @@ fn encode(
     if dst.len() < total {
         return Err(WireError::BufferTooSmall);
     }
+    // audit:allow(A1): fixed offsets below `total`, per the length guard above
     dst[0..2].copy_from_slice(&MAGIC.to_le_bytes());
     dst[2] = VERSION;
     dst[3] = match kind {
         Kind::Request => 0,
         Kind::Response => 1,
     };
+    // audit:allow(A1): fixed offsets below `total`, per the length guard above
     dst[TYPE_OFFSET..TYPE_OFFSET + 4].copy_from_slice(&ty.to_le_bytes());
     dst[8..16].copy_from_slice(&id.to_le_bytes());
     dst[HEADER_LEN..total].copy_from_slice(payload);
@@ -185,19 +188,23 @@ pub fn decode(src: &[u8]) -> Result<(Header, &[u8]), WireError> {
     if src.len() < HEADER_LEN {
         return Err(WireError::Truncated);
     }
+    // audit:allow(A1): src.len() >= HEADER_LEN was checked above
     let magic = u16::from_le_bytes([src[0], src[1]]);
     if magic != MAGIC {
         return Err(WireError::BadMagic);
     }
+    // audit:allow(A1): src.len() >= HEADER_LEN was checked above
     if src[2] != VERSION {
         return Err(WireError::BadVersion);
     }
+    // audit:allow(A1): src.len() >= HEADER_LEN was checked above
     let kind = match src[3] {
         0 => Kind::Request,
         1 => Kind::Response,
         _ => return Err(WireError::BadKind),
     };
     let mut ty4 = [0u8; 4];
+    // audit:allow(A1): fixed header offsets, src.len() >= HEADER_LEN above
     ty4.copy_from_slice(&src[TYPE_OFFSET..TYPE_OFFSET + 4]);
     let mut id8 = [0u8; 8];
     id8.copy_from_slice(&src[8..16]);
@@ -207,6 +214,7 @@ pub fn decode(src: &[u8]) -> Result<(Header, &[u8]), WireError> {
             ty: u32::from_le_bytes(ty4),
             id: u64::from_le_bytes(id8),
         },
+        // audit:allow(A1): src.len() >= HEADER_LEN, checked on entry
         &src[HEADER_LEN..],
     ))
 }
@@ -219,10 +227,13 @@ pub fn decode(src: &[u8]) -> Result<(Header, &[u8]), WireError> {
 /// anyway when it fully [`decode`]s the packet. Returns `None` for
 /// packets the steering layer should treat as undecodable.
 pub fn peek_route(src: &[u8]) -> Option<(u32, u64)> {
+    // audit:allow(A1): the || short-circuits — indexing only runs once
+    // src.len() >= HEADER_LEN holds
     if src.len() < HEADER_LEN || u16::from_le_bytes([src[0], src[1]]) != MAGIC {
         return None;
     }
     let mut ty4 = [0u8; 4];
+    // audit:allow(A1): fixed header offsets, src.len() >= HEADER_LEN above
     ty4.copy_from_slice(&src[TYPE_OFFSET..TYPE_OFFSET + 4]);
     let mut id8 = [0u8; 8];
     id8.copy_from_slice(&src[8..16]);

@@ -83,6 +83,8 @@ pub fn run_worker(
             None => {
                 idle_spins = idle_spins.saturating_add(1);
                 match idle_backoff {
+                    // audit:allow(A3): the opt-in idle-backoff ladder —
+                    // parks only after sustained unproductive spins
                     Some(park) if idle_spins > IDLE_SPINS_BEFORE_PARK => std::thread::sleep(park),
                     _ => std::thread::yield_now(),
                 }
@@ -97,6 +99,8 @@ pub fn run_worker(
                     if report.handled >= f.after_requests {
                         fault = None;
                         report.stalls_injected += 1;
+                        // audit:allow(A3): deliberate fault injection — the
+                        // stall IS the failure mode under test
                         std::thread::sleep(f.stall);
                     }
                 }
@@ -129,6 +133,8 @@ pub fn run_worker(
                 let payload_len = total_len.saturating_sub(wire::HEADER_LEN);
                 let resp_payload_len = {
                     let raw = buf.raw_mut();
+                    // audit:allow(A1): capacity >= HEADER_LEN, checked by the
+                    // malformed-datagram guard above
                     let payload = &mut raw[wire::HEADER_LEN..];
                     handler.handle(ty, payload, payload_len)
                 };
@@ -142,6 +148,8 @@ pub fn run_worker(
                 buf.set_len(wire::HEADER_LEN + resp_payload_len);
                 let status = wire::Status::Ok;
                 if wire::request_to_response_in_place(
+                    // audit:allow(A1): capacity >= HEADER_LEN, checked by
+                    // the malformed-datagram guard above
                     &mut buf.raw_mut()[..wire::HEADER_LEN],
                     status,
                 )

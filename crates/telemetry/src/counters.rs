@@ -35,18 +35,28 @@ impl TypeCounters {
     /// Bumps the queue-depth high-water mark if `depth` exceeds it.
     #[inline]
     pub fn observe_queue_depth(&self, depth: u64) {
+        // audit:ordering: monotone max RMW on a lone statistic — no other
+        // data is published through it
         self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Copies the current values into a plain snapshot.
+    ///
+    /// Every load below is Relaxed: each counter is an independent
+    /// monotone statistic, nothing is published through them, and a
+    /// snapshot is approximate under load by design (exact once the
+    /// caller happens-after the recorders, e.g. after joining workers).
     pub fn snapshot(&self) -> TypeCountersSnap {
         TypeCountersSnap {
+            // audit:ordering: independent statistics reads (see above)
             arrivals: self.arrivals.load(Ordering::Relaxed),
             dispatches: self.dispatches.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            // audit:ordering: independent statistics reads (see above)
             spillway_hits: self.spillway_hits.load(Ordering::Relaxed),
             drops: self.drops.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            // audit:ordering: independent statistics reads (see above)
             completions: self.completions.load(Ordering::Relaxed),
             queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
         }
@@ -101,12 +111,16 @@ pub struct WorkerCounters {
 }
 
 impl WorkerCounters {
-    /// Copies the current values into a plain snapshot.
+    /// Copies the current values into a plain snapshot. Relaxed for the
+    /// same reason as [`TypeCounters::snapshot`]: independent monotone
+    /// statistics, approximate under load by design.
     pub fn snapshot(&self) -> WorkerCountersSnap {
         WorkerCountersSnap {
+            // audit:ordering: independent statistics reads (see above)
             dispatches: self.dispatches.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             completions: self.completions.load(Ordering::Relaxed),
+            // audit:ordering: independent statistics reads (see above)
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
             quarantines: self.quarantines.load(Ordering::Relaxed),
             tx_give_ups: self.tx_give_ups.load(Ordering::Relaxed),

@@ -195,22 +195,32 @@ impl AtomicHist {
     #[inline]
     pub fn record(&self, value: u64) {
         let i = index(self.precision_bits, value);
+        // audit:ordering: independent bucket increment — the histogram
+        // publishes no data through its counters
         self.counts[i].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of recorded values (sum over buckets; monotone but not a
     /// single linearization point under concurrent recording).
     pub fn count(&self) -> u64 {
+        // audit:ordering: statistics read — approximate under concurrent
+        // recording by documented contract
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
     /// Freezes the current contents into a mergeable snapshot. Mean and
     /// max are reconstructed from bucket representatives, so they carry
     /// the same relative error bound as the percentiles.
+    ///
+    /// Report-assembly lane (recorders call [`AtomicHist::record`], never
+    /// this) — cold keeps the bucket-Vec build off the audited hot path.
+    #[cold]
     pub fn snapshot(&self) -> HistSnapshot {
         let counts: Vec<u64> = self
             .counts
             .iter()
+            // audit:ordering: statistics reads — a snapshot taken during
+            // recording is approximate by documented contract
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
         let mut total = 0u64;

@@ -107,6 +107,7 @@ const TAG_RELEASE: u64 = 7;
 fn pack_map(map: &[u8; MAX_MAP_TYPES]) -> [u64; 2] {
     let mut words = [0u64; 2];
     for (i, &b) in map.iter().enumerate() {
+        // audit:allow(A1): i < MAX_MAP_TYPES = 16, so i/8 < 2 = words.len()
         words[i / 8] |= (b as u64) << ((i % 8) * 8);
     }
     words
@@ -115,6 +116,8 @@ fn pack_map(map: &[u8; MAX_MAP_TYPES]) -> [u64; 2] {
 fn unpack_map(words: [u64; 2]) -> [u8; MAX_MAP_TYPES] {
     let mut map = [0u8; MAX_MAP_TYPES];
     for (i, b) in map.iter_mut().enumerate() {
+        // In bounds like pack_map's mirror image; only the cold collect
+        // path decodes, so no audit suppression is needed here.
         *b = (words[i / 8] >> ((i % 8) * 8)) as u8;
     }
     map
@@ -322,6 +325,8 @@ impl EventRing {
 
     /// Total events ever pushed (the next position to claim).
     pub fn pushed(&self) -> u64 {
+        // audit:ordering: statistics read of a monotone claim counter —
+        // per-slot seqlock sequences carry the real synchronization
         self.head.load(Ordering::Relaxed)
     }
 
@@ -339,6 +344,8 @@ impl EventRing {
     /// count as lost via the sequence-gap accounting. Losses stay
     /// detectable; blends become impossible.
     pub fn push(&self, ev: &SchedEvent) -> u64 {
+        // audit:ordering: the RMW only claims a position; publication is
+        // ordered by the slot's seqlock (Release fence + seq stores below)
         let pos = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(pos & self.mask) as usize];
         let cap = self.slots.len() as u64;
@@ -349,6 +356,8 @@ impl EventRing {
         let expected = if pos >= cap { 2 * (pos - cap) + 2 } else { 0 };
         if slot
             .seq
+            // audit:ordering: the CAS only claims the slot; the Release
+            // fence below orders the payload against the odd sequence
             .compare_exchange(expected, 2 * pos + 1, Ordering::Relaxed, Ordering::Relaxed)
             .is_err()
         {
@@ -358,6 +367,8 @@ impl EventRing {
         // visible before the odd sequence (classic seqlock writer).
         fence(Ordering::Release);
         for (w, v) in slot.words.iter().zip(ev.encode()) {
+            // audit:ordering: seqlock payload stores — ordered by the
+            // Release fence above and the seq Release store below
             w.store(v, Ordering::Relaxed);
         }
         slot.seq.store(2 * pos + 2, Ordering::Release);
@@ -370,6 +381,10 @@ impl EventRing {
     /// `from_pos`, overwritten by newer pushes, or caught mid-write are
     /// counted in [`EventLog::overwritten`] / skipped, so the caller can
     /// always reconcile `collected + lost == pushed - from_pos`.
+    ///
+    /// Collector-thread lane (writers never call this) — cold marks the
+    /// audit frontier; the builds-a-Vec cost lands off the record path.
+    #[cold]
     pub fn collect_from(&self, from_pos: u64) -> EventLog {
         let head = self.head.load(Ordering::Acquire);
         let lo = from_pos.max(head.saturating_sub(self.slots.len() as u64));
@@ -386,9 +401,13 @@ impl EventRing {
             }
             let mut words = [0u64; EVENT_WORDS];
             for (dst, src) in words.iter_mut().zip(slot.words.iter()) {
+                // audit:ordering: seqlock payload reads — validated by the
+                // Acquire fence and seq re-check below; torn reads retry
                 *dst = src.load(Ordering::Relaxed);
             }
             fence(Ordering::Acquire);
+            // audit:ordering: the Acquire fence above orders this re-check
+            // after the payload reads (classic seqlock reader)
             let s2 = slot.seq.load(Ordering::Relaxed);
             if s2 != s1 {
                 torn += 1;

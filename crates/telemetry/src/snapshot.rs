@@ -122,6 +122,7 @@ impl Telemetry {
         use core::sync::atomic::Ordering;
         self.type_counters[self.ty_slot(ty)]
             .arrivals
+            // audit:ordering: independent statistics counter — no data is published through it
             .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -140,11 +141,15 @@ impl Telemetry {
         let w = &self.worker_counters[worker.min(self.worker_counters.len() - 1)];
         match kind {
             DispatchKind::Reserved | DispatchKind::Fcfs => {
+                // audit:ordering: independent statistics counter — no data is published through it
                 t.dispatches.fetch_add(1, Ordering::Relaxed);
+                // audit:ordering: independent statistics counter — no data is published through it
                 w.dispatches.fetch_add(1, Ordering::Relaxed);
             }
             DispatchKind::Stolen => {
+                // audit:ordering: independent statistics counter — no data is published through it
                 t.steals.fetch_add(1, Ordering::Relaxed);
+                // audit:ordering: independent statistics counter — no data is published through it
                 w.steals.fetch_add(1, Ordering::Relaxed);
                 self.events.push(&SchedEvent::CycleSteal {
                     now_ns,
@@ -153,7 +158,9 @@ impl Telemetry {
                 });
             }
             DispatchKind::Spillway => {
+                // audit:ordering: independent statistics counter — no data is published through it
                 t.spillway_hits.fetch_add(1, Ordering::Relaxed);
+                // audit:ordering: independent statistics counter — no data is published through it
                 w.steals.fetch_add(1, Ordering::Relaxed);
                 self.events.push(&SchedEvent::SpillwayHit {
                     now_ns,
@@ -174,9 +181,11 @@ impl Telemetry {
         self.service[slot].record(service_ns);
         self.type_counters[slot]
             .completions
+            // audit:ordering: independent statistics counter — no data is published through it
             .fetch_add(1, Ordering::Relaxed);
         self.worker_counters[worker.min(self.worker_counters.len() - 1)]
             .completions
+            // audit:ordering: independent statistics counter — no data is published through it
             .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -187,6 +196,7 @@ impl Telemetry {
         use core::sync::atomic::Ordering;
         self.worker_counters[worker.min(self.worker_counters.len() - 1)]
             .busy_ns
+            // audit:ordering: independent statistics counter — no data is published through it
             .fetch_add(busy_ns, Ordering::Relaxed);
     }
 
@@ -196,6 +206,7 @@ impl Telemetry {
         use core::sync::atomic::Ordering;
         self.type_counters[self.ty_slot(ty)]
             .drops
+            // audit:ordering: independent statistics counter — no data is published through it
             .fetch_add(1, Ordering::Relaxed);
         self.events.push(&SchedEvent::Drop {
             now_ns,
@@ -211,6 +222,7 @@ impl Telemetry {
         use core::sync::atomic::Ordering;
         self.type_counters[self.ty_slot(ty)]
             .expired
+            // audit:ordering: independent statistics counter — no data is published through it
             .fetch_add(1, Ordering::Relaxed);
         self.events.push(&SchedEvent::DeadlineExpired {
             now_ns,
@@ -226,6 +238,7 @@ impl Telemetry {
         use core::sync::atomic::Ordering;
         self.worker_counters[worker.min(self.worker_counters.len() - 1)]
             .quarantines
+            // audit:ordering: independent statistics counter — no data is published through it
             .fetch_add(1, Ordering::Relaxed);
         self.events.push(&SchedEvent::WorkerQuarantine {
             now_ns,
@@ -253,6 +266,7 @@ impl Telemetry {
         use core::sync::atomic::Ordering;
         self.worker_counters[worker.min(self.worker_counters.len() - 1)]
             .tx_give_ups
+            // audit:ordering: independent statistics counter — no data is published through it
             .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -262,6 +276,7 @@ impl Telemetry {
     #[inline]
     pub fn record_rx_malformed(&self) {
         use core::sync::atomic::Ordering;
+        // audit:ordering: independent statistics counter — no data is published through it
         self.rx_malformed.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -293,6 +308,10 @@ impl Telemetry {
     }
 
     /// Freezes every instrument into a [`Snapshot`].
+    ///
+    /// Report-assembly lane, called once per run or per poll interval —
+    /// cold marks the audit frontier so its Vec builds stay off-path.
+    #[cold]
     pub fn snapshot(&self) -> Snapshot {
         let snap_ty = |i: usize| TypeSnapshot {
             sojourn: self.sojourn[i].snapshot(),
@@ -306,6 +325,7 @@ impl Telemetry {
             events: self.events.collect(),
             rx_malformed: self
                 .rx_malformed
+                // audit:ordering: independent statistics counter — no data is published through it
                 .load(core::sync::atomic::Ordering::Relaxed),
         }
     }

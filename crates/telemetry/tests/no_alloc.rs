@@ -20,12 +20,34 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// Allocations made by *this thread*. The global counter would also see
+// the libtest harness thread, whose mpmc channel lazily allocates its
+// park context the first time it blocks waiting for the test result —
+// a race that lands inside the measured window often enough to flake.
+// The test drives recording on its own thread, so the thread-local view
+// is exactly the recording path's behavior. Const-initialized: first
+// access on a thread touches TLS, never the heap, so reading it from
+// inside the allocator hook cannot recurse.
+thread_local! {
+    static THREAD_ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn count_here() {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
 // SAFETY: delegates everything to the system allocator unchanged; the
-// counter is a relaxed atomic, safe from any context.
+// counters are a relaxed atomic and a const-init thread-local `Cell`,
+// safe from any context.
 unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: the caller upholds `GlobalAlloc`'s contract; forwarded.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_here();
         // SAFETY: forwarding the caller's contract to `System`.
         unsafe { System.alloc(layout) }
     }
@@ -36,7 +58,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
     // SAFETY: the caller upholds `GlobalAlloc`'s contract; forwarded.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_here();
         // SAFETY: forwarding the caller's contract to `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -49,7 +71,7 @@ static A: CountingAlloc = CountingAlloc;
 fn recording_never_allocates() {
     // Construction allocates (fixed footprint, done once)...
     let t = Telemetry::new(TelemetryConfig::new(4, 8));
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = thread_allocs();
     // ...recording must not, even when the event ring wraps many times.
     for i in 0..2_000_000u64 {
         let ty = (i % 5) as usize; // includes the UNKNOWN slot
@@ -70,7 +92,7 @@ fn recording_never_allocates() {
             t.record_reservation_update(i, i / 1000, 42, &[1, 2, 3, 4], &[4, 3, 2, 1]);
         }
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = thread_allocs();
     assert_eq!(
         after - before,
         0,

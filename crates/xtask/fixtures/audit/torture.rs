@@ -1,0 +1,47 @@
+//! Lexer/parser torture fixture. Every construct here is valid Rust that
+//! breaks naive line- or regex-based scanners. The audit self-test
+//! asserts the extracted item list and call edges — see
+//! `audit::tests::torture_fixture_parses_with_correct_edges`.
+
+/* block comment /* nested /* twice */ */ with a fake fn phantom() inside */
+
+pub struct Torture<'a> {
+    pub name: &'a str,
+}
+
+pub fn entry(t: &Torture<'_>) -> usize {
+    // A raw string with hashes containing things that look like code:
+    let decoy = r##"fn phantom() { never_called(); } " unbalanced { brace"##;
+    // Byte char literal of an escaped quote, then a plain byte char:
+    let q = b'\'';
+    let a = b'a';
+    // Lifetime in a turbofish next to a real call:
+    let v = collect_ids::<'static>(t);
+    // A char that looks like a lifetime and a lifetime that looks like a char:
+    let c = 'x';
+    let s: &'static str = "never_called()";
+    // Macro body with nested brackets and a real call inside:
+    let m = my_sum!(1, [2, 3], { called_for_real(t) });
+    decoy.len() + q as usize + a as usize + v + c as usize + s.len() + m
+}
+
+fn collect_ids<'a>(_t: &Torture<'a>) -> usize {
+    0
+}
+
+fn called_for_real(_t: &Torture<'_>) -> usize {
+    0
+}
+
+fn never_called() -> usize {
+    0
+}
+
+#[cfg(test)]
+fn cfg_gated() {
+    never_called();
+}
+
+macro_rules! my_sum {
+    ($($x:tt)*) => { 0 };
+}

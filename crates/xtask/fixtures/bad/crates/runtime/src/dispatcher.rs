@@ -1,9 +1,16 @@
-// Seeded violations: Relaxed outside the allowlist (R2) and hot-path
-// style breaches (R4: println! and .unwrap()).
+// Seeded violations: Relaxed outside the allowlist (R2, both the
+// qualified path and the use-aliased bare form) and hot-path style
+// breaches (R4: println! and .unwrap()).
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub fn dispatch(depth: &AtomicUsize, queue: &mut Vec<u64>) {
     depth.fetch_add(1, Ordering::Relaxed);
     let req = queue.pop().unwrap();
     println!("dispatching {req}");
+}
+
+pub fn aliased_depth(depth: &AtomicUsize) -> usize {
+    // The R2 aliasing gap: no `Ordering::Relaxed` literal on this line.
+    depth.load(Relaxed)
 }

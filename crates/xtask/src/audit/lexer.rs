@@ -1,0 +1,422 @@
+//! Hand-rolled Rust lexer for the audit pass.
+//!
+//! Produces a flat token stream with line numbers plus a separate comment
+//! stream (comments carry the audit markers: `SAFETY:`, `audit:allow`,
+//! `audit:ordering`). Handles the lexical corners that break naive
+//! line-oriented scanners: raw strings with arbitrary `#` fences, nested
+//! block comments, byte/char literals vs. lifetimes (`b'\''` vs `'a`),
+//! and string escapes. No external dependencies; the parser consumes the
+//! token stream directly.
+
+/// Token classification. Keywords are ordinary `Ident`s — the parser
+/// matches on text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including `r#ident` raw identifiers).
+    Ident,
+    /// Lifetime (`'a`, `'static`). Text excludes the quote.
+    Lifetime,
+    /// Char or byte literal (`'x'`, `b'\''`). Text is blanked to `'?'`.
+    Char,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`). Blanked.
+    Str,
+    /// Numeric literal (`0xFF`, `1_000`, `2.5e3`, `23u64`).
+    Num,
+    /// Single punctuation character (`:`, `<`, `!`, …). Multi-char
+    /// operators appear as adjacent tokens; the parser re-joins them.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: Tok,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block), with its full text and line span.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// Lexer output: code tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes a whole source file. Never panics on malformed input — on an
+/// unterminated literal it consumes to end of file, which is the safe
+/// over-approximation for an auditor (the compiler will reject the file
+/// anyway).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(tok(Tok::Str, "\"\"", line));
+            }
+            b'\'' => {
+                // Lifetime vs. char literal: a char literal closes with a
+                // quote after one (possibly escaped) char; a lifetime is
+                // `'` + ident with no closing quote.
+                if let Some(next) = char_literal_end(b, i) {
+                    i = next;
+                    out.tokens.push(tok(Tok::Char, "'?'", line));
+                } else {
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && is_ident_char(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(tok(Tok::Lifetime, &src[start..i], line));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let ch = b[i];
+                    if is_ident_char(ch) {
+                        i += 1;
+                    } else if ch == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                        // fractional part — but not `1..3` range syntax
+                        i += 2;
+                    } else if (ch == b'+' || ch == b'-')
+                        && matches!(b[i - 1], b'e' | b'E')
+                        && !src[start..i].starts_with("0x")
+                    {
+                        i += 1; // exponent sign: `2.5e-3`
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(tok(Tok::Num, &src[start..i], line));
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // Literal prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…',
+                // and raw identifiers r#ident.
+                if i < b.len() {
+                    match (word, b[i]) {
+                        ("r" | "br" | "b", b'"') => {
+                            i = if word == "r" || word == "br" {
+                                skip_raw_string(b, i, 0, &mut line)
+                            } else {
+                                skip_string(b, i, &mut line)
+                            };
+                            out.tokens.push(tok(Tok::Str, "\"\"", line));
+                            continue;
+                        }
+                        ("r" | "br", b'#') => {
+                            // Count fence hashes; if a quote follows it is a
+                            // raw string, otherwise `r#ident`.
+                            let mut j = i;
+                            while j < b.len() && b[j] == b'#' {
+                                j += 1;
+                            }
+                            if j < b.len() && b[j] == b'"' {
+                                i = skip_raw_string(b, j, j - i, &mut line);
+                                out.tokens.push(tok(Tok::Str, "\"\"", line));
+                                continue;
+                            }
+                            if word == "r" && j == i + 1 && j < b.len() && is_ident_start(b[j]) {
+                                let id_start = j;
+                                let mut k = j;
+                                while k < b.len() && is_ident_char(b[k]) {
+                                    k += 1;
+                                }
+                                out.tokens.push(tok(Tok::Ident, &src[id_start..k], line));
+                                i = k;
+                                continue;
+                            }
+                        }
+                        ("b", b'\'') => {
+                            if let Some(next) = char_literal_end(b, i) {
+                                i = next;
+                                out.tokens.push(tok(Tok::Char, "'?'", line));
+                                continue;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                out.tokens.push(tok(Tok::Ident, word, line));
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: Tok::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn tok(kind: Tok, text: &str, line: u32) -> Token {
+    Token {
+        kind,
+        text: text.to_string(),
+        line,
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+}
+
+/// If `b[i]` opens a char literal (`'`), returns the index just past the
+/// closing quote, or `None` if this is a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    debug_assert!(b[i] == b'\'');
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escaped char: consume the escape (handles `'\''`, `'\\'`,
+        // `'\u{1F600}'`, `'\x7f'`).
+        j += 1;
+        if j < b.len() && b[j] == b'u' {
+            j += 1;
+            if j < b.len() && b[j] == b'{' {
+                while j < b.len() && b[j] != b'}' {
+                    j += 1;
+                }
+                j += 1;
+            }
+        } else if j < b.len() && b[j] == b'x' {
+            j += 3;
+        } else {
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'\'' {
+            return Some(j + 1);
+        }
+        return None;
+    }
+    // Unescaped: exactly one char (possibly multi-byte UTF-8) then a quote.
+    let mut k = j + 1;
+    while k < b.len() && (b[k] & 0xC0) == 0x80 {
+        k += 1; // skip UTF-8 continuation bytes
+    }
+    if k < b.len() && b[k] == b'\'' && b[j] != b'\'' {
+        return Some(k + 1);
+    }
+    None
+}
+
+/// Skips a plain (escaped) string starting at the opening quote; returns
+/// the index past the closing quote.
+fn skip_string(b: &[u8], open: usize, line: &mut u32) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string whose opening quote is at `open` with `hashes`
+/// fence characters; returns the index past the closing fence.
+fn skip_raw_string(b: &[u8], open: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut n = 0usize;
+            while j < b.len() && b[j] == b'#' && n < hashes {
+                j += 1;
+                n += 1;
+            }
+            if n == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Tok, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("fn foo(x: u32) -> u32 { x }");
+        assert_eq!(t[0], (Tok::Ident, "fn".into()));
+        assert_eq!(t[1], (Tok::Ident, "foo".into()));
+        assert!(t.iter().any(|(k, s)| *k == Tok::Punct && s == "{"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_hides_quotes() {
+        let l = lex(r####"let s = r##"a "quoted" } fn bogus("##; call();"####);
+        let names: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(names, ["let", "s", "call"]);
+        // nothing inside the raw string leaked as a token
+        assert!(!names.contains(&"bogus"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still comment */ b");
+        let names: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn byte_char_with_escaped_quote() {
+        let l = lex(r"let q = b'\''; let r = b'a'; next()");
+        let chars = l.tokens.iter().filter(|t| t.kind == Tok::Char).count();
+        assert_eq!(chars, 2);
+        assert!(l.tokens.iter().any(|t| t.text == "next"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == Tok::Char).count(), 1);
+    }
+
+    #[test]
+    fn lifetime_in_turbofish() {
+        let l = lex("iter::<'static, u8>(x)");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == Tok::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\nline\nline\";\nbottom()";
+        let l = lex(src);
+        let bottom = l.tokens.iter().find(|t| t.text == "bottom").unwrap();
+        assert_eq!(bottom.line, 4);
+    }
+
+    #[test]
+    fn comments_keep_lines() {
+        let src = "// one\n/* two\nthree */\nfour()";
+        let l = lex(src);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.comments[1].end_line, 3);
+        assert_eq!(l.tokens[0].line, 4);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let t = kinds("let r#type = 1;");
+        assert!(t.iter().any(|(k, s)| *k == Tok::Ident && s == "type"));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let t = kinds("0xFF 1_000u64 2.5e-3 23");
+        assert_eq!(t.iter().filter(|(k, _)| *k == Tok::Num).count(), 4);
+    }
+}

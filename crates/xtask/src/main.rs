@@ -1,12 +1,17 @@
-//! Workspace task runner. Currently one task:
+//! Workspace task runner. Two tasks:
 //!
 //! ```text
-//! cargo xtask lint [workspace-root]
+//! cargo xtask lint  [workspace-root]
+//! cargo xtask audit [--json] [--write-baseline] [workspace-root]
 //! ```
 //!
-//! runs the invariant linter over the workspace sources and exits
-//! non-zero if any rule fires. See [`lint`] for the rule catalogue.
+//! `lint` runs the per-line invariant linter (rules R1–R6); `audit` runs
+//! the interprocedural call-graph audit (rules A1–A5) and checks the
+//! rendered report against the committed `AUDIT.json` baseline. Both
+//! exit non-zero if any rule fires. See [`lint`] and [`audit`] for the
+//! rule catalogues.
 
+mod audit;
 mod lint;
 
 use std::path::PathBuf;
@@ -41,9 +46,34 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("audit") => {
+            let mut print_json = false;
+            let mut write_baseline = false;
+            let mut dump = None;
+            let mut root = None;
+            let mut args = args.peekable();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--json" => print_json = true,
+                    "--write-baseline" => write_baseline = true,
+                    "--dump" => dump = args.next(),
+                    other => root = Some(PathBuf::from(other)),
+                }
+            }
+            let root = root.unwrap_or_else(workspace_root);
+            if let Some(rel) = dump {
+                audit::dump(&root, &rel);
+                return ExitCode::SUCCESS;
+            }
+            if audit::cli(&root, print_json, write_baseline) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         other => {
             eprintln!(
-                "usage: cargo xtask lint [workspace-root]{}",
+                "usage: cargo xtask <lint|audit> [--json] [--write-baseline] [workspace-root]{}",
                 other
                     .map(|o| format!(" (unknown task {o:?})"))
                     .unwrap_or_default()
